@@ -1,0 +1,38 @@
+//! Theorem 3.6 / Table 3: nonemptiness-of-complement solves 3-SAT. Random
+//! instances at the hard clause/variable ratio (~4.3) show the
+//! super-polynomial growth in the number of variables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itd_workload::{random_3cnf, solve_via_complement};
+
+fn bench_sat_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("np_complement");
+    group.sample_size(10);
+    for &vars in &[3usize, 4, 5, 6, 7] {
+        let clauses = (vars as f64 * 4.3).round() as usize;
+        let cnf = random_3cnf(vars, clauses, 2024);
+        group.bench_with_input(
+            BenchmarkId::new("solve_3sat_via_complement", vars),
+            &vars,
+            |bch, _| bch.iter(|| solve_via_complement(&cnf).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reduction_only(c: &mut Criterion) {
+    // The reduction itself is polynomial — worth showing separately so the
+    // exponential is attributable to the complement, not the encoding.
+    let mut group = c.benchmark_group("np_reduction_encode");
+    for &vars in &[4usize, 8, 16, 32] {
+        let clauses = vars * 4;
+        let cnf = random_3cnf(vars, clauses, 7);
+        group.bench_with_input(BenchmarkId::new("encode", vars), &vars, |bch, _| {
+            bch.iter(|| cnf.to_relation())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat_family, bench_reduction_only);
+criterion_main!(benches);

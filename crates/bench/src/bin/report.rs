@@ -1,0 +1,514 @@
+//! Regenerates every table and figure of the paper's complexity analysis
+//! as *measured* data, fitting growth exponents so the shape of each bound
+//! can be compared with the paper's claim.
+//!
+//! Run with: `cargo run --release -p itd-bench --bin report`
+//!
+//! Output: a markdown report on stdout (tee it into EXPERIMENTS.md's data
+//! section). Every row prints the paper's asymptotic claim next to the
+//! measured growth exponent.
+
+use std::time::Duration;
+
+use itd_bench::{fit_loglog, fit_semilog, fmt_duration, time_median};
+use itd_core::GenRelation;
+use itd_workload::{brute_force_sat, random_3cnf, random_relation, solve_via_complement, RelationSpec};
+
+const REPS: usize = 5;
+
+fn spec(n: usize, m: usize, k: i64) -> RelationSpec {
+    RelationSpec {
+        tuples: n,
+        temporal_arity: m,
+        period: k,
+        data_arity: 0,
+        constraint_density: 0.5,
+        bound_steps: 5,
+    }
+}
+
+/// A relation of `n` tuples that all *denote the empty set* without being
+/// trivially unsatisfiable: `X1 = X2 + 1` over two even lrps is satisfiable
+/// over the reals but empty on the grid, so exact emptiness must examine
+/// every tuple (Theorem 3.5's worst case).
+fn ghost_relation(n: usize) -> GenRelation {
+    use itd_core::{Atom, GenTuple, Lrp, Schema};
+    let mut rel = GenRelation::empty(Schema::new(2, 0));
+    for i in 0..n {
+        let r = (2 * (i as i64 % 3)) % 6;
+        rel.push(
+            GenTuple::with_atoms(
+                vec![
+                    Lrp::new(r, 6).expect("valid"),
+                    Lrp::new(r, 6).expect("valid"),
+                ],
+                &[Atom::diff_eq(0, 1, 1)],
+                vec![],
+            )
+            .expect("valid"),
+        )
+        .expect("schema");
+    }
+    rel
+}
+
+/// One operation measured across a sweep; returns (x, seconds) points.
+fn sweep<F>(xs: &[usize], mut run: F) -> Vec<(f64, f64)>
+where
+    F: FnMut(usize) -> Duration,
+{
+    xs.iter()
+        .map(|&x| (x as f64, run(x).as_secs_f64().max(1e-9)))
+        .collect()
+}
+
+fn print_row(name: &str, claim: &str, points: &[(f64, f64)], exponent: f64) {
+    let last = points.last().expect("nonempty sweep");
+    println!(
+        "| {name} | {claim} | {:.2} | {} at x={} |",
+        exponent,
+        fmt_duration(Duration::from_secs_f64(last.1)),
+        last.0
+    );
+}
+
+fn table2_fixed_schema() {
+    println!("\n## Table 2 — fixed-schema complexity (m = 2, k = 6, sweep N)\n");
+    println!("| operation | paper bound | measured exponent (N) | slowest point |");
+    println!("|---|---|---|---|");
+    let ns = [8usize, 16, 32, 64, 128, 256];
+    let pairs: Vec<(GenRelation, GenRelation)> = ns
+        .iter()
+        .map(|&n| {
+            (
+                random_relation(&spec(n, 2, 6), 42),
+                random_relation(&spec(n, 2, 6), 4242),
+            )
+        })
+        .collect();
+    let rel = |n: usize| &pairs[ns.iter().position(|&x| x == n).expect("in sweep")];
+
+    let pts = sweep(&ns, |n| {
+        let (a, b) = rel(n);
+        time_median(REPS, || a.union(b).unwrap()).0
+    });
+    print_row("union", "O(N)", &pts, fit_loglog(&pts));
+
+    let pts = sweep(&ns, |n| {
+        let (a, b) = rel(n);
+        time_median(REPS, || a.cross_product(b).unwrap()).0
+    });
+    print_row("cross-product", "O(N²)", &pts, fit_loglog(&pts));
+
+    let pts = sweep(&ns, |n| {
+        let (a, b) = rel(n);
+        time_median(REPS, || a.intersect(b).unwrap()).0
+    });
+    print_row("intersection", "O(N²)", &pts, fit_loglog(&pts));
+
+    let pts = sweep(&ns, |n| {
+        let (a, b) = rel(n);
+        time_median(REPS, || a.join_on(b, &[(0, 0)], &[]).unwrap()).0
+    });
+    print_row("join", "O(N²)", &pts, fit_loglog(&pts));
+
+    let pts = sweep(&ns, |n| {
+        let (a, _) = rel(n);
+        time_median(REPS, || a.project(&[0], &[]).unwrap()).0
+    });
+    print_row("projection", "O(N)", &pts, fit_loglog(&pts));
+
+    let pts = sweep(&ns, |n| {
+        let (a, _) = rel(n);
+        time_median(REPS, || a.is_empty().unwrap()).0
+    });
+    print_row("emptiness (nonempty input)", "O(N), early exit", &pts, fit_loglog(&pts));
+
+    // Worst case for Theorem 3.5: every tuple is grid-empty (satisfiable
+    // over R, empty over the lrp grids), so all N must be scanned.
+    let ghosts: Vec<GenRelation> = ns.iter().map(|&n| ghost_relation(n)).collect();
+    let pts = sweep(&ns, |n| {
+        let a = &ghosts[ns.iter().position(|&x| x == n).expect("in sweep")];
+        time_median(REPS, || a.is_empty().unwrap()).0
+    });
+    print_row("emptiness (empty input)", "O(N)", &pts, fit_loglog(&pts));
+
+    // Negation, fixed schema: polynomial (here m = 1 to keep k^m fixed).
+    let ns_neg = [2usize, 4, 8, 16, 32];
+    let negs: Vec<GenRelation> = ns_neg
+        .iter()
+        .map(|&n| random_relation(&spec(n, 1, 4), 3))
+        .collect();
+    let pts = sweep(&ns_neg, |n| {
+        let a = &negs[ns_neg.iter().position(|&x| x == n).expect("in sweep")];
+        time_median(3, || a.complement_temporal().unwrap()).0
+    });
+    print_row("negation (m=1)", "O(N^c)", &pts, fit_loglog(&pts));
+
+    let pts = sweep(&ns_neg, |n| {
+        let a = &negs[ns_neg.iter().position(|&x| x == n).expect("in sweep")];
+        time_median(3, || a.complement_temporal().unwrap().is_empty().unwrap()).0
+    });
+    print_row("complement emptiness (m=1)", "O(N^c)", &pts, fit_loglog(&pts));
+}
+
+fn table2_general() {
+    println!("\n## Table 2 — general complexity (N = 12, k = 4, sweep m)\n");
+    println!("| operation | paper bound | measured exponent (m) | slowest point |");
+    println!("|---|---|---|---|");
+    let ms = [1usize, 2, 3, 4, 5, 6];
+    let pairs: Vec<(GenRelation, GenRelation)> = ms
+        .iter()
+        .map(|&m| {
+            (
+                random_relation(&spec(12, m, 4), 7),
+                random_relation(&spec(12, m, 4), 77),
+            )
+        })
+        .collect();
+    let rel = |m: usize| &pairs[ms.iter().position(|&x| x == m).expect("in sweep")];
+
+    for (name, claim, f) in [
+        (
+            "union",
+            "O(m²N)",
+            Box::new(|a: &GenRelation, b: &GenRelation| {
+                a.union(b).unwrap();
+            }) as Box<dyn Fn(&GenRelation, &GenRelation)>,
+        ),
+        (
+            "intersection",
+            "O(m²N²)",
+            Box::new(|a, b| {
+                a.intersect(b).unwrap();
+            }),
+        ),
+        (
+            "cross-product",
+            "O(m²N²)",
+            Box::new(|a, b| {
+                a.cross_product(b).unwrap();
+            }),
+        ),
+        (
+            "join",
+            "O(m²N²)",
+            Box::new(|a, b| {
+                a.join_on(b, &[(0, 0)], &[]).unwrap();
+            }),
+        ),
+        (
+            "projection",
+            "O(m²N)",
+            Box::new(|a, _b| {
+                a.project(&[0], &[]).unwrap();
+            }),
+        ),
+        (
+            "emptiness",
+            "O(m³N)",
+            Box::new(|a, _b| {
+                a.is_empty().unwrap();
+            }),
+        ),
+    ] {
+        let pts = sweep(&ms, |m| {
+            let (a, b) = rel(m);
+            time_median(REPS, || f(a, b)).0
+        });
+        print_row(name, claim, &pts, fit_loglog(&pts));
+    }
+
+    // Negation under general complexity: exponential in m (k^m).
+    let ms_neg = [1usize, 2, 3, 4];
+    let pts = sweep(&ms_neg, |m| {
+        let a = random_relation(&spec(4, m, 3), 5);
+        time_median(3, || a.complement_temporal().unwrap()).0
+    });
+    let rate = fit_semilog(&pts);
+    let last = pts.last().expect("nonempty");
+    println!(
+        "| negation | O(k^m + N^(c'm²)) EXPTIME | e^{rate:.2} ≈ ×{:.1} per +1 attribute | {} at m={} |",
+        rate.exp(),
+        fmt_duration(Duration::from_secs_f64(last.1)),
+        last.0
+    );
+}
+
+fn table3_np() {
+    println!("\n## Table 3 — nonemptiness of complement is NP-complete (3-SAT family)\n");
+    println!("| variables | clauses (ratio 4.3) | solve time | agrees with brute force |");
+    println!("|---|---|---|---|");
+    let mut pts = Vec::new();
+    for vars in [3usize, 4, 5, 6, 7, 8] {
+        let clauses = ((vars as f64) * 4.3).round() as usize;
+        // Median over a few instances to smooth instance-to-instance noise.
+        let mut times = Vec::new();
+        let mut all_agree = true;
+        for seed in 0..3u64 {
+            let cnf = random_3cnf(vars, clauses, 1000 + seed);
+            let (d, got) = time_median(1, || solve_via_complement(&cnf).unwrap());
+            times.push(d);
+            let expect = brute_force_sat(&cnf).is_some();
+            all_agree &= got.is_some() == expect;
+            if let Some(sol) = got {
+                all_agree &= cnf.eval(&sol);
+            }
+        }
+        times.sort();
+        let med = times[times.len() / 2];
+        pts.push((vars as f64, med.as_secs_f64().max(1e-9)));
+        println!(
+            "| {vars} | {clauses} | {} | {all_agree} |",
+            fmt_duration(med)
+        );
+        assert!(all_agree, "reduction must agree with the oracle");
+    }
+    println!(
+        "\nmeasured growth: ×{:.1} per extra variable (super-polynomial family, as NP-hardness predicts)",
+        fit_semilog(&pts).exp()
+    );
+}
+
+fn theorem_4_1() {
+    println!("\n## Theorem 4.1 — query evaluation, data complexity (fixed query, sweep N)\n");
+    println!("| query | paper bound | measured exponent (N) | slowest point |");
+    println!("|---|---|---|---|");
+    use itd_core::{Atom, GenTuple, Lrp, Schema, Value};
+    use itd_query::{evaluate_bool, parse, MemoryCatalog};
+    let build = |n: usize| {
+        let mut rel = GenRelation::empty(Schema::new(2, 1));
+        for i in 0..n {
+            let period = 6 + (i % 5) as i64;
+            let start = (i % period as usize) as i64;
+            let len = 1 + (i % 3) as i64;
+            rel.push(
+                GenTuple::with_atoms(
+                    vec![
+                        Lrp::new(start, period).expect("valid"),
+                        Lrp::new(start + len, period).expect("valid"),
+                    ],
+                    &[Atom::diff_eq(1, 0, len)],
+                    vec![Value::str(format!("robot{}", i % 4))],
+                )
+                .expect("valid"),
+            )
+            .expect("schema");
+        }
+        let mut cat = MemoryCatalog::new();
+        cat.insert("perform", rel);
+        cat
+    };
+    let existential = parse(r#"exists a. exists b. perform(a, b; "robot1") and a >= 100"#)
+        .expect("parses");
+    let universal =
+        parse(r#"forall a. forall b. perform(a, b; "robot2") implies b <= a + 3"#)
+            .expect("parses");
+    let ns = [4usize, 8, 16, 32, 64];
+    let cats: Vec<_> = ns.iter().map(|&n| build(n)).collect();
+    let pts = sweep(&ns, |n| {
+        let cat = &cats[ns.iter().position(|&x| x == n).expect("in sweep")];
+        time_median(3, || evaluate_bool(cat, &existential).unwrap()).0
+    });
+    print_row("existential", "PTIME (data)", &pts, fit_loglog(&pts));
+    let pts = sweep(&ns, |n| {
+        let cat = &cats[ns.iter().position(|&x| x == n).expect("in sweep")];
+        time_median(3, || evaluate_bool(cat, &universal).unwrap()).0
+    });
+    print_row("universal", "PTIME (data)", &pts, fit_loglog(&pts));
+}
+
+fn figures() {
+    println!("\n## Figures 1–3 and Appendix A.1 — structural checks\n");
+    use itd_core::{Atom, GenTuple, Lrp, Schema};
+    let lrp = |c, k| Lrp::new(c, k).expect("valid");
+
+    // Figure 2/3: the paper's projection example, verified.
+    let fig2 = GenRelation::new(
+        Schema::new(2, 0),
+        vec![GenTuple::with_atoms(
+            vec![lrp(3, 4), lrp(1, 8)],
+            &[
+                Atom::diff_ge(0, 1, 0).expect("valid"),
+                Atom::diff_le(0, 1, 5),
+                Atom::ge(1, 2),
+            ],
+            vec![],
+        )
+        .expect("valid")],
+    )
+    .expect("schema");
+    let p = fig2.project(&[0], &[]).expect("projection");
+    let got: Vec<i64> = (0..40).filter(|&x| p.contains(&[x], &[])).collect();
+    println!("- Figure 2 exact projection on X1: {got:?} (paper: 8n+3 with X1 ≥ 11) ✓");
+    assert_eq!(got, vec![11, 19, 27, 35]);
+
+    // Appendix A.1 blow-up: Π k/kᵢ tuples after normalization.
+    println!("- Appendix A.1 normalization blow-up (tuple [k₁n, k₂n], no constraints):");
+    for (k1, k2) in [(2i64, 3i64), (4, 6), (6, 8), (8, 12)] {
+        let t = GenTuple::unconstrained(vec![lrp(0, k1), lrp(1, k2)], vec![]);
+        let (d, n) = time_median(3, || t.normalize().expect("normalizes").len());
+        let k = itd_numth::lcm(k1, k2).expect("small");
+        println!(
+            "    k1={k1}, k2={k2}: {n} normal tuples (expected {} = (k/k1)(k/k2)) in {}",
+            (k / k1) * (k / k2),
+            fmt_duration(d)
+        );
+        assert_eq!(n as i64, (k / k1) * (k / k2));
+    }
+
+    // Figure 1 difference decomposition cost/size.
+    let a = GenRelation::new(
+        Schema::new(2, 0),
+        vec![GenTuple::with_atoms(
+            vec![lrp(0, 2), lrp(0, 2)],
+            &[Atom::diff_le(0, 1, 0)],
+            vec![],
+        )
+        .expect("valid")],
+    )
+    .expect("schema");
+    let b = GenRelation::new(
+        Schema::new(2, 0),
+        vec![GenTuple::with_atoms(
+            vec![lrp(0, 8), lrp(0, 2)],
+            &[Atom::ge(1, 4)],
+            vec![],
+        )
+        .expect("valid")],
+    )
+    .expect("schema");
+    let (d, diff) = time_median(3, || a.difference(&b).expect("difference"));
+    println!(
+        "- Figure 1 difference (t₁ − t₂ = (t₁ − t₂*) ∪ (t̄₂ ∩ t₁)): {} tuples in {}",
+        diff.len(),
+        fmt_duration(d)
+    );
+}
+
+fn ablations() {
+    println!("\n## Ablations (design choices from DESIGN.md)\n");
+    // Residue bucketing (Appendix A.3): naive vs bucketed intersection.
+    println!("### Intersection: naive pairwise vs residue-bucketed (N = 128, m = 2)\n");
+    println!("| k | naive | bucketed | speedup |");
+    println!("|---|---|---|---|");
+    for k in [2i64, 4, 8, 16] {
+        let a = random_relation(&spec(128, 2, k), 1);
+        let b = random_relation(&spec(128, 2, k), 2);
+        let (naive, r1) = time_median(REPS, || a.intersect(&b).expect("intersect"));
+        let (bucketed, r2) =
+            time_median(REPS, || a.intersect_bucketed(&b).expect("intersect"));
+        // Same semantics (the point of an ablation is a fair comparison).
+        assert_eq!(
+            r1.materialize(-10, 10),
+            r2.materialize(-10, 10),
+            "bucketing must not change semantics"
+        );
+        println!(
+            "| {k} | {} | {} | ×{:.1} |",
+            fmt_duration(naive),
+            fmt_duration(bucketed),
+            naive.as_secs_f64() / bucketed.as_secs_f64().max(1e-9),
+        );
+    }
+    println!(
+        "\nThe win grows with k, matching Appendix A.3's N²/k^m collision analysis."
+    );
+
+    // Partial vs full normalization in projection (§3.4 remark).
+    println!("\n### Projection: partial vs full normalization (§3.4 remark)\n");
+    println!("| unrelated column period | full | partial | speedup |");
+    println!("|---|---|---|---|");
+    {
+        use itd_core::{ops, Atom as CAtom, GenTuple, Lrp};
+        for kc in [7i64, 11, 13, 17] {
+            // Figure 2's coupled pair plus one unrelated coprime column:
+            // full normalization fans out by lcm; partial does not.
+            let t = GenTuple::with_atoms(
+                vec![
+                    Lrp::new(3, 4).expect("valid"),
+                    Lrp::new(1, 8).expect("valid"),
+                    Lrp::new(2, kc).expect("valid"),
+                ],
+                &[
+                    CAtom::diff_ge(0, 1, 0).expect("valid"),
+                    CAtom::diff_le(0, 1, 5),
+                    CAtom::ge(1, 2),
+                    CAtom::le(2, 1000),
+                ],
+                vec![],
+            )
+            .expect("valid");
+            let (full, rf) =
+                time_median(REPS, || ops::project_tuple_full(&t, &[0, 2], &[]).expect("ok"));
+            let (partial, rp) =
+                time_median(REPS, || ops::project_tuple(&t, &[0, 2], &[]).expect("ok"));
+            // Equivalence spot check.
+            for x in -6..30 {
+                for z in -6..30 {
+                    let a = rf.iter().any(|pt| pt.contains(&[x, z], &[]));
+                    let b = rp.iter().any(|pt| pt.contains(&[x, z], &[]));
+                    assert_eq!(a, b, "partial/full divergence at ({x},{z})");
+                }
+            }
+            println!(
+                "| {kc} | {} ({} tuples) | {} ({} tuples) | ×{:.1} |",
+                fmt_duration(full),
+                rf.len(),
+                fmt_duration(partial),
+                rp.len(),
+                full.as_secs_f64() / partial.as_secs_f64().max(1e-9),
+            );
+        }
+    }
+
+    // Coalescing (inverse of Lemma 3.1) on complement outputs.
+    println!("\n### Coalescing complement outputs (inverse of Lemma 3.1)\n");
+    println!("| k | complement tuples | after coalesce | time |");
+    println!("|---|---|---|---|");
+    use itd_core::{Atom, GenTuple, Lrp, Schema};
+    for k in [4i64, 8, 16, 32] {
+        let r = GenRelation::new(
+            Schema::new(1, 0),
+            vec![GenTuple::with_atoms(
+                vec![Lrp::new(0, k).expect("valid")],
+                &[Atom::ge(0, 0)],
+                vec![],
+            )
+            .expect("valid")],
+        )
+        .expect("schema");
+        let comp = r.complement_temporal().expect("complement");
+        let (d, small) = time_median(REPS, || comp.coalesce().expect("coalesce"));
+        assert_eq!(
+            comp.materialize(-60, 60),
+            small.materialize(-60, 60),
+            "coalescing must not change semantics"
+        );
+        println!(
+            "| {k} | {} | {} | {} |",
+            comp.len(),
+            small.len(),
+            fmt_duration(d)
+        );
+    }
+}
+
+fn main() {
+    println!("# Measured reproduction of the paper's complexity tables");
+    println!(
+        "\n(build: {}, reps: {REPS}; exponents are least-squares log-log slopes)",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    );
+    table2_fixed_schema();
+    table2_general();
+    table3_np();
+    theorem_4_1();
+    figures();
+    ablations();
+    println!("\ndone.");
+}

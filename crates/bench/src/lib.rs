@@ -1,0 +1,135 @@
+//! Shared measurement utilities for the benchmark harness.
+//!
+//! The Criterion benches (one per paper table/figure — see `benches/`) give
+//! precise per-operation timings; the [`report`](../src/bin/report.rs)
+//! binary sweeps parameters, fits growth exponents, and prints the
+//! paper-shaped summary recorded in `EXPERIMENTS.md`.
+//!
+//! | paper artifact | bench target | report section |
+//! |---|---|---|
+//! | Table 2, fixed-schema column | `table2_fixed_schema` | "Table 2 (fixed schema)" |
+//! | Table 2, general column | `table2_general` | "Table 2 (general)" |
+//! | Table 2/3, negation rows | `negation_complement` | "Negation" |
+//! | Table 3, NP-completeness | `np_complement` | "3-SAT via complement" |
+//! | Theorem 4.1 | `query_data_complexity` | "Query data complexity" |
+//! | Figures 1–3, Appendix A.1 | `normalization_figures` | "Normalization & figures" |
+
+use std::time::{Duration, Instant};
+
+/// Times one closure invocation.
+pub fn time_once<T>(mut f: impl FnMut() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+/// Median wall time over `reps` invocations (min 1). The closure's result
+/// is returned from the last run so the work cannot be optimized away.
+pub fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let reps = reps.max(1);
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let (d, out) = time_once(&mut f);
+        times.push(d);
+        last = Some(out);
+    }
+    times.sort();
+    (times[times.len() / 2], last.expect("reps >= 1"))
+}
+
+/// Least-squares slope of `ln y` against `ln x` — the growth exponent of a
+/// power law `y ∝ x^slope`.
+///
+/// # Panics
+/// If fewer than two points or any coordinate is non-positive.
+pub fn fit_loglog(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "log-log fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    slope(&logs)
+}
+
+/// Least-squares slope of `ln y` against `x` — the rate `r` of an
+/// exponential `y ∝ e^(r·x)`; `e^r` is the per-step growth factor.
+///
+/// # Panics
+/// If fewer than two points or a non-positive `y`.
+pub fn fit_semilog(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(y > 0.0, "semi-log fit needs positive y");
+            (x, y.ln())
+        })
+        .collect();
+    slope(&logs)
+}
+
+fn slope(pts: &[(f64, f64)]) -> f64 {
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loglog_recovers_power() {
+        // y = 3 x²
+        let pts: Vec<(f64, f64)> = (1..=6).map(|x| (x as f64, 3.0 * (x * x) as f64)).collect();
+        assert!((fit_loglog(&pts) - 2.0).abs() < 1e-9);
+        // y = 5 x
+        let pts: Vec<(f64, f64)> = (1..=6).map(|x| (x as f64, 5.0 * x as f64)).collect();
+        assert!((fit_loglog(&pts) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semilog_recovers_rate() {
+        // y = 2^x → rate ln 2.
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|x| (x as f64, (1u64 << x) as f64))
+            .collect();
+        assert!((fit_semilog(&pts) - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timing_helpers_run() {
+        let (d, v) = time_median(3, || (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_duration(Duration::from_nanos(50)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(50)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(50)).contains(" s"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Atomic restricted constraints (§2.1 of the paper).
+
+use std::fmt;
+
+/// One atomic restricted constraint over temporal attributes `X0..Xm-1`.
+///
+/// These are exactly the forms the paper allows:
+/// `Xi ≤ Xj + a`, `Xi = Xj + a`, `Xi ≤ a`, `Xi ≥ a`, `Xi = a`
+/// (the paper writes attributes 1-based; we index from 0).
+///
+/// `Xi ≥ Xj + a` is not listed separately by the paper because it is
+/// `Xj ≤ Xi − a`; the [`Atom::diff_ge`] constructor performs that rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Atom {
+    /// `Xi ≤ Xj + a`.
+    DiffLe {
+        /// Left attribute index.
+        i: usize,
+        /// Right attribute index.
+        j: usize,
+        /// Offset.
+        a: i64,
+    },
+    /// `Xi = Xj + a`.
+    DiffEq {
+        /// Left attribute index.
+        i: usize,
+        /// Right attribute index.
+        j: usize,
+        /// Offset.
+        a: i64,
+    },
+    /// `Xi ≤ a`.
+    Le {
+        /// Attribute index.
+        i: usize,
+        /// Constant.
+        a: i64,
+    },
+    /// `Xi ≥ a`.
+    Ge {
+        /// Attribute index.
+        i: usize,
+        /// Constant.
+        a: i64,
+    },
+    /// `Xi = a`.
+    Eq {
+        /// Attribute index.
+        i: usize,
+        /// Constant.
+        a: i64,
+    },
+}
+
+impl Atom {
+    /// `Xi ≤ Xj + a`.
+    pub fn diff_le(i: usize, j: usize, a: i64) -> Atom {
+        Atom::DiffLe { i, j, a }
+    }
+
+    /// `Xi ≥ Xj + a`, rewritten to the canonical `Xj ≤ Xi − a`.
+    ///
+    /// Returns `None` if `−a` overflows.
+    pub fn diff_ge(i: usize, j: usize, a: i64) -> Option<Atom> {
+        Some(Atom::DiffLe {
+            i: j,
+            j: i,
+            a: a.checked_neg()?,
+        })
+    }
+
+    /// `Xi = Xj + a`.
+    pub fn diff_eq(i: usize, j: usize, a: i64) -> Atom {
+        Atom::DiffEq { i, j, a }
+    }
+
+    /// `Xi ≤ a`.
+    pub fn le(i: usize, a: i64) -> Atom {
+        Atom::Le { i, a }
+    }
+
+    /// `Xi ≥ a`.
+    pub fn ge(i: usize, a: i64) -> Atom {
+        Atom::Ge { i, a }
+    }
+
+    /// `Xi = a`.
+    pub fn eq(i: usize, a: i64) -> Atom {
+        Atom::Eq { i, a }
+    }
+
+    /// `Xi < a` as the integer-equivalent `Xi ≤ a − 1`.
+    ///
+    /// Returns `None` on overflow.
+    pub fn lt(i: usize, a: i64) -> Option<Atom> {
+        Some(Atom::Le {
+            i,
+            a: a.checked_sub(1)?,
+        })
+    }
+
+    /// `Xi > a` as the integer-equivalent `Xi ≥ a + 1`.
+    ///
+    /// Returns `None` on overflow.
+    pub fn gt(i: usize, a: i64) -> Option<Atom> {
+        Some(Atom::Ge {
+            i,
+            a: a.checked_add(1)?,
+        })
+    }
+
+    /// The largest attribute index mentioned.
+    pub fn max_var(&self) -> usize {
+        match *self {
+            Atom::DiffLe { i, j, .. } | Atom::DiffEq { i, j, .. } => i.max(j),
+            Atom::Le { i, .. } | Atom::Ge { i, .. } | Atom::Eq { i, .. } => i,
+        }
+    }
+
+    /// Does the atom mention attribute `v`?
+    pub fn mentions(&self, v: usize) -> bool {
+        match *self {
+            Atom::DiffLe { i, j, .. } | Atom::DiffEq { i, j, .. } => i == v || j == v,
+            Atom::Le { i, .. } | Atom::Ge { i, .. } | Atom::Eq { i, .. } => i == v,
+        }
+    }
+
+    /// Evaluates the atom on a concrete assignment (`xs[i]` is the value of
+    /// `Xi`).
+    ///
+    /// # Panics
+    /// If the assignment is shorter than the attribute indices used.
+    pub fn eval(&self, xs: &[i64]) -> bool {
+        match *self {
+            Atom::DiffLe { i, j, a } => xs[i] as i128 <= xs[j] as i128 + a as i128,
+            Atom::DiffEq { i, j, a } => xs[i] as i128 == xs[j] as i128 + a as i128,
+            Atom::Le { i, a } => xs[i] <= a,
+            Atom::Ge { i, a } => xs[i] >= a,
+            Atom::Eq { i, a } => xs[i] == a,
+        }
+    }
+
+    /// The negation of this atom over the integers, split into one or two
+    /// atoms whose **disjunction** is the complement.
+    ///
+    /// `¬(Xi ≤ Xj + a)` is `Xi ≥ Xj + a + 1`;
+    /// `¬(Xi = Xj + a)` is `Xi ≤ Xj + a − 1  ∨  Xi ≥ Xj + a + 1`; etc.
+    /// This is the disjunction-introducing step of the paper's tuple
+    /// subtraction (§3.3.3) and relation negation (Appendix A.6).
+    ///
+    /// Returns `None` if an offset adjustment overflows `i64`.
+    pub fn negate(&self) -> Option<Vec<Atom>> {
+        Some(match *self {
+            Atom::DiffLe { i, j, a } => {
+                vec![Atom::diff_ge(i, j, a.checked_add(1)?)?]
+            }
+            Atom::DiffEq { i, j, a } => vec![
+                Atom::DiffLe {
+                    i,
+                    j,
+                    a: a.checked_sub(1)?,
+                },
+                Atom::diff_ge(i, j, a.checked_add(1)?)?,
+            ],
+            Atom::Le { i, a } => vec![Atom::Ge {
+                i,
+                a: a.checked_add(1)?,
+            }],
+            Atom::Ge { i, a } => vec![Atom::Le {
+                i,
+                a: a.checked_sub(1)?,
+            }],
+            Atom::Eq { i, a } => vec![
+                Atom::Le {
+                    i,
+                    a: a.checked_sub(1)?,
+                },
+                Atom::Ge {
+                    i,
+                    a: a.checked_add(1)?,
+                },
+            ],
+        })
+    }
+
+    /// Remaps attribute indices through `f` (used when embedding a tuple's
+    /// constraints into a wider schema for joins and cross products).
+    pub fn map_vars(&self, f: impl Fn(usize) -> usize) -> Atom {
+        match *self {
+            Atom::DiffLe { i, j, a } => Atom::DiffLe { i: f(i), j: f(j), a },
+            Atom::DiffEq { i, j, a } => Atom::DiffEq { i: f(i), j: f(j), a },
+            Atom::Le { i, a } => Atom::Le { i: f(i), a },
+            Atom::Ge { i, a } => Atom::Ge { i: f(i), a },
+            Atom::Eq { i, a } => Atom::Eq { i: f(i), a },
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn off(a: i64) -> String {
+            match a {
+                0 => String::new(),
+                a if a > 0 => format!(" + {a}"),
+                a => format!(" - {}", a.unsigned_abs()),
+            }
+        }
+        match *self {
+            Atom::DiffLe { i, j, a } => write!(f, "X{} <= X{}{}", i + 1, j + 1, off(a)),
+            Atom::DiffEq { i, j, a } => write!(f, "X{} = X{}{}", i + 1, j + 1, off(a)),
+            Atom::Le { i, a } => write!(f, "X{} <= {a}", i + 1),
+            Atom::Ge { i, a } => write!(f, "X{} >= {a}", i + 1),
+            Atom::Eq { i, a } => write!(f, "X{} = {a}", i + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_all_forms() {
+        let xs = [3, 5];
+        assert!(Atom::diff_le(0, 1, 0).eval(&xs)); // 3 <= 5
+        assert!(!Atom::diff_le(1, 0, 0).eval(&xs)); // 5 <= 3 ✗
+        assert!(Atom::diff_le(1, 0, 2).eval(&xs)); // 5 <= 3 + 2
+        assert!(Atom::diff_eq(1, 0, 2).eval(&xs)); // 5 = 3 + 2
+        assert!(!Atom::diff_eq(1, 0, 1).eval(&xs));
+        assert!(Atom::le(0, 3).eval(&xs));
+        assert!(!Atom::le(0, 2).eval(&xs));
+        assert!(Atom::ge(1, 5).eval(&xs));
+        assert!(!Atom::ge(1, 6).eval(&xs));
+        assert!(Atom::eq(1, 5).eval(&xs));
+        assert!(!Atom::eq(1, 4).eval(&xs));
+    }
+
+    #[test]
+    fn diff_ge_rewrites() {
+        // X0 >= X1 + 2  ⇔  X1 <= X0 - 2
+        let a = Atom::diff_ge(0, 1, 2).unwrap();
+        assert_eq!(a, Atom::diff_le(1, 0, -2));
+        assert!(a.eval(&[7, 5]));
+        assert!(a.eval(&[8, 5]));
+        assert!(!a.eval(&[6, 5]));
+    }
+
+    #[test]
+    fn strict_forms_shift_by_one() {
+        assert_eq!(Atom::lt(0, 5).unwrap(), Atom::le(0, 4));
+        assert_eq!(Atom::gt(0, 5).unwrap(), Atom::ge(0, 6));
+        assert!(Atom::lt(0, i64::MIN).is_none());
+        assert!(Atom::gt(0, i64::MAX).is_none());
+    }
+
+    #[test]
+    fn negation_covers_complement_pointwise() {
+        let atoms = [
+            Atom::diff_le(0, 1, 2),
+            Atom::diff_eq(0, 1, -1),
+            Atom::le(0, 3),
+            Atom::ge(1, -2),
+            Atom::eq(1, 0),
+        ];
+        for atom in atoms {
+            let neg = atom.negate().unwrap();
+            for x in -5..=5 {
+                for y in -5..=5 {
+                    let xs = [x, y];
+                    let original = atom.eval(&xs);
+                    let negated = neg.iter().any(|n| n.eval(&xs));
+                    assert_eq!(original, !negated, "{atom} at {xs:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mentions_and_max_var() {
+        assert!(Atom::diff_le(2, 4, 0).mentions(2));
+        assert!(Atom::diff_le(2, 4, 0).mentions(4));
+        assert!(!Atom::diff_le(2, 4, 0).mentions(3));
+        assert_eq!(Atom::diff_le(2, 4, 0).max_var(), 4);
+        assert_eq!(Atom::le(3, 0).max_var(), 3);
+        assert!(Atom::ge(3, 0).mentions(3));
+    }
+
+    #[test]
+    fn map_vars_remaps() {
+        let a = Atom::diff_le(0, 1, 7).map_vars(|v| v + 2);
+        assert_eq!(a, Atom::diff_le(2, 3, 7));
+        assert_eq!(Atom::eq(0, 1).map_vars(|v| v + 1), Atom::eq(1, 1));
+    }
+
+    #[test]
+    fn display_renders_paper_style() {
+        assert_eq!(Atom::diff_le(0, 1, 2).to_string(), "X1 <= X2 + 2");
+        assert_eq!(Atom::diff_eq(0, 1, -2).to_string(), "X1 = X2 - 2");
+        assert_eq!(Atom::diff_le(0, 1, 0).to_string(), "X1 <= X2");
+        assert_eq!(Atom::ge(0, 10).to_string(), "X1 >= 10");
+    }
+}

@@ -1,0 +1,128 @@
+//! Extended integers for DBM entries: finite `i64` bounds plus +∞.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use itd_numth::{NumthError, Result};
+
+/// An upper bound on a difference `Xi − Xj`: either a finite integer or
+/// "+∞" (no constraint).
+///
+/// `Bound` forms the (min, +) semiring used by the shortest-path closure.
+/// Addition is checked: a finite overflow surfaces as an error instead of
+/// wrapping, because DBM entries feed directly into user-visible constraint
+/// constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Bound {
+    /// A finite upper bound.
+    Finite(i64),
+    /// No upper bound.
+    Infinite,
+}
+
+impl Bound {
+    /// The zero bound (`Xi − Xi ≤ 0`).
+    pub const ZERO: Bound = Bound::Finite(0);
+
+    /// Finite value accessor.
+    #[inline]
+    pub fn finite(self) -> Option<i64> {
+        match self {
+            Bound::Finite(v) => Some(v),
+            Bound::Infinite => None,
+        }
+    }
+
+    /// Is the bound +∞?
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        matches!(self, Bound::Infinite)
+    }
+
+    /// Checked bound addition (`∞ + x = ∞`).
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // fallible: returns Result, not Self
+    pub fn add(self, other: Bound) -> Result<Bound> {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => a
+                .checked_add(b)
+                .map(Bound::Finite)
+                .ok_or(NumthError::Overflow),
+            _ => Ok(Bound::Infinite),
+        }
+    }
+
+    /// The smaller (tighter) of two bounds.
+    #[inline]
+    pub fn min(self, other: Bound) -> Bound {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl PartialOrd for Bound {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bound {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => a.cmp(b),
+            (Bound::Finite(_), Bound::Infinite) => Ordering::Less,
+            (Bound::Infinite, Bound::Finite(_)) => Ordering::Greater,
+            (Bound::Infinite, Bound::Infinite) => Ordering::Equal,
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Finite(v) => write!(f, "{v}"),
+            Bound::Infinite => f.write_str("∞"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_puts_infinity_last() {
+        assert!(Bound::Finite(5) < Bound::Infinite);
+        assert!(Bound::Finite(-5) < Bound::Finite(5));
+        assert_eq!(Bound::Infinite.cmp(&Bound::Infinite), Ordering::Equal);
+        assert_eq!(Bound::Finite(3).min(Bound::Infinite), Bound::Finite(3));
+        assert_eq!(Bound::Infinite.min(Bound::Finite(3)), Bound::Finite(3));
+    }
+
+    #[test]
+    fn addition_is_checked() {
+        assert_eq!(
+            Bound::Finite(2).add(Bound::Finite(3)).unwrap(),
+            Bound::Finite(5)
+        );
+        assert_eq!(
+            Bound::Finite(2).add(Bound::Infinite).unwrap(),
+            Bound::Infinite
+        );
+        assert_eq!(
+            Bound::Infinite.add(Bound::Finite(i64::MAX)).unwrap(),
+            Bound::Infinite
+        );
+        assert!(Bound::Finite(i64::MAX).add(Bound::Finite(1)).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Bound::Finite(-3).to_string(), "-3");
+        assert_eq!(Bound::Infinite.to_string(), "∞");
+    }
+}

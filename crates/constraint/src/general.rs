@@ -1,0 +1,363 @@
+//! General constraints: arbitrary integer coefficients on at most two
+//! attributes (§2.1).
+//!
+//! The paper uses general constraints only on the expressiveness side
+//! (Theorem 2.2: binary Presburger predicates are lrp definable with general
+//! constraints); all algebra operations assume restricted constraints. We
+//! mirror that: [`GeneralSystem`] supports construction, point evaluation,
+//! and *downgrade* to restricted atoms when coefficients permit, but no
+//! closure/projection — those live in [`crate::ConstraintSystem`].
+
+use std::fmt;
+
+use crate::atom::Atom;
+
+/// Comparison relation of a general atomic constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Rel {
+    /// `≤`
+    Le,
+    /// `=`
+    Eq,
+    /// `≥`
+    Ge,
+}
+
+impl Rel {
+    fn eval(self, lhs: i128, rhs: i128) -> bool {
+        match self {
+            Rel::Le => lhs <= rhs,
+            Rel::Eq => lhs == rhs,
+            Rel::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// One general atomic constraint `k1·Xi REL k2·Xj + c`.
+///
+/// Setting `k2 = 0` (any `j`) yields the single-attribute form
+/// `k1·Xi REL c`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GeneralAtom {
+    /// Coefficient of the left attribute.
+    pub k1: i64,
+    /// Left attribute index.
+    pub i: usize,
+    /// Comparison relation.
+    pub rel: Rel,
+    /// Coefficient of the right attribute.
+    pub k2: i64,
+    /// Right attribute index.
+    pub j: usize,
+    /// Constant term on the right.
+    pub c: i64,
+}
+
+impl GeneralAtom {
+    /// `k1·Xi REL k2·Xj + c`.
+    pub fn binary(k1: i64, i: usize, rel: Rel, k2: i64, j: usize, c: i64) -> Self {
+        Self {
+            k1,
+            i,
+            rel,
+            k2,
+            j,
+            c,
+        }
+    }
+
+    /// `k1·Xi REL c`.
+    pub fn unary(k1: i64, i: usize, rel: Rel, c: i64) -> Self {
+        Self {
+            k1,
+            i,
+            rel,
+            k2: 0,
+            j: 0,
+            c,
+        }
+    }
+
+    /// Largest attribute index mentioned (with a nonzero coefficient).
+    pub fn max_var(&self) -> usize {
+        if self.k2 == 0 {
+            self.i
+        } else {
+            self.i.max(self.j)
+        }
+    }
+
+    /// Evaluates on a concrete assignment.
+    ///
+    /// # Panics
+    /// If the assignment is shorter than the attribute indices used.
+    pub fn eval(&self, xs: &[i64]) -> bool {
+        let lhs = self.k1 as i128 * xs[self.i] as i128;
+        let rhs = self.k2 as i128 * xs[self.j] as i128 + self.c as i128;
+        self.rel.eval(lhs, rhs)
+    }
+
+    /// Converts to an equivalent restricted [`Atom`] when the coefficients
+    /// are units (`|k| = 1` or `0`), else `None`.
+    ///
+    /// Handles sign normalization: e.g. `−X0 ≤ −X1 + c` becomes
+    /// `X1 ≤ X0 + c`.
+    pub fn as_restricted(&self) -> Option<Atom> {
+        // Normalize to  s1·Xi − s2·Xj REL' c  with s ∈ {−1, 0, 1}.
+        let (k1, k2, c) = (self.k1, self.k2, self.c);
+        if !matches!(k1, -1..=1) || !matches!(k2, -1..=1) {
+            return None;
+        }
+        match self.rel {
+            Rel::Eq => self.as_restricted_cmp(true),
+            Rel::Le => self.as_restricted_cmp(false),
+            Rel::Ge => {
+                // k1·Xi ≥ k2·Xj + c  ⇔  −k1·Xi ≤ −k2·Xj − c
+                GeneralAtom {
+                    k1: -k1,
+                    i: self.i,
+                    rel: Rel::Le,
+                    k2: -k2,
+                    j: self.j,
+                    c: c.checked_neg()?,
+                }
+                .as_restricted_cmp(false)
+            }
+        }
+    }
+
+    /// Shared body for `=` and `≤` after sign handling.
+    fn as_restricted_cmp(&self, eq: bool) -> Option<Atom> {
+        let (k1, i, k2, j, c) = (self.k1, self.i, self.k2, self.j, self.c);
+        let mk_diff = |i, j, a| {
+            if eq {
+                Atom::diff_eq(i, j, a)
+            } else {
+                Atom::diff_le(i, j, a)
+            }
+        };
+        let mk_single_le = |i, a| if eq { Atom::eq(i, a) } else { Atom::le(i, a) };
+        let mk_single_ge = |i, a: i64| {
+            if eq {
+                Some(Atom::eq(i, a))
+            } else {
+                Some(Atom::ge(i, a))
+            }
+        };
+        match (k1, k2) {
+            (1, 1) => Some(mk_diff(i, j, c)),
+            (1, 0) => Some(mk_single_le(i, c)),
+            (1, -1) => None, // Xi + Xj ≤ c is not a difference constraint
+            (-1, 1) => None,
+            (-1, 0) => mk_single_ge(i, c.checked_neg()?), // −Xi ≤ c ⇔ Xi ≥ −c
+            (-1, -1) => Some(mk_diff(j, i, c)),           // −Xi ≤ −Xj + c ⇔ Xj ≤ Xi + c
+            (0, 0) => {
+                // 0 REL c: constant truth value; encode as trivially
+                // true/false constraint on attribute 0.
+                let truth = if eq { c == 0 } else { 0 <= c };
+                Some(if truth {
+                    Atom::diff_le(0, 0, 0)
+                } else {
+                    Atom::diff_le(0, 0, -1)
+                })
+            }
+            (0, 1) => mk_single_ge(j, c.checked_neg()?), // 0 ≤ Xj + c ⇔ Xj ≥ −c
+            (0, -1) => Some(mk_single_le(j, c)),         // 0 ≤ −Xj + c ⇔ Xj ≤ c
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GeneralAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rel = match self.rel {
+            Rel::Le => "<=",
+            Rel::Eq => "=",
+            Rel::Ge => ">=",
+        };
+        if self.k2 == 0 {
+            write!(f, "{}·X{} {} {}", self.k1, self.i + 1, rel, self.c)
+        } else {
+            write!(
+                f,
+                "{}·X{} {} {}·X{} + {}",
+                self.k1,
+                self.i + 1,
+                rel,
+                self.k2,
+                self.j + 1,
+                self.c
+            )
+        }
+    }
+}
+
+/// A conjunction of general atomic constraints.
+///
+/// Only point evaluation (and restricted-downgrade) is supported; the
+/// symbolic machinery of the relation algebra requires restricted
+/// constraints, per §3 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GeneralSystem {
+    atoms: Vec<GeneralAtom>,
+}
+
+impl GeneralSystem {
+    /// The empty (always-true) conjunction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from a list of atoms.
+    pub fn from_atoms(atoms: Vec<GeneralAtom>) -> Self {
+        Self { atoms }
+    }
+
+    /// Adds one conjunct.
+    pub fn push(&mut self, atom: GeneralAtom) {
+        self.atoms.push(atom);
+    }
+
+    /// The conjuncts.
+    pub fn atoms(&self) -> &[GeneralAtom] {
+        &self.atoms
+    }
+
+    /// Largest attribute index mentioned (`None` if no atoms).
+    pub fn max_var(&self) -> Option<usize> {
+        self.atoms.iter().map(GeneralAtom::max_var).max()
+    }
+
+    /// Evaluates the conjunction on a concrete assignment.
+    pub fn satisfied_by(&self, xs: &[i64]) -> bool {
+        self.atoms.iter().all(|a| a.eval(xs))
+    }
+
+    /// Converts to restricted atoms if every conjunct permits.
+    pub fn as_restricted(&self) -> Option<Vec<Atom>> {
+        self.atoms.iter().map(GeneralAtom::as_restricted).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_eval() {
+        // 2·X0 <= 3·X1 + 1
+        let a = GeneralAtom::binary(2, 0, Rel::Le, 3, 1, 1);
+        assert!(a.eval(&[2, 1])); // 4 <= 4
+        assert!(!a.eval(&[3, 1])); // 6 <= 4 ✗
+        assert!(a.eval(&[-5, -3])); // -10 <= -8
+    }
+
+    #[test]
+    fn unary_eval() {
+        let a = GeneralAtom::unary(3, 0, Rel::Eq, 9);
+        assert!(a.eval(&[3]));
+        assert!(!a.eval(&[2]));
+        let g = GeneralAtom::unary(-2, 0, Rel::Ge, -4);
+        assert!(g.eval(&[1])); // -2 >= -4
+        assert!(!g.eval(&[3])); // -6 >= -4 ✗
+    }
+
+    #[test]
+    fn restricted_downgrade_agrees_pointwise() {
+        let cases = [
+            GeneralAtom::binary(1, 0, Rel::Le, 1, 1, 3),
+            GeneralAtom::binary(1, 0, Rel::Eq, 1, 1, -2),
+            GeneralAtom::binary(-1, 0, Rel::Le, -1, 1, 4),
+            GeneralAtom::binary(1, 0, Rel::Ge, 1, 1, 0),
+            GeneralAtom::binary(-1, 0, Rel::Ge, -1, 1, 1),
+            GeneralAtom::unary(1, 0, Rel::Le, 5),
+            GeneralAtom::unary(1, 1, Rel::Ge, -3),
+            GeneralAtom::unary(-1, 0, Rel::Le, 2),
+            GeneralAtom::unary(-1, 1, Rel::Eq, 4),
+            GeneralAtom::binary(0, 0, Rel::Le, 1, 1, 2),
+            GeneralAtom::binary(0, 0, Rel::Le, -1, 1, 2),
+        ];
+        for g in cases {
+            let r = g
+                .as_restricted()
+                .unwrap_or_else(|| panic!("{g} should downgrade"));
+            for x in -6..=6 {
+                for y in -6..=6 {
+                    assert_eq!(g.eval(&[x, y]), r.eval(&[x, y]), "{g} vs {r} at ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_unit_coefficients_do_not_downgrade() {
+        assert!(GeneralAtom::binary(2, 0, Rel::Le, 1, 1, 0)
+            .as_restricted()
+            .is_none());
+        assert!(GeneralAtom::binary(1, 0, Rel::Le, -1, 1, 0)
+            .as_restricted()
+            .is_none());
+        assert!(GeneralAtom::unary(3, 0, Rel::Eq, 9).as_restricted().is_none());
+    }
+
+    #[test]
+    fn constant_truths() {
+        // 0 <= 5 → always true; 0 <= -1 → always false.
+        let t = GeneralAtom::binary(0, 0, Rel::Le, 0, 0, 5)
+            .as_restricted()
+            .unwrap();
+        let f = GeneralAtom::binary(0, 0, Rel::Le, 0, 0, -1)
+            .as_restricted()
+            .unwrap();
+        assert!(t.eval(&[0]));
+        assert!(!f.eval(&[0]));
+        // 0 = 0 true, 0 = 3 false
+        let t = GeneralAtom::binary(0, 0, Rel::Eq, 0, 0, 0)
+            .as_restricted()
+            .unwrap();
+        let f = GeneralAtom::binary(0, 0, Rel::Eq, 0, 0, 3)
+            .as_restricted()
+            .unwrap();
+        assert!(t.eval(&[7]));
+        assert!(!f.eval(&[7]));
+    }
+
+    #[test]
+    fn system_conjunction() {
+        let mut s = GeneralSystem::new();
+        s.push(GeneralAtom::binary(2, 0, Rel::Le, 1, 1, 0));
+        s.push(GeneralAtom::unary(1, 1, Rel::Le, 10));
+        assert!(s.satisfied_by(&[3, 8])); // 6 <= 8, 8 <= 10
+        assert!(!s.satisfied_by(&[5, 8])); // 10 <= 8 ✗
+        assert!(!s.satisfied_by(&[3, 11]));
+        assert_eq!(s.max_var(), Some(1));
+        assert!(GeneralSystem::new().satisfied_by(&[1, 2, 3]));
+        assert_eq!(GeneralSystem::new().max_var(), None);
+    }
+
+    #[test]
+    fn system_downgrade_all_or_nothing() {
+        let ok = GeneralSystem::from_atoms(vec![
+            GeneralAtom::binary(1, 0, Rel::Le, 1, 1, 0),
+            GeneralAtom::unary(1, 0, Rel::Ge, 2),
+        ]);
+        assert_eq!(ok.as_restricted().unwrap().len(), 2);
+        let bad = GeneralSystem::from_atoms(vec![
+            GeneralAtom::binary(1, 0, Rel::Le, 1, 1, 0),
+            GeneralAtom::binary(2, 0, Rel::Le, 1, 1, 0),
+        ]);
+        assert!(bad.as_restricted().is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            GeneralAtom::binary(2, 0, Rel::Le, 3, 1, 1).to_string(),
+            "2·X1 <= 3·X2 + 1"
+        );
+        assert_eq!(GeneralAtom::unary(3, 0, Rel::Eq, 9).to_string(), "3·X1 = 9");
+    }
+}

@@ -1,0 +1,46 @@
+//! Constraints on temporal attributes, per *Handling Infinite Temporal
+//! Data* §2.1.
+//!
+//! The paper distinguishes **restricted** constraints — conjunctions of
+//! atoms with unit coefficients:
+//!
+//! ```text
+//! Xi ≤ Xj + a,   Xi = Xj + a,   Xi ≤ a,   Xi ≥ a,   Xi = a
+//! ```
+//!
+//! — from **general** constraints, which allow arbitrary integer
+//! coefficients on the (at most two) attributes of an atom. Restricted
+//! constraints are exactly *difference constraints* over the attributes plus
+//! an implicit origin variable, so a conjunction of them is represented here
+//! as a difference-bound matrix ([`ConstraintSystem`]) with shortest-path
+//! closure. The closure gives, in one O(m³) pass, everything the paper's
+//! Appendix A extracts from "keep the strongest constraint of each of the
+//! m(m+1) types": canonical forms, satisfiability, entailment, exact
+//! variable elimination (projection), concrete witnesses, and the atomic
+//! decomposition whose negation drives relation complement and difference.
+//!
+//! The integrality that makes real-valued reasoning exact over `Z`
+//! (difference constraint polyhedra have integral vertices) holds for *free*
+//! integer variables. Temporal attributes, however, live on lrp grids
+//! `cᵢ + kᵢZ` — that is exactly the pitfall of the paper's Figure 2 — so the
+//! relation layer first normalizes tuples to a common period and then runs
+//! this engine over the grid coordinates `nᵢ`, per Theorems 3.1/3.2.
+//!
+//! [`GeneralSystem`] covers general constraints for the §2.2 expressiveness
+//! results: point evaluation, window enumeration support, and downgrade to
+//! restricted atoms when all coefficients are units.
+
+mod atom;
+mod bound;
+mod general;
+mod system;
+
+pub use atom::Atom;
+pub use bound::Bound;
+pub use general::{GeneralAtom, GeneralSystem, Rel};
+pub use system::ConstraintSystem;
+
+pub use itd_numth::NumthError;
+
+/// Result alias for constraint operations.
+pub type Result<T> = itd_numth::Result<T>;

@@ -1,0 +1,1147 @@
+//! Conjunctions of restricted constraints as difference-bound matrices.
+
+use std::fmt;
+
+use itd_numth::{NumthError, Result};
+
+use crate::atom::Atom;
+use crate::bound::Bound;
+
+/// A conjunction of restricted constraints over temporal attributes
+/// `X0..X{arity-1}`, kept in *closed* (canonical) form.
+///
+/// # Examples
+/// ```
+/// use itd_constraint::{Atom, Bound, ConstraintSystem};
+/// // X0 = X1 − 2 and X1 ≤ 10: closure derives X0 ≤ 8.
+/// let sys = ConstraintSystem::from_atoms(
+///     2,
+///     &[Atom::diff_eq(0, 1, -2), Atom::le(1, 10)],
+/// ).unwrap();
+/// assert_eq!(sys.upper(0), Bound::Finite(8));
+/// assert!(sys.satisfied_by(&[8, 10]));
+/// // Exact integer projection: eliminate X1.
+/// let proj = sys.eliminate(1);
+/// assert!(proj.satisfied_by(&[8]) && !proj.satisfied_by(&[9]));
+/// ```
+///
+/// Internally this is a difference-bound matrix over the attributes plus an
+/// implicit origin variable fixed at 0: entry `(i, j)` is the tightest known
+/// upper bound on `Xi − Xj`. Absolute constraints `Xi ≤ a` / `Xi ≥ a` are
+/// differences against the origin. Every mutation re-establishes shortest
+/// path closure, so:
+///
+/// * two systems are semantically equal iff they are structurally equal
+///   (given the same arity and satisfiability);
+/// * entailment and projection are single matrix scans;
+/// * the solution set projected on any variable (or difference) is exactly
+///   the interval given by the matrix entries — over the **integers**,
+///   because difference constraints define integral polyhedra.
+///
+/// The grid subtlety of the paper's Figure 2 (attributes living on lrp
+/// grids, not all of `Z`) is handled by [`ConstraintSystem::to_grid`] /
+/// [`ConstraintSystem::from_grid`], the constraint-level counterpart of
+/// normalization steps 3–5 of Theorem 3.2.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ConstraintSystem {
+    /// Number of temporal attributes (the origin is not counted).
+    arity: usize,
+    /// Row-major `(arity+1)²` matrix; index `arity` is the origin.
+    bounds: Vec<Bound>,
+    /// Set when a negative cycle was detected: the solution set is empty.
+    unsat: bool,
+}
+
+impl ConstraintSystem {
+    /// The unconstrained system over `arity` attributes (all of `Z^arity`).
+    pub fn unconstrained(arity: usize) -> Self {
+        let dim = arity + 1;
+        let mut bounds = vec![Bound::Infinite; dim * dim];
+        for v in 0..dim {
+            bounds[v * dim + v] = Bound::ZERO;
+        }
+        Self {
+            arity,
+            bounds,
+            unsat: false,
+        }
+    }
+
+    /// An explicitly unsatisfiable system (empty solution set).
+    pub fn unsatisfiable(arity: usize) -> Self {
+        let mut s = Self::unconstrained(arity);
+        s.unsat = true;
+        s
+    }
+
+    /// Builds a closed system from a conjunction of atoms.
+    ///
+    /// # Errors
+    /// [`NumthError::Overflow`] if closure arithmetic overflows.
+    ///
+    /// # Panics
+    /// If an atom mentions an attribute `>= arity`.
+    pub fn from_atoms(arity: usize, atoms: &[Atom]) -> Result<Self> {
+        let mut s = Self::unconstrained(arity);
+        for atom in atoms {
+            s.add(*atom)?;
+        }
+        Ok(s)
+    }
+
+    /// Number of temporal attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    #[inline]
+    fn dim(&self) -> usize {
+        self.arity + 1
+    }
+
+    #[inline]
+    fn origin(&self) -> usize {
+        self.arity
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> Bound {
+        self.bounds[i * self.dim() + j]
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, j: usize, b: Bound) {
+        let d = self.dim();
+        self.bounds[i * d + j] = b;
+    }
+
+    /// Is the conjunction satisfiable over `Z^arity`?
+    #[inline]
+    pub fn is_satisfiable(&self) -> bool {
+        !self.unsat
+    }
+
+    /// Does the system constrain nothing (the full space)?
+    pub fn is_unconstrained(&self) -> bool {
+        if self.unsat {
+            return false;
+        }
+        let d = self.dim();
+        (0..d).all(|i| (0..d).all(|j| i == j || self.at(i, j).is_infinite()))
+    }
+
+    /// Tightest upper bound on `Xi − Xj` implied by the system.
+    ///
+    /// # Panics
+    /// If `i` or `j` is out of range.
+    pub fn diff_bound(&self, i: usize, j: usize) -> Bound {
+        assert!(i < self.arity && j < self.arity, "attribute out of range");
+        self.at(i, j)
+    }
+
+    /// Tightest upper bound on `Xi` (`∞` if unbounded above).
+    pub fn upper(&self, i: usize) -> Bound {
+        assert!(i < self.arity, "attribute out of range");
+        self.at(i, self.origin())
+    }
+
+    /// Tightest lower bound on `Xi` (`None` if unbounded below).
+    pub fn lower(&self, i: usize) -> Option<i64> {
+        assert!(i < self.arity, "attribute out of range");
+        // origin − Xi ≤ b  ⇔  Xi ≥ −b
+        self.at(self.origin(), i).finite().map(|b| -b)
+    }
+
+    /// Adds one atom, maintaining closure incrementally (O(arity²)).
+    ///
+    /// # Errors
+    /// [`NumthError::Overflow`] on arithmetic overflow.
+    ///
+    /// # Panics
+    /// If the atom mentions an attribute `>= arity`.
+    pub fn add(&mut self, atom: Atom) -> Result<()> {
+        assert!(
+            atom.max_var() < self.arity,
+            "atom {atom} out of range for arity {}",
+            self.arity
+        );
+        let o = self.origin();
+        match atom {
+            Atom::DiffLe { i, j, a } => self.tighten(i, j, a)?,
+            Atom::DiffEq { i, j, a } => {
+                self.tighten(i, j, a)?;
+                self.tighten(j, i, a.checked_neg().ok_or(NumthError::Overflow)?)?;
+            }
+            Atom::Le { i, a } => self.tighten(i, o, a)?,
+            Atom::Ge { i, a } => self.tighten(o, i, a.checked_neg().ok_or(NumthError::Overflow)?)?,
+            Atom::Eq { i, a } => {
+                self.tighten(i, o, a)?;
+                self.tighten(o, i, a.checked_neg().ok_or(NumthError::Overflow)?)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Tightens edge `(i, j)` to `Xi − Xj ≤ w` and restores closure.
+    fn tighten(&mut self, i: usize, j: usize, w: i64) -> Result<()> {
+        if self.unsat {
+            return Ok(());
+        }
+        let w = Bound::Finite(w);
+        if self.at(i, j) <= w {
+            return Ok(()); // already at least as tight
+        }
+        // Negative cycle through the new edge?
+        if let Bound::Finite(back) = self.at(j, i) {
+            if let Bound::Finite(fw) = w {
+                if (back as i128 + fw as i128) < 0 {
+                    self.unsat = true;
+                    return Ok(());
+                }
+            }
+        }
+        self.set(i, j, w);
+        let d = self.dim();
+        // All pairs improve only via paths using the new edge exactly once.
+        for p in 0..d {
+            let pi = self.at(p, i);
+            if pi.is_infinite() {
+                continue;
+            }
+            let via_p = pi.add(w)?;
+            for q in 0..d {
+                if p == q {
+                    continue;
+                }
+                let jq = self.at(j, q);
+                if jq.is_infinite() {
+                    continue;
+                }
+                let cand = via_p.add(jq)?;
+                if cand < self.at(p, q) {
+                    self.set(p, q, cand);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full Floyd–Warshall closure (used after bulk matrix edits).
+    fn close(&mut self) -> Result<()> {
+        if self.unsat {
+            return Ok(());
+        }
+        let d = self.dim();
+        for k in 0..d {
+            for i in 0..d {
+                let ik = self.at(i, k);
+                if ik.is_infinite() {
+                    continue;
+                }
+                for j in 0..d {
+                    let kj = self.at(k, j);
+                    if kj.is_infinite() {
+                        continue;
+                    }
+                    let cand = ik.add(kj)?;
+                    if cand < self.at(i, j) {
+                        self.set(i, j, cand);
+                    }
+                }
+            }
+        }
+        for v in 0..d {
+            if self.at(v, v) < Bound::ZERO {
+                self.unsat = true;
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Is the concrete assignment a solution? (`xs.len()` must be `arity`.)
+    ///
+    /// # Panics
+    /// If `xs.len() != arity`.
+    pub fn satisfied_by(&self, xs: &[i64]) -> bool {
+        assert_eq!(xs.len(), self.arity, "assignment arity mismatch");
+        if self.unsat {
+            return false;
+        }
+        let d = self.dim();
+        let val = |v: usize| if v == self.arity { 0 } else { xs[v] };
+        for i in 0..d {
+            for j in 0..d {
+                if let Bound::Finite(b) = self.at(i, j) {
+                    if (val(i) as i128 - val(j) as i128) > b as i128 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Conjunction of two systems of the same arity.
+    ///
+    /// # Errors
+    /// [`NumthError::Overflow`] on closure overflow.
+    ///
+    /// # Panics
+    /// If arities differ.
+    pub fn conjoin(&self, other: &ConstraintSystem) -> Result<ConstraintSystem> {
+        assert_eq!(self.arity, other.arity, "arity mismatch in conjunction");
+        if self.unsat {
+            return Ok(self.clone());
+        }
+        if other.unsat {
+            return Ok(other.clone());
+        }
+        let mut out = self.clone();
+        for idx in 0..out.bounds.len() {
+            out.bounds[idx] = out.bounds[idx].min(other.bounds[idx]);
+        }
+        out.close()?;
+        Ok(out)
+    }
+
+    /// Does every solution of `self` satisfy `other`?
+    ///
+    /// # Panics
+    /// If arities differ.
+    pub fn entails(&self, other: &ConstraintSystem) -> bool {
+        assert_eq!(self.arity, other.arity, "arity mismatch in entailment");
+        if self.unsat {
+            return true;
+        }
+        if other.unsat {
+            return false;
+        }
+        self.bounds
+            .iter()
+            .zip(&other.bounds)
+            .all(|(mine, theirs)| mine <= theirs)
+    }
+
+    /// Eliminates attribute `var`, returning the exact projection of the
+    /// solution set onto the remaining attributes (indices above `var`
+    /// shift down by one).
+    ///
+    /// Because the matrix is closed, dropping the row and column of `var`
+    /// *is* Fourier–Motzkin elimination, and it is exact over `Z` for free
+    /// integer variables (Theorem 3.1 supplies the grid-side justification
+    /// after normalization).
+    ///
+    /// # Panics
+    /// If `var >= arity`.
+    pub fn eliminate(&self, var: usize) -> ConstraintSystem {
+        assert!(var < self.arity, "attribute out of range");
+        let d = self.dim();
+        let nd = d - 1;
+        let mut bounds = Vec::with_capacity(nd * nd);
+        for i in (0..d).filter(|&i| i != var) {
+            for j in (0..d).filter(|&j| j != var) {
+                bounds.push(self.at(i, j));
+            }
+        }
+        ConstraintSystem {
+            arity: self.arity - 1,
+            bounds,
+            unsat: self.unsat,
+        }
+    }
+
+    /// Projects onto the attributes listed in `keep` (in the given order,
+    /// which may also permute).
+    ///
+    /// # Panics
+    /// If `keep` mentions an attribute out of range or repeats one.
+    pub fn project_onto(&self, keep: &[usize]) -> ConstraintSystem {
+        let mut seen = vec![false; self.arity];
+        for &v in keep {
+            assert!(v < self.arity, "attribute out of range");
+            assert!(!seen[v], "duplicate attribute in projection");
+            seen[v] = true;
+        }
+        let nd = keep.len() + 1;
+        let mut bounds = vec![Bound::Infinite; nd * nd];
+        let old = |v: usize| if v == keep.len() { self.origin() } else { keep[v] };
+        for i in 0..nd {
+            for j in 0..nd {
+                bounds[i * nd + j] = self.at(old(i), old(j));
+            }
+        }
+        ConstraintSystem {
+            arity: keep.len(),
+            bounds,
+            unsat: self.unsat,
+        }
+    }
+
+    /// Embeds into a wider schema: attribute `i` of `self` becomes
+    /// `mapping[i]` of the result, which has `new_arity` attributes; the new
+    /// attributes are unconstrained.
+    ///
+    /// # Panics
+    /// If the mapping is not injective into `0..new_arity`.
+    pub fn embed(&self, new_arity: usize, mapping: &[usize]) -> ConstraintSystem {
+        assert_eq!(mapping.len(), self.arity, "mapping arity mismatch");
+        let mut seen = vec![false; new_arity];
+        for &v in mapping {
+            assert!(v < new_arity, "mapping target out of range");
+            assert!(!seen[v], "mapping not injective");
+            seen[v] = true;
+        }
+        let mut out = ConstraintSystem::unconstrained(new_arity);
+        out.unsat = self.unsat;
+        let d = self.dim();
+        let map = |v: usize| {
+            if v == self.origin() {
+                out.arity // new origin
+            } else {
+                mapping[v]
+            }
+        };
+        for i in 0..d {
+            for j in 0..d {
+                if i != j {
+                    let (ni, nj) = (map(i), map(j));
+                    let nd = out.dim();
+                    out.bounds[ni * nd + nj] = self.at(i, j);
+                }
+            }
+        }
+        // Matrix entries were closed in the small space and stay closed in
+        // the large one (new variables have no finite edges).
+        out
+    }
+
+    /// A concrete integer solution, if one exists.
+    ///
+    /// # Errors
+    /// [`NumthError::Overflow`] on closure overflow while pinning values.
+    pub fn solution(&self) -> Result<Option<Vec<i64>>> {
+        if self.unsat {
+            return Ok(None);
+        }
+        let mut work = self.clone();
+        let mut out = vec![0i64; self.arity];
+        #[allow(clippy::needless_range_loop)] // `work` is re-constrained per i
+        for i in 0..self.arity {
+            let lo = work.lower(i);
+            let hi = work.upper(i).finite();
+            // The closed, satisfiable matrix guarantees lo <= hi and that any
+            // value in [lo, hi] extends to a full solution.
+            let v = match (lo, hi) {
+                (Some(l), Some(h)) => {
+                    debug_assert!(l <= h);
+                    0i64.clamp(l, h)
+                }
+                (Some(l), None) => l.max(0),
+                (None, Some(h)) => h.min(0),
+                (None, None) => 0,
+            };
+            work.add(Atom::eq(i, v))?;
+            debug_assert!(work.is_satisfiable());
+            out[i] = v;
+        }
+        Ok(Some(out))
+    }
+
+    /// The canonical atoms of the closed matrix: one atom per finite entry,
+    /// with opposite finite pairs merged into equalities.
+    ///
+    /// Their conjunction is semantically equal to the system (it may contain
+    /// implied atoms; see [`ConstraintSystem::reduced_atoms`] for a minimal
+    /// set).
+    pub fn atoms(&self) -> Vec<Atom> {
+        let mut out = Vec::new();
+        if self.unsat {
+            // Represent the empty set by a blatant contradiction.
+            if self.arity > 0 {
+                out.push(Atom::le(0, 0));
+                out.push(Atom::ge(0, 1));
+            }
+            return out;
+        }
+        let o = self.origin();
+        for i in 0..self.dim() {
+            for j in 0..self.dim() {
+                if i == j {
+                    continue;
+                }
+                let Bound::Finite(a) = self.at(i, j) else {
+                    continue;
+                };
+                let opposite = self.at(j, i).finite();
+                let is_eq = opposite == Some(-a);
+                // Emit equalities once (from the lexicographically first side).
+                if is_eq && j < i {
+                    continue;
+                }
+                let atom = match (i == o, j == o) {
+                    (false, false) => {
+                        if is_eq {
+                            Atom::diff_eq(i, j, a)
+                        } else {
+                            Atom::diff_le(i, j, a)
+                        }
+                    }
+                    (false, true) => {
+                        if is_eq {
+                            Atom::eq(i, a)
+                        } else {
+                            Atom::le(i, a)
+                        }
+                    }
+                    (true, false) => {
+                        if is_eq {
+                            Atom::eq(j, -a)
+                        } else {
+                            Atom::ge(j, -a)
+                        }
+                    }
+                    (true, true) => unreachable!("diagonal skipped"),
+                };
+                out.push(atom);
+            }
+        }
+        out
+    }
+
+    /// A minimal generating set of atoms: no atom is implied by the others.
+    ///
+    /// Minimality matters for negation (Appendix A.6): the number of
+    /// disjuncts in `¬system` is the number of generating atoms, and each
+    /// disjunct becomes a whole tuple downstream.
+    ///
+    /// # Errors
+    /// [`NumthError::Overflow`] if re-closure overflows during testing.
+    pub fn reduced_atoms(&self) -> Result<Vec<Atom>> {
+        let mut atoms = self.atoms();
+        if self.unsat {
+            return Ok(atoms);
+        }
+        // Greedy elimination: drop an atom iff the rest still entail it.
+        let mut i = 0;
+        while i < atoms.len() {
+            let mut rest: Vec<Atom> = Vec::with_capacity(atoms.len() - 1);
+            rest.extend_from_slice(&atoms[..i]);
+            rest.extend_from_slice(&atoms[i + 1..]);
+            let sys = ConstraintSystem::from_atoms(self.arity, &rest)?;
+            let mut just_this = ConstraintSystem::unconstrained(self.arity);
+            just_this.add(atoms[i])?;
+            if sys.entails(&just_this) {
+                atoms.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        Ok(atoms)
+    }
+
+    /// The disjunction of atoms equivalent to `¬self` over `Z^arity`.
+    ///
+    /// Each returned atom is one disjunct; the negation of the system is the
+    /// union of their solution sets. An unconstrained system yields the
+    /// empty disjunction (its negation is empty); an unsatisfiable system's
+    /// negation is the full space, signalled by `None`.
+    ///
+    /// # Errors
+    /// [`NumthError::Overflow`] on offset adjustments.
+    pub fn negation(&self) -> Result<Option<Vec<Atom>>> {
+        if self.unsat {
+            return Ok(None);
+        }
+        let mut disjuncts = Vec::new();
+        for atom in self.reduced_atoms()? {
+            let negs = atom.negate().ok_or(NumthError::Overflow)?;
+            disjuncts.extend(negs);
+        }
+        Ok(Some(disjuncts))
+    }
+
+    /// Translates one variable: the result's solutions are the originals
+    /// with `Xi` replaced by `Xi + delta` (i.e. solution sets shift along
+    /// axis `i`).
+    ///
+    /// Closure is preserved: adding a constant along a row and subtracting
+    /// it along the matching column keeps all triangle inequalities intact.
+    ///
+    /// # Errors
+    /// [`NumthError::Overflow`] if a bound overflows.
+    ///
+    /// # Panics
+    /// If `i >= arity`.
+    pub fn shift_var(&self, i: usize, delta: i64) -> Result<ConstraintSystem> {
+        assert!(i < self.arity, "attribute out of range");
+        let mut out = self.clone();
+        if self.unsat || delta == 0 {
+            return Ok(out);
+        }
+        let d = self.dim();
+        for j in 0..d {
+            if j == i {
+                continue;
+            }
+            if let Bound::Finite(a) = self.at(i, j) {
+                out.set(
+                    i,
+                    j,
+                    Bound::Finite(a.checked_add(delta).ok_or(NumthError::Overflow)?),
+                );
+            }
+            if let Bound::Finite(a) = self.at(j, i) {
+                out.set(
+                    j,
+                    i,
+                    Bound::Finite(a.checked_sub(delta).ok_or(NumthError::Overflow)?),
+                );
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transforms an X-space system to grid coordinates: substitutes
+    /// `Xi = offsets[i] + period·ni` and returns the equivalent (and
+    /// *exact*) system over the `ni`.
+    ///
+    /// This is steps 3–5 of the normalization algorithm (Theorem 3.2): each
+    /// bound is shifted by the offsets and floor-divided by the period —
+    /// exact because `Xi − Xj ≡ offsets[i] − offsets[j] (mod period)` on the
+    /// grid. Equalities whose offset is not congruent collapse to an
+    /// unsatisfiable system (step 4).
+    ///
+    /// # Errors
+    /// [`NumthError::Overflow`] / [`NumthError::DivisionByZero`] on bad
+    /// arithmetic (`period` must be positive).
+    ///
+    /// # Panics
+    /// If `offsets.len() != arity`.
+    pub fn to_grid(&self, offsets: &[i64], period: i64) -> Result<ConstraintSystem> {
+        assert_eq!(offsets.len(), self.arity, "offsets arity mismatch");
+        if period <= 0 {
+            return Err(NumthError::DivisionByZero);
+        }
+        let mut out = ConstraintSystem::unconstrained(self.arity);
+        out.unsat = self.unsat;
+        if self.unsat {
+            return Ok(out);
+        }
+        let off = |v: usize| if v == self.origin() { 0 } else { offsets[v] };
+        let d = self.dim();
+        for i in 0..d {
+            for j in 0..d {
+                if i == j {
+                    continue;
+                }
+                if let Bound::Finite(a) = self.at(i, j) {
+                    // period·(ni − nj) ≤ a − ci + cj
+                    let rhs = a as i128 - off(i) as i128 + off(j) as i128;
+                    let b = div_floor_i128(rhs, period as i128)?;
+                    out.bounds[i * d + j] = Bound::Finite(b);
+                }
+            }
+        }
+        out.close()?;
+        Ok(out)
+    }
+
+    /// Inverse of [`ConstraintSystem::to_grid`]: maps a system over grid
+    /// coordinates `ni` back to X-space via `Xi = offsets[i] + period·ni`.
+    ///
+    /// # Errors
+    /// [`NumthError::Overflow`] if a reconstructed bound overflows.
+    ///
+    /// # Panics
+    /// If `offsets.len() != arity`.
+    pub fn from_grid(&self, offsets: &[i64], period: i64) -> Result<ConstraintSystem> {
+        assert_eq!(offsets.len(), self.arity, "offsets arity mismatch");
+        if period <= 0 {
+            return Err(NumthError::DivisionByZero);
+        }
+        let mut out = ConstraintSystem::unconstrained(self.arity);
+        out.unsat = self.unsat;
+        if self.unsat {
+            return Ok(out);
+        }
+        let off = |v: usize| if v == self.origin() { 0 } else { offsets[v] };
+        let d = self.dim();
+        for i in 0..d {
+            for j in 0..d {
+                if i == j {
+                    continue;
+                }
+                if let Bound::Finite(b) = self.at(i, j) {
+                    // Xi − Xj = ci − cj + period·(ni − nj) ≤ ci − cj + period·b
+                    let v = off(i) as i128 - off(j) as i128 + period as i128 * b as i128;
+                    let v = i64::try_from(v).map_err(|_| NumthError::Overflow)?;
+                    out.bounds[i * d + j] = Bound::Finite(v);
+                }
+            }
+        }
+        // Already closed: to_grid/from_grid are monotone bijections on the
+        // grid, but re-close defensively (cheap relative to callers).
+        out.close()?;
+        Ok(out)
+    }
+}
+
+/// Floor division on i128 with an i64 result.
+fn div_floor_i128(a: i128, b: i128) -> Result<i64> {
+    if b == 0 {
+        return Err(NumthError::DivisionByZero);
+    }
+    let q = a.div_euclid(b);
+    // div_euclid rounds toward −∞ for positive b, which is all we use.
+    debug_assert!(b > 0);
+    i64::try_from(q).map_err(|_| NumthError::Overflow)
+}
+
+impl fmt::Display for ConstraintSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.unsat {
+            return f.write_str("false");
+        }
+        let atoms = self.atoms();
+        if atoms.is_empty() {
+            return f.write_str("true");
+        }
+        for (idx, atom) in atoms.iter().enumerate() {
+            if idx > 0 {
+                f.write_str(" and ")?;
+            }
+            write!(f, "{atom}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sys(arity: usize, atoms: &[Atom]) -> ConstraintSystem {
+        ConstraintSystem::from_atoms(arity, atoms).unwrap()
+    }
+
+    #[test]
+    fn unconstrained_accepts_everything() {
+        let s = ConstraintSystem::unconstrained(2);
+        assert!(s.is_satisfiable());
+        assert!(s.is_unconstrained());
+        assert!(s.satisfied_by(&[-100, 100]));
+        assert_eq!(s.to_string(), "true");
+    }
+
+    #[test]
+    fn basic_bounds_propagate() {
+        // X0 <= X1 - 2, X1 <= 10  ⟹  X0 <= 8
+        let s = sys(2, &[Atom::diff_le(0, 1, -2), Atom::le(1, 10)]);
+        assert_eq!(s.upper(0), Bound::Finite(8));
+        assert_eq!(s.upper(1), Bound::Finite(10));
+        assert_eq!(s.lower(0), None);
+        assert!(s.satisfied_by(&[8, 10]));
+        assert!(!s.satisfied_by(&[9, 10]));
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let s = sys(1, &[Atom::le(0, 3), Atom::ge(0, 4)]);
+        assert!(!s.is_satisfiable());
+        assert!(!s.satisfied_by(&[3]));
+        assert_eq!(s.to_string(), "false");
+        // Via differences too.
+        let s = sys(2, &[Atom::diff_le(0, 1, -1), Atom::diff_le(1, 0, -1)]);
+        assert!(!s.is_satisfiable());
+    }
+
+    #[test]
+    fn equality_chains_propagate() {
+        // X0 = X1 - 2, X1 = X2 - 3 ⟹ X0 = X2 - 5
+        let s = sys(
+            3,
+            &[Atom::diff_eq(0, 1, -2), Atom::diff_eq(1, 2, -3)],
+        );
+        assert_eq!(s.diff_bound(0, 2), Bound::Finite(-5));
+        assert_eq!(s.diff_bound(2, 0), Bound::Finite(5));
+        assert!(s.satisfied_by(&[0, 2, 5]));
+        assert!(!s.satisfied_by(&[0, 2, 6]));
+    }
+
+    #[test]
+    fn conjoin_intersects_solution_sets() {
+        let a = sys(2, &[Atom::ge(0, 0)]);
+        let b = sys(2, &[Atom::le(0, 5), Atom::diff_eq(1, 0, 1)]);
+        let c = a.conjoin(&b).unwrap();
+        assert!(c.satisfied_by(&[3, 4]));
+        assert!(!c.satisfied_by(&[-1, 0]));
+        assert!(!c.satisfied_by(&[3, 5]));
+        assert_eq!(c.lower(0), Some(0));
+        assert_eq!(c.upper(1), Bound::Finite(6));
+    }
+
+    #[test]
+    fn entailment() {
+        let strong = sys(2, &[Atom::eq(0, 3), Atom::diff_eq(1, 0, 1)]);
+        let weak = sys(2, &[Atom::ge(0, 0), Atom::diff_le(0, 1, 0)]);
+        assert!(strong.entails(&weak));
+        assert!(!weak.entails(&strong));
+        assert!(ConstraintSystem::unsatisfiable(2).entails(&strong));
+        assert!(!strong.entails(&ConstraintSystem::unsatisfiable(2)));
+        let everything = ConstraintSystem::unconstrained(2);
+        assert!(strong.entails(&everything));
+        assert!(weak.entails(&weak.clone()));
+    }
+
+    #[test]
+    fn eliminate_is_exact_projection() {
+        // X0 <= X1, X1 <= X2; eliminate X1 ⟹ X0 <= X2
+        let s = sys(3, &[Atom::diff_le(0, 1, 0), Atom::diff_le(1, 2, 0)]);
+        let p = s.eliminate(1);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.diff_bound(0, 1), Bound::Finite(0)); // old X2 is new X1
+        assert!(p.satisfied_by(&[2, 2]));
+        assert!(!p.satisfied_by(&[3, 2]));
+    }
+
+    #[test]
+    fn eliminate_bounded_middle() {
+        // 2 <= X1 <= 4, X0 = X1 + 1; eliminate X1 ⟹ 3 <= X0 <= 5
+        let s = sys(
+            2,
+            &[Atom::ge(1, 2), Atom::le(1, 4), Atom::diff_eq(0, 1, 1)],
+        );
+        let p = s.eliminate(1);
+        assert_eq!(p.lower(0), Some(3));
+        assert_eq!(p.upper(0), Bound::Finite(5));
+    }
+
+    #[test]
+    fn project_onto_permutes() {
+        let s = sys(3, &[Atom::le(0, 1), Atom::ge(1, 2), Atom::le(2, 3)]);
+        let p = s.project_onto(&[2, 0]);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.upper(0), Bound::Finite(3)); // old X2
+        assert_eq!(p.upper(1), Bound::Finite(1)); // old X0
+    }
+
+    #[test]
+    fn embed_into_wider_schema() {
+        let s = sys(2, &[Atom::diff_le(0, 1, 5), Atom::ge(0, 0)]);
+        let e = s.embed(4, &[1, 3]);
+        assert_eq!(e.arity(), 4);
+        assert_eq!(e.diff_bound(1, 3), Bound::Finite(5));
+        assert_eq!(e.lower(1), Some(0));
+        assert!(e.diff_bound(0, 2).is_infinite());
+        assert!(e.satisfied_by(&[-99, 0, 123, 0]));
+    }
+
+    #[test]
+    fn solution_found_and_valid() {
+        let s = sys(
+            3,
+            &[
+                Atom::ge(0, 5),
+                Atom::diff_eq(1, 0, -2),
+                Atom::diff_le(2, 1, 0),
+                Atom::le(2, 100),
+            ],
+        );
+        let sol = s.solution().unwrap().unwrap();
+        assert!(s.satisfied_by(&sol), "solution {sol:?} invalid");
+        assert!(ConstraintSystem::unsatisfiable(3)
+            .solution()
+            .unwrap()
+            .is_none());
+        // Unbounded systems still produce witnesses.
+        let free = ConstraintSystem::unconstrained(2);
+        let sol = free.solution().unwrap().unwrap();
+        assert!(free.satisfied_by(&sol));
+    }
+
+    #[test]
+    fn atoms_roundtrip() {
+        let original = sys(
+            3,
+            &[
+                Atom::diff_le(0, 1, 2),
+                Atom::ge(1, 0),
+                Atom::eq(2, 7),
+                Atom::diff_eq(0, 2, -3),
+            ],
+        );
+        let rebuilt = sys(3, &original.atoms());
+        assert_eq!(original, rebuilt);
+    }
+
+    #[test]
+    fn reduced_atoms_minimal_but_equivalent() {
+        // A chain where the transitive bound is implied.
+        let s = sys(3, &[Atom::diff_le(0, 1, 0), Atom::diff_le(1, 2, 0)]);
+        let reduced = s.reduced_atoms().unwrap();
+        let rebuilt = sys(3, &reduced);
+        assert_eq!(s, rebuilt);
+        assert!(
+            reduced.len() <= 2,
+            "expected ≤ 2 generating atoms, got {reduced:?}"
+        );
+        // Equalities (zero cycles) must survive reduction correctly.
+        let s = sys(2, &[Atom::diff_eq(0, 1, 0), Atom::le(0, 5)]);
+        let rebuilt = sys(2, &s.reduced_atoms().unwrap());
+        assert_eq!(s, rebuilt);
+    }
+
+    #[test]
+    fn negation_covers_complement() {
+        let s = sys(2, &[Atom::diff_le(0, 1, 0), Atom::ge(0, 2)]);
+        let negs = s.negation().unwrap().unwrap();
+        for x in -4..8 {
+            for y in -4..8 {
+                let inside = s.satisfied_by(&[x, y]);
+                let in_neg = negs.iter().any(|a| a.eval(&[x, y]));
+                assert_eq!(inside, !in_neg, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn negation_of_unconstrained_is_empty() {
+        let s = ConstraintSystem::unconstrained(2);
+        assert_eq!(s.negation().unwrap().unwrap(), vec![]);
+        assert_eq!(ConstraintSystem::unsatisfiable(2).negation().unwrap(), None);
+    }
+
+    #[test]
+    fn to_grid_figure2_tuple() {
+        // Paper Figure 2 / Example 3.2 first refined tuple:
+        // X1 = 3 + 8n1, X2 = 1 + 8n2;
+        // constraints X1 >= X2, X1 <= X2 + 5, X2 >= 2.
+        let s = sys(
+            2,
+            &[
+                Atom::diff_ge(0, 1, 0).unwrap(),
+                Atom::diff_le(0, 1, 5),
+                Atom::ge(1, 2),
+            ],
+        );
+        let g = s.to_grid(&[3, 1], 8).unwrap();
+        // n-space: 8n1+3 >= 8n2+1 → n1 - n2 >= ceil(-2/8) → n2 - n1 <= 0
+        //          8n1+3 <= 8n2+1+5 → n1 - n2 <= floor(3/8) = 0
+        //          8n2+1 >= 2 → n2 >= ceil(1/8) = 1 → ... n2 >= 1
+        assert_eq!(g.diff_bound(0, 1), Bound::Finite(0));
+        assert_eq!(g.diff_bound(1, 0), Bound::Finite(0)); // together: n1 = n2
+        assert_eq!(g.lower(1), Some(1));
+        assert!(g.is_satisfiable());
+        // Back to X-space: the paper's normalized constraints
+        // X1 = X2 + 2 (both <= and >=) and X2 >= 9.
+        let back = g.from_grid(&[3, 1], 8).unwrap();
+        assert_eq!(back.diff_bound(0, 1), Bound::Finite(2));
+        assert_eq!(back.diff_bound(1, 0), Bound::Finite(-2));
+        assert_eq!(back.lower(1), Some(9));
+    }
+
+    #[test]
+    fn to_grid_detects_incongruent_equality() {
+        // X0 = X1 + 1 on a grid where offsets differ by 0 mod 4 → unsat.
+        let s = sys(2, &[Atom::diff_eq(0, 1, 1)]);
+        let g = s.to_grid(&[0, 0], 4).unwrap();
+        assert!(!g.is_satisfiable());
+        // Congruent equality survives.
+        let s = sys(2, &[Atom::diff_eq(0, 1, 4)]);
+        let g = s.to_grid(&[0, 0], 4).unwrap();
+        assert!(g.is_satisfiable());
+        assert_eq!(g.diff_bound(0, 1), Bound::Finite(1));
+    }
+
+    #[test]
+    fn shift_var_translates_solutions() {
+        let s = sys(2, &[Atom::diff_le(0, 1, 2), Atom::ge(0, 0), Atom::le(1, 9)]);
+        let shifted = s.shift_var(0, 5).unwrap();
+        for x in -10i64..20 {
+            for y in -10i64..20 {
+                assert_eq!(
+                    shifted.satisfied_by(&[x, y]),
+                    s.satisfied_by(&[x - 5, y]),
+                    "({x},{y})"
+                );
+            }
+        }
+        // Shifting by zero is the identity; unsat stays unsat.
+        assert_eq!(s.shift_var(1, 0).unwrap(), s);
+        let bad = ConstraintSystem::unsatisfiable(2);
+        assert!(!bad.shift_var(0, 3).unwrap().is_satisfiable());
+    }
+
+    #[test]
+    fn display_readable() {
+        let s = sys(2, &[Atom::diff_eq(0, 1, -2), Atom::ge(0, 10)]);
+        let text = s.to_string();
+        assert!(text.contains("X1 = X2 - 2"), "{text}");
+        assert!(text.contains(">= 10"), "{text}");
+    }
+
+    /// Strategy for a random small atom over `arity` attributes.
+    fn atom_strategy(arity: usize) -> impl Strategy<Value = Atom> {
+        let v = 0..arity;
+        let a = -8i64..8;
+        prop_oneof![
+            (v.clone(), v.clone(), a.clone()).prop_map(|(i, j, a)| Atom::diff_le(i, j, a)),
+            (v.clone(), v.clone(), a.clone())
+                .prop_filter("distinct", |(i, j, _)| i != j)
+                .prop_map(|(i, j, a)| Atom::diff_eq(i, j, a)),
+            (v.clone(), a.clone()).prop_map(|(i, a)| Atom::le(i, a)),
+            (v.clone(), a.clone()).prop_map(|(i, a)| Atom::ge(i, a)),
+            (v, a).prop_map(|(i, a)| Atom::eq(i, a)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_system_matches_atom_conjunction(
+            atoms in proptest::collection::vec(atom_strategy(3), 0..6),
+            xs in proptest::array::uniform3(-10i64..10),
+        ) {
+            let s = sys(3, &atoms);
+            let direct = atoms.iter().all(|a| a.eval(&xs));
+            prop_assert_eq!(s.satisfied_by(&xs), direct);
+        }
+
+        #[test]
+        fn prop_satisfiable_iff_some_point_in_box(
+            atoms in proptest::collection::vec(atom_strategy(2), 0..5),
+        ) {
+            let s = sys(2, &atoms);
+            // All constants are in [-8, 8]; if satisfiable at all, a solution
+            // exists within [-40, 40]² (short constraint graph paths).
+            let brute = (-40..=40).any(|x| (-40..=40).any(|y| {
+                atoms.iter().all(|a| a.eval(&[x, y]))
+            }));
+            prop_assert_eq!(s.is_satisfiable(), brute);
+        }
+
+        #[test]
+        fn prop_elimination_is_exact_over_z(
+            atoms in proptest::collection::vec(atom_strategy(2), 0..5),
+            x in -30i64..30,
+        ) {
+            let s = sys(2, &atoms);
+            let p = s.eliminate(1);
+            let witness = (-60..=60).any(|y| s.satisfied_by(&[x, y]));
+            prop_assert_eq!(p.satisfied_by(&[x]), witness, "x = {}", x);
+        }
+
+        #[test]
+        fn prop_solution_satisfies(
+            atoms in proptest::collection::vec(atom_strategy(3), 0..7),
+        ) {
+            let s = sys(3, &atoms);
+            match s.solution().unwrap() {
+                Some(sol) => prop_assert!(s.satisfied_by(&sol)),
+                None => prop_assert!(!s.is_satisfiable()),
+            }
+        }
+
+        #[test]
+        fn prop_negation_partitions_space(
+            atoms in proptest::collection::vec(atom_strategy(2), 0..5),
+            xs in proptest::array::uniform2(-12i64..12),
+        ) {
+            let s = sys(2, &atoms);
+            match s.negation().unwrap() {
+                None => prop_assert!(!s.is_satisfiable()),
+                Some(negs) => {
+                    let inside = s.satisfied_by(&xs);
+                    let in_neg = negs.iter().any(|a| a.eval(&xs));
+                    prop_assert_eq!(inside, !in_neg);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_reduced_atoms_equivalent(
+            atoms in proptest::collection::vec(atom_strategy(3), 0..6),
+        ) {
+            let s = sys(3, &atoms);
+            if s.is_satisfiable() {
+                let rebuilt = sys(3, &s.reduced_atoms().unwrap());
+                prop_assert_eq!(s, rebuilt);
+            }
+        }
+
+        #[test]
+        fn prop_embed_preserves_semantics(
+            atoms in proptest::collection::vec(atom_strategy(2), 0..5),
+            xs in proptest::array::uniform4(-8i64..8),
+        ) {
+            let s = sys(2, &atoms);
+            // Embed X0 → X1, X1 → X3 of a 4-attribute space.
+            let e = s.embed(4, &[1, 3]);
+            prop_assert_eq!(
+                e.satisfied_by(&xs),
+                s.satisfied_by(&[xs[1], xs[3]]),
+                "xs = {:?}", xs
+            );
+        }
+
+        #[test]
+        fn prop_project_onto_permutation_is_lossless(
+            atoms in proptest::collection::vec(atom_strategy(3), 0..6),
+            xs in proptest::array::uniform3(-8i64..8),
+        ) {
+            let s = sys(3, &atoms);
+            let p = s.project_onto(&[2, 0, 1]);
+            prop_assert_eq!(
+                p.satisfied_by(&[xs[2], xs[0], xs[1]]),
+                s.satisfied_by(&xs)
+            );
+        }
+
+        #[test]
+        fn prop_shift_composes(
+            atoms in proptest::collection::vec(atom_strategy(2), 0..5),
+            d1 in -6i64..6,
+            d2 in -6i64..6,
+            xs in proptest::array::uniform2(-10i64..10),
+        ) {
+            let s = sys(2, &atoms);
+            let once = s.shift_var(0, d1).unwrap().shift_var(0, d2).unwrap();
+            let direct = s.shift_var(0, d1 + d2).unwrap();
+            prop_assert_eq!(once.satisfied_by(&xs), direct.satisfied_by(&xs));
+        }
+
+        #[test]
+        fn prop_entailment_respects_conjunction(
+            a in proptest::collection::vec(atom_strategy(2), 0..4),
+            b in proptest::collection::vec(atom_strategy(2), 0..4),
+        ) {
+            let sa = sys(2, &a);
+            let sb = sys(2, &b);
+            let both = sa.conjoin(&sb).unwrap();
+            prop_assert!(both.entails(&sa));
+            prop_assert!(both.entails(&sb));
+        }
+
+        #[test]
+        fn prop_grid_roundtrip_preserves_grid_points(
+            atoms in proptest::collection::vec(atom_strategy(2), 0..4),
+            n1 in -6i64..6,
+            n2 in -6i64..6,
+            c1 in 0i64..5,
+            c2 in 0i64..5,
+        ) {
+            let period = 5;
+            let s = sys(2, &atoms);
+            let g = s.to_grid(&[c1, c2], period).unwrap();
+            let xs = [c1 + period * n1, c2 + period * n2];
+            prop_assert_eq!(
+                s.satisfied_by(&xs),
+                g.satisfied_by(&[n1, n2]),
+                "xs = {:?}", xs
+            );
+        }
+    }
+}

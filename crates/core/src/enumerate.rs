@@ -1,0 +1,121 @@
+//! Finite-window materialization: the brute-force semantics oracle.
+
+use std::collections::BTreeSet;
+
+use crate::tuple::GenTuple;
+use crate::value::Value;
+
+/// A concrete (non-generalized) tuple: integer time points plus data.
+pub type ConcreteTuple = (Vec<i64>, Vec<Value>);
+
+/// Enumerates every concrete tuple denoted by `t` whose temporal values all
+/// lie in `[lo, hi]`.
+///
+/// Cost is `O(Π windowᵢ)` — exponential in the temporal arity. This is a
+/// test/inspection oracle, not a query path; the symbolic algebra exists
+/// precisely so that this never needs to run on real workloads.
+pub(crate) fn materialize_tuple(t: &GenTuple, lo: i64, hi: i64) -> Vec<ConcreteTuple> {
+    if !t.constraints().is_satisfiable() {
+        return vec![];
+    }
+    let columns: Vec<Vec<i64>> = t.lrps().iter().map(|l| l.in_window(lo, hi)).collect();
+    if columns.iter().any(Vec::is_empty) && !columns.is_empty() {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    let mut idx = vec![0usize; columns.len()];
+    let mut times = vec![0i64; columns.len()];
+    loop {
+        for (slot, (&i, col)) in times.iter_mut().zip(idx.iter().zip(&columns)) {
+            *slot = col[i];
+        }
+        if t.constraints().satisfied_by(&times) {
+            out.push((times.clone(), t.data().to_vec()));
+        }
+        let mut pos = columns.len();
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < columns[pos].len() {
+                break;
+            }
+            idx[pos] = 0;
+        }
+    }
+}
+
+/// Materializes a set of tuples into a deduplicated, ordered set.
+pub(crate) fn materialize_tuples(
+    tuples: &[GenTuple],
+    lo: i64,
+    hi: i64,
+) -> BTreeSet<ConcreteTuple> {
+    let mut out = BTreeSet::new();
+    for t in tuples {
+        out.extend(materialize_tuple(t, lo, hi));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itd_constraint::Atom;
+    use itd_lrp::Lrp;
+
+    fn lrp(c: i64, k: i64) -> Lrp {
+        Lrp::new(c, k).unwrap()
+    }
+
+    #[test]
+    fn materializes_example_2_2() {
+        let t = GenTuple::with_atoms(
+            vec![Lrp::point(1), lrp(1, 2)],
+            &[Atom::ge(1, 0)],
+            vec![],
+        )
+        .unwrap();
+        let m = materialize_tuple(&t, 0, 7);
+        assert_eq!(
+            m,
+            vec![
+                (vec![1, 1], vec![]),
+                (vec![1, 3], vec![]),
+                (vec![1, 5], vec![]),
+                (vec![1, 7], vec![]),
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_arity_tuple_materializes_once() {
+        let t = GenTuple::unconstrained(vec![], vec![Value::Int(5)]);
+        let m = materialize_tuple(&t, 0, 10);
+        assert_eq!(m, vec![(vec![], vec![Value::Int(5)])]);
+    }
+
+    #[test]
+    fn unsat_materializes_empty() {
+        let t = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::le(0, 1), Atom::ge(0, 3)], vec![])
+            .unwrap();
+        assert!(materialize_tuple(&t, -10, 10).is_empty());
+    }
+
+    #[test]
+    fn empty_column_window() {
+        let t = GenTuple::unconstrained(vec![Lrp::point(100), lrp(0, 2)], vec![]);
+        assert!(materialize_tuple(&t, 0, 10).is_empty());
+    }
+
+    #[test]
+    fn dedup_across_tuples() {
+        let a = GenTuple::unconstrained(vec![lrp(0, 2)], vec![]);
+        let b = GenTuple::unconstrained(vec![lrp(0, 4)], vec![]);
+        let m = materialize_tuples(&[a, b], 0, 8);
+        let times: Vec<i64> = m.into_iter().map(|(t, _)| t[0]).collect();
+        assert_eq!(times, vec![0, 2, 4, 6, 8]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Generalized temporal relations — the core data model and relational
+//! algebra of *Handling Infinite Temporal Data* (Kabanza, Stevenne, Wolper,
+//! PODS 1990).
+//!
+//! # The model
+//!
+//! A [`GenTuple`] (Definition 2.2) assigns to each of `k` temporal
+//! attributes a linear repeating point (an [`itd_lrp::Lrp`], i.e. a set
+//! `{c + kn | n ∈ Z}`), to each of `l` data attributes a concrete
+//! [`Value`], and attaches a conjunction of restricted constraints
+//! (an [`itd_constraint::ConstraintSystem`]) on the temporal attributes.
+//! It denotes the — generally infinite — set of ordinary tuples obtained by
+//! picking one element from every lrp such that the constraints hold.
+//!
+//! A [`GenRelation`] (Definition 2.3) is a finite set of generalized tuples
+//! of the same [`Schema`]; its denotation is the union of its tuples'.
+//!
+//! # The algebra
+//!
+//! Every operation of relational algebra is closed on generalized relations
+//! (§3 of the paper) and implemented here:
+//!
+//! | paper §  | operation                  | entry point                         |
+//! |----------|----------------------------|-------------------------------------|
+//! | 3.1      | union                      | [`GenRelation::union`]              |
+//! | 3.2      | intersection               | [`GenRelation::intersect`]          |
+//! | 3.3      | difference                 | [`GenRelation::difference`]         |
+//! | 3.4      | projection                 | [`GenRelation::project`]            |
+//! | 3.5      | selection                  | [`GenRelation::select_temporal`], [`GenRelation::select_data`] |
+//! | 3.6      | cross product              | [`GenRelation::cross_product`]      |
+//! | 3.7      | join                       | [`GenRelation::join_on`]            |
+//! | A.6      | complement (temporal)      | [`GenRelation::complement_temporal`]|
+//! | Thm 3.5  | nonemptiness               | [`GenRelation::is_empty`]           |
+//!
+//! Projection, difference, emptiness and complement rely on **normal form**
+//! (Definition 3.2): all lrps of a tuple share one period `k` and all
+//! constraint constants are congruent to the attribute offsets modulo `k`.
+//! [`GenTuple::normalize`] implements the five-step algorithm of
+//! Theorem 3.2; Figure 2's counterexample — where real-valued projection is
+//! wrong on the integer grid — is covered in this crate's tests.
+//!
+//! # Finite-window oracle
+//!
+//! [`GenRelation::materialize`] enumerates the concrete tuples whose
+//! temporal values fall in a finite window. It is deliberately brute-force:
+//! tests and benchmarks use it as an independent semantics oracle against
+//! which every symbolic operation is checked.
+
+mod enumerate;
+mod error;
+mod minimize;
+mod normalize;
+mod relation;
+mod schema;
+mod tuple;
+mod value;
+
+pub mod ops;
+
+pub use enumerate::ConcreteTuple;
+pub use error::CoreError;
+pub use normalize::grid_view;
+pub use relation::GenRelation;
+pub use schema::Schema;
+pub use tuple::GenTuple;
+pub use value::Value;
+
+// Re-export the building blocks so that downstream crates only need
+// `itd-core` for most tasks.
+pub use itd_constraint::{Atom, Bound, ConstraintSystem};
+pub use itd_lrp::Lrp;
+
+/// Result alias for core operations.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,449 @@
+//! Normal form and the normalization algorithm (Definition 3.2,
+//! Theorem 3.2).
+//!
+//! A tuple is *in normal form* when one period `k` governs every infinite
+//! lrp and all constraint constants are aligned with the attribute offsets
+//! modulo `k`. On a normal-form tuple, real-valued (Fourier–Motzkin /
+//! DBM-closure) projection is exact over the lrp grid — Theorem 3.1; the
+//! tests reproduce Figure 2's counterexample showing it is *not* exact
+//! without normalization.
+//!
+//! Normalization follows the paper's five steps:
+//! 1. refine every infinite lrp to the common period `k = lcm(kᵢ)`
+//!    (Lemma 3.1, [`itd_lrp::Lrp::refine_to_period`]);
+//! 2. take the cross product of the refined classes, copying constraints;
+//! 3. substitute the lrp anchors into the constraints (here: the
+//!    [`ConstraintSystem::to_grid`] transform);
+//! 4. drop combinations with unsatisfiable residue equations (the grid
+//!    system detects them as negative cycles);
+//! 5. round remaining constants onto the grid (`to_grid`'s floor division,
+//!    mapped back by [`ConstraintSystem::from_grid`]).
+
+use itd_constraint::{Atom, ConstraintSystem};
+use itd_lrp::Lrp;
+
+use crate::error::CoreError;
+use crate::tuple::GenTuple;
+use crate::Result;
+
+/// Default ceiling on the number of tuples normalization may produce
+/// (`Π k/kᵢ` can explode when periods are unrelated — Appendix A.1).
+pub const DEFAULT_NORMALIZE_LIMIT: u64 = 1 << 20;
+
+/// If all infinite lrps share one period, returns it (`1` when every
+/// attribute is a point); otherwise `None`.
+pub(crate) fn single_period(lrps: &[Lrp]) -> Option<i64> {
+    let mut k = None;
+    for l in lrps {
+        if l.is_point() {
+            continue;
+        }
+        match k {
+            None => k = Some(l.period()),
+            Some(p) if p == l.period() => {}
+            Some(_) => return None,
+        }
+    }
+    Some(k.unwrap_or(1))
+}
+
+/// Anchor of each attribute: the canonical offset for an infinite lrp, the
+/// value itself for a point.
+fn anchors(lrps: &[Lrp]) -> Vec<i64> {
+    lrps.iter().map(Lrp::offset).collect()
+}
+
+/// The tuple's constraints augmented with `Xi = c` for each point attribute
+/// (pinning the grid coordinate of constants so that grid reasoning sees
+/// them).
+fn augmented_cons(t: &GenTuple) -> Result<ConstraintSystem> {
+    let mut cons = t.constraints().clone();
+    for (i, l) in t.lrps().iter().enumerate() {
+        if l.is_point() {
+            cons.add(Atom::eq(i, l.offset()))?;
+        }
+    }
+    Ok(cons)
+}
+
+/// Grid view of a single-period tuple: the common period `k`, the anchor of
+/// each attribute, and the constraint system over the grid coordinates
+/// `nᵢ` (where `Xᵢ = anchorᵢ + k·nᵢ`; point attributes are pinned to
+/// `nᵢ = 0`).
+///
+/// The grid system reasons over *free* integer variables, so DBM closure,
+/// satisfiability, and elimination are all exact on it — this is the form
+/// in which projection, difference, and emptiness are computed.
+///
+/// # Errors
+/// [`CoreError::NotSinglePeriod`] if the tuple mixes different periods
+/// (normalize first); arithmetic errors from the grid transform.
+pub fn grid_view(t: &GenTuple) -> Result<(i64, Vec<i64>, ConstraintSystem)> {
+    let Some(k) = single_period(t.lrps()) else {
+        return Err(CoreError::NotSinglePeriod);
+    };
+    let anchors = anchors(t.lrps());
+    let grid = grid_system(t, &anchors, k)?;
+    Ok((k, anchors, grid))
+}
+
+/// Builds the grid system given precomputed anchors and period.
+pub(crate) fn grid_system(
+    t: &GenTuple,
+    anchors: &[i64],
+    k: i64,
+) -> Result<ConstraintSystem> {
+    let aug = augmented_cons(t)?;
+    Ok(aug.to_grid(anchors, k)?)
+}
+
+/// Is the tuple in normal form? See [`GenTuple::is_normal_form`].
+pub(crate) fn is_normal_form(t: &GenTuple) -> Result<bool> {
+    if !t.constraints().is_satisfiable() {
+        return Ok(false);
+    }
+    let Some(k) = single_period(t.lrps()) else {
+        return Ok(false);
+    };
+    let anchors = anchors(t.lrps());
+    let aug = augmented_cons(t)?;
+    let grid = aug.to_grid(&anchors, k)?;
+    if !grid.is_satisfiable() {
+        return Ok(false);
+    }
+    let back = grid.from_grid(&anchors, k)?;
+    Ok(back == aug)
+}
+
+/// Theorem 3.2 normalization with the default output-size limit.
+pub(crate) fn normalize(t: &GenTuple) -> Result<Vec<GenTuple>> {
+    normalize_with_limit(t, DEFAULT_NORMALIZE_LIMIT)
+}
+
+/// Exact emptiness with early exit: enumerates refined residue
+/// combinations lazily and stops at the first satisfiable grid system.
+///
+/// Equivalent to `!normalize(t)?.is_empty()` but without materializing the
+/// cross-product — on nonempty tuples (the common case in difference and
+/// query pipelines) this usually returns after the first combination.
+pub(crate) fn is_nonempty(t: &GenTuple) -> Result<bool> {
+    if !t.constraints().is_satisfiable() {
+        return Ok(false);
+    }
+    let k = Lrp::common_period(t.lrps().iter())?;
+    let mut choices: Vec<Vec<Lrp>> = Vec::with_capacity(t.lrps().len());
+    for l in t.lrps() {
+        choices.push(if l.is_point() {
+            vec![*l]
+        } else {
+            l.refine_to_period(k)?
+        });
+    }
+    if choices.is_empty() {
+        // 0-ary tuple: nonempty iff constraints satisfiable (checked).
+        return Ok(true);
+    }
+    let aug = {
+        let mut cons = t.constraints().clone();
+        for (i, l) in t.lrps().iter().enumerate() {
+            if l.is_point() {
+                cons.add(Atom::eq(i, l.offset()))?;
+            }
+        }
+        cons
+    };
+    let mut idx = vec![0usize; choices.len()];
+    loop {
+        let anchors: Vec<i64> = idx
+            .iter()
+            .zip(&choices)
+            .map(|(&i, c)| c[i].offset())
+            .collect();
+        if aug.to_grid(&anchors, k)?.is_satisfiable() {
+            return Ok(true);
+        }
+        let mut pos = choices.len();
+        loop {
+            if pos == 0 {
+                return Ok(false);
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < choices[pos].len() {
+                break;
+            }
+            idx[pos] = 0;
+        }
+    }
+}
+
+/// Theorem 3.2 normalization with an explicit ceiling on the number of
+/// refined combinations.
+///
+/// # Errors
+/// [`CoreError::TooManyExtensions`] when `Π k/kᵢ > limit`;
+/// arithmetic errors from `lcm`/grid transforms.
+pub(crate) fn normalize_with_limit(t: &GenTuple, limit: u64) -> Result<Vec<GenTuple>> {
+    if !t.constraints().is_satisfiable() {
+        return Ok(vec![]);
+    }
+    // Step 0: common period k (lcm of the nonzero periods).
+    let k = Lrp::common_period(t.lrps().iter())?;
+
+    // Step 1 (Lemma 3.1): per-attribute refined classes.
+    let mut choices: Vec<Vec<Lrp>> = Vec::with_capacity(t.lrps().len());
+    let mut combos: u64 = 1;
+    for l in t.lrps() {
+        let c = if l.is_point() {
+            vec![*l]
+        } else {
+            l.refine_to_period(k)?
+        };
+        combos = combos.saturating_mul(c.len() as u64);
+        if combos > limit {
+            return Err(CoreError::TooManyExtensions {
+                period: k,
+                arity: t.lrps().len(),
+                limit,
+            });
+        }
+        choices.push(c);
+    }
+
+    // Steps 2–5: cross product; per combination transform constraints to
+    // the grid, discard unsatisfiable residues, and round back.
+    let mut out = Vec::new();
+    let mut idx = vec![0usize; choices.len()];
+    loop {
+        let lrps: Vec<Lrp> = idx.iter().zip(&choices).map(|(&i, c)| c[i]).collect();
+        let candidate = GenTuple::new(lrps, t.constraints().clone(), t.data().to_vec())?;
+        let anchors_v = anchors(candidate.lrps());
+        let grid = grid_system(&candidate, &anchors_v, k)?;
+        if grid.is_satisfiable() {
+            let aligned = grid.from_grid(&anchors_v, k)?;
+            out.push(candidate.with_constraints(aligned));
+        }
+
+        // Advance the mixed-radix counter.
+        let mut pos = choices.len();
+        loop {
+            if pos == 0 {
+                return Ok(out);
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < choices[pos].len() {
+                break;
+            }
+            idx[pos] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itd_constraint::Atom;
+    use proptest::prelude::*;
+
+    fn lrp(c: i64, k: i64) -> Lrp {
+        Lrp::new(c, k).unwrap()
+    }
+
+    /// Brute-force window membership of a tuple.
+    fn member(t: &GenTuple, xs: &[i64]) -> bool {
+        t.contains(xs, t.data())
+    }
+
+    #[test]
+    fn single_period_detection() {
+        assert_eq!(single_period(&[lrp(1, 4), lrp(3, 4)]), Some(4));
+        assert_eq!(single_period(&[lrp(1, 4), lrp(3, 8)]), None);
+        assert_eq!(single_period(&[Lrp::point(5)]), Some(1));
+        assert_eq!(single_period(&[]), Some(1));
+        assert_eq!(single_period(&[Lrp::point(5), lrp(0, 6)]), Some(6));
+    }
+
+    #[test]
+    fn paper_example_3_2_normalization() {
+        // [4n1+3, 8n2+1] ∧ X1 ≥ X2 ∧ X1 ≤ X2+5 ∧ X2 ≥ 2
+        let t = GenTuple::with_atoms(
+            vec![lrp(3, 4), lrp(1, 8)],
+            &[
+                Atom::diff_ge(0, 1, 0).unwrap(),
+                Atom::diff_le(0, 1, 5),
+                Atom::ge(1, 2),
+            ],
+            vec![],
+        )
+        .unwrap();
+        let norm = t.normalize().unwrap();
+        // The paper's Example 3.2 table lists two normalized tuples, but its
+        // second ([8n1+7, 8n2+1] with X1 ≥ X2 + 6 ∧ X1 ≤ X2 − 2) is
+        // contradictory — the rounded constraints cannot both hold — so our
+        // step-4 satisfiability filter drops it. Only the first survives:
+        //   [8n1+3, 8n2+1]  X1 = X2 + 2 ∧ X2 ≥ 9
+        assert_eq!(norm.len(), 1, "{norm:?}");
+        let first = &norm[0];
+        assert!(first.is_normal_form().unwrap(), "{first}");
+        assert_eq!(first.lrps()[0], lrp(3, 8));
+        assert_eq!(first.lrps()[1], lrp(1, 8));
+        assert_eq!(first.constraints().lower(1), Some(9));
+        assert_eq!(
+            first.constraints().diff_bound(0, 1),
+            itd_constraint::Bound::Finite(2)
+        );
+        assert_eq!(
+            first.constraints().diff_bound(1, 0),
+            itd_constraint::Bound::Finite(-2)
+        );
+    }
+
+    #[test]
+    fn normalization_preserves_semantics_on_window() {
+        let t = GenTuple::with_atoms(
+            vec![lrp(3, 4), lrp(1, 8)],
+            &[
+                Atom::diff_ge(0, 1, 0).unwrap(),
+                Atom::diff_le(0, 1, 5),
+                Atom::ge(1, 2),
+            ],
+            vec![],
+        )
+        .unwrap();
+        let norm = t.normalize().unwrap();
+        for x1 in -10..40 {
+            for x2 in -10..40 {
+                let original = member(&t, &[x1, x2]);
+                let normalized = norm.iter().any(|nt| member(nt, &[x1, x2]));
+                assert_eq!(original, normalized, "({x1},{x2})");
+            }
+        }
+    }
+
+    #[test]
+    fn unsat_tuple_normalizes_to_nothing() {
+        let t = GenTuple::with_atoms(
+            vec![lrp(0, 2)],
+            &[Atom::ge(0, 5), Atom::le(0, 0)],
+            vec![],
+        )
+        .unwrap();
+        assert!(t.normalize().unwrap().is_empty());
+    }
+
+    #[test]
+    fn grid_empty_residue_dropped() {
+        // X1 = X2 + 1 over two even lrps: no residue combination works.
+        let t = GenTuple::with_atoms(
+            vec![lrp(0, 2), lrp(0, 2)],
+            &[Atom::diff_eq(0, 1, 1)],
+            vec![],
+        )
+        .unwrap();
+        assert!(t.normalize().unwrap().is_empty());
+    }
+
+    #[test]
+    fn points_are_preserved() {
+        let t = GenTuple::with_atoms(
+            vec![Lrp::point(7), lrp(1, 3)],
+            &[Atom::diff_ge(1, 0, 0).unwrap()],
+            vec![],
+        )
+        .unwrap();
+        let norm = t.normalize().unwrap();
+        assert_eq!(norm.len(), 1);
+        assert!(norm[0].lrps()[0].is_point());
+        assert!(norm[0].is_normal_form().unwrap());
+        for x2 in 0..20 {
+            assert_eq!(member(&t, &[7, x2]), member(&norm[0], &[7, x2]), "{x2}");
+        }
+    }
+
+    #[test]
+    fn limit_guard_triggers() {
+        // Periods 3, 5, 7, 11 → lcm 1155; Π k/kᵢ = 385·231·165·105 ≫ 1000.
+        let t = GenTuple::unconstrained(
+            vec![lrp(0, 3), lrp(0, 5), lrp(0, 7), lrp(0, 11)],
+            vec![],
+        );
+        let err = normalize_with_limit(&t, 1000).unwrap_err();
+        assert!(matches!(err, CoreError::TooManyExtensions { .. }));
+    }
+
+    #[test]
+    fn grid_view_requires_single_period() {
+        let t = GenTuple::unconstrained(vec![lrp(0, 2), lrp(0, 3)], vec![]);
+        assert!(matches!(
+            grid_view(&t),
+            Err(CoreError::NotSinglePeriod)
+        ));
+        let t = GenTuple::unconstrained(vec![lrp(0, 6), lrp(1, 6)], vec![]);
+        let (k, anchors, grid) = grid_view(&t).unwrap();
+        assert_eq!(k, 6);
+        assert_eq!(anchors, vec![0, 1]);
+        assert!(grid.is_unconstrained());
+    }
+
+    #[test]
+    fn normal_form_detection() {
+        // Already normal: same periods, aligned constraint.
+        let t = GenTuple::with_atoms(
+            vec![lrp(3, 8), lrp(1, 8)],
+            &[Atom::diff_eq(0, 1, 2)],
+            vec![],
+        )
+        .unwrap();
+        assert!(t.is_normal_form().unwrap());
+        // Misaligned bound: X1 ≤ X2 + 5 over the same grid is not aligned
+        // (5 is not ≡ 3−1 mod 8).
+        let t = GenTuple::with_atoms(
+            vec![lrp(3, 8), lrp(1, 8)],
+            &[Atom::diff_le(0, 1, 5)],
+            vec![],
+        )
+        .unwrap();
+        assert!(!t.is_normal_form().unwrap());
+        // Mixed periods are never normal.
+        let t = GenTuple::unconstrained(vec![lrp(0, 2), lrp(0, 4)], vec![]);
+        assert!(!t.is_normal_form().unwrap());
+    }
+
+    #[test]
+    fn normalize_count_matches_paper_formula() {
+        // Appendix A.1: each tuple becomes Π (k / kᵢ) tuples (before
+        // unsatisfiable residues are dropped).
+        let t = GenTuple::unconstrained(vec![lrp(0, 2), lrp(1, 3)], vec![]);
+        let norm = t.normalize().unwrap();
+        // k = 6 → 3 · 2 = 6 combinations, all satisfiable (no constraints).
+        assert_eq!(norm.len(), 6);
+        for nt in &norm {
+            assert!(nt.is_normal_form().unwrap());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_normalization_preserves_membership(
+            c1 in 0i64..6, k1 in 1i64..5,
+            c2 in 0i64..6, k2 in 1i64..5,
+            a in -6i64..6,
+            lob in -6i64..6,
+            x1 in -25i64..25, x2 in -25i64..25,
+        ) {
+            let t = GenTuple::with_atoms(
+                vec![lrp(c1, k1), lrp(c2, k2)],
+                &[Atom::diff_le(0, 1, a), Atom::ge(1, lob)],
+                vec![],
+            ).unwrap();
+            let norm = t.normalize().unwrap();
+            let original = member(&t, &[x1, x2]);
+            let via_norm = norm.iter().any(|nt| member(nt, &[x1, x2]));
+            prop_assert_eq!(original, via_norm);
+            for nt in &norm {
+                prop_assert!(nt.is_normal_form().unwrap(), "{} not normal", nt);
+            }
+        }
+    }
+}

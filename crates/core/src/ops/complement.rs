@@ -1,0 +1,367 @@
+//! Relation complement / negation (Appendix A.6).
+
+use std::collections::HashMap;
+
+use itd_constraint::ConstraintSystem;
+use itd_lrp::Lrp;
+
+use crate::error::CoreError;
+use crate::tuple::GenTuple;
+use crate::Result;
+
+/// Default ceiling on the `k^m` free extensions the complement may
+/// enumerate.
+pub const DEFAULT_COMPLEMENT_LIMIT: u64 = 1 << 22;
+
+/// Complement of a purely temporal set of tuples within `Z^m`:
+/// `[n₁, …, n_m] − r` in the paper's notation.
+///
+/// Algorithm (Appendix A.6):
+/// 1. normalize every tuple and refine all of them to the database-wide
+///    period `k` (lcm of all tuple periods);
+/// 2. group tuples by **free extension** (their vector of residues mod `k`);
+/// 3. for each of the `k^m` possible free extensions: if no tuple has it,
+///    emit it unconstrained; otherwise negate the disjunction of the
+///    attached constraint systems — incrementally, converting
+///    `∧ᵢ (∨ⱼ ¬aᵢⱼ)` to DNF one conjunct at a time and reducing after every
+///    step (keeping only the strongest constraint of each type is exactly
+///    what the DBM closure does), which keeps each intermediate within the
+///    `(N+1)^{m(m+1)}` bound of Theorem A.1.
+///
+/// The `k^m` enumeration is the intrinsic exponential of general-complexity
+/// negation (Table 2); `limit` guards against accidental blow-ups.
+///
+/// # Errors
+/// [`CoreError::TooManyExtensions`] when `k^m > limit`; arithmetic errors
+/// otherwise.
+///
+/// # Panics
+/// If tuples disagree on schema or have data attributes (the relation layer
+/// checks this).
+pub fn complement_tuples(
+    tuples: &[GenTuple],
+    temporal_arity: usize,
+    limit: u64,
+) -> Result<Vec<GenTuple>> {
+    let m = temporal_arity;
+    // 0-ary relations: the space is a single empty tuple.
+    if m == 0 {
+        let nonempty = tuples.iter().any(|t| t.constraints().is_satisfiable());
+        return Ok(if nonempty {
+            vec![]
+        } else {
+            vec![GenTuple::unconstrained(vec![], vec![])]
+        });
+    }
+
+    // Step 1: normalize and find the database period.
+    let mut normal: Vec<GenTuple> = Vec::new();
+    for t in tuples {
+        assert!(t.data().is_empty(), "complement requires purely temporal tuples");
+        assert_eq!(t.lrps().len(), m, "schema mismatch in complement");
+        normal.extend(t.normalize()?);
+    }
+    let k = Lrp::common_period(normal.iter().flat_map(|t| t.lrps().iter()))?;
+
+    let extensions = (k as u64).checked_pow(m as u32).unwrap_or(u64::MAX);
+    if extensions > limit {
+        return Err(CoreError::TooManyExtensions {
+            period: k,
+            arity: m,
+            limit,
+        });
+    }
+
+    // Refine every normal tuple to the global period and group by residues.
+    let mut groups: HashMap<Vec<i64>, Vec<ConstraintSystem>> = HashMap::new();
+    for t in &normal {
+        for refined in refine_tuple_to(t, k)? {
+            let residues: Vec<i64> = refined.lrps().iter().map(Lrp::offset).collect();
+            groups
+                .entry(residues)
+                .or_default()
+                .push(refined.constraints().clone());
+        }
+    }
+
+    // Step 3: enumerate all k^m residue vectors.
+    let mut out = Vec::new();
+    let mut residues = vec![0i64; m];
+    loop {
+        let lrps: Vec<Lrp> = residues
+            .iter()
+            .map(|&r| Lrp::new(r, k).expect("k > 0"))
+            .collect();
+        match groups.get(&residues) {
+            None => out.push(GenTuple::unconstrained(lrps, vec![])),
+            Some(systems) => {
+                for d in negate_disjunction(systems, m)? {
+                    let t = GenTuple::new(lrps.clone(), d, vec![])?;
+                    // Prune grid-empty disjuncts (misaligned bounds).
+                    if !t.is_empty()? {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        // Mixed-radix increment over [0, k)^m.
+        let mut pos = m;
+        loop {
+            if pos == 0 {
+                return Ok(out);
+            }
+            pos -= 1;
+            residues[pos] += 1;
+            if residues[pos] < k {
+                break;
+            }
+            residues[pos] = 0;
+        }
+    }
+}
+
+/// Refines a normal tuple so all its lrps have period exactly `k`
+/// (points become period-`k` classes pinned by an equality, which
+/// normalization has already recorded in the constraints).
+fn refine_tuple_to(t: &GenTuple, k: i64) -> Result<Vec<GenTuple>> {
+    let mut choices: Vec<Vec<Lrp>> = Vec::with_capacity(t.lrps().len());
+    for l in t.lrps() {
+        if l.is_point() {
+            // The augmented constraints pin Xi = c; represent the free
+            // extension as the residue class of c.
+            choices.push(vec![Lrp::new(l.offset(), k)?]);
+        } else if l.period() == k {
+            choices.push(vec![*l]);
+        } else {
+            choices.push(l.refine_to_period(k)?);
+        }
+    }
+    // For points we must also make the pin explicit in the constraints so
+    // the complement excludes only the pinned residue members.
+    let mut cons = t.constraints().clone();
+    for (i, l) in t.lrps().iter().enumerate() {
+        if l.is_point() {
+            cons.add(itd_constraint::Atom::eq(i, l.offset()))?;
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut idx = vec![0usize; choices.len()];
+    loop {
+        let lrps: Vec<Lrp> = idx.iter().zip(&choices).map(|(&i, c)| c[i]).collect();
+        out.push(GenTuple::new(lrps, cons.clone(), vec![])?);
+        let mut pos = choices.len();
+        loop {
+            if pos == 0 {
+                return Ok(out);
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < choices[pos].len() {
+                break;
+            }
+            idx[pos] = 0;
+        }
+    }
+}
+
+/// `¬(C₁ ∨ … ∨ C_N)` as a reduced list of conjunctive systems.
+fn negate_disjunction(
+    systems: &[ConstraintSystem],
+    arity: usize,
+) -> Result<Vec<ConstraintSystem>> {
+    let mut disjuncts = vec![ConstraintSystem::unconstrained(arity)];
+    for c in systems {
+        let Some(neg_atoms) = c.negation()? else {
+            continue; // c unsatisfiable: covers nothing, negation is ⊤
+        };
+        let mut next: Vec<ConstraintSystem> = Vec::new();
+        for d in &disjuncts {
+            for atom in &neg_atoms {
+                let mut nd = d.clone();
+                nd.add(*atom)?;
+                if !nd.is_satisfiable() {
+                    continue;
+                }
+                // Reduction: drop duplicates and entailed disjuncts.
+                if next.iter().any(|kept| nd.entails(kept)) {
+                    continue;
+                }
+                next.retain(|kept| !kept.entails(&nd));
+                next.push(nd);
+            }
+        }
+        disjuncts = next;
+        if disjuncts.is_empty() {
+            break;
+        }
+    }
+    Ok(disjuncts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::materialize_tuples;
+    use itd_constraint::Atom;
+    use proptest::prelude::*;
+
+    fn lrp(c: i64, k: i64) -> Lrp {
+        Lrp::new(c, k).unwrap()
+    }
+
+    /// Compare `complement` with brute-force set complement on a window.
+    fn check_window(tuples: &[GenTuple], m: usize, lo: i64, hi: i64) {
+        let comp = complement_tuples(tuples, m, DEFAULT_COMPLEMENT_LIMIT).unwrap();
+        let inside = materialize_tuples(tuples, lo, hi);
+        let comp_set = materialize_tuples(&comp, lo, hi);
+        // Every point in the window is in exactly one of the two.
+        let mut point = vec![lo; m];
+        loop {
+            let key = (point.clone(), vec![]);
+            let in_r = inside.contains(&key);
+            let in_c = comp_set.contains(&key);
+            assert!(in_r != in_c, "point {point:?}: in_r={in_r} in_c={in_c}");
+            let mut pos = m;
+            loop {
+                if pos == 0 {
+                    return;
+                }
+                pos -= 1;
+                point[pos] += 1;
+                if point[pos] <= hi {
+                    break;
+                }
+                point[pos] = lo;
+            }
+        }
+    }
+
+    #[test]
+    fn complement_of_empty_is_everything() {
+        let comp = complement_tuples(&[], 1, 1000).unwrap();
+        assert_eq!(comp.len(), 1);
+        assert!(comp[0].contains(&[12345], &[]));
+        assert!(comp[0].contains(&[-999], &[]));
+    }
+
+    #[test]
+    fn complement_of_residue_class() {
+        // ¬(even) = odd
+        let r = vec![GenTuple::unconstrained(vec![lrp(0, 2)], vec![])];
+        check_window(&r, 1, -10, 10);
+    }
+
+    #[test]
+    fn complement_of_bounded_piece() {
+        // ¬(even ∧ X ≥ 0) = odd ∪ (even ∧ X < 0)
+        let r = vec![
+            GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 0)], vec![]).unwrap(),
+        ];
+        check_window(&r, 1, -10, 10);
+    }
+
+    #[test]
+    fn complement_of_union() {
+        let r = vec![
+            GenTuple::with_atoms(vec![lrp(0, 3)], &[Atom::ge(0, 0)], vec![]).unwrap(),
+            GenTuple::with_atoms(vec![lrp(1, 3)], &[Atom::le(0, 6)], vec![]).unwrap(),
+        ];
+        check_window(&r, 1, -10, 12);
+    }
+
+    #[test]
+    fn complement_two_dimensional() {
+        let r = vec![GenTuple::with_atoms(
+            vec![lrp(0, 2), lrp(1, 2)],
+            &[Atom::diff_le(0, 1, 0)],
+            vec![],
+        )
+        .unwrap()];
+        check_window(&r, 2, -5, 6);
+    }
+
+    #[test]
+    fn complement_with_points() {
+        let r = vec![GenTuple::unconstrained(vec![Lrp::point(4)], vec![])];
+        check_window(&r, 1, -6, 10);
+    }
+
+    #[test]
+    fn double_complement_is_identity_on_window() {
+        let r = vec![
+            GenTuple::with_atoms(vec![lrp(1, 4)], &[Atom::ge(0, -3)], vec![]).unwrap(),
+        ];
+        let c1 = complement_tuples(&r, 1, 10_000).unwrap();
+        let c2 = complement_tuples(&c1, 1, 10_000).unwrap();
+        let original = materialize_tuples(&r, -15, 15);
+        let roundtrip = materialize_tuples(&c2, -15, 15);
+        assert_eq!(original, roundtrip);
+    }
+
+    #[test]
+    fn zero_arity() {
+        let full = complement_tuples(&[], 0, 10).unwrap();
+        assert_eq!(full.len(), 1);
+        let empty =
+            complement_tuples(&[GenTuple::unconstrained(vec![], vec![])], 0, 10).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn limit_guard() {
+        let r = vec![GenTuple::unconstrained(
+            vec![lrp(0, 30), lrp(0, 30), lrp(0, 30), lrp(0, 30)],
+            vec![],
+        )];
+        let err = complement_tuples(&r, 4, 1000).unwrap_err();
+        assert!(matches!(err, CoreError::TooManyExtensions { .. }));
+    }
+
+    #[test]
+    fn theorem_a1_size_bound() {
+        // Negating N single-extension tuples yields at most
+        // (N+1)^(m(m+1)) tuples (Theorem A.1). All tuples share the free
+        // extension Z^m so the bound applies directly.
+        for (m, n) in [(1usize, 4usize), (2, 3), (2, 5)] {
+            let mut tuples = Vec::new();
+            for i in 0..n {
+                let mut atoms = vec![Atom::ge(0, i as i64 * 3 - 4)];
+                if m > 1 {
+                    atoms.push(Atom::diff_le(0, 1, i as i64 - 2));
+                }
+                tuples.push(
+                    GenTuple::with_atoms(vec![Lrp::all(); m], &atoms, vec![]).unwrap(),
+                );
+            }
+            let comp = complement_tuples(&tuples, m, 1 << 20).unwrap();
+            let bound = ((n + 1) as u64).pow((m * (m + 1)) as u32);
+            assert!(
+                (comp.len() as u64) <= bound,
+                "m={m}, N={n}: {} > bound {bound}",
+                comp.len()
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_complement_partitions_space(
+            c1 in 0i64..3, k1 in 1i64..4,
+            a in -4i64..4,
+            c2 in 0i64..3, k2 in 1i64..4,
+            b in -4i64..4,
+            x in -10i64..10,
+        ) {
+            let r = vec![
+                GenTuple::with_atoms(vec![lrp(c1, k1)], &[Atom::ge(0, a)], vec![]).unwrap(),
+                GenTuple::with_atoms(vec![lrp(c2, k2)], &[Atom::le(0, b)], vec![]).unwrap(),
+            ];
+            let comp = complement_tuples(&r, 1, 100_000).unwrap();
+            let in_r = r.iter().any(|t| t.contains(&[x], &[]));
+            let in_c = comp.iter().any(|t| t.contains(&[x], &[]));
+            prop_assert!(in_r != in_c, "x = {}", x);
+        }
+    }
+}

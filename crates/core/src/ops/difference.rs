@@ -1,0 +1,260 @@
+//! Tuple difference (§3.3.3, Figure 1).
+
+use itd_constraint::Atom;
+use itd_lrp::{Lrp, LrpDiff};
+
+use crate::tuple::GenTuple;
+use crate::Result;
+
+/// Difference of two generalized tuples, per the paper's decomposition
+/// (Figure 1):
+///
+/// ```text
+/// t1 − t2 = (t1 − t2*) ∪ (t̄2 ∩ t1)
+/// ```
+///
+/// where `t2*` is the free extension of `t2` (its lrps without constraints)
+/// and `t̄2 = t2* − t2` is the part of the free extension excluded by `t2`'s
+/// constraints.
+///
+/// * `t1 − t2*` removes whole residue classes: for each column `i`, keep the
+///   pieces of `l1ᵢ − l2ᵢ` (§3.3.1) with the other columns and `t1`'s
+///   constraints unchanged. A removed *single point* inside an infinite
+///   column (the [`LrpDiff::Punctured`] case) is expressed by splitting into
+///   `Xᵢ ≤ p−1` and `Xᵢ ≥ p+1` — the paper's own negated-constraint device.
+/// * `t̄2 ∩ t1` adds, for each negated atom `d` of `t2`'s constraints, the
+///   tuple with columnwise-intersected lrps and constraints `C1 ∧ d`
+///   (disjunctions are eliminated by splitting, as prescribed).
+///
+/// The result may contain syntactically nonempty but grid-empty tuples;
+/// relation-level difference prunes them.
+///
+/// # Errors
+/// Arithmetic overflow in lrp subtraction / constraint negation.
+///
+/// # Panics
+/// If the schemas differ.
+pub fn difference_tuples(t1: &GenTuple, t2: &GenTuple) -> Result<Vec<GenTuple>> {
+    assert_eq!(t1.schema(), t2.schema(), "schema mismatch in difference");
+    // Different data values ⇒ disjoint denotations.
+    if t1.data() != t2.data() {
+        return Ok(vec![t1.clone()]);
+    }
+    if !t2.constraints().is_satisfiable() {
+        return Ok(vec![t1.clone()]); // t2 is empty
+    }
+    // Columnwise intersections; any empty column ⇒ t1 ∩ t2* = ∅ ⇒ t1 − t2 = t1.
+    let mut meets: Vec<Lrp> = Vec::with_capacity(t1.lrps().len());
+    for (a, b) in t1.lrps().iter().zip(t2.lrps()) {
+        match a.intersect(b)? {
+            Some(l) => meets.push(l),
+            None => return Ok(vec![t1.clone()]),
+        }
+    }
+
+    let mut out = Vec::new();
+
+    // Part 1: t1 − t2* — per column, the removed residue classes / points.
+    for (i, (l1, meet)) in t1.lrps().iter().zip(&meets).enumerate() {
+        match l1.subtract(meet)? {
+            LrpDiff::Empty => {}
+            LrpDiff::Unchanged => unreachable!("meet is a nonempty subset of l1"),
+            LrpDiff::Classes(classes) => {
+                for c in classes {
+                    let mut lrps = t1.lrps().to_vec();
+                    lrps[i] = c;
+                    out.push(GenTuple::new(
+                        lrps,
+                        t1.constraints().clone(),
+                        t1.data().to_vec(),
+                    )?);
+                }
+            }
+            LrpDiff::Punctured(p) => {
+                for atom in [
+                    Atom::lt(i, p).ok_or(itd_numth::NumthError::Overflow)?,
+                    Atom::gt(i, p).ok_or(itd_numth::NumthError::Overflow)?,
+                ] {
+                    let mut cons = t1.constraints().clone();
+                    cons.add(atom)?;
+                    if cons.is_satisfiable() {
+                        out.push(GenTuple::new(
+                            t1.lrps().to_vec(),
+                            cons,
+                            t1.data().to_vec(),
+                        )?);
+                    }
+                }
+            }
+        }
+    }
+
+    // Part 2: t̄2 ∩ t1 — the intersected free extension restricted to the
+    // negation of t2's constraints (one tuple per negated atom).
+    if let Some(disjuncts) = t2.constraints().negation()? {
+        for d in disjuncts {
+            let mut cons = t1.constraints().clone();
+            cons.add(d)?;
+            if cons.is_satisfiable() {
+                out.push(GenTuple::new(meets.clone(), cons, t1.data().to_vec())?);
+            }
+        }
+    }
+    // negation() == None would mean t2's constraints are unsatisfiable,
+    // which was handled above.
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::materialize_tuples;
+    use crate::value::Value;
+    use proptest::prelude::*;
+
+    fn lrp(c: i64, k: i64) -> Lrp {
+        Lrp::new(c, k).unwrap()
+    }
+
+    /// Window check: does the symbolic difference match set difference?
+    fn check_window(t1: &GenTuple, t2: &GenTuple, lo: i64, hi: i64) {
+        let diff = difference_tuples(t1, t2).unwrap();
+        let a = materialize_tuples(std::slice::from_ref(t1), lo, hi);
+        let b = materialize_tuples(std::slice::from_ref(t2), lo, hi);
+        let expect: Vec<_> = a.difference(&b).cloned().collect();
+        let got = materialize_tuples(&diff, lo, hi);
+        let got: Vec<_> = got.into_iter().collect();
+        assert_eq!(expect, got, "t1 = {t1}, t2 = {t2}");
+    }
+
+    #[test]
+    fn residue_class_removal() {
+        // (2n) − (6n + 4) = {6n, 6n + 2}
+        let t1 = GenTuple::unconstrained(vec![lrp(0, 2)], vec![]);
+        let t2 = GenTuple::unconstrained(vec![lrp(4, 6)], vec![]);
+        check_window(&t1, &t2, -20, 20);
+    }
+
+    #[test]
+    fn constrained_subtrahend_leaves_complement_part() {
+        // Remove only the positive part of the same lrp.
+        let t1 = GenTuple::unconstrained(vec![lrp(0, 2)], vec![]);
+        let t2 = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 0)], vec![]).unwrap();
+        check_window(&t1, &t2, -20, 20);
+        let diff = difference_tuples(&t1, &t2).unwrap();
+        // Expect exactly the negative evens.
+        assert!(diff.iter().any(|t| t.contains(&[-2], &[])));
+        assert!(!diff.iter().any(|t| t.contains(&[0], &[])));
+    }
+
+    #[test]
+    fn puncture_single_point() {
+        let t1 = GenTuple::unconstrained(vec![lrp(1, 2)], vec![]);
+        let t2 = GenTuple::unconstrained(vec![Lrp::point(5)], vec![]);
+        check_window(&t1, &t2, -10, 15);
+    }
+
+    #[test]
+    fn disjoint_subtrahend_is_noop() {
+        let t1 = GenTuple::unconstrained(vec![lrp(0, 2)], vec![]);
+        let t2 = GenTuple::unconstrained(vec![lrp(1, 2)], vec![]);
+        let diff = difference_tuples(&t1, &t2).unwrap();
+        assert_eq!(diff, vec![t1.clone()]);
+    }
+
+    #[test]
+    fn identical_tuples_cancel() {
+        let t = GenTuple::with_atoms(vec![lrp(0, 3)], &[Atom::ge(0, 0)], vec![]).unwrap();
+        let diff = difference_tuples(&t, &t).unwrap();
+        let got = materialize_tuples(&diff, -30, 30);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn different_data_is_noop() {
+        let t1 = GenTuple::unconstrained(vec![lrp(0, 2)], vec![Value::str("a")]);
+        let t2 = GenTuple::unconstrained(vec![lrp(0, 2)], vec![Value::str("b")]);
+        assert_eq!(difference_tuples(&t1, &t2).unwrap(), vec![t1.clone()]);
+    }
+
+    #[test]
+    fn empty_subtrahend_is_noop() {
+        let t1 = GenTuple::unconstrained(vec![lrp(0, 2)], vec![]);
+        let t2 = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::le(0, 0), Atom::ge(0, 2)], vec![])
+            .unwrap();
+        assert_eq!(difference_tuples(&t1, &t2).unwrap(), vec![t1.clone()]);
+    }
+
+    #[test]
+    fn two_dimensional_figure_1_shape() {
+        // A constrained t2 inside t1's free extension: both parts of the
+        // decomposition contribute.
+        let t1 = GenTuple::with_atoms(
+            vec![lrp(0, 2), lrp(0, 2)],
+            &[Atom::ge(0, -10)],
+            vec![],
+        )
+        .unwrap();
+        let t2 = GenTuple::with_atoms(
+            vec![lrp(0, 4), lrp(0, 2)],
+            &[Atom::diff_le(0, 1, 0), Atom::ge(1, 0)],
+            vec![],
+        )
+        .unwrap();
+        check_window(&t1, &t2, -8, 12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_difference_matches_set_semantics(
+            c1 in 0i64..4, k1 in 1i64..5,
+            c2 in 0i64..4, k2 in 1i64..5,
+            lo1 in -6i64..6,
+            hi2 in -6i64..6,
+        ) {
+            let t1 = GenTuple::with_atoms(
+                vec![lrp(c1, k1)],
+                &[Atom::ge(0, lo1)],
+                vec![],
+            ).unwrap();
+            let t2 = GenTuple::with_atoms(
+                vec![lrp(c2, k2)],
+                &[Atom::le(0, hi2)],
+                vec![],
+            ).unwrap();
+            let diff = difference_tuples(&t1, &t2).unwrap();
+            for x in -25i64..25 {
+                let expect = t1.contains(&[x], &[]) && !t2.contains(&[x], &[]);
+                let got = diff.iter().any(|t| t.contains(&[x], &[]));
+                prop_assert_eq!(expect, got, "x = {}", x);
+            }
+        }
+
+        #[test]
+        fn prop_difference_2d(
+            k1 in 1i64..4, k2 in 1i64..4,
+            a in -4i64..4,
+            b in -4i64..4,
+        ) {
+            let t1 = GenTuple::with_atoms(
+                vec![lrp(0, k1), lrp(1, k2)],
+                &[Atom::diff_le(0, 1, 3)],
+                vec![],
+            ).unwrap();
+            let t2 = GenTuple::with_atoms(
+                vec![lrp(0, 2), lrp(1, 2)],
+                &[Atom::diff_le(0, 1, a), Atom::ge(0, b)],
+                vec![],
+            ).unwrap();
+            let diff = difference_tuples(&t1, &t2).unwrap();
+            for x in -8i64..8 {
+                for y in -8i64..8 {
+                    let expect = t1.contains(&[x, y], &[]) && !t2.contains(&[x, y], &[]);
+                    let got = diff.iter().any(|t| t.contains(&[x, y], &[]));
+                    prop_assert_eq!(expect, got, "({}, {})", x, y);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Tuple intersection (§3.2.2).
+
+use crate::tuple::GenTuple;
+use crate::Result;
+
+/// Intersection of two generalized tuples of the same schema.
+///
+/// Following the paper: intersect the lrps column by column (§3.2.1's
+/// extended-Euclid construction) and take the union (conjunction) of the
+/// two constraint systems. Data columns intersect as sets of single points:
+/// nonempty only when equal.
+///
+/// Returns `None` when the intersection is syntactically empty (disjoint
+/// lrps, unequal data, or contradictory constraints). A `Some` result can
+/// still be semantically empty on the grid; callers that need exactness
+/// follow up with [`GenTuple::is_empty`].
+///
+/// # Errors
+/// Arithmetic overflow in lrp intersection or constraint closure.
+///
+/// # Panics
+/// If the schemas differ.
+pub fn intersect_tuples(t1: &GenTuple, t2: &GenTuple) -> Result<Option<GenTuple>> {
+    assert_eq!(t1.schema(), t2.schema(), "schema mismatch in intersection");
+    if t1.data() != t2.data() {
+        return Ok(None);
+    }
+    let mut lrps = Vec::with_capacity(t1.lrps().len());
+    for (a, b) in t1.lrps().iter().zip(t2.lrps()) {
+        match a.intersect(b)? {
+            Some(l) => lrps.push(l),
+            None => return Ok(None),
+        }
+    }
+    let cons = t1.constraints().conjoin(t2.constraints())?;
+    if !cons.is_satisfiable() {
+        return Ok(None);
+    }
+    Ok(Some(GenTuple::new(lrps, cons, t1.data().to_vec())?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use itd_constraint::Atom;
+    use itd_lrp::Lrp;
+
+    fn lrp(c: i64, k: i64) -> Lrp {
+        Lrp::new(c, k).unwrap()
+    }
+
+    #[test]
+    fn paper_example_3_1() {
+        // [2n1+1, 3n2−4] ∧ X1 ≤ X2 ∧ 3 ≤ X1
+        //   ∩ [5n3, 5n4+2] ∧ X1 = X2 − 2
+        // = [10n+5, 15n'+2] ∧ X1 ≤ X2 ∧ 3 ≤ X1 ∧ X1 = X2 − 2
+        let t1 = GenTuple::with_atoms(
+            vec![lrp(1, 2), lrp(-4, 3)],
+            &[Atom::diff_le(0, 1, 0), Atom::ge(0, 3)],
+            vec![],
+        )
+        .unwrap();
+        let t2 = GenTuple::with_atoms(
+            vec![lrp(0, 5), lrp(2, 5)],
+            &[Atom::diff_eq(0, 1, -2)],
+            vec![],
+        )
+        .unwrap();
+        let i = intersect_tuples(&t1, &t2).unwrap().unwrap();
+        assert_eq!(i.lrps()[0], lrp(5, 10));
+        assert_eq!(i.lrps()[1], lrp(2, 15));
+        // Constraints: X1 = X2 − 2 (closure merges it with X1 ≤ X2) and X1 ≥ 3.
+        assert_eq!(
+            i.constraints().diff_bound(0, 1),
+            itd_constraint::Bound::Finite(-2)
+        );
+        assert_eq!(i.constraints().lower(0), Some(3));
+    }
+
+    #[test]
+    fn intersection_matches_membership() {
+        let t1 = GenTuple::with_atoms(vec![lrp(1, 2), lrp(0, 3)], &[Atom::ge(0, 0)], vec![])
+            .unwrap();
+        let t2 = GenTuple::with_atoms(
+            vec![lrp(1, 4), lrp(0, 2)],
+            &[Atom::diff_le(0, 1, 10)],
+            vec![],
+        )
+        .unwrap();
+        let i = intersect_tuples(&t1, &t2).unwrap();
+        for x in -10..25 {
+            for y in -10..25 {
+                let both = t1.contains(&[x, y], &[]) && t2.contains(&[x, y], &[]);
+                let got = i
+                    .as_ref()
+                    .map(|t| t.contains(&[x, y], &[]))
+                    .unwrap_or(false);
+                assert_eq!(both, got, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_lrps_give_none() {
+        let t1 = GenTuple::unconstrained(vec![lrp(0, 2)], vec![]);
+        let t2 = GenTuple::unconstrained(vec![lrp(1, 2)], vec![]);
+        assert!(intersect_tuples(&t1, &t2).unwrap().is_none());
+    }
+
+    #[test]
+    fn mismatched_data_gives_none() {
+        let t1 = GenTuple::unconstrained(vec![lrp(0, 2)], vec![Value::str("a")]);
+        let t2 = GenTuple::unconstrained(vec![lrp(0, 2)], vec![Value::str("b")]);
+        assert!(intersect_tuples(&t1, &t2).unwrap().is_none());
+        let t3 = GenTuple::unconstrained(vec![lrp(0, 2)], vec![Value::str("a")]);
+        assert!(intersect_tuples(&t1, &t3).unwrap().is_some());
+    }
+
+    #[test]
+    fn contradictory_constraints_give_none() {
+        let t1 = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 10)], vec![]).unwrap();
+        let t2 = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::le(0, 5)], vec![]).unwrap();
+        assert!(intersect_tuples(&t1, &t2).unwrap().is_none());
+    }
+}

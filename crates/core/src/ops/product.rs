@@ -1,0 +1,193 @@
+//! Cross product (§3.6) and join (§3.7) at the tuple level.
+
+use crate::tuple::GenTuple;
+use crate::Result;
+
+/// Cross product of two tuples: concatenated lrps and data, constraints
+/// embedded side by side (§3.6).
+///
+/// # Errors
+/// Arithmetic overflow in constraint closure.
+pub fn cross_product_tuples(t1: &GenTuple, t2: &GenTuple) -> Result<GenTuple> {
+    let (m1, m2) = (t1.lrps().len(), t2.lrps().len());
+    let mut lrps = Vec::with_capacity(m1 + m2);
+    lrps.extend_from_slice(t1.lrps());
+    lrps.extend_from_slice(t2.lrps());
+    let mut data = Vec::with_capacity(t1.data().len() + t2.data().len());
+    data.extend_from_slice(t1.data());
+    data.extend_from_slice(t2.data());
+
+    let left_map: Vec<usize> = (0..m1).collect();
+    let right_map: Vec<usize> = (m1..m1 + m2).collect();
+    let cons = t1
+        .constraints()
+        .embed(m1 + m2, &left_map)
+        .conjoin(&t2.constraints().embed(m1 + m2, &right_map))?;
+    GenTuple::new(lrps, cons, data)
+}
+
+/// Equi-join of two tuples on the given attribute pairs (§3.7).
+///
+/// `temporal_pairs` lists `(i, j)` meaning attribute `i` of `t1` must equal
+/// attribute `j` of `t2`; `data_pairs` likewise for data attributes. The
+/// result keeps **all** columns of both tuples (the joined temporal columns
+/// are intersected lrps constrained equal, exactly the paper's "intersection
+/// of the common columns"); project afterwards to drop duplicates.
+///
+/// Returns `None` if the join is syntactically empty.
+///
+/// # Errors
+/// Arithmetic overflow.
+///
+/// # Panics
+/// If a pair index is out of range.
+pub fn join_tuples(
+    t1: &GenTuple,
+    t2: &GenTuple,
+    temporal_pairs: &[(usize, usize)],
+    data_pairs: &[(usize, usize)],
+) -> Result<Option<GenTuple>> {
+    for &(i, j) in data_pairs {
+        if t1.data()[i] != t2.data()[j] {
+            return Ok(None);
+        }
+    }
+    let m1 = t1.lrps().len();
+    let mut combined = cross_product_tuples(t1, t2)?;
+    // Equality on joined temporal columns: refine both lrps to their
+    // intersection and pin them equal.
+    for &(i, j) in temporal_pairs {
+        assert!(i < m1, "left join attribute out of range");
+        let jr = m1 + j;
+        assert!(jr < combined.lrps().len(), "right join attribute out of range");
+        let (mut lrps, mut cons, data) = combined.into_parts();
+        let meet = match lrps[i].intersect(&lrps[jr])? {
+            Some(l) => l,
+            None => return Ok(None),
+        };
+        lrps[i] = meet;
+        lrps[jr] = meet;
+        cons.add(itd_constraint::Atom::diff_eq(i, jr, 0))?;
+        if !cons.is_satisfiable() {
+            return Ok(None);
+        }
+        combined = GenTuple::new(lrps, cons, data)?;
+    }
+    Ok(Some(combined))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use itd_constraint::Atom;
+    use itd_lrp::Lrp;
+
+    fn lrp(c: i64, k: i64) -> Lrp {
+        Lrp::new(c, k).unwrap()
+    }
+
+    #[test]
+    fn cross_product_concatenates() {
+        let t1 = GenTuple::with_atoms(
+            vec![lrp(0, 2)],
+            &[Atom::ge(0, 4)],
+            vec![Value::str("a")],
+        )
+        .unwrap();
+        let t2 = GenTuple::with_atoms(
+            vec![lrp(1, 3), Lrp::point(9)],
+            &[Atom::diff_le(0, 1, 0)],
+            vec![Value::Int(7)],
+        )
+        .unwrap();
+        let c = cross_product_tuples(&t1, &t2).unwrap();
+        assert_eq!(c.schema(), crate::Schema::new(3, 2));
+        assert_eq!(c.lrps(), &[lrp(0, 2), lrp(1, 3), Lrp::point(9)]);
+        assert_eq!(c.data(), &[Value::str("a"), Value::Int(7)]);
+        // t1's bound applies to column 0, t2's difference to columns 1, 2.
+        assert!(c.contains(&[4, 7, 9], &[Value::str("a"), Value::Int(7)]));
+        assert!(!c.contains(&[2, 7, 9], &[Value::str("a"), Value::Int(7)])); // X1 >= 4 fails
+        assert!(!c.contains(&[4, 10, 9], &[Value::str("a"), Value::Int(7)])); // X2 <= X3 fails
+    }
+
+    #[test]
+    fn cross_product_membership_is_product_semantics() {
+        let t1 = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 0)], vec![]).unwrap();
+        let t2 = GenTuple::with_atoms(vec![lrp(1, 2)], &[Atom::le(0, 9)], vec![]).unwrap();
+        let c = cross_product_tuples(&t1, &t2).unwrap();
+        for x in -4..14 {
+            for y in -4..14 {
+                let expect = t1.contains(&[x], &[]) && t2.contains(&[y], &[]);
+                assert_eq!(c.contains(&[x, y], &[]), expect, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn join_pins_columns_equal() {
+        // Join intervals sharing an endpoint: (X1, X2) ⋈ (Y1, Y2) on X2 = Y1
+        // — the paper's interval-concatenation example (footnote 2).
+        let t1 = GenTuple::with_atoms(
+            vec![lrp(0, 10), lrp(2, 10)],
+            &[Atom::diff_eq(1, 0, 2)],
+            vec![],
+        )
+        .unwrap();
+        let t2 = GenTuple::with_atoms(
+            vec![lrp(2, 5), lrp(4, 5)],
+            &[Atom::diff_eq(1, 0, 2)],
+            vec![],
+        )
+        .unwrap();
+        let j = join_tuples(&t1, &t2, &[(1, 0)], &[]).unwrap().unwrap();
+        assert_eq!(j.schema().temporal(), 4);
+        // Joined columns carry the intersected lrp 2 + 10n.
+        assert_eq!(j.lrps()[1], lrp(2, 10));
+        assert_eq!(j.lrps()[2], lrp(2, 10));
+        assert!(j.contains(&[0, 2, 2, 4], &[]));
+        assert!(j.contains(&[10, 12, 12, 14], &[]));
+        assert!(!j.contains(&[0, 2, 7, 9], &[])); // X2 ≠ Y1
+    }
+
+    #[test]
+    fn join_on_disjoint_lrps_is_empty() {
+        let t1 = GenTuple::unconstrained(vec![lrp(0, 2)], vec![]);
+        let t2 = GenTuple::unconstrained(vec![lrp(1, 2)], vec![]);
+        assert!(join_tuples(&t1, &t2, &[(0, 0)], &[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn join_on_data_filters() {
+        let t1 = GenTuple::unconstrained(vec![lrp(0, 2)], vec![Value::str("x")]);
+        let t2 = GenTuple::unconstrained(vec![lrp(0, 3)], vec![Value::str("x")]);
+        let t3 = GenTuple::unconstrained(vec![lrp(0, 3)], vec![Value::str("y")]);
+        assert!(join_tuples(&t1, &t2, &[], &[(0, 0)]).unwrap().is_some());
+        assert!(join_tuples(&t1, &t3, &[], &[(0, 0)]).unwrap().is_none());
+    }
+
+    #[test]
+    fn join_semantics_on_window() {
+        let t1 = GenTuple::with_atoms(
+            vec![lrp(0, 3), lrp(1, 3)],
+            &[Atom::diff_le(0, 1, 0)],
+            vec![],
+        )
+        .unwrap();
+        let t2 = GenTuple::with_atoms(vec![lrp(1, 2)], &[Atom::ge(0, 3)], vec![]).unwrap();
+        let j = join_tuples(&t1, &t2, &[(1, 0)], &[]).unwrap();
+        for x in 0..14 {
+            for y in 0..14 {
+                for z in 0..14 {
+                    let expect =
+                        t1.contains(&[x, y], &[]) && t2.contains(&[z], &[]) && y == z;
+                    let got = j
+                        .as_ref()
+                        .map(|t| t.contains(&[x, y, z], &[]))
+                        .unwrap_or(false);
+                    assert_eq!(expect, got, "({x},{y},{z})");
+                }
+            }
+        }
+    }
+}

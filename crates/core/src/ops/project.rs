@@ -1,0 +1,391 @@
+//! Projection (§3.4) — the operation that makes normalization necessary.
+
+use itd_constraint::Atom;
+
+use crate::tuple::GenTuple;
+use crate::Result;
+
+/// Union-find over temporal columns, linked by difference atoms.
+struct Components {
+    parent: Vec<usize>,
+}
+
+impl Components {
+    fn new(n: usize) -> Self {
+        Components {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// The columns that must be normalized to eliminate `dropped` exactly: the
+/// union of the constraint-graph components (over a minimal generating
+/// atom set — the closed matrix would over-couple) that touch a dropped
+/// column.
+///
+/// This is the paper's §3.4 remark — "only column i and columns sharing a
+/// constraint with column i have to be normalized" — extended transitively.
+fn columns_needing_normalization(t: &GenTuple, dropped: &[usize]) -> Result<Vec<usize>> {
+    let m = t.lrps().len();
+    let mut uf = Components::new(m);
+    for atom in t.constraints().reduced_atoms()? {
+        if let Atom::DiffLe { i, j, .. } | Atom::DiffEq { i, j, .. } = atom {
+            uf.union(i, j);
+        }
+    }
+    let mut needed = vec![false; m];
+    for &d in dropped {
+        let root = uf.find(d);
+        for (c, flag) in needed.iter_mut().enumerate() {
+            if uf.find(c) == root {
+                *flag = true;
+            }
+        }
+    }
+    Ok((0..m).filter(|&c| needed[c]).collect())
+}
+
+/// Projects a tuple onto the given temporal and data columns (in the listed
+/// order, which may permute).
+///
+/// Per §3.4, naive variable elimination over the reals is **unsound** on lrp
+/// grids (Figure 2: real projection of `[4n₁+3, 8n₂+1]` with
+/// `X₁ ≥ X₂ ∧ X₁ ≤ X₂+5 ∧ X₂ ≥ 2` contains 3, 7, 15, … which have no
+/// witnesses). So: normalize first (Theorem 3.2), then eliminate in grid
+/// coordinates, where closure-based elimination is exact (Theorem 3.1).
+///
+/// Following the paper's own §3.4 remark, normalization is **partial**:
+/// only the constraint-graph component(s) of the eliminated columns are
+/// refined; unrelated columns pass through untouched. This bounds the
+/// `Π k/kᵢ` fan-out to the columns that actually need it. Use
+/// [`project_tuple_full`] to force whole-tuple normalization (the ablation
+/// benchmark compares the two).
+///
+/// One input tuple can project to several output tuples (one per normal
+/// form component).
+///
+/// # Errors
+/// Arithmetic overflow during normalization.
+///
+/// # Panics
+/// If an index is out of range or repeated.
+pub fn project_tuple(
+    t: &GenTuple,
+    temporal_keep: &[usize],
+    data_keep: &[usize],
+) -> Result<Vec<GenTuple>> {
+    let m = t.lrps().len();
+    let dropped: Vec<usize> = (0..m).filter(|c| !temporal_keep.contains(c)).collect();
+    let hot = columns_needing_normalization(t, &dropped)?;
+    if hot.len() == m {
+        return project_tuple_full(t, temporal_keep, data_keep);
+    }
+
+    let data: Vec<_> = data_keep.iter().map(|&i| t.data()[i].clone()).collect();
+    // Split kept columns into the hot component(s) and the cold rest.
+    let hot_kept: Vec<usize> = temporal_keep
+        .iter()
+        .copied()
+        .filter(|c| hot.contains(c))
+        .collect();
+    let cold_kept: Vec<usize> = temporal_keep
+        .iter()
+        .copied()
+        .filter(|c| !hot.contains(c))
+        .collect();
+
+    // Mini-tuple over the hot columns; project it with full normalization.
+    let mini = GenTuple::new(
+        hot.iter().map(|&c| t.lrps()[c]).collect(),
+        t.constraints().project_onto(&hot),
+        vec![],
+    )?;
+    let mini_keep: Vec<usize> = hot_kept
+        .iter()
+        .map(|&c| hot.iter().position(|&h| h == c).expect("hot_kept ⊆ hot"))
+        .collect();
+    let minis = project_tuple_full(&mini, &mini_keep, &[])?;
+
+    // Cold part: kept untouched (no elimination there, so no grid issue).
+    let cold_cons = t.constraints().project_onto(&cold_kept);
+
+    // Output positions of each part within `temporal_keep` order.
+    let out_arity = temporal_keep.len();
+    let hot_positions: Vec<usize> = (0..out_arity)
+        .filter(|&p| hot.contains(&temporal_keep[p]))
+        .collect();
+    let cold_positions: Vec<usize> = (0..out_arity)
+        .filter(|&p| !hot.contains(&temporal_keep[p]))
+        .collect();
+
+    let mut out = Vec::new();
+    for mt in minis {
+        let mut lrps = Vec::with_capacity(out_arity);
+        let mut hot_cursor = 0usize;
+        for &col in temporal_keep {
+            if hot.contains(&col) {
+                lrps.push(mt.lrps()[hot_cursor]);
+                hot_cursor += 1;
+            } else {
+                lrps.push(t.lrps()[col]);
+            }
+        }
+        let cons = mt
+            .constraints()
+            .embed(out_arity, &hot_positions)
+            .conjoin(&cold_cons.embed(out_arity, &cold_positions))?;
+        out.push(GenTuple::new(lrps, cons, data.clone())?);
+    }
+    Ok(out)
+}
+
+/// Projection with **whole-tuple** normalization — the unoptimized §3.4
+/// algorithm. Semantically identical to [`project_tuple`]; kept public for
+/// the partial-normalization ablation.
+///
+/// # Errors
+/// Arithmetic overflow during normalization.
+///
+/// # Panics
+/// If an index is out of range or repeated.
+pub fn project_tuple_full(
+    t: &GenTuple,
+    temporal_keep: &[usize],
+    data_keep: &[usize],
+) -> Result<Vec<GenTuple>> {
+    let data: Vec<_> = data_keep.iter().map(|&i| t.data()[i].clone()).collect();
+    let mut out = Vec::new();
+    for nt in t.normalize()? {
+        let (k, anchors, grid) = crate::normalize::grid_view(&nt)?;
+        let projected_grid = grid.project_onto(temporal_keep);
+        let kept_anchors: Vec<i64> = temporal_keep.iter().map(|&i| anchors[i]).collect();
+        let cons = projected_grid.from_grid(&kept_anchors, k)?;
+        let lrps: Vec<_> = temporal_keep.iter().map(|&i| nt.lrps()[i]).collect();
+        out.push(GenTuple::new(lrps, cons, data.clone())?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::materialize_tuples;
+    use crate::value::Value;
+    use itd_constraint::Atom;
+    use itd_lrp::Lrp;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn lrp(c: i64, k: i64) -> Lrp {
+        Lrp::new(c, k).unwrap()
+    }
+
+    #[test]
+    fn paper_figure_2_projection_is_exact() {
+        // Figure 2 / Example 3.2: projecting out X2 must give 8n+3 with
+        // X1 ≥ 11 — NOT the naive real projection (4n+3 with X1 ≥ 2-ish),
+        // whose extra points 3, 7, 15, 23… have no witnesses.
+        let t = GenTuple::with_atoms(
+            vec![lrp(3, 4), lrp(1, 8)],
+            &[
+                Atom::diff_ge(0, 1, 0).unwrap(),
+                Atom::diff_le(0, 1, 5),
+                Atom::ge(1, 2),
+            ],
+            vec![],
+        )
+        .unwrap();
+        let p = project_tuple(&t, &[0], &[]).unwrap();
+        assert_eq!(p.len(), 1, "{p:?}");
+        assert_eq!(p[0].lrps()[0], lrp(3, 8));
+        assert_eq!(p[0].constraints().lower(0), Some(11));
+        // The false witnesses of the naive method are excluded:
+        for bogus in [3, 7, 15, 23] {
+            assert!(!p[0].contains(&[bogus], &[]), "{bogus} wrongly included");
+        }
+        // And the real ones are present: 11, 19, 27, …
+        for real in [11, 19, 27, 35] {
+            assert!(p[0].contains(&[real], &[]), "{real} missing");
+        }
+    }
+
+    #[test]
+    fn projection_matches_brute_force() {
+        let t = GenTuple::with_atoms(
+            vec![lrp(3, 4), lrp(1, 8)],
+            &[
+                Atom::diff_ge(0, 1, 0).unwrap(),
+                Atom::diff_le(0, 1, 5),
+                Atom::ge(1, 2),
+            ],
+            vec![],
+        )
+        .unwrap();
+        let p = project_tuple(&t, &[0], &[]).unwrap();
+        // Brute force: x1 appears iff some x2 in a wide window pairs with it.
+        let wide = materialize_tuples(&[t], -50, 120);
+        let expect: BTreeSet<i64> = wide.iter().map(|(ts, _)| ts[0]).collect();
+        for x1 in -20..60 {
+            let symbolic = p.iter().any(|pt| pt.contains(&[x1], &[]));
+            // Only compare where the wide window is authoritative.
+            let brute = expect.contains(&x1);
+            assert_eq!(symbolic, brute, "x1 = {x1}");
+        }
+    }
+
+    #[test]
+    fn projection_keeps_and_permutes_columns() {
+        let t = GenTuple::with_atoms(
+            vec![lrp(0, 2), lrp(1, 2), Lrp::point(5)],
+            &[Atom::diff_le(0, 1, 0)],
+            vec![Value::str("a"), Value::Int(1)],
+        )
+        .unwrap();
+        let p = project_tuple(&t, &[2, 0], &[1]).unwrap();
+        assert!(!p.is_empty());
+        for pt in &p {
+            assert_eq!(pt.schema(), crate::Schema::new(2, 1));
+            assert!(pt.lrps()[0].is_point());
+            assert_eq!(pt.data(), &[Value::Int(1)]);
+        }
+    }
+
+    #[test]
+    fn project_to_nothing_checks_emptiness() {
+        // Projecting all columns away leaves the 0-ary tuple iff nonempty.
+        let t = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 100)], vec![]).unwrap();
+        let p = project_tuple(&t, &[], &[]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].schema(), crate::Schema::new(0, 0));
+        // Unsatisfiable tuple projects to nothing.
+        let t = GenTuple::with_atoms(
+            vec![lrp(0, 2), lrp(0, 2)],
+            &[Atom::diff_eq(0, 1, 1)],
+            vec![],
+        )
+        .unwrap();
+        assert!(project_tuple(&t, &[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn partial_normalization_matches_full() {
+        // Column 2 (period 7) is unrelated to the eliminated column 1:
+        // the partial path must not refine it.
+        let t = GenTuple::with_atoms(
+            vec![lrp(3, 4), lrp(1, 8), lrp(2, 7)],
+            &[
+                Atom::diff_ge(0, 1, 0).unwrap(),
+                Atom::diff_le(0, 1, 5),
+                Atom::ge(1, 2),
+                Atom::le(2, 100),
+            ],
+            vec![],
+        )
+        .unwrap();
+        let partial = project_tuple(&t, &[0, 2], &[]).unwrap();
+        let full = project_tuple_full(&t, &[0, 2], &[]).unwrap();
+        // The unrelated column keeps its original period in the partial
+        // result (no fan-out through lcm(8,7) = 56).
+        assert!(partial.iter().all(|pt| pt.lrps()[1].period() == 7));
+        assert!(partial.len() <= full.len());
+        for x in -10..60 {
+            for z in -10..60 {
+                let a = partial.iter().any(|pt| pt.contains(&[x, z], &[]));
+                let b = full.iter().any(|pt| pt.contains(&[x, z], &[]));
+                assert_eq!(a, b, "({x},{z})");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_pure_permutation_keeps_everything() {
+        // No column dropped: projection is a permutation; nothing is
+        // normalized at all.
+        let t = GenTuple::with_atoms(
+            vec![lrp(1, 6), lrp(0, 10)],
+            &[Atom::diff_le(0, 1, 3)],
+            vec![],
+        )
+        .unwrap();
+        let p = project_tuple(&t, &[1, 0], &[]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].lrps(), &[lrp(0, 10), lrp(1, 6)]);
+        for x in -12..12 {
+            for y in -12..12 {
+                assert_eq!(
+                    p[0].contains(&[y, x], &[]),
+                    t.contains(&[x, y], &[]),
+                    "({x},{y})"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partial_equals_full(
+            k1 in 1i64..5, k2 in 1i64..5, k3 in 1i64..5,
+            a in -4i64..4, lob in -4i64..4, hib in 0i64..6,
+        ) {
+            // Constraint couples columns 0 and 1; column 2 is independent.
+            let t = GenTuple::with_atoms(
+                vec![lrp(0, k1), lrp(1, k2), lrp(2, k3)],
+                &[Atom::diff_le(0, 1, a), Atom::ge(0, lob), Atom::le(2, hib)],
+                vec![],
+            ).unwrap();
+            let partial = project_tuple(&t, &[0, 2], &[]).unwrap();
+            let full = project_tuple_full(&t, &[0, 2], &[]).unwrap();
+            for x in -8i64..8 {
+                for z in -8i64..8 {
+                    let pa = partial.iter().any(|pt| pt.contains(&[x, z], &[]));
+                    let fa = full.iter().any(|pt| pt.contains(&[x, z], &[]));
+                    prop_assert_eq!(pa, fa, "({}, {})", x, z);
+                }
+            }
+        }
+
+        /// Projection agrees with brute-force ∃-elimination on a window.
+        /// The window for the eliminated variable is padded so that any
+        /// witness for an x1 in the comparison range is visible.
+        #[test]
+        fn prop_projection_exact(
+            c1 in 0i64..4, k1 in 1i64..5,
+            c2 in 0i64..4, k2 in 1i64..5,
+            a in -5i64..5,
+            b in -5i64..5,
+            lob in -5i64..5,
+        ) {
+            let t = GenTuple::with_atoms(
+                vec![lrp(c1, k1), lrp(c2, k2)],
+                &[
+                    Atom::diff_ge(0, 1, a).unwrap(),
+                    Atom::diff_le(0, 1, b),
+                    Atom::ge(1, lob),
+                ],
+                vec![],
+            ).unwrap();
+            let p = project_tuple(&t, &[0], &[]).unwrap();
+            for x1 in -12i64..12 {
+                let symbolic = p.iter().any(|pt| pt.contains(&[x1], &[]));
+                // witness range: x2 within |a|,|b| ≤ 5 of x1, or bounded by lob
+                let brute = (-40..=40).any(|x2| t.contains(&[x1, x2], &[]));
+                prop_assert_eq!(symbolic, brute, "x1 = {}", x1);
+            }
+        }
+    }
+}

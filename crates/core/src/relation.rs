@@ -1,0 +1,960 @@
+//! Generalized relations (Definition 2.3) and the relation-level algebra.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use itd_constraint::Atom;
+
+use crate::enumerate::{materialize_tuples, ConcreteTuple};
+use crate::error::CoreError;
+use crate::ops;
+use crate::schema::Schema;
+use crate::tuple::GenTuple;
+use crate::value::Value;
+use crate::Result;
+
+/// A finite set of generalized tuples of one schema — the finite
+/// representation of a (usually infinite) set of concrete tuples.
+///
+/// # Examples
+/// ```
+/// use itd_core::{Atom, GenRelation, GenTuple, Lrp, Schema};
+/// // "Every 10 ticks, a 3-tick task runs": one tuple, infinitely many facts.
+/// let task = GenTuple::with_atoms(
+///     vec![Lrp::new(0, 10).unwrap(), Lrp::new(3, 10).unwrap()],
+///     &[Atom::diff_eq(1, 0, 3)],
+///     vec![],
+/// ).unwrap();
+/// let rel = GenRelation::new(Schema::new(2, 0), vec![task]).unwrap();
+/// assert!(rel.contains(&[1_000_000, 1_000_003], &[]));
+/// // The full algebra is closed: complement, intersect, project, …
+/// let busy_starts = rel.project(&[0], &[]).unwrap();
+/// assert!(busy_starts.contains(&[50], &[]));
+/// assert!(!busy_starts.contains(&[51], &[]));
+/// let idle = busy_starts.complement_temporal().unwrap();
+/// assert!(idle.contains(&[51], &[]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GenRelation {
+    schema: Schema,
+    tuples: Vec<GenTuple>,
+}
+
+impl GenRelation {
+    /// The empty relation of the given schema.
+    pub fn empty(schema: Schema) -> GenRelation {
+        GenRelation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Builds a relation from tuples.
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`] if a tuple disagrees with `schema`.
+    pub fn new(schema: Schema, tuples: Vec<GenTuple>) -> Result<GenRelation> {
+        for t in &tuples {
+            if t.schema() != schema {
+                return Err(CoreError::SchemaMismatch {
+                    expected: schema,
+                    found: t.schema(),
+                });
+            }
+        }
+        Ok(GenRelation { schema, tuples })
+    }
+
+    /// The full space `Z^temporal × (any data)` is not representable with
+    /// data attributes; for purely temporal schemas this returns the
+    /// relation denoting all of `Z^temporal`.
+    ///
+    /// # Errors
+    /// [`CoreError::ComplementHasData`] for schemas with data attributes.
+    pub fn full_temporal(schema: Schema) -> Result<GenRelation> {
+        if !schema.is_purely_temporal() {
+            return Err(CoreError::ComplementHasData);
+        }
+        let lrps = vec![itd_lrp::Lrp::all(); schema.temporal()];
+        Ok(GenRelation {
+            schema,
+            tuples: vec![GenTuple::unconstrained(lrps, vec![])],
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> Schema {
+        self.schema
+    }
+
+    /// The generalized tuples.
+    pub fn tuples(&self) -> &[GenTuple] {
+        &self.tuples
+    }
+
+    /// Number of generalized tuples (the paper's `N`).
+    #[allow(clippy::len_without_is_empty)] // is_empty is semantic (Thm 3.5), see has_no_tuples
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the representation empty (no tuples at all)?
+    ///
+    /// Note: a relation with tuples can still *denote* the empty set; that
+    /// exact test is [`GenRelation::is_empty`].
+    pub fn has_no_tuples(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Adds one tuple.
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`] on schema disagreement.
+    pub fn push(&mut self, t: GenTuple) -> Result<()> {
+        if t.schema() != self.schema {
+            return Err(CoreError::SchemaMismatch {
+                expected: self.schema,
+                found: t.schema(),
+            });
+        }
+        self.tuples.push(t);
+        Ok(())
+    }
+
+    /// Membership of a concrete tuple.
+    pub fn contains(&self, times: &[i64], data: &[Value]) -> bool {
+        self.tuples.iter().any(|t| t.contains(times, data))
+    }
+
+    /// Exact emptiness (Theorem 3.5): does the relation denote no tuple?
+    ///
+    /// # Errors
+    /// Arithmetic overflow during normalization.
+    pub fn is_empty(&self) -> Result<bool> {
+        for t in &self.tuples {
+            if !t.is_empty()? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Union (§3.1): merge the tuple sets.
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`].
+    pub fn union(&self, other: &GenRelation) -> Result<GenRelation> {
+        self.check_schema(other)?;
+        let mut tuples = self.tuples.clone();
+        tuples.extend_from_slice(&other.tuples);
+        Ok(GenRelation {
+            schema: self.schema,
+            tuples,
+        })
+    }
+
+    /// Intersection (§3.2): union of pairwise tuple intersections.
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`]; arithmetic failures.
+    pub fn intersect(&self, other: &GenRelation) -> Result<GenRelation> {
+        self.check_schema(other)?;
+        let mut tuples = Vec::new();
+        for t1 in &self.tuples {
+            for t2 in &other.tuples {
+                if let Some(t) = ops::intersect_tuples(t1, t2)? {
+                    tuples.push(t);
+                }
+            }
+        }
+        Ok(GenRelation {
+            schema: self.schema,
+            tuples,
+        })
+    }
+
+    /// Intersection with residue bucketing — the Appendix A.3 observation
+    /// made operational.
+    ///
+    /// When both relations are normalized at one common period `k`, two
+    /// tuples can only intersect if they have the **same free extension**
+    /// (offset vector) and equal data; grouping `self`'s tuples by that key
+    /// reduces the candidate pairs from `N²` to `N²/k^m` for
+    /// well-distributed data. Falls back to the naive pairwise
+    /// [`GenRelation::intersect`] when the periods are not uniform.
+    ///
+    /// # Errors
+    /// Same as [`GenRelation::intersect`].
+    pub fn intersect_bucketed(&self, other: &GenRelation) -> Result<GenRelation> {
+        self.check_schema(other)?;
+        let Some(k) = self.uniform_period().filter(|k| other.uniform_period() == Some(*k))
+        else {
+            return self.intersect(other);
+        };
+        debug_assert!(k > 0);
+        let mut buckets: std::collections::HashMap<(Vec<i64>, &[Value]), Vec<&GenTuple>> =
+            std::collections::HashMap::new();
+        for t in &self.tuples {
+            let key = (
+                t.lrps().iter().map(itd_lrp::Lrp::offset).collect::<Vec<_>>(),
+                t.data(),
+            );
+            buckets.entry(key).or_default().push(t);
+        }
+        let mut tuples = Vec::new();
+        for t2 in &other.tuples {
+            let key = (
+                t2.lrps().iter().map(itd_lrp::Lrp::offset).collect::<Vec<_>>(),
+                t2.data(),
+            );
+            let Some(candidates) = buckets.get(&key) else {
+                continue;
+            };
+            for t1 in candidates {
+                // Same period and offsets: the lrps coincide, so only the
+                // constraints need conjoining.
+                let cons = t1.constraints().conjoin(t2.constraints())?;
+                if cons.is_satisfiable() {
+                    tuples.push(GenTuple::new(
+                        t2.lrps().to_vec(),
+                        cons,
+                        t2.data().to_vec(),
+                    )?);
+                }
+            }
+        }
+        Ok(GenRelation {
+            schema: self.schema,
+            tuples,
+        })
+    }
+
+    /// The single period shared by every lrp of every tuple, if any
+    /// (`None` when mixed, when some attribute is a point, or when the
+    /// relation has no temporal attributes to key on).
+    pub fn uniform_period(&self) -> Option<i64> {
+        if self.schema.temporal() == 0 {
+            return None;
+        }
+        let mut period = None;
+        for t in &self.tuples {
+            for l in t.lrps() {
+                if l.is_point() {
+                    return None;
+                }
+                match period {
+                    None => period = Some(l.period()),
+                    Some(p) if p == l.period() => {}
+                    Some(_) => return None,
+                }
+            }
+        }
+        period
+    }
+
+    /// Difference (§3.3): fold of tuple differences,
+    /// `r1 − r2 = ∪ᵢ ((t1ᵢ − t21) − … − t2m)`.
+    ///
+    /// Grid-empty intermediate tuples are pruned after every step — the
+    /// "suppress redundant tuples at each intersection" device that keeps
+    /// fixed-schema difference polynomial (Appendix A.7).
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`]; arithmetic failures.
+    pub fn difference(&self, other: &GenRelation) -> Result<GenRelation> {
+        self.check_schema(other)?;
+        let mut tuples = Vec::new();
+        for t1 in &self.tuples {
+            let mut acc = vec![t1.clone()];
+            for t2 in &other.tuples {
+                let mut next = Vec::new();
+                for t in &acc {
+                    next.extend(ops::difference_tuples(t, t2)?);
+                }
+                // Prune and deduplicate to bound the blow-up.
+                let mut pruned: Vec<GenTuple> = Vec::with_capacity(next.len());
+                for t in next {
+                    if !t.is_empty()? && !pruned.contains(&t) {
+                        pruned.push(t);
+                    }
+                }
+                acc = pruned;
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            tuples.extend(acc);
+        }
+        Ok(GenRelation {
+            schema: self.schema,
+            tuples,
+        })
+    }
+
+    /// Projection (§3.4) onto the listed temporal and data columns
+    /// (order given; may permute).
+    ///
+    /// # Errors
+    /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
+    pub fn project(&self, temporal_keep: &[usize], data_keep: &[usize]) -> Result<GenRelation> {
+        for &i in temporal_keep {
+            if i >= self.schema.temporal() {
+                return Err(CoreError::AttributeOutOfRange {
+                    index: i,
+                    arity: self.schema.temporal(),
+                });
+            }
+        }
+        for &i in data_keep {
+            if i >= self.schema.data() {
+                return Err(CoreError::AttributeOutOfRange {
+                    index: i,
+                    arity: self.schema.data(),
+                });
+            }
+        }
+        let mut tuples = Vec::new();
+        for t in &self.tuples {
+            tuples.extend(ops::project_tuple(t, temporal_keep, data_keep)?);
+        }
+        Ok(GenRelation {
+            schema: Schema::new(temporal_keep.len(), data_keep.len()),
+            tuples,
+        })
+    }
+
+    /// Temporal selection (§3.5): adds the constraint atom to every tuple.
+    ///
+    /// # Errors
+    /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
+    pub fn select_temporal(&self, atom: Atom) -> Result<GenRelation> {
+        if atom.max_var() >= self.schema.temporal() {
+            return Err(CoreError::AttributeOutOfRange {
+                index: atom.max_var(),
+                arity: self.schema.temporal(),
+            });
+        }
+        let mut tuples = Vec::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            let mut cons = t.constraints().clone();
+            cons.add(atom)?;
+            if cons.is_satisfiable() {
+                tuples.push(t.with_constraints(cons));
+            }
+        }
+        Ok(GenRelation {
+            schema: self.schema,
+            tuples,
+        })
+    }
+
+    /// Data selection: keeps the tuples whose data vector satisfies the
+    /// predicate (data attributes are concrete, so this is classical
+    /// relational selection).
+    pub fn select_data(&self, pred: impl Fn(&[Value]) -> bool) -> GenRelation {
+        GenRelation {
+            schema: self.schema,
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| pred(t.data()))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Cross product (§3.6).
+    ///
+    /// # Errors
+    /// Arithmetic failures.
+    pub fn cross_product(&self, other: &GenRelation) -> Result<GenRelation> {
+        let mut tuples = Vec::with_capacity(self.tuples.len() * other.tuples.len());
+        for t1 in &self.tuples {
+            for t2 in &other.tuples {
+                tuples.push(ops::cross_product_tuples(t1, t2)?);
+            }
+        }
+        Ok(GenRelation {
+            schema: self.schema.concat(&other.schema),
+            tuples,
+        })
+    }
+
+    /// Equi-join (§3.7) on the listed temporal / data attribute pairs.
+    ///
+    /// Keeps all columns of both sides (joined temporal columns are pinned
+    /// equal); project afterwards to drop duplicates — the paper's "common
+    /// column" join is `join_on(...)` followed by such a projection.
+    ///
+    /// # Errors
+    /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
+    pub fn join_on(
+        &self,
+        other: &GenRelation,
+        temporal_pairs: &[(usize, usize)],
+        data_pairs: &[(usize, usize)],
+    ) -> Result<GenRelation> {
+        for &(i, j) in temporal_pairs {
+            if i >= self.schema.temporal() || j >= other.schema.temporal() {
+                return Err(CoreError::AttributeOutOfRange {
+                    index: i.max(j),
+                    arity: self.schema.temporal().min(other.schema.temporal()),
+                });
+            }
+        }
+        for &(i, j) in data_pairs {
+            if i >= self.schema.data() || j >= other.schema.data() {
+                return Err(CoreError::AttributeOutOfRange {
+                    index: i.max(j),
+                    arity: self.schema.data().min(other.schema.data()),
+                });
+            }
+        }
+        let mut tuples = Vec::new();
+        for t1 in &self.tuples {
+            for t2 in &other.tuples {
+                if let Some(t) = ops::join_tuples(t1, t2, temporal_pairs, data_pairs)? {
+                    tuples.push(t);
+                }
+            }
+        }
+        Ok(GenRelation {
+            schema: self.schema.concat(&other.schema),
+            tuples,
+        })
+    }
+
+    /// Complement within `Z^temporal` (Appendix A.6), purely temporal
+    /// schemas only, with the default extension limit.
+    ///
+    /// # Errors
+    /// [`CoreError::ComplementHasData`]; [`CoreError::TooManyExtensions`].
+    pub fn complement_temporal(&self) -> Result<GenRelation> {
+        self.complement_temporal_with_limit(ops::DEFAULT_COMPLEMENT_LIMIT)
+    }
+
+    /// Complement with an explicit `k^m` ceiling.
+    ///
+    /// # Errors
+    /// See [`GenRelation::complement_temporal`].
+    pub fn complement_temporal_with_limit(&self, limit: u64) -> Result<GenRelation> {
+        if !self.schema.is_purely_temporal() {
+            return Err(CoreError::ComplementHasData);
+        }
+        let tuples = ops::complement_tuples(&self.tuples, self.schema.temporal(), limit)?;
+        Ok(GenRelation {
+            schema: self.schema,
+            tuples,
+        })
+    }
+
+    /// Translates one temporal column: the result denotes
+    /// `{(…, xᵢ + delta, …) | (…, xᵢ, …) ∈ self}`.
+    ///
+    /// Used by the query layer to interpret successor terms `t + c`.
+    ///
+    /// # Errors
+    /// [`CoreError::AttributeOutOfRange`]; arithmetic overflow.
+    pub fn shift_temporal(&self, col: usize, delta: i64) -> Result<GenRelation> {
+        if col >= self.schema.temporal() {
+            return Err(CoreError::AttributeOutOfRange {
+                index: col,
+                arity: self.schema.temporal(),
+            });
+        }
+        let mut tuples = Vec::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            let mut lrps = t.lrps().to_vec();
+            lrps[col] = lrps[col].shift(delta)?;
+            let cons = t.constraints().shift_var(col, delta)?;
+            tuples.push(GenTuple::new(lrps, cons, t.data().to_vec())?);
+        }
+        Ok(GenRelation {
+            schema: self.schema,
+            tuples,
+        })
+    }
+
+    /// Normalizes every tuple (Theorem 3.2); the result denotes the same
+    /// set with every tuple in normal form.
+    ///
+    /// # Errors
+    /// Arithmetic failures; the per-tuple refinement limit.
+    pub fn normalize(&self) -> Result<GenRelation> {
+        let mut tuples = Vec::new();
+        for t in &self.tuples {
+            tuples.extend(t.normalize()?);
+        }
+        Ok(GenRelation {
+            schema: self.schema,
+            tuples,
+        })
+    }
+
+    /// Coalesces complete groups of residue classes into coarser tuples
+    /// (the inverse of Lemma 3.1's refinement), across all columns, to a
+    /// fixpoint. The result denotes the same set with at most as many
+    /// tuples; normalization and complement outputs typically shrink by
+    /// their full refinement factor.
+    ///
+    /// # Errors
+    /// Arithmetic failures while rebuilding lrps.
+    pub fn coalesce(&self) -> Result<GenRelation> {
+        crate::minimize::coalesce(self)
+    }
+
+    /// Removes semantically empty tuples and tuples subsumed by another
+    /// tuple (sound, incomplete subsumption: columnwise lrp inclusion plus
+    /// constraint entailment). §3.1 leaves redundancy elimination open; this
+    /// is the practical part of it.
+    ///
+    /// # Errors
+    /// Arithmetic failures during emptiness checks.
+    pub fn simplify(&self) -> Result<GenRelation> {
+        let mut kept: Vec<GenTuple> = Vec::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            if !t.is_empty()? {
+                kept.push(t.clone());
+            }
+        }
+        let mut out: Vec<GenTuple> = Vec::with_capacity(kept.len());
+        for (i, t) in kept.iter().enumerate() {
+            let subsumed = kept.iter().enumerate().any(|(j, other)| {
+                if i == j {
+                    return false;
+                }
+                // Break ties so mutually-subsuming duplicates keep one copy.
+                let tie_break = j < i;
+                (tie_break || !tuple_subsumes(t, other)) && tuple_subsumes(other, t)
+            });
+            if !subsumed {
+                out.push(t.clone());
+            }
+        }
+        Ok(GenRelation {
+            schema: self.schema,
+            tuples: out,
+        })
+    }
+
+    /// The minimum value taken by temporal column `col` over the whole
+    /// denotation: `Some(v)` if the column is bounded below and nonempty,
+    /// `None` if the relation is empty on that column or unbounded below.
+    ///
+    /// Computed symbolically: per normalized tuple, the column's smallest
+    /// grid point satisfying the (exact) grid bounds.
+    ///
+    /// # Errors
+    /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
+    pub fn min_temporal(&self, col: usize) -> Result<Option<i64>> {
+        self.extremum(col, true)
+    }
+
+    /// The maximum value of temporal column `col`, if bounded above; see
+    /// [`GenRelation::min_temporal`].
+    ///
+    /// # Errors
+    /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
+    pub fn max_temporal(&self, col: usize) -> Result<Option<i64>> {
+        self.extremum(col, false)
+    }
+
+    fn extremum(&self, col: usize, minimum: bool) -> Result<Option<i64>> {
+        if col >= self.schema.temporal() {
+            return Err(CoreError::AttributeOutOfRange {
+                index: col,
+                arity: self.schema.temporal(),
+            });
+        }
+        let overflow = || CoreError::Numth(itd_numth::NumthError::Overflow);
+        // Project onto the column first (exact), then read per-tuple grid
+        // bounds.
+        let projected = self.project(&[col], &[])?;
+        let mut best: Option<i64> = None;
+        for t in projected.tuples() {
+            if t.is_empty()? {
+                continue;
+            }
+            for nt in t.normalize()? {
+                let (k, anchors, grid) = crate::normalize::grid_view(&nt)?;
+                if !grid.is_satisfiable() {
+                    continue;
+                }
+                let n = if minimum {
+                    match grid.lower(0) {
+                        Some(n) => n,
+                        None => return Ok(None), // unbounded below
+                    }
+                } else {
+                    match grid.upper(0).finite() {
+                        Some(n) => n,
+                        None => return Ok(None), // unbounded above
+                    }
+                };
+                let value = anchors[0]
+                    .checked_add(k.checked_mul(n).ok_or_else(overflow)?)
+                    .ok_or_else(overflow)?;
+                best = Some(match best {
+                    None => value,
+                    Some(b) if minimum => b.min(value),
+                    Some(b) => b.max(value),
+                });
+            }
+        }
+        Ok(best)
+    }
+
+    /// The smallest value of temporal column `col` that is `>= bound` — the
+    /// "next occurrence" query for periodic data.
+    ///
+    /// Returns `None` when no such value exists (empty relation, or the
+    /// whole column lies below `bound`).
+    ///
+    /// # Errors
+    /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
+    pub fn next_occurrence(&self, col: usize, bound: i64) -> Result<Option<i64>> {
+        self.select_temporal(Atom::ge(col, bound))?.min_temporal(col)
+    }
+
+    /// Brute-force materialization of every concrete tuple whose temporal
+    /// values all lie in `[lo, hi]` — the semantics oracle.
+    pub fn materialize(&self, lo: i64, hi: i64) -> BTreeSet<ConcreteTuple> {
+        materialize_tuples(&self.tuples, lo, hi)
+    }
+
+    fn check_schema(&self, other: &GenRelation) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(CoreError::SchemaMismatch {
+                expected: self.schema,
+                found: other.schema,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Sound subsumption check: is `small ⊆ big` certain?
+fn tuple_subsumes(big: &GenTuple, small: &GenTuple) -> bool {
+    small.data() == big.data()
+        && small
+            .lrps()
+            .iter()
+            .zip(big.lrps())
+            .all(|(s, b)| b.includes(s))
+        && small.constraints().entails(big.constraints())
+}
+
+impl fmt::Display for GenRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "relation {} with {} tuple(s):", self.schema, self.len())?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itd_lrp::Lrp;
+
+    fn lrp(c: i64, k: i64) -> Lrp {
+        Lrp::new(c, k).unwrap()
+    }
+
+    fn rel1(tuples: Vec<GenTuple>) -> GenRelation {
+        GenRelation::new(Schema::new(1, 0), tuples).unwrap()
+    }
+
+    #[test]
+    fn schema_checked_on_build_and_push() {
+        let t = GenTuple::unconstrained(vec![lrp(0, 2)], vec![]);
+        let err = GenRelation::new(Schema::new(2, 0), vec![t.clone()]).unwrap_err();
+        assert!(matches!(err, CoreError::SchemaMismatch { .. }));
+        let mut r = GenRelation::empty(Schema::new(1, 0));
+        r.push(t).unwrap();
+        assert_eq!(r.len(), 1);
+        let bad = GenTuple::unconstrained(vec![], vec![Value::Int(1)]);
+        assert!(r.push(bad).is_err());
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = rel1(vec![GenTuple::unconstrained(vec![lrp(0, 2)], vec![])]);
+        let b = rel1(vec![GenTuple::unconstrained(vec![lrp(1, 2)], vec![])]);
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.len(), 2);
+        assert!(u.contains(&[0], &[]));
+        assert!(u.contains(&[1], &[]));
+        // Everything is covered: union of evens and odds.
+        let m = u.materialize(-5, 5);
+        assert_eq!(m.len(), 11);
+    }
+
+    #[test]
+    fn intersect_pairs() {
+        let a = rel1(vec![
+            GenTuple::unconstrained(vec![lrp(0, 2)], vec![]),
+            GenTuple::unconstrained(vec![lrp(0, 3)], vec![]),
+        ]);
+        let b = rel1(vec![GenTuple::unconstrained(vec![lrp(0, 5)], vec![])]);
+        let i = a.intersect(&b).unwrap();
+        // evens ∩ 5Z = 10Z; 3Z ∩ 5Z = 15Z
+        assert!(i.contains(&[10], &[]));
+        assert!(i.contains(&[15], &[]));
+        assert!(i.contains(&[30], &[]));
+        assert!(!i.contains(&[5], &[]));
+        assert!(!i.contains(&[6], &[]));
+    }
+
+    #[test]
+    fn bucketed_intersection_agrees_with_naive() {
+        // Uniform-period relations: the bucketed path is taken.
+        let mk = |offsets: &[(i64, i64)], lo: i64| {
+            let tuples = offsets
+                .iter()
+                .map(|&(o1, o2)| {
+                    GenTuple::with_atoms(
+                        vec![lrp(o1, 4), lrp(o2, 4)],
+                        &[Atom::ge(0, lo)],
+                        vec![],
+                    )
+                    .unwrap()
+                })
+                .collect();
+            GenRelation::new(Schema::new(2, 0), tuples).unwrap()
+        };
+        let a = mk(&[(0, 1), (2, 3), (1, 1)], -5);
+        let b = mk(&[(0, 1), (1, 1), (3, 2)], 0);
+        assert_eq!(a.uniform_period(), Some(4));
+        let naive = a.intersect(&b).unwrap();
+        let bucketed = a.intersect_bucketed(&b).unwrap();
+        assert_eq!(naive.materialize(-20, 20), bucketed.materialize(-20, 20));
+        // Mixed periods: silently falls back.
+        let mixed = GenRelation::new(
+            Schema::new(2, 0),
+            vec![GenTuple::unconstrained(vec![lrp(0, 2), lrp(0, 6)], vec![])],
+        )
+        .unwrap();
+        assert_eq!(mixed.uniform_period(), None);
+        let via_fallback = mixed.intersect_bucketed(&a).unwrap();
+        let naive = mixed.intersect(&a).unwrap();
+        assert_eq!(
+            via_fallback.materialize(-20, 20),
+            naive.materialize(-20, 20)
+        );
+    }
+
+    #[test]
+    fn uniform_period_edge_cases() {
+        // Points disqualify.
+        let r = GenRelation::new(
+            Schema::new(1, 0),
+            vec![GenTuple::unconstrained(vec![Lrp::point(3)], vec![])],
+        )
+        .unwrap();
+        assert_eq!(r.uniform_period(), None);
+        // 0 temporal attributes: nothing to key on.
+        let r = GenRelation::empty(Schema::new(0, 1));
+        assert_eq!(r.uniform_period(), None);
+        // Empty relation with temporal attributes: vacuously uniform but
+        // unknown period.
+        let r = GenRelation::empty(Schema::new(1, 0));
+        assert_eq!(r.uniform_period(), None);
+    }
+
+    #[test]
+    fn difference_fold() {
+        // Z − evens − (3Z+1) on a window.
+        let z = rel1(vec![GenTuple::unconstrained(vec![Lrp::all()], vec![])]);
+        let evens = rel1(vec![GenTuple::unconstrained(vec![lrp(0, 2)], vec![])]);
+        let threes = rel1(vec![GenTuple::unconstrained(vec![lrp(1, 3)], vec![])]);
+        let d = z.difference(&evens).unwrap().difference(&threes).unwrap();
+        for x in -20i64..20 {
+            let expect = x % 2 != 0 && (x - 1).rem_euclid(3) != 0;
+            assert_eq!(d.contains(&[x], &[]), expect, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn emptiness_thm_3_5() {
+        assert!(GenRelation::empty(Schema::new(1, 0)).is_empty().unwrap());
+        let nonempty = rel1(vec![GenTuple::unconstrained(vec![lrp(0, 2)], vec![])]);
+        assert!(!nonempty.is_empty().unwrap());
+        // A relation whose only tuple is grid-empty.
+        let ghost = GenRelation::new(
+            Schema::new(2, 0),
+            vec![GenTuple::with_atoms(
+                vec![lrp(0, 2), lrp(0, 2)],
+                &[Atom::diff_eq(0, 1, 1)],
+                vec![],
+            )
+            .unwrap()],
+        )
+        .unwrap();
+        assert!(ghost.is_empty().unwrap());
+    }
+
+    #[test]
+    fn select_temporal_prunes_contradictions() {
+        let r = rel1(vec![
+            GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 10)], vec![]).unwrap(),
+            GenTuple::with_atoms(vec![lrp(1, 2)], &[Atom::le(0, 5)], vec![]).unwrap(),
+        ]);
+        let s = r.select_temporal(Atom::ge(0, 8)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&[10], &[]));
+        assert!(!s.contains(&[3], &[]));
+    }
+
+    #[test]
+    fn select_data_filters() {
+        let r = GenRelation::new(
+            Schema::new(1, 1),
+            vec![
+                GenTuple::unconstrained(vec![lrp(0, 2)], vec![Value::str("a")]),
+                GenTuple::unconstrained(vec![lrp(1, 2)], vec![Value::str("b")]),
+            ],
+        )
+        .unwrap();
+        let s = r.select_data(|d| d[0] == Value::str("a"));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&[0], &[Value::str("a")]));
+    }
+
+    #[test]
+    fn complement_requires_temporal_only() {
+        let r = GenRelation::new(
+            Schema::new(1, 1),
+            vec![GenTuple::unconstrained(
+                vec![lrp(0, 2)],
+                vec![Value::Int(1)],
+            )],
+        )
+        .unwrap();
+        assert!(matches!(
+            r.complement_temporal(),
+            Err(CoreError::ComplementHasData)
+        ));
+    }
+
+    #[test]
+    fn simplify_drops_empty_and_subsumed() {
+        let r = rel1(vec![
+            // Subsumed by the third tuple (refined class of evens).
+            GenTuple::unconstrained(vec![lrp(0, 4)], vec![]),
+            // Grid-empty.
+            GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::le(0, 0), Atom::ge(0, 1)], vec![])
+                .unwrap(),
+            GenTuple::unconstrained(vec![lrp(0, 2)], vec![]),
+        ]);
+        let s = r.simplify().unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.tuples()[0].lrps()[0], lrp(0, 2));
+    }
+
+    #[test]
+    fn simplify_keeps_one_of_equal_duplicates() {
+        let t = GenTuple::unconstrained(vec![lrp(0, 2)], vec![]);
+        let r = rel1(vec![t.clone(), t]);
+        let s = r.simplify().unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn shift_temporal_translates() {
+        let r = GenRelation::new(
+            Schema::new(2, 0),
+            vec![GenTuple::with_atoms(
+                vec![lrp(0, 3), lrp(1, 3)],
+                &[Atom::diff_le(0, 1, 0), Atom::ge(0, 0)],
+                vec![],
+            )
+            .unwrap()],
+        )
+        .unwrap();
+        let s = r.shift_temporal(0, 5).unwrap();
+        for x in -10i64..20 {
+            for y in -10i64..20 {
+                assert_eq!(
+                    s.contains(&[x, y], &[]),
+                    r.contains(&[x - 5, y], &[]),
+                    "({x},{y})"
+                );
+            }
+        }
+        assert!(r.shift_temporal(2, 1).is_err());
+    }
+
+    #[test]
+    fn full_temporal_covers_everything() {
+        let full = GenRelation::full_temporal(Schema::new(2, 0)).unwrap();
+        assert!(full.contains(&[123, -456], &[]));
+        assert!(GenRelation::full_temporal(Schema::new(1, 1)).is_err());
+    }
+
+    #[test]
+    fn extrema_and_next_occurrence() {
+        // Column: {3 + 12n | n ≥ 0} ∪ {5} → min 3 (select gives 3, 15, …).
+        let r = GenRelation::new(
+            Schema::new(1, 0),
+            vec![
+                GenTuple::with_atoms(vec![lrp(3, 12)], &[Atom::ge(0, 0)], vec![]).unwrap(),
+                GenTuple::unconstrained(vec![Lrp::point(5)], vec![]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.min_temporal(0).unwrap(), Some(3));
+        assert_eq!(r.max_temporal(0).unwrap(), None); // unbounded above
+        assert_eq!(r.next_occurrence(0, 4).unwrap(), Some(5));
+        assert_eq!(r.next_occurrence(0, 6).unwrap(), Some(15));
+        assert_eq!(r.next_occurrence(0, 15).unwrap(), Some(15));
+        assert_eq!(r.next_occurrence(0, 16).unwrap(), Some(27));
+        // Empty relation: no occurrence.
+        let empty = GenRelation::empty(Schema::new(1, 0));
+        assert_eq!(empty.min_temporal(0).unwrap(), None);
+        assert_eq!(empty.next_occurrence(0, 0).unwrap(), None);
+        // Bounded above.
+        let r = GenRelation::new(
+            Schema::new(1, 0),
+            vec![GenTuple::with_atoms(
+                vec![lrp(1, 4)],
+                &[Atom::le(0, 20), Atom::ge(0, -7)],
+                vec![],
+            )
+            .unwrap()],
+        )
+        .unwrap();
+        assert_eq!(r.min_temporal(0).unwrap(), Some(-7));
+        assert_eq!(r.max_temporal(0).unwrap(), Some(17)); // 17 ≡ 1 (mod 4), ≤ 20
+        // Out of range.
+        assert!(r.min_temporal(1).is_err());
+    }
+
+    #[test]
+    fn extrema_respect_cross_column_constraints() {
+        // X0 ∈ 2n, X1 ∈ 2n, X0 = X1 − 4, X1 ≥ 10 ⟹ min X0 = 6.
+        let r = GenRelation::new(
+            Schema::new(2, 0),
+            vec![GenTuple::with_atoms(
+                vec![lrp(0, 2), lrp(0, 2)],
+                &[Atom::diff_eq(0, 1, -4), Atom::ge(1, 10)],
+                vec![],
+            )
+            .unwrap()],
+        )
+        .unwrap();
+        assert_eq!(r.min_temporal(0).unwrap(), Some(6));
+        assert_eq!(r.min_temporal(1).unwrap(), Some(10));
+    }
+
+    #[test]
+    fn display_lists_tuples() {
+        let r = rel1(vec![GenTuple::unconstrained(vec![lrp(0, 2)], vec![])]);
+        let text = r.to_string();
+        assert!(text.contains("1 tuple"), "{text}");
+        assert!(text.contains("2n"), "{text}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Relation schemas: temporal arity × data arity.
+
+use std::fmt;
+
+/// The shape of a generalized relation: `temporal` lrp-valued attributes
+/// followed by `data` attributes over the generic sort.
+///
+/// The paper's interval predicates have temporal arity 2, but the algebra
+/// needs arbitrary arities for intermediate results (e.g. concatenating two
+/// intervals passes through temporal arity 3 before projecting the shared
+/// endpoint away — footnote 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Schema {
+    temporal: usize,
+    data: usize,
+}
+
+impl Schema {
+    /// A schema with `temporal` lrp attributes and `data` data attributes.
+    pub fn new(temporal: usize, data: usize) -> Schema {
+        Schema { temporal, data }
+    }
+
+    /// Number of temporal attributes.
+    #[inline]
+    pub fn temporal(&self) -> usize {
+        self.temporal
+    }
+
+    /// Number of data attributes.
+    #[inline]
+    pub fn data(&self) -> usize {
+        self.data
+    }
+
+    /// Is this a purely temporal schema (`data == 0`)?
+    #[inline]
+    pub fn is_purely_temporal(&self) -> bool {
+        self.data == 0
+    }
+
+    /// The schema of a cross product / join result with `self` on the left.
+    pub fn concat(&self, right: &Schema) -> Schema {
+        Schema {
+            temporal: self.temporal + right.temporal,
+            data: self.data + right.data,
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(temporal: {}, data: {})", self.temporal, self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Schema::new(2, 3);
+        assert_eq!(s.temporal(), 2);
+        assert_eq!(s.data(), 3);
+        assert!(!s.is_purely_temporal());
+        assert!(Schema::new(1, 0).is_purely_temporal());
+    }
+
+    #[test]
+    fn concat_adds_arities() {
+        assert_eq!(Schema::new(2, 1).concat(&Schema::new(1, 2)), Schema::new(3, 3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Schema::new(2, 1).to_string(), "(temporal: 2, data: 1)");
+    }
+}

@@ -1,0 +1,302 @@
+//! Generalized tuples (Definition 2.2).
+
+use std::fmt;
+
+use itd_constraint::{Atom, ConstraintSystem};
+use itd_lrp::Lrp;
+
+use crate::error::CoreError;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Result;
+
+/// A generalized tuple: lrp values for the temporal attributes, concrete
+/// values for the data attributes, and a conjunction of restricted
+/// constraints over the temporal attributes.
+///
+/// Denotes the set of concrete tuples
+/// `{(x₁..x_k, d₁..d_l) | xᵢ ∈ lrpᵢ, constraints(x₁..x_k)}` —
+/// one concrete tuple per admissible combination of lrp elements
+/// (Example 2.2 of the paper).
+///
+/// # Examples
+/// ```
+/// use itd_core::{Atom, GenTuple, Lrp};
+/// // Example 2.2: [1, 1+2n] ∧ X2 ≥ 0 denotes {[1,1], [1,3], [1,5], …}.
+/// let t = GenTuple::with_atoms(
+///     vec![Lrp::point(1), Lrp::new(1, 2).unwrap()],
+///     &[Atom::ge(1, 0)],
+///     vec![],
+/// ).unwrap();
+/// assert!(t.contains(&[1, 5], &[]));
+/// assert!(!t.contains(&[1, -1], &[]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GenTuple {
+    lrps: Vec<Lrp>,
+    cons: ConstraintSystem,
+    data: Vec<Value>,
+}
+
+impl GenTuple {
+    /// Builds a generalized tuple from its three components.
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`] if the constraint system's arity does
+    /// not equal the number of lrps.
+    pub fn new(lrps: Vec<Lrp>, cons: ConstraintSystem, data: Vec<Value>) -> Result<GenTuple> {
+        if cons.arity() != lrps.len() {
+            return Err(CoreError::SchemaMismatch {
+                expected: Schema::new(lrps.len(), data.len()),
+                found: Schema::new(cons.arity(), data.len()),
+            });
+        }
+        Ok(GenTuple { lrps, cons, data })
+    }
+
+    /// A tuple with unconstrained temporal attributes.
+    pub fn unconstrained(lrps: Vec<Lrp>, data: Vec<Value>) -> GenTuple {
+        let cons = ConstraintSystem::unconstrained(lrps.len());
+        GenTuple { lrps, cons, data }
+    }
+
+    /// Convenience constructor from atoms.
+    ///
+    /// # Errors
+    /// Propagates constraint-closure arithmetic failures.
+    pub fn with_atoms(lrps: Vec<Lrp>, atoms: &[Atom], data: Vec<Value>) -> Result<GenTuple> {
+        let cons = ConstraintSystem::from_atoms(lrps.len(), atoms)?;
+        Ok(GenTuple { lrps, cons, data })
+    }
+
+    /// The schema of this tuple.
+    pub fn schema(&self) -> Schema {
+        Schema::new(self.lrps.len(), self.data.len())
+    }
+
+    /// Temporal attribute values.
+    pub fn lrps(&self) -> &[Lrp] {
+        &self.lrps
+    }
+
+    /// The constraint system (always in closed canonical form).
+    pub fn constraints(&self) -> &ConstraintSystem {
+        &self.cons
+    }
+
+    /// Data attribute values.
+    pub fn data(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// The *free extension* `t*` (Definition 3.1): this tuple without its
+    /// constraints.
+    pub fn free_extension(&self) -> GenTuple {
+        GenTuple::unconstrained(self.lrps.clone(), self.data.clone())
+    }
+
+    /// Does the tuple denote the concrete tuple `(times, data)`?
+    ///
+    /// # Panics
+    /// If `times.len()` differs from the temporal arity.
+    pub fn contains(&self, times: &[i64], data: &[Value]) -> bool {
+        assert_eq!(times.len(), self.lrps.len(), "temporal arity mismatch");
+        if data != self.data.as_slice() {
+            return false;
+        }
+        self.lrps
+            .iter()
+            .zip(times)
+            .all(|(l, &x)| l.contains(x))
+            && self.cons.satisfied_by(times)
+    }
+
+    /// Purely temporal membership (requires data arity 0 on the tuple only
+    /// when the caller passes no data).
+    pub fn contains_times(&self, times: &[i64]) -> bool {
+        self.contains(times, &self.data.clone())
+    }
+
+    /// Quick *syntactic* emptiness check: unsatisfiable constraints.
+    ///
+    /// This is sound but not complete — a satisfiable constraint system can
+    /// still have no solution *on the lrp grid* (the Figure 2 phenomenon);
+    /// use [`GenTuple::is_empty`] for the exact test.
+    pub fn is_trivially_empty(&self) -> bool {
+        !self.cons.is_satisfiable()
+    }
+
+    /// Exact emptiness over the grid: normalizes and checks the grid
+    /// systems (Theorem 3.5 route).
+    ///
+    /// # Errors
+    /// Arithmetic overflow during normalization.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(!crate::normalize::is_nonempty(self)?)
+    }
+
+    /// Replaces the constraint system (used by selection).
+    pub(crate) fn with_constraints(&self, cons: ConstraintSystem) -> GenTuple {
+        debug_assert_eq!(cons.arity(), self.lrps.len());
+        GenTuple {
+            lrps: self.lrps.clone(),
+            cons,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Internal accessor for sibling modules.
+    pub(crate) fn into_parts(self) -> (Vec<Lrp>, ConstraintSystem, Vec<Value>) {
+        (self.lrps, self.cons, self.data)
+    }
+
+    /// Is the tuple in normal form (Definition 3.2)?
+    ///
+    /// All infinite lrps must share a single period `k`, and every finite
+    /// constraint bound must be *grid-aligned*: re-rounding it onto the grid
+    /// (the `to_grid`/`from_grid` round trip) must leave the system
+    /// unchanged.
+    pub fn is_normal_form(&self) -> Result<bool> {
+        crate::normalize::is_normal_form(self)
+    }
+
+    /// Normalization (Theorem 3.2): an equivalent set of tuples in normal
+    /// form. Empty result ⟺ the tuple denotes the empty set.
+    ///
+    /// # Errors
+    /// Arithmetic overflow while computing the common period (`lcm` of the
+    /// lrp periods can be large, Appendix A.1).
+    pub fn normalize(&self) -> Result<Vec<GenTuple>> {
+        crate::normalize::normalize(self)
+    }
+}
+
+impl fmt::Display for GenTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, l) in self.lrps.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        for d in &self.data {
+            write!(f, "; {d}")?;
+        }
+        f.write_str("]")?;
+        if !self.cons.is_unconstrained() {
+            write!(f, " where {}", self.cons)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lrp(c: i64, k: i64) -> Lrp {
+        Lrp::new(c, k).unwrap()
+    }
+
+    #[test]
+    fn example_2_2_first_tuple() {
+        // [1, 1+2n] ∧ X2 >= 0 denotes {[1,1], [1,3], [1,5], …}
+        let t = GenTuple::with_atoms(
+            vec![Lrp::point(1), lrp(1, 2)],
+            &[Atom::ge(1, 0)],
+            vec![],
+        )
+        .unwrap();
+        assert!(t.contains(&[1, 1], &[]));
+        assert!(t.contains(&[1, 3], &[]));
+        assert!(t.contains(&[1, 5], &[]));
+        assert!(!t.contains(&[1, -1], &[]));
+        assert!(!t.contains(&[1, 2], &[]));
+        assert!(!t.contains(&[2, 3], &[]));
+    }
+
+    #[test]
+    fn example_2_2_second_tuple() {
+        // [3+2n1, 5+2n2] ∧ X1 = X2 − 2 denotes {…, [3,5], [5,7], [7,9], …}
+        let t = GenTuple::with_atoms(
+            vec![lrp(3, 2), lrp(5, 2)],
+            &[Atom::diff_eq(0, 1, -2)],
+            vec![],
+        )
+        .unwrap();
+        assert!(t.contains(&[3, 5], &[]));
+        assert!(t.contains(&[5, 7], &[]));
+        assert!(t.contains(&[1, 3], &[]));
+        assert!(!t.contains(&[3, 7], &[]));
+        assert!(!t.contains(&[3, 4], &[]));
+    }
+
+    #[test]
+    fn data_attributes_must_match() {
+        let t = GenTuple::unconstrained(vec![lrp(0, 2)], vec![Value::str("r1")]);
+        assert!(t.contains(&[4], &[Value::str("r1")]));
+        assert!(!t.contains(&[4], &[Value::str("r2")]));
+        assert!(!t.contains(&[3], &[Value::str("r1")]));
+    }
+
+    #[test]
+    fn constructor_validates_arity() {
+        let cons = ConstraintSystem::unconstrained(3);
+        let err = GenTuple::new(vec![lrp(0, 2)], cons, vec![]).unwrap_err();
+        assert!(matches!(err, CoreError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn free_extension_drops_constraints() {
+        let t = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 10)], vec![]).unwrap();
+        let free = t.free_extension();
+        assert!(free.constraints().is_unconstrained());
+        assert!(free.contains(&[0], &[]));
+        assert!(!t.contains(&[0], &[]));
+    }
+
+    #[test]
+    fn trivial_emptiness() {
+        let t = GenTuple::with_atoms(
+            vec![lrp(0, 2)],
+            &[Atom::ge(0, 10), Atom::le(0, 5)],
+            vec![],
+        )
+        .unwrap();
+        assert!(t.is_trivially_empty());
+        assert!(t.is_empty().unwrap());
+    }
+
+    #[test]
+    fn grid_emptiness_not_caught_trivially() {
+        // X1 = X2 + 1 with both attributes even: satisfiable over Z,
+        // empty on the grid.
+        let t = GenTuple::with_atoms(
+            vec![lrp(0, 2), lrp(0, 2)],
+            &[Atom::diff_eq(0, 1, 1)],
+            vec![],
+        )
+        .unwrap();
+        assert!(!t.is_trivially_empty());
+        assert!(t.is_empty().unwrap());
+    }
+
+    #[test]
+    fn display_is_paper_like() {
+        let t = GenTuple::with_atoms(
+            vec![lrp(2, 2), lrp(4, 2)],
+            &[Atom::diff_eq(0, 1, -2)],
+            vec![Value::str("robot1"), Value::str("task1")],
+        )
+        .unwrap();
+        let text = t.to_string();
+        assert!(text.contains("2n"), "{text}");
+        assert!(text.contains("robot1"), "{text}");
+        assert!(text.contains("where"), "{text}");
+        // Unconstrained tuples omit the where-clause.
+        let t = GenTuple::unconstrained(vec![Lrp::point(3)], vec![]);
+        assert_eq!(t.to_string(), "[3]");
+    }
+}

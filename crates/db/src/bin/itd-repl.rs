@@ -1,0 +1,46 @@
+//! A small interactive shell over the temporal database.
+//!
+//! ```text
+//! $ cargo run -p itd-db --bin itd-repl
+//! itd> create train(dep, arr; kind)
+//! itd> insert train lrp dep 2 60, lrp arr 80 60, eq dep arr -78, datum kind slow
+//! itd> show train
+//! itd> ask exists a. train(62, a; "slow")
+//! itd> query train(d, a; k) and d >= 0 and a <= 200
+//! itd> save /tmp/trains.json
+//! itd> quit
+//! ```
+//!
+//! Commands: `create`, `insert`, `show`, `tables`, `ask`, `query`,
+//! `save <path>`, `load <path>`, `help`, `quit`. The command layer is in
+//! [`itd_db::repl`] so it is unit-testable; this binary is a thin stdin
+//! loop.
+
+use std::io::{BufRead, Write};
+
+use itd_db::repl::ReplSession;
+
+fn main() {
+    let mut session = ReplSession::new();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    println!("itd — infinite temporal database shell (type `help`)");
+    loop {
+        print!("itd> ");
+        stdout.flush().expect("stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        match session.execute(line.trim()) {
+            Ok(Some(output)) => println!("{output}"),
+            Ok(None) => break, // quit
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The database: a catalog of named tables.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use itd_core::{GenRelation, Value};
+use itd_query::{Catalog, Formula, QueryResult};
+use serde::{Deserialize, Serialize};
+
+use crate::error::DbError;
+use crate::table::Table;
+use crate::Result;
+
+/// A temporal database: named tables of generalized relations, queryable
+/// with the two-sorted first-order language.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Creates a table with the given temporal and data attribute names.
+    ///
+    /// # Errors
+    /// [`DbError::DuplicateTable`], [`DbError::DuplicateAttribute`].
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        temporal: &[&str],
+        data: &[&str],
+    ) -> Result<&mut Table> {
+        if self.tables.contains_key(name) {
+            return Err(DbError::DuplicateTable(name.to_owned()));
+        }
+        let table = Table::new(name, temporal, data)?;
+        Ok(self.tables.entry(name.to_owned()).or_insert(table))
+    }
+
+    /// Removes a table.
+    ///
+    /// # Errors
+    /// [`DbError::UnknownTable`].
+    pub fn drop_table(&mut self, name: &str) -> Result<Table> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// Immutable access to a table.
+    ///
+    /// # Errors
+    /// [`DbError::UnknownTable`].
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// Mutable access to a table.
+    ///
+    /// # Errors
+    /// [`DbError::UnknownTable`].
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Parses and evaluates an open query; the result carries one column
+    /// per free variable.
+    ///
+    /// # Errors
+    /// Parse/sort/evaluation errors ([`DbError::Query`]).
+    pub fn query(&self, src: &str) -> Result<QueryResult> {
+        let f = itd_query::parse(src)?;
+        self.query_formula(&f)
+    }
+
+    /// Evaluates a pre-built formula.
+    ///
+    /// # Errors
+    /// See [`Database::query`].
+    pub fn query_formula(&self, f: &Formula) -> Result<QueryResult> {
+        itd_query::evaluate(self, f).map_err(DbError::Query)
+    }
+
+    /// Parses and evaluates a yes/no query (free variables are closed
+    /// existentially).
+    ///
+    /// # Errors
+    /// See [`Database::query`].
+    pub fn ask(&self, src: &str) -> Result<bool> {
+        let f = itd_query::parse(src)?;
+        itd_query::evaluate_bool(self, &f).map_err(DbError::Query)
+    }
+
+    /// Materializes an open query as a new table: the answer relation
+    /// becomes the table's contents and the query's free variables its
+    /// attribute names.
+    ///
+    /// Because query answers are themselves generalized relations, the view
+    /// is exact over infinite time — it is a snapshot of the *symbolic*
+    /// result, not of a window.
+    ///
+    /// # Errors
+    /// [`DbError::DuplicateTable`]; query errors.
+    pub fn materialize_view(&mut self, name: &str, src: &str) -> Result<&Table> {
+        if self.tables.contains_key(name) {
+            return Err(DbError::DuplicateTable(name.to_owned()));
+        }
+        let result = self.query(src)?;
+        let tnames: Vec<&str> = result.temporal_vars.iter().map(String::as_str).collect();
+        let dnames: Vec<&str> = result.data_vars.iter().map(String::as_str).collect();
+        let table = self.create_table(name, &tnames, &dnames)?;
+        table.set_relation(result.relation)?;
+        self.table(name)
+    }
+
+    /// Serializes the database to pretty JSON.
+    ///
+    /// # Errors
+    /// [`DbError::Serde`].
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| DbError::Serde(e.to_string()))
+    }
+
+    /// Restores a database from JSON.
+    ///
+    /// # Errors
+    /// [`DbError::Serde`].
+    pub fn from_json(json: &str) -> Result<Database> {
+        serde_json::from_str(json).map_err(|e| DbError::Serde(e.to_string()))
+    }
+
+    /// Saves to a file.
+    ///
+    /// # Errors
+    /// [`DbError::Serde`] on I/O or encoding failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let json = self.to_json()?;
+        std::fs::write(path, json).map_err(|e| DbError::Serde(e.to_string()))
+    }
+
+    /// Loads from a file.
+    ///
+    /// # Errors
+    /// [`DbError::Serde`] on I/O or decoding failure.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Database> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| DbError::Serde(e.to_string()))?;
+        Database::from_json(&json)
+    }
+}
+
+impl Catalog for Database {
+    fn relation(&self, name: &str) -> Option<&GenRelation> {
+        self.tables.get(name).map(Table::relation)
+    }
+
+    fn active_domain(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        for table in self.tables.values() {
+            for t in table.relation().tuples() {
+                out.extend(t.data().iter().cloned());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TupleSpec;
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        db.create_table("even", &["t"], &[]).unwrap();
+        db.table_mut("even")
+            .unwrap()
+            .insert(TupleSpec::new().lrp("t", 0, 2))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_drop_lookup() {
+        let mut db = sample();
+        assert_eq!(db.table_names(), vec!["even"]);
+        assert!(matches!(
+            db.create_table("even", &["t"], &[]),
+            Err(DbError::DuplicateTable(_))
+        ));
+        assert!(db.table("missing").is_err());
+        db.drop_table("even").unwrap();
+        assert!(db.drop_table("even").is_err());
+        assert!(db.table_names().is_empty());
+    }
+
+    #[test]
+    fn ask_and_query() {
+        let db = sample();
+        assert!(db.ask("even(4)").unwrap());
+        assert!(!db.ask("even(5)").unwrap());
+        let r = db.query("even(t) and t >= 10").unwrap();
+        assert_eq!(r.temporal_vars, vec!["t"]);
+        assert!(r.relation.contains(&[10], &[]));
+        assert!(!r.relation.contains(&[8], &[]));
+        assert!(matches!(db.ask("nosuch(3)"), Err(DbError::Query(_))));
+    }
+
+    #[test]
+    fn materialized_views() {
+        let mut db = sample();
+        let view = db
+            .materialize_view("late_even", "even(t) and t >= 100")
+            .unwrap();
+        assert_eq!(view.temporal_names(), &["t".to_string()]);
+        assert!(db.ask("late_even(100)").unwrap());
+        assert!(!db.ask("late_even(98)").unwrap());
+        assert!(db.ask("late_even(1000000)").unwrap());
+        // Views can feed further views.
+        db.materialize_view("very_late", "late_even(t) and t >= 200")
+            .unwrap();
+        assert!(db.ask("very_late(200)").unwrap());
+        assert!(!db.ask("very_late(100)").unwrap());
+        // Name clashes rejected.
+        assert!(matches!(
+            db.materialize_view("even", "even(t)"),
+            Err(DbError::DuplicateTable(_))
+        ));
+        // Query errors propagate without creating the table.
+        assert!(db.materialize_view("bad", "nosuch(t)").is_err());
+        assert!(db.table("bad").is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let db = sample();
+        let json = db.to_json().unwrap();
+        let back = Database::from_json(&json).unwrap();
+        assert!(back.ask("even(4)").unwrap());
+        assert!(!back.ask("even(5)").unwrap());
+        assert!(Database::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn active_domain_collects_values() {
+        let mut db = sample();
+        db.create_table("tagged", &["t"], &["who"]).unwrap();
+        db.table_mut("tagged")
+            .unwrap()
+            .insert(TupleSpec::new().lrp("t", 0, 3).datum("who", "alice"))
+            .unwrap();
+        let adom = db.active_domain();
+        assert!(adom.contains(&Value::str("alice")));
+        assert_eq!(adom.len(), 1);
+    }
+}

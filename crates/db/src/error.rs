@@ -1,0 +1,102 @@
+//! Database-facade errors.
+
+use std::fmt;
+
+use itd_core::CoreError;
+use itd_query::QueryError;
+
+/// Errors from the database facade.
+#[derive(Debug)]
+pub enum DbError {
+    /// Core algebra failure.
+    Core(CoreError),
+    /// Query parsing/evaluation failure.
+    Query(QueryError),
+    /// A table name was not found.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// An attribute name was not found in the table.
+    UnknownAttribute {
+        /// Table name.
+        table: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// Duplicate attribute name in a schema definition.
+    DuplicateAttribute(String),
+    /// A tuple specification does not cover the schema exactly.
+    IncompleteTuple {
+        /// What is missing or extra.
+        detail: String,
+    },
+    /// Serialization/deserialization failure.
+    Serde(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Core(e) => write!(f, "algebra error: {e}"),
+            DbError::Query(e) => write!(f, "query error: {e}"),
+            DbError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            DbError::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
+            DbError::UnknownAttribute { table, attribute } => {
+                write!(f, "table `{table}` has no attribute `{attribute}`")
+            }
+            DbError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name `{name}`")
+            }
+            DbError::IncompleteTuple { detail } => write!(f, "incomplete tuple: {detail}"),
+            DbError::Serde(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Core(e) => Some(e),
+            DbError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for DbError {
+    fn from(e: CoreError) -> Self {
+        DbError::Core(e)
+    }
+}
+
+impl From<QueryError> for DbError {
+    fn from(e: QueryError) -> Self {
+        DbError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(DbError::UnknownTable("t".into()).to_string().contains("`t`"));
+        assert!(DbError::DuplicateTable("t".into())
+            .to_string()
+            .contains("already exists"));
+        assert!(DbError::UnknownAttribute {
+            table: "a".into(),
+            attribute: "b".into()
+        }
+        .to_string()
+        .contains("`b`"));
+        assert!(DbError::IncompleteTuple {
+            detail: "missing x".into()
+        }
+        .to_string()
+        .contains("missing x"));
+        assert!(DbError::Serde("bad".into()).to_string().contains("bad"));
+        assert!(DbError::DuplicateAttribute("z".into()).to_string().contains("`z`"));
+    }
+}

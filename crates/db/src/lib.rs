@@ -1,0 +1,56 @@
+//! User-facing temporal database built on generalized lrp relations.
+//!
+//! This crate ties the reproduction together: a [`Database`] is a catalog of
+//! named [`Table`]s, each a generalized relation with named attributes. It
+//! offers:
+//!
+//! * schema definition and tuple insertion with **named-column** constraint
+//!   builders ([`Table::col`], [`TupleSpec`]);
+//! * the full relational algebra, inherited from
+//!   [`itd_core::GenRelation`];
+//! * first-order querying ([`Database::query`] /
+//!   [`Database::ask`]) through `itd-query` — the database implements
+//!   [`itd_query::Catalog`];
+//! * JSON persistence ([`Database::to_json`] / [`Database::from_json`]);
+//! * paper-style pretty printing ([`Table::render`]) that shows each
+//!   generalized tuple as a row of lrps plus its constraint column, like
+//!   Table 1 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use itd_db::{Database, TupleSpec};
+//!
+//! let mut db = Database::new();
+//! // The paper's Example 2.4: hourly trains Liège → Brussels.
+//! db.create_table("train", &["dep", "arr"], &["kind"]).unwrap();
+//! let table = db.table_mut("train").unwrap();
+//! table
+//!     .insert(
+//!         TupleSpec::new()
+//!             .lrp("dep", 2, 60)
+//!             .lrp("arr", 80, 60)
+//!             .diff_eq("dep", "arr", -78)
+//!             .datum("kind", "slow"),
+//!     )
+//!     .unwrap();
+//!
+//! // Is there a train departing at minute 62 (= 1:02)?
+//! assert!(db.ask(r#"exists a. train(62, a; "slow")"#).unwrap());
+//! ```
+
+mod database;
+mod error;
+mod render;
+pub mod repl;
+mod table;
+
+pub use database::Database;
+pub use error::DbError;
+pub use table::{Table, TupleSpec};
+
+pub use itd_core::{Atom, GenRelation, GenTuple, Lrp, Schema, Value};
+pub use itd_query::{Formula, QueryResult};
+
+/// Result alias for database operations.
+pub type Result<T> = std::result::Result<T, DbError>;

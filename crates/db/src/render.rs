@@ -1,0 +1,223 @@
+//! Paper-style table rendering.
+//!
+//! Displays a [`Table`] like the paper's Table 1: one row per generalized
+//! tuple, one column per attribute (lrps shown as `c + kn`), and a trailing
+//! constraints column.
+
+use std::fmt::Write as _;
+
+use crate::table::Table;
+
+impl Table {
+    /// Renders the table in the paper's style.
+    pub fn render(&self) -> String {
+        let mut headers: Vec<String> = Vec::new();
+        headers.extend(self.temporal_names().iter().cloned());
+        headers.extend(self.data_names().iter().cloned());
+        headers.push("constraints".to_owned());
+
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for t in self.relation().tuples() {
+            let mut row: Vec<String> = Vec::with_capacity(headers.len());
+            for l in t.lrps() {
+                row.push(l.to_string());
+            }
+            for d in t.data() {
+                row.push(d.to_string());
+            }
+            row.push(if t.constraints().is_unconstrained() {
+                String::new()
+            } else {
+                t.constraints().to_string()
+            });
+            rows.push(row);
+        }
+
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.name());
+        let rule = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        let line = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (w, cell) in widths.iter().zip(cells) {
+                let pad = w - cell.chars().count();
+                let _ = write!(out, " {}{} |", cell, " ".repeat(pad));
+            }
+            out.push('\n');
+        };
+        rule(&mut out);
+        line(&mut out, &headers);
+        rule(&mut out);
+        for row in &rows {
+            line(&mut out, row);
+        }
+        rule(&mut out);
+        out
+    }
+}
+
+impl Table {
+    /// Renders an ASCII timeline of the window `[lo, hi]`.
+    ///
+    /// For a temporal-arity-2 table, each distinct data vector gets a lane
+    /// and every denoted interval `[a, b]` with any overlap of the window
+    /// paints `#` from `a` to `b`. For temporal arity 1, time points paint
+    /// single `#` cells. Other arities render an explanatory note instead.
+    pub fn timeline(&self, lo: i64, hi: i64) -> String {
+        use std::collections::BTreeMap;
+        if lo > hi {
+            return String::from("(empty window)\n");
+        }
+        let arity = self.relation().schema().temporal();
+        if arity == 0 || arity > 2 {
+            return format!("(timeline supports temporal arity 1 or 2; this table has {arity})\n");
+        }
+        let width = (hi - lo + 1) as usize;
+        let mut lanes: BTreeMap<String, Vec<bool>> = BTreeMap::new();
+        // Materialize with slack so intervals straddling the window edges
+        // are painted too.
+        let slack = (hi - lo).max(8);
+        for (times, data) in self
+            .relation()
+            .materialize(lo.saturating_sub(slack), hi.saturating_add(slack))
+        {
+            let label = if data.is_empty() {
+                self.name().to_owned()
+            } else {
+                data.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let lane = lanes.entry(label).or_insert_with(|| vec![false; width]);
+            let (a, b) = match times.as_slice() {
+                [t] => (*t, *t),
+                [a, b] => (*a.min(b), *a.max(b)),
+                _ => unreachable!("arity checked above"),
+            };
+            for t in a.max(lo)..=b.min(hi) {
+                lane[(t - lo) as usize] = true;
+            }
+        }
+        let label_width = lanes.keys().map(String::len).max().unwrap_or(0).max(4);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:label_width$} {lo} .. {hi}",
+            "lane",
+        );
+        for (label, cells) in lanes {
+            let bar: String = cells.iter().map(|&on| if on { '#' } else { '.' }).collect();
+            let _ = writeln!(out, "{label:label_width$} {bar}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::table::TupleSpec;
+    use crate::Database;
+
+    #[test]
+    fn renders_paper_table_1_shape() {
+        let mut db = Database::new();
+        db.create_table("perform", &["from", "to"], &["robot", "task"])
+            .unwrap();
+        let t = db.table_mut("perform").unwrap();
+        t.insert(
+            TupleSpec::new()
+                .lrp("from", 2, 2)
+                .lrp("to", 4, 2)
+                .diff_eq("from", "to", -2)
+                .ge("from", -1)
+                .datum("robot", "robot1")
+                .datum("task", "task1"),
+        )
+        .unwrap();
+        t.insert(
+            TupleSpec::new()
+                .lrp("from", 6, 10)
+                .lrp("to", 7, 10)
+                .diff_eq("from", "to", -1)
+                .ge("from", 10)
+                .datum("robot", "robot2")
+                .datum("task", "task1"),
+        )
+        .unwrap();
+        let text = t.render();
+        assert!(text.contains("| from"), "{text}");
+        // lrps display in canonical form: 2 + 2n ≡ 2n, 6 + 10n stays.
+        assert!(text.contains("2n"), "{text}");
+        assert!(text.contains("6 + 10n"), "{text}");
+        assert!(text.contains("robot2"), "{text}");
+        assert!(text.contains("constraints"), "{text}");
+        // Three rules, header, two data rows.
+        assert_eq!(text.lines().filter(|l| l.starts_with('+')).count(), 3);
+        assert_eq!(text.lines().filter(|l| l.starts_with('|')).count(), 3);
+    }
+
+    #[test]
+    fn timeline_paints_intervals() {
+        let mut db = Database::new();
+        db.create_table("busy", &["from", "to"], &["who"]).unwrap();
+        let t = db.table_mut("busy").unwrap();
+        t.insert(
+            TupleSpec::new()
+                .lrp("from", 0, 10)
+                .lrp("to", 3, 10)
+                .diff_eq("from", "to", -3)
+                .datum("who", "press"),
+        )
+        .unwrap();
+        let text = db.table("busy").unwrap().timeline(0, 19);
+        // Two bursts: [0,3] and [10,13].
+        let lane = text.lines().find(|l| l.starts_with("press")).unwrap();
+        assert!(lane.contains("####......####......"), "{text}");
+        // Straddling interval [-10, -7] is clipped away; [20, 23] too.
+        assert!(!text.contains('#') || lane.matches('#').count() == 8, "{text}");
+    }
+
+    #[test]
+    fn timeline_arity_1_and_bad_arities() {
+        let mut db = Database::new();
+        db.create_table("tick", &["t"], &[]).unwrap();
+        db.table_mut("tick")
+            .unwrap()
+            .insert(TupleSpec::new().lrp("t", 1, 4))
+            .unwrap();
+        let text = db.table("tick").unwrap().timeline(0, 8);
+        assert!(text.contains(".#...#...") || text.contains(".#...#.."), "{text}");
+        db.create_table("wide", &["a", "b", "c"], &[]).unwrap();
+        let text = db.table("wide").unwrap().timeline(0, 5);
+        assert!(text.contains("arity"), "{text}");
+        let text = db.table("tick").unwrap().timeline(5, 0);
+        assert!(text.contains("empty window"), "{text}");
+    }
+
+    #[test]
+    fn unconstrained_rows_have_empty_constraint_cell() {
+        let mut db = Database::new();
+        db.create_table("t", &["x"], &[]).unwrap();
+        db.table_mut("t")
+            .unwrap()
+            .insert(TupleSpec::new().lrp("x", 0, 5))
+            .unwrap();
+        let text = db.table("t").unwrap().render();
+        assert!(text.contains("5n"), "{text}");
+        assert!(!text.contains("true"), "{text}");
+    }
+}

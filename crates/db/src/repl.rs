@@ -1,0 +1,279 @@
+//! The command layer of the `itd-repl` binary, exposed as a library so it
+//! can be unit-tested without a terminal.
+
+use itd_core::Value;
+
+use crate::table::TupleSpec;
+use crate::{Database, DbError, Result};
+
+/// A stateful REPL session: a database plus command dispatch.
+#[derive(Debug, Default)]
+pub struct ReplSession {
+    db: Database,
+}
+
+impl ReplSession {
+    /// A fresh session with an empty database.
+    pub fn new() -> ReplSession {
+        ReplSession::default()
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Executes one command line. Returns `Ok(Some(output))` for a normal
+    /// command, `Ok(None)` for `quit`.
+    ///
+    /// # Errors
+    /// [`DbError`] for any malformed command or failed operation; the
+    /// session stays usable.
+    pub fn execute(&mut self, line: &str) -> Result<Option<String>> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(Some(String::new()));
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "quit" | "exit" => Ok(None),
+            "help" => Ok(Some(HELP.to_owned())),
+            "tables" => Ok(Some(self.db.table_names().join("\n"))),
+            "create" => self.create(rest).map(Some),
+            "insert" => self.insert(rest).map(Some),
+            "show" => Ok(Some(self.db.table(rest)?.render())),
+            "timeline" => {
+                let mut parts = rest.split_whitespace();
+                let (name, lo, hi) = (
+                    parts.next().unwrap_or(""),
+                    parts.next().and_then(|w| w.parse().ok()).unwrap_or(0i64),
+                    parts.next().and_then(|w| w.parse().ok()).unwrap_or(40i64),
+                );
+                Ok(Some(self.db.table(name)?.timeline(lo, hi)))
+            }
+            "ask" => Ok(Some(format!("{}", self.db.ask(rest)?))),
+            "view" => {
+                let (name, src) = rest.split_once('=').ok_or_else(|| {
+                    DbError::IncompleteTuple {
+                        detail: "expected `view name = <query>`".into(),
+                    }
+                })?;
+                let table = self.db.materialize_view(name.trim(), src.trim())?;
+                Ok(Some(format!(
+                    "view `{}` materialized with {} generalized tuple(s)",
+                    table.name(),
+                    table.len()
+                )))
+            }
+            "query" => self.query(rest).map(Some),
+            "save" => {
+                self.db.save(rest)?;
+                Ok(Some(format!("saved to {rest}")))
+            }
+            "load" => {
+                self.db = Database::load(rest)?;
+                Ok(Some(format!(
+                    "loaded {} table(s)",
+                    self.db.table_names().len()
+                )))
+            }
+            other => Err(DbError::IncompleteTuple {
+                detail: format!("unknown command `{other}` (try `help`)"),
+            }),
+        }
+    }
+
+    /// `create name(t1, t2; d1, d2)` — data part optional.
+    fn create(&mut self, rest: &str) -> Result<String> {
+        let bad = |detail: &str| DbError::IncompleteTuple {
+            detail: detail.to_owned(),
+        };
+        let (name, args) = rest
+            .split_once('(')
+            .ok_or_else(|| bad("expected `create name(attrs...)`"))?;
+        let args = args
+            .strip_suffix(')')
+            .ok_or_else(|| bad("missing closing `)`"))?;
+        let (temporal_part, data_part) = match args.split_once(';') {
+            Some((t, d)) => (t, d),
+            None => (args, ""),
+        };
+        let split = |s: &str| -> Vec<String> {
+            s.split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(str::to_owned)
+                .collect()
+        };
+        let temporal = split(temporal_part);
+        let data = split(data_part);
+        let tref: Vec<&str> = temporal.iter().map(String::as_str).collect();
+        let dref: Vec<&str> = data.iter().map(String::as_str).collect();
+        self.db.create_table(name.trim(), &tref, &dref)?;
+        Ok(format!(
+            "created `{}` with {} temporal and {} data attribute(s)",
+            name.trim(),
+            temporal.len(),
+            data.len()
+        ))
+    }
+
+    /// `insert table clause, clause, ...` where each clause is one of
+    /// `lrp attr offset period`, `at attr value`, `le attr c`, `ge attr c`,
+    /// `eq attr c`, `diffle a b c`, `eq a b c` (difference equality), or
+    /// `datum attr value`.
+    fn insert(&mut self, rest: &str) -> Result<String> {
+        let bad = |detail: String| DbError::IncompleteTuple { detail };
+        let (table_name, clauses) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| bad("expected `insert table clauses...`".into()))?;
+        let mut spec = TupleSpec::new();
+        for clause in clauses.split(',') {
+            let words: Vec<&str> = clause.split_whitespace().collect();
+            let int = |w: &str| -> Result<i64> {
+                w.parse()
+                    .map_err(|_| bad(format!("`{w}` is not an integer")))
+            };
+            spec = match words.as_slice() {
+                ["lrp", attr, offset, period] => {
+                    spec.lrp(attr, int(offset)?, int(period)?)
+                }
+                ["at", attr, value] => spec.at(attr, int(value)?),
+                ["le", attr, c] => spec.le(attr, int(c)?),
+                ["ge", attr, c] => spec.ge(attr, int(c)?),
+                ["eq", attr, c] => spec.eq(attr, int(c)?),
+                ["diffle", a, b, c] => spec.diff_le(a, b, int(c)?),
+                ["eq", a, b, c] => spec.diff_eq(a, b, int(c)?),
+                ["datum", attr, value] => match value.parse::<i64>() {
+                    Ok(v) => spec.datum(attr, v),
+                    Err(_) => spec.datum(attr, Value::str(*value)),
+                },
+                other => {
+                    return Err(bad(format!("unrecognized clause {other:?}")));
+                }
+            };
+        }
+        self.db.table_mut(table_name)?.insert(spec)?;
+        Ok(format!("inserted into `{table_name}`"))
+    }
+
+    /// `query <formula>` — prints the symbolic answer relation.
+    fn query(&self, src: &str) -> Result<String> {
+        let result = self.db.query(src)?;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "free variables: temporal {:?}, data {:?}\n",
+            result.temporal_vars, result.data_vars
+        ));
+        out.push_str(&format!("{}", result.relation));
+        Ok(out)
+    }
+}
+
+const HELP: &str = "\
+commands:
+  create name(t1, t2; d1)        define a table (data attrs after `;`)
+  insert table clause, ...       clauses: lrp attr off period | at attr v |
+                                 le/ge/eq attr c | diffle a b c | eq a b c |
+                                 datum attr value
+  show table                     render a table paper-style
+  timeline table [lo hi]         ASCII occupancy timeline of a window
+  tables                         list tables
+  ask <formula>                  yes/no query (first-order syntax)
+  view name = <formula>          materialize an open query as a table
+  query <formula>                open query; prints the answer relation
+  save <path> / load <path>      JSON persistence
+  quit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(session: &mut ReplSession, line: &str) -> String {
+        session
+            .execute(line)
+            .unwrap_or_else(|e| panic!("`{line}` failed: {e}"))
+            .expect("not a quit")
+    }
+
+    #[test]
+    fn end_to_end_session() {
+        let mut s = ReplSession::new();
+        run(&mut s, "create train(dep, arr; kind)");
+        run(
+            &mut s,
+            "insert train lrp dep 2 60, lrp arr 80 60, eq dep arr -78, datum kind slow",
+        );
+        assert_eq!(run(&mut s, r#"ask exists a. train(62, a; "slow")"#), "true");
+        assert_eq!(run(&mut s, r#"ask train(63, 141; "slow")"#), "false");
+        let shown = run(&mut s, "show train");
+        assert!(shown.contains("dep"), "{shown}");
+        assert_eq!(run(&mut s, "tables"), "train");
+        let q = run(&mut s, "query train(d, a; k) and d >= 0");
+        assert!(q.contains("temporal [\"d\", \"a\"]"), "{q}");
+        assert!(s.execute("quit").unwrap().is_none());
+    }
+
+    #[test]
+    fn views_in_repl() {
+        let mut s = ReplSession::new();
+        run(&mut s, "create ev(t)");
+        run(&mut s, "insert ev lrp t 0 2");
+        let msg = run(&mut s, "view pos = ev(t) and t >= 0");
+        assert!(msg.contains("view `pos`"), "{msg}");
+        assert_eq!(run(&mut s, "ask pos(4)"), "true");
+        assert_eq!(run(&mut s, "ask pos(-4)"), "false");
+        assert!(s.execute("view broken").is_err());
+    }
+
+    #[test]
+    fn integer_data_and_points() {
+        let mut s = ReplSession::new();
+        run(&mut s, "create ev(t; n)");
+        run(&mut s, "insert ev at t 5, datum n 42");
+        assert_eq!(run(&mut s, "ask ev(5; 42)"), "true");
+        assert_eq!(run(&mut s, "ask ev(6; 42)"), "false");
+    }
+
+    #[test]
+    fn errors_are_recoverable() {
+        let mut s = ReplSession::new();
+        assert!(s.execute("bogus command").is_err());
+        assert!(s.execute("create broken").is_err());
+        assert!(s.execute("insert nosuch lrp t 0 1").is_err());
+        assert!(s.execute("show nosuch").is_err());
+        assert!(s.execute("ask nonsense(((").is_err());
+        // Still usable afterwards.
+        run(&mut s, "create ok(t)");
+        run(&mut s, "insert ok lrp t 0 2");
+        assert_eq!(run(&mut s, "ask ok(4)"), "true");
+    }
+
+    #[test]
+    fn comments_blank_lines_and_help() {
+        let mut s = ReplSession::new();
+        assert_eq!(run(&mut s, ""), "");
+        assert_eq!(run(&mut s, "# a comment"), "");
+        assert!(run(&mut s, "help").contains("commands"));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("itd_repl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        let mut s = ReplSession::new();
+        run(&mut s, "create ev(t)");
+        run(&mut s, "insert ev lrp t 1 3");
+        run(&mut s, &format!("save {path_str}"));
+        let mut s2 = ReplSession::new();
+        let msg = run(&mut s2, &format!("load {path_str}"));
+        assert!(msg.contains("1 table"), "{msg}");
+        assert_eq!(run(&mut s2, "ask ev(4)"), "true");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,372 @@
+//! Named tables and the tuple-specification builder.
+
+use itd_core::{Atom, GenRelation, GenTuple, Lrp, Schema, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::error::DbError;
+use crate::Result;
+
+/// A named generalized relation: attribute names plus the relation itself.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    temporal_names: Vec<String>,
+    data_names: Vec<String>,
+    relation: GenRelation,
+}
+
+impl Table {
+    pub(crate) fn new(
+        name: impl Into<String>,
+        temporal_names: &[&str],
+        data_names: &[&str],
+    ) -> Result<Table> {
+        let name = name.into();
+        let mut seen = std::collections::BTreeSet::new();
+        for n in temporal_names.iter().chain(data_names) {
+            if !seen.insert(*n) {
+                return Err(DbError::DuplicateAttribute((*n).to_owned()));
+            }
+        }
+        let schema = Schema::new(temporal_names.len(), data_names.len());
+        Ok(Table {
+            name,
+            temporal_names: temporal_names.iter().map(|s| (*s).to_owned()).collect(),
+            data_names: data_names.iter().map(|s| (*s).to_owned()).collect(),
+            relation: GenRelation::empty(schema),
+        })
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Temporal attribute names, in column order.
+    pub fn temporal_names(&self) -> &[String] {
+        &self.temporal_names
+    }
+
+    /// Data attribute names, in column order.
+    pub fn data_names(&self) -> &[String] {
+        &self.data_names
+    }
+
+    /// The underlying generalized relation.
+    pub fn relation(&self) -> &GenRelation {
+        &self.relation
+    }
+
+    /// Replaces the underlying relation (schema must match).
+    ///
+    /// # Errors
+    /// [`DbError::Core`] with a schema mismatch otherwise.
+    pub fn set_relation(&mut self, rel: GenRelation) -> Result<()> {
+        if rel.schema() != self.relation.schema() {
+            return Err(DbError::Core(itd_core::CoreError::SchemaMismatch {
+                expected: self.relation.schema(),
+                found: rel.schema(),
+            }));
+        }
+        self.relation = rel;
+        Ok(())
+    }
+
+    /// Column index of a temporal attribute.
+    ///
+    /// # Errors
+    /// [`DbError::UnknownAttribute`].
+    pub fn col(&self, name: &str) -> Result<usize> {
+        self.temporal_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| DbError::UnknownAttribute {
+                table: self.name.clone(),
+                attribute: name.to_owned(),
+            })
+    }
+
+    /// Column index of a data attribute.
+    ///
+    /// # Errors
+    /// [`DbError::UnknownAttribute`].
+    pub fn data_col(&self, name: &str) -> Result<usize> {
+        self.data_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| DbError::UnknownAttribute {
+                table: self.name.clone(),
+                attribute: name.to_owned(),
+            })
+    }
+
+    /// Inserts a tuple described by a [`TupleSpec`].
+    ///
+    /// # Errors
+    /// [`DbError::IncompleteTuple`] if the spec does not assign every
+    /// attribute exactly once; [`DbError::UnknownAttribute`] for stray
+    /// names; algebra errors from constraint closure.
+    pub fn insert(&mut self, spec: TupleSpec) -> Result<()> {
+        let tuple = spec.build(self)?;
+        self.relation.push(tuple).map_err(DbError::Core)
+    }
+
+    /// Inserts a raw generalized tuple (schema-checked).
+    ///
+    /// # Errors
+    /// [`DbError::Core`] on schema mismatch.
+    pub fn insert_tuple(&mut self, tuple: GenTuple) -> Result<()> {
+        self.relation.push(tuple).map_err(DbError::Core)
+    }
+
+    /// Number of generalized tuples.
+    pub fn len(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// Is the table free of tuples?
+    pub fn is_empty(&self) -> bool {
+        self.relation.has_no_tuples()
+    }
+}
+
+/// Builder for one generalized tuple with named attributes.
+///
+/// Every temporal attribute must receive exactly one value
+/// ([`TupleSpec::lrp`] or [`TupleSpec::at`]) and every data attribute one
+/// [`TupleSpec::datum`]; constraints are optional.
+#[derive(Debug, Clone, Default)]
+pub struct TupleSpec {
+    lrps: Vec<(String, Lrp)>,
+    atoms: Vec<NamedAtom>,
+    data: Vec<(String, Value)>,
+}
+
+#[derive(Debug, Clone)]
+enum NamedAtom {
+    DiffLe(String, String, i64),
+    DiffEq(String, String, i64),
+    Le(String, i64),
+    Ge(String, i64),
+    Eq(String, i64),
+}
+
+impl TupleSpec {
+    /// An empty spec.
+    pub fn new() -> TupleSpec {
+        TupleSpec::default()
+    }
+
+    /// Assigns the lrp `offset + period·n` to a temporal attribute.
+    pub fn lrp(mut self, attr: &str, offset: i64, period: i64) -> TupleSpec {
+        let l = Lrp::new(offset, period).expect("lrp parameters in range");
+        self.lrps.push((attr.to_owned(), l));
+        self
+    }
+
+    /// Assigns a single time point to a temporal attribute.
+    pub fn at(mut self, attr: &str, value: i64) -> TupleSpec {
+        self.lrps.push((attr.to_owned(), Lrp::point(value)));
+        self
+    }
+
+    /// Constraint `attr_i <= attr_j + a`.
+    pub fn diff_le(mut self, i: &str, j: &str, a: i64) -> TupleSpec {
+        self.atoms
+            .push(NamedAtom::DiffLe(i.to_owned(), j.to_owned(), a));
+        self
+    }
+
+    /// Constraint `attr_i = attr_j + a`.
+    pub fn diff_eq(mut self, i: &str, j: &str, a: i64) -> TupleSpec {
+        self.atoms
+            .push(NamedAtom::DiffEq(i.to_owned(), j.to_owned(), a));
+        self
+    }
+
+    /// Constraint `attr <= a`.
+    pub fn le(mut self, attr: &str, a: i64) -> TupleSpec {
+        self.atoms.push(NamedAtom::Le(attr.to_owned(), a));
+        self
+    }
+
+    /// Constraint `attr >= a`.
+    pub fn ge(mut self, attr: &str, a: i64) -> TupleSpec {
+        self.atoms.push(NamedAtom::Ge(attr.to_owned(), a));
+        self
+    }
+
+    /// Constraint `attr = a`.
+    pub fn eq(mut self, attr: &str, a: i64) -> TupleSpec {
+        self.atoms.push(NamedAtom::Eq(attr.to_owned(), a));
+        self
+    }
+
+    /// Assigns a data attribute.
+    pub fn datum(mut self, attr: &str, value: impl Into<Value>) -> TupleSpec {
+        self.data.push((attr.to_owned(), value.into()));
+        self
+    }
+
+    fn build(self, table: &Table) -> Result<GenTuple> {
+        // Temporal values, one per column.
+        let mut lrps: Vec<Option<Lrp>> = vec![None; table.temporal_names().len()];
+        for (name, l) in &self.lrps {
+            let i = table.col(name)?;
+            if lrps[i].is_some() {
+                return Err(DbError::IncompleteTuple {
+                    detail: format!("temporal attribute `{name}` assigned twice"),
+                });
+            }
+            lrps[i] = Some(*l);
+        }
+        let lrps: Vec<Lrp> = lrps
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| {
+                l.ok_or_else(|| DbError::IncompleteTuple {
+                    detail: format!(
+                        "temporal attribute `{}` missing",
+                        table.temporal_names()[i]
+                    ),
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        // Data values.
+        let mut data: Vec<Option<Value>> = vec![None; table.data_names().len()];
+        for (name, v) in &self.data {
+            let i = table.data_col(name)?;
+            if data[i].is_some() {
+                return Err(DbError::IncompleteTuple {
+                    detail: format!("data attribute `{name}` assigned twice"),
+                });
+            }
+            data[i] = Some(v.clone());
+        }
+        let data: Vec<Value> = data
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                v.ok_or_else(|| DbError::IncompleteTuple {
+                    detail: format!("data attribute `{}` missing", table.data_names()[i]),
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        // Constraints.
+        let mut atoms = Vec::with_capacity(self.atoms.len());
+        for a in &self.atoms {
+            atoms.push(match a {
+                NamedAtom::DiffLe(i, j, a) => Atom::diff_le(table.col(i)?, table.col(j)?, *a),
+                NamedAtom::DiffEq(i, j, a) => Atom::diff_eq(table.col(i)?, table.col(j)?, *a),
+                NamedAtom::Le(i, a) => Atom::le(table.col(i)?, *a),
+                NamedAtom::Ge(i, a) => Atom::ge(table.col(i)?, *a),
+                NamedAtom::Eq(i, a) => Atom::eq(table.col(i)?, *a),
+            });
+        }
+        GenTuple::with_atoms(lrps, &atoms, data).map_err(DbError::Core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::new("robot", &["from", "to"], &["name", "task"]).unwrap()
+    }
+
+    #[test]
+    fn insert_table_1_first_row() {
+        // Table 1: Robot 1, Task 1: [2+2n, 4+2n], X1 = X2 − 2 ∧ X1 ≥ −1.
+        let mut t = table();
+        t.insert(
+            TupleSpec::new()
+                .lrp("from", 2, 2)
+                .lrp("to", 4, 2)
+                .diff_eq("from", "to", -2)
+                .ge("from", -1)
+                .datum("name", "robot1")
+                .datum("task", "task1"),
+        )
+        .unwrap();
+        assert_eq!(t.len(), 1);
+        let r = t.relation();
+        assert!(r.contains(&[2, 4], &[Value::str("robot1"), Value::str("task1")]));
+        assert!(r.contains(&[4, 6], &[Value::str("robot1"), Value::str("task1")]));
+        assert!(!r.contains(&[-4, -2], &[Value::str("robot1"), Value::str("task1")]));
+        assert!(!r.contains(&[2, 6], &[Value::str("robot1"), Value::str("task1")]));
+    }
+
+    #[test]
+    fn missing_and_double_assignments_rejected() {
+        let mut t = table();
+        let err = t
+            .insert(TupleSpec::new().lrp("from", 0, 2).datum("name", "x"))
+            .unwrap_err();
+        assert!(matches!(err, DbError::IncompleteTuple { .. }), "{err}");
+        let err = t
+            .insert(
+                TupleSpec::new()
+                    .lrp("from", 0, 2)
+                    .lrp("from", 1, 2)
+                    .lrp("to", 0, 2)
+                    .datum("name", "x")
+                    .datum("task", "y"),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::IncompleteTuple { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let mut t = table();
+        let err = t
+            .insert(
+                TupleSpec::new()
+                    .lrp("nope", 0, 2)
+                    .lrp("to", 0, 2)
+                    .datum("name", "x")
+                    .datum("task", "y"),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::UnknownAttribute { .. }), "{err}");
+        assert!(t.col("nope").is_err());
+        assert!(t.data_col("nope").is_err());
+        assert_eq!(t.col("to").unwrap(), 1);
+        assert_eq!(t.data_col("task").unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_schema_names_rejected() {
+        assert!(matches!(
+            Table::new("x", &["a", "a"], &[]),
+            Err(DbError::DuplicateAttribute(_))
+        ));
+        assert!(matches!(
+            Table::new("x", &["a"], &["a"]),
+            Err(DbError::DuplicateAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn point_values_via_at() {
+        let mut t = Table::new("ev", &["when"], &[]).unwrap();
+        t.insert(TupleSpec::new().at("when", 42)).unwrap();
+        assert!(t.relation().contains(&[42], &[]));
+        assert!(!t.relation().contains(&[43], &[]));
+    }
+
+    #[test]
+    fn set_relation_checks_schema() {
+        let mut t = table();
+        assert!(t
+            .set_relation(GenRelation::empty(Schema::new(1, 0)))
+            .is_err());
+        assert!(t
+            .set_relation(GenRelation::empty(Schema::new(2, 2)))
+            .is_ok());
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Allen's interval algebra over generalized lrp relations.
+//!
+//! The paper grounds its model in the interval tradition of AI (§1 cites
+//! Allen; §2 chooses pairs of points as the interval representation,
+//! following Ladkin's observation that the two theories coincide). This
+//! crate supplies the canonical interval vocabulary on top of `itd-core`:
+//!
+//! * [`AllenRel`] — the thirteen basic relations between proper intervals,
+//!   with concrete evaluation, inversion, and classification;
+//! * [`allen_join`] — an interval-relation-filtered join of two
+//!   temporal-arity-2 generalized relations, implemented as a cross product
+//!   plus the endpoint constraints of the relation (everything stays in the
+//!   restricted-constraint fragment, so the result is again a generalized
+//!   relation);
+//! * [`compose`] — the Allen composition table, **derived symbolically**:
+//!   instead of hard-coding 169 entries, each entry is computed by a
+//!   satisfiability check on the 6-endpoint difference-constraint system,
+//!   using the same DBM engine that powers the rest of the reproduction.
+//!
+//! Intervals here are *proper*: `start < end`. (The paper's tuples allow
+//! `start = end`; Allen's algebra does not, and the helpers below make the
+//! distinction explicit.)
+
+mod join;
+mod network;
+mod relation;
+
+pub use join::{allen_join, allen_select, proper_intervals};
+pub use network::{satisfies, AllenNetwork, RelSet};
+pub use relation::{compose, AllenRel, ALL_RELATIONS};
+
+pub use itd_core::CoreError;
+
+/// Result alias (errors come from the core algebra).
+pub type Result<T> = itd_core::Result<T>;

@@ -1,0 +1,429 @@
+//! Qualitative interval constraint networks (Allen, 1983) with
+//! path-consistency propagation and scenario search.
+//!
+//! An [`AllenNetwork`] holds, for every ordered pair of interval variables,
+//! the set of basic relations still allowed ([`RelSet`], a 13-bit mask).
+//! [`AllenNetwork::path_consistency`] runs the classical
+//! `C(i,j) ← C(i,j) ∩ (C(i,k) ∘ C(k,j))` propagation; the composition
+//! table is **derived** from [`crate::compose`] (i.e. from the DBM
+//! engine), not transcribed. [`AllenNetwork::scenario`] searches for a
+//! consistent atomic labeling by backtracking over the pruned network.
+
+use std::sync::OnceLock;
+
+use crate::relation::{compose, AllenRel, ALL_RELATIONS};
+
+/// A set of Allen relations, represented as a 13-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RelSet(u16);
+
+const FULL_MASK: u16 = (1 << 13) - 1;
+
+impl RelSet {
+    /// The empty set (an inconsistency marker).
+    pub const EMPTY: RelSet = RelSet(0);
+
+    /// All thirteen relations (no information).
+    pub const FULL: RelSet = RelSet(FULL_MASK);
+
+    /// The singleton set.
+    pub fn only(r: AllenRel) -> RelSet {
+        RelSet(1 << index(r))
+    }
+
+    /// Builds from an iterator of relations.
+    #[allow(clippy::should_implement_trait)] // const-friendly inherent builder
+    pub fn from_iter(rels: impl IntoIterator<Item = AllenRel>) -> RelSet {
+        let mut s = RelSet::EMPTY;
+        for r in rels {
+            s.0 |= 1 << index(r);
+        }
+        s
+    }
+
+    /// Membership.
+    pub fn contains(self, r: AllenRel) -> bool {
+        self.0 & (1 << index(r)) != 0
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: RelSet) -> RelSet {
+        RelSet(self.0 | other.0)
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of relations in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the member relations.
+    pub fn iter(self) -> impl Iterator<Item = AllenRel> {
+        ALL_RELATIONS
+            .into_iter()
+            .enumerate()
+            .filter(move |(i, _)| self.0 & (1 << i) != 0)
+            .map(|(_, r)| r)
+    }
+
+    /// The set of inverses (`{r⁻¹ | r ∈ self}`).
+    #[must_use]
+    pub fn inverse(self) -> RelSet {
+        RelSet::from_iter(self.iter().map(AllenRel::inverse))
+    }
+
+    /// Composition of sets: `∪ {r1 ∘ r2 | r1 ∈ self, r2 ∈ other}`.
+    pub fn compose(self, other: RelSet) -> RelSet {
+        let table = composition_table();
+        let mut out = RelSet::EMPTY;
+        for r1 in self.iter() {
+            for r2 in other.iter() {
+                out = out.union(table[index(r1)][index(r2)]);
+            }
+        }
+        out
+    }
+}
+
+fn index(r: AllenRel) -> usize {
+    ALL_RELATIONS
+        .iter()
+        .position(|&x| x == r)
+        .expect("relation is in ALL_RELATIONS")
+}
+
+/// The 13×13 composition table, computed once from the symbolic
+/// `compose` (itself backed by the DBM engine).
+fn composition_table() -> &'static [[RelSet; 13]; 13] {
+    static TABLE: OnceLock<[[RelSet; 13]; 13]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [[RelSet::EMPTY; 13]; 13];
+        for (i, &r1) in ALL_RELATIONS.iter().enumerate() {
+            for (j, &r2) in ALL_RELATIONS.iter().enumerate() {
+                let entries = compose(r1, r2).expect("small constants cannot overflow");
+                table[i][j] = RelSet::from_iter(entries);
+            }
+        }
+        table
+    })
+}
+
+/// A qualitative constraint network over `n` interval variables.
+#[derive(Debug, Clone)]
+pub struct AllenNetwork {
+    n: usize,
+    /// Row-major n×n; entry (i,j) is the allowed relation set from i to j.
+    constraints: Vec<RelSet>,
+}
+
+impl AllenNetwork {
+    /// A fully unconstrained network over `n` intervals.
+    pub fn new(n: usize) -> AllenNetwork {
+        let mut constraints = vec![RelSet::FULL; n * n];
+        for i in 0..n {
+            constraints[i * n + i] = RelSet::only(AllenRel::Equals);
+        }
+        AllenNetwork { n, constraints }
+    }
+
+    /// Number of interval variables.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Is the network empty (zero variables)?
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The current allowed set between `i` and `j`.
+    ///
+    /// # Panics
+    /// If an index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> RelSet {
+        assert!(i < self.n && j < self.n, "variable out of range");
+        self.constraints[i * self.n + j]
+    }
+
+    /// Restricts the pair `(i, j)` to `set` (and `(j, i)` to its inverse).
+    ///
+    /// # Panics
+    /// If an index is out of range or `i == j` with a non-`Equals` set.
+    pub fn constrain(&mut self, i: usize, j: usize, set: RelSet) {
+        assert!(i < self.n && j < self.n, "variable out of range");
+        if i == j {
+            assert!(
+                set.contains(AllenRel::Equals),
+                "an interval always equals itself"
+            );
+            return;
+        }
+        let n = self.n;
+        self.constraints[i * n + j] = self.constraints[i * n + j].intersect(set);
+        self.constraints[j * n + i] = self.constraints[j * n + i].intersect(set.inverse());
+    }
+
+    /// Convenience: restrict to a single relation.
+    pub fn constrain_to(&mut self, i: usize, j: usize, rel: AllenRel) {
+        self.constrain(i, j, RelSet::only(rel));
+    }
+
+    /// Path-consistency propagation: repeatedly refine
+    /// `C(i,j) ← C(i,j) ∩ (C(i,k) ∘ C(k,j))` to a fixpoint.
+    ///
+    /// Returns `false` if some pair becomes empty (the network is
+    /// inconsistent). `true` means path-consistent — a necessary (for
+    /// Allen networks not always sufficient) consistency condition.
+    pub fn path_consistency(&mut self) -> bool {
+        let n = self.n;
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    for k in 0..n {
+                        if k == i || k == j {
+                            continue;
+                        }
+                        let through =
+                            self.get(i, k).compose(self.get(k, j));
+                        let refined = self.get(i, j).intersect(through);
+                        if refined != self.get(i, j) {
+                            self.constraints[i * n + j] = refined;
+                            self.constraints[j * n + i] = refined.inverse();
+                            changed = true;
+                        }
+                        if refined.is_empty() {
+                            return false;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// Searches for a consistent *scenario* — one basic relation per pair —
+    /// by backtracking with path-consistency propagation. Returns the
+    /// refined network (all pairs singleton) or `None`.
+    pub fn scenario(&self) -> Option<AllenNetwork> {
+        let mut work = self.clone();
+        if !work.path_consistency() {
+            return None;
+        }
+        Self::search(work)
+    }
+
+    fn search(net: AllenNetwork) -> Option<AllenNetwork> {
+        // Find the most constrained undecided pair.
+        let n = net.n;
+        let mut pick: Option<(usize, usize)> = None;
+        let mut best = usize::MAX;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let size = net.get(i, j).len();
+                if size > 1 && size < best {
+                    best = size;
+                    pick = Some((i, j));
+                }
+            }
+        }
+        let Some((i, j)) = pick else {
+            return Some(net); // all singletons: a scenario
+        };
+        for r in net.get(i, j).iter() {
+            let mut branch = net.clone();
+            branch.constrain_to(i, j, r);
+            if branch.path_consistency() {
+                if let Some(solution) = Self::search(branch) {
+                    return Some(solution);
+                }
+            }
+        }
+        None
+    }
+
+    /// Builds the network induced by concrete intervals (each pair gets the
+    /// singleton of its actual relation) — useful as a test oracle.
+    ///
+    /// # Panics
+    /// If any interval is improper.
+    pub fn from_concrete(intervals: &[(i64, i64)]) -> AllenNetwork {
+        let mut net = AllenNetwork::new(intervals.len());
+        for (i, &(a1, a2)) in intervals.iter().enumerate() {
+            for (j, &(b1, b2)) in intervals.iter().enumerate() {
+                if i != j {
+                    net.constrain_to(i, j, AllenRel::classify(a1, a2, b1, b2));
+                }
+            }
+        }
+        net
+    }
+}
+
+/// Convenience re-export used by tests: is a concrete interval assignment a
+/// model of the network?
+pub fn satisfies(net: &AllenNetwork, intervals: &[(i64, i64)]) -> bool {
+    if intervals.len() != net.len() {
+        return false;
+    }
+    for (i, &(a1, a2)) in intervals.iter().enumerate() {
+        for (j, &(b1, b2)) in intervals.iter().enumerate() {
+            if i != j && !net.get(i, j).contains(AllenRel::classify(a1, a2, b1, b2)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relset_basics() {
+        let s = RelSet::from_iter([AllenRel::Before, AllenRel::Meets]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(AllenRel::Before));
+        assert!(!s.contains(AllenRel::After));
+        assert_eq!(
+            s.inverse(),
+            RelSet::from_iter([AllenRel::After, AllenRel::MetBy])
+        );
+        assert_eq!(s.intersect(RelSet::only(AllenRel::Meets)).len(), 1);
+        assert!(RelSet::EMPTY.is_empty());
+        assert_eq!(RelSet::FULL.len(), 13);
+        assert_eq!(RelSet::FULL.inverse(), RelSet::FULL);
+    }
+
+    #[test]
+    fn set_composition_matches_pointwise() {
+        let s1 = RelSet::from_iter([AllenRel::Before, AllenRel::Meets]);
+        let s2 = RelSet::only(AllenRel::Before);
+        // before ∘ before = {before}; meets ∘ before = {before}.
+        assert_eq!(s1.compose(s2), RelSet::only(AllenRel::Before));
+    }
+
+    #[test]
+    fn transitive_chain_propagates() {
+        // A before B, B before C ⟹ A before C.
+        let mut net = AllenNetwork::new(3);
+        net.constrain_to(0, 1, AllenRel::Before);
+        net.constrain_to(1, 2, AllenRel::Before);
+        assert!(net.path_consistency());
+        assert_eq!(net.get(0, 2), RelSet::only(AllenRel::Before));
+        assert_eq!(net.get(2, 0), RelSet::only(AllenRel::After));
+    }
+
+    #[test]
+    fn classic_meets_during() {
+        // A meets B, B during C ⟹ A ∈ {overlaps, during, starts} C.
+        let mut net = AllenNetwork::new(3);
+        net.constrain_to(0, 1, AllenRel::Meets);
+        net.constrain_to(1, 2, AllenRel::During);
+        assert!(net.path_consistency());
+        assert_eq!(
+            net.get(0, 2),
+            RelSet::from_iter([AllenRel::Overlaps, AllenRel::During, AllenRel::Starts])
+        );
+    }
+
+    #[test]
+    fn cyclic_inconsistency_detected() {
+        // A before B, B before C, C before A: impossible.
+        let mut net = AllenNetwork::new(3);
+        net.constrain_to(0, 1, AllenRel::Before);
+        net.constrain_to(1, 2, AllenRel::Before);
+        net.constrain_to(2, 0, AllenRel::Before);
+        assert!(!net.path_consistency());
+        assert!(net.scenario().is_none());
+    }
+
+    #[test]
+    fn scenario_search_finds_models() {
+        // A overlaps-or-before B, B meets C, A disjoint-from C.
+        let mut net = AllenNetwork::new(3);
+        net.constrain(
+            0,
+            1,
+            RelSet::from_iter([AllenRel::Overlaps, AllenRel::Before]),
+        );
+        net.constrain_to(1, 2, AllenRel::Meets);
+        net.constrain(
+            0,
+            2,
+            RelSet::from_iter([AllenRel::Before, AllenRel::After]),
+        );
+        let scenario = net.scenario().expect("consistent");
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert_eq!(scenario.get(i, j).len(), 1, "({i},{j})");
+                }
+            }
+        }
+        // The singleton labeling is itself path-consistent and within the
+        // original constraints.
+        assert!(scenario.get(0, 1).intersect(net.get(0, 1)).len() == 1);
+    }
+
+    #[test]
+    fn from_concrete_is_consistent() {
+        let intervals = [(0, 5), (2, 4), (5, 9), (-3, 0)];
+        let net = AllenNetwork::from_concrete(&intervals);
+        let mut pc = net.clone();
+        assert!(pc.path_consistency());
+        assert!(satisfies(&net, &intervals));
+        assert!(net.scenario().is_some());
+    }
+
+    proptest! {
+        /// Path consistency never removes relations realized by an actual
+        /// model (soundness of pruning).
+        #[test]
+        fn prop_path_consistency_sound(
+            starts in proptest::collection::vec((-10i64..10, 1i64..6), 4),
+            loosen in proptest::collection::vec(0usize..13, 6),
+        ) {
+            let intervals: Vec<(i64, i64)> =
+                starts.iter().map(|&(s, len)| (s, s + len)).collect();
+            // Start from the exact network, then loosen some pairs with
+            // extra relations.
+            let mut net = AllenNetwork::from_concrete(&intervals);
+            let mut li = loosen.iter();
+            for i in 0..intervals.len() {
+                for j in (i + 1)..intervals.len() {
+                    if let Some(&extra) = li.next() {
+                        let extra_rel = ALL_RELATIONS[extra];
+                        let widened = net.get(i, j).union(RelSet::only(extra_rel));
+                        net.constraints[i * net.n + j] = widened;
+                        net.constraints[j * net.n + i] = widened.inverse();
+                    }
+                }
+            }
+            let mut pc = net.clone();
+            prop_assert!(pc.path_consistency(), "a model exists");
+            // The actual relations survive pruning.
+            prop_assert!(satisfies(&pc, &intervals));
+            // And a scenario is found.
+            prop_assert!(net.scenario().is_some());
+        }
+    }
+}

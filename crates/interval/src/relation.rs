@@ -1,0 +1,345 @@
+//! The thirteen Allen relations and their symbolic composition.
+
+use std::fmt;
+
+use itd_constraint::{Atom, ConstraintSystem};
+
+use crate::Result;
+
+/// One of Allen's thirteen basic relations between proper intervals
+/// `A = [a1, a2)` and `B = [b1, b2)` (with `a1 < a2`, `b1 < b2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AllenRel {
+    /// `a2 < b1` — A entirely precedes B.
+    Before,
+    /// `a2 = b1` — A ends exactly where B starts.
+    Meets,
+    /// `a1 < b1 < a2 < b2`.
+    Overlaps,
+    /// `a1 < b1 ∧ a2 = b2` (inverse of `Finishes`).
+    FinishedBy,
+    /// `a1 < b1 ∧ b2 < a2` — A strictly contains B (inverse of `During`).
+    Contains,
+    /// `a1 = b1 ∧ a2 < b2`.
+    Starts,
+    /// `a1 = b1 ∧ a2 = b2`.
+    Equals,
+    /// `a1 = b1 ∧ b2 < a2` (inverse of `Starts`).
+    StartedBy,
+    /// `b1 < a1 ∧ a2 < b2` — A strictly inside B.
+    During,
+    /// `b1 < a1 ∧ a2 = b2`.
+    Finishes,
+    /// `b1 < a1 < b2 < a2` (inverse of `Overlaps`).
+    OverlappedBy,
+    /// `a1 = b2` — A starts exactly where B ends (inverse of `Meets`).
+    MetBy,
+    /// `b2 < a1` — A entirely follows B.
+    After,
+}
+
+/// All thirteen relations, in conventional order.
+pub const ALL_RELATIONS: [AllenRel; 13] = [
+    AllenRel::Before,
+    AllenRel::Meets,
+    AllenRel::Overlaps,
+    AllenRel::FinishedBy,
+    AllenRel::Contains,
+    AllenRel::Starts,
+    AllenRel::Equals,
+    AllenRel::StartedBy,
+    AllenRel::During,
+    AllenRel::Finishes,
+    AllenRel::OverlappedBy,
+    AllenRel::MetBy,
+    AllenRel::After,
+];
+
+impl AllenRel {
+    /// Does `[a1, a2] REL [b1, b2]` hold? Intervals must be proper.
+    ///
+    /// # Panics
+    /// If either interval is improper (`start >= end`).
+    pub fn holds(self, a1: i64, a2: i64, b1: i64, b2: i64) -> bool {
+        assert!(a1 < a2 && b1 < b2, "Allen relations require proper intervals");
+        match self {
+            AllenRel::Before => a2 < b1,
+            AllenRel::Meets => a2 == b1,
+            AllenRel::Overlaps => a1 < b1 && b1 < a2 && a2 < b2,
+            AllenRel::FinishedBy => a1 < b1 && a2 == b2,
+            AllenRel::Contains => a1 < b1 && b2 < a2,
+            AllenRel::Starts => a1 == b1 && a2 < b2,
+            AllenRel::Equals => a1 == b1 && a2 == b2,
+            AllenRel::StartedBy => a1 == b1 && b2 < a2,
+            AllenRel::During => b1 < a1 && a2 < b2,
+            AllenRel::Finishes => b1 < a1 && a2 == b2,
+            AllenRel::OverlappedBy => b1 < a1 && a1 < b2 && b2 < a2,
+            AllenRel::MetBy => a1 == b2,
+            AllenRel::After => b2 < a1,
+        }
+    }
+
+    /// The unique relation holding between two proper intervals.
+    ///
+    /// # Panics
+    /// If either interval is improper.
+    pub fn classify(a1: i64, a2: i64, b1: i64, b2: i64) -> AllenRel {
+        *ALL_RELATIONS
+            .iter()
+            .find(|r| r.holds(a1, a2, b1, b2))
+            .expect("the 13 relations are jointly exhaustive")
+    }
+
+    /// The inverse relation: `A r B ⟺ B r⁻¹ A`.
+    pub fn inverse(self) -> AllenRel {
+        match self {
+            AllenRel::Before => AllenRel::After,
+            AllenRel::Meets => AllenRel::MetBy,
+            AllenRel::Overlaps => AllenRel::OverlappedBy,
+            AllenRel::FinishedBy => AllenRel::Finishes,
+            AllenRel::Contains => AllenRel::During,
+            AllenRel::Starts => AllenRel::StartedBy,
+            AllenRel::Equals => AllenRel::Equals,
+            AllenRel::StartedBy => AllenRel::Starts,
+            AllenRel::During => AllenRel::Contains,
+            AllenRel::Finishes => AllenRel::FinishedBy,
+            AllenRel::OverlappedBy => AllenRel::Overlaps,
+            AllenRel::MetBy => AllenRel::Meets,
+            AllenRel::After => AllenRel::Before,
+        }
+    }
+
+    /// The restricted-constraint atoms expressing
+    /// `[X_{s1}, X_{e1}] REL [X_{s2}, X_{e2}]` over the given column
+    /// indices (strict `<` becomes `≤ −1` over the integers).
+    pub fn endpoint_atoms(self, s1: usize, e1: usize, s2: usize, e2: usize) -> Vec<Atom> {
+        let lt = |i, j| Atom::diff_le(i, j, -1);
+        let eq = |i, j| Atom::diff_eq(i, j, 0);
+        match self {
+            AllenRel::Before => vec![lt(e1, s2)],
+            AllenRel::Meets => vec![eq(e1, s2)],
+            AllenRel::Overlaps => vec![lt(s1, s2), lt(s2, e1), lt(e1, e2)],
+            AllenRel::FinishedBy => vec![lt(s1, s2), eq(e1, e2)],
+            AllenRel::Contains => vec![lt(s1, s2), lt(e2, e1)],
+            AllenRel::Starts => vec![eq(s1, s2), lt(e1, e2)],
+            AllenRel::Equals => vec![eq(s1, s2), eq(e1, e2)],
+            AllenRel::StartedBy => vec![eq(s1, s2), lt(e2, e1)],
+            AllenRel::During => vec![lt(s2, s1), lt(e1, e2)],
+            AllenRel::Finishes => vec![lt(s2, s1), eq(e1, e2)],
+            AllenRel::OverlappedBy => vec![lt(s2, s1), lt(s1, e2), lt(e2, e1)],
+            AllenRel::MetBy => vec![eq(s1, e2)],
+            AllenRel::After => vec![lt(e2, s1)],
+        }
+    }
+}
+
+impl fmt::Display for AllenRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AllenRel::Before => "before",
+            AllenRel::Meets => "meets",
+            AllenRel::Overlaps => "overlaps",
+            AllenRel::FinishedBy => "finished-by",
+            AllenRel::Contains => "contains",
+            AllenRel::Starts => "starts",
+            AllenRel::Equals => "equals",
+            AllenRel::StartedBy => "started-by",
+            AllenRel::During => "during",
+            AllenRel::Finishes => "finishes",
+            AllenRel::OverlappedBy => "overlapped-by",
+            AllenRel::MetBy => "met-by",
+            AllenRel::After => "after",
+        })
+    }
+}
+
+/// Allen composition, computed symbolically: the set of relations `r3`
+/// such that `A r1 B ∧ B r2 C ∧ A r3 C` is satisfiable.
+///
+/// # Examples
+/// ```
+/// use itd_interval::{compose, AllenRel};
+/// assert_eq!(
+///     compose(AllenRel::Meets, AllenRel::Meets).unwrap(),
+///     vec![AllenRel::Before],
+/// );
+/// ```
+///
+/// Rather than transcribing the classical 13×13 table, each candidate is
+/// decided by a satisfiability check over the six endpoints
+/// (`a1 a2 b1 b2 c1 c2` as difference constraints) — exact over `Z`
+/// because the system is a DBM. The classical table is recovered as a
+/// theorem, not an input; the tests cross-check entries against brute
+/// force.
+///
+/// # Errors
+/// Constraint-closure arithmetic (cannot overflow for these constants).
+pub fn compose(r1: AllenRel, r2: AllenRel) -> Result<Vec<AllenRel>> {
+    // Columns: a1=0, a2=1, b1=2, b2=3, c1=4, c2=5.
+    let mut base = ConstraintSystem::unconstrained(6);
+    for (s, e) in [(0, 1), (2, 3), (4, 5)] {
+        base.add(Atom::diff_le(s, e, -1)).map_err(itd_core::CoreError::Numth)?;
+    }
+    for atom in r1.endpoint_atoms(0, 1, 2, 3) {
+        base.add(atom).map_err(itd_core::CoreError::Numth)?;
+    }
+    for atom in r2.endpoint_atoms(2, 3, 4, 5) {
+        base.add(atom).map_err(itd_core::CoreError::Numth)?;
+    }
+    let mut out = Vec::new();
+    for r3 in ALL_RELATIONS {
+        let mut sys = base.clone();
+        for atom in r3.endpoint_atoms(0, 1, 4, 5) {
+            sys.add(atom).map_err(itd_core::CoreError::Numth)?;
+        }
+        if sys.is_satisfiable() {
+            out.push(r3);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relations_partition_proper_interval_pairs() {
+        for a1 in -4i64..4 {
+            for a2 in (a1 + 1)..5 {
+                for b1 in -4i64..4 {
+                    for b2 in (b1 + 1)..5 {
+                        let holding: Vec<AllenRel> = ALL_RELATIONS
+                            .iter()
+                            .copied()
+                            .filter(|r| r.holds(a1, a2, b1, b2))
+                            .collect();
+                        assert_eq!(
+                            holding.len(),
+                            1,
+                            "({a1},{a2}) vs ({b1},{b2}): {holding:?}"
+                        );
+                        assert_eq!(AllenRel::classify(a1, a2, b1, b2), holding[0]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverses_are_involutive_and_correct() {
+        for r in ALL_RELATIONS {
+            assert_eq!(r.inverse().inverse(), r);
+        }
+        for (a1, a2, b1, b2) in [(0, 2, 3, 5), (0, 5, 1, 2), (0, 2, 2, 4), (1, 3, 1, 5)] {
+            let r = AllenRel::classify(a1, a2, b1, b2);
+            assert_eq!(AllenRel::classify(b1, b2, a1, a2), r.inverse());
+        }
+    }
+
+    #[test]
+    fn endpoint_atoms_agree_with_holds() {
+        use itd_constraint::ConstraintSystem;
+        for r in ALL_RELATIONS {
+            let sys =
+                ConstraintSystem::from_atoms(4, &r.endpoint_atoms(0, 1, 2, 3)).unwrap();
+            for a1 in -3i64..3 {
+                for a2 in (a1 + 1)..4 {
+                    for b1 in -3i64..3 {
+                        for b2 in (b1 + 1)..4 {
+                            assert_eq!(
+                                sys.satisfied_by(&[a1, a2, b1, b2]),
+                                r.holds(a1, a2, b1, b2),
+                                "{r} at ({a1},{a2},{b1},{b2})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composition_known_entries() {
+        // Classical table spot checks.
+        assert_eq!(
+            compose(AllenRel::Before, AllenRel::Before).unwrap(),
+            vec![AllenRel::Before]
+        );
+        assert_eq!(
+            compose(AllenRel::Meets, AllenRel::Meets).unwrap(),
+            vec![AllenRel::Before]
+        );
+        assert_eq!(
+            compose(AllenRel::During, AllenRel::During).unwrap(),
+            vec![AllenRel::During]
+        );
+        assert_eq!(
+            compose(AllenRel::Equals, AllenRel::Overlaps).unwrap(),
+            vec![AllenRel::Overlaps]
+        );
+        // overlaps ∘ overlaps = {before, meets, overlaps}
+        assert_eq!(
+            compose(AllenRel::Overlaps, AllenRel::Overlaps).unwrap(),
+            vec![AllenRel::Before, AllenRel::Meets, AllenRel::Overlaps]
+        );
+        // before ∘ after = all thirteen.
+        assert_eq!(
+            compose(AllenRel::Before, AllenRel::After).unwrap().len(),
+            13
+        );
+    }
+
+    #[test]
+    fn composition_is_sound_and_complete_by_brute_force() {
+        // For every pair (r1, r2), the computed set equals the set of
+        // relations observable on a small grid of endpoint choices.
+        let span = 8i64;
+        for r1 in ALL_RELATIONS {
+            for r2 in ALL_RELATIONS {
+                let computed = compose(r1, r2).unwrap();
+                let mut observed = std::collections::BTreeSet::new();
+                for a1 in 0..span {
+                    for a2 in (a1 + 1)..=span {
+                        for b1 in 0..span {
+                            for b2 in (b1 + 1)..=span {
+                                if !r1.holds(a1, a2, b1, b2) {
+                                    continue;
+                                }
+                                for c1 in 0..span {
+                                    for c2 in (c1 + 1)..=span {
+                                        if r2.holds(b1, b2, c1, c2) {
+                                            observed
+                                                .insert(AllenRel::classify(a1, a2, c1, c2));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                let observed: Vec<AllenRel> = observed.into_iter().collect();
+                let mut computed_sorted = computed.clone();
+                computed_sorted.sort();
+                assert_eq!(
+                    computed_sorted, observed,
+                    "composition {r1} ∘ {r2} mismatch"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_classify_consistent_with_inverse(
+            a1 in -20i64..20, alen in 1i64..10,
+            b1 in -20i64..20, blen in 1i64..10,
+        ) {
+            let (a2, b2) = (a1 + alen, b1 + blen);
+            let r = AllenRel::classify(a1, a2, b1, b2);
+            prop_assert!(r.holds(a1, a2, b1, b2));
+            prop_assert!(r.inverse().holds(b1, b2, a1, a2));
+        }
+    }
+}

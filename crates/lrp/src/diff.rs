@@ -1,0 +1,75 @@
+//! Result shape of lrp subtraction (§3.3.1).
+
+use crate::point::Lrp;
+
+/// Outcome of [`Lrp::subtract`].
+///
+/// The paper's subtraction formula covers the case of two infinite lrps with
+/// nested periods; the other cases arise naturally once points (period-0
+/// lrps) participate, and the generalized-tuple layer needs to distinguish
+/// them:
+///
+/// * [`Empty`](LrpDiff::Empty): the subtrahend covers the minuend.
+/// * [`Unchanged`](LrpDiff::Unchanged): the two sets are disjoint.
+/// * [`Classes`](LrpDiff::Classes): the paper's main case — the surviving
+///   residue classes at the common (lcm) period.
+/// * [`Punctured`](LrpDiff::Punctured): an infinite progression minus a
+///   single interior point. The result is not a finite union of lrps; it is
+///   representable in the model only by attaching the constraints
+///   `X < p ∨ X > p` at the tuple level (the paper's own device of negated
+///   constraints, §3.3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LrpDiff {
+    /// `self − other = ∅`.
+    Empty,
+    /// `self − other = self`.
+    Unchanged,
+    /// `self − other` = union of these residue classes.
+    Classes(Vec<Lrp>),
+    /// `self − other` = `self` minus this one point.
+    Punctured(i64),
+}
+
+impl LrpDiff {
+    /// Does the difference still contain `x`, given the original minuend?
+    pub fn contains(&self, minuend: &Lrp, x: i64) -> bool {
+        match self {
+            LrpDiff::Empty => false,
+            LrpDiff::Unchanged => minuend.contains(x),
+            LrpDiff::Classes(cs) => cs.iter().any(|c| c.contains(x)),
+            LrpDiff::Punctured(p) => minuend.contains(x) && x != *p,
+        }
+    }
+
+    /// Is the difference certainly empty?
+    pub fn is_empty(&self) -> bool {
+        matches!(self, LrpDiff::Empty) || matches!(self, LrpDiff::Classes(cs) if cs.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_dispatches() {
+        let a = Lrp::new(1, 2).unwrap();
+        assert!(!LrpDiff::Empty.contains(&a, 3));
+        assert!(LrpDiff::Unchanged.contains(&a, 3));
+        assert!(!LrpDiff::Unchanged.contains(&a, 4));
+        assert!(LrpDiff::Punctured(5).contains(&a, 3));
+        assert!(!LrpDiff::Punctured(5).contains(&a, 5));
+        let cs = LrpDiff::Classes(vec![Lrp::new(1, 4).unwrap()]);
+        assert!(cs.contains(&a, 5));
+        assert!(!cs.contains(&a, 3));
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(LrpDiff::Empty.is_empty());
+        assert!(LrpDiff::Classes(vec![]).is_empty());
+        assert!(!LrpDiff::Unchanged.is_empty());
+        assert!(!LrpDiff::Punctured(0).is_empty());
+        assert!(!LrpDiff::Classes(vec![Lrp::point(1)]).is_empty());
+    }
+}

@@ -1,0 +1,288 @@
+//! Checked elementary arithmetic: gcd, lcm, Euclidean division.
+
+use crate::error::{NumthError, Overflow};
+use crate::Result;
+
+/// Checked addition.
+#[inline]
+pub fn checked_add(a: i64, b: i64) -> std::result::Result<i64, Overflow> {
+    a.checked_add(b).ok_or(Overflow)
+}
+
+/// Checked subtraction.
+#[inline]
+pub fn checked_sub(a: i64, b: i64) -> std::result::Result<i64, Overflow> {
+    a.checked_sub(b).ok_or(Overflow)
+}
+
+/// Checked multiplication.
+#[inline]
+pub fn checked_mul(a: i64, b: i64) -> std::result::Result<i64, Overflow> {
+    a.checked_mul(b).ok_or(Overflow)
+}
+
+/// Checked negation (fails on `i64::MIN`).
+#[inline]
+pub fn checked_neg(a: i64) -> std::result::Result<i64, Overflow> {
+    a.checked_neg().ok_or(Overflow)
+}
+
+/// Checked absolute value (fails on `i64::MIN`).
+#[inline]
+pub fn checked_abs(a: i64) -> std::result::Result<i64, Overflow> {
+    a.checked_abs().ok_or(Overflow)
+}
+
+/// Floor division: largest `q` with `q * b <= a`. Errors on `b == 0`.
+///
+/// Unlike Rust's truncating `/`, this rounds toward negative infinity, which
+/// is what the constraint-rounding step of normalization (Thm 3.2, step 5)
+/// requires for upper bounds.
+#[inline]
+pub fn div_floor(a: i64, b: i64) -> Result<i64> {
+    if b == 0 {
+        return Err(NumthError::DivisionByZero);
+    }
+    if a == i64::MIN && b == -1 {
+        return Err(NumthError::Overflow);
+    }
+    let q = a / b;
+    let r = a % b;
+    Ok(if r != 0 && (r < 0) != (b < 0) { q - 1 } else { q })
+}
+
+/// Ceiling division: smallest `q` with `q * b >= a`. Errors on `b == 0`.
+#[inline]
+pub fn div_ceil(a: i64, b: i64) -> Result<i64> {
+    if b == 0 {
+        return Err(NumthError::DivisionByZero);
+    }
+    if a == i64::MIN && b == -1 {
+        return Err(NumthError::Overflow);
+    }
+    let q = a / b;
+    let r = a % b;
+    Ok(if r != 0 && (r < 0) == (b < 0) { q + 1 } else { q })
+}
+
+/// Euclidean remainder: the unique `r` in `[0, |b|)` with `a ≡ r (mod b)`.
+#[inline]
+pub fn mod_euclid(a: i64, b: i64) -> Result<i64> {
+    if b == 0 {
+        return Err(NumthError::DivisionByZero);
+    }
+    Ok(a.rem_euclid(b))
+}
+
+/// Greatest common divisor (always non-negative; `gcd(0, 0) == 0`).
+#[inline]
+pub fn gcd(a: i64, b: i64) -> i64 {
+    // Work in u64 so that |i64::MIN| is representable.
+    let mut x = a.unsigned_abs();
+    let mut y = b.unsigned_abs();
+    while y != 0 {
+        let t = x % y;
+        x = y;
+        y = t;
+    }
+    // gcd of two i64s always fits in i64 except gcd(MIN, 0) = |MIN|;
+    // saturate that corner to an error-free i64 by construction below.
+    debug_assert!(x <= i64::MAX as u64 || (a == i64::MIN && (b == 0 || b == i64::MIN)));
+    x.try_into().unwrap_or(i64::MAX)
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a*x + b*y == g == gcd(a, b)`
+/// and `g >= 0`.
+///
+/// # Examples
+/// ```
+/// let (g, x, y) = itd_numth::egcd(240, 46);
+/// assert_eq!(g, 2);
+/// assert_eq!(240 * x + 46 * y, 2);
+/// ```
+///
+/// This is the "extension of Euclid's algorithm" the paper cites for
+/// computing modular inverses in lrp intersection (§3.2.1).
+pub fn egcd(a: i64, b: i64) -> (i64, i64, i64) {
+    // i128 intermediates: Bézout coefficients are bounded by |a|,|b| so the
+    // final cast is safe, but intermediate products can exceed i64.
+    let (mut r0, mut r1) = (a as i128, b as i128);
+    let (mut s0, mut s1) = (1i128, 0i128);
+    let (mut t0, mut t1) = (0i128, 1i128);
+    while r1 != 0 {
+        let q = r0 / r1;
+        (r0, r1) = (r1, r0 - q * r1);
+        (s0, s1) = (s1, s0 - q * s1);
+        (t0, t1) = (t1, t0 - q * t1);
+    }
+    if r0 < 0 {
+        r0 = -r0;
+        s0 = -s0;
+        t0 = -t0;
+    }
+    (r0 as i64, s0 as i64, t0 as i64)
+}
+
+/// Least common multiple of `|a|` and `|b|` (checked). `lcm(0, b) == 0`.
+pub fn lcm(a: i64, b: i64) -> Result<i64> {
+    if a == 0 || b == 0 {
+        return Ok(0);
+    }
+    let g = gcd(a, b);
+    let a_abs = checked_abs(a)?;
+    let b_abs = checked_abs(b)?;
+    checked_mul(a_abs / g, b_abs).map_err(Into::into)
+}
+
+/// Least common multiple of a whole sequence (ignoring zeros).
+///
+/// Returns `1` for an empty (or all-zero) sequence: the neutral period, under
+/// which every lrp is already "normalized". Used to compute the common period
+/// `k` of Theorem 3.2.
+pub fn lcm_many<I: IntoIterator<Item = i64>>(periods: I) -> Result<i64> {
+    let mut acc = 1i64;
+    for k in periods {
+        if k == 0 {
+            continue;
+        }
+        acc = lcm(acc, k)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(12, -18), 6);
+        assert_eq!(gcd(-12, -18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(1, i64::MAX), 1);
+    }
+
+    #[test]
+    fn gcd_min_corner() {
+        // |i64::MIN| saturates rather than panicking.
+        assert_eq!(gcd(i64::MIN, 0), i64::MAX);
+        assert_eq!(gcd(i64::MIN, 2), 2);
+    }
+
+    #[test]
+    fn egcd_bezout_holds() {
+        for &(a, b) in &[(240, 46), (-240, 46), (240, -46), (0, 7), (7, 0), (1, 1)] {
+            let (g, x, y) = egcd(a, b);
+            assert_eq!(g, gcd(a, b), "gcd mismatch for ({a},{b})");
+            assert_eq!(
+                (a as i128) * (x as i128) + (b as i128) * (y as i128),
+                g as i128,
+                "Bézout identity fails for ({a},{b})"
+            );
+        }
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(4, 6).unwrap(), 12);
+        assert_eq!(lcm(-4, 6).unwrap(), 12);
+        assert_eq!(lcm(0, 6).unwrap(), 0);
+        assert_eq!(lcm(7, 7).unwrap(), 7);
+        assert!(lcm(i64::MAX, i64::MAX - 1).is_err());
+    }
+
+    #[test]
+    fn lcm_many_skips_zero_periods() {
+        assert_eq!(lcm_many([4, 0, 6]).unwrap(), 12);
+        assert_eq!(lcm_many([] as [i64; 0]).unwrap(), 1);
+        assert_eq!(lcm_many([0, 0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn div_floor_and_ceil() {
+        assert_eq!(div_floor(7, 2).unwrap(), 3);
+        assert_eq!(div_floor(-7, 2).unwrap(), -4);
+        assert_eq!(div_floor(7, -2).unwrap(), -4);
+        assert_eq!(div_floor(-7, -2).unwrap(), 3);
+        assert_eq!(div_ceil(7, 2).unwrap(), 4);
+        assert_eq!(div_ceil(-7, 2).unwrap(), -3);
+        assert_eq!(div_ceil(7, -2).unwrap(), -3);
+        assert_eq!(div_ceil(-7, -2).unwrap(), 4);
+        assert_eq!(div_floor(6, 3).unwrap(), 2);
+        assert_eq!(div_ceil(6, 3).unwrap(), 2);
+        assert_eq!(div_floor(5, 0), Err(NumthError::DivisionByZero));
+        assert_eq!(div_ceil(5, 0), Err(NumthError::DivisionByZero));
+        assert_eq!(div_floor(i64::MIN, -1), Err(NumthError::Overflow));
+    }
+
+    #[test]
+    fn mod_euclid_is_non_negative() {
+        assert_eq!(mod_euclid(7, 3).unwrap(), 1);
+        assert_eq!(mod_euclid(-7, 3).unwrap(), 2);
+        assert_eq!(mod_euclid(-7, -3).unwrap(), 2);
+        assert_eq!(mod_euclid(7, 0), Err(NumthError::DivisionByZero));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gcd_divides_both(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+            let g = gcd(a, b);
+            if g != 0 {
+                prop_assert_eq!(a % g, 0);
+                prop_assert_eq!(b % g, 0);
+            } else {
+                prop_assert_eq!(a, 0);
+                prop_assert_eq!(b, 0);
+            }
+        }
+
+        #[test]
+        fn prop_egcd_bezout(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+            let (g, x, y) = egcd(a, b);
+            prop_assert_eq!(g, gcd(a, b));
+            prop_assert_eq!((a as i128) * (x as i128) + (b as i128) * (y as i128), g as i128);
+        }
+
+        #[test]
+        fn prop_lcm_is_common_multiple(a in 1i64..10_000, b in 1i64..10_000) {
+            let l = lcm(a, b).unwrap();
+            prop_assert_eq!(l % a, 0);
+            prop_assert_eq!(l % b, 0);
+            // Minimality: lcm * gcd == |a*b|
+            prop_assert_eq!(l as i128 * gcd(a, b) as i128, (a as i128) * (b as i128));
+        }
+
+        #[test]
+        fn prop_div_floor_ceil_bracket(a in -10_000i64..10_000, b in -100i64..100) {
+            prop_assume!(b != 0);
+            let f = div_floor(a, b).unwrap();
+            let c = div_ceil(a, b).unwrap();
+            // f <= a/b <= c as rationals, i.e. f*b brackets a on the correct side.
+            let (fb, cb, av) = (f as i128 * b as i128, c as i128 * b as i128, a as i128);
+            if b > 0 {
+                prop_assert!(fb <= av && av < fb + b as i128);
+                prop_assert!(cb >= av && av > cb - b as i128);
+            } else {
+                prop_assert!(fb >= av && av > fb + b as i128);
+                prop_assert!(cb <= av && av < cb - b as i128);
+            }
+            prop_assert!(c >= f && c - f <= 1);
+            if a % b == 0 {
+                prop_assert_eq!(f, c);
+            }
+        }
+
+        #[test]
+        fn prop_mod_euclid_range(a in -10_000i64..10_000, b in -100i64..100) {
+            prop_assume!(b != 0);
+            let r = mod_euclid(a, b).unwrap();
+            prop_assert!(r >= 0 && r < b.abs());
+            prop_assert_eq!((a - r) % b, 0);
+        }
+    }
+}

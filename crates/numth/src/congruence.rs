@@ -1,0 +1,281 @@
+//! Congruences: modular inverses, linear congruences, and the
+//! Chinese-remainder pairing that underlies lrp intersection (§3.2.1).
+
+use crate::arith::{egcd, gcd, lcm, mod_euclid};
+use crate::error::NumthError;
+use crate::Result;
+
+/// A congruence `x ≡ residue (mod modulus)` with `modulus > 0` and
+/// `0 <= residue < modulus`.
+///
+/// This is exactly the set of values of an infinite linear repeating point;
+/// [`crt_pair`] computes the intersection of two such sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Congruence {
+    residue: i64,
+    modulus: i64,
+}
+
+impl Congruence {
+    /// Builds a congruence class, reducing `residue` into `[0, modulus)`.
+    ///
+    /// # Errors
+    /// [`NumthError::DivisionByZero`] if `modulus == 0`.
+    pub fn new(residue: i64, modulus: i64) -> Result<Self> {
+        if modulus == 0 {
+            return Err(NumthError::DivisionByZero);
+        }
+        let modulus = modulus.checked_abs().ok_or(NumthError::Overflow)?;
+        Ok(Self {
+            residue: mod_euclid(residue, modulus)?,
+            modulus,
+        })
+    }
+
+    /// The canonical residue in `[0, modulus)`.
+    #[inline]
+    pub fn residue(&self) -> i64 {
+        self.residue
+    }
+
+    /// The (positive) modulus.
+    #[inline]
+    pub fn modulus(&self) -> i64 {
+        self.modulus
+    }
+
+    /// Does `x` belong to this residue class?
+    #[inline]
+    pub fn contains(&self, x: i64) -> bool {
+        x.rem_euclid(self.modulus) == self.residue
+    }
+}
+
+/// Modular inverse: the `x` in `[0, |m|)` with `a * x ≡ 1 (mod m)`.
+///
+/// # Errors
+/// [`NumthError::NotInvertible`] if `gcd(a, m) != 1`;
+/// [`NumthError::DivisionByZero`] if `m == 0`.
+pub fn mod_inverse(a: i64, m: i64) -> Result<i64> {
+    if m == 0 {
+        return Err(NumthError::DivisionByZero);
+    }
+    let (g, x, _) = egcd(a, m);
+    if g != 1 {
+        return Err(NumthError::NotInvertible {
+            value: a,
+            modulus: m,
+        });
+    }
+    mod_euclid(x, m)
+}
+
+/// Solves the linear congruence `a * x ≡ b (mod m)`.
+///
+/// Returns the solution set as a [`Congruence`] (`x ≡ x0 (mod m/g)`) when
+/// `g = gcd(a, m)` divides `b`, and `None` otherwise. This is Equation (1)
+/// of §3.2.1 in the paper, solved exactly as described there:
+/// `j = (-d * (k1'⁻¹ mod k2')) mod k2'`.
+///
+/// # Errors
+/// [`NumthError::DivisionByZero`] if `m == 0`.
+pub fn solve_lin_congruence(a: i64, b: i64, m: i64) -> Result<Option<Congruence>> {
+    if m == 0 {
+        return Err(NumthError::DivisionByZero);
+    }
+    let m = m.checked_abs().ok_or(NumthError::Overflow)?;
+    let g = gcd(a, m);
+    if g == 0 {
+        // a == 0 and m == 0 is excluded above; a == 0, m > 0 gives g = m.
+        unreachable!("gcd(a, m) == 0 implies m == 0");
+    }
+    if b % g != 0 {
+        return Ok(None);
+    }
+    let (a1, b1, m1) = (a / g, b / g, m / g);
+    if m1 == 1 {
+        // Every x is a solution modulo 1.
+        return Ok(Some(Congruence::new(0, 1)?));
+    }
+    let inv = mod_inverse(mod_euclid(a1, m1)?, m1)?;
+    // x ≡ b1 * inv (mod m1); compute in i128 to avoid overflow.
+    let x0 = ((b1 as i128 * inv as i128).rem_euclid(m1 as i128)) as i64;
+    Ok(Some(Congruence::new(x0, m1)?))
+}
+
+/// Intersects two residue classes (Chinese Remainder with non-coprime
+/// moduli).
+///
+/// # Examples
+/// ```
+/// use itd_numth::{crt_pair, Congruence};
+/// // The paper's Example 3.1: (2n+1) ∩ 5n = 10n + 5.
+/// let odd = Congruence::new(1, 2).unwrap();
+/// let by5 = Congruence::new(0, 5).unwrap();
+/// let meet = crt_pair(odd, by5).unwrap().unwrap();
+/// assert_eq!((meet.residue(), meet.modulus()), (5, 10));
+/// ```
+///
+/// Returns `None` when the classes are disjoint, i.e. when
+/// `gcd(m1, m2) ∤ (r1 - r2)`; otherwise the intersection is a single class
+/// modulo `lcm(m1, m2)`.
+///
+/// # Errors
+/// [`NumthError::Overflow`] if `lcm(m1, m2)` exceeds `i64`.
+pub fn crt_pair(c1: Congruence, c2: Congruence) -> Result<Option<Congruence>> {
+    let (r1, m1) = (c1.residue(), c1.modulus());
+    let (r2, m2) = (c2.residue(), c2.modulus());
+    let g = gcd(m1, m2);
+    let diff = r2 as i128 - r1 as i128;
+    if diff.rem_euclid(g as i128) != 0 {
+        return Ok(None);
+    }
+    let l = lcm(m1, m2)?;
+    // x = r1 + m1 * t, with m1 * t ≡ (r2 - r1) (mod m2).
+    let sol = solve_lin_congruence(m1, (diff.rem_euclid(m2 as i128)) as i64, m2)?
+        .expect("divisibility checked above");
+    // x ≡ r1 + m1 * t0 (mod lcm)
+    let x0 = (r1 as i128 + m1 as i128 * sol.residue() as i128).rem_euclid(l as i128);
+    Ok(Some(Congruence::new(x0 as i64, l)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn congruence_canonicalizes() {
+        let c = Congruence::new(-1, 5).unwrap();
+        assert_eq!(c.residue(), 4);
+        assert_eq!(c.modulus(), 5);
+        assert!(c.contains(-1));
+        assert!(c.contains(4));
+        assert!(c.contains(9));
+        assert!(!c.contains(5));
+        // Negative modulus is normalized.
+        let c = Congruence::new(3, -5).unwrap();
+        assert_eq!(c.modulus(), 5);
+        assert_eq!(c.residue(), 3);
+    }
+
+    #[test]
+    fn congruence_rejects_zero_modulus() {
+        assert_eq!(Congruence::new(3, 0), Err(NumthError::DivisionByZero));
+    }
+
+    #[test]
+    fn mod_inverse_basics() {
+        assert_eq!(mod_inverse(3, 7).unwrap(), 5); // 3*5 = 15 ≡ 1 (mod 7)
+        assert_eq!(mod_inverse(1, 2).unwrap(), 1);
+        assert!(matches!(
+            mod_inverse(4, 6),
+            Err(NumthError::NotInvertible {
+                value: 4,
+                modulus: 6
+            })
+        ));
+        assert_eq!(mod_inverse(3, 0), Err(NumthError::DivisionByZero));
+    }
+
+    #[test]
+    fn lin_congruence_solved_and_unsolvable() {
+        // 6x ≡ 4 (mod 8): g=2 divides 4; solutions x ≡ 2 (mod 4)? 6*2=12≡4 ✓
+        let s = solve_lin_congruence(6, 4, 8).unwrap().unwrap();
+        assert_eq!(s.modulus(), 4);
+        assert!((0..4).any(|t| s.contains(t) && (6 * t - 4).rem_euclid(8) == 0));
+        // 6x ≡ 3 (mod 8): g=2 does not divide 3.
+        assert!(solve_lin_congruence(6, 3, 8).unwrap().is_none());
+        // modulus 1 after reduction
+        let s = solve_lin_congruence(5, 10, 5).unwrap().unwrap();
+        assert_eq!(s.modulus(), 1);
+    }
+
+    #[test]
+    fn crt_pair_paper_example() {
+        // Example 3.1: (2n+1) ∩ (5n) = 10n + 5.
+        let a = Congruence::new(1, 2).unwrap();
+        let b = Congruence::new(0, 5).unwrap();
+        let i = crt_pair(a, b).unwrap().unwrap();
+        assert_eq!(i.modulus(), 10);
+        assert_eq!(i.residue(), 5);
+
+        // Example 3.1: (3n−4) ∩ (5n+2) = 15n + 2.
+        let a = Congruence::new(-4, 3).unwrap();
+        let b = Congruence::new(2, 5).unwrap();
+        let i = crt_pair(a, b).unwrap().unwrap();
+        assert_eq!(i.modulus(), 15);
+        assert_eq!(i.residue(), 2);
+    }
+
+    #[test]
+    fn crt_pair_disjoint() {
+        // Even ∩ (4n + 1) = ∅.
+        let a = Congruence::new(0, 2).unwrap();
+        let b = Congruence::new(1, 4).unwrap();
+        assert!(crt_pair(a, b).unwrap().is_none());
+    }
+
+    #[test]
+    fn crt_pair_nested_moduli() {
+        // (2n) ∩ (6n + 4) = 6n + 4 (the finer class).
+        let a = Congruence::new(0, 2).unwrap();
+        let b = Congruence::new(4, 6).unwrap();
+        let i = crt_pair(a, b).unwrap().unwrap();
+        assert_eq!((i.residue(), i.modulus()), (4, 6));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mod_inverse_correct(a in 1i64..1000, m in 2i64..1000) {
+            match mod_inverse(a, m) {
+                Ok(x) => {
+                    prop_assert_eq!(gcd(a, m), 1);
+                    prop_assert_eq!((a as i128 * x as i128).rem_euclid(m as i128), 1);
+                    prop_assert!(x >= 0 && x < m);
+                }
+                Err(NumthError::NotInvertible { .. }) => prop_assert!(gcd(a, m) != 1),
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+
+        #[test]
+        fn prop_crt_matches_brute_force(
+            r1 in -50i64..50, m1 in 1i64..40,
+            r2 in -50i64..50, m2 in 1i64..40,
+        ) {
+            let c1 = Congruence::new(r1, m1).unwrap();
+            let c2 = Congruence::new(r2, m2).unwrap();
+            let result = crt_pair(c1, c2).unwrap();
+            let l = lcm(m1, m2).unwrap();
+            // Brute-force the intersection over one full common period.
+            let brute: Vec<i64> = (0..l).filter(|&x| c1.contains(x) && c2.contains(x)).collect();
+            match result {
+                None => prop_assert!(brute.is_empty()),
+                Some(c) => {
+                    prop_assert_eq!(c.modulus(), l);
+                    prop_assert_eq!(brute, vec![c.residue()]);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_lin_congruence_matches_brute_force(
+            a in -30i64..30, b in -30i64..30, m in 1i64..30,
+        ) {
+            let result = solve_lin_congruence(a, b, m).unwrap();
+            let sols: Vec<i64> = (0..m)
+                .filter(|&x| (a as i128 * x as i128 - b as i128).rem_euclid(m as i128) == 0)
+                .collect();
+            match result {
+                None => prop_assert!(sols.is_empty()),
+                Some(c) => {
+                    prop_assert!(!sols.is_empty());
+                    for x in 0..m {
+                        prop_assert_eq!(c.contains(x), sols.contains(&x), "x = {}", x);
+                    }
+                }
+            }
+        }
+    }
+}

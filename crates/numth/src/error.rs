@@ -1,0 +1,84 @@
+//! Error types for checked number theory.
+
+use std::fmt;
+
+/// Marker for an arithmetic overflow of `i64`.
+///
+/// Carried inside [`NumthError::Overflow`]; exists as its own type so that
+/// lower-level helpers can return `Result<T, Overflow>` without paying for a
+/// larger enum on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Overflow;
+
+impl fmt::Display for Overflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("i64 overflow in temporal arithmetic")
+    }
+}
+
+impl std::error::Error for Overflow {}
+
+/// Errors produced by the number-theory layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumthError {
+    /// A computation exceeded the range of `i64`.
+    Overflow,
+    /// Division (or modular reduction) by zero.
+    DivisionByZero,
+    /// A modular inverse was requested for non-coprime arguments.
+    NotInvertible {
+        /// The value whose inverse was requested.
+        value: i64,
+        /// The modulus.
+        modulus: i64,
+    },
+}
+
+impl fmt::Display for NumthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumthError::Overflow => Overflow.fmt(f),
+            NumthError::DivisionByZero => f.write_str("division by zero"),
+            NumthError::NotInvertible { value, modulus } => {
+                write!(f, "{value} is not invertible modulo {modulus}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumthError {}
+
+impl From<Overflow> for NumthError {
+    fn from(_: Overflow) -> Self {
+        NumthError::Overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_stable() {
+        assert_eq!(Overflow.to_string(), "i64 overflow in temporal arithmetic");
+        assert_eq!(
+            NumthError::Overflow.to_string(),
+            "i64 overflow in temporal arithmetic"
+        );
+        assert_eq!(NumthError::DivisionByZero.to_string(), "division by zero");
+        assert_eq!(
+            NumthError::NotInvertible {
+                value: 4,
+                modulus: 6
+            }
+            .to_string(),
+            "4 is not invertible modulo 6"
+        );
+    }
+
+    #[test]
+    fn overflow_converts_to_numth_error() {
+        let e: NumthError = Overflow.into();
+        assert_eq!(e, NumthError::Overflow);
+    }
+}

@@ -1,0 +1,26 @@
+//! Checked integer number theory for the ITD temporal database.
+//!
+//! The algorithms of *Handling Infinite Temporal Data* (Kabanza, Stevenne,
+//! Wolper) reduce every question about linear repeating points to elementary
+//! number theory: greatest common divisors, least common multiples, modular
+//! inverses (the extension of Euclid's algorithm cited in §3.2.1), and the
+//! Chinese-remainder style intersection of residue classes.
+//!
+//! All user-visible quantities are [`i64`]. Normalization multiplies periods
+//! together (worst case `k = Π kᵢ`, Appendix A.1), so overflow is a real
+//! possibility rather than a theoretical one; every operation here is
+//! *checked* and reports [`Overflow`] instead of wrapping.
+
+mod arith;
+mod congruence;
+mod error;
+
+pub use arith::{
+    checked_abs, checked_add, checked_mul, checked_neg, checked_sub, div_ceil, div_floor, egcd,
+    gcd, lcm, lcm_many, mod_euclid,
+};
+pub use congruence::{crt_pair, mod_inverse, solve_lin_congruence, Congruence};
+pub use error::{NumthError, Overflow};
+
+/// Result alias for fallible number-theory operations.
+pub type Result<T> = std::result::Result<T, NumthError>;

@@ -1,0 +1,520 @@
+//! Binary Presburger predicates (Theorem 2.2).
+
+use itd_constraint::{GeneralAtom, GeneralSystem, Rel};
+use itd_core::{GenRelation, GenTuple, Lrp, Schema};
+use itd_numth::mod_euclid;
+
+use crate::Result;
+
+/// A basic binary Presburger formula over variables `v1, v2`
+/// (the shapes in the proof of Theorem 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryAtom {
+    /// `k1·v1 REL k2·v2 + c` with `REL ∈ {<, =, >}` expressed as
+    /// the non-strict `Rel` after the usual ±1 adjustment.
+    Cmp {
+        /// Coefficient of `v1`.
+        k1: i64,
+        /// Relation (`Le` encodes `<` after `c − 1`, etc. — use the
+        /// constructors).
+        rel: Rel,
+        /// Coefficient of `v2`.
+        k2: i64,
+        /// Constant.
+        c: i64,
+    },
+    /// `k1·v1 ≡ k2·v2 + c (mod k3)`, `k3 > 0`.
+    ModEq {
+        /// Coefficient of `v1`.
+        k1: i64,
+        /// Coefficient of `v2`.
+        k2: i64,
+        /// Modulus.
+        k3: i64,
+        /// Constant.
+        c: i64,
+    },
+}
+
+impl BinaryAtom {
+    /// `k1·v1 = k2·v2 + c`.
+    pub fn eq(k1: i64, k2: i64, c: i64) -> BinaryAtom {
+        BinaryAtom::Cmp {
+            k1,
+            rel: Rel::Eq,
+            k2,
+            c,
+        }
+    }
+
+    /// `k1·v1 < k2·v2 + c`, stored as `≤ c − 1`.
+    ///
+    /// Returns `None` on overflow of the adjustment.
+    pub fn lt(k1: i64, k2: i64, c: i64) -> Option<BinaryAtom> {
+        Some(BinaryAtom::Cmp {
+            k1,
+            rel: Rel::Le,
+            k2,
+            c: c.checked_sub(1)?,
+        })
+    }
+
+    /// `k1·v1 > k2·v2 + c`, stored as `≥ c + 1`.
+    ///
+    /// Returns `None` on overflow of the adjustment.
+    pub fn gt(k1: i64, k2: i64, c: i64) -> Option<BinaryAtom> {
+        Some(BinaryAtom::Cmp {
+            k1,
+            rel: Rel::Ge,
+            k2,
+            c: c.checked_add(1)?,
+        })
+    }
+
+    /// `k1·v1 ≡ k2·v2 + c (mod k3)`.
+    ///
+    /// # Panics
+    /// If `k3 <= 0`.
+    pub fn mod_eq(k1: i64, k2: i64, k3: i64, c: i64) -> BinaryAtom {
+        assert!(k3 > 0, "modulus must be positive");
+        BinaryAtom::ModEq { k1, k2, k3, c }
+    }
+
+    /// Direct evaluation at `(v1, v2)`.
+    pub fn eval(&self, v1: i64, v2: i64) -> bool {
+        match *self {
+            BinaryAtom::Cmp { k1, rel, k2, c } => {
+                let lhs = k1 as i128 * v1 as i128;
+                let rhs = k2 as i128 * v2 as i128 + c as i128;
+                match rel {
+                    Rel::Le => lhs <= rhs,
+                    Rel::Eq => lhs == rhs,
+                    Rel::Ge => lhs >= rhs,
+                }
+            }
+            BinaryAtom::ModEq { k1, k2, k3, c } => {
+                let lhs = k1 as i128 * v1 as i128;
+                let rhs = k2 as i128 * v2 as i128 + c as i128;
+                (lhs - rhs).rem_euclid(k3 as i128) == 0
+            }
+        }
+    }
+
+    /// Negation as a disjunction of basic atoms (kept basic so that boolean
+    /// closure never needs general-constraint complement machinery).
+    pub fn negate(&self) -> Vec<BinaryAtom> {
+        match *self {
+            BinaryAtom::Cmp { k1, rel, k2, c } => match rel {
+                // ¬(≤ c) = ≥ c+1
+                Rel::Le => vec![BinaryAtom::Cmp {
+                    k1,
+                    rel: Rel::Ge,
+                    k2,
+                    c: c + 1,
+                }],
+                Rel::Ge => vec![BinaryAtom::Cmp {
+                    k1,
+                    rel: Rel::Le,
+                    k2,
+                    c: c - 1,
+                }],
+                Rel::Eq => vec![
+                    BinaryAtom::Cmp {
+                        k1,
+                        rel: Rel::Le,
+                        k2,
+                        c: c - 1,
+                    },
+                    BinaryAtom::Cmp {
+                        k1,
+                        rel: Rel::Ge,
+                        k2,
+                        c: c + 1,
+                    },
+                ],
+            },
+            // ¬(≡ c mod k3) = ∨_{d ≠ c mod k3} (≡ d mod k3)
+            BinaryAtom::ModEq { k1, k2, k3, c } => {
+                let c0 = mod_euclid(c, k3).expect("k3 > 0");
+                (0..k3)
+                    .filter(|&d| d != c0)
+                    .map(|d| BinaryAtom::ModEq { k1, k2, k3, c: d })
+                    .collect()
+            }
+        }
+    }
+
+    /// Theorem 2.2 translation of one basic formula.
+    ///
+    /// * Comparisons become a single tuple `[n1, n2]` carrying the general
+    ///   constraint verbatim (the paper's construction).
+    /// * `k1·v1 ≡ k2·v2 + c (mod k3)` becomes a union of unconstrained
+    ///   residue-pair tuples: since `k1·v1 mod k3` depends only on
+    ///   `v1 mod k3`, the predicate is the union over residue pairs
+    ///   `(r1, r2) ∈ [0,k3)²` with `k1·r1 ≡ k2·r2 + c (mod k3)` of
+    ///   `lrp(r1, k3) × lrp(r2, k3)` — an equivalent (and purely
+    ///   restricted-constraint) form of the paper's shifted-grid
+    ///   construction.
+    ///
+    /// # Errors
+    /// Arithmetic overflow.
+    pub fn to_relation(&self) -> Result<BinaryRelation> {
+        match *self {
+            BinaryAtom::Cmp { k1, rel, k2, c } => Ok(BinaryRelation {
+                tuples: vec![BinaryTuple {
+                    l1: Lrp::all(),
+                    l2: Lrp::all(),
+                    cons: GeneralSystem::from_atoms(vec![GeneralAtom::binary(
+                        k1, 0, rel, k2, 1, c,
+                    )]),
+                }],
+            }),
+            BinaryAtom::ModEq { k1, k2, k3, c } => {
+                let mut tuples = Vec::new();
+                for r1 in 0..k3 {
+                    for r2 in 0..k3 {
+                        let lhs = (k1 as i128 * r1 as i128).rem_euclid(k3 as i128);
+                        let rhs =
+                            (k2 as i128 * r2 as i128 + c as i128).rem_euclid(k3 as i128);
+                        if lhs == rhs {
+                            tuples.push(BinaryTuple {
+                                l1: Lrp::new(r1, k3)?,
+                                l2: Lrp::new(r2, k3)?,
+                                cons: GeneralSystem::new(),
+                            });
+                        }
+                    }
+                }
+                Ok(BinaryRelation { tuples })
+            }
+        }
+    }
+}
+
+/// A generalized tuple with two temporal attributes and *general*
+/// constraints — the representation Theorem 2.2 needs (restricted
+/// constraints cannot express `k1·v1 ≤ k2·v2 + c` for non-unit
+/// coefficients).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryTuple {
+    /// First attribute's lrp.
+    pub l1: Lrp,
+    /// Second attribute's lrp.
+    pub l2: Lrp,
+    /// Conjunction of general constraints.
+    pub cons: GeneralSystem,
+}
+
+impl BinaryTuple {
+    /// Membership of the pair.
+    pub fn contains(&self, v1: i64, v2: i64) -> bool {
+        self.l1.contains(v1) && self.l2.contains(v2) && self.cons.satisfied_by(&[v1, v2])
+    }
+}
+
+/// A binary generalized relation with general constraints: finite union of
+/// [`BinaryTuple`]s (Definition 2.3 with general constraints).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BinaryRelation {
+    /// The tuples.
+    pub tuples: Vec<BinaryTuple>,
+}
+
+impl BinaryRelation {
+    /// The empty relation.
+    pub fn empty() -> BinaryRelation {
+        BinaryRelation::default()
+    }
+
+    /// Membership of the pair.
+    pub fn contains(&self, v1: i64, v2: i64) -> bool {
+        self.tuples.iter().any(|t| t.contains(v1, v2))
+    }
+
+    /// Union: merge tuple sets (§3.1).
+    pub fn union(&self, other: &BinaryRelation) -> BinaryRelation {
+        let mut tuples = self.tuples.clone();
+        tuples.extend_from_slice(&other.tuples);
+        BinaryRelation { tuples }
+    }
+
+    /// Intersection: pairwise lrp intersection plus constraint union
+    /// (§3.2 generalized to general constraints).
+    ///
+    /// # Errors
+    /// Arithmetic overflow in lrp intersection.
+    pub fn intersect(&self, other: &BinaryRelation) -> Result<BinaryRelation> {
+        let mut tuples = Vec::new();
+        for a in &self.tuples {
+            for b in &other.tuples {
+                let (Some(l1), Some(l2)) = (a.l1.intersect(&b.l1)?, a.l2.intersect(&b.l2)?)
+                else {
+                    continue;
+                };
+                let mut cons = a.cons.clone();
+                for atom in b.cons.atoms() {
+                    cons.push(*atom);
+                }
+                tuples.push(BinaryTuple { l1, l2, cons });
+            }
+        }
+        Ok(BinaryRelation { tuples })
+    }
+
+    /// Downgrades to a core [`GenRelation`] when every constraint is
+    /// restricted (unit coefficients); `None` otherwise.
+    ///
+    /// # Errors
+    /// Constraint-closure arithmetic.
+    pub fn to_core_relation(&self) -> Result<Option<GenRelation>> {
+        let mut rel = GenRelation::empty(Schema::new(2, 0));
+        for t in &self.tuples {
+            let Some(atoms) = t.cons.as_restricted() else {
+                return Ok(None);
+            };
+            rel.push(GenTuple::with_atoms(vec![t.l1, t.l2], &atoms, vec![])?)?;
+        }
+        Ok(Some(rel))
+    }
+}
+
+/// A quantifier-free binary Presburger formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinaryFormula {
+    /// A basic formula.
+    Atom(BinaryAtom),
+    /// Negation.
+    Not(Box<BinaryFormula>),
+    /// Conjunction.
+    And(Box<BinaryFormula>, Box<BinaryFormula>),
+    /// Disjunction.
+    Or(Box<BinaryFormula>, Box<BinaryFormula>),
+}
+
+impl BinaryFormula {
+    /// Wraps an atom.
+    pub fn atom(a: BinaryAtom) -> BinaryFormula {
+        BinaryFormula::Atom(a)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: BinaryFormula) -> BinaryFormula {
+        BinaryFormula::Not(Box::new(f))
+    }
+
+    /// Conjunction.
+    pub fn and(a: BinaryFormula, b: BinaryFormula) -> BinaryFormula {
+        BinaryFormula::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction.
+    pub fn or(a: BinaryFormula, b: BinaryFormula) -> BinaryFormula {
+        BinaryFormula::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Direct evaluation.
+    pub fn eval(&self, v1: i64, v2: i64) -> bool {
+        match self {
+            BinaryFormula::Atom(a) => a.eval(v1, v2),
+            BinaryFormula::Not(f) => !f.eval(v1, v2),
+            BinaryFormula::And(a, b) => a.eval(v1, v2) && b.eval(v1, v2),
+            BinaryFormula::Or(a, b) => a.eval(v1, v2) || b.eval(v1, v2),
+        }
+    }
+
+    /// Theorem 2.2, constructive direction: negations are pushed to atoms
+    /// (every negated basic formula is a disjunction of basic formulas),
+    /// then ∨ → union and ∧ → intersection.
+    ///
+    /// # Errors
+    /// Arithmetic overflow.
+    pub fn to_relation(&self) -> Result<BinaryRelation> {
+        self.translate(false)
+    }
+
+    fn translate(&self, negated: bool) -> Result<BinaryRelation> {
+        match self {
+            BinaryFormula::Atom(a) => {
+                if negated {
+                    let mut rel = BinaryRelation::empty();
+                    for na in a.negate() {
+                        rel = rel.union(&na.to_relation()?);
+                    }
+                    Ok(rel)
+                } else {
+                    a.to_relation()
+                }
+            }
+            BinaryFormula::Not(f) => f.translate(!negated),
+            BinaryFormula::And(a, b) => {
+                if negated {
+                    Ok(a.translate(true)?.union(&b.translate(true)?))
+                } else {
+                    a.translate(false)?.intersect(&b.translate(false)?)
+                }
+            }
+            BinaryFormula::Or(a, b) => {
+                if negated {
+                    a.translate(true)?.intersect(&b.translate(true)?)
+                } else {
+                    Ok(a.translate(false)?.union(&b.translate(false)?))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check(f: &BinaryFormula, lo: i64, hi: i64) {
+        let rel = f.to_relation().unwrap();
+        for v1 in lo..=hi {
+            for v2 in lo..=hi {
+                assert_eq!(
+                    rel.contains(v1, v2),
+                    f.eval(v1, v2),
+                    "{f:?} disagrees at ({v1},{v2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_atoms() {
+        check(&BinaryFormula::atom(BinaryAtom::eq(2, 3, 1)), -10, 10);
+        check(
+            &BinaryFormula::atom(BinaryAtom::lt(2, 3, 1).unwrap()),
+            -10,
+            10,
+        );
+        check(
+            &BinaryFormula::atom(BinaryAtom::gt(-2, 3, 1).unwrap()),
+            -10,
+            10,
+        );
+        check(&BinaryFormula::atom(BinaryAtom::eq(1, 1, -2)), -10, 10);
+    }
+
+    #[test]
+    fn mod_eq_atom() {
+        // v1 ≡ v2 + 1 (mod 3)
+        check(&BinaryFormula::atom(BinaryAtom::mod_eq(1, 1, 3, 1)), -9, 9);
+        // 2·v1 ≡ 3·v2 (mod 4)
+        check(&BinaryFormula::atom(BinaryAtom::mod_eq(2, 3, 4, 0)), -9, 9);
+        // coefficient multiples: 2·v1 ≡ 2·v2 + 1 (mod 2) — never.
+        check(&BinaryFormula::atom(BinaryAtom::mod_eq(2, 2, 2, 1)), -6, 6);
+    }
+
+    #[test]
+    fn negation_of_each_atom_shape() {
+        for atom in [
+            BinaryAtom::eq(2, 3, 1),
+            BinaryAtom::lt(2, -3, 4).unwrap(),
+            BinaryAtom::gt(1, 1, 0).unwrap(),
+            BinaryAtom::mod_eq(1, 2, 3, 2),
+        ] {
+            check(&BinaryFormula::not(BinaryFormula::atom(atom)), -8, 8);
+        }
+    }
+
+    #[test]
+    fn boolean_closure() {
+        // (2v1 ≤ 3v2) ∧ ¬(v1 ≡ v2 mod 2) ∨ (v1 = v2 + 5)
+        let f = BinaryFormula::or(
+            BinaryFormula::and(
+                BinaryFormula::atom(BinaryAtom::Cmp {
+                    k1: 2,
+                    rel: Rel::Le,
+                    k2: 3,
+                    c: 0,
+                }),
+                BinaryFormula::not(BinaryFormula::atom(BinaryAtom::mod_eq(1, 1, 2, 0))),
+            ),
+            BinaryFormula::atom(BinaryAtom::eq(1, 1, 5)),
+        );
+        check(&f, -8, 8);
+    }
+
+    #[test]
+    fn de_morgan_on_translation() {
+        // ¬(A ∧ B) behaves as ¬A ∨ ¬B through the NNF path.
+        let a = BinaryFormula::atom(BinaryAtom::lt(1, 2, 0).unwrap());
+        let b = BinaryFormula::atom(BinaryAtom::mod_eq(1, 0, 2, 0));
+        let lhs = BinaryFormula::not(BinaryFormula::and(a.clone(), b.clone()));
+        let rhs = BinaryFormula::or(BinaryFormula::not(a), BinaryFormula::not(b));
+        let (rl, rr) = (lhs.to_relation().unwrap(), rhs.to_relation().unwrap());
+        for v1 in -6..6 {
+            for v2 in -6..6 {
+                assert_eq!(rl.contains(v1, v2), rr.contains(v1, v2), "({v1},{v2})");
+            }
+        }
+    }
+
+    #[test]
+    fn downgrade_to_core_when_unit_coefficients() {
+        let f = BinaryFormula::and(
+            BinaryFormula::atom(BinaryAtom::Cmp {
+                k1: 1,
+                rel: Rel::Le,
+                k2: 1,
+                c: 3,
+            }),
+            BinaryFormula::atom(BinaryAtom::mod_eq(1, 1, 2, 0)),
+        );
+        let rel = f.to_relation().unwrap();
+        let core = rel.to_core_relation().unwrap().expect("unit coefficients");
+        for v1 in -6..6 {
+            for v2 in -6..6 {
+                assert_eq!(
+                    core.contains(&[v1, v2], &[]),
+                    f.eval(v1, v2),
+                    "({v1},{v2})"
+                );
+            }
+        }
+        // Non-unit coefficients do not downgrade.
+        let f = BinaryFormula::atom(BinaryAtom::eq(2, 3, 0));
+        assert!(f.to_relation().unwrap().to_core_relation().unwrap().is_none());
+    }
+
+    fn atom_strategy() -> impl Strategy<Value = BinaryAtom> {
+        prop_oneof![
+            (-4i64..4, -4i64..4, -6i64..6).prop_map(|(k1, k2, c)| BinaryAtom::eq(k1, k2, c)),
+            (-4i64..4, -4i64..4, -6i64..6)
+                .prop_map(|(k1, k2, c)| BinaryAtom::lt(k1, k2, c).unwrap()),
+            (-4i64..4, -4i64..4, -6i64..6)
+                .prop_map(|(k1, k2, c)| BinaryAtom::gt(k1, k2, c).unwrap()),
+            (-4i64..4, -4i64..4, 1i64..5, -6i64..6)
+                .prop_map(|(k1, k2, k3, c)| BinaryAtom::mod_eq(k1, k2, k3, c)),
+        ]
+    }
+
+    fn formula_strategy() -> impl Strategy<Value = BinaryFormula> {
+        let leaf = atom_strategy().prop_map(BinaryFormula::Atom);
+        leaf.prop_recursive(3, 6, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(BinaryFormula::not),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| BinaryFormula::and(a, b)),
+                (inner.clone(), inner).prop_map(|(a, b)| BinaryFormula::or(a, b)),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_translation_agrees_with_eval(
+            f in formula_strategy(),
+            v1 in -10i64..10,
+            v2 in -10i64..10,
+        ) {
+            let rel = f.to_relation().unwrap();
+            prop_assert_eq!(rel.contains(v1, v2), f.eval(v1, v2), "{:?} at ({},{})", f, v1, v2);
+        }
+    }
+}

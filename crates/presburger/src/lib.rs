@@ -1,0 +1,38 @@
+//! Presburger-definable predicates and their lrp representations — the
+//! expressiveness results of §2.2.
+//!
+//! The paper measures the expressive power of generalized relations against
+//! Presburger arithmetic:
+//!
+//! * **Theorem 2.1** — a *unary* predicate over `Z` is weak-lrp definable
+//!   (restricted constraints) iff it is Presburger definable. The
+//!   quantifier-free unary fragment is boolean combinations of the basic
+//!   formulas `k·v = c`, `k·v < c`, `k·v > c`, `k₁·v ≡ c (mod k₂)`.
+//! * **Theorem 2.2** — a *binary* predicate is lrp definable (general
+//!   constraints) iff it is Presburger definable; basic formulas are
+//!   `k₁·v₁ REL k₂·v₂ + c` and `k₁·v₁ ≡ k₂·v₂ + c (mod k₃)`.
+//!
+//! [`UnaryFormula::to_relation`] is the constructive direction of
+//! Theorem 2.1: it produces a one-temporal-column [`itd_core::GenRelation`]
+//! and routes boolean connectives through the actual core algebra (union,
+//! intersection, complement), so these tests double as an end-to-end
+//! exercise of §3. [`BinaryFormula::to_relation`] implements Theorem 2.2
+//! with [`BinaryRelation`], whose tuples may carry general
+//! (arbitrary-coefficient) constraints; negation is pushed to atoms (NNF),
+//! where every negated basic formula is again a disjunction of basic
+//! formulas.
+//!
+//! Every constructor is paired with a direct evaluator
+//! ([`UnaryFormula::eval`], [`BinaryFormula::eval`]); the test suites check
+//! the two against each other point by point.
+
+mod binary;
+mod unary;
+
+pub use binary::{BinaryAtom, BinaryFormula, BinaryRelation, BinaryTuple};
+pub use unary::{UnaryAtom, UnaryFormula};
+
+pub use itd_core::CoreError;
+
+/// Result alias (errors come from the core algebra).
+pub type Result<T> = itd_core::Result<T>;

@@ -1,0 +1,81 @@
+//! Catalogs: named generalized relations a query can reference.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use itd_core::{GenRelation, Value};
+
+/// Source of named relations and of the data active domain.
+pub trait Catalog {
+    /// Looks up a relation by predicate name.
+    fn relation(&self, name: &str) -> Option<&GenRelation>;
+
+    /// All data values occurring in the database — the *active domain* over
+    /// which data-sorted quantifiers range.
+    fn active_domain(&self) -> BTreeSet<Value>;
+}
+
+/// A simple in-memory catalog.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryCatalog {
+    relations: BTreeMap<String, GenRelation>,
+}
+
+impl MemoryCatalog {
+    /// An empty catalog.
+    pub fn new() -> MemoryCatalog {
+        MemoryCatalog::default()
+    }
+
+    /// Inserts (or replaces) a named relation.
+    pub fn insert(&mut self, name: impl Into<String>, rel: GenRelation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Iterates over the (name, relation) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &GenRelation)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+}
+
+impl Catalog for MemoryCatalog {
+    fn relation(&self, name: &str) -> Option<&GenRelation> {
+        self.relations.get(name)
+    }
+
+    fn active_domain(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        for rel in self.relations.values() {
+            for t in rel.tuples() {
+                out.extend(t.data().iter().cloned());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itd_core::{GenTuple, Lrp, Schema};
+
+    #[test]
+    fn insert_lookup_and_adom() {
+        let mut cat = MemoryCatalog::new();
+        let rel = GenRelation::new(
+            Schema::new(1, 1),
+            vec![
+                GenTuple::unconstrained(vec![Lrp::new(0, 2).unwrap()], vec![Value::str("a")]),
+                GenTuple::unconstrained(vec![Lrp::new(1, 2).unwrap()], vec![Value::Int(3)]),
+            ],
+        )
+        .unwrap();
+        cat.insert("P", rel);
+        assert!(cat.relation("P").is_some());
+        assert!(cat.relation("Q").is_none());
+        let adom = cat.active_domain();
+        assert_eq!(adom.len(), 2);
+        assert!(adom.contains(&Value::str("a")));
+        assert!(adom.contains(&Value::Int(3)));
+        assert_eq!(cat.iter().count(), 1);
+    }
+}

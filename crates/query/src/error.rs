@@ -1,0 +1,107 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+use itd_core::CoreError;
+
+use crate::ast::Sort;
+
+/// Errors from parsing, sort checking, or evaluating queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Lexical or syntactic error, with a byte offset into the source.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset of the offending token.
+        offset: usize,
+    },
+    /// A predicate is not defined in the catalog.
+    UnknownPredicate(String),
+    /// A predicate was used with the wrong number of arguments.
+    ArityMismatch {
+        /// Predicate name.
+        name: String,
+        /// Expected (temporal, data) arities.
+        expected: (usize, usize),
+        /// Found (temporal, data) arities.
+        found: (usize, usize),
+    },
+    /// A variable is used at both sorts.
+    SortConflict {
+        /// Variable name.
+        var: String,
+        /// First inferred sort.
+        first: Sort,
+    },
+    /// Failure in the underlying algebra.
+    Core(CoreError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            QueryError::UnknownPredicate(name) => write!(f, "unknown predicate `{name}`"),
+            QueryError::ArityMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate `{name}` expects {}+{} arguments, got {}+{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            QueryError::SortConflict { var, first } => write!(
+                f,
+                "variable `{var}` is used at both sorts (first seen as {first:?})"
+            ),
+            QueryError::Core(e) => write!(f, "evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for QueryError {
+    fn from(e: CoreError) -> Self {
+        QueryError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = QueryError::Parse {
+            message: "expected `)`".into(),
+            offset: 12,
+        };
+        assert!(e.to_string().contains("byte 12"));
+        assert!(QueryError::UnknownPredicate("Foo".into())
+            .to_string()
+            .contains("Foo"));
+        let e = QueryError::ArityMismatch {
+            name: "P".into(),
+            expected: (2, 1),
+            found: (1, 1),
+        };
+        assert!(e.to_string().contains("2+1"), "{e}");
+        let e = QueryError::SortConflict {
+            var: "t".into(),
+            first: Sort::Temporal,
+        };
+        assert!(e.to_string().contains("both sorts"), "{e}");
+    }
+}

@@ -1,0 +1,820 @@
+//! Query evaluation by translation to the generalized relational algebra
+//! (§4.2–4.3).
+
+use std::collections::BTreeSet;
+
+use itd_core::{Atom, CoreError, GenRelation, GenTuple, Lrp, Schema, Value};
+
+use crate::ast::{CmpOp, DataTerm, Formula, TemporalTerm};
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::sortcheck::check_sorts;
+use crate::Result;
+
+/// Result of evaluating an open formula: a generalized relation whose
+/// temporal columns are named by `temporal_vars` and data columns by
+/// `data_vars` (in column order).
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The answer relation.
+    pub relation: GenRelation,
+    /// Names of the temporal columns.
+    pub temporal_vars: Vec<String>,
+    /// Names of the data columns.
+    pub data_vars: Vec<String>,
+}
+
+/// Evaluates a formula over a catalog, returning the answer relation with
+/// one column per free variable.
+///
+/// # Errors
+/// Sort/arity errors and algebra failures; see [`QueryError`].
+pub fn evaluate(catalog: &impl Catalog, formula: &Formula) -> Result<QueryResult> {
+    let (f, _sorts) = check_sorts(catalog, formula)?;
+    let mut adom: BTreeSet<Value> = catalog.active_domain();
+    collect_constants(&f, &mut adom);
+    let env = Env {
+        catalog,
+        adom: adom.into_iter().collect(),
+    };
+    let ev = env.eval(&f)?;
+    Ok(QueryResult {
+        relation: ev.rel,
+        temporal_vars: ev.tvars,
+        data_vars: ev.dvars,
+    })
+}
+
+/// Evaluates a yes/no query (Theorem 4.1). Free variables, if any, are
+/// closed existentially.
+///
+/// # Errors
+/// See [`evaluate`].
+pub fn evaluate_bool(catalog: &impl Catalog, formula: &Formula) -> Result<bool> {
+    let r = evaluate(catalog, formula)?;
+    let closed = r.relation.project(&[], &[]).map_err(QueryError::Core)?;
+    Ok(!closed.is_empty().map_err(QueryError::Core)?)
+}
+
+/// Adds data constants appearing in the formula to the active domain.
+fn collect_constants(f: &Formula, adom: &mut BTreeSet<Value>) {
+    match f {
+        Formula::Pred { data, .. } => {
+            for d in data {
+                if let DataTerm::Const(v) = d {
+                    adom.insert(v.clone());
+                }
+            }
+        }
+        Formula::DataCmp { left, right, .. } => {
+            for d in [left, right] {
+                if let DataTerm::Const(v) = d {
+                    adom.insert(v.clone());
+                }
+            }
+        }
+        Formula::Not(inner) => collect_constants(inner, adom),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+            collect_constants(a, adom);
+            collect_constants(b, adom);
+        }
+        Formula::Exists { body, .. } | Formula::Forall { body, .. } => {
+            collect_constants(body, adom)
+        }
+        _ => {}
+    }
+}
+
+/// An evaluated subformula: relation plus column naming.
+struct Ev {
+    rel: GenRelation,
+    tvars: Vec<String>,
+    dvars: Vec<String>,
+}
+
+struct Env<'a, C: Catalog> {
+    catalog: &'a C,
+    adom: Vec<Value>,
+}
+
+impl<C: Catalog> Env<'_, C> {
+    /// The 0-ary relation denoting `truth`.
+    fn unit(truth: bool) -> GenRelation {
+        let mut rel = GenRelation::empty(Schema::new(0, 0));
+        if truth {
+            rel.push(GenTuple::unconstrained(vec![], vec![]))
+                .expect("schema matches");
+        }
+        rel
+    }
+
+    /// The one-data-column relation enumerating the active domain.
+    fn adom_relation(&self) -> GenRelation {
+        let mut rel = GenRelation::empty(Schema::new(0, 1));
+        for v in &self.adom {
+            rel.push(GenTuple::unconstrained(vec![], vec![v.clone()]))
+                .expect("schema matches");
+        }
+        rel
+    }
+
+    /// The full space `Z^t × adom^d`.
+    fn full_for(&self, tvars: usize, dvars: usize) -> Result<GenRelation> {
+        let mut rel =
+            GenRelation::full_temporal(Schema::new(tvars, 0)).map_err(QueryError::Core)?;
+        for _ in 0..dvars {
+            rel = rel
+                .cross_product(&self.adom_relation())
+                .map_err(QueryError::Core)?;
+        }
+        Ok(rel)
+    }
+
+    fn eval(&self, f: &Formula) -> Result<Ev> {
+        match f {
+            Formula::True => Ok(Ev {
+                rel: Self::unit(true),
+                tvars: vec![],
+                dvars: vec![],
+            }),
+            Formula::False => Ok(Ev {
+                rel: Self::unit(false),
+                tvars: vec![],
+                dvars: vec![],
+            }),
+            Formula::Pred {
+                name,
+                temporal,
+                data,
+            } => self.eval_pred(name, temporal, data),
+            Formula::TempCmp { left, op, right } => self.eval_temp_cmp(left, *op, right),
+            Formula::DataCmp { left, eq, right } => self.eval_data_cmp(left, *eq, right),
+            Formula::Not(inner) => self.eval_neg(inner),
+            Formula::And(a, b) => {
+                let (a, b) = (self.eval(a)?, self.eval(b)?);
+                self.conjoin(a, b)
+            }
+            Formula::Or(a, b) => {
+                let (a, b) = (self.eval(a)?, self.eval(b)?);
+                self.disjoin(a, b)
+            }
+            Formula::Implies(a, b) => {
+                // a → b ≡ ¬a ∨ b, with ¬a pushed inward.
+                let (na, b) = (self.eval_neg(a)?, self.eval(b)?);
+                self.disjoin(na, b)
+            }
+            Formula::Exists { var, body } => {
+                let ev = self.eval(body)?;
+                self.project_out(ev, var)
+            }
+            Formula::Forall { var, body } => {
+                // ∀v.φ ≡ ¬∃v.¬φ; the inner ¬φ is pushed to the leaves so
+                // that only the single outermost complement pays for a
+                // set difference (negation pushdown).
+                let neg = self.eval_neg(body)?;
+                let proj = self.project_out(neg, var)?;
+                self.negate(proj)
+            }
+        }
+    }
+
+    /// Evaluates `¬f` with the negation pushed toward the leaves (negation
+    /// normal form). Interpreted atoms negate for free (mirrored
+    /// comparison operators); only negated *predicate* atoms and negated
+    /// existentials pay for a set difference against the free space.
+    fn eval_neg(&self, f: &Formula) -> Result<Ev> {
+        match f {
+            Formula::True => self.eval(&Formula::False),
+            Formula::False => self.eval(&Formula::True),
+            Formula::Pred { .. } => {
+                let ev = self.eval(f)?;
+                self.negate(ev)
+            }
+            Formula::TempCmp { left, op, right } => {
+                let flipped = match op {
+                    CmpOp::Le => CmpOp::Gt,
+                    CmpOp::Lt => CmpOp::Ge,
+                    CmpOp::Eq => CmpOp::Ne,
+                    CmpOp::Ne => CmpOp::Eq,
+                    CmpOp::Ge => CmpOp::Lt,
+                    CmpOp::Gt => CmpOp::Le,
+                };
+                self.eval_temp_cmp(left, flipped, right)
+            }
+            Formula::DataCmp { left, eq, right } => self.eval_data_cmp(left, !eq, right),
+            Formula::Not(inner) => self.eval(inner),
+            Formula::And(a, b) => {
+                let (na, nb) = (self.eval_neg(a)?, self.eval_neg(b)?);
+                self.disjoin(na, nb)
+            }
+            Formula::Or(a, b) => {
+                let (na, nb) = (self.eval_neg(a)?, self.eval_neg(b)?);
+                self.conjoin(na, nb)
+            }
+            Formula::Implies(a, b) => {
+                // ¬(a → b) ≡ a ∧ ¬b
+                let (a, nb) = (self.eval(a)?, self.eval_neg(b)?);
+                self.conjoin(a, nb)
+            }
+            Formula::Exists { var, body } => {
+                // ¬∃v.φ — one unavoidable complement.
+                let ev = self.eval(body)?;
+                let proj = self.project_out(ev, var)?;
+                self.negate(proj)
+            }
+            Formula::Forall { var, body } => {
+                // ¬∀v.φ ≡ ∃v.¬φ
+                let neg = self.eval_neg(body)?;
+                self.project_out(neg, var)
+            }
+        }
+    }
+
+    fn eval_pred(
+        &self,
+        name: &str,
+        temporal: &[TemporalTerm],
+        data: &[DataTerm],
+    ) -> Result<Ev> {
+        let base = self
+            .catalog
+            .relation(name)
+            .ok_or_else(|| QueryError::UnknownPredicate(name.to_owned()))?;
+        let mut rel = base.clone();
+
+        // Temporal arguments: column i currently holds the term value.
+        let mut tvars: Vec<String> = Vec::new();
+        let mut tkeep: Vec<usize> = Vec::new();
+        for (col, term) in temporal.iter().enumerate() {
+            match term {
+                TemporalTerm::Const(c) => {
+                    rel = rel
+                        .select_temporal(Atom::eq(col, *c))
+                        .map_err(QueryError::Core)?;
+                }
+                TemporalTerm::Var { name, shift } => {
+                    if *shift != 0 {
+                        // column = var + shift ⇒ shift the column by −shift
+                        // so it equals the variable.
+                        let delta = shift.checked_neg().ok_or(QueryError::Core(
+                            CoreError::Numth(itd_numth::NumthError::Overflow),
+                        ))?;
+                        rel = rel
+                            .shift_temporal(col, delta)
+                            .map_err(QueryError::Core)?;
+                    }
+                    if let Some(first) = tvars.iter().position(|v| v == name) {
+                        rel = rel
+                            .select_temporal(Atom::diff_eq(tkeep[first], col, 0))
+                            .map_err(QueryError::Core)?;
+                    } else {
+                        tvars.push(name.clone());
+                        tkeep.push(col);
+                    }
+                }
+            }
+        }
+
+        // Data arguments.
+        let mut dvars: Vec<String> = Vec::new();
+        let mut dkeep: Vec<usize> = Vec::new();
+        for (col, term) in data.iter().enumerate() {
+            match term {
+                DataTerm::Const(v) => {
+                    let v = v.clone();
+                    rel = rel.select_data(move |d| d[col] == v);
+                }
+                DataTerm::Var(name) => {
+                    if let Some(first) = dvars.iter().position(|v| v == name) {
+                        let fc = dkeep[first];
+                        rel = rel.select_data(move |d| d[fc] == d[col]);
+                    } else {
+                        dvars.push(name.clone());
+                        dkeep.push(col);
+                    }
+                }
+            }
+        }
+
+        let rel = rel.project(&tkeep, &dkeep).map_err(QueryError::Core)?;
+        Ok(Ev { rel, tvars, dvars })
+    }
+
+    fn eval_temp_cmp(
+        &self,
+        left: &TemporalTerm,
+        op: CmpOp,
+        right: &TemporalTerm,
+    ) -> Result<Ev> {
+        let overflow =
+            || QueryError::Core(CoreError::Numth(itd_numth::NumthError::Overflow));
+        // Atoms for `X(col_l) op X(col_r) + c` or `X op c`, split for `!=`.
+        fn diff_atoms(op: CmpOp, i: usize, j: usize, c: i64) -> Option<Vec<Atom>> {
+            Some(match op {
+                CmpOp::Le => vec![Atom::diff_le(i, j, c)],
+                CmpOp::Lt => vec![Atom::diff_le(i, j, c.checked_sub(1)?)],
+                CmpOp::Eq => vec![Atom::diff_eq(i, j, c)],
+                CmpOp::Ge => vec![Atom::diff_ge(i, j, c)?],
+                CmpOp::Gt => vec![Atom::diff_ge(i, j, c.checked_add(1)?)?],
+                CmpOp::Ne => vec![
+                    Atom::diff_le(i, j, c.checked_sub(1)?),
+                    Atom::diff_ge(i, j, c.checked_add(1)?)?,
+                ],
+            })
+        }
+        fn const_atoms(op: CmpOp, i: usize, c: i64) -> Option<Vec<Atom>> {
+            Some(match op {
+                CmpOp::Le => vec![Atom::le(i, c)],
+                CmpOp::Lt => vec![Atom::lt(i, c)?],
+                CmpOp::Eq => vec![Atom::eq(i, c)],
+                CmpOp::Ge => vec![Atom::ge(i, c)],
+                CmpOp::Gt => vec![Atom::gt(i, c)?],
+                CmpOp::Ne => vec![Atom::lt(i, c)?, Atom::gt(i, c)?],
+            })
+        }
+        // Each atom in the returned list is one tuple (their union is the
+        // relation).
+        let one_var = |var: &str, atoms: Vec<Atom>| -> Result<Ev> {
+            let mut rel = GenRelation::empty(Schema::new(1, 0));
+            for a in atoms {
+                rel.push(
+                    GenTuple::with_atoms(vec![Lrp::all()], &[a], vec![])
+                        .map_err(QueryError::Core)?,
+                )
+                .map_err(QueryError::Core)?;
+            }
+            Ok(Ev {
+                rel,
+                tvars: vec![var.to_owned()],
+                dvars: vec![],
+            })
+        };
+        match (left, right) {
+            (TemporalTerm::Const(a), TemporalTerm::Const(b)) => Ok(Ev {
+                rel: Self::unit(op.eval(*a, *b)),
+                tvars: vec![],
+                dvars: vec![],
+            }),
+            (TemporalTerm::Var { name, shift }, TemporalTerm::Const(c)) => {
+                // v + s op c ⇔ v op c − s
+                let c = c.checked_sub(*shift).ok_or_else(overflow)?;
+                one_var(name, const_atoms(op, 0, c).ok_or_else(overflow)?)
+            }
+            (TemporalTerm::Const(c), TemporalTerm::Var { name, shift }) => {
+                // c op v + s ⇔ v op' c − s with the operator mirrored.
+                let mirrored = match op {
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Ge => CmpOp::Le,
+                    CmpOp::Gt => CmpOp::Lt,
+                    other => other,
+                };
+                let c = c.checked_sub(*shift).ok_or_else(overflow)?;
+                one_var(name, const_atoms(mirrored, 0, c).ok_or_else(overflow)?)
+            }
+            (
+                TemporalTerm::Var {
+                    name: n1,
+                    shift: s1,
+                },
+                TemporalTerm::Var {
+                    name: n2,
+                    shift: s2,
+                },
+            ) => {
+                if n1 == n2 {
+                    // v + s1 op v + s2 ⇔ s1 op s2, but v stays free.
+                    let truth = op.eval(*s1, *s2);
+                    let rel = if truth {
+                        GenRelation::full_temporal(Schema::new(1, 0))
+                            .map_err(QueryError::Core)?
+                    } else {
+                        GenRelation::empty(Schema::new(1, 0))
+                    };
+                    return Ok(Ev {
+                        rel,
+                        tvars: vec![n1.clone()],
+                        dvars: vec![],
+                    });
+                }
+                // v1 + s1 op v2 + s2 ⇔ v1 op v2 + (s2 − s1)
+                let c = s2.checked_sub(*s1).ok_or_else(overflow)?;
+                let atoms = diff_atoms(op, 0, 1, c).ok_or_else(overflow)?;
+                let mut rel = GenRelation::empty(Schema::new(2, 0));
+                for a in atoms {
+                    rel.push(
+                        GenTuple::with_atoms(vec![Lrp::all(), Lrp::all()], &[a], vec![])
+                            .map_err(QueryError::Core)?,
+                    )
+                    .map_err(QueryError::Core)?;
+                }
+                Ok(Ev {
+                    rel,
+                    tvars: vec![n1.clone(), n2.clone()],
+                    dvars: vec![],
+                })
+            }
+        }
+    }
+
+    fn eval_data_cmp(&self, left: &DataTerm, eq: bool, right: &DataTerm) -> Result<Ev> {
+        let mk = |tuples: Vec<Vec<Value>>, dvars: Vec<String>| -> Result<Ev> {
+            let mut rel = GenRelation::empty(Schema::new(0, dvars.len()));
+            for data in tuples {
+                rel.push(GenTuple::unconstrained(vec![], data))
+                    .map_err(QueryError::Core)?;
+            }
+            Ok(Ev {
+                rel,
+                tvars: vec![],
+                dvars,
+            })
+        };
+        match (left, right) {
+            (DataTerm::Const(a), DataTerm::Const(b)) => Ok(Ev {
+                rel: Self::unit((a == b) == eq),
+                tvars: vec![],
+                dvars: vec![],
+            }),
+            (DataTerm::Var(x), DataTerm::Const(v))
+            | (DataTerm::Const(v), DataTerm::Var(x)) => {
+                let tuples: Vec<Vec<Value>> = if eq {
+                    vec![vec![v.clone()]]
+                } else {
+                    self.adom
+                        .iter()
+                        .filter(|d| *d != v)
+                        .map(|d| vec![d.clone()])
+                        .collect()
+                };
+                mk(tuples, vec![x.clone()])
+            }
+            (DataTerm::Var(x), DataTerm::Var(y)) => {
+                if x == y {
+                    let tuples: Vec<Vec<Value>> = if eq {
+                        self.adom.iter().map(|d| vec![d.clone()]).collect()
+                    } else {
+                        vec![]
+                    };
+                    return mk(tuples, vec![x.clone()]);
+                }
+                let mut tuples = Vec::new();
+                for a in &self.adom {
+                    for b in &self.adom {
+                        if (a == b) == eq {
+                            tuples.push(vec![a.clone(), b.clone()]);
+                        }
+                    }
+                }
+                mk(tuples, vec![x.clone(), y.clone()])
+            }
+        }
+    }
+
+    /// `¬φ` = free space over φ's variables minus φ.
+    fn negate(&self, ev: Ev) -> Result<Ev> {
+        let full = self.full_for(ev.tvars.len(), ev.dvars.len())?;
+        let rel = full.difference(&ev.rel).map_err(QueryError::Core)?;
+        Ok(Ev {
+            rel,
+            tvars: ev.tvars,
+            dvars: ev.dvars,
+        })
+    }
+
+    /// `φ ∧ ψ` = join on shared variables, keeping each variable once.
+    fn conjoin(&self, a: Ev, b: Ev) -> Result<Ev> {
+        let mut tpairs = Vec::new();
+        for (j, var) in b.tvars.iter().enumerate() {
+            if let Some(i) = a.tvars.iter().position(|v| v == var) {
+                tpairs.push((i, j));
+            }
+        }
+        let mut dpairs = Vec::new();
+        for (j, var) in b.dvars.iter().enumerate() {
+            if let Some(i) = a.dvars.iter().position(|v| v == var) {
+                dpairs.push((i, j));
+            }
+        }
+        let joined = a
+            .rel
+            .join_on(&b.rel, &tpairs, &dpairs)
+            .map_err(QueryError::Core)?;
+        // Keep a's columns plus b's non-shared columns.
+        let mut tkeep: Vec<usize> = (0..a.tvars.len()).collect();
+        let mut tvars = a.tvars.clone();
+        for (j, var) in b.tvars.iter().enumerate() {
+            if !a.tvars.contains(var) {
+                tkeep.push(a.tvars.len() + j);
+                tvars.push(var.clone());
+            }
+        }
+        let mut dkeep: Vec<usize> = (0..a.dvars.len()).collect();
+        let mut dvars = a.dvars.clone();
+        for (j, var) in b.dvars.iter().enumerate() {
+            if !a.dvars.contains(var) {
+                dkeep.push(a.dvars.len() + j);
+                dvars.push(var.clone());
+            }
+        }
+        let rel = joined.project(&tkeep, &dkeep).map_err(QueryError::Core)?;
+        Ok(Ev { rel, tvars, dvars })
+    }
+
+    /// `φ ∨ ψ` = union after padding both to the merged variable set.
+    fn disjoin(&self, a: Ev, b: Ev) -> Result<Ev> {
+        let mut tvars = a.tvars.clone();
+        for v in &b.tvars {
+            if !tvars.contains(v) {
+                tvars.push(v.clone());
+            }
+        }
+        let mut dvars = a.dvars.clone();
+        for v in &b.dvars {
+            if !dvars.contains(v) {
+                dvars.push(v.clone());
+            }
+        }
+        let pa = self.pad(a, &tvars, &dvars)?;
+        let pb = self.pad(b, &tvars, &dvars)?;
+        let rel = pa.union(&pb).map_err(QueryError::Core)?;
+        Ok(Ev { rel, tvars, dvars })
+    }
+
+    /// Extends `ev` with unconstrained columns for missing variables, then
+    /// permutes columns to the target order.
+    fn pad(&self, ev: Ev, tt: &[String], dd: &[String]) -> Result<GenRelation> {
+        let mut rel = ev.rel;
+        let mut tvars = ev.tvars;
+        let mut dvars = ev.dvars;
+        for v in tt {
+            if !tvars.contains(v) {
+                rel = rel
+                    .cross_product(
+                        &GenRelation::full_temporal(Schema::new(1, 0))
+                            .map_err(QueryError::Core)?,
+                    )
+                    .map_err(QueryError::Core)?;
+                tvars.push(v.clone());
+            }
+        }
+        for v in dd {
+            if !dvars.contains(v) {
+                rel = rel
+                    .cross_product(&self.adom_relation())
+                    .map_err(QueryError::Core)?;
+                dvars.push(v.clone());
+            }
+        }
+        let tperm: Vec<usize> = tt
+            .iter()
+            .map(|v| tvars.iter().position(|w| w == v).expect("padded"))
+            .collect();
+        let dperm: Vec<usize> = dd
+            .iter()
+            .map(|v| dvars.iter().position(|w| w == v).expect("padded"))
+            .collect();
+        rel.project(&tperm, &dperm).map_err(QueryError::Core)
+    }
+
+    /// `∃var` = drop the variable's column (no-op if the variable does not
+    /// occur — then `∃v.φ ≡ φ` since both sorts are nonempty... except the
+    /// data sort with an empty active domain, which correctly yields an
+    /// empty padding anyway because `φ` cannot mention data either).
+    ///
+    /// The subformula's own column lists are authoritative for where the
+    /// variable lives — a variable may acquire its data sort only through
+    /// atom reclassification, in which case the global sort map does not
+    /// record it.
+    fn project_out(&self, ev: Ev, var: &str) -> Result<Ev> {
+        if let Some(i) = ev.tvars.iter().position(|v| v == var) {
+            let tkeep: Vec<usize> = (0..ev.tvars.len()).filter(|&j| j != i).collect();
+            let dkeep: Vec<usize> = (0..ev.dvars.len()).collect();
+            let rel = ev.rel.project(&tkeep, &dkeep).map_err(QueryError::Core)?;
+            let tvars = tkeep.iter().map(|&j| ev.tvars[j].clone()).collect();
+            return Ok(Ev {
+                rel,
+                tvars,
+                dvars: ev.dvars,
+            });
+        }
+        if let Some(i) = ev.dvars.iter().position(|v| v == var) {
+            let tkeep: Vec<usize> = (0..ev.tvars.len()).collect();
+            let dkeep: Vec<usize> = (0..ev.dvars.len()).filter(|&j| j != i).collect();
+            let rel = ev.rel.project(&tkeep, &dkeep).map_err(QueryError::Core)?;
+            let dvars = dkeep.iter().map(|&j| ev.dvars[j].clone()).collect();
+            return Ok(Ev {
+                rel,
+                tvars: ev.tvars,
+                dvars,
+            });
+        }
+        Ok(ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::MemoryCatalog;
+    use crate::parser::parse;
+
+    fn lrp(c: i64, k: i64) -> Lrp {
+        Lrp::new(c, k).unwrap()
+    }
+
+    /// A catalog with:
+    /// * `Even(t)` — even time points,
+    /// * `Blink(t1, t2; name)` — intervals [t, t+2] starting at even t for
+    ///   "fast", [t, t+5] at multiples of 10 for "slow".
+    fn catalog() -> MemoryCatalog {
+        let mut cat = MemoryCatalog::new();
+        cat.insert(
+            "Even",
+            GenRelation::new(
+                Schema::new(1, 0),
+                vec![GenTuple::unconstrained(vec![lrp(0, 2)], vec![])],
+            )
+            .unwrap(),
+        );
+        cat.insert(
+            "Blink",
+            GenRelation::new(
+                Schema::new(2, 1),
+                vec![
+                    GenTuple::with_atoms(
+                        vec![lrp(0, 2), lrp(0, 2)],
+                        &[Atom::diff_eq(1, 0, 2)],
+                        vec![Value::str("fast")],
+                    )
+                    .unwrap(),
+                    GenTuple::with_atoms(
+                        vec![lrp(0, 10), lrp(5, 10)],
+                        &[Atom::diff_eq(1, 0, 5)],
+                        vec![Value::str("slow")],
+                    )
+                    .unwrap(),
+                ],
+            )
+            .unwrap(),
+        );
+        cat
+    }
+
+    fn ask(src: &str) -> bool {
+        evaluate_bool(&catalog(), &parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn atoms_and_constants() {
+        assert!(ask("Even(0)"));
+        assert!(ask("Even(42)"));
+        assert!(!ask("Even(3)"));
+        assert!(ask("Even(-100)"));
+    }
+
+    #[test]
+    fn exists_over_infinite_time() {
+        assert!(ask("exists t. Even(t) and t >= 1000000"));
+        assert!(ask("exists t. Even(t) and t <= -1000000"));
+        assert!(!ask("exists t. Even(t) and Even(t + 1)"));
+        assert!(ask("exists t. Even(t) and Even(t + 2)"));
+    }
+
+    #[test]
+    fn forall_over_infinite_time() {
+        // Every even t has an even successor's successor.
+        assert!(ask("forall t. Even(t) implies Even(t + 2)"));
+        assert!(!ask("forall t. Even(t)"));
+        // Everything is even or odd.
+        assert!(ask("forall t. Even(t) or Even(t + 1)"));
+    }
+
+    #[test]
+    fn successor_terms() {
+        assert!(ask("exists t. Even(t) and t + 1 = 7"));
+        assert!(!ask("exists t. Even(t) and t + 1 = 8"));
+        assert!(ask("exists t. Even(t - 6) and t = 0"));
+    }
+
+    #[test]
+    fn data_arguments_and_quantifiers() {
+        assert!(ask(r#"exists t1. exists t2. Blink(t1, t2; "fast")"#));
+        assert!(ask(r#"exists x. exists t1. exists t2. Blink(t1, t2; x)"#));
+        assert!(!ask(r#"exists t1. exists t2. Blink(t1, t2; "absent")"#));
+        // slow blinks last exactly 5.
+        assert!(ask(r#"forall t1. forall t2. Blink(t1, t2; "slow") implies t2 = t1 + 5"#));
+        assert!(!ask(r#"forall t1. forall t2. Blink(t1, t2; "slow") implies t2 = t1 + 2"#));
+        // There is a kind of blink active at time 0..2: fast.
+        assert!(ask("exists x. Blink(0, 2; x)"));
+        assert!(!ask("exists x. Blink(1, 3; x)"));
+    }
+
+    #[test]
+    fn data_equality() {
+        assert!(ask(
+            r#"exists x. exists t1. exists t2. Blink(t1, t2; x) and x = "slow""#
+        ));
+        assert!(ask(
+            r#"exists x. exists y. exists t1. exists t2. exists s1. exists s2.
+               Blink(t1, t2; x) and Blink(s1, s2; y) and x != y"#
+        ));
+        // All blink kinds with duration 2 are "fast".
+        assert!(ask(
+            r#"forall x. (exists t1. exists t2. Blink(t1, t2; x) and t2 = t1 + 2)
+               implies x = "fast""#
+        ));
+    }
+
+    #[test]
+    fn open_queries_return_columns() {
+        let r = evaluate(&catalog(), &parse("Even(t) and t >= 0").unwrap()).unwrap();
+        assert_eq!(r.temporal_vars, vec!["t"]);
+        assert!(r.data_vars.is_empty());
+        assert!(r.relation.contains(&[4], &[]));
+        assert!(!r.relation.contains(&[5], &[]));
+        assert!(!r.relation.contains(&[-2], &[]));
+        let r = evaluate(
+            &catalog(),
+            &parse(r#"exists t2. Blink(t1, t2; x)"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(r.temporal_vars, vec!["t1"]);
+        assert_eq!(r.data_vars, vec!["x"]);
+        assert!(r.relation.contains(&[10], &[Value::str("slow")]));
+        assert!(!r.relation.contains(&[5], &[Value::str("slow")]));
+    }
+
+    #[test]
+    fn repeated_variables_in_predicate() {
+        // Blink(t, t; x) — intervals of length 0: none.
+        assert!(!ask("exists t. exists x. Blink(t, t; x)"));
+        // But shifted: Blink(t, t + 2; x) — fast ones.
+        assert!(ask("exists t. exists x. Blink(t, t + 2; x)"));
+    }
+
+    #[test]
+    fn negation_and_difference() {
+        // Some non-even time point exists.
+        assert!(ask("exists t. not Even(t)"));
+        // No even time is odd: ¬∃t (Even(t) ∧ ¬Even(t)).
+        assert!(!ask("exists t. Even(t) and not Even(t)"));
+    }
+
+    #[test]
+    fn temporal_comparisons_between_vars() {
+        assert!(ask("exists t1. exists t2. Even(t1) and Even(t2) and t1 < t2"));
+        assert!(ask("forall t1. forall t2. t1 <= t2 or t2 <= t1"));
+        assert!(ask("forall t. t < t + 1"));
+        assert!(!ask("exists t. t < t"));
+        assert!(ask("exists t1. exists t2. t1 != t2"));
+        assert!(!ask("forall t1. forall t2. t1 != t2"));
+    }
+
+    #[test]
+    fn true_false_literals() {
+        assert!(ask("true"));
+        assert!(!ask("false"));
+        assert!(ask("false implies false"));
+        assert!(ask("not false"));
+    }
+
+    #[test]
+    fn unused_quantifier_is_noop() {
+        assert!(ask("exists t. true"));
+        assert!(ask("forall t. true"));
+        assert!(!ask("forall t. false"));
+    }
+
+    #[test]
+    fn rewritten_data_variable_projects_out() {
+        // y gains its Data sort only through `x = y` reclassification; the
+        // quantifier must still remove its column.
+        let r = evaluate(
+            &catalog(),
+            &parse(r#"exists y. exists t1. exists t2. Blink(t1, t2; x) and x = y"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(r.data_vars, vec!["x"]);
+        assert!(r.temporal_vars.is_empty());
+        assert!(r
+            .relation
+            .materialize(0, 0)
+            .iter()
+            .all(|(_, d)| d.len() == 1));
+    }
+
+    #[test]
+    fn empty_adom_data_quantifier() {
+        // A catalog whose only data-bearing relation is empty: the active
+        // domain is empty, so data-sorted existentials are false.
+        let mut cat = MemoryCatalog::new();
+        cat.insert("Q", GenRelation::empty(Schema::new(0, 1)));
+        let f = parse("exists x. not Q(; x)").unwrap();
+        assert!(!evaluate_bool(&cat, &f).unwrap());
+        // A variable with no sort evidence defaults to temporal, where the
+        // domain (Z) is never empty.
+        let f = parse("exists x. x = x").unwrap();
+        assert!(evaluate_bool(&cat, &f).unwrap());
+    }
+}

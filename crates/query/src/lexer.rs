@@ -1,0 +1,310 @@
+//! Hand-rolled lexer for the query syntax.
+
+use crate::error::QueryError;
+use crate::Result;
+
+/// One lexical token, carrying its byte offset for error reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Dot,
+    Plus,
+    Minus,
+    Le,
+    Lt,
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+    KwAnd,
+    KwOr,
+    KwNot,
+    KwImplies,
+    KwExists,
+    KwForall,
+    KwTrue,
+    KwFalse,
+    Eof,
+}
+
+/// Tokenizes the whole input.
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b')' => {
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b',' => {
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b';' => {
+                out.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'.' => {
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            b'=' => {
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(QueryError::Parse {
+                        message: "expected `!=`".into(),
+                        offset: i,
+                    });
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(QueryError::Parse {
+                                message: "unterminated string literal".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value: i64 = text.parse().map_err(|_| QueryError::Parse {
+                    message: format!("integer literal `{text}` out of range"),
+                    offset: start,
+                })?;
+                out.push(Token {
+                    kind: TokenKind::Int(value),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    "and" => TokenKind::KwAnd,
+                    "or" => TokenKind::KwOr,
+                    "not" => TokenKind::KwNot,
+                    "implies" => TokenKind::KwImplies,
+                    "exists" => TokenKind::KwExists,
+                    "forall" => TokenKind::KwForall,
+                    "true" => TokenKind::KwTrue,
+                    "false" => TokenKind::KwFalse,
+                    _ => TokenKind::Ident(word.to_owned()),
+                };
+                out.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(QueryError::Parse {
+                    message: format!("unexpected character `{}`", other as char),
+                    offset: i,
+                })
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        assert_eq!(
+            kinds("<= < = != >= > + - . , ; ( )"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Lt,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ge,
+                TokenKind::Gt,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Dot,
+                TokenKind::Comma,
+                TokenKind::Semicolon,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_keywords_and_idents() {
+        assert_eq!(
+            kinds("exists t1 and Perform implies notx"),
+            vec![
+                TokenKind::KwExists,
+                TokenKind::Ident("t1".into()),
+                TokenKind::KwAnd,
+                TokenKind::Ident("Perform".into()),
+                TokenKind::KwImplies,
+                TokenKind::Ident("notx".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_literals_and_comments() {
+        assert_eq!(
+            kinds("42 \"task two\" # trailing\n7"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Str("task two".into()),
+                TokenKind::Int(7),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = tokenize("abc $").unwrap_err();
+        match err {
+            QueryError::Parse { offset, .. } => assert_eq!(offset, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("!x").is_err());
+        assert!(tokenize("99999999999999999999").is_err());
+    }
+}

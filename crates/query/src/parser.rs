@@ -1,0 +1,473 @@
+//! Recursive-descent parser for the query syntax (grammar in the crate
+//! docs).
+
+use itd_core::Value;
+
+use crate::ast::{CmpOp, DataTerm, Formula, TemporalTerm};
+use crate::error::QueryError;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::Result;
+
+/// Parses a formula from text.
+///
+/// Sort-ambiguous `=` / `!=` atoms between variables are parsed as temporal
+/// comparisons and reclassified by [`crate::check_sorts`]; run that pass (or
+/// [`crate::evaluate`], which runs it for you) before trusting atom kinds.
+///
+/// # Examples
+/// ```
+/// let f = itd_query::parse(
+///     r#"forall d. forall a. train(d, a; "slow") implies a = d + 78"#,
+/// ).unwrap();
+/// assert!(f.free_vars().is_empty());
+/// ```
+///
+/// # Errors
+/// [`QueryError::Parse`] with a byte offset on any lexical or syntactic
+/// problem.
+pub fn parse(src: &str) -> Result<Formula> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let f = p.formula()?;
+    p.expect(TokenKind::Eof, "end of input")?;
+    Ok(f)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// One side of a comparison atom before classification.
+enum Side {
+    Temporal(TemporalTerm),
+    Str(String),
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<()> {
+        if *self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {what}")))
+        }
+    }
+
+    fn err(&self, message: &str) -> QueryError {
+        QueryError::Parse {
+            message: message.to_owned(),
+            offset: self.offset(),
+        }
+    }
+
+    /// formula := quantified | implies
+    fn formula(&mut self) -> Result<Formula> {
+        match self.peek() {
+            TokenKind::KwExists | TokenKind::KwForall => self.quantified(),
+            _ => self.implies(),
+        }
+    }
+
+    fn quantified(&mut self) -> Result<Formula> {
+        let forall = matches!(self.peek(), TokenKind::KwForall);
+        self.bump();
+        let var = match self.bump() {
+            TokenKind::Ident(name) => name,
+            _ => return Err(self.err("expected variable name after quantifier")),
+        };
+        self.expect(TokenKind::Dot, "`.` after quantified variable")?;
+        let body = self.formula()?;
+        Ok(if forall {
+            Formula::forall(var, body)
+        } else {
+            Formula::exists(var, body)
+        })
+    }
+
+    /// implies := or ("implies" formula)     (right associative, max scope)
+    fn implies(&mut self) -> Result<Formula> {
+        let lhs = self.or()?;
+        if matches!(self.peek(), TokenKind::KwImplies) {
+            self.bump();
+            let rhs = self.formula()?;
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    /// or := and ("or" (quantified | and))*
+    fn or(&mut self) -> Result<Formula> {
+        let mut lhs = self.and()?;
+        while matches!(self.peek(), TokenKind::KwOr) {
+            self.bump();
+            let rhs = if matches!(self.peek(), TokenKind::KwExists | TokenKind::KwForall) {
+                self.quantified()?
+            } else {
+                self.and()?
+            };
+            lhs = Formula::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    /// and := unary ("and" (quantified | unary))*
+    fn and(&mut self) -> Result<Formula> {
+        let mut lhs = self.unary()?;
+        while matches!(self.peek(), TokenKind::KwAnd) {
+            self.bump();
+            let rhs = if matches!(self.peek(), TokenKind::KwExists | TokenKind::KwForall) {
+                self.quantified()?
+            } else {
+                self.unary()?
+            };
+            lhs = Formula::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    /// unary := "not" (quantified | unary) | "(" formula ")" | true | false | atom
+    fn unary(&mut self) -> Result<Formula> {
+        match self.peek() {
+            TokenKind::KwNot => {
+                self.bump();
+                let inner =
+                    if matches!(self.peek(), TokenKind::KwExists | TokenKind::KwForall) {
+                        self.quantified()?
+                    } else {
+                        self.unary()?
+                    };
+                Ok(Formula::not(inner))
+            }
+            TokenKind::KwTrue => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            TokenKind::KwFalse => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.formula()?;
+                self.expect(TokenKind::RParen, "closing `)`")?;
+                Ok(inner)
+            }
+            _ => self.atom(),
+        }
+    }
+
+    /// atom := predicate | side cmp side
+    fn atom(&mut self) -> Result<Formula> {
+        // Predicate: Ident followed by '('.
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if self.tokens[self.pos + 1].kind == TokenKind::LParen {
+                self.bump(); // name
+                self.bump(); // (
+                return self.predicate(name);
+            }
+        }
+        let left = self.side()?;
+        let op_start = self.pos;
+        let op = match self.bump() {
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Ge => CmpOp::Ge,
+            TokenKind::Gt => CmpOp::Gt,
+            _ => {
+                self.pos = op_start;
+                return Err(self.err("expected comparison operator"));
+            }
+        };
+        let right = self.side()?;
+        self.classify(left, op, right)
+    }
+
+    /// side := ident ["+" int | "-" int] | ["-"] int | string
+    fn side(&mut self) -> Result<Side> {
+        let start = self.pos;
+        match self.bump() {
+            TokenKind::Ident(name) => {
+                let shift = self.optional_shift()?;
+                Ok(Side::Temporal(TemporalTerm::Var { name, shift }))
+            }
+            TokenKind::Int(v) => {
+                let shift = self.optional_shift()?;
+                let value = v.checked_add(shift).ok_or_else(|| {
+                    self.err("integer constant overflow")
+                })?;
+                Ok(Side::Temporal(TemporalTerm::Const(value)))
+            }
+            TokenKind::Minus => match self.bump() {
+                TokenKind::Int(v) => {
+                    let neg = v.checked_neg().ok_or_else(|| {
+                        self.err("integer constant overflow")
+                    })?;
+                    let shift = self.optional_shift()?;
+                    let value = neg.checked_add(shift).ok_or_else(|| {
+                        self.err("integer constant overflow")
+                    })?;
+                    Ok(Side::Temporal(TemporalTerm::Const(value)))
+                }
+                _ => {
+                    self.pos = start;
+                    Err(self.err("expected integer after `-`"))
+                }
+            },
+            TokenKind::Str(s) => Ok(Side::Str(s)),
+            _ => {
+                self.pos = start;
+                Err(self.err("expected a term"))
+            }
+        }
+    }
+
+    fn optional_shift(&mut self) -> Result<i64> {
+        let sign: i64 = match self.peek() {
+            TokenKind::Plus => 1,
+            TokenKind::Minus => -1,
+            _ => return Ok(0),
+        };
+        self.bump();
+        let start = self.pos;
+        match self.bump() {
+            TokenKind::Int(v) => v.checked_mul(sign).ok_or_else(|| {
+                self.err("shift overflow")
+            }),
+            _ => {
+                self.pos = start;
+                Err(self.err("expected integer after `+`/`-`"))
+            }
+        }
+    }
+
+    fn classify(&self, left: Side, op: CmpOp, right: Side) -> Result<Formula> {
+        // Any string side forces a data comparison.
+        let is_data = matches!(left, Side::Str(_)) || matches!(right, Side::Str(_));
+        if !is_data {
+            let (Side::Temporal(l), Side::Temporal(r)) = (left, right) else {
+                unreachable!("non-string sides are temporal");
+            };
+            return Ok(Formula::TempCmp {
+                left: l,
+                op,
+                right: r,
+            });
+        }
+        let eq = match op {
+            CmpOp::Eq => true,
+            CmpOp::Ne => false,
+            _ => return Err(self.err("strings only support `=` and `!=`")),
+        };
+        let to_data = |s: Side, p: &Parser| -> Result<DataTerm> {
+            match s {
+                Side::Str(s) => Ok(DataTerm::Const(Value::Str(s))),
+                Side::Temporal(TemporalTerm::Const(c)) => Ok(DataTerm::Const(Value::Int(c))),
+                Side::Temporal(TemporalTerm::Var { name, shift: 0 }) => {
+                    Ok(DataTerm::Var(name))
+                }
+                Side::Temporal(TemporalTerm::Var { .. }) => {
+                    Err(p.err("successor applied to a data-sorted term"))
+                }
+            }
+        };
+        Ok(Formula::DataCmp {
+            left: to_data(left, self)?,
+            eq,
+            right: to_data(right, self)?,
+        })
+    }
+
+    /// Arguments of a predicate; '(' already consumed.
+    fn predicate(&mut self, name: String) -> Result<Formula> {
+        let mut temporal = Vec::new();
+        let mut data = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            while *self.peek() != TokenKind::Semicolon {
+                match self.side()? {
+                    Side::Temporal(t) => temporal.push(t),
+                    Side::Str(_) => {
+                        return Err(self.err(
+                            "string literal in temporal position (use `;` before data arguments)",
+                        ))
+                    }
+                }
+                match self.peek() {
+                    TokenKind::Comma => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            if *self.peek() == TokenKind::Semicolon {
+                self.bump();
+                loop {
+                    match self.side()? {
+                        Side::Str(s) => data.push(DataTerm::Const(Value::Str(s))),
+                        Side::Temporal(TemporalTerm::Const(c)) => {
+                            data.push(DataTerm::Const(Value::Int(c)))
+                        }
+                        Side::Temporal(TemporalTerm::Var { name, shift: 0 }) => {
+                            data.push(DataTerm::Var(name))
+                        }
+                        Side::Temporal(TemporalTerm::Var { .. }) => {
+                            return Err(self.err("successor applied to a data argument"))
+                        }
+                    }
+                    match self.peek() {
+                        TokenKind::Comma => {
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "closing `)` after predicate arguments")?;
+        Ok(Formula::Pred {
+            name,
+            temporal,
+            data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example_4_1() {
+        let src = r#"
+            exists x. exists y. exists t1. exists t2.
+            forall t3. forall t4. forall z.
+              (Perform(t1, t2; x, "task2") and t1 <= t3 and t3 <= t4
+                 and t4 <= t2 and t1 + 5 <= t2)
+              implies not Perform(t3, t4; y, z)
+        "#;
+        let f = parse(src).unwrap();
+        let text = f.to_string();
+        assert!(text.starts_with("exists x."), "{text}");
+        assert!(text.contains("Perform(t1, t2; x, \"task2\")"), "{text}");
+        assert!(text.contains("t1 + 5 <= t2"), "{text}");
+        assert!(text.contains("implies not (Perform(t3, t4; y, z))"), "{text}");
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let f = parse("a <= 1 and b <= 2 or c <= 3").unwrap();
+        assert_eq!(f.to_string(), "((a <= 1 and b <= 2) or c <= 3)");
+    }
+
+    #[test]
+    fn implies_takes_max_scope_right() {
+        let f = parse("a <= 1 implies b <= 2 implies c <= 3").unwrap();
+        assert_eq!(f.to_string(), "(a <= 1 implies (b <= 2 implies c <= 3))");
+    }
+
+    #[test]
+    fn quantifier_after_connective() {
+        let f = parse("a <= 1 and exists t. t = a").unwrap();
+        assert_eq!(f.to_string(), "(a <= 1 and exists t. t = a)");
+        let f = parse("not exists t. t <= 0").unwrap();
+        assert_eq!(f.to_string(), "not (exists t. t <= 0)");
+    }
+
+    #[test]
+    fn shifts_and_constants() {
+        let f = parse("t - 3 >= 10").unwrap();
+        assert_eq!(f.to_string(), "t - 3 >= 10");
+        let f = parse("5 <= t + 2").unwrap();
+        assert_eq!(f.to_string(), "5 <= t + 2");
+    }
+
+    #[test]
+    fn data_comparisons() {
+        let f = parse(r#"x = "abc""#).unwrap();
+        assert_eq!(
+            f,
+            Formula::DataCmp {
+                left: DataTerm::var("x"),
+                eq: true,
+                right: DataTerm::Const(Value::str("abc")),
+            }
+        );
+        let f = parse(r#""a" != "b""#).unwrap();
+        assert!(matches!(f, Formula::DataCmp { eq: false, .. }));
+        assert!(parse(r#"x + 1 = "abc""#).is_err());
+        assert!(parse(r#"x < "abc""#).is_err());
+    }
+
+    #[test]
+    fn predicates_arity_zero_and_no_data() {
+        assert_eq!(
+            parse("P()").unwrap(),
+            Formula::Pred {
+                name: "P".into(),
+                temporal: vec![],
+                data: vec![]
+            }
+        );
+        let f = parse("Q(t1, 5)").unwrap();
+        assert_eq!(
+            f,
+            Formula::Pred {
+                name: "Q".into(),
+                temporal: vec![TemporalTerm::var("t1"), TemporalTerm::Const(5)],
+                data: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn predicate_with_int_data() {
+        let f = parse("R(t; 7, x)").unwrap();
+        assert_eq!(
+            f,
+            Formula::Pred {
+                name: "R".into(),
+                temporal: vec![TemporalTerm::var("t")],
+                data: vec![DataTerm::Const(Value::Int(7)), DataTerm::var("x")],
+            }
+        );
+        assert!(parse("R(t; x + 1)").is_err());
+        assert!(parse(r#"R("oops")"#).is_err());
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(parse("").is_err());
+        assert!(parse("exists . P()").is_err());
+        assert!(parse("exists t P()").is_err());
+        assert!(parse("(P()").is_err());
+        assert!(parse("P() and").is_err());
+        assert!(parse("t1 <=").is_err());
+        assert!(parse("P() Q()").is_err()); // trailing garbage
+        assert!(parse("t +").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let f = parse("# header\nP() # tail\n").unwrap();
+        assert!(matches!(f, Formula::Pred { .. }));
+    }
+}

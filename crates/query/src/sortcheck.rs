@@ -1,0 +1,271 @@
+//! Sort inference and atom reclassification.
+//!
+//! The language is two-sorted but the surface syntax does not annotate
+//! variables. Sorts are inferred from use:
+//!
+//! * a variable in a predicate's temporal (data) position is temporal
+//!   (data);
+//! * a variable under an order comparison (`<`, `<=`, `>`, `>=`) or with a
+//!   successor shift is temporal;
+//! * a variable compared to a string, or in a data position, is data.
+//!
+//! `=` / `!=` atoms between bare variables / integer literals are parsed as
+//! temporal and *reclassified* here once sorts are known. A variable name
+//! must be used at one sort throughout a formula (names may shadow, but not
+//! change sort — a documented simplification); violations raise
+//! [`QueryError::SortConflict`]. Variables with no sort evidence default to
+//! temporal.
+
+use std::collections::HashMap;
+
+use itd_core::{Schema, Value};
+
+use crate::ast::{DataTerm, Formula, Sort, TemporalTerm};
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::Result;
+
+/// Infers variable sorts, validates predicate arities against the catalog,
+/// and reclassifies ambiguous equality atoms. Returns the (possibly
+/// rewritten) formula and the sort of every variable.
+///
+/// # Errors
+/// [`QueryError::UnknownPredicate`], [`QueryError::ArityMismatch`],
+/// [`QueryError::SortConflict`].
+pub fn check_sorts(
+    catalog: &impl Catalog,
+    formula: &Formula,
+) -> Result<(Formula, HashMap<String, Sort>)> {
+    let mut sorts: HashMap<String, Sort> = HashMap::new();
+    infer(catalog, formula, &mut sorts)?;
+    let rewritten = rewrite(formula, &sorts)?;
+    Ok((rewritten, sorts))
+}
+
+fn assign(sorts: &mut HashMap<String, Sort>, var: &str, sort: Sort) -> Result<()> {
+    match sorts.get(var) {
+        None => {
+            sorts.insert(var.to_owned(), sort);
+            Ok(())
+        }
+        Some(&prev) if prev == sort => Ok(()),
+        Some(&prev) => Err(QueryError::SortConflict {
+            var: var.to_owned(),
+            first: prev,
+        }),
+    }
+}
+
+fn infer(
+    catalog: &impl Catalog,
+    formula: &Formula,
+    sorts: &mut HashMap<String, Sort>,
+) -> Result<()> {
+    match formula {
+        Formula::True | Formula::False => Ok(()),
+        Formula::Pred {
+            name,
+            temporal,
+            data,
+        } => {
+            let rel = catalog
+                .relation(name)
+                .ok_or_else(|| QueryError::UnknownPredicate(name.clone()))?;
+            let expected = rel.schema();
+            let found = Schema::new(temporal.len(), data.len());
+            if expected != found {
+                return Err(QueryError::ArityMismatch {
+                    name: name.clone(),
+                    expected: (expected.temporal(), expected.data()),
+                    found: (found.temporal(), found.data()),
+                });
+            }
+            for t in temporal {
+                if let TemporalTerm::Var { name, .. } = t {
+                    assign(sorts, name, Sort::Temporal)?;
+                }
+            }
+            for d in data {
+                if let DataTerm::Var(name) = d {
+                    assign(sorts, name, Sort::Data)?;
+                }
+            }
+            Ok(())
+        }
+        Formula::TempCmp { left, op, right } => {
+            use crate::ast::CmpOp::*;
+            let ordered = matches!(op, Le | Lt | Ge | Gt);
+            for t in [left, right] {
+                if let TemporalTerm::Var { name, shift } = t {
+                    if ordered || *shift != 0 {
+                        assign(sorts, name, Sort::Temporal)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        Formula::DataCmp { left, right, .. } => {
+            for d in [left, right] {
+                if let DataTerm::Var(name) = d {
+                    assign(sorts, name, Sort::Data)?;
+                }
+            }
+            Ok(())
+        }
+        Formula::Not(f) => infer(catalog, f, sorts),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+            infer(catalog, a, sorts)?;
+            infer(catalog, b, sorts)
+        }
+        Formula::Exists { body, .. } | Formula::Forall { body, .. } => {
+            infer(catalog, body, sorts)
+        }
+    }
+}
+
+/// Reclassifies `=` / `!=` atoms whose variables turned out to be data.
+fn rewrite(formula: &Formula, sorts: &HashMap<String, Sort>) -> Result<Formula> {
+    Ok(match formula {
+        Formula::TempCmp { left, op, right } => {
+            use crate::ast::CmpOp::*;
+            let eq = match op {
+                Eq => Some(true),
+                Ne => Some(false),
+                _ => None,
+            };
+            let side_sort = |t: &TemporalTerm| match t {
+                TemporalTerm::Var { name, .. } => sorts.get(name.as_str()).copied(),
+                TemporalTerm::Const(_) => None,
+            };
+            let any_data = side_sort(left) == Some(Sort::Data)
+                || side_sort(right) == Some(Sort::Data);
+            if let (Some(eq), true) = (eq, any_data) {
+                // Both sides must convert to data terms.
+                let conv = |t: &TemporalTerm| -> Result<DataTerm> {
+                    match t {
+                        TemporalTerm::Const(c) => Ok(DataTerm::Const(Value::Int(*c))),
+                        TemporalTerm::Var { name, shift: 0 } => {
+                            if sorts.get(name.as_str()) == Some(&Sort::Temporal) {
+                                Err(QueryError::SortConflict {
+                                    var: name.clone(),
+                                    first: Sort::Temporal,
+                                })
+                            } else {
+                                Ok(DataTerm::Var(name.clone()))
+                            }
+                        }
+                        TemporalTerm::Var { name, .. } => Err(QueryError::SortConflict {
+                            var: name.clone(),
+                            first: Sort::Data,
+                        }),
+                    }
+                };
+                Formula::DataCmp {
+                    left: conv(left)?,
+                    eq,
+                    right: conv(right)?,
+                }
+            } else {
+                formula.clone()
+            }
+        }
+        Formula::Not(f) => Formula::not(rewrite(f, sorts)?),
+        Formula::And(a, b) => Formula::and(rewrite(a, sorts)?, rewrite(b, sorts)?),
+        Formula::Or(a, b) => Formula::or(rewrite(a, sorts)?, rewrite(b, sorts)?),
+        Formula::Implies(a, b) => Formula::implies(rewrite(a, sorts)?, rewrite(b, sorts)?),
+        Formula::Exists { var, body } => Formula::exists(var.clone(), rewrite(body, sorts)?),
+        Formula::Forall { var, body } => Formula::forall(var.clone(), rewrite(body, sorts)?),
+        other => other.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::MemoryCatalog;
+    use crate::parser::parse;
+    use itd_core::{GenRelation, GenTuple, Lrp};
+
+    fn catalog() -> MemoryCatalog {
+        let mut cat = MemoryCatalog::new();
+        cat.insert(
+            "P",
+            GenRelation::new(
+                Schema::new(2, 1),
+                vec![GenTuple::unconstrained(
+                    vec![Lrp::all(), Lrp::all()],
+                    vec![Value::str("a")],
+                )],
+            )
+            .unwrap(),
+        );
+        cat
+    }
+
+    #[test]
+    fn infers_from_predicate_positions() {
+        let f = parse("P(t1, t2; x)").unwrap();
+        let (_, sorts) = check_sorts(&catalog(), &f).unwrap();
+        assert_eq!(sorts["t1"], Sort::Temporal);
+        assert_eq!(sorts["t2"], Sort::Temporal);
+        assert_eq!(sorts["x"], Sort::Data);
+    }
+
+    #[test]
+    fn reclassifies_data_equality() {
+        let f = parse("P(t1, t2; x) and x = y").unwrap();
+        let (rw, sorts) = check_sorts(&catalog(), &f).unwrap();
+        assert_eq!(sorts["x"], Sort::Data);
+        // y picked up Data through the rewrite's conversion path (it had no
+        // other evidence), so the atom became a DataCmp.
+        assert!(rw.to_string().contains("x = y"), "{rw}");
+        match rw {
+            Formula::And(_, b) => assert!(matches!(*b, Formula::DataCmp { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn temporal_equality_stays_temporal() {
+        let f = parse("P(t1, t2; x) and t1 = t2").unwrap();
+        let (rw, _) = check_sorts(&catalog(), &f).unwrap();
+        match rw {
+            Formula::And(_, b) => assert!(matches!(*b, Formula::TempCmp { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflict_detected() {
+        // t1 is temporal by position, then compared as data.
+        let f = parse(r#"P(t1, t2; x) and t1 = "oops""#).unwrap();
+        let err = check_sorts(&catalog(), &f).unwrap_err();
+        assert!(matches!(err, QueryError::SortConflict { .. }), "{err:?}");
+        // data var in temporal position
+        let f = parse("P(x, t2; x)").unwrap();
+        assert!(check_sorts(&catalog(), &f).is_err());
+    }
+
+    #[test]
+    fn unknown_predicate_and_arity() {
+        let f = parse("Q(t)").unwrap();
+        assert!(matches!(
+            check_sorts(&catalog(), &f),
+            Err(QueryError::UnknownPredicate(_))
+        ));
+        let f = parse("P(t1; x)").unwrap();
+        assert!(matches!(
+            check_sorts(&catalog(), &f),
+            Err(QueryError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shifted_variable_is_temporal() {
+        let f = parse("t + 1 = s").unwrap();
+        let (_, sorts) = check_sorts(&catalog(), &f).unwrap();
+        assert_eq!(sorts["t"], Sort::Temporal);
+        // s has no evidence; defaults to temporal at evaluation time.
+        assert!(!sorts.contains_key("s"));
+    }
+}

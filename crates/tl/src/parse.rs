@@ -1,0 +1,362 @@
+//! Text syntax for temporal-logic formulas.
+//!
+//! ```text
+//! formula := implies
+//! implies := or ("->" implies)?
+//! or      := and ("|" and)*
+//! and     := unary ("&" unary)*
+//! unary   := "!" unary
+//!          | "X" unary | "Y" unary
+//!          | "F" ["<=" int] unary | "G" ["<=" int] unary
+//!          | "O" unary | "H" unary
+//!          | "(" formula ["U" formula] ")"
+//!          | ident
+//! ```
+//!
+//! `U` is written inside parentheses: `(p U q)`. Examples:
+//! `G (green -> X yellow)`, `F<=2 green`, `G F green`, `(!red U yellow)`.
+
+use crate::Tl;
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset of the offending token.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for TlParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TL parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for TlParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(u32),
+    LParen,
+    RParen,
+    Not,
+    And,
+    Or,
+    Arrow,
+    LeBound, // "<="
+    Eof,
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, TlParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            b')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            b'!' => {
+                out.push((Tok::Not, i));
+                i += 1;
+            }
+            b'&' => {
+                out.push((Tok::And, i));
+                i += 1;
+            }
+            b'|' => {
+                out.push((Tok::Or, i));
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push((Tok::Arrow, i));
+                i += 2;
+            }
+            b'<' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push((Tok::LeBound, i));
+                i += 2;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let v: u32 = src[start..i].parse().map_err(|_| TlParseError {
+                    message: "bound out of range".into(),
+                    offset: start,
+                })?;
+                out.push((Tok::Int(v), start));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((Tok::Ident(src[start..i].to_owned()), start));
+            }
+            other => {
+                return Err(TlParseError {
+                    message: format!("unexpected character `{}`", other as char),
+                    offset: i,
+                })
+            }
+        }
+    }
+    out.push((Tok::Eof, src.len()));
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> TlParseError {
+        TlParseError {
+            message: message.into(),
+            offset: self.offset(),
+        }
+    }
+
+    fn formula(&mut self) -> Result<Tl, TlParseError> {
+        let lhs = self.or()?;
+        if *self.peek() == Tok::Arrow {
+            self.bump();
+            let rhs = self.formula()?;
+            return Ok(Tl::implies(lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> Result<Tl, TlParseError> {
+        let mut lhs = self.and()?;
+        while *self.peek() == Tok::Or {
+            self.bump();
+            lhs = Tl::or(lhs, self.and()?);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Tl, TlParseError> {
+        let mut lhs = self.unary()?;
+        while *self.peek() == Tok::And {
+            self.bump();
+            lhs = Tl::and(lhs, self.unary()?);
+        }
+        Ok(lhs)
+    }
+
+    fn bound(&mut self) -> Result<Option<u32>, TlParseError> {
+        if *self.peek() != Tok::LeBound {
+            return Ok(None);
+        }
+        self.bump();
+        match self.bump() {
+            Tok::Int(d) => Ok(Some(d)),
+            _ => Err(self.err("expected integer bound after `<=`")),
+        }
+    }
+
+    fn unary(&mut self) -> Result<Tl, TlParseError> {
+        match self.peek().clone() {
+            Tok::Not => {
+                self.bump();
+                Ok(Tl::not(self.unary()?))
+            }
+            Tok::LParen => {
+                self.bump();
+                let lhs = self.formula()?;
+                // Optional infix U inside parentheses.
+                let out = if matches!(self.peek(), Tok::Ident(w) if w == "U") {
+                    self.bump();
+                    let rhs = self.formula()?;
+                    Tl::until(lhs, rhs)
+                } else {
+                    lhs
+                };
+                if self.bump() != Tok::RParen {
+                    self.pos -= 1;
+                    return Err(self.err("expected `)`"));
+                }
+                Ok(out)
+            }
+            Tok::Ident(word) => {
+                self.bump();
+                match word.as_str() {
+                    "X" => Ok(Tl::next(self.unary()?)),
+                    "Y" => Ok(Tl::prev(self.unary()?)),
+                    "O" => Ok(Tl::once(self.unary()?)),
+                    "H" => Ok(Tl::historically(self.unary()?)),
+                    "F" => match self.bound()? {
+                        Some(d) => Ok(Tl::eventually_within(d, self.unary()?)),
+                        None => Ok(Tl::eventually(self.unary()?)),
+                    },
+                    "G" => match self.bound()? {
+                        Some(d) => Ok(Tl::always_within(d, self.unary()?)),
+                        None => Ok(Tl::always(self.unary()?)),
+                    },
+                    "U" => Err(self.err("`U` is infix: write `(p U q)`")),
+                    _ => Ok(Tl::prop(word)),
+                }
+            }
+            _ => Err(self.err("expected a formula")),
+        }
+    }
+}
+
+/// Parses a temporal-logic formula from text.
+///
+/// # Examples
+/// ```
+/// let f = itd_tl::parse("G (green -> X yellow)").unwrap();
+/// assert_eq!(
+///     f,
+///     itd_tl::Tl::always(itd_tl::Tl::implies(
+///         itd_tl::Tl::prop("green"),
+///         itd_tl::Tl::next(itd_tl::Tl::prop("yellow")),
+///     )),
+/// );
+/// ```
+///
+/// # Errors
+/// [`TlParseError`] with a byte offset.
+pub fn parse(src: &str) -> Result<Tl, TlParseError> {
+    let toks = tokenize(src)?;
+    let mut p = P { toks, pos: 0 };
+    let f = p.formula()?;
+    if *p.peek() != Tok::Eof {
+        return Err(p.err("trailing input"));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_operators() {
+        assert_eq!(parse("p").unwrap(), Tl::prop("p"));
+        assert_eq!(parse("!p").unwrap(), Tl::not(Tl::prop("p")));
+        assert_eq!(parse("X p").unwrap(), Tl::next(Tl::prop("p")));
+        assert_eq!(parse("Y p").unwrap(), Tl::prev(Tl::prop("p")));
+        assert_eq!(parse("F p").unwrap(), Tl::eventually(Tl::prop("p")));
+        assert_eq!(parse("G p").unwrap(), Tl::always(Tl::prop("p")));
+        assert_eq!(parse("O p").unwrap(), Tl::once(Tl::prop("p")));
+        assert_eq!(parse("H p").unwrap(), Tl::historically(Tl::prop("p")));
+        assert_eq!(
+            parse("F<=3 p").unwrap(),
+            Tl::eventually_within(3, Tl::prop("p"))
+        );
+        assert_eq!(
+            parse("G<=2 p").unwrap(),
+            Tl::always_within(2, Tl::prop("p"))
+        );
+        assert_eq!(
+            parse("(p U q)").unwrap(),
+            Tl::until(Tl::prop("p"), Tl::prop("q"))
+        );
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(
+            parse("p & q | r").unwrap(),
+            Tl::or(Tl::and(Tl::prop("p"), Tl::prop("q")), Tl::prop("r"))
+        );
+        assert_eq!(
+            parse("p -> q -> r").unwrap(),
+            Tl::implies(Tl::prop("p"), Tl::implies(Tl::prop("q"), Tl::prop("r")))
+        );
+        assert_eq!(
+            parse("G p -> q").unwrap(),
+            Tl::implies(Tl::always(Tl::prop("p")), Tl::prop("q"))
+        );
+        assert_eq!(
+            parse("G (p -> q)").unwrap(),
+            Tl::always(Tl::implies(Tl::prop("p"), Tl::prop("q")))
+        );
+    }
+
+    #[test]
+    fn nested_modalities() {
+        assert_eq!(
+            parse("G F p").unwrap(),
+            Tl::always(Tl::eventually(Tl::prop("p")))
+        );
+        assert_eq!(
+            parse("! (p U !q)").unwrap(),
+            Tl::not(Tl::until(Tl::prop("p"), Tl::not(Tl::prop("q"))))
+        );
+        assert_eq!(
+            parse("X X X p").unwrap(),
+            Tl::next(Tl::next(Tl::next(Tl::prop("p"))))
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("(p").is_err());
+        assert!(parse("p q").is_err());
+        assert!(parse("F<= p").is_err());
+        assert!(parse("U p").is_err());
+        assert!(parse("p $").is_err());
+        let e = parse("p @").unwrap_err();
+        assert_eq!(e.offset, 2);
+        assert!(e.to_string().contains("byte 2"));
+    }
+
+    #[test]
+    fn parse_then_evaluate() {
+        use itd_core::{GenRelation, GenTuple, Lrp, Schema};
+        use itd_query::MemoryCatalog;
+        let mut cat = MemoryCatalog::new();
+        for (name, offset) in [("green", 0), ("yellow", 1), ("red", 2)] {
+            cat.insert(
+                name,
+                GenRelation::new(
+                    Schema::new(1, 0),
+                    vec![GenTuple::unconstrained(
+                        vec![Lrp::new(offset, 3).unwrap()],
+                        vec![],
+                    )],
+                )
+                .unwrap(),
+            );
+        }
+        let f = parse("G (green -> X yellow)").unwrap();
+        assert!(crate::valid(&cat, &f).unwrap());
+        let f = parse("G (green -> X red)").unwrap();
+        assert!(!crate::valid(&cat, &f).unwrap());
+        let f = parse("(!red U yellow)").unwrap();
+        assert!(crate::holds_at(&cat, &f, 0).unwrap());
+    }
+}

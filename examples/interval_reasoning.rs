@@ -1,0 +1,117 @@
+//! Interval reasoning in the Allen tradition (§1–2 of the paper) plus
+//! temporal-logic model checking, both running on generalized lrp
+//! relations.
+//!
+//! Run with: `cargo run --example interval_reasoning`
+
+use itd_core::{Atom, GenRelation, GenTuple, Lrp, Schema, Value};
+use itd_interval::{allen_join, allen_select, compose, AllenRel};
+use itd_tl::{holds_at, valid, Tl};
+
+fn lrp(c: i64, k: i64) -> Lrp {
+    Lrp::new(c, k).unwrap()
+}
+
+fn main() {
+    // ---- Allen relations over infinite interval relations ----
+    // Maintenance windows [20n, 20n+6] and meetings [10n+3, 10n+5].
+    let windows = GenRelation::new(
+        Schema::new(2, 1),
+        vec![GenTuple::with_atoms(
+            vec![lrp(0, 20), lrp(6, 20)],
+            &[Atom::diff_eq(1, 0, 6)],
+            vec![Value::str("window")],
+        )
+        .unwrap()],
+    )
+    .unwrap();
+    let meetings = GenRelation::new(
+        Schema::new(2, 1),
+        vec![GenTuple::with_atoms(
+            vec![lrp(3, 10), lrp(5, 10)],
+            &[Atom::diff_eq(1, 0, 2)],
+            vec![Value::str("meeting")],
+        )
+        .unwrap()],
+    )
+    .unwrap();
+
+    // Which meetings happen DURING a maintenance window? The join is
+    // symbolic — it covers all infinitely many interval pairs at once.
+    let clashes = allen_join(&meetings, &windows, AllenRel::During).unwrap();
+    println!("meetings during windows: {} generalized tuple(s)", clashes.len());
+    // Meeting [3,5] sits inside window [0,6]; meeting [13,15] does not sit
+    // inside any window ([0,6] ended, [20,26] not started).
+    assert!(clashes.contains(
+        &[3, 5, 0, 6],
+        &[Value::str("meeting"), Value::str("window")]
+    ));
+    assert!(clashes.contains(
+        &[23, 25, 20, 26],
+        &[Value::str("meeting"), Value::str("window")]
+    ));
+    assert!(!clashes.contains(
+        &[13, 15, 0, 6],
+        &[Value::str("meeting"), Value::str("window")]
+    ));
+    println!("  [3,5] during [0,6] ✓, [13,15] clash-free ✓ — for ALL n");
+
+    // Select against a fixed interval: windows strictly after lunch [12, 13].
+    let after_lunch = allen_select(&windows, AllenRel::After, 12, 13).unwrap();
+    assert!(after_lunch.contains(&[20, 26], &[Value::str("window")]));
+    assert!(!after_lunch.contains(&[0, 6], &[Value::str("window")]));
+    println!("windows after [12,13]: starts at [20,26] ✓");
+
+    // The Allen composition table, derived from the DBM engine rather than
+    // transcribed: overlaps ∘ overlaps = {before, meets, overlaps}.
+    let oo = compose(AllenRel::Overlaps, AllenRel::Overlaps).unwrap();
+    println!(
+        "overlaps ∘ overlaps = {:?}",
+        oo.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        oo,
+        vec![AllenRel::Before, AllenRel::Meets, AllenRel::Overlaps]
+    );
+
+    // ---- Temporal logic: the traffic light, verified over all of Z ----
+    let mut cat = itd_query::MemoryCatalog::new();
+    let phase = |offset| {
+        GenRelation::new(
+            Schema::new(1, 0),
+            vec![GenTuple::unconstrained(vec![lrp(offset, 3)], vec![])],
+        )
+        .unwrap()
+    };
+    cat.insert("green", phase(0));
+    cat.insert("yellow", phase(1));
+    cat.insert("red", phase(2));
+
+    // G (green → X yellow): the light never skips yellow.
+    let never_skips = Tl::always(Tl::implies(
+        Tl::prop("green"),
+        Tl::next(Tl::prop("yellow")),
+    ));
+    assert!(valid(&cat, &never_skips).unwrap());
+    println!("G(green → X yellow): valid over all of Z");
+
+    // G F green: green recurs forever (a liveness property no finite
+    // unrolling can establish).
+    let recurrent = Tl::always(Tl::eventually(Tl::prop("green")));
+    assert!(valid(&cat, &recurrent).unwrap());
+    println!("G F green: valid — liveness over infinite time");
+
+    // Bounded response: from anywhere, green within 2 ticks.
+    assert!(valid(&cat, &Tl::eventually_within(2, Tl::prop("green"))).unwrap());
+    assert!(!valid(&cat, &Tl::eventually_within(1, Tl::prop("green"))).unwrap());
+    println!("F≤2 green valid, F≤1 green invalid — exact metric bounds");
+
+    // Until: at a green instant, ¬red holds until yellow.
+    assert!(holds_at(
+        &cat,
+        &Tl::until(Tl::not(Tl::prop("red")), Tl::prop("yellow")),
+        0
+    )
+    .unwrap());
+    println!("(¬red) U yellow holds at green instants");
+}

@@ -1,0 +1,99 @@
+//! The expressiveness results of §2.2: Presburger-definable predicates as
+//! generalized lrp relations (Theorems 2.1 and 2.2).
+//!
+//! Run with: `cargo run --example presburger_sets`
+
+use itd_presburger::{BinaryAtom, BinaryFormula, UnaryAtom, UnaryFormula};
+
+fn main() {
+    // ---- Theorem 2.1: a unary Presburger predicate ----
+    // "v is a leap-ish year": v ≡ 0 (mod 4) and not v ≡ 0 (mod 100),
+    // or v ≡ 0 (mod 400).
+    let leap = UnaryFormula::or(
+        UnaryFormula::and(
+            UnaryFormula::atom(UnaryAtom::ModEq { k1: 1, k2: 4, c: 0 }),
+            UnaryFormula::not(UnaryFormula::atom(UnaryAtom::ModEq {
+                k1: 1,
+                k2: 100,
+                c: 0,
+            })),
+        ),
+        UnaryFormula::atom(UnaryAtom::ModEq {
+            k1: 1,
+            k2: 400,
+            c: 0,
+        }),
+    );
+    // The boolean connectives run through the real §3 algebra: union,
+    // intersection, and the Appendix A.6 complement.
+    let rel = leap.to_relation().expect("translation");
+    println!(
+        "leap-year predicate compiled to {} generalized tuple(s)",
+        rel.len()
+    );
+    for (year, expect) in [(2000, true), (1900, false), (2024, true), (2023, false)] {
+        let got = rel.contains(&[year], &[]);
+        println!("  {year}: {got}");
+        assert_eq!(got, expect);
+        assert_eq!(leap.eval(year), expect);
+    }
+
+    // The compiled relation answers far outside any materialized window.
+    assert!(rel.contains(&[400_000_000], &[]));
+    assert!(!rel.contains(&[100], &[]));
+
+    // ---- Theorem 2.1, basic formulas ----
+    // 3v ≡ 2 (mod 5) ⇔ v ≡ 4 (mod 5): solved by the extended Euclid
+    // machinery of §3.2.1.
+    let f = UnaryFormula::atom(UnaryAtom::ModEq { k1: 3, k2: 5, c: 2 });
+    let r = f.to_relation().expect("translation");
+    println!("3v ≡ 2 (mod 5) compiles to: {r}");
+    assert!(r.contains(&[4], &[]) && r.contains(&[-1], &[]) && !r.contains(&[3], &[]));
+
+    // ---- Theorem 2.2: binary predicates need general constraints ----
+    // 2·v1 ≤ 3·v2 + 1 — not expressible with unit-coefficient (restricted)
+    // constraints, but directly a general-constraint generalized relation.
+    let halfplane = BinaryFormula::atom(BinaryAtom::Cmp {
+        k1: 2,
+        rel: itd_constraint::Rel::Le,
+        k2: 3,
+        c: 1,
+    });
+    let rel2 = halfplane.to_relation().expect("translation");
+    assert!(rel2.contains(2, 1)); // 4 ≤ 4
+    assert!(!rel2.contains(3, 1)); // 6 ≤ 4 ✗
+    assert!(
+        rel2.to_core_relation().expect("check").is_none(),
+        "non-unit coefficients cannot downgrade to restricted constraints"
+    );
+    println!("2·v1 ≤ 3·v2 + 1: general-constraint relation, as Theorem 2.2 requires");
+
+    // Congruence atoms DO reduce to restricted (even unconstrained) form:
+    // v1 ≡ v2 + 1 (mod 3) is a union of residue-pair lrp tuples.
+    let cong = BinaryFormula::atom(BinaryAtom::mod_eq(1, 1, 3, 1));
+    let rel3 = cong.to_relation().expect("translation");
+    let core = rel3
+        .to_core_relation()
+        .expect("check")
+        .expect("restricted form exists");
+    println!(
+        "v1 ≡ v2 + 1 (mod 3) is {} unconstrained residue-pair tuple(s)",
+        core.len()
+    );
+    assert!(core.contains(&[4, 3], &[]));
+    assert!(!core.contains(&[5, 3], &[]));
+
+    // Boolean combination with negation (pushed to atoms — every negated
+    // basic formula is again a disjunction of basic formulas).
+    let combo = BinaryFormula::and(
+        halfplane,
+        BinaryFormula::not(BinaryFormula::atom(BinaryAtom::eq(1, 1, 0))),
+    );
+    let rel4 = combo.to_relation().expect("translation");
+    for v1 in -6..6 {
+        for v2 in -6..6 {
+            assert_eq!(rel4.contains(v1, v2), combo.eval(v1, v2));
+        }
+    }
+    println!("boolean closure over binary atoms verified on a window");
+}
