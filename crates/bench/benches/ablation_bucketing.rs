@@ -41,12 +41,11 @@ fn bench_coalesce(c: &mut Criterion) {
     for &k in &[4i64, 8, 16] {
         let r = GenRelation::new(
             Schema::new(1, 0),
-            vec![GenTuple::with_atoms(
-                vec![Lrp::new(0, k).unwrap()],
-                &[Atom::ge(0, 0)],
-                vec![],
-            )
-            .unwrap()],
+            vec![GenTuple::builder()
+                .lrps(vec![Lrp::new(0, k).unwrap()])
+                .atoms([Atom::ge(0, 0)])
+                .build()
+                .unwrap()],
         )
         .unwrap();
         let comp = r.complement_temporal().unwrap();
@@ -63,21 +62,20 @@ fn bench_partial_projection(c: &mut Criterion) {
     for &kc in &[7i64, 11, 13] {
         // Figure 2's coupled pair plus one unrelated column of coprime
         // period kc: full normalization fans out by lcm, partial does not.
-        let t = GenTuple::with_atoms(
-            vec![
+        let t = GenTuple::builder()
+            .lrps(vec![
                 Lrp::new(3, 4).unwrap(),
                 Lrp::new(1, 8).unwrap(),
                 Lrp::new(2, kc).unwrap(),
-            ],
-            &[
+            ])
+            .atoms([
                 Atom::diff_ge(0, 1, 0).unwrap(),
                 Atom::diff_le(0, 1, 5),
                 Atom::ge(1, 2),
                 Atom::le(2, 1000),
-            ],
-            vec![],
-        )
-        .unwrap();
+            ])
+            .build()
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("full", kc), &t, |bch, t| {
             bch.iter(|| ops::project_tuple_full(t, &[0, 2], &[]).unwrap())
         });
@@ -88,5 +86,10 @@ fn bench_partial_projection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bucketing, bench_coalesce, bench_partial_projection);
+criterion_group!(
+    benches,
+    bench_bucketing,
+    bench_coalesce,
+    bench_partial_projection
+);
 criterion_main!(benches);

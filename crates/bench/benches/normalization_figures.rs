@@ -14,12 +14,11 @@ fn bench_normalization_blowup(c: &mut Criterion) {
     group.sample_size(10);
     // Pairs of coprime-ish periods with growing lcm.
     for &(k1, k2) in &[(2i64, 3i64), (4, 6), (6, 8), (8, 12), (12, 18)] {
-        let t = GenTuple::with_atoms(
-            vec![lrp(1, k1), lrp(0, k2)],
-            &[Atom::diff_le(0, 1, 3), Atom::ge(0, 0)],
-            vec![],
-        )
-        .unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(1, k1), lrp(0, k2)])
+            .atoms([Atom::diff_le(0, 1, 3), Atom::ge(0, 0)])
+            .build()
+            .unwrap();
         let label = format!("{k1}x{k2}");
         group.bench_with_input(BenchmarkId::new("normalize", label), &t, |bch, t| {
             bch.iter(|| t.normalize().unwrap())
@@ -35,16 +34,15 @@ fn bench_projection_figure2(c: &mut Criterion) {
         // Scale the paper's tuple: periods 4·s and 8·s.
         let rel = GenRelation::new(
             Schema::new(2, 0),
-            vec![GenTuple::with_atoms(
-                vec![lrp(3, 4 * scale), lrp(1, 8 * scale)],
-                &[
+            vec![GenTuple::builder()
+                .lrps(vec![lrp(3, 4 * scale), lrp(1, 8 * scale)])
+                .atoms([
                     Atom::diff_ge(0, 1, 0).unwrap(),
                     Atom::diff_le(0, 1, 5 * scale),
                     Atom::ge(1, 2),
-                ],
-                vec![],
-            )
-            .unwrap()],
+                ])
+                .build()
+                .unwrap()],
         )
         .unwrap();
         group.bench_with_input(BenchmarkId::new("project_x1", scale), &rel, |bch, rel| {
@@ -60,22 +58,20 @@ fn bench_difference_figure1(c: &mut Criterion) {
     for &k in &[4i64, 8, 16, 32] {
         let a = GenRelation::new(
             Schema::new(2, 0),
-            vec![GenTuple::with_atoms(
-                vec![lrp(0, 2), lrp(0, 2)],
-                &[Atom::diff_le(0, 1, 0)],
-                vec![],
-            )
-            .unwrap()],
+            vec![GenTuple::builder()
+                .lrps(vec![lrp(0, 2), lrp(0, 2)])
+                .atoms([Atom::diff_le(0, 1, 0)])
+                .build()
+                .unwrap()],
         )
         .unwrap();
         let b = GenRelation::new(
             Schema::new(2, 0),
-            vec![GenTuple::with_atoms(
-                vec![lrp(0, k), lrp(0, 2)],
-                &[Atom::ge(1, 4), Atom::le(1, 40)],
-                vec![],
-            )
-            .unwrap()],
+            vec![GenTuple::builder()
+                .lrps(vec![lrp(0, k), lrp(0, 2)])
+                .atoms([Atom::ge(1, 4), Atom::le(1, 40)])
+                .build()
+                .unwrap()],
         )
         .unwrap();
         group.bench_with_input(BenchmarkId::new("difference", k), &k, |bch, _| {

@@ -13,15 +13,15 @@ fn catalog(n: usize) -> MemoryCatalog {
         let start = (i % period as usize) as i64;
         let len = 1 + (i % 3) as i64;
         rel.push(
-            GenTuple::with_atoms(
-                vec![
+            GenTuple::builder()
+                .lrps(vec![
                     Lrp::new(start, period).unwrap(),
                     Lrp::new(start + len, period).unwrap(),
-                ],
-                &[Atom::diff_eq(1, 0, len)],
-                vec![Value::str(format!("robot{}", i % 4))],
-            )
-            .unwrap(),
+                ])
+                .atoms([Atom::diff_eq(1, 0, len)])
+                .data(vec![Value::str(format!("robot{}", i % 4))])
+                .build()
+                .unwrap(),
         )
         .unwrap();
     }
@@ -31,10 +31,10 @@ fn catalog(n: usize) -> MemoryCatalog {
 }
 
 fn bench_fixed_queries(c: &mut Criterion) {
-    let membership = parse(r#"exists a. exists b. perform(a, b; "robot1") and a >= 100"#)
-        .expect("parses");
-    let universal = parse(r#"forall a. forall b. perform(a, b; "robot2") implies b <= a + 3"#)
-        .expect("parses");
+    let membership =
+        parse(r#"exists a. exists b. perform(a, b; "robot1") and a >= 100"#).expect("parses");
+    let universal =
+        parse(r#"forall a. forall b. perform(a, b; "robot2") implies b <= a + 3"#).expect("parses");
     let mut group = c.benchmark_group("query_data_complexity");
     group.sample_size(10);
     for &n in &[4usize, 8, 16, 32, 64] {

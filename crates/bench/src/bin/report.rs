@@ -12,7 +12,9 @@ use std::time::Duration;
 
 use itd_bench::{fit_loglog, fit_semilog, fmt_duration, time_median};
 use itd_core::GenRelation;
-use itd_workload::{brute_force_sat, random_3cnf, random_relation, solve_via_complement, RelationSpec};
+use itd_workload::{
+    brute_force_sat, random_3cnf, random_relation, solve_via_complement, RelationSpec,
+};
 
 const REPS: usize = 5;
 
@@ -37,15 +39,14 @@ fn ghost_relation(n: usize) -> GenRelation {
     for i in 0..n {
         let r = (2 * (i as i64 % 3)) % 6;
         rel.push(
-            GenTuple::with_atoms(
-                vec![
+            GenTuple::builder()
+                .lrps(vec![
                     Lrp::new(r, 6).expect("valid"),
                     Lrp::new(r, 6).expect("valid"),
-                ],
-                &[Atom::diff_eq(0, 1, 1)],
-                vec![],
-            )
-            .expect("valid"),
+                ])
+                .atoms([Atom::diff_eq(0, 1, 1)])
+                .build()
+                .expect("valid"),
         )
         .expect("schema");
     }
@@ -120,16 +121,21 @@ fn table2_fixed_schema() {
 
     let pts = sweep(&ns, |n| {
         let (a, _) = rel(n);
-        time_median(REPS, || a.is_empty().unwrap()).0
+        time_median(REPS, || a.denotes_empty().unwrap()).0
     });
-    print_row("emptiness (nonempty input)", "O(N), early exit", &pts, fit_loglog(&pts));
+    print_row(
+        "emptiness (nonempty input)",
+        "O(N), early exit",
+        &pts,
+        fit_loglog(&pts),
+    );
 
     // Worst case for Theorem 3.5: every tuple is grid-empty (satisfiable
     // over R, empty over the lrp grids), so all N must be scanned.
     let ghosts: Vec<GenRelation> = ns.iter().map(|&n| ghost_relation(n)).collect();
     let pts = sweep(&ns, |n| {
         let a = &ghosts[ns.iter().position(|&x| x == n).expect("in sweep")];
-        time_median(REPS, || a.is_empty().unwrap()).0
+        time_median(REPS, || a.denotes_empty().unwrap()).0
     });
     print_row("emptiness (empty input)", "O(N)", &pts, fit_loglog(&pts));
 
@@ -147,9 +153,17 @@ fn table2_fixed_schema() {
 
     let pts = sweep(&ns_neg, |n| {
         let a = &negs[ns_neg.iter().position(|&x| x == n).expect("in sweep")];
-        time_median(3, || a.complement_temporal().unwrap().is_empty().unwrap()).0
+        time_median(3, || {
+            a.complement_temporal().unwrap().denotes_empty().unwrap()
+        })
+        .0
     });
-    print_row("complement emptiness (m=1)", "O(N^c)", &pts, fit_loglog(&pts));
+    print_row(
+        "complement emptiness (m=1)",
+        "O(N^c)",
+        &pts,
+        fit_loglog(&pts),
+    );
 }
 
 fn table2_general() {
@@ -208,7 +222,7 @@ fn table2_general() {
             "emptiness",
             "O(m³N)",
             Box::new(|a, _b| {
-                a.is_empty().unwrap();
+                a.denotes_empty().unwrap();
             }),
         ),
     ] {
@@ -283,15 +297,15 @@ fn theorem_4_1() {
             let start = (i % period as usize) as i64;
             let len = 1 + (i % 3) as i64;
             rel.push(
-                GenTuple::with_atoms(
-                    vec![
+                GenTuple::builder()
+                    .lrps(vec![
                         Lrp::new(start, period).expect("valid"),
                         Lrp::new(start + len, period).expect("valid"),
-                    ],
-                    &[Atom::diff_eq(1, 0, len)],
-                    vec![Value::str(format!("robot{}", i % 4))],
-                )
-                .expect("valid"),
+                    ])
+                    .atoms([Atom::diff_eq(1, 0, len)])
+                    .data(vec![Value::str(format!("robot{}", i % 4))])
+                    .build()
+                    .expect("valid"),
             )
             .expect("schema");
         }
@@ -299,11 +313,10 @@ fn theorem_4_1() {
         cat.insert("perform", rel);
         cat
     };
-    let existential = parse(r#"exists a. exists b. perform(a, b; "robot1") and a >= 100"#)
-        .expect("parses");
+    let existential =
+        parse(r#"exists a. exists b. perform(a, b; "robot1") and a >= 100"#).expect("parses");
     let universal =
-        parse(r#"forall a. forall b. perform(a, b; "robot2") implies b <= a + 3"#)
-            .expect("parses");
+        parse(r#"forall a. forall b. perform(a, b; "robot2") implies b <= a + 3"#).expect("parses");
     let ns = [4usize, 8, 16, 32, 64];
     let cats: Vec<_> = ns.iter().map(|&n| build(n)).collect();
     let pts = sweep(&ns, |n| {
@@ -326,16 +339,15 @@ fn figures() {
     // Figure 2/3: the paper's projection example, verified.
     let fig2 = GenRelation::new(
         Schema::new(2, 0),
-        vec![GenTuple::with_atoms(
-            vec![lrp(3, 4), lrp(1, 8)],
-            &[
+        vec![GenTuple::builder()
+            .lrps(vec![lrp(3, 4), lrp(1, 8)])
+            .atoms([
                 Atom::diff_ge(0, 1, 0).expect("valid"),
                 Atom::diff_le(0, 1, 5),
                 Atom::ge(1, 2),
-            ],
-            vec![],
-        )
-        .expect("valid")],
+            ])
+            .build()
+            .expect("valid")],
     )
     .expect("schema");
     let p = fig2.project(&[0], &[]).expect("projection");
@@ -360,28 +372,26 @@ fn figures() {
     // Figure 1 difference decomposition cost/size.
     let a = GenRelation::new(
         Schema::new(2, 0),
-        vec![GenTuple::with_atoms(
-            vec![lrp(0, 2), lrp(0, 2)],
-            &[Atom::diff_le(0, 1, 0)],
-            vec![],
-        )
-        .expect("valid")],
+        vec![GenTuple::builder()
+            .lrps(vec![lrp(0, 2), lrp(0, 2)])
+            .atoms([Atom::diff_le(0, 1, 0)])
+            .build()
+            .expect("valid")],
     )
     .expect("schema");
     let b = GenRelation::new(
         Schema::new(2, 0),
-        vec![GenTuple::with_atoms(
-            vec![lrp(0, 8), lrp(0, 2)],
-            &[Atom::ge(1, 4)],
-            vec![],
-        )
-        .expect("valid")],
+        vec![GenTuple::builder()
+            .lrps(vec![lrp(0, 8), lrp(0, 2)])
+            .atoms([Atom::ge(1, 4)])
+            .build()
+            .expect("valid")],
     )
     .expect("schema");
     let (d, diff) = time_median(3, || a.difference(&b).expect("difference"));
     println!(
         "- Figure 1 difference (t₁ − t₂ = (t₁ − t₂*) ∪ (t̄₂ ∩ t₁)): {} tuples in {}",
-        diff.len(),
+        diff.tuple_count(),
         fmt_duration(d)
     );
 }
@@ -396,8 +406,7 @@ fn ablations() {
         let a = random_relation(&spec(128, 2, k), 1);
         let b = random_relation(&spec(128, 2, k), 2);
         let (naive, r1) = time_median(REPS, || a.intersect(&b).expect("intersect"));
-        let (bucketed, r2) =
-            time_median(REPS, || a.intersect_bucketed(&b).expect("intersect"));
+        let (bucketed, r2) = time_median(REPS, || a.intersect_bucketed(&b).expect("intersect"));
         // Same semantics (the point of an ablation is a fair comparison).
         assert_eq!(
             r1.materialize(-10, 10),
@@ -411,9 +420,7 @@ fn ablations() {
             naive.as_secs_f64() / bucketed.as_secs_f64().max(1e-9),
         );
     }
-    println!(
-        "\nThe win grows with k, matching Appendix A.3's N²/k^m collision analysis."
-    );
+    println!("\nThe win grows with k, matching Appendix A.3's N²/k^m collision analysis.");
 
     // Partial vs full normalization in projection (§3.4 remark).
     println!("\n### Projection: partial vs full normalization (§3.4 remark)\n");
@@ -424,23 +431,23 @@ fn ablations() {
         for kc in [7i64, 11, 13, 17] {
             // Figure 2's coupled pair plus one unrelated coprime column:
             // full normalization fans out by lcm; partial does not.
-            let t = GenTuple::with_atoms(
-                vec![
+            let t = GenTuple::builder()
+                .lrps(vec![
                     Lrp::new(3, 4).expect("valid"),
                     Lrp::new(1, 8).expect("valid"),
                     Lrp::new(2, kc).expect("valid"),
-                ],
-                &[
+                ])
+                .atoms([
                     CAtom::diff_ge(0, 1, 0).expect("valid"),
                     CAtom::diff_le(0, 1, 5),
                     CAtom::ge(1, 2),
                     CAtom::le(2, 1000),
-                ],
-                vec![],
-            )
-            .expect("valid");
-            let (full, rf) =
-                time_median(REPS, || ops::project_tuple_full(&t, &[0, 2], &[]).expect("ok"));
+                ])
+                .build()
+                .expect("valid");
+            let (full, rf) = time_median(REPS, || {
+                ops::project_tuple_full(&t, &[0, 2], &[]).expect("ok")
+            });
             let (partial, rp) =
                 time_median(REPS, || ops::project_tuple(&t, &[0, 2], &[]).expect("ok"));
             // Equivalence spot check.
@@ -470,12 +477,11 @@ fn ablations() {
     for k in [4i64, 8, 16, 32] {
         let r = GenRelation::new(
             Schema::new(1, 0),
-            vec![GenTuple::with_atoms(
-                vec![Lrp::new(0, k).expect("valid")],
-                &[Atom::ge(0, 0)],
-                vec![],
-            )
-            .expect("valid")],
+            vec![GenTuple::builder()
+                .lrps(vec![Lrp::new(0, k).expect("valid")])
+                .atoms([Atom::ge(0, 0)])
+                .build()
+                .expect("valid")],
         )
         .expect("schema");
         let comp = r.complement_temporal().expect("complement");
@@ -487,11 +493,42 @@ fn ablations() {
         );
         println!(
             "| {k} | {} | {} | {} |",
-            comp.len(),
-            small.len(),
+            comp.tuple_count(),
+            small.tuple_count(),
             fmt_duration(d)
         );
     }
+}
+
+fn executor_stats() {
+    println!("\n## Executor statistics (instrumented parallel algebra)\n");
+    use itd_core::ExecContext;
+    let a = random_relation(&spec(96, 2, 6), 11);
+    let b = random_relation(&spec(96, 2, 6), 22);
+    let workload = |ctx: &ExecContext| {
+        let i = a.intersect_in(&b, ctx).expect("intersect");
+        let d = a.difference_in(&b, ctx).expect("difference");
+        let n = i.normalize_in(ctx).expect("normalize");
+        let p = d.project_in(&[0], &[], ctx).expect("project");
+        (n, p)
+    };
+    println!("| threads | wall time (workload) | identical to serial |");
+    println!("|---|---|---|");
+    let serial = workload(&ExecContext::serial());
+    for threads in [1usize, 2, 4, 8] {
+        let ctx = ExecContext::with_threads(threads);
+        let (d, out) = time_median(3, || workload(&ctx));
+        println!("| {threads} | {} | {} |", fmt_duration(d), out == serial);
+        assert_eq!(out, serial, "parallel execution must be bit-identical");
+    }
+    let ctx = ExecContext::with_threads(8);
+    let _ = workload(&ctx);
+    println!("\nPer-operator counters for one 8-thread run:\n");
+    println!("```\n{}\n```", ctx.stats());
+    assert!(
+        !ctx.stats().is_zero(),
+        "instrumentation must record the workload"
+    );
 }
 
 fn main() {
@@ -510,5 +547,6 @@ fn main() {
     theorem_4_1();
     figures();
     ablations();
+    executor_stats();
     println!("\ndone.");
 }

@@ -112,9 +112,7 @@ mod tests {
     #[test]
     fn semilog_recovers_rate() {
         // y = 2^x → rate ln 2.
-        let pts: Vec<(f64, f64)> = (1..=8)
-            .map(|x| (x as f64, (1u64 << x) as f64))
-            .collect();
+        let pts: Vec<(f64, f64)> = (1..=8).map(|x| (x as f64, (1u64 << x) as f64)).collect();
         assert!((fit_semilog(&pts) - std::f64::consts::LN_2).abs() < 1e-9);
     }
 

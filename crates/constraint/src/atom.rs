@@ -189,8 +189,16 @@ impl Atom {
     /// constraints into a wider schema for joins and cross products).
     pub fn map_vars(&self, f: impl Fn(usize) -> usize) -> Atom {
         match *self {
-            Atom::DiffLe { i, j, a } => Atom::DiffLe { i: f(i), j: f(j), a },
-            Atom::DiffEq { i, j, a } => Atom::DiffEq { i: f(i), j: f(j), a },
+            Atom::DiffLe { i, j, a } => Atom::DiffLe {
+                i: f(i),
+                j: f(j),
+                a,
+            },
+            Atom::DiffEq { i, j, a } => Atom::DiffEq {
+                i: f(i),
+                j: f(j),
+                a,
+            },
             Atom::Le { i, a } => Atom::Le { i: f(i), a },
             Atom::Ge { i, a } => Atom::Ge { i: f(i), a },
             Atom::Eq { i, a } => Atom::Eq { i: f(i), a },

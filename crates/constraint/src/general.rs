@@ -300,7 +300,9 @@ mod tests {
         assert!(GeneralAtom::binary(1, 0, Rel::Le, -1, 1, 0)
             .as_restricted()
             .is_none());
-        assert!(GeneralAtom::unary(3, 0, Rel::Eq, 9).as_restricted().is_none());
+        assert!(GeneralAtom::unary(3, 0, Rel::Eq, 9)
+            .as_restricted()
+            .is_none());
     }
 
     #[test]

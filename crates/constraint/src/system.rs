@@ -175,7 +175,9 @@ impl ConstraintSystem {
                 self.tighten(j, i, a.checked_neg().ok_or(NumthError::Overflow)?)?;
             }
             Atom::Le { i, a } => self.tighten(i, o, a)?,
-            Atom::Ge { i, a } => self.tighten(o, i, a.checked_neg().ok_or(NumthError::Overflow)?)?,
+            Atom::Ge { i, a } => {
+                self.tighten(o, i, a.checked_neg().ok_or(NumthError::Overflow)?)?
+            }
             Atom::Eq { i, a } => {
                 self.tighten(i, o, a)?;
                 self.tighten(o, i, a.checked_neg().ok_or(NumthError::Overflow)?)?;
@@ -367,7 +369,13 @@ impl ConstraintSystem {
         }
         let nd = keep.len() + 1;
         let mut bounds = vec![Bound::Infinite; nd * nd];
-        let old = |v: usize| if v == keep.len() { self.origin() } else { keep[v] };
+        let old = |v: usize| {
+            if v == keep.len() {
+                self.origin()
+            } else {
+                keep[v]
+            }
+        };
         for i in 0..nd {
             for j in 0..nd {
                 bounds[i * nd + j] = self.at(old(i), old(j));
@@ -762,10 +770,7 @@ mod tests {
     #[test]
     fn equality_chains_propagate() {
         // X0 = X1 - 2, X1 = X2 - 3 ⟹ X0 = X2 - 5
-        let s = sys(
-            3,
-            &[Atom::diff_eq(0, 1, -2), Atom::diff_eq(1, 2, -3)],
-        );
+        let s = sys(3, &[Atom::diff_eq(0, 1, -2), Atom::diff_eq(1, 2, -3)]);
         assert_eq!(s.diff_bound(0, 2), Bound::Finite(-5));
         assert_eq!(s.diff_bound(2, 0), Bound::Finite(5));
         assert!(s.satisfied_by(&[0, 2, 5]));
@@ -811,10 +816,7 @@ mod tests {
     #[test]
     fn eliminate_bounded_middle() {
         // 2 <= X1 <= 4, X0 = X1 + 1; eliminate X1 ⟹ 3 <= X0 <= 5
-        let s = sys(
-            2,
-            &[Atom::ge(1, 2), Atom::le(1, 4), Atom::diff_eq(0, 1, 1)],
-        );
+        let s = sys(2, &[Atom::ge(1, 2), Atom::le(1, 4), Atom::diff_eq(0, 1, 1)]);
         let p = s.eliminate(1);
         assert_eq!(p.lower(0), Some(3));
         assert_eq!(p.upper(0), Bound::Finite(5));

@@ -48,11 +48,7 @@ pub(crate) fn materialize_tuple(t: &GenTuple, lo: i64, hi: i64) -> Vec<ConcreteT
 }
 
 /// Materializes a set of tuples into a deduplicated, ordered set.
-pub(crate) fn materialize_tuples(
-    tuples: &[GenTuple],
-    lo: i64,
-    hi: i64,
-) -> BTreeSet<ConcreteTuple> {
+pub(crate) fn materialize_tuples(tuples: &[GenTuple], lo: i64, hi: i64) -> BTreeSet<ConcreteTuple> {
     let mut out = BTreeSet::new();
     for t in tuples {
         out.extend(materialize_tuple(t, lo, hi));
@@ -72,12 +68,11 @@ mod tests {
 
     #[test]
     fn materializes_example_2_2() {
-        let t = GenTuple::with_atoms(
-            vec![Lrp::point(1), lrp(1, 2)],
-            &[Atom::ge(1, 0)],
-            vec![],
-        )
-        .unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![Lrp::point(1), lrp(1, 2)])
+            .atoms([Atom::ge(1, 0)])
+            .build()
+            .unwrap();
         let m = materialize_tuple(&t, 0, 7);
         assert_eq!(
             m,
@@ -99,7 +94,10 @@ mod tests {
 
     #[test]
     fn unsat_materializes_empty() {
-        let t = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::le(0, 1), Atom::ge(0, 3)], vec![])
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(0, 2)])
+            .atoms([Atom::le(0, 1), Atom::ge(0, 3)])
+            .build()
             .unwrap();
         assert!(materialize_tuple(&t, -10, 10).is_empty());
     }

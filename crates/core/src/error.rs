@@ -100,7 +100,9 @@ mod tests {
         };
         let text = e.to_string();
         assert!(text.contains("schema mismatch"), "{text}");
-        assert!(CoreError::ComplementHasData.to_string().contains("temporal"));
+        assert!(CoreError::ComplementHasData
+            .to_string()
+            .contains("temporal"));
         assert!(CoreError::Numth(NumthError::Overflow)
             .to_string()
             .contains("overflow"));

@@ -1,0 +1,543 @@
+//! Instrumented, optionally parallel execution of the algebra.
+//!
+//! An [`ExecContext`] carries two things through the relation-level
+//! operators ([`GenRelation::intersect_in`] and friends):
+//!
+//! * a **thread budget** — the embarrassingly-parallel pairwise tuple work
+//!   of intersection, difference, product, join, projection and
+//!   normalization is fanned out over [`std::thread::scope`] workers.
+//!   Work is split into *contiguous chunks of the outer tuple index
+//!   space* and the per-chunk outputs are concatenated in chunk order, so
+//!   the result is **bit-identical at any thread count** (and identical
+//!   to the serial path);
+//! * **per-operator counters** ([`OpStats`]) — tuples in/out, candidate
+//!   pairs examined, empty tuples pruned, constraint atoms rewritten,
+//!   the largest common period encountered, and wall time. A cheap,
+//!   clonable [`StatsSnapshot`] can be taken at any moment; the query
+//!   layer surfaces it as `QueryResult::stats` and the REPL as `\stats`.
+//!
+//! The pre-existing operator methods (`intersect`, `difference`, …) are
+//! thin wrappers over the `*_in` variants with a fresh serial context, so
+//! their behavior is unchanged.
+//!
+//! [`GenRelation::intersect_in`]: crate::GenRelation::intersect_in
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::Result;
+
+/// The relation-level operators distinguished by [`OpStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Union (§3.1).
+    Union,
+    /// Intersection (§3.2), including the bucketed variant.
+    Intersect,
+    /// Difference (§3.3).
+    Difference,
+    /// Complement within `Z^m` (Appendix A.6).
+    Complement,
+    /// Cross product (§3.6).
+    Product,
+    /// Equi-join (§3.7).
+    Join,
+    /// Projection (§3.4).
+    Project,
+    /// Temporal / data selection (§3.5).
+    Select,
+    /// Column translation for successor terms.
+    Shift,
+    /// Normalization (Theorem 3.2).
+    Normalize,
+}
+
+impl OpKind {
+    /// Every operator kind, in display order.
+    pub const ALL: [OpKind; 10] = [
+        OpKind::Union,
+        OpKind::Intersect,
+        OpKind::Difference,
+        OpKind::Complement,
+        OpKind::Product,
+        OpKind::Join,
+        OpKind::Project,
+        OpKind::Select,
+        OpKind::Shift,
+        OpKind::Normalize,
+    ];
+
+    /// Stable lower-case name (used by the REPL and bench reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Union => "union",
+            OpKind::Intersect => "intersect",
+            OpKind::Difference => "difference",
+            OpKind::Complement => "complement",
+            OpKind::Product => "product",
+            OpKind::Join => "join",
+            OpKind::Project => "project",
+            OpKind::Select => "select",
+            OpKind::Shift => "shift",
+            OpKind::Normalize => "normalize",
+        }
+    }
+
+    fn index(self) -> usize {
+        OpKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("OpKind::ALL is exhaustive")
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Live (atomic) counters for one operator kind.
+///
+/// All updates are `Relaxed`: the counters are monotone tallies with no
+/// ordering relationship to the data they describe, and readers only see
+/// them through [`OpStats::snapshot`] after the operators have returned.
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    calls: AtomicU64,
+    tuples_in: AtomicU64,
+    tuples_out: AtomicU64,
+    pairs: AtomicU64,
+    empties_pruned: AtomicU64,
+    atoms_simplified: AtomicU64,
+    max_period: AtomicU64,
+    nanos: AtomicU64,
+}
+
+impl OpCounters {
+    pub(crate) fn add_in(&self, n: usize) {
+        self.tuples_in.fetch_add(n as u64, Relaxed);
+    }
+
+    pub(crate) fn add_out(&self, n: usize) {
+        self.tuples_out.fetch_add(n as u64, Relaxed);
+    }
+
+    pub(crate) fn add_pairs(&self, n: u64) {
+        self.pairs.fetch_add(n, Relaxed);
+    }
+
+    pub(crate) fn add_pruned(&self, n: u64) {
+        self.empties_pruned.fetch_add(n, Relaxed);
+    }
+
+    pub(crate) fn add_atoms(&self, n: u64) {
+        self.atoms_simplified.fetch_add(n, Relaxed);
+    }
+
+    pub(crate) fn record_period(&self, k: i64) {
+        self.max_period.fetch_max(k.max(0) as u64, Relaxed);
+    }
+
+    fn snapshot(&self) -> OpSnapshot {
+        OpSnapshot {
+            calls: self.calls.load(Relaxed),
+            tuples_in: self.tuples_in.load(Relaxed),
+            tuples_out: self.tuples_out.load(Relaxed),
+            pairs: self.pairs.load(Relaxed),
+            empties_pruned: self.empties_pruned.load(Relaxed),
+            atoms_simplified: self.atoms_simplified.load(Relaxed),
+            max_period: self.max_period.load(Relaxed),
+            nanos: self.nanos.load(Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.calls.store(0, Relaxed);
+        self.tuples_in.store(0, Relaxed);
+        self.tuples_out.store(0, Relaxed);
+        self.pairs.store(0, Relaxed);
+        self.empties_pruned.store(0, Relaxed);
+        self.atoms_simplified.store(0, Relaxed);
+        self.max_period.store(0, Relaxed);
+        self.nanos.store(0, Relaxed);
+    }
+}
+
+/// Per-operator counters for a whole context; see [`OpCounters`].
+#[derive(Debug, Default)]
+pub struct OpStats {
+    ops: [OpCounters; OpKind::ALL.len()],
+}
+
+impl OpStats {
+    pub(crate) fn op(&self, kind: OpKind) -> &OpCounters {
+        &self.ops[kind.index()]
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            ops: OpKind::ALL.map(|k| self.op(k).snapshot()),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        for c in &self.ops {
+            c.reset();
+        }
+    }
+}
+
+/// Plain-data copy of one operator's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpSnapshot {
+    /// Operator invocations.
+    pub calls: u64,
+    /// Generalized tuples consumed (both operands).
+    pub tuples_in: u64,
+    /// Generalized tuples produced.
+    pub tuples_out: u64,
+    /// Candidate tuple pairs / refinement combinations examined.
+    pub pairs: u64,
+    /// Candidates dropped as empty or unsatisfiable.
+    pub empties_pruned: u64,
+    /// Constraint atoms rewritten (added, conjoined, or grid-rounded).
+    pub atoms_simplified: u64,
+    /// Largest common period `k` encountered.
+    pub max_period: u64,
+    /// Accumulated wall time, in nanoseconds.
+    pub nanos: u64,
+}
+
+impl OpSnapshot {
+    /// Accumulated wall time.
+    pub fn wall_time(&self) -> Duration {
+        Duration::from_nanos(self.nanos)
+    }
+
+    /// Whether the operator was never invoked.
+    pub fn is_zero(&self) -> bool {
+        self.calls == 0
+    }
+}
+
+/// Plain-data copy of a context's [`OpStats`], cheap to clone and safe to
+/// hold after the context is gone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    ops: [OpSnapshot; OpKind::ALL.len()],
+}
+
+impl StatsSnapshot {
+    /// The counters of one operator.
+    pub fn op(&self, kind: OpKind) -> &OpSnapshot {
+        &self.ops[kind.index()]
+    }
+
+    /// Iterates over `(kind, counters)` in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (OpKind, &OpSnapshot)> {
+        OpKind::ALL.iter().map(move |k| (*k, self.op(*k)))
+    }
+
+    /// Total operator invocations across all kinds.
+    pub fn total_calls(&self) -> u64 {
+        self.ops.iter().map(|o| o.calls).sum()
+    }
+
+    /// Total wall time across all kinds.
+    pub fn total_wall_time(&self) -> Duration {
+        Duration::from_nanos(self.ops.iter().map(|o| o.nanos).sum())
+    }
+
+    /// Whether no operator was invoked at all.
+    pub fn is_zero(&self) -> bool {
+        self.total_calls() == 0
+    }
+
+    /// Adds every counter of `other` into `self` (`max_period` takes the
+    /// maximum); used to aggregate across evaluations.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        for (mine, theirs) in self.ops.iter_mut().zip(&other.ops) {
+            mine.calls += theirs.calls;
+            mine.tuples_in += theirs.tuples_in;
+            mine.tuples_out += theirs.tuples_out;
+            mine.pairs += theirs.pairs;
+            mine.empties_pruned += theirs.empties_pruned;
+            mine.atoms_simplified += theirs.atoms_simplified;
+            mine.max_period = mine.max_period.max(theirs.max_period);
+            mine.nanos += theirs.nanos;
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return writeln!(f, "no algebra operations recorded");
+        }
+        writeln!(
+            f,
+            "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>7} {:>7} {:>12}",
+            "op", "calls", "in", "out", "pairs", "pruned", "atoms", "max_k", "time"
+        )?;
+        for (kind, op) in self.iter() {
+            if op.is_zero() {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>7} {:>7} {:>12}",
+                kind.name(),
+                op.calls,
+                op.tuples_in,
+                op.tuples_out,
+                op.pairs,
+                op.empties_pruned,
+                op.atoms_simplified,
+                op.max_period,
+                format!("{:.1?}", op.wall_time()),
+            )?;
+        }
+        write!(
+            f,
+            "{:<12} {:>6} {:>58} {:>12}",
+            "total",
+            self.total_calls(),
+            "",
+            format!("{:.1?}", self.total_wall_time()),
+        )
+    }
+}
+
+/// Times one operator invocation; counts the call on construction and the
+/// elapsed wall time on drop. Dereferences to the operator's counters.
+pub(crate) struct OpTimer<'a> {
+    counters: &'a OpCounters,
+    start: Instant,
+}
+
+impl Deref for OpTimer<'_> {
+    type Target = OpCounters;
+
+    fn deref(&self) -> &OpCounters {
+        self.counters
+    }
+}
+
+impl Drop for OpTimer<'_> {
+    fn drop(&mut self) {
+        self.counters
+            .nanos
+            .fetch_add(self.start.elapsed().as_nanos() as u64, Relaxed);
+    }
+}
+
+/// Execution context: a thread budget plus live per-operator statistics.
+///
+/// Contexts are cheap to create; the query evaluator makes one per
+/// top-level evaluation and reads the counters back afterwards.
+///
+/// # Examples
+/// ```
+/// use itd_core::{ExecContext, GenRelation, GenTuple, Lrp, OpKind, Schema};
+/// let evens = GenRelation::builder(Schema::new(1, 0))
+///     .tuple(GenTuple::builder().lrp(Lrp::new(0, 2)?).build()?)
+///     .build()?;
+/// let fives = GenRelation::builder(Schema::new(1, 0))
+///     .tuple(GenTuple::builder().lrp(Lrp::new(0, 5)?).build()?)
+///     .build()?;
+/// let ctx = ExecContext::with_threads(2);
+/// let tens = evens.intersect_in(&fives, &ctx)?;
+/// assert!(tens.contains(&[10], &[]));
+/// let stats = ctx.stats();
+/// assert_eq!(stats.op(OpKind::Intersect).calls, 1);
+/// assert_eq!(stats.op(OpKind::Intersect).pairs, 1);
+/// # Ok::<(), itd_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct ExecContext {
+    threads: usize,
+    stats: OpStats,
+}
+
+impl Default for ExecContext {
+    fn default() -> ExecContext {
+        ExecContext::new()
+    }
+}
+
+impl ExecContext {
+    /// A context sized to the machine: `available_parallelism`, capped at 8
+    /// (the pairwise loops stop scaling long before that on typical
+    /// relation sizes).
+    pub fn new() -> ExecContext {
+        let threads = thread::available_parallelism().map_or(1, |n| n.get());
+        ExecContext::with_threads(threads.min(8))
+    }
+
+    /// A single-threaded context (the behavior of the plain operator
+    /// methods).
+    pub fn serial() -> ExecContext {
+        ExecContext::with_threads(1)
+    }
+
+    /// A context with an explicit thread budget (`0` is treated as `1`).
+    /// Results do not depend on the budget — only wall time does.
+    pub fn with_threads(threads: usize) -> ExecContext {
+        ExecContext {
+            threads: threads.max(1),
+            stats: OpStats::default(),
+        }
+    }
+
+    /// The thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A point-in-time copy of the per-operator counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Zeroes the counters (the thread budget is unchanged).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    pub(crate) fn op(&self, kind: OpKind) -> &OpCounters {
+        self.stats.op(kind)
+    }
+
+    pub(crate) fn timed(&self, kind: OpKind) -> OpTimer<'_> {
+        let counters = self.stats.op(kind);
+        counters.calls.fetch_add(1, Relaxed);
+        OpTimer {
+            counters,
+            start: Instant::now(),
+        }
+    }
+}
+
+/// Applies `f` to every item, concatenating the outputs **in item order**,
+/// fanning the work over up to `threads` scoped workers.
+///
+/// Determinism: items are split into contiguous chunks, each worker
+/// processes its chunk left to right, and chunk outputs are concatenated
+/// in chunk order — exactly the serial output, at any thread count. On
+/// failure the reported error is the one a serial run would hit first
+/// (first failing item of the first failing chunk; earlier chunks hold
+/// earlier items, and within its chunk a worker stops at its first error).
+pub(crate) fn run_chunked<T, U, F>(threads: usize, items: &[T], f: F) -> Result<Vec<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Result<Vec<U>> + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        let mut out = Vec::new();
+        for item in items {
+            out.extend(f(item)?);
+        }
+        return Ok(out);
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let f = &f;
+    let per_chunk: Vec<Result<Vec<U>>> = thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for item in chunk {
+                        out.extend(f(item)?);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("algebra worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::new();
+    for r in per_chunk {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_matches_serial_order_at_any_thread_count() {
+        let items: Vec<i64> = (0..103).collect();
+        let f = |x: &i64| Ok(vec![*x * 2, *x * 2 + 1]);
+        let serial = run_chunked(1, &items, f).unwrap();
+        for threads in [2, 3, 8, 200] {
+            assert_eq!(run_chunked(threads, &items, f).unwrap(), serial);
+        }
+        assert_eq!(serial.len(), 206);
+        assert!(serial.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn chunked_reports_first_error() {
+        let items: Vec<i64> = (0..40).collect();
+        let f = |x: &i64| {
+            if *x >= 17 {
+                Err(crate::CoreError::Numth(itd_numth::NumthError::Overflow))
+            } else {
+                Ok(vec![*x])
+            }
+        };
+        for threads in [1, 4, 64] {
+            let err = run_chunked(threads, &items, f).unwrap_err();
+            assert!(matches!(err, crate::CoreError::Numth(_)));
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_and_display() {
+        let ctx = ExecContext::with_threads(3);
+        assert_eq!(ctx.threads(), 3);
+        {
+            let t = ctx.timed(OpKind::Intersect);
+            t.add_in(4);
+            t.add_out(2);
+            t.add_pairs(4);
+            t.add_pruned(2);
+            t.record_period(6);
+        }
+        let mut snap = ctx.stats();
+        assert_eq!(snap.op(OpKind::Intersect).calls, 1);
+        assert_eq!(snap.op(OpKind::Intersect).tuples_in, 4);
+        assert_eq!(snap.op(OpKind::Intersect).max_period, 6);
+        assert!(!snap.is_zero());
+        snap.merge(&ctx.stats());
+        assert_eq!(snap.op(OpKind::Intersect).calls, 2);
+        assert_eq!(snap.op(OpKind::Intersect).max_period, 6);
+        let text = snap.to_string();
+        assert!(text.contains("intersect"), "{text}");
+        assert!(text.contains("total"), "{text}");
+        ctx.reset_stats();
+        assert!(ctx.stats().is_zero());
+        assert!(ctx.stats().to_string().contains("no algebra"));
+    }
+
+    #[test]
+    fn thread_budget_is_clamped() {
+        assert_eq!(ExecContext::with_threads(0).threads(), 1);
+        assert!(ExecContext::new().threads() >= 1);
+        assert_eq!(ExecContext::serial().threads(), 1);
+    }
+}

@@ -55,14 +55,16 @@ mod schema;
 mod tuple;
 mod value;
 
+pub mod exec;
 pub mod ops;
 
 pub use enumerate::ConcreteTuple;
 pub use error::CoreError;
+pub use exec::{ExecContext, OpKind, OpSnapshot, StatsSnapshot};
 pub use normalize::grid_view;
-pub use relation::GenRelation;
+pub use relation::{GenRelation, GenRelationBuilder};
 pub use schema::Schema;
-pub use tuple::GenTuple;
+pub use tuple::{GenTuple, GenTupleBuilder};
 pub use value::Value;
 
 // Re-export the building blocks so that downstream crates only need

@@ -30,7 +30,11 @@ fn divisors(k: i64) -> Vec<i64> {
 /// One coalescing pass over one column; returns `true` if anything merged.
 fn coalesce_column(tuples: &mut Vec<GenTuple>, col: usize) -> Result<bool> {
     // Group by everything except the lrp at `col`.
-    type Key = (Vec<Lrp>, itd_constraint::ConstraintSystem, Vec<crate::Value>);
+    type Key = (
+        Vec<Lrp>,
+        itd_constraint::ConstraintSystem,
+        Vec<crate::Value>,
+    );
     /// Offset, period and tuple index of one group member.
     type Member = (i64, i64, usize);
     let mut groups: BTreeMap<String, (Key, Vec<Member>)> = BTreeMap::new();
@@ -79,7 +83,7 @@ fn coalesce_column(tuples: &mut Vec<GenTuple>, col: usize) -> Result<bool> {
                         let template = &tuples[removed_idxs[0]];
                         let mut lrps = template.lrps().to_vec();
                         lrps[col] = Lrp::new(c, g)?;
-                        to_add.push(GenTuple::new(
+                        to_add.push(GenTuple::from_parts(
                             lrps,
                             template.constraints().clone(),
                             template.data().to_vec(),
@@ -131,17 +135,27 @@ mod tests {
 
     #[test]
     fn refine_then_coalesce_roundtrips() {
-        let original = GenTuple::with_atoms(vec![lrp(1, 3)], &[Atom::ge(0, 0)], vec![]).unwrap();
+        let original = GenTuple::builder()
+            .lrps(vec![lrp(1, 3)])
+            .atoms([Atom::ge(0, 0)])
+            .build()
+            .unwrap();
         // Refine to period 12 (Lemma 3.1) → 4 tuples.
         let refined: Vec<GenTuple> = lrp(1, 3)
             .refine_to_period(12)
             .unwrap()
             .into_iter()
-            .map(|l| GenTuple::with_atoms(vec![l], &[Atom::ge(0, 0)], vec![]).unwrap())
+            .map(|l| {
+                GenTuple::builder()
+                    .lrps(vec![l])
+                    .atoms([Atom::ge(0, 0)])
+                    .build()
+                    .unwrap()
+            })
             .collect();
         let rel = GenRelation::new(Schema::new(1, 0), refined).unwrap();
         let coalesced = coalesce(&rel).unwrap();
-        assert_eq!(coalesced.len(), 1);
+        assert_eq!(coalesced.tuple_count(), 1);
         assert_eq!(coalesced.tuples()[0], original);
     }
 
@@ -159,7 +173,7 @@ mod tests {
         )
         .unwrap();
         let c = coalesce(&rel).unwrap();
-        assert_eq!(c.len(), 2);
+        assert_eq!(c.tuple_count(), 2);
         assert_eq!(c.materialize(-30, 30), rel.materialize(-30, 30));
         assert!(c.tuples().iter().any(|t| t.lrps()[0] == lrp(1, 6)));
         assert!(c.tuples().iter().any(|t| t.lrps()[0] == lrp(4, 12)));
@@ -170,13 +184,21 @@ mod tests {
         let rel = GenRelation::new(
             Schema::new(1, 0),
             vec![
-                GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 0)], vec![]).unwrap(),
-                GenTuple::with_atoms(vec![lrp(1, 2)], &[Atom::ge(0, 5)], vec![]).unwrap(),
+                GenTuple::builder()
+                    .lrps(vec![lrp(0, 2)])
+                    .atoms([Atom::ge(0, 0)])
+                    .build()
+                    .unwrap(),
+                GenTuple::builder()
+                    .lrps(vec![lrp(1, 2)])
+                    .atoms([Atom::ge(0, 5)])
+                    .build()
+                    .unwrap(),
             ],
         )
         .unwrap();
         let c = coalesce(&rel).unwrap();
-        assert_eq!(c.len(), 2);
+        assert_eq!(c.tuple_count(), 2);
     }
 
     #[test]
@@ -190,9 +212,9 @@ mod tests {
             }
         }
         let rel = GenRelation::new(Schema::new(2, 0), tuples).unwrap();
-        assert_eq!(rel.len(), 4);
+        assert_eq!(rel.tuple_count(), 4);
         let c = coalesce(&rel).unwrap();
-        assert_eq!(c.len(), 1);
+        assert_eq!(c.tuple_count(), 1);
         assert_eq!(c.tuples()[0].lrps(), &[lrp(0, 2), lrp(1, 3)]);
     }
 
@@ -209,7 +231,7 @@ mod tests {
         )
         .unwrap();
         let c = coalesce(&rel).unwrap();
-        assert_eq!(c.len(), 1);
+        assert_eq!(c.tuple_count(), 1);
         assert_eq!(c.tuples()[0].lrps()[0], Lrp::all());
     }
 
@@ -219,12 +241,21 @@ mod tests {
         // extensions; coalescing collapses them.
         let r = GenRelation::new(
             Schema::new(1, 0),
-            vec![GenTuple::with_atoms(vec![lrp(0, 6)], &[Atom::ge(0, 0)], vec![]).unwrap()],
+            vec![GenTuple::builder()
+                .lrps(vec![lrp(0, 6)])
+                .atoms([Atom::ge(0, 0)])
+                .build()
+                .unwrap()],
         )
         .unwrap();
         let comp = r.complement_temporal().unwrap();
         let c = coalesce(&comp).unwrap();
-        assert!(c.len() < comp.len(), "{} < {}", c.len(), comp.len());
+        assert!(
+            c.tuple_count() < comp.tuple_count(),
+            "{} < {}",
+            c.tuple_count(),
+            comp.tuple_count()
+        );
         assert_eq!(c.materialize(-20, 20), comp.materialize(-20, 20));
     }
 
@@ -240,6 +271,6 @@ mod tests {
         )
         .unwrap();
         let c = coalesce(&rel).unwrap();
-        assert_eq!(c.len(), 3); // data values differ; the point is skipped
+        assert_eq!(c.tuple_count(), 3); // data values differ; the point is skipped
     }
 }

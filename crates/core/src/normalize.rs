@@ -88,11 +88,7 @@ pub fn grid_view(t: &GenTuple) -> Result<(i64, Vec<i64>, ConstraintSystem)> {
 }
 
 /// Builds the grid system given precomputed anchors and period.
-pub(crate) fn grid_system(
-    t: &GenTuple,
-    anchors: &[i64],
-    k: i64,
-) -> Result<ConstraintSystem> {
+pub(crate) fn grid_system(t: &GenTuple, anchors: &[i64], k: i64) -> Result<ConstraintSystem> {
     let aug = augmented_cons(t)?;
     Ok(aug.to_grid(anchors, k)?)
 }
@@ -177,6 +173,17 @@ pub(crate) fn is_nonempty(t: &GenTuple) -> Result<bool> {
     }
 }
 
+/// What one tuple's normalization did, for the executor's counters.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NormalizeReport {
+    /// The common period `k` the tuple was refined to.
+    pub period: i64,
+    /// Refined residue combinations enumerated (`Π k/kᵢ`).
+    pub combos: u64,
+    /// Combinations dropped as grid-unsatisfiable (step 4).
+    pub dropped: u64,
+}
+
 /// Theorem 3.2 normalization with an explicit ceiling on the number of
 /// refined combinations.
 ///
@@ -184,22 +191,39 @@ pub(crate) fn is_nonempty(t: &GenTuple) -> Result<bool> {
 /// [`CoreError::TooManyExtensions`] when `Π k/kᵢ > limit`;
 /// arithmetic errors from `lcm`/grid transforms.
 pub(crate) fn normalize_with_limit(t: &GenTuple, limit: u64) -> Result<Vec<GenTuple>> {
+    normalize_with_limit_report(t, limit).map(|(out, _)| out)
+}
+
+/// [`normalize_with_limit`] plus a [`NormalizeReport`] of what it did.
+pub(crate) fn normalize_with_limit_report(
+    t: &GenTuple,
+    limit: u64,
+) -> Result<(Vec<GenTuple>, NormalizeReport)> {
     if !t.constraints().is_satisfiable() {
-        return Ok(vec![]);
+        return Ok((
+            vec![],
+            NormalizeReport {
+                period: 1,
+                combos: 0,
+                dropped: 0,
+            },
+        ));
     }
     // Step 0: common period k (lcm of the nonzero periods).
     let k = Lrp::common_period(t.lrps().iter())?;
 
-    // Step 1 (Lemma 3.1): per-attribute refined classes.
-    let mut choices: Vec<Vec<Lrp>> = Vec::with_capacity(t.lrps().len());
+    // Step 1 (Lemma 3.1): per-attribute refined classes. The combination
+    // ceiling is enforced on the *ratios* k/kᵢ before any refinement vector
+    // is materialized — with coprime periods the lcm (and hence a single
+    // ratio) can approach i64::MAX, so allocating first would abort long
+    // before the guard fired.
     let mut combos: u64 = 1;
     for l in t.lrps() {
-        let c = if l.is_point() {
-            vec![*l]
-        } else {
-            l.refine_to_period(k)?
-        };
-        combos = combos.saturating_mul(c.len() as u64);
+        if l.is_point() {
+            continue;
+        }
+        let ratio = (k / l.period()) as u64;
+        combos = combos.saturating_mul(ratio);
         if combos > limit {
             return Err(CoreError::TooManyExtensions {
                 period: k,
@@ -207,7 +231,14 @@ pub(crate) fn normalize_with_limit(t: &GenTuple, limit: u64) -> Result<Vec<GenTu
                 limit,
             });
         }
-        choices.push(c);
+    }
+    let mut choices: Vec<Vec<Lrp>> = Vec::with_capacity(t.lrps().len());
+    for l in t.lrps() {
+        choices.push(if l.is_point() {
+            vec![*l]
+        } else {
+            l.refine_to_period(k)?
+        });
     }
 
     // Steps 2–5: cross product; per combination transform constraints to
@@ -216,7 +247,7 @@ pub(crate) fn normalize_with_limit(t: &GenTuple, limit: u64) -> Result<Vec<GenTu
     let mut idx = vec![0usize; choices.len()];
     loop {
         let lrps: Vec<Lrp> = idx.iter().zip(&choices).map(|(&i, c)| c[i]).collect();
-        let candidate = GenTuple::new(lrps, t.constraints().clone(), t.data().to_vec())?;
+        let candidate = GenTuple::from_parts(lrps, t.constraints().clone(), t.data().to_vec())?;
         let anchors_v = anchors(candidate.lrps());
         let grid = grid_system(&candidate, &anchors_v, k)?;
         if grid.is_satisfiable() {
@@ -228,7 +259,15 @@ pub(crate) fn normalize_with_limit(t: &GenTuple, limit: u64) -> Result<Vec<GenTu
         let mut pos = choices.len();
         loop {
             if pos == 0 {
-                return Ok(out);
+                let dropped = combos - out.len() as u64;
+                return Ok((
+                    out,
+                    NormalizeReport {
+                        period: k,
+                        combos,
+                        dropped,
+                    },
+                ));
             }
             pos -= 1;
             idx[pos] += 1;
@@ -267,16 +306,15 @@ mod tests {
     #[test]
     fn paper_example_3_2_normalization() {
         // [4n1+3, 8n2+1] ∧ X1 ≥ X2 ∧ X1 ≤ X2+5 ∧ X2 ≥ 2
-        let t = GenTuple::with_atoms(
-            vec![lrp(3, 4), lrp(1, 8)],
-            &[
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(3, 4), lrp(1, 8)])
+            .atoms([
                 Atom::diff_ge(0, 1, 0).unwrap(),
                 Atom::diff_le(0, 1, 5),
                 Atom::ge(1, 2),
-            ],
-            vec![],
-        )
-        .unwrap();
+            ])
+            .build()
+            .unwrap();
         let norm = t.normalize().unwrap();
         // The paper's Example 3.2 table lists two normalized tuples, but its
         // second ([8n1+7, 8n2+1] with X1 ≥ X2 + 6 ∧ X1 ≤ X2 − 2) is
@@ -301,16 +339,15 @@ mod tests {
 
     #[test]
     fn normalization_preserves_semantics_on_window() {
-        let t = GenTuple::with_atoms(
-            vec![lrp(3, 4), lrp(1, 8)],
-            &[
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(3, 4), lrp(1, 8)])
+            .atoms([
                 Atom::diff_ge(0, 1, 0).unwrap(),
                 Atom::diff_le(0, 1, 5),
                 Atom::ge(1, 2),
-            ],
-            vec![],
-        )
-        .unwrap();
+            ])
+            .build()
+            .unwrap();
         let norm = t.normalize().unwrap();
         for x1 in -10..40 {
             for x2 in -10..40 {
@@ -323,35 +360,32 @@ mod tests {
 
     #[test]
     fn unsat_tuple_normalizes_to_nothing() {
-        let t = GenTuple::with_atoms(
-            vec![lrp(0, 2)],
-            &[Atom::ge(0, 5), Atom::le(0, 0)],
-            vec![],
-        )
-        .unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(0, 2)])
+            .atoms([Atom::ge(0, 5), Atom::le(0, 0)])
+            .build()
+            .unwrap();
         assert!(t.normalize().unwrap().is_empty());
     }
 
     #[test]
     fn grid_empty_residue_dropped() {
         // X1 = X2 + 1 over two even lrps: no residue combination works.
-        let t = GenTuple::with_atoms(
-            vec![lrp(0, 2), lrp(0, 2)],
-            &[Atom::diff_eq(0, 1, 1)],
-            vec![],
-        )
-        .unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(0, 2), lrp(0, 2)])
+            .atoms([Atom::diff_eq(0, 1, 1)])
+            .build()
+            .unwrap();
         assert!(t.normalize().unwrap().is_empty());
     }
 
     #[test]
     fn points_are_preserved() {
-        let t = GenTuple::with_atoms(
-            vec![Lrp::point(7), lrp(1, 3)],
-            &[Atom::diff_ge(1, 0, 0).unwrap()],
-            vec![],
-        )
-        .unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![Lrp::point(7), lrp(1, 3)])
+            .atoms([Atom::diff_ge(1, 0, 0).unwrap()])
+            .build()
+            .unwrap();
         let norm = t.normalize().unwrap();
         assert_eq!(norm.len(), 1);
         assert!(norm[0].lrps()[0].is_point());
@@ -364,21 +398,28 @@ mod tests {
     #[test]
     fn limit_guard_triggers() {
         // Periods 3, 5, 7, 11 → lcm 1155; Π k/kᵢ = 385·231·165·105 ≫ 1000.
-        let t = GenTuple::unconstrained(
-            vec![lrp(0, 3), lrp(0, 5), lrp(0, 7), lrp(0, 11)],
-            vec![],
-        );
+        let t = GenTuple::unconstrained(vec![lrp(0, 3), lrp(0, 5), lrp(0, 7), lrp(0, 11)], vec![]);
         let err = normalize_with_limit(&t, 1000).unwrap_err();
         assert!(matches!(err, CoreError::TooManyExtensions { .. }));
     }
 
     #[test]
+    fn huge_coprime_periods_fail_fast_without_allocating() {
+        // lcm(2³¹, 2³¹−1) ≈ 4.6·10¹⁸: refining either attribute would
+        // materialize a ~2-billion-element vector, so the guard must fire
+        // on the k/kᵢ ratios alone, before any refinement is built.
+        let t = GenTuple::unconstrained(vec![lrp(0, 1 << 31), lrp(0, (1 << 31) - 1)], vec![]);
+        let err = normalize_with_limit(&t, DEFAULT_NORMALIZE_LIMIT).unwrap_err();
+        assert!(matches!(err, CoreError::TooManyExtensions { .. }));
+        // And an overflowing lcm itself is a typed error, not a panic.
+        let t = GenTuple::unconstrained(vec![lrp(0, i64::MAX - 1), lrp(0, i64::MAX - 2)], vec![]);
+        assert!(t.normalize().is_err());
+    }
+
+    #[test]
     fn grid_view_requires_single_period() {
         let t = GenTuple::unconstrained(vec![lrp(0, 2), lrp(0, 3)], vec![]);
-        assert!(matches!(
-            grid_view(&t),
-            Err(CoreError::NotSinglePeriod)
-        ));
+        assert!(matches!(grid_view(&t), Err(CoreError::NotSinglePeriod)));
         let t = GenTuple::unconstrained(vec![lrp(0, 6), lrp(1, 6)], vec![]);
         let (k, anchors, grid) = grid_view(&t).unwrap();
         assert_eq!(k, 6);
@@ -389,21 +430,19 @@ mod tests {
     #[test]
     fn normal_form_detection() {
         // Already normal: same periods, aligned constraint.
-        let t = GenTuple::with_atoms(
-            vec![lrp(3, 8), lrp(1, 8)],
-            &[Atom::diff_eq(0, 1, 2)],
-            vec![],
-        )
-        .unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(3, 8), lrp(1, 8)])
+            .atoms([Atom::diff_eq(0, 1, 2)])
+            .build()
+            .unwrap();
         assert!(t.is_normal_form().unwrap());
         // Misaligned bound: X1 ≤ X2 + 5 over the same grid is not aligned
         // (5 is not ≡ 3−1 mod 8).
-        let t = GenTuple::with_atoms(
-            vec![lrp(3, 8), lrp(1, 8)],
-            &[Atom::diff_le(0, 1, 5)],
-            vec![],
-        )
-        .unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(3, 8), lrp(1, 8)])
+            .atoms([Atom::diff_le(0, 1, 5)])
+            .build()
+            .unwrap();
         assert!(!t.is_normal_form().unwrap());
         // Mixed periods are never normal.
         let t = GenTuple::unconstrained(vec![lrp(0, 2), lrp(0, 4)], vec![]);
@@ -432,11 +471,7 @@ mod tests {
             lob in -6i64..6,
             x1 in -25i64..25, x2 in -25i64..25,
         ) {
-            let t = GenTuple::with_atoms(
-                vec![lrp(c1, k1), lrp(c2, k2)],
-                &[Atom::diff_le(0, 1, a), Atom::ge(1, lob)],
-                vec![],
-            ).unwrap();
+            let t = GenTuple::builder().lrps(vec![lrp(c1, k1), lrp(c2, k2)]).atoms([Atom::diff_le(0, 1, a), Atom::ge(1, lob)]).build().unwrap();
             let norm = t.normalize().unwrap();
             let original = member(&t, &[x1, x2]);
             let via_norm = norm.iter().any(|nt| member(nt, &[x1, x2]));

@@ -6,6 +6,7 @@ use itd_constraint::ConstraintSystem;
 use itd_lrp::Lrp;
 
 use crate::error::CoreError;
+use crate::exec::{ExecContext, OpKind};
 use crate::tuple::GenTuple;
 use crate::Result;
 
@@ -43,7 +44,29 @@ pub fn complement_tuples(
     temporal_arity: usize,
     limit: u64,
 ) -> Result<Vec<GenTuple>> {
+    complement_tuples_in(tuples, temporal_arity, limit, &ExecContext::serial())
+}
+
+/// [`complement_tuples`] under an execution context: the `k^m` extension
+/// enumeration is split into contiguous index ranges fanned over the
+/// context's threads (outputs concatenated in range order, so the result
+/// is identical at any thread count), and the context's
+/// [`OpKind::Complement`] counters record the period, the extensions
+/// enumerated, and the grid-empty disjuncts pruned.
+///
+/// # Errors
+/// See [`complement_tuples`].
+///
+/// # Panics
+/// See [`complement_tuples`].
+pub fn complement_tuples_in(
+    tuples: &[GenTuple],
+    temporal_arity: usize,
+    limit: u64,
+    ctx: &ExecContext,
+) -> Result<Vec<GenTuple>> {
     let m = temporal_arity;
+    let counters = ctx.op(OpKind::Complement);
     // 0-ary relations: the space is a single empty tuple.
     if m == 0 {
         let nonempty = tuples.iter().any(|t| t.constraints().is_satisfiable());
@@ -57,11 +80,15 @@ pub fn complement_tuples(
     // Step 1: normalize and find the database period.
     let mut normal: Vec<GenTuple> = Vec::new();
     for t in tuples {
-        assert!(t.data().is_empty(), "complement requires purely temporal tuples");
+        assert!(
+            t.data().is_empty(),
+            "complement requires purely temporal tuples"
+        );
         assert_eq!(t.lrps().len(), m, "schema mismatch in complement");
         normal.extend(t.normalize()?);
     }
     let k = Lrp::common_period(normal.iter().flat_map(|t| t.lrps().iter()))?;
+    counters.record_period(k);
 
     let extensions = (k as u64).checked_pow(m as u32).unwrap_or(u64::MAX);
     if extensions > limit {
@@ -71,6 +98,7 @@ pub fn complement_tuples(
             limit,
         });
     }
+    counters.add_pairs(extensions);
 
     // Refine every normal tuple to the global period and group by residues.
     let mut groups: HashMap<Vec<i64>, Vec<ConstraintSystem>> = HashMap::new();
@@ -84,40 +112,70 @@ pub fn complement_tuples(
         }
     }
 
-    // Step 3: enumerate all k^m residue vectors.
-    let mut out = Vec::new();
-    let mut residues = vec![0i64; m];
-    loop {
-        let lrps: Vec<Lrp> = residues
-            .iter()
-            .map(|&r| Lrp::new(r, k).expect("k > 0"))
-            .collect();
-        match groups.get(&residues) {
-            None => out.push(GenTuple::unconstrained(lrps, vec![])),
-            Some(systems) => {
-                for d in negate_disjunction(systems, m)? {
-                    let t = GenTuple::new(lrps.clone(), d, vec![])?;
-                    // Prune grid-empty disjuncts (misaligned bounds).
-                    if !t.is_empty()? {
-                        out.push(t);
+    // Step 3: enumerate all k^m residue vectors. A linear index in
+    // [0, k^m) maps to one vector (big-endian base-k digits), which lets a
+    // contiguous index range be handed to each worker.
+    let worker = |range: std::ops::Range<u64>| -> Result<Vec<GenTuple>> {
+        let mut out = Vec::new();
+        for i in range {
+            let residues = residue_digits(i, k, m);
+            let lrps: Vec<Lrp> = residues
+                .iter()
+                .map(|&r| Lrp::new(r, k).expect("k > 0"))
+                .collect();
+            match groups.get(&residues) {
+                None => out.push(GenTuple::unconstrained(lrps, vec![])),
+                Some(systems) => {
+                    for d in negate_disjunction(systems, m)? {
+                        let t = GenTuple::from_parts(lrps.clone(), d, vec![])?;
+                        // Prune grid-empty disjuncts (misaligned bounds).
+                        if !t.is_empty()? {
+                            out.push(t);
+                        } else {
+                            counters.add_pruned(1);
+                        }
                     }
                 }
             }
         }
-        // Mixed-radix increment over [0, k)^m.
-        let mut pos = m;
-        loop {
-            if pos == 0 {
-                return Ok(out);
-            }
-            pos -= 1;
-            residues[pos] += 1;
-            if residues[pos] < k {
-                break;
-            }
-            residues[pos] = 0;
-        }
+        Ok(out)
+    };
+
+    let workers = (ctx.threads() as u64).min(extensions);
+    if workers <= 1 {
+        return worker(0..extensions);
     }
+    let chunk = extensions.div_ceil(workers);
+    let per_chunk: Vec<Result<Vec<GenTuple>>> = std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let range = (w * chunk).min(extensions)..((w + 1) * chunk).min(extensions);
+                scope.spawn(move || worker(range))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("complement worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::new();
+    for r in per_chunk {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// The `i`-th residue vector of `[0, k)^m` in mixed-radix order (the last
+/// coordinate varies fastest).
+fn residue_digits(i: u64, k: i64, m: usize) -> Vec<i64> {
+    let mut residues = vec![0i64; m];
+    let mut rem = i;
+    for pos in (0..m).rev() {
+        residues[pos] = (rem % k as u64) as i64;
+        rem /= k as u64;
+    }
+    residues
 }
 
 /// Refines a normal tuple so all its lrps have period exactly `k`
@@ -149,7 +207,7 @@ fn refine_tuple_to(t: &GenTuple, k: i64) -> Result<Vec<GenTuple>> {
     let mut idx = vec![0usize; choices.len()];
     loop {
         let lrps: Vec<Lrp> = idx.iter().zip(&choices).map(|(&i, c)| c[i]).collect();
-        out.push(GenTuple::new(lrps, cons.clone(), vec![])?);
+        out.push(GenTuple::from_parts(lrps, cons.clone(), vec![])?);
         let mut pos = choices.len();
         loop {
             if pos == 0 {
@@ -166,10 +224,7 @@ fn refine_tuple_to(t: &GenTuple, k: i64) -> Result<Vec<GenTuple>> {
 }
 
 /// `¬(C₁ ∨ … ∨ C_N)` as a reduced list of conjunctive systems.
-fn negate_disjunction(
-    systems: &[ConstraintSystem],
-    arity: usize,
-) -> Result<Vec<ConstraintSystem>> {
+fn negate_disjunction(systems: &[ConstraintSystem], arity: usize) -> Result<Vec<ConstraintSystem>> {
     let mut disjuncts = vec![ConstraintSystem::unconstrained(arity)];
     for c in systems {
         let Some(neg_atoms) = c.negation()? else {
@@ -255,29 +310,38 @@ mod tests {
     #[test]
     fn complement_of_bounded_piece() {
         // ¬(even ∧ X ≥ 0) = odd ∪ (even ∧ X < 0)
-        let r = vec![
-            GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 0)], vec![]).unwrap(),
-        ];
+        let r = vec![GenTuple::builder()
+            .lrps(vec![lrp(0, 2)])
+            .atoms([Atom::ge(0, 0)])
+            .build()
+            .unwrap()];
         check_window(&r, 1, -10, 10);
     }
 
     #[test]
     fn complement_of_union() {
         let r = vec![
-            GenTuple::with_atoms(vec![lrp(0, 3)], &[Atom::ge(0, 0)], vec![]).unwrap(),
-            GenTuple::with_atoms(vec![lrp(1, 3)], &[Atom::le(0, 6)], vec![]).unwrap(),
+            GenTuple::builder()
+                .lrps(vec![lrp(0, 3)])
+                .atoms([Atom::ge(0, 0)])
+                .build()
+                .unwrap(),
+            GenTuple::builder()
+                .lrps(vec![lrp(1, 3)])
+                .atoms([Atom::le(0, 6)])
+                .build()
+                .unwrap(),
         ];
         check_window(&r, 1, -10, 12);
     }
 
     #[test]
     fn complement_two_dimensional() {
-        let r = vec![GenTuple::with_atoms(
-            vec![lrp(0, 2), lrp(1, 2)],
-            &[Atom::diff_le(0, 1, 0)],
-            vec![],
-        )
-        .unwrap()];
+        let r = vec![GenTuple::builder()
+            .lrps(vec![lrp(0, 2), lrp(1, 2)])
+            .atoms([Atom::diff_le(0, 1, 0)])
+            .build()
+            .unwrap()];
         check_window(&r, 2, -5, 6);
     }
 
@@ -289,9 +353,11 @@ mod tests {
 
     #[test]
     fn double_complement_is_identity_on_window() {
-        let r = vec![
-            GenTuple::with_atoms(vec![lrp(1, 4)], &[Atom::ge(0, -3)], vec![]).unwrap(),
-        ];
+        let r = vec![GenTuple::builder()
+            .lrps(vec![lrp(1, 4)])
+            .atoms([Atom::ge(0, -3)])
+            .build()
+            .unwrap()];
         let c1 = complement_tuples(&r, 1, 10_000).unwrap();
         let c2 = complement_tuples(&c1, 1, 10_000).unwrap();
         let original = materialize_tuples(&r, -15, 15);
@@ -303,8 +369,7 @@ mod tests {
     fn zero_arity() {
         let full = complement_tuples(&[], 0, 10).unwrap();
         assert_eq!(full.len(), 1);
-        let empty =
-            complement_tuples(&[GenTuple::unconstrained(vec![], vec![])], 0, 10).unwrap();
+        let empty = complement_tuples(&[GenTuple::unconstrained(vec![], vec![])], 0, 10).unwrap();
         assert!(empty.is_empty());
     }
 
@@ -331,7 +396,11 @@ mod tests {
                     atoms.push(Atom::diff_le(0, 1, i as i64 - 2));
                 }
                 tuples.push(
-                    GenTuple::with_atoms(vec![Lrp::all(); m], &atoms, vec![]).unwrap(),
+                    GenTuple::builder()
+                        .lrps(vec![Lrp::all(); m])
+                        .atoms(atoms.iter().copied())
+                        .build()
+                        .unwrap(),
                 );
             }
             let comp = complement_tuples(&tuples, m, 1 << 20).unwrap();
@@ -355,8 +424,8 @@ mod tests {
             x in -10i64..10,
         ) {
             let r = vec![
-                GenTuple::with_atoms(vec![lrp(c1, k1)], &[Atom::ge(0, a)], vec![]).unwrap(),
-                GenTuple::with_atoms(vec![lrp(c2, k2)], &[Atom::le(0, b)], vec![]).unwrap(),
+                GenTuple::builder().lrps(vec![lrp(c1, k1)]).atoms([Atom::ge(0, a)]).build().unwrap(),
+                GenTuple::builder().lrps(vec![lrp(c2, k2)]).atoms([Atom::le(0, b)]).build().unwrap(),
             ];
             let comp = complement_tuples(&r, 1, 100_000).unwrap();
             let in_r = r.iter().any(|t| t.contains(&[x], &[]));

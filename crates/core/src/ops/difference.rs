@@ -63,7 +63,7 @@ pub fn difference_tuples(t1: &GenTuple, t2: &GenTuple) -> Result<Vec<GenTuple>> 
                 for c in classes {
                     let mut lrps = t1.lrps().to_vec();
                     lrps[i] = c;
-                    out.push(GenTuple::new(
+                    out.push(GenTuple::from_parts(
                         lrps,
                         t1.constraints().clone(),
                         t1.data().to_vec(),
@@ -78,7 +78,7 @@ pub fn difference_tuples(t1: &GenTuple, t2: &GenTuple) -> Result<Vec<GenTuple>> 
                     let mut cons = t1.constraints().clone();
                     cons.add(atom)?;
                     if cons.is_satisfiable() {
-                        out.push(GenTuple::new(
+                        out.push(GenTuple::from_parts(
                             t1.lrps().to_vec(),
                             cons,
                             t1.data().to_vec(),
@@ -96,7 +96,11 @@ pub fn difference_tuples(t1: &GenTuple, t2: &GenTuple) -> Result<Vec<GenTuple>> 
             let mut cons = t1.constraints().clone();
             cons.add(d)?;
             if cons.is_satisfiable() {
-                out.push(GenTuple::new(meets.clone(), cons, t1.data().to_vec())?);
+                out.push(GenTuple::from_parts(
+                    meets.clone(),
+                    cons,
+                    t1.data().to_vec(),
+                )?);
             }
         }
     }
@@ -140,7 +144,11 @@ mod tests {
     fn constrained_subtrahend_leaves_complement_part() {
         // Remove only the positive part of the same lrp.
         let t1 = GenTuple::unconstrained(vec![lrp(0, 2)], vec![]);
-        let t2 = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 0)], vec![]).unwrap();
+        let t2 = GenTuple::builder()
+            .lrps(vec![lrp(0, 2)])
+            .atoms([Atom::ge(0, 0)])
+            .build()
+            .unwrap();
         check_window(&t1, &t2, -20, 20);
         let diff = difference_tuples(&t1, &t2).unwrap();
         // Expect exactly the negative evens.
@@ -165,7 +173,11 @@ mod tests {
 
     #[test]
     fn identical_tuples_cancel() {
-        let t = GenTuple::with_atoms(vec![lrp(0, 3)], &[Atom::ge(0, 0)], vec![]).unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(0, 3)])
+            .atoms([Atom::ge(0, 0)])
+            .build()
+            .unwrap();
         let diff = difference_tuples(&t, &t).unwrap();
         let got = materialize_tuples(&diff, -30, 30);
         assert!(got.is_empty(), "{got:?}");
@@ -181,7 +193,10 @@ mod tests {
     #[test]
     fn empty_subtrahend_is_noop() {
         let t1 = GenTuple::unconstrained(vec![lrp(0, 2)], vec![]);
-        let t2 = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::le(0, 0), Atom::ge(0, 2)], vec![])
+        let t2 = GenTuple::builder()
+            .lrps(vec![lrp(0, 2)])
+            .atoms([Atom::le(0, 0), Atom::ge(0, 2)])
+            .build()
             .unwrap();
         assert_eq!(difference_tuples(&t1, &t2).unwrap(), vec![t1.clone()]);
     }
@@ -190,18 +205,16 @@ mod tests {
     fn two_dimensional_figure_1_shape() {
         // A constrained t2 inside t1's free extension: both parts of the
         // decomposition contribute.
-        let t1 = GenTuple::with_atoms(
-            vec![lrp(0, 2), lrp(0, 2)],
-            &[Atom::ge(0, -10)],
-            vec![],
-        )
-        .unwrap();
-        let t2 = GenTuple::with_atoms(
-            vec![lrp(0, 4), lrp(0, 2)],
-            &[Atom::diff_le(0, 1, 0), Atom::ge(1, 0)],
-            vec![],
-        )
-        .unwrap();
+        let t1 = GenTuple::builder()
+            .lrps(vec![lrp(0, 2), lrp(0, 2)])
+            .atoms([Atom::ge(0, -10)])
+            .build()
+            .unwrap();
+        let t2 = GenTuple::builder()
+            .lrps(vec![lrp(0, 4), lrp(0, 2)])
+            .atoms([Atom::diff_le(0, 1, 0), Atom::ge(1, 0)])
+            .build()
+            .unwrap();
         check_window(&t1, &t2, -8, 12);
     }
 
@@ -213,16 +226,8 @@ mod tests {
             lo1 in -6i64..6,
             hi2 in -6i64..6,
         ) {
-            let t1 = GenTuple::with_atoms(
-                vec![lrp(c1, k1)],
-                &[Atom::ge(0, lo1)],
-                vec![],
-            ).unwrap();
-            let t2 = GenTuple::with_atoms(
-                vec![lrp(c2, k2)],
-                &[Atom::le(0, hi2)],
-                vec![],
-            ).unwrap();
+            let t1 = GenTuple::builder().lrps(vec![lrp(c1, k1)]).atoms([Atom::ge(0, lo1)]).build().unwrap();
+            let t2 = GenTuple::builder().lrps(vec![lrp(c2, k2)]).atoms([Atom::le(0, hi2)]).build().unwrap();
             let diff = difference_tuples(&t1, &t2).unwrap();
             for x in -25i64..25 {
                 let expect = t1.contains(&[x], &[]) && !t2.contains(&[x], &[]);
@@ -237,16 +242,8 @@ mod tests {
             a in -4i64..4,
             b in -4i64..4,
         ) {
-            let t1 = GenTuple::with_atoms(
-                vec![lrp(0, k1), lrp(1, k2)],
-                &[Atom::diff_le(0, 1, 3)],
-                vec![],
-            ).unwrap();
-            let t2 = GenTuple::with_atoms(
-                vec![lrp(0, 2), lrp(1, 2)],
-                &[Atom::diff_le(0, 1, a), Atom::ge(0, b)],
-                vec![],
-            ).unwrap();
+            let t1 = GenTuple::builder().lrps(vec![lrp(0, k1), lrp(1, k2)]).atoms([Atom::diff_le(0, 1, 3)]).build().unwrap();
+            let t2 = GenTuple::builder().lrps(vec![lrp(0, 2), lrp(1, 2)]).atoms([Atom::diff_le(0, 1, a), Atom::ge(0, b)]).build().unwrap();
             let diff = difference_tuples(&t1, &t2).unwrap();
             for x in -8i64..8 {
                 for y in -8i64..8 {

@@ -36,7 +36,7 @@ pub fn intersect_tuples(t1: &GenTuple, t2: &GenTuple) -> Result<Option<GenTuple>
     if !cons.is_satisfiable() {
         return Ok(None);
     }
-    Ok(Some(GenTuple::new(lrps, cons, t1.data().to_vec())?))
+    Ok(Some(GenTuple::from_parts(lrps, cons, t1.data().to_vec())?))
 }
 
 #[cfg(test)]
@@ -55,18 +55,16 @@ mod tests {
         // [2n1+1, 3n2−4] ∧ X1 ≤ X2 ∧ 3 ≤ X1
         //   ∩ [5n3, 5n4+2] ∧ X1 = X2 − 2
         // = [10n+5, 15n'+2] ∧ X1 ≤ X2 ∧ 3 ≤ X1 ∧ X1 = X2 − 2
-        let t1 = GenTuple::with_atoms(
-            vec![lrp(1, 2), lrp(-4, 3)],
-            &[Atom::diff_le(0, 1, 0), Atom::ge(0, 3)],
-            vec![],
-        )
-        .unwrap();
-        let t2 = GenTuple::with_atoms(
-            vec![lrp(0, 5), lrp(2, 5)],
-            &[Atom::diff_eq(0, 1, -2)],
-            vec![],
-        )
-        .unwrap();
+        let t1 = GenTuple::builder()
+            .lrps(vec![lrp(1, 2), lrp(-4, 3)])
+            .atoms([Atom::diff_le(0, 1, 0), Atom::ge(0, 3)])
+            .build()
+            .unwrap();
+        let t2 = GenTuple::builder()
+            .lrps(vec![lrp(0, 5), lrp(2, 5)])
+            .atoms([Atom::diff_eq(0, 1, -2)])
+            .build()
+            .unwrap();
         let i = intersect_tuples(&t1, &t2).unwrap().unwrap();
         assert_eq!(i.lrps()[0], lrp(5, 10));
         assert_eq!(i.lrps()[1], lrp(2, 15));
@@ -80,14 +78,16 @@ mod tests {
 
     #[test]
     fn intersection_matches_membership() {
-        let t1 = GenTuple::with_atoms(vec![lrp(1, 2), lrp(0, 3)], &[Atom::ge(0, 0)], vec![])
+        let t1 = GenTuple::builder()
+            .lrps(vec![lrp(1, 2), lrp(0, 3)])
+            .atoms([Atom::ge(0, 0)])
+            .build()
             .unwrap();
-        let t2 = GenTuple::with_atoms(
-            vec![lrp(1, 4), lrp(0, 2)],
-            &[Atom::diff_le(0, 1, 10)],
-            vec![],
-        )
-        .unwrap();
+        let t2 = GenTuple::builder()
+            .lrps(vec![lrp(1, 4), lrp(0, 2)])
+            .atoms([Atom::diff_le(0, 1, 10)])
+            .build()
+            .unwrap();
         let i = intersect_tuples(&t1, &t2).unwrap();
         for x in -10..25 {
             for y in -10..25 {
@@ -119,8 +119,16 @@ mod tests {
 
     #[test]
     fn contradictory_constraints_give_none() {
-        let t1 = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 10)], vec![]).unwrap();
-        let t2 = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::le(0, 5)], vec![]).unwrap();
+        let t1 = GenTuple::builder()
+            .lrps(vec![lrp(0, 2)])
+            .atoms([Atom::ge(0, 10)])
+            .build()
+            .unwrap();
+        let t2 = GenTuple::builder()
+            .lrps(vec![lrp(0, 2)])
+            .atoms([Atom::le(0, 5)])
+            .build()
+            .unwrap();
         assert!(intersect_tuples(&t1, &t2).unwrap().is_none());
     }
 }

@@ -23,7 +23,7 @@ pub fn cross_product_tuples(t1: &GenTuple, t2: &GenTuple) -> Result<GenTuple> {
         .constraints()
         .embed(m1 + m2, &left_map)
         .conjoin(&t2.constraints().embed(m1 + m2, &right_map))?;
-    GenTuple::new(lrps, cons, data)
+    GenTuple::from_parts(lrps, cons, data)
 }
 
 /// Equi-join of two tuples on the given attribute pairs (§3.7).
@@ -59,7 +59,10 @@ pub fn join_tuples(
     for &(i, j) in temporal_pairs {
         assert!(i < m1, "left join attribute out of range");
         let jr = m1 + j;
-        assert!(jr < combined.lrps().len(), "right join attribute out of range");
+        assert!(
+            jr < combined.lrps().len(),
+            "right join attribute out of range"
+        );
         let (mut lrps, mut cons, data) = combined.into_parts();
         let meet = match lrps[i].intersect(&lrps[jr])? {
             Some(l) => l,
@@ -71,7 +74,7 @@ pub fn join_tuples(
         if !cons.is_satisfiable() {
             return Ok(None);
         }
-        combined = GenTuple::new(lrps, cons, data)?;
+        combined = GenTuple::from_parts(lrps, cons, data)?;
     }
     Ok(Some(combined))
 }
@@ -89,18 +92,18 @@ mod tests {
 
     #[test]
     fn cross_product_concatenates() {
-        let t1 = GenTuple::with_atoms(
-            vec![lrp(0, 2)],
-            &[Atom::ge(0, 4)],
-            vec![Value::str("a")],
-        )
-        .unwrap();
-        let t2 = GenTuple::with_atoms(
-            vec![lrp(1, 3), Lrp::point(9)],
-            &[Atom::diff_le(0, 1, 0)],
-            vec![Value::Int(7)],
-        )
-        .unwrap();
+        let t1 = GenTuple::builder()
+            .lrps(vec![lrp(0, 2)])
+            .atoms([Atom::ge(0, 4)])
+            .data(vec![Value::str("a")])
+            .build()
+            .unwrap();
+        let t2 = GenTuple::builder()
+            .lrps(vec![lrp(1, 3), Lrp::point(9)])
+            .atoms([Atom::diff_le(0, 1, 0)])
+            .data(vec![Value::Int(7)])
+            .build()
+            .unwrap();
         let c = cross_product_tuples(&t1, &t2).unwrap();
         assert_eq!(c.schema(), crate::Schema::new(3, 2));
         assert_eq!(c.lrps(), &[lrp(0, 2), lrp(1, 3), Lrp::point(9)]);
@@ -113,8 +116,16 @@ mod tests {
 
     #[test]
     fn cross_product_membership_is_product_semantics() {
-        let t1 = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 0)], vec![]).unwrap();
-        let t2 = GenTuple::with_atoms(vec![lrp(1, 2)], &[Atom::le(0, 9)], vec![]).unwrap();
+        let t1 = GenTuple::builder()
+            .lrps(vec![lrp(0, 2)])
+            .atoms([Atom::ge(0, 0)])
+            .build()
+            .unwrap();
+        let t2 = GenTuple::builder()
+            .lrps(vec![lrp(1, 2)])
+            .atoms([Atom::le(0, 9)])
+            .build()
+            .unwrap();
         let c = cross_product_tuples(&t1, &t2).unwrap();
         for x in -4..14 {
             for y in -4..14 {
@@ -128,18 +139,16 @@ mod tests {
     fn join_pins_columns_equal() {
         // Join intervals sharing an endpoint: (X1, X2) ⋈ (Y1, Y2) on X2 = Y1
         // — the paper's interval-concatenation example (footnote 2).
-        let t1 = GenTuple::with_atoms(
-            vec![lrp(0, 10), lrp(2, 10)],
-            &[Atom::diff_eq(1, 0, 2)],
-            vec![],
-        )
-        .unwrap();
-        let t2 = GenTuple::with_atoms(
-            vec![lrp(2, 5), lrp(4, 5)],
-            &[Atom::diff_eq(1, 0, 2)],
-            vec![],
-        )
-        .unwrap();
+        let t1 = GenTuple::builder()
+            .lrps(vec![lrp(0, 10), lrp(2, 10)])
+            .atoms([Atom::diff_eq(1, 0, 2)])
+            .build()
+            .unwrap();
+        let t2 = GenTuple::builder()
+            .lrps(vec![lrp(2, 5), lrp(4, 5)])
+            .atoms([Atom::diff_eq(1, 0, 2)])
+            .build()
+            .unwrap();
         let j = join_tuples(&t1, &t2, &[(1, 0)], &[]).unwrap().unwrap();
         assert_eq!(j.schema().temporal(), 4);
         // Joined columns carry the intersected lrp 2 + 10n.
@@ -168,19 +177,21 @@ mod tests {
 
     #[test]
     fn join_semantics_on_window() {
-        let t1 = GenTuple::with_atoms(
-            vec![lrp(0, 3), lrp(1, 3)],
-            &[Atom::diff_le(0, 1, 0)],
-            vec![],
-        )
-        .unwrap();
-        let t2 = GenTuple::with_atoms(vec![lrp(1, 2)], &[Atom::ge(0, 3)], vec![]).unwrap();
+        let t1 = GenTuple::builder()
+            .lrps(vec![lrp(0, 3), lrp(1, 3)])
+            .atoms([Atom::diff_le(0, 1, 0)])
+            .build()
+            .unwrap();
+        let t2 = GenTuple::builder()
+            .lrps(vec![lrp(1, 2)])
+            .atoms([Atom::ge(0, 3)])
+            .build()
+            .unwrap();
         let j = join_tuples(&t1, &t2, &[(1, 0)], &[]).unwrap();
         for x in 0..14 {
             for y in 0..14 {
                 for z in 0..14 {
-                    let expect =
-                        t1.contains(&[x, y], &[]) && t2.contains(&[z], &[]) && y == z;
+                    let expect = t1.contains(&[x, y], &[]) && t2.contains(&[z], &[]) && y == z;
                     let got = j
                         .as_ref()
                         .map(|t| t.contains(&[x, y, z], &[]))

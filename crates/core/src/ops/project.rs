@@ -110,7 +110,7 @@ pub fn project_tuple(
         .collect();
 
     // Mini-tuple over the hot columns; project it with full normalization.
-    let mini = GenTuple::new(
+    let mini = GenTuple::from_parts(
         hot.iter().map(|&c| t.lrps()[c]).collect(),
         t.constraints().project_onto(&hot),
         vec![],
@@ -149,7 +149,7 @@ pub fn project_tuple(
             .constraints()
             .embed(out_arity, &hot_positions)
             .conjoin(&cold_cons.embed(out_arity, &cold_positions))?;
-        out.push(GenTuple::new(lrps, cons, data.clone())?);
+        out.push(GenTuple::from_parts(lrps, cons, data.clone())?);
     }
     Ok(out)
 }
@@ -176,7 +176,7 @@ pub fn project_tuple_full(
         let kept_anchors: Vec<i64> = temporal_keep.iter().map(|&i| anchors[i]).collect();
         let cons = projected_grid.from_grid(&kept_anchors, k)?;
         let lrps: Vec<_> = temporal_keep.iter().map(|&i| nt.lrps()[i]).collect();
-        out.push(GenTuple::new(lrps, cons, data.clone())?);
+        out.push(GenTuple::from_parts(lrps, cons, data.clone())?);
     }
     Ok(out)
 }
@@ -200,16 +200,15 @@ mod tests {
         // Figure 2 / Example 3.2: projecting out X2 must give 8n+3 with
         // X1 ≥ 11 — NOT the naive real projection (4n+3 with X1 ≥ 2-ish),
         // whose extra points 3, 7, 15, 23… have no witnesses.
-        let t = GenTuple::with_atoms(
-            vec![lrp(3, 4), lrp(1, 8)],
-            &[
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(3, 4), lrp(1, 8)])
+            .atoms([
                 Atom::diff_ge(0, 1, 0).unwrap(),
                 Atom::diff_le(0, 1, 5),
                 Atom::ge(1, 2),
-            ],
-            vec![],
-        )
-        .unwrap();
+            ])
+            .build()
+            .unwrap();
         let p = project_tuple(&t, &[0], &[]).unwrap();
         assert_eq!(p.len(), 1, "{p:?}");
         assert_eq!(p[0].lrps()[0], lrp(3, 8));
@@ -226,16 +225,15 @@ mod tests {
 
     #[test]
     fn projection_matches_brute_force() {
-        let t = GenTuple::with_atoms(
-            vec![lrp(3, 4), lrp(1, 8)],
-            &[
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(3, 4), lrp(1, 8)])
+            .atoms([
                 Atom::diff_ge(0, 1, 0).unwrap(),
                 Atom::diff_le(0, 1, 5),
                 Atom::ge(1, 2),
-            ],
-            vec![],
-        )
-        .unwrap();
+            ])
+            .build()
+            .unwrap();
         let p = project_tuple(&t, &[0], &[]).unwrap();
         // Brute force: x1 appears iff some x2 in a wide window pairs with it.
         let wide = materialize_tuples(&[t], -50, 120);
@@ -250,12 +248,12 @@ mod tests {
 
     #[test]
     fn projection_keeps_and_permutes_columns() {
-        let t = GenTuple::with_atoms(
-            vec![lrp(0, 2), lrp(1, 2), Lrp::point(5)],
-            &[Atom::diff_le(0, 1, 0)],
-            vec![Value::str("a"), Value::Int(1)],
-        )
-        .unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(0, 2), lrp(1, 2), Lrp::point(5)])
+            .atoms([Atom::diff_le(0, 1, 0)])
+            .data(vec![Value::str("a"), Value::Int(1)])
+            .build()
+            .unwrap();
         let p = project_tuple(&t, &[2, 0], &[1]).unwrap();
         assert!(!p.is_empty());
         for pt in &p {
@@ -268,17 +266,20 @@ mod tests {
     #[test]
     fn project_to_nothing_checks_emptiness() {
         // Projecting all columns away leaves the 0-ary tuple iff nonempty.
-        let t = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 100)], vec![]).unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(0, 2)])
+            .atoms([Atom::ge(0, 100)])
+            .build()
+            .unwrap();
         let p = project_tuple(&t, &[], &[]).unwrap();
         assert_eq!(p.len(), 1);
         assert_eq!(p[0].schema(), crate::Schema::new(0, 0));
         // Unsatisfiable tuple projects to nothing.
-        let t = GenTuple::with_atoms(
-            vec![lrp(0, 2), lrp(0, 2)],
-            &[Atom::diff_eq(0, 1, 1)],
-            vec![],
-        )
-        .unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(0, 2), lrp(0, 2)])
+            .atoms([Atom::diff_eq(0, 1, 1)])
+            .build()
+            .unwrap();
         assert!(project_tuple(&t, &[], &[]).unwrap().is_empty());
     }
 
@@ -286,17 +287,16 @@ mod tests {
     fn partial_normalization_matches_full() {
         // Column 2 (period 7) is unrelated to the eliminated column 1:
         // the partial path must not refine it.
-        let t = GenTuple::with_atoms(
-            vec![lrp(3, 4), lrp(1, 8), lrp(2, 7)],
-            &[
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(3, 4), lrp(1, 8), lrp(2, 7)])
+            .atoms([
                 Atom::diff_ge(0, 1, 0).unwrap(),
                 Atom::diff_le(0, 1, 5),
                 Atom::ge(1, 2),
                 Atom::le(2, 100),
-            ],
-            vec![],
-        )
-        .unwrap();
+            ])
+            .build()
+            .unwrap();
         let partial = project_tuple(&t, &[0, 2], &[]).unwrap();
         let full = project_tuple_full(&t, &[0, 2], &[]).unwrap();
         // The unrelated column keeps its original period in the partial
@@ -316,12 +316,11 @@ mod tests {
     fn partial_pure_permutation_keeps_everything() {
         // No column dropped: projection is a permutation; nothing is
         // normalized at all.
-        let t = GenTuple::with_atoms(
-            vec![lrp(1, 6), lrp(0, 10)],
-            &[Atom::diff_le(0, 1, 3)],
-            vec![],
-        )
-        .unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(1, 6), lrp(0, 10)])
+            .atoms([Atom::diff_le(0, 1, 3)])
+            .build()
+            .unwrap();
         let p = project_tuple(&t, &[1, 0], &[]).unwrap();
         assert_eq!(p.len(), 1);
         assert_eq!(p[0].lrps(), &[lrp(0, 10), lrp(1, 6)]);
@@ -343,11 +342,7 @@ mod tests {
             a in -4i64..4, lob in -4i64..4, hib in 0i64..6,
         ) {
             // Constraint couples columns 0 and 1; column 2 is independent.
-            let t = GenTuple::with_atoms(
-                vec![lrp(0, k1), lrp(1, k2), lrp(2, k3)],
-                &[Atom::diff_le(0, 1, a), Atom::ge(0, lob), Atom::le(2, hib)],
-                vec![],
-            ).unwrap();
+            let t = GenTuple::builder().lrps(vec![lrp(0, k1), lrp(1, k2), lrp(2, k3)]).atoms([Atom::diff_le(0, 1, a), Atom::ge(0, lob), Atom::le(2, hib)]).build().unwrap();
             let partial = project_tuple(&t, &[0, 2], &[]).unwrap();
             let full = project_tuple_full(&t, &[0, 2], &[]).unwrap();
             for x in -8i64..8 {
@@ -370,15 +365,11 @@ mod tests {
             b in -5i64..5,
             lob in -5i64..5,
         ) {
-            let t = GenTuple::with_atoms(
-                vec![lrp(c1, k1), lrp(c2, k2)],
-                &[
+            let t = GenTuple::builder().lrps(vec![lrp(c1, k1), lrp(c2, k2)]).atoms([
                     Atom::diff_ge(0, 1, a).unwrap(),
                     Atom::diff_le(0, 1, b),
                     Atom::ge(1, lob),
-                ],
-                vec![],
-            ).unwrap();
+                ]).build().unwrap();
             let p = project_tuple(&t, &[0], &[]).unwrap();
             for x1 in -12i64..12 {
                 let symbolic = p.iter().any(|pt| pt.contains(&[x1], &[]));

@@ -7,6 +7,7 @@ use itd_constraint::Atom;
 
 use crate::enumerate::{materialize_tuples, ConcreteTuple};
 use crate::error::CoreError;
+use crate::exec::{self, ExecContext, OpKind};
 use crate::ops;
 use crate::schema::Schema;
 use crate::tuple::GenTuple;
@@ -20,12 +21,13 @@ use crate::Result;
 /// ```
 /// use itd_core::{Atom, GenRelation, GenTuple, Lrp, Schema};
 /// // "Every 10 ticks, a 3-tick task runs": one tuple, infinitely many facts.
-/// let task = GenTuple::with_atoms(
-///     vec![Lrp::new(0, 10).unwrap(), Lrp::new(3, 10).unwrap()],
-///     &[Atom::diff_eq(1, 0, 3)],
-///     vec![],
-/// ).unwrap();
-/// let rel = GenRelation::new(Schema::new(2, 0), vec![task]).unwrap();
+/// let task = GenTuple::builder()
+///     .lrp(Lrp::new(0, 10).unwrap())
+///     .lrp(Lrp::new(3, 10).unwrap())
+///     .atom(Atom::diff_eq(1, 0, 3))
+///     .build()
+///     .unwrap();
+/// let rel = GenRelation::builder(Schema::new(2, 0)).tuple(task).build().unwrap();
 /// assert!(rel.contains(&[1_000_000, 1_000_003], &[]));
 /// // The full algebra is closed: complement, intersect, project, …
 /// let busy_starts = rel.project(&[0], &[]).unwrap();
@@ -42,6 +44,15 @@ pub struct GenRelation {
 }
 
 impl GenRelation {
+    /// Starts building a relation of the given schema; see
+    /// [`GenRelationBuilder`].
+    pub fn builder(schema: Schema) -> GenRelationBuilder {
+        GenRelationBuilder {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
     /// The empty relation of the given schema.
     pub fn empty(schema: Schema) -> GenRelation {
         GenRelation {
@@ -84,25 +95,40 @@ impl GenRelation {
     }
 
     /// The schema.
+    #[must_use]
     pub fn schema(&self) -> Schema {
         self.schema
     }
 
     /// The generalized tuples.
+    #[must_use]
     pub fn tuples(&self) -> &[GenTuple] {
         &self.tuples
     }
 
     /// Number of generalized tuples (the paper's `N`).
-    #[allow(clippy::len_without_is_empty)] // is_empty is semantic (Thm 3.5), see has_no_tuples
-    pub fn len(&self) -> usize {
+    ///
+    /// This counts the *representation*, not the denotation — a relation
+    /// with many tuples can still denote the empty set
+    /// ([`GenRelation::denotes_empty`]) and one tuple usually denotes
+    /// infinitely many facts.
+    #[must_use]
+    pub fn tuple_count(&self) -> usize {
         self.tuples.len()
+    }
+
+    /// Deprecated name of [`GenRelation::tuple_count`].
+    #[deprecated(since = "0.2.0", note = "renamed to `tuple_count`")]
+    #[allow(clippy::len_without_is_empty)] // emptiness is semantic (Thm 3.5), see has_no_tuples
+    pub fn len(&self) -> usize {
+        self.tuple_count()
     }
 
     /// Is the representation empty (no tuples at all)?
     ///
     /// Note: a relation with tuples can still *denote* the empty set; that
-    /// exact test is [`GenRelation::is_empty`].
+    /// exact test is [`GenRelation::denotes_empty`].
+    #[must_use]
     pub fn has_no_tuples(&self) -> bool {
         self.tuples.is_empty()
     }
@@ -123,6 +149,7 @@ impl GenRelation {
     }
 
     /// Membership of a concrete tuple.
+    #[must_use]
     pub fn contains(&self, times: &[i64], data: &[Value]) -> bool {
         self.tuples.iter().any(|t| t.contains(times, data))
     }
@@ -131,7 +158,7 @@ impl GenRelation {
     ///
     /// # Errors
     /// Arithmetic overflow during normalization.
-    pub fn is_empty(&self) -> Result<bool> {
+    pub fn denotes_empty(&self) -> Result<bool> {
         for t in &self.tuples {
             if !t.is_empty()? {
                 return Ok(false);
@@ -140,14 +167,35 @@ impl GenRelation {
         Ok(true)
     }
 
+    /// Deprecated name of [`GenRelation::denotes_empty`].
+    ///
+    /// # Errors
+    /// See [`GenRelation::denotes_empty`].
+    #[deprecated(since = "0.2.0", note = "renamed to `denotes_empty`")]
+    pub fn is_empty(&self) -> Result<bool> {
+        self.denotes_empty()
+    }
+
     /// Union (§3.1): merge the tuple sets.
     ///
     /// # Errors
     /// [`CoreError::SchemaMismatch`].
     pub fn union(&self, other: &GenRelation) -> Result<GenRelation> {
+        self.union_in(other, &ExecContext::serial())
+    }
+
+    /// [`GenRelation::union`] under an execution context (instrumentation
+    /// only — union is a concatenation and never worth fanning out).
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`].
+    pub fn union_in(&self, other: &GenRelation, ctx: &ExecContext) -> Result<GenRelation> {
         self.check_schema(other)?;
+        let timer = ctx.timed(OpKind::Union);
+        timer.add_in(self.tuples.len() + other.tuples.len());
         let mut tuples = self.tuples.clone();
         tuples.extend_from_slice(&other.tuples);
+        timer.add_out(tuples.len());
         Ok(GenRelation {
             schema: self.schema,
             tuples,
@@ -159,15 +207,33 @@ impl GenRelation {
     /// # Errors
     /// [`CoreError::SchemaMismatch`]; arithmetic failures.
     pub fn intersect(&self, other: &GenRelation) -> Result<GenRelation> {
+        self.intersect_in(other, &ExecContext::serial())
+    }
+
+    /// [`GenRelation::intersect`] under an execution context: the pairwise
+    /// tuple intersections are fanned over the context's threads (chunked
+    /// over `self`'s tuples, outputs concatenated in order — the result is
+    /// bit-identical at any thread count) and the [`OpKind::Intersect`]
+    /// counters are updated.
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`]; arithmetic failures.
+    pub fn intersect_in(&self, other: &GenRelation, ctx: &ExecContext) -> Result<GenRelation> {
         self.check_schema(other)?;
-        let mut tuples = Vec::new();
-        for t1 in &self.tuples {
+        let timer = ctx.timed(OpKind::Intersect);
+        timer.add_in(self.tuples.len() + other.tuples.len());
+        timer.add_pairs(self.tuples.len() as u64 * other.tuples.len() as u64);
+        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t1| {
+            let mut out = Vec::new();
             for t2 in &other.tuples {
-                if let Some(t) = ops::intersect_tuples(t1, t2)? {
-                    tuples.push(t);
+                match ops::intersect_tuples(t1, t2)? {
+                    Some(t) => out.push(t),
+                    None => timer.add_pruned(1),
                 }
             }
-        }
+            Ok(out)
+        })?;
+        timer.add_out(tuples.len());
         Ok(GenRelation {
             schema: self.schema,
             tuples,
@@ -187,17 +253,39 @@ impl GenRelation {
     /// # Errors
     /// Same as [`GenRelation::intersect`].
     pub fn intersect_bucketed(&self, other: &GenRelation) -> Result<GenRelation> {
+        self.intersect_bucketed_in(other, &ExecContext::serial())
+    }
+
+    /// [`GenRelation::intersect_bucketed`] under an execution context
+    /// (instrumented as [`OpKind::Intersect`]; the bucketed candidate scan
+    /// itself stays serial — it is already subquadratic).
+    ///
+    /// # Errors
+    /// Same as [`GenRelation::intersect`].
+    pub fn intersect_bucketed_in(
+        &self,
+        other: &GenRelation,
+        ctx: &ExecContext,
+    ) -> Result<GenRelation> {
         self.check_schema(other)?;
-        let Some(k) = self.uniform_period().filter(|k| other.uniform_period() == Some(*k))
+        let Some(k) = self
+            .uniform_period()
+            .filter(|k| other.uniform_period() == Some(*k))
         else {
-            return self.intersect(other);
+            return self.intersect_in(other, ctx);
         };
         debug_assert!(k > 0);
+        let timer = ctx.timed(OpKind::Intersect);
+        timer.add_in(self.tuples.len() + other.tuples.len());
+        timer.record_period(k);
         let mut buckets: std::collections::HashMap<(Vec<i64>, &[Value]), Vec<&GenTuple>> =
             std::collections::HashMap::new();
         for t in &self.tuples {
             let key = (
-                t.lrps().iter().map(itd_lrp::Lrp::offset).collect::<Vec<_>>(),
+                t.lrps()
+                    .iter()
+                    .map(itd_lrp::Lrp::offset)
+                    .collect::<Vec<_>>(),
                 t.data(),
             );
             buckets.entry(key).or_default().push(t);
@@ -205,7 +293,10 @@ impl GenRelation {
         let mut tuples = Vec::new();
         for t2 in &other.tuples {
             let key = (
-                t2.lrps().iter().map(itd_lrp::Lrp::offset).collect::<Vec<_>>(),
+                t2.lrps()
+                    .iter()
+                    .map(itd_lrp::Lrp::offset)
+                    .collect::<Vec<_>>(),
                 t2.data(),
             );
             let Some(candidates) = buckets.get(&key) else {
@@ -214,16 +305,20 @@ impl GenRelation {
             for t1 in candidates {
                 // Same period and offsets: the lrps coincide, so only the
                 // constraints need conjoining.
+                timer.add_pairs(1);
                 let cons = t1.constraints().conjoin(t2.constraints())?;
                 if cons.is_satisfiable() {
-                    tuples.push(GenTuple::new(
+                    tuples.push(GenTuple::from_parts(
                         t2.lrps().to_vec(),
                         cons,
                         t2.data().to_vec(),
                     )?);
+                } else {
+                    timer.add_pruned(1);
                 }
             }
         }
+        timer.add_out(tuples.len());
         Ok(GenRelation {
             schema: self.schema,
             tuples,
@@ -263,29 +358,46 @@ impl GenRelation {
     /// # Errors
     /// [`CoreError::SchemaMismatch`]; arithmetic failures.
     pub fn difference(&self, other: &GenRelation) -> Result<GenRelation> {
+        self.difference_in(other, &ExecContext::serial())
+    }
+
+    /// [`GenRelation::difference`] under an execution context: the
+    /// per-`t1` difference folds are independent, so they are fanned over
+    /// the context's threads (chunked over `self`'s tuples, outputs
+    /// concatenated in order) while the [`OpKind::Difference`] counters
+    /// record pairs examined and empty tuples pruned.
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`]; arithmetic failures.
+    pub fn difference_in(&self, other: &GenRelation, ctx: &ExecContext) -> Result<GenRelation> {
         self.check_schema(other)?;
-        let mut tuples = Vec::new();
-        for t1 in &self.tuples {
+        let timer = ctx.timed(OpKind::Difference);
+        timer.add_in(self.tuples.len() + other.tuples.len());
+        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t1| {
             let mut acc = vec![t1.clone()];
             for t2 in &other.tuples {
                 let mut next = Vec::new();
                 for t in &acc {
+                    timer.add_pairs(1);
                     next.extend(ops::difference_tuples(t, t2)?);
                 }
                 // Prune and deduplicate to bound the blow-up.
+                let candidates = next.len();
                 let mut pruned: Vec<GenTuple> = Vec::with_capacity(next.len());
                 for t in next {
                     if !t.is_empty()? && !pruned.contains(&t) {
                         pruned.push(t);
                     }
                 }
+                timer.add_pruned((candidates - pruned.len()) as u64);
                 acc = pruned;
                 if acc.is_empty() {
                     break;
                 }
             }
-            tuples.extend(acc);
-        }
+            Ok(acc)
+        })?;
+        timer.add_out(tuples.len());
         Ok(GenRelation {
             schema: self.schema,
             tuples,
@@ -298,6 +410,22 @@ impl GenRelation {
     /// # Errors
     /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
     pub fn project(&self, temporal_keep: &[usize], data_keep: &[usize]) -> Result<GenRelation> {
+        self.project_in(temporal_keep, data_keep, &ExecContext::serial())
+    }
+
+    /// [`GenRelation::project`] under an execution context: per-tuple
+    /// projection (which normalizes internally and is the costly part) is
+    /// fanned over the context's threads; [`OpKind::Project`] counters are
+    /// updated.
+    ///
+    /// # Errors
+    /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
+    pub fn project_in(
+        &self,
+        temporal_keep: &[usize],
+        data_keep: &[usize],
+        ctx: &ExecContext,
+    ) -> Result<GenRelation> {
         for &i in temporal_keep {
             if i >= self.schema.temporal() {
                 return Err(CoreError::AttributeOutOfRange {
@@ -314,10 +442,12 @@ impl GenRelation {
                 });
             }
         }
-        let mut tuples = Vec::new();
-        for t in &self.tuples {
-            tuples.extend(ops::project_tuple(t, temporal_keep, data_keep)?);
-        }
+        let timer = ctx.timed(OpKind::Project);
+        timer.add_in(self.tuples.len());
+        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t| {
+            ops::project_tuple(t, temporal_keep, data_keep)
+        })?;
+        timer.add_out(tuples.len());
         Ok(GenRelation {
             schema: Schema::new(temporal_keep.len(), data_keep.len()),
             tuples,
@@ -329,20 +459,36 @@ impl GenRelation {
     /// # Errors
     /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
     pub fn select_temporal(&self, atom: Atom) -> Result<GenRelation> {
+        self.select_temporal_in(atom, &ExecContext::serial())
+    }
+
+    /// [`GenRelation::select_temporal`] under an execution context
+    /// ([`OpKind::Select`]: one atom conjoined per tuple, contradictory
+    /// tuples pruned).
+    ///
+    /// # Errors
+    /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
+    pub fn select_temporal_in(&self, atom: Atom, ctx: &ExecContext) -> Result<GenRelation> {
         if atom.max_var() >= self.schema.temporal() {
             return Err(CoreError::AttributeOutOfRange {
                 index: atom.max_var(),
                 arity: self.schema.temporal(),
             });
         }
-        let mut tuples = Vec::with_capacity(self.tuples.len());
-        for t in &self.tuples {
+        let timer = ctx.timed(OpKind::Select);
+        timer.add_in(self.tuples.len());
+        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t| {
             let mut cons = t.constraints().clone();
             cons.add(atom)?;
+            timer.add_atoms(1);
             if cons.is_satisfiable() {
-                tuples.push(t.with_constraints(cons));
+                Ok(vec![t.with_constraints(cons)])
+            } else {
+                timer.add_pruned(1);
+                Ok(vec![])
             }
-        }
+        })?;
+        timer.add_out(tuples.len());
         Ok(GenRelation {
             schema: self.schema,
             tuples,
@@ -353,14 +499,29 @@ impl GenRelation {
     /// predicate (data attributes are concrete, so this is classical
     /// relational selection).
     pub fn select_data(&self, pred: impl Fn(&[Value]) -> bool) -> GenRelation {
+        self.select_data_in(pred, &ExecContext::serial())
+    }
+
+    /// [`GenRelation::select_data`] under an execution context
+    /// (instrumentation only — the predicate need not be thread-safe).
+    pub fn select_data_in(
+        &self,
+        pred: impl Fn(&[Value]) -> bool,
+        ctx: &ExecContext,
+    ) -> GenRelation {
+        let timer = ctx.timed(OpKind::Select);
+        timer.add_in(self.tuples.len());
+        let tuples: Vec<GenTuple> = self
+            .tuples
+            .iter()
+            .filter(|t| pred(t.data()))
+            .cloned()
+            .collect();
+        timer.add_pruned((self.tuples.len() - tuples.len()) as u64);
+        timer.add_out(tuples.len());
         GenRelation {
             schema: self.schema,
-            tuples: self
-                .tuples
-                .iter()
-                .filter(|t| pred(t.data()))
-                .cloned()
-                .collect(),
+            tuples,
         }
     }
 
@@ -369,12 +530,27 @@ impl GenRelation {
     /// # Errors
     /// Arithmetic failures.
     pub fn cross_product(&self, other: &GenRelation) -> Result<GenRelation> {
-        let mut tuples = Vec::with_capacity(self.tuples.len() * other.tuples.len());
-        for t1 in &self.tuples {
+        self.cross_product_in(other, &ExecContext::serial())
+    }
+
+    /// [`GenRelation::cross_product`] under an execution context: pairwise
+    /// tuple products fanned over the context's threads
+    /// ([`OpKind::Product`]).
+    ///
+    /// # Errors
+    /// Arithmetic failures.
+    pub fn cross_product_in(&self, other: &GenRelation, ctx: &ExecContext) -> Result<GenRelation> {
+        let timer = ctx.timed(OpKind::Product);
+        timer.add_in(self.tuples.len() + other.tuples.len());
+        timer.add_pairs(self.tuples.len() as u64 * other.tuples.len() as u64);
+        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t1| {
+            let mut out = Vec::with_capacity(other.tuples.len());
             for t2 in &other.tuples {
-                tuples.push(ops::cross_product_tuples(t1, t2)?);
+                out.push(ops::cross_product_tuples(t1, t2)?);
             }
-        }
+            Ok(out)
+        })?;
+        timer.add_out(tuples.len());
         Ok(GenRelation {
             schema: self.schema.concat(&other.schema),
             tuples,
@@ -395,6 +571,21 @@ impl GenRelation {
         temporal_pairs: &[(usize, usize)],
         data_pairs: &[(usize, usize)],
     ) -> Result<GenRelation> {
+        self.join_on_in(other, temporal_pairs, data_pairs, &ExecContext::serial())
+    }
+
+    /// [`GenRelation::join_on`] under an execution context: pairwise tuple
+    /// joins fanned over the context's threads ([`OpKind::Join`]).
+    ///
+    /// # Errors
+    /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
+    pub fn join_on_in(
+        &self,
+        other: &GenRelation,
+        temporal_pairs: &[(usize, usize)],
+        data_pairs: &[(usize, usize)],
+        ctx: &ExecContext,
+    ) -> Result<GenRelation> {
         for &(i, j) in temporal_pairs {
             if i >= self.schema.temporal() || j >= other.schema.temporal() {
                 return Err(CoreError::AttributeOutOfRange {
@@ -411,14 +602,20 @@ impl GenRelation {
                 });
             }
         }
-        let mut tuples = Vec::new();
-        for t1 in &self.tuples {
+        let timer = ctx.timed(OpKind::Join);
+        timer.add_in(self.tuples.len() + other.tuples.len());
+        timer.add_pairs(self.tuples.len() as u64 * other.tuples.len() as u64);
+        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t1| {
+            let mut out = Vec::new();
             for t2 in &other.tuples {
-                if let Some(t) = ops::join_tuples(t1, t2, temporal_pairs, data_pairs)? {
-                    tuples.push(t);
+                match ops::join_tuples(t1, t2, temporal_pairs, data_pairs)? {
+                    Some(t) => out.push(t),
+                    None => timer.add_pruned(1),
                 }
             }
-        }
+            Ok(out)
+        })?;
+        timer.add_out(tuples.len());
         Ok(GenRelation {
             schema: self.schema.concat(&other.schema),
             tuples,
@@ -439,10 +636,38 @@ impl GenRelation {
     /// # Errors
     /// See [`GenRelation::complement_temporal`].
     pub fn complement_temporal_with_limit(&self, limit: u64) -> Result<GenRelation> {
+        self.complement_temporal_with_limit_in(limit, &ExecContext::serial())
+    }
+
+    /// [`GenRelation::complement_temporal`] under an execution context
+    /// (default limit); see
+    /// [`GenRelation::complement_temporal_with_limit_in`].
+    ///
+    /// # Errors
+    /// See [`GenRelation::complement_temporal`].
+    pub fn complement_temporal_in(&self, ctx: &ExecContext) -> Result<GenRelation> {
+        self.complement_temporal_with_limit_in(ops::DEFAULT_COMPLEMENT_LIMIT, ctx)
+    }
+
+    /// Complement under an execution context: the `k^m` free-extension
+    /// enumeration is fanned over the context's threads (see
+    /// [`ops::complement_tuples_in`]) and [`OpKind::Complement`] counters
+    /// record the database period and pruned disjuncts.
+    ///
+    /// # Errors
+    /// See [`GenRelation::complement_temporal`].
+    pub fn complement_temporal_with_limit_in(
+        &self,
+        limit: u64,
+        ctx: &ExecContext,
+    ) -> Result<GenRelation> {
         if !self.schema.is_purely_temporal() {
             return Err(CoreError::ComplementHasData);
         }
-        let tuples = ops::complement_tuples(&self.tuples, self.schema.temporal(), limit)?;
+        let timer = ctx.timed(OpKind::Complement);
+        timer.add_in(self.tuples.len());
+        let tuples = ops::complement_tuples_in(&self.tuples, self.schema.temporal(), limit, ctx)?;
+        timer.add_out(tuples.len());
         Ok(GenRelation {
             schema: self.schema,
             tuples,
@@ -457,19 +682,35 @@ impl GenRelation {
     /// # Errors
     /// [`CoreError::AttributeOutOfRange`]; arithmetic overflow.
     pub fn shift_temporal(&self, col: usize, delta: i64) -> Result<GenRelation> {
+        self.shift_temporal_in(col, delta, &ExecContext::serial())
+    }
+
+    /// [`GenRelation::shift_temporal`] under an execution context
+    /// ([`OpKind::Shift`]).
+    ///
+    /// # Errors
+    /// [`CoreError::AttributeOutOfRange`]; arithmetic overflow.
+    pub fn shift_temporal_in(
+        &self,
+        col: usize,
+        delta: i64,
+        ctx: &ExecContext,
+    ) -> Result<GenRelation> {
         if col >= self.schema.temporal() {
             return Err(CoreError::AttributeOutOfRange {
                 index: col,
                 arity: self.schema.temporal(),
             });
         }
-        let mut tuples = Vec::with_capacity(self.tuples.len());
-        for t in &self.tuples {
+        let timer = ctx.timed(OpKind::Shift);
+        timer.add_in(self.tuples.len());
+        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t| {
             let mut lrps = t.lrps().to_vec();
             lrps[col] = lrps[col].shift(delta)?;
             let cons = t.constraints().shift_var(col, delta)?;
-            tuples.push(GenTuple::new(lrps, cons, t.data().to_vec())?);
-        }
+            Ok(vec![GenTuple::from_parts(lrps, cons, t.data().to_vec())?])
+        })?;
+        timer.add_out(tuples.len());
         Ok(GenRelation {
             schema: self.schema,
             tuples,
@@ -482,10 +723,37 @@ impl GenRelation {
     /// # Errors
     /// Arithmetic failures; the per-tuple refinement limit.
     pub fn normalize(&self) -> Result<GenRelation> {
-        let mut tuples = Vec::new();
-        for t in &self.tuples {
-            tuples.extend(t.normalize()?);
-        }
+        self.normalize_in(&ExecContext::serial())
+    }
+
+    /// [`GenRelation::normalize`] under an execution context: per-tuple
+    /// normalization (refinement cross product and grid transforms) is
+    /// fanned over the context's threads. The [`OpKind::Normalize`]
+    /// counters record the refinement combinations examined (`pairs`, the
+    /// paper's `Π k/kᵢ`), grid-unsatisfiable combinations dropped
+    /// (`empties_pruned`), constraint atoms of rewritten tuples
+    /// (`atoms_simplified`), and the largest common period (`max_period`).
+    ///
+    /// # Errors
+    /// Arithmetic failures; the per-tuple refinement limit.
+    pub fn normalize_in(&self, ctx: &ExecContext) -> Result<GenRelation> {
+        let timer = ctx.timed(OpKind::Normalize);
+        timer.add_in(self.tuples.len());
+        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t| {
+            let (out, report) = crate::normalize::normalize_with_limit_report(
+                t,
+                crate::normalize::DEFAULT_NORMALIZE_LIMIT,
+            )?;
+            timer.record_period(report.period);
+            timer.add_pairs(report.combos);
+            timer.add_pruned(report.dropped);
+            let unchanged = out.len() == 1 && out[0] == *t;
+            if !unchanged {
+                timer.add_atoms(t.constraints().atoms().len() as u64);
+            }
+            Ok(out)
+        })?;
+        timer.add_out(tuples.len());
         Ok(GenRelation {
             schema: self.schema,
             tuples,
@@ -614,7 +882,8 @@ impl GenRelation {
     /// # Errors
     /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
     pub fn next_occurrence(&self, col: usize, bound: i64) -> Result<Option<i64>> {
-        self.select_temporal(Atom::ge(col, bound))?.min_temporal(col)
+        self.select_temporal(Atom::ge(col, bound))?
+            .min_temporal(col)
     }
 
     /// Brute-force materialization of every concrete tuple whose temporal
@@ -645,9 +914,66 @@ fn tuple_subsumes(big: &GenTuple, small: &GenTuple) -> bool {
         && small.constraints().entails(big.constraints())
 }
 
+/// Incremental constructor for [`GenRelation`], obtained from
+/// [`GenRelation::builder`].
+///
+/// Tuples are accumulated with [`tuple`](GenRelationBuilder::tuple) /
+/// [`tuples`](GenRelationBuilder::tuples); the schema check for every
+/// accumulated tuple happens once in [`build`](GenRelationBuilder::build).
+///
+/// ```
+/// use itd_core::{GenRelation, GenTuple, Schema};
+/// use itd_lrp::Lrp;
+///
+/// let r = GenRelation::builder(Schema::new(1, 0))
+///     .tuple(
+///         GenTuple::builder()
+///             .lrp(Lrp::new(0, 2).unwrap())
+///             .build()
+///             .unwrap(),
+///     )
+///     .build()
+///     .unwrap();
+/// assert_eq!(r.tuple_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GenRelationBuilder {
+    pub(crate) schema: Schema,
+    pub(crate) tuples: Vec<GenTuple>,
+}
+
+impl GenRelationBuilder {
+    /// Appends one tuple.
+    #[must_use]
+    pub fn tuple(mut self, t: GenTuple) -> Self {
+        self.tuples.push(t);
+        self
+    }
+
+    /// Appends every tuple from an iterator.
+    #[must_use]
+    pub fn tuples(mut self, ts: impl IntoIterator<Item = GenTuple>) -> Self {
+        self.tuples.extend(ts);
+        self
+    }
+
+    /// Finishes the relation, verifying that every tuple matches the schema.
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`] if any tuple disagrees with the schema.
+    pub fn build(self) -> Result<GenRelation> {
+        GenRelation::new(self.schema, self.tuples)
+    }
+}
+
 impl fmt::Display for GenRelation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "relation {} with {} tuple(s):", self.schema, self.len())?;
+        writeln!(
+            f,
+            "relation {} with {} tuple(s):",
+            self.schema,
+            self.tuple_count()
+        )?;
         for t in &self.tuples {
             writeln!(f, "  {t}")?;
         }
@@ -675,7 +1001,7 @@ mod tests {
         assert!(matches!(err, CoreError::SchemaMismatch { .. }));
         let mut r = GenRelation::empty(Schema::new(1, 0));
         r.push(t).unwrap();
-        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuple_count(), 1);
         let bad = GenTuple::unconstrained(vec![], vec![Value::Int(1)]);
         assert!(r.push(bad).is_err());
     }
@@ -685,7 +1011,7 @@ mod tests {
         let a = rel1(vec![GenTuple::unconstrained(vec![lrp(0, 2)], vec![])]);
         let b = rel1(vec![GenTuple::unconstrained(vec![lrp(1, 2)], vec![])]);
         let u = a.union(&b).unwrap();
-        assert_eq!(u.len(), 2);
+        assert_eq!(u.tuple_count(), 2);
         assert!(u.contains(&[0], &[]));
         assert!(u.contains(&[1], &[]));
         // Everything is covered: union of evens and odds.
@@ -716,12 +1042,11 @@ mod tests {
             let tuples = offsets
                 .iter()
                 .map(|&(o1, o2)| {
-                    GenTuple::with_atoms(
-                        vec![lrp(o1, 4), lrp(o2, 4)],
-                        &[Atom::ge(0, lo)],
-                        vec![],
-                    )
-                    .unwrap()
+                    GenTuple::builder()
+                        .lrps(vec![lrp(o1, 4), lrp(o2, 4)])
+                        .atoms([Atom::ge(0, lo)])
+                        .build()
+                        .unwrap()
                 })
                 .collect();
             GenRelation::new(Schema::new(2, 0), tuples).unwrap()
@@ -780,31 +1105,40 @@ mod tests {
 
     #[test]
     fn emptiness_thm_3_5() {
-        assert!(GenRelation::empty(Schema::new(1, 0)).is_empty().unwrap());
+        assert!(GenRelation::empty(Schema::new(1, 0))
+            .denotes_empty()
+            .unwrap());
         let nonempty = rel1(vec![GenTuple::unconstrained(vec![lrp(0, 2)], vec![])]);
-        assert!(!nonempty.is_empty().unwrap());
+        assert!(!nonempty.denotes_empty().unwrap());
         // A relation whose only tuple is grid-empty.
         let ghost = GenRelation::new(
             Schema::new(2, 0),
-            vec![GenTuple::with_atoms(
-                vec![lrp(0, 2), lrp(0, 2)],
-                &[Atom::diff_eq(0, 1, 1)],
-                vec![],
-            )
-            .unwrap()],
+            vec![GenTuple::builder()
+                .lrps(vec![lrp(0, 2), lrp(0, 2)])
+                .atoms([Atom::diff_eq(0, 1, 1)])
+                .build()
+                .unwrap()],
         )
         .unwrap();
-        assert!(ghost.is_empty().unwrap());
+        assert!(ghost.denotes_empty().unwrap());
     }
 
     #[test]
     fn select_temporal_prunes_contradictions() {
         let r = rel1(vec![
-            GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 10)], vec![]).unwrap(),
-            GenTuple::with_atoms(vec![lrp(1, 2)], &[Atom::le(0, 5)], vec![]).unwrap(),
+            GenTuple::builder()
+                .lrps(vec![lrp(0, 2)])
+                .atoms([Atom::ge(0, 10)])
+                .build()
+                .unwrap(),
+            GenTuple::builder()
+                .lrps(vec![lrp(1, 2)])
+                .atoms([Atom::le(0, 5)])
+                .build()
+                .unwrap(),
         ]);
         let s = r.select_temporal(Atom::ge(0, 8)).unwrap();
-        assert_eq!(s.len(), 1);
+        assert_eq!(s.tuple_count(), 1);
         assert!(s.contains(&[10], &[]));
         assert!(!s.contains(&[3], &[]));
     }
@@ -820,7 +1154,7 @@ mod tests {
         )
         .unwrap();
         let s = r.select_data(|d| d[0] == Value::str("a"));
-        assert_eq!(s.len(), 1);
+        assert_eq!(s.tuple_count(), 1);
         assert!(s.contains(&[0], &[Value::str("a")]));
     }
 
@@ -846,12 +1180,15 @@ mod tests {
             // Subsumed by the third tuple (refined class of evens).
             GenTuple::unconstrained(vec![lrp(0, 4)], vec![]),
             // Grid-empty.
-            GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::le(0, 0), Atom::ge(0, 1)], vec![])
+            GenTuple::builder()
+                .lrps(vec![lrp(0, 2)])
+                .atoms([Atom::le(0, 0), Atom::ge(0, 1)])
+                .build()
                 .unwrap(),
             GenTuple::unconstrained(vec![lrp(0, 2)], vec![]),
         ]);
         let s = r.simplify().unwrap();
-        assert_eq!(s.len(), 1);
+        assert_eq!(s.tuple_count(), 1);
         assert_eq!(s.tuples()[0].lrps()[0], lrp(0, 2));
     }
 
@@ -860,19 +1197,18 @@ mod tests {
         let t = GenTuple::unconstrained(vec![lrp(0, 2)], vec![]);
         let r = rel1(vec![t.clone(), t]);
         let s = r.simplify().unwrap();
-        assert_eq!(s.len(), 1);
+        assert_eq!(s.tuple_count(), 1);
     }
 
     #[test]
     fn shift_temporal_translates() {
         let r = GenRelation::new(
             Schema::new(2, 0),
-            vec![GenTuple::with_atoms(
-                vec![lrp(0, 3), lrp(1, 3)],
-                &[Atom::diff_le(0, 1, 0), Atom::ge(0, 0)],
-                vec![],
-            )
-            .unwrap()],
+            vec![GenTuple::builder()
+                .lrps(vec![lrp(0, 3), lrp(1, 3)])
+                .atoms([Atom::diff_le(0, 1, 0), Atom::ge(0, 0)])
+                .build()
+                .unwrap()],
         )
         .unwrap();
         let s = r.shift_temporal(0, 5).unwrap();
@@ -901,7 +1237,11 @@ mod tests {
         let r = GenRelation::new(
             Schema::new(1, 0),
             vec![
-                GenTuple::with_atoms(vec![lrp(3, 12)], &[Atom::ge(0, 0)], vec![]).unwrap(),
+                GenTuple::builder()
+                    .lrps(vec![lrp(3, 12)])
+                    .atoms([Atom::ge(0, 0)])
+                    .build()
+                    .unwrap(),
                 GenTuple::unconstrained(vec![Lrp::point(5)], vec![]),
             ],
         )
@@ -919,17 +1259,16 @@ mod tests {
         // Bounded above.
         let r = GenRelation::new(
             Schema::new(1, 0),
-            vec![GenTuple::with_atoms(
-                vec![lrp(1, 4)],
-                &[Atom::le(0, 20), Atom::ge(0, -7)],
-                vec![],
-            )
-            .unwrap()],
+            vec![GenTuple::builder()
+                .lrps(vec![lrp(1, 4)])
+                .atoms([Atom::le(0, 20), Atom::ge(0, -7)])
+                .build()
+                .unwrap()],
         )
         .unwrap();
         assert_eq!(r.min_temporal(0).unwrap(), Some(-7));
         assert_eq!(r.max_temporal(0).unwrap(), Some(17)); // 17 ≡ 1 (mod 4), ≤ 20
-        // Out of range.
+                                                          // Out of range.
         assert!(r.min_temporal(1).is_err());
     }
 
@@ -938,12 +1277,11 @@ mod tests {
         // X0 ∈ 2n, X1 ∈ 2n, X0 = X1 − 4, X1 ≥ 10 ⟹ min X0 = 6.
         let r = GenRelation::new(
             Schema::new(2, 0),
-            vec![GenTuple::with_atoms(
-                vec![lrp(0, 2), lrp(0, 2)],
-                &[Atom::diff_eq(0, 1, -4), Atom::ge(1, 10)],
-                vec![],
-            )
-            .unwrap()],
+            vec![GenTuple::builder()
+                .lrps(vec![lrp(0, 2), lrp(0, 2)])
+                .atoms([Atom::diff_eq(0, 1, -4), Atom::ge(1, 10)])
+                .build()
+                .unwrap()],
         )
         .unwrap();
         assert_eq!(r.min_temporal(0).unwrap(), Some(6));

@@ -70,7 +70,10 @@ mod tests {
 
     #[test]
     fn concat_adds_arities() {
-        assert_eq!(Schema::new(2, 1).concat(&Schema::new(1, 2)), Schema::new(3, 3));
+        assert_eq!(
+            Schema::new(2, 1).concat(&Schema::new(1, 2)),
+            Schema::new(3, 3)
+        );
     }
 
     #[test]

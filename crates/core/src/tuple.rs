@@ -23,11 +23,12 @@ use crate::Result;
 /// ```
 /// use itd_core::{Atom, GenTuple, Lrp};
 /// // Example 2.2: [1, 1+2n] ∧ X2 ≥ 0 denotes {[1,1], [1,3], [1,5], …}.
-/// let t = GenTuple::with_atoms(
-///     vec![Lrp::point(1), Lrp::new(1, 2).unwrap()],
-///     &[Atom::ge(1, 0)],
-///     vec![],
-/// ).unwrap();
+/// let t = GenTuple::builder()
+///     .point(1)
+///     .lrp(Lrp::new(1, 2).unwrap())
+///     .atom(Atom::ge(1, 0))
+///     .build()
+///     .unwrap();
 /// assert!(t.contains(&[1, 5], &[]));
 /// assert!(!t.contains(&[1, -1], &[]));
 /// ```
@@ -40,12 +41,36 @@ pub struct GenTuple {
 }
 
 impl GenTuple {
+    /// Starts building a tuple; see [`GenTupleBuilder`].
+    pub fn builder() -> GenTupleBuilder {
+        GenTupleBuilder::default()
+    }
+
     /// Builds a generalized tuple from its three components.
     ///
     /// # Errors
     /// [`CoreError::SchemaMismatch`] if the constraint system's arity does
     /// not equal the number of lrps.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `GenTuple::builder()` with `.constraints(..)`"
+    )]
     pub fn new(lrps: Vec<Lrp>, cons: ConstraintSystem, data: Vec<Value>) -> Result<GenTuple> {
+        GenTuple::from_parts(lrps, cons, data)
+    }
+
+    /// Builds a tuple from its three components (the internal, non-builder
+    /// path used by the algebra, which produces constraint systems
+    /// wholesale).
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`] if the constraint system's arity does
+    /// not equal the number of lrps.
+    pub(crate) fn from_parts(
+        lrps: Vec<Lrp>,
+        cons: ConstraintSystem,
+        data: Vec<Value>,
+    ) -> Result<GenTuple> {
         if cons.arity() != lrps.len() {
             return Err(CoreError::SchemaMismatch {
                 expected: Schema::new(lrps.len(), data.len()),
@@ -65,6 +90,7 @@ impl GenTuple {
     ///
     /// # Errors
     /// Propagates constraint-closure arithmetic failures.
+    #[deprecated(since = "0.2.0", note = "use `GenTuple::builder()` with `.atom(..)`")]
     pub fn with_atoms(lrps: Vec<Lrp>, atoms: &[Atom], data: Vec<Value>) -> Result<GenTuple> {
         let cons = ConstraintSystem::from_atoms(lrps.len(), atoms)?;
         Ok(GenTuple { lrps, cons, data })
@@ -105,11 +131,7 @@ impl GenTuple {
         if data != self.data.as_slice() {
             return false;
         }
-        self.lrps
-            .iter()
-            .zip(times)
-            .all(|(l, &x)| l.contains(x))
-            && self.cons.satisfied_by(times)
+        self.lrps.iter().zip(times).all(|(l, &x)| l.contains(x)) && self.cons.satisfied_by(times)
     }
 
     /// Purely temporal membership (requires data arity 0 on the tuple only
@@ -172,6 +194,124 @@ impl GenTuple {
     }
 }
 
+/// Incremental, named-step constructor for [`GenTuple`].
+///
+/// Temporal attributes are appended with [`GenTupleBuilder::lrp`] /
+/// [`GenTupleBuilder::point`], constraint atoms with
+/// [`GenTupleBuilder::atom`], and data attributes with
+/// [`GenTupleBuilder::datum`]; [`GenTupleBuilder::build`] validates
+/// everything at once. Reads like the paper's tuple notation:
+///
+/// ```
+/// use itd_core::{Atom, GenTuple, Lrp};
+/// // Example 2.2: [1, 1+2n] ∧ X2 ≥ 0.
+/// let t = GenTuple::builder()
+///     .point(1)
+///     .lrp(Lrp::new(1, 2)?)
+///     .atom(Atom::ge(1, 0))
+///     .build()?;
+/// assert!(t.contains(&[1, 5], &[]));
+/// # Ok::<(), itd_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GenTupleBuilder {
+    lrps: Vec<Lrp>,
+    atoms: Vec<Atom>,
+    cons: Option<ConstraintSystem>,
+    data: Vec<Value>,
+}
+
+impl GenTupleBuilder {
+    /// Appends one temporal attribute.
+    #[must_use]
+    pub fn lrp(mut self, lrp: Lrp) -> GenTupleBuilder {
+        self.lrps.push(lrp);
+        self
+    }
+
+    /// Appends many temporal attributes.
+    #[must_use]
+    pub fn lrps(mut self, lrps: impl IntoIterator<Item = Lrp>) -> GenTupleBuilder {
+        self.lrps.extend(lrps);
+        self
+    }
+
+    /// Appends a point attribute (`Lrp::point(c)`).
+    #[must_use]
+    pub fn point(mut self, c: i64) -> GenTupleBuilder {
+        self.lrps.push(Lrp::point(c));
+        self
+    }
+
+    /// Adds one constraint atom.
+    #[must_use]
+    pub fn atom(mut self, atom: Atom) -> GenTupleBuilder {
+        self.atoms.push(atom);
+        self
+    }
+
+    /// Adds many constraint atoms.
+    #[must_use]
+    pub fn atoms(mut self, atoms: impl IntoIterator<Item = Atom>) -> GenTupleBuilder {
+        self.atoms.extend(atoms);
+        self
+    }
+
+    /// Uses a whole [`ConstraintSystem`] as the base (atoms added before or
+    /// after are conjoined onto it). Its arity must match the final number
+    /// of temporal attributes.
+    #[must_use]
+    pub fn constraints(mut self, cons: ConstraintSystem) -> GenTupleBuilder {
+        self.cons = Some(cons);
+        self
+    }
+
+    /// Appends one data attribute.
+    #[must_use]
+    pub fn datum(mut self, value: impl Into<Value>) -> GenTupleBuilder {
+        self.data.push(value.into());
+        self
+    }
+
+    /// Appends many data attributes.
+    #[must_use]
+    pub fn data(mut self, data: impl IntoIterator<Item = Value>) -> GenTupleBuilder {
+        self.data.extend(data);
+        self
+    }
+
+    /// Validates and builds the tuple.
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`] if an explicit constraint system's
+    /// arity disagrees with the temporal attributes; constraint-closure
+    /// arithmetic failures from the added atoms.
+    pub fn build(self) -> Result<GenTuple> {
+        let mut cons = match self.cons {
+            Some(cons) => {
+                if cons.arity() != self.lrps.len() {
+                    return Err(CoreError::SchemaMismatch {
+                        expected: Schema::new(self.lrps.len(), self.data.len()),
+                        found: Schema::new(cons.arity(), self.data.len()),
+                    });
+                }
+                cons
+            }
+            None => ConstraintSystem::unconstrained(self.lrps.len()),
+        };
+        for atom in &self.atoms {
+            if atom.max_var() >= self.lrps.len() {
+                return Err(CoreError::AttributeOutOfRange {
+                    index: atom.max_var(),
+                    arity: self.lrps.len(),
+                });
+            }
+            cons.add(*atom)?;
+        }
+        GenTuple::from_parts(self.lrps, cons, self.data)
+    }
+}
+
 impl fmt::Display for GenTuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("[")?;
@@ -201,14 +341,43 @@ mod tests {
     }
 
     #[test]
-    fn example_2_2_first_tuple() {
-        // [1, 1+2n] ∧ X2 >= 0 denotes {[1,1], [1,3], [1,5], …}
-        let t = GenTuple::with_atoms(
-            vec![Lrp::point(1), lrp(1, 2)],
-            &[Atom::ge(1, 0)],
-            vec![],
+    #[allow(deprecated)]
+    fn deprecated_constructors_agree_with_builder() {
+        // The 0.1 positional constructors remain as shims; they must build
+        // exactly what the builder builds.
+        let built = GenTuple::builder()
+            .lrps(vec![lrp(0, 2), lrp(1, 4)])
+            .atoms([Atom::ge(0, 3), Atom::diff_le(0, 1, 5)])
+            .datum(Value::Int(7))
+            .build()
+            .unwrap();
+        let legacy = GenTuple::with_atoms(
+            vec![lrp(0, 2), lrp(1, 4)],
+            &[Atom::ge(0, 3), Atom::diff_le(0, 1, 5)],
+            vec![Value::Int(7)],
         )
         .unwrap();
+        assert_eq!(built, legacy);
+        let from_new = GenTuple::new(
+            legacy.lrps().to_vec(),
+            legacy.constraints().clone(),
+            legacy.data().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(built, from_new);
+        // Arity mismatches fail identically through both paths.
+        assert!(GenTuple::with_atoms(vec![], &[], vec![Value::Int(1)]).is_ok());
+        assert!(GenTuple::builder().atom(Atom::ge(2, 0)).build().is_err());
+    }
+
+    #[test]
+    fn example_2_2_first_tuple() {
+        // [1, 1+2n] ∧ X2 >= 0 denotes {[1,1], [1,3], [1,5], …}
+        let t = GenTuple::builder()
+            .lrps(vec![Lrp::point(1), lrp(1, 2)])
+            .atoms([Atom::ge(1, 0)])
+            .build()
+            .unwrap();
         assert!(t.contains(&[1, 1], &[]));
         assert!(t.contains(&[1, 3], &[]));
         assert!(t.contains(&[1, 5], &[]));
@@ -220,12 +389,11 @@ mod tests {
     #[test]
     fn example_2_2_second_tuple() {
         // [3+2n1, 5+2n2] ∧ X1 = X2 − 2 denotes {…, [3,5], [5,7], [7,9], …}
-        let t = GenTuple::with_atoms(
-            vec![lrp(3, 2), lrp(5, 2)],
-            &[Atom::diff_eq(0, 1, -2)],
-            vec![],
-        )
-        .unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(3, 2), lrp(5, 2)])
+            .atoms([Atom::diff_eq(0, 1, -2)])
+            .build()
+            .unwrap();
         assert!(t.contains(&[3, 5], &[]));
         assert!(t.contains(&[5, 7], &[]));
         assert!(t.contains(&[1, 3], &[]));
@@ -244,13 +412,17 @@ mod tests {
     #[test]
     fn constructor_validates_arity() {
         let cons = ConstraintSystem::unconstrained(3);
-        let err = GenTuple::new(vec![lrp(0, 2)], cons, vec![]).unwrap_err();
+        let err = GenTuple::from_parts(vec![lrp(0, 2)], cons, vec![]).unwrap_err();
         assert!(matches!(err, CoreError::SchemaMismatch { .. }));
     }
 
     #[test]
     fn free_extension_drops_constraints() {
-        let t = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::ge(0, 10)], vec![]).unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(0, 2)])
+            .atoms([Atom::ge(0, 10)])
+            .build()
+            .unwrap();
         let free = t.free_extension();
         assert!(free.constraints().is_unconstrained());
         assert!(free.contains(&[0], &[]));
@@ -259,12 +431,11 @@ mod tests {
 
     #[test]
     fn trivial_emptiness() {
-        let t = GenTuple::with_atoms(
-            vec![lrp(0, 2)],
-            &[Atom::ge(0, 10), Atom::le(0, 5)],
-            vec![],
-        )
-        .unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(0, 2)])
+            .atoms([Atom::ge(0, 10), Atom::le(0, 5)])
+            .build()
+            .unwrap();
         assert!(t.is_trivially_empty());
         assert!(t.is_empty().unwrap());
     }
@@ -273,24 +444,23 @@ mod tests {
     fn grid_emptiness_not_caught_trivially() {
         // X1 = X2 + 1 with both attributes even: satisfiable over Z,
         // empty on the grid.
-        let t = GenTuple::with_atoms(
-            vec![lrp(0, 2), lrp(0, 2)],
-            &[Atom::diff_eq(0, 1, 1)],
-            vec![],
-        )
-        .unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(0, 2), lrp(0, 2)])
+            .atoms([Atom::diff_eq(0, 1, 1)])
+            .build()
+            .unwrap();
         assert!(!t.is_trivially_empty());
         assert!(t.is_empty().unwrap());
     }
 
     #[test]
     fn display_is_paper_like() {
-        let t = GenTuple::with_atoms(
-            vec![lrp(2, 2), lrp(4, 2)],
-            &[Atom::diff_eq(0, 1, -2)],
-            vec![Value::str("robot1"), Value::str("task1")],
-        )
-        .unwrap();
+        let t = GenTuple::builder()
+            .lrps(vec![lrp(2, 2), lrp(4, 2)])
+            .atoms([Atom::diff_eq(0, 1, -2)])
+            .data(vec![Value::str("robot1"), Value::str("task1")])
+            .build()
+            .unwrap();
         let text = t.to_string();
         assert!(text.contains("2n"), "{text}");
         assert!(text.contains("robot1"), "{text}");

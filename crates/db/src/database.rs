@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use itd_core::{GenRelation, Value};
+use itd_core::{ExecContext, GenRelation, Value};
 use itd_query::{Catalog, Formula, QueryResult};
 use serde::{Deserialize, Serialize};
 
@@ -76,13 +76,24 @@ impl Database {
     }
 
     /// Parses and evaluates an open query; the result carries one column
-    /// per free variable.
+    /// per free variable (and the evaluation's operator statistics,
+    /// [`QueryResult::stats`]).
     ///
     /// # Errors
     /// Parse/sort/evaluation errors ([`DbError::Query`]).
-    pub fn query(&self, src: &str) -> Result<QueryResult> {
-        let f = itd_query::parse(src)?;
+    pub fn query(&self, src: impl AsRef<str>) -> Result<QueryResult> {
+        let f = itd_query::parse(src.as_ref())?;
         self.query_formula(&f)
+    }
+
+    /// [`Database::query`] under an explicit execution context (thread
+    /// budget and accumulated statistics).
+    ///
+    /// # Errors
+    /// See [`Database::query`].
+    pub fn query_with(&self, src: impl AsRef<str>, ctx: &ExecContext) -> Result<QueryResult> {
+        let f = itd_query::parse(src.as_ref())?;
+        itd_query::evaluate_with(self, &f, ctx).map_err(DbError::Query)
     }
 
     /// Evaluates a pre-built formula.
@@ -98,9 +109,26 @@ impl Database {
     ///
     /// # Errors
     /// See [`Database::query`].
-    pub fn ask(&self, src: &str) -> Result<bool> {
-        let f = itd_query::parse(src)?;
+    pub fn query_bool(&self, src: impl AsRef<str>) -> Result<bool> {
+        let f = itd_query::parse(src.as_ref())?;
         itd_query::evaluate_bool(self, &f).map_err(DbError::Query)
+    }
+
+    /// [`Database::query_bool`] under an explicit execution context.
+    ///
+    /// # Errors
+    /// See [`Database::query`].
+    pub fn query_bool_with(&self, src: impl AsRef<str>, ctx: &ExecContext) -> Result<bool> {
+        let f = itd_query::parse(src.as_ref())?;
+        itd_query::evaluate_bool_with(self, &f, ctx).map_err(DbError::Query)
+    }
+
+    /// Conversational name for [`Database::query_bool`].
+    ///
+    /// # Errors
+    /// See [`Database::query`].
+    pub fn ask(&self, src: impl AsRef<str>) -> Result<bool> {
+        self.query_bool(src)
     }
 
     /// Materializes an open query as a new table: the answer relation
@@ -113,11 +141,24 @@ impl Database {
     ///
     /// # Errors
     /// [`DbError::DuplicateTable`]; query errors.
-    pub fn materialize_view(&mut self, name: &str, src: &str) -> Result<&Table> {
+    pub fn materialize_view(&mut self, name: &str, src: impl AsRef<str>) -> Result<&Table> {
+        self.materialize_view_with(name, src, &ExecContext::new())
+    }
+
+    /// [`Database::materialize_view`] under an explicit execution context.
+    ///
+    /// # Errors
+    /// See [`Database::materialize_view`].
+    pub fn materialize_view_with(
+        &mut self,
+        name: &str,
+        src: impl AsRef<str>,
+        ctx: &ExecContext,
+    ) -> Result<&Table> {
         if self.tables.contains_key(name) {
             return Err(DbError::DuplicateTable(name.to_owned()));
         }
-        let result = self.query(src)?;
+        let result = self.query_with(src, ctx)?;
         let tnames: Vec<&str> = result.temporal_vars.iter().map(String::as_str).collect();
         let dnames: Vec<&str> = result.data_vars.iter().map(String::as_str).collect();
         let table = self.create_table(name, &tnames, &dnames)?;
@@ -155,8 +196,7 @@ impl Database {
     /// # Errors
     /// [`DbError::Serde`] on I/O or decoding failure.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Database> {
-        let json =
-            std::fs::read_to_string(path).map_err(|e| DbError::Serde(e.to_string()))?;
+        let json = std::fs::read_to_string(path).map_err(|e| DbError::Serde(e.to_string()))?;
         Database::from_json(&json)
     }
 }

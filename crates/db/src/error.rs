@@ -81,7 +81,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(DbError::UnknownTable("t".into()).to_string().contains("`t`"));
+        assert!(DbError::UnknownTable("t".into())
+            .to_string()
+            .contains("`t`"));
         assert!(DbError::DuplicateTable("t".into())
             .to_string()
             .contains("already exists"));
@@ -97,6 +99,8 @@ mod tests {
         .to_string()
         .contains("missing x"));
         assert!(DbError::Serde("bad".into()).to_string().contains("bad"));
-        assert!(DbError::DuplicateAttribute("z".into()).to_string().contains("`z`"));
+        assert!(DbError::DuplicateAttribute("z".into())
+            .to_string()
+            .contains("`z`"));
     }
 }

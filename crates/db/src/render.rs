@@ -114,11 +114,7 @@ impl Table {
         }
         let label_width = lanes.keys().map(String::len).max().unwrap_or(0).max(4);
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{:label_width$} {lo} .. {hi}",
-            "lane",
-        );
+        let _ = writeln!(out, "{:label_width$} {lo} .. {hi}", "lane",);
         for (label, cells) in lanes {
             let bar: String = cells.iter().map(|&on| if on { '#' } else { '.' }).collect();
             let _ = writeln!(out, "{label:label_width$} {bar}");
@@ -188,7 +184,10 @@ mod tests {
         let lane = text.lines().find(|l| l.starts_with("press")).unwrap();
         assert!(lane.contains("####......####......"), "{text}");
         // Straddling interval [-10, -7] is clipped away; [20, 23] too.
-        assert!(!text.contains('#') || lane.matches('#').count() == 8, "{text}");
+        assert!(
+            !text.contains('#') || lane.matches('#').count() == 8,
+            "{text}"
+        );
     }
 
     #[test]
@@ -200,7 +199,10 @@ mod tests {
             .insert(TupleSpec::new().lrp("t", 1, 4))
             .unwrap();
         let text = db.table("tick").unwrap().timeline(0, 8);
-        assert!(text.contains(".#...#...") || text.contains(".#...#.."), "{text}");
+        assert!(
+            text.contains(".#...#...") || text.contains(".#...#.."),
+            "{text}"
+        );
         db.create_table("wide", &["a", "b", "c"], &[]).unwrap();
         let text = db.table("wide").unwrap().timeline(0, 5);
         assert!(text.contains("arity"), "{text}");

@@ -1,7 +1,7 @@
 //! The command layer of the `itd-repl` binary, exposed as a library so it
 //! can be unit-tested without a terminal.
 
-use itd_core::Value;
+use itd_core::{ExecContext, StatsSnapshot, Value};
 
 use crate::table::TupleSpec;
 use crate::{Database, DbError, Result};
@@ -10,6 +10,7 @@ use crate::{Database, DbError, Result};
 #[derive(Debug, Default)]
 pub struct ReplSession {
     db: Database,
+    stats: StatsSnapshot,
 }
 
 impl ReplSession {
@@ -21,6 +22,22 @@ impl ReplSession {
     /// The underlying database.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// Operator statistics accumulated over every query-evaluating command
+    /// (`ask`, `query`, `view`) since the session started or since
+    /// `\stats reset`.
+    pub fn stats(&self) -> &StatsSnapshot {
+        &self.stats
+    }
+
+    /// Runs a query-evaluating closure under a fresh [`ExecContext`] and
+    /// folds its counters into the session totals.
+    fn tracked<T>(&mut self, run: impl FnOnce(&Database, &ExecContext) -> Result<T>) -> Result<T> {
+        let ctx = ExecContext::new();
+        let out = run(&self.db, &ctx);
+        self.stats.merge(&ctx.stats());
+        out
     }
 
     /// Executes one command line. Returns `Ok(Some(output))` for a normal
@@ -54,21 +71,39 @@ impl ReplSession {
                 );
                 Ok(Some(self.db.table(name)?.timeline(lo, hi)))
             }
-            "ask" => Ok(Some(format!("{}", self.db.ask(rest)?))),
+            "ask" => {
+                let truth = self.tracked(|db, ctx| db.query_bool_with(rest, ctx))?;
+                Ok(Some(format!("{truth}")))
+            }
             "view" => {
-                let (name, src) = rest.split_once('=').ok_or_else(|| {
-                    DbError::IncompleteTuple {
+                let (name, src) = rest
+                    .split_once('=')
+                    .ok_or_else(|| DbError::IncompleteTuple {
                         detail: "expected `view name = <query>`".into(),
-                    }
-                })?;
-                let table = self.db.materialize_view(name.trim(), src.trim())?;
-                Ok(Some(format!(
-                    "view `{}` materialized with {} generalized tuple(s)",
-                    table.name(),
-                    table.len()
-                )))
+                    })?;
+                let ctx = ExecContext::new();
+                let out = {
+                    let table = self
+                        .db
+                        .materialize_view_with(name.trim(), src.trim(), &ctx)?;
+                    format!(
+                        "view `{}` materialized with {} generalized tuple(s)",
+                        table.name(),
+                        table.len()
+                    )
+                };
+                self.stats.merge(&ctx.stats());
+                Ok(Some(out))
             }
             "query" => self.query(rest).map(Some),
+            "\\stats" | "stats" => {
+                if rest == "reset" {
+                    self.stats = StatsSnapshot::default();
+                    Ok(Some("statistics reset".to_owned()))
+                } else {
+                    Ok(Some(format!("{}", self.stats)))
+                }
+            }
             "save" => {
                 self.db.save(rest)?;
                 Ok(Some(format!("saved to {rest}")))
@@ -138,9 +173,7 @@ impl ReplSession {
                     .map_err(|_| bad(format!("`{w}` is not an integer")))
             };
             spec = match words.as_slice() {
-                ["lrp", attr, offset, period] => {
-                    spec.lrp(attr, int(offset)?, int(period)?)
-                }
+                ["lrp", attr, offset, period] => spec.lrp(attr, int(offset)?, int(period)?),
                 ["at", attr, value] => spec.at(attr, int(value)?),
                 ["le", attr, c] => spec.le(attr, int(c)?),
                 ["ge", attr, c] => spec.ge(attr, int(c)?),
@@ -161,8 +194,8 @@ impl ReplSession {
     }
 
     /// `query <formula>` — prints the symbolic answer relation.
-    fn query(&self, src: &str) -> Result<String> {
-        let result = self.db.query(src)?;
+    fn query(&mut self, src: &str) -> Result<String> {
+        let result = self.tracked(|db, ctx| db.query_with(src, ctx))?;
         let mut out = String::new();
         out.push_str(&format!(
             "free variables: temporal {:?}, data {:?}\n",
@@ -185,6 +218,8 @@ commands:
   ask <formula>                  yes/no query (first-order syntax)
   view name = <formula>          materialize an open query as a table
   query <formula>                open query; prints the answer relation
+  \\stats [reset]                 per-operator execution counters of every
+                                 query so far (or reset them)
   save <path> / load <path>      JSON persistence
   quit";
 
@@ -258,6 +293,23 @@ mod tests {
         assert_eq!(run(&mut s, ""), "");
         assert_eq!(run(&mut s, "# a comment"), "");
         assert!(run(&mut s, "help").contains("commands"));
+    }
+
+    #[test]
+    fn stats_command_reports_and_resets() {
+        let mut s = ReplSession::new();
+        assert!(run(&mut s, "\\stats").contains("no algebra operations"));
+        run(&mut s, "create ev(t)");
+        run(&mut s, "insert ev lrp t 0 2");
+        assert_eq!(run(&mut s, "ask ev(4) and ev(6)"), "true");
+        let report = run(&mut s, "\\stats");
+        assert!(report.contains("join"), "{report}");
+        assert!(report.contains("project"), "{report}");
+        assert!(s.stats().total_calls() > 0);
+        // Both spellings work, and reset clears the counters.
+        assert_eq!(run(&mut s, "stats"), report);
+        run(&mut s, "\\stats reset");
+        assert!(run(&mut s, "\\stats").contains("no algebra operations"));
     }
 
     #[test]

@@ -121,7 +121,7 @@ impl Table {
 
     /// Number of generalized tuples.
     pub fn len(&self) -> usize {
-        self.relation.len()
+        self.relation.tuple_count()
     }
 
     /// Is the table free of tuples?
@@ -225,10 +225,7 @@ impl TupleSpec {
             .enumerate()
             .map(|(i, l)| {
                 l.ok_or_else(|| DbError::IncompleteTuple {
-                    detail: format!(
-                        "temporal attribute `{}` missing",
-                        table.temporal_names()[i]
-                    ),
+                    detail: format!("temporal attribute `{}` missing", table.temporal_names()[i]),
                 })
             })
             .collect::<Result<_>>()?;
@@ -265,7 +262,12 @@ impl TupleSpec {
                 NamedAtom::Eq(i, a) => Atom::eq(table.col(i)?, *a),
             });
         }
-        GenTuple::with_atoms(lrps, &atoms, data).map_err(DbError::Core)
+        GenTuple::builder()
+            .lrps(lrps)
+            .atoms(atoms.iter().copied())
+            .data(data)
+            .build()
+            .map_err(DbError::Core)
     }
 }
 

@@ -122,22 +122,22 @@ mod tests {
     fn fixtures() -> (GenRelation, GenRelation) {
         let windows = GenRelation::new(
             Schema::new(2, 1),
-            vec![GenTuple::with_atoms(
-                vec![lrp(0, 10), lrp(4, 10)],
-                &[Atom::diff_eq(1, 0, 4)],
-                vec![Value::str("window")],
-            )
-            .unwrap()],
+            vec![GenTuple::builder()
+                .lrps(vec![lrp(0, 10), lrp(4, 10)])
+                .atoms([Atom::diff_eq(1, 0, 4)])
+                .data(vec![Value::str("window")])
+                .build()
+                .unwrap()],
         )
         .unwrap();
         let probes = GenRelation::new(
             Schema::new(2, 1),
-            vec![GenTuple::with_atoms(
-                vec![lrp(1, 5), lrp(2, 5)],
-                &[Atom::diff_eq(1, 0, 1)],
-                vec![Value::str("probe")],
-            )
-            .unwrap()],
+            vec![GenTuple::builder()
+                .lrps(vec![lrp(1, 5), lrp(2, 5)])
+                .atoms([Atom::diff_eq(1, 0, 1)])
+                .data(vec![Value::str("probe")])
+                .build()
+                .unwrap()],
         )
         .unwrap();
         (windows, probes)
@@ -169,10 +169,7 @@ mod tests {
         // probe [1,2] during window [0,4]; probe [11,12] during [10,14];
         // probe [6,7] falls between windows.
         let during = allen_join(&p, &w, AllenRel::During).unwrap();
-        assert!(during.contains(
-            &[1, 2, 0, 4],
-            &[Value::str("probe"), Value::str("window")]
-        ));
+        assert!(during.contains(&[1, 2, 0, 4], &[Value::str("probe"), Value::str("window")]));
         assert!(during.contains(
             &[11, 12, 10, 14],
             &[Value::str("probe"), Value::str("window")]
@@ -220,18 +217,16 @@ mod tests {
             Schema::new(2, 0),
             vec![
                 // Degenerate: start = end.
-                GenTuple::with_atoms(
-                    vec![lrp(0, 5), lrp(0, 5)],
-                    &[Atom::diff_eq(0, 1, 0)],
-                    vec![],
-                )
-                .unwrap(),
-                GenTuple::with_atoms(
-                    vec![lrp(0, 5), lrp(2, 5)],
-                    &[Atom::diff_eq(1, 0, 2)],
-                    vec![],
-                )
-                .unwrap(),
+                GenTuple::builder()
+                    .lrps(vec![lrp(0, 5), lrp(0, 5)])
+                    .atoms([Atom::diff_eq(0, 1, 0)])
+                    .build()
+                    .unwrap(),
+                GenTuple::builder()
+                    .lrps(vec![lrp(0, 5), lrp(2, 5)])
+                    .atoms([Atom::diff_eq(1, 0, 2)])
+                    .build()
+                    .unwrap(),
             ],
         )
         .unwrap();

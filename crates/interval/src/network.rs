@@ -198,8 +198,7 @@ impl AllenNetwork {
                         if k == i || k == j {
                             continue;
                         }
-                        let through =
-                            self.get(i, k).compose(self.get(k, j));
+                        let through = self.get(i, k).compose(self.get(k, j));
                         let refined = self.get(i, j).intersect(through);
                         if refined != self.get(i, j) {
                             self.constraints[i * n + j] = refined;
@@ -366,11 +365,7 @@ mod tests {
             RelSet::from_iter([AllenRel::Overlaps, AllenRel::Before]),
         );
         net.constrain_to(1, 2, AllenRel::Meets);
-        net.constrain(
-            0,
-            2,
-            RelSet::from_iter([AllenRel::Before, AllenRel::After]),
-        );
+        net.constrain(0, 2, RelSet::from_iter([AllenRel::Before, AllenRel::After]));
         let scenario = net.scenario().expect("consistent");
         for i in 0..3 {
             for j in 0..3 {

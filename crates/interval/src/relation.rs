@@ -61,7 +61,10 @@ impl AllenRel {
     /// # Panics
     /// If either interval is improper (`start >= end`).
     pub fn holds(self, a1: i64, a2: i64, b1: i64, b2: i64) -> bool {
-        assert!(a1 < a2 && b1 < b2, "Allen relations require proper intervals");
+        assert!(
+            a1 < a2 && b1 < b2,
+            "Allen relations require proper intervals"
+        );
         match self {
             AllenRel::Before => a2 < b1,
             AllenRel::Meets => a2 == b1,
@@ -178,7 +181,8 @@ pub fn compose(r1: AllenRel, r2: AllenRel) -> Result<Vec<AllenRel>> {
     // Columns: a1=0, a2=1, b1=2, b2=3, c1=4, c2=5.
     let mut base = ConstraintSystem::unconstrained(6);
     for (s, e) in [(0, 1), (2, 3), (4, 5)] {
-        base.add(Atom::diff_le(s, e, -1)).map_err(itd_core::CoreError::Numth)?;
+        base.add(Atom::diff_le(s, e, -1))
+            .map_err(itd_core::CoreError::Numth)?;
     }
     for atom in r1.endpoint_atoms(0, 1, 2, 3) {
         base.add(atom).map_err(itd_core::CoreError::Numth)?;
@@ -215,11 +219,7 @@ mod tests {
                             .copied()
                             .filter(|r| r.holds(a1, a2, b1, b2))
                             .collect();
-                        assert_eq!(
-                            holding.len(),
-                            1,
-                            "({a1},{a2}) vs ({b1},{b2}): {holding:?}"
-                        );
+                        assert_eq!(holding.len(), 1, "({a1},{a2}) vs ({b1},{b2}): {holding:?}");
                         assert_eq!(AllenRel::classify(a1, a2, b1, b2), holding[0]);
                     }
                 }
@@ -242,8 +242,7 @@ mod tests {
     fn endpoint_atoms_agree_with_holds() {
         use itd_constraint::ConstraintSystem;
         for r in ALL_RELATIONS {
-            let sys =
-                ConstraintSystem::from_atoms(4, &r.endpoint_atoms(0, 1, 2, 3)).unwrap();
+            let sys = ConstraintSystem::from_atoms(4, &r.endpoint_atoms(0, 1, 2, 3)).unwrap();
             for a1 in -3i64..3 {
                 for a2 in (a1 + 1)..4 {
                     for b1 in -3i64..3 {
@@ -310,8 +309,7 @@ mod tests {
                                 for c1 in 0..span {
                                     for c2 in (c1 + 1)..=span {
                                         if r2.holds(b1, b2, c1, c2) {
-                                            observed
-                                                .insert(AllenRel::classify(a1, a2, c1, c2));
+                                            observed.insert(AllenRel::classify(a1, a2, c1, c2));
                                         }
                                     }
                                 }

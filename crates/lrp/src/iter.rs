@@ -110,29 +110,26 @@ mod tests {
         use proptest::prelude::*;
         let mut runner = proptest::test_runner::TestRunner::default();
         runner
-            .run(
-                &((-20i64..20), (1i64..9), (-30i64..30)),
-                |(c, k, start)| {
-                    let l = Lrp::new(c, k).unwrap();
-                    let up: Vec<i64> = l.iter_from(start).take(5).collect();
-                    for w in up.windows(2) {
-                        prop_assert_eq!(w[1] - w[0], k);
-                    }
-                    prop_assert!(up.iter().all(|&x| l.contains(x) && x >= start));
-                    let down: Vec<i64> = l.iter_down_from(start).take(5).collect();
-                    for w in down.windows(2) {
-                        prop_assert_eq!(w[0] - w[1], k);
-                    }
-                    prop_assert!(down.iter().all(|&x| l.contains(x) && x <= start));
-                    // The two directions meet exactly at a member when start
-                    // is one.
-                    if l.contains(start) {
-                        prop_assert_eq!(up[0], start);
-                        prop_assert_eq!(down[0], start);
-                    }
-                    Ok(())
-                },
-            )
+            .run(&((-20i64..20), (1i64..9), (-30i64..30)), |(c, k, start)| {
+                let l = Lrp::new(c, k).unwrap();
+                let up: Vec<i64> = l.iter_from(start).take(5).collect();
+                for w in up.windows(2) {
+                    prop_assert_eq!(w[1] - w[0], k);
+                }
+                prop_assert!(up.iter().all(|&x| l.contains(x) && x >= start));
+                let down: Vec<i64> = l.iter_down_from(start).take(5).collect();
+                for w in down.windows(2) {
+                    prop_assert_eq!(w[0] - w[1], k);
+                }
+                prop_assert!(down.iter().all(|&x| l.contains(x) && x <= start));
+                // The two directions meet exactly at a member when start
+                // is one.
+                if l.contains(start) {
+                    prop_assert_eq!(up[0], start);
+                    prop_assert_eq!(down[0], start);
+                }
+                Ok(())
+            })
             .unwrap();
     }
 

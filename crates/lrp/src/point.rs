@@ -265,10 +265,7 @@ impl Lrp {
 
     /// Applies an integer shift: `{x + delta | x ∈ self}`.
     pub fn shift(&self, delta: i64) -> Result<Lrp> {
-        let offset = self
-            .offset
-            .checked_add(delta)
-            .ok_or(NumthError::Overflow)?;
+        let offset = self.offset.checked_add(delta).ok_or(NumthError::Overflow)?;
         Lrp::new(offset, self.period)
     }
 
@@ -378,15 +375,9 @@ mod tests {
     #[test]
     fn intersect_paper_example_3_1() {
         // (2n+1) ∩ 5n = 10n + 5
-        assert_eq!(
-            lrp(1, 2).intersect(&lrp(0, 5)).unwrap(),
-            Some(lrp(5, 10))
-        );
+        assert_eq!(lrp(1, 2).intersect(&lrp(0, 5)).unwrap(), Some(lrp(5, 10)));
         // (3n−4) ∩ (5n+2) = 15n + 2
-        assert_eq!(
-            lrp(-4, 3).intersect(&lrp(2, 5)).unwrap(),
-            Some(lrp(2, 15))
-        );
+        assert_eq!(lrp(-4, 3).intersect(&lrp(2, 5)).unwrap(), Some(lrp(2, 15)));
     }
 
     #[test]

@@ -48,7 +48,11 @@ pub fn div_floor(a: i64, b: i64) -> Result<i64> {
     }
     let q = a / b;
     let r = a % b;
-    Ok(if r != 0 && (r < 0) != (b < 0) { q - 1 } else { q })
+    Ok(if r != 0 && (r < 0) != (b < 0) {
+        q - 1
+    } else {
+        q
+    })
 }
 
 /// Ceiling division: smallest `q` with `q * b >= a`. Errors on `b == 0`.
@@ -62,7 +66,11 @@ pub fn div_ceil(a: i64, b: i64) -> Result<i64> {
     }
     let q = a / b;
     let r = a % b;
-    Ok(if r != 0 && (r < 0) == (b < 0) { q + 1 } else { q })
+    Ok(if r != 0 && (r < 0) == (b < 0) {
+        q + 1
+    } else {
+        q
+    })
 }
 
 /// Euclidean remainder: the unique `r` in `[0, |b|)` with `a ≡ r (mod b)`.

@@ -174,8 +174,7 @@ impl BinaryAtom {
                 for r1 in 0..k3 {
                     for r2 in 0..k3 {
                         let lhs = (k1 as i128 * r1 as i128).rem_euclid(k3 as i128);
-                        let rhs =
-                            (k2 as i128 * r2 as i128 + c as i128).rem_euclid(k3 as i128);
+                        let rhs = (k2 as i128 * r2 as i128 + c as i128).rem_euclid(k3 as i128);
                         if lhs == rhs {
                             tuples.push(BinaryTuple {
                                 l1: Lrp::new(r1, k3)?,
@@ -247,8 +246,7 @@ impl BinaryRelation {
         let mut tuples = Vec::new();
         for a in &self.tuples {
             for b in &other.tuples {
-                let (Some(l1), Some(l2)) = (a.l1.intersect(&b.l1)?, a.l2.intersect(&b.l2)?)
-                else {
+                let (Some(l1), Some(l2)) = (a.l1.intersect(&b.l1)?, a.l2.intersect(&b.l2)?) else {
                     continue;
                 };
                 let mut cons = a.cons.clone();
@@ -272,7 +270,12 @@ impl BinaryRelation {
             let Some(atoms) = t.cons.as_restricted() else {
                 return Ok(None);
             };
-            rel.push(GenTuple::with_atoms(vec![t.l1, t.l2], &atoms, vec![])?)?;
+            rel.push(
+                GenTuple::builder()
+                    .lrps(vec![t.l1, t.l2])
+                    .atoms(atoms.iter().copied())
+                    .build()?,
+            )?;
         }
         Ok(Some(rel))
     }
@@ -469,16 +472,17 @@ mod tests {
         let core = rel.to_core_relation().unwrap().expect("unit coefficients");
         for v1 in -6..6 {
             for v2 in -6..6 {
-                assert_eq!(
-                    core.contains(&[v1, v2], &[]),
-                    f.eval(v1, v2),
-                    "({v1},{v2})"
-                );
+                assert_eq!(core.contains(&[v1, v2], &[]), f.eval(v1, v2), "({v1},{v2})");
             }
         }
         // Non-unit coefficients do not downgrade.
         let f = BinaryFormula::atom(BinaryAtom::eq(2, 3, 0));
-        assert!(f.to_relation().unwrap().to_core_relation().unwrap().is_none());
+        assert!(f
+            .to_relation()
+            .unwrap()
+            .to_core_relation()
+            .unwrap()
+            .is_none());
     }
 
     fn atom_strategy() -> impl Strategy<Value = BinaryAtom> {
@@ -498,8 +502,7 @@ mod tests {
         leaf.prop_recursive(3, 6, 2, |inner| {
             prop_oneof![
                 inner.clone().prop_map(BinaryFormula::not),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| BinaryFormula::and(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| BinaryFormula::and(a, b)),
                 (inner.clone(), inner).prop_map(|(a, b)| BinaryFormula::or(a, b)),
             ]
         })

@@ -52,8 +52,7 @@ impl UnaryAtom {
                 if k2 == 0 {
                     k1 as i128 * v as i128 == c as i128
                 } else {
-                    (k1 as i128 * v as i128 - c as i128).rem_euclid(k2.unsigned_abs() as i128)
-                        == 0
+                    (k1 as i128 * v as i128 - c as i128).rem_euclid(k2.unsigned_abs() as i128) == 0
                 }
             }
         }
@@ -83,16 +82,18 @@ impl UnaryAtom {
             UnaryAtom::Lt { k, c } => {
                 let c1 = c.checked_sub(1).ok_or(itd_numth::NumthError::Overflow)?;
                 match k.cmp(&0) {
-                    std::cmp::Ordering::Greater => rel.push(GenTuple::with_atoms(
-                        vec![Lrp::all()],
-                        &[itd_core::Atom::le(0, div_floor(c1, k)?)],
-                        vec![],
-                    )?)?,
-                    std::cmp::Ordering::Less => rel.push(GenTuple::with_atoms(
-                        vec![Lrp::all()],
-                        &[itd_core::Atom::ge(0, div_ceil(c1, k)?)],
-                        vec![],
-                    )?)?,
+                    std::cmp::Ordering::Greater => rel.push(
+                        GenTuple::builder()
+                            .lrps(vec![Lrp::all()])
+                            .atoms([itd_core::Atom::le(0, div_floor(c1, k)?)])
+                            .build()?,
+                    )?,
+                    std::cmp::Ordering::Less => rel.push(
+                        GenTuple::builder()
+                            .lrps(vec![Lrp::all()])
+                            .atoms([itd_core::Atom::ge(0, div_ceil(c1, k)?)])
+                            .build()?,
+                    )?,
                     std::cmp::Ordering::Equal => {
                         if 0 < c {
                             rel.push(GenTuple::unconstrained(vec![Lrp::all()], vec![]))?;
@@ -104,16 +105,18 @@ impl UnaryAtom {
             UnaryAtom::Gt { k, c } => {
                 let c1 = c.checked_add(1).ok_or(itd_numth::NumthError::Overflow)?;
                 match k.cmp(&0) {
-                    std::cmp::Ordering::Greater => rel.push(GenTuple::with_atoms(
-                        vec![Lrp::all()],
-                        &[itd_core::Atom::ge(0, div_ceil(c1, k)?)],
-                        vec![],
-                    )?)?,
-                    std::cmp::Ordering::Less => rel.push(GenTuple::with_atoms(
-                        vec![Lrp::all()],
-                        &[itd_core::Atom::le(0, div_floor(c1, k)?)],
-                        vec![],
-                    )?)?,
+                    std::cmp::Ordering::Greater => rel.push(
+                        GenTuple::builder()
+                            .lrps(vec![Lrp::all()])
+                            .atoms([itd_core::Atom::ge(0, div_ceil(c1, k)?)])
+                            .build()?,
+                    )?,
+                    std::cmp::Ordering::Less => rel.push(
+                        GenTuple::builder()
+                            .lrps(vec![Lrp::all()])
+                            .atoms([itd_core::Atom::le(0, div_floor(c1, k)?)])
+                            .build()?,
+                    )?,
                     std::cmp::Ordering::Equal => {
                         if 0 > c {
                             rel.push(GenTuple::unconstrained(vec![Lrp::all()], vec![]))?;
@@ -223,7 +226,7 @@ impl UnaryFormula {
     /// # Errors
     /// Arithmetic overflow; complement extension limits.
     pub fn satisfiable(&self) -> Result<bool> {
-        Ok(!self.to_relation()?.is_empty()?)
+        Ok(!self.to_relation()?.denotes_empty()?)
     }
 
     /// Decides `∀v. φ(v)` — validity over `Z` — as unsatisfiability of the
@@ -244,7 +247,7 @@ impl UnaryFormula {
     pub fn equivalent(&self, other: &UnaryFormula) -> Result<bool> {
         let a = self.to_relation()?;
         let b = other.to_relation()?;
-        Ok(a.difference(&b)?.is_empty()? && b.difference(&a)?.is_empty()?)
+        Ok(a.difference(&b)?.denotes_empty()? && b.difference(&a)?.denotes_empty()?)
     }
 
     /// Produces a witness `v` with `φ(v)`, if one exists.
@@ -348,11 +351,7 @@ mod tests {
         let f = UnaryFormula::or(
             UnaryFormula::and(
                 UnaryFormula::atom(UnaryAtom::ModEq { k1: 1, k2: 2, c: 0 }),
-                UnaryFormula::not(UnaryFormula::atom(UnaryAtom::ModEq {
-                    k1: 1,
-                    k2: 3,
-                    c: 0,
-                })),
+                UnaryFormula::not(UnaryFormula::atom(UnaryAtom::ModEq { k1: 1, k2: 3, c: 0 })),
             ),
             UnaryFormula::atom(UnaryAtom::Gt { k: 1, c: 10 }),
         );
@@ -418,8 +417,7 @@ mod tests {
             (-5i64..5, -10i64..10).prop_map(|(k, c)| UnaryAtom::Eq { k, c }),
             (-5i64..5, -10i64..10).prop_map(|(k, c)| UnaryAtom::Lt { k, c }),
             (-5i64..5, -10i64..10).prop_map(|(k, c)| UnaryAtom::Gt { k, c }),
-            (-5i64..5, 1i64..7, -10i64..10)
-                .prop_map(|(k1, k2, c)| UnaryAtom::ModEq { k1, k2, c }),
+            (-5i64..5, 1i64..7, -10i64..10).prop_map(|(k1, k2, c)| UnaryAtom::ModEq { k1, k2, c }),
         ]
     }
 
@@ -428,8 +426,7 @@ mod tests {
         leaf.prop_recursive(3, 8, 2, |inner| {
             prop_oneof![
                 inner.clone().prop_map(UnaryFormula::not),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| UnaryFormula::and(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| UnaryFormula::and(a, b)),
                 (inner.clone(), inner).prop_map(|(a, b)| UnaryFormula::or(a, b)),
             ]
         })

@@ -203,9 +203,7 @@ impl Formula {
 
     /// Conjunction of several formulas (`True` when empty).
     pub fn and_all(fs: impl IntoIterator<Item = Formula>) -> Formula {
-        fs.into_iter()
-            .reduce(Formula::and)
-            .unwrap_or(Formula::True)
+        fs.into_iter().reduce(Formula::and).unwrap_or(Formula::True)
     }
 
     /// Disjunction.
@@ -272,9 +270,10 @@ impl Formula {
         seen: &mut BTreeSet<String>,
         out: &mut Vec<String>,
     ) {
-        let visit = |name: &str, bound: &BTreeSet<String>,
-                         seen: &mut BTreeSet<String>,
-                         out: &mut Vec<String>| {
+        let visit = |name: &str,
+                     bound: &BTreeSet<String>,
+                     seen: &mut BTreeSet<String>,
+                     out: &mut Vec<String>| {
             if !bound.contains(name) && seen.insert(name.to_owned()) {
                 out.push(name.to_owned());
             }

@@ -3,7 +3,9 @@
 
 use std::collections::BTreeSet;
 
-use itd_core::{Atom, CoreError, GenRelation, GenTuple, Lrp, Schema, Value};
+use itd_core::{
+    Atom, CoreError, ExecContext, GenRelation, GenTuple, Lrp, Schema, StatsSnapshot, Value,
+};
 
 use crate::ast::{CmpOp, DataTerm, Formula, TemporalTerm};
 use crate::catalog::Catalog;
@@ -22,26 +24,58 @@ pub struct QueryResult {
     pub temporal_vars: Vec<String>,
     /// Names of the data columns.
     pub data_vars: Vec<String>,
+    stats: StatsSnapshot,
+}
+
+impl QueryResult {
+    /// Per-operator execution counters recorded while evaluating this
+    /// query (plus whatever the supplied [`ExecContext`] had already
+    /// accumulated, when using [`evaluate_with`] with a shared context).
+    pub fn stats(&self) -> &StatsSnapshot {
+        &self.stats
+    }
 }
 
 /// Evaluates a formula over a catalog, returning the answer relation with
 /// one column per free variable.
 ///
+/// Uses a fresh [`ExecContext`] sized to the machine
+/// ([`ExecContext::new`]); use [`evaluate_with`] to control threading or
+/// accumulate statistics across queries.
+///
 /// # Errors
 /// Sort/arity errors and algebra failures; see [`QueryError`].
 pub fn evaluate(catalog: &impl Catalog, formula: &Formula) -> Result<QueryResult> {
+    evaluate_with(catalog, formula, &ExecContext::new())
+}
+
+/// Evaluates a formula under an explicit execution context: every algebra
+/// operation runs on the context's thread pool and tallies into its
+/// [`itd_core::OpKind`]-indexed counters. The returned
+/// [`QueryResult::stats`] is the context's snapshot taken after
+/// evaluation.
+///
+/// # Errors
+/// Sort/arity errors and algebra failures; see [`QueryError`].
+pub fn evaluate_with(
+    catalog: &impl Catalog,
+    formula: &Formula,
+    ctx: &ExecContext,
+) -> Result<QueryResult> {
     let (f, _sorts) = check_sorts(catalog, formula)?;
     let mut adom: BTreeSet<Value> = catalog.active_domain();
     collect_constants(&f, &mut adom);
     let env = Env {
         catalog,
         adom: adom.into_iter().collect(),
+        ctx,
     };
     let ev = env.eval(&f)?;
     Ok(QueryResult {
         relation: ev.rel,
         temporal_vars: ev.tvars,
         data_vars: ev.dvars,
+        stats: ctx.stats(),
     })
 }
 
@@ -51,9 +85,24 @@ pub fn evaluate(catalog: &impl Catalog, formula: &Formula) -> Result<QueryResult
 /// # Errors
 /// See [`evaluate`].
 pub fn evaluate_bool(catalog: &impl Catalog, formula: &Formula) -> Result<bool> {
-    let r = evaluate(catalog, formula)?;
-    let closed = r.relation.project(&[], &[]).map_err(QueryError::Core)?;
-    Ok(!closed.is_empty().map_err(QueryError::Core)?)
+    evaluate_bool_with(catalog, formula, &ExecContext::new())
+}
+
+/// [`evaluate_bool`] under an explicit execution context.
+///
+/// # Errors
+/// See [`evaluate`].
+pub fn evaluate_bool_with(
+    catalog: &impl Catalog,
+    formula: &Formula,
+    ctx: &ExecContext,
+) -> Result<bool> {
+    let r = evaluate_with(catalog, formula, ctx)?;
+    let closed = r
+        .relation
+        .project_in(&[], &[], ctx)
+        .map_err(QueryError::Core)?;
+    Ok(!closed.denotes_empty().map_err(QueryError::Core)?)
 }
 
 /// Adds data constants appearing in the formula to the active domain.
@@ -95,6 +144,7 @@ struct Ev {
 struct Env<'a, C: Catalog> {
     catalog: &'a C,
     adom: Vec<Value>,
+    ctx: &'a ExecContext,
 }
 
 impl<C: Catalog> Env<'_, C> {
@@ -124,7 +174,7 @@ impl<C: Catalog> Env<'_, C> {
             GenRelation::full_temporal(Schema::new(tvars, 0)).map_err(QueryError::Core)?;
         for _ in 0..dvars {
             rel = rel
-                .cross_product(&self.adom_relation())
+                .cross_product_in(&self.adom_relation(), self.ctx)
                 .map_err(QueryError::Core)?;
         }
         Ok(rel)
@@ -230,12 +280,7 @@ impl<C: Catalog> Env<'_, C> {
         }
     }
 
-    fn eval_pred(
-        &self,
-        name: &str,
-        temporal: &[TemporalTerm],
-        data: &[DataTerm],
-    ) -> Result<Ev> {
+    fn eval_pred(&self, name: &str, temporal: &[TemporalTerm], data: &[DataTerm]) -> Result<Ev> {
         let base = self
             .catalog
             .relation(name)
@@ -249,23 +294,26 @@ impl<C: Catalog> Env<'_, C> {
             match term {
                 TemporalTerm::Const(c) => {
                     rel = rel
-                        .select_temporal(Atom::eq(col, *c))
+                        .select_temporal_in(Atom::eq(col, *c), self.ctx)
                         .map_err(QueryError::Core)?;
                 }
                 TemporalTerm::Var { name, shift } => {
                     if *shift != 0 {
                         // column = var + shift ⇒ shift the column by −shift
                         // so it equals the variable.
-                        let delta = shift.checked_neg().ok_or(QueryError::Core(
-                            CoreError::Numth(itd_numth::NumthError::Overflow),
-                        ))?;
+                        let delta =
+                            shift
+                                .checked_neg()
+                                .ok_or(QueryError::Core(CoreError::Numth(
+                                    itd_numth::NumthError::Overflow,
+                                )))?;
                         rel = rel
-                            .shift_temporal(col, delta)
+                            .shift_temporal_in(col, delta, self.ctx)
                             .map_err(QueryError::Core)?;
                     }
                     if let Some(first) = tvars.iter().position(|v| v == name) {
                         rel = rel
-                            .select_temporal(Atom::diff_eq(tkeep[first], col, 0))
+                            .select_temporal_in(Atom::diff_eq(tkeep[first], col, 0), self.ctx)
                             .map_err(QueryError::Core)?;
                     } else {
                         tvars.push(name.clone());
@@ -282,12 +330,12 @@ impl<C: Catalog> Env<'_, C> {
             match term {
                 DataTerm::Const(v) => {
                     let v = v.clone();
-                    rel = rel.select_data(move |d| d[col] == v);
+                    rel = rel.select_data_in(move |d| d[col] == v, self.ctx);
                 }
                 DataTerm::Var(name) => {
                     if let Some(first) = dvars.iter().position(|v| v == name) {
                         let fc = dkeep[first];
-                        rel = rel.select_data(move |d| d[fc] == d[col]);
+                        rel = rel.select_data_in(move |d| d[fc] == d[col], self.ctx);
                     } else {
                         dvars.push(name.clone());
                         dkeep.push(col);
@@ -296,18 +344,14 @@ impl<C: Catalog> Env<'_, C> {
             }
         }
 
-        let rel = rel.project(&tkeep, &dkeep).map_err(QueryError::Core)?;
+        let rel = rel
+            .project_in(&tkeep, &dkeep, self.ctx)
+            .map_err(QueryError::Core)?;
         Ok(Ev { rel, tvars, dvars })
     }
 
-    fn eval_temp_cmp(
-        &self,
-        left: &TemporalTerm,
-        op: CmpOp,
-        right: &TemporalTerm,
-    ) -> Result<Ev> {
-        let overflow =
-            || QueryError::Core(CoreError::Numth(itd_numth::NumthError::Overflow));
+    fn eval_temp_cmp(&self, left: &TemporalTerm, op: CmpOp, right: &TemporalTerm) -> Result<Ev> {
+        let overflow = || QueryError::Core(CoreError::Numth(itd_numth::NumthError::Overflow));
         // Atoms for `X(col_l) op X(col_r) + c` or `X op c`, split for `!=`.
         fn diff_atoms(op: CmpOp, i: usize, j: usize, c: i64) -> Option<Vec<Atom>> {
             Some(match op {
@@ -338,7 +382,10 @@ impl<C: Catalog> Env<'_, C> {
             let mut rel = GenRelation::empty(Schema::new(1, 0));
             for a in atoms {
                 rel.push(
-                    GenTuple::with_atoms(vec![Lrp::all()], &[a], vec![])
+                    GenTuple::builder()
+                        .lrps(vec![Lrp::all()])
+                        .atoms([a])
+                        .build()
                         .map_err(QueryError::Core)?,
                 )
                 .map_err(QueryError::Core)?;
@@ -386,8 +433,7 @@ impl<C: Catalog> Env<'_, C> {
                     // v + s1 op v + s2 ⇔ s1 op s2, but v stays free.
                     let truth = op.eval(*s1, *s2);
                     let rel = if truth {
-                        GenRelation::full_temporal(Schema::new(1, 0))
-                            .map_err(QueryError::Core)?
+                        GenRelation::full_temporal(Schema::new(1, 0)).map_err(QueryError::Core)?
                     } else {
                         GenRelation::empty(Schema::new(1, 0))
                     };
@@ -403,7 +449,10 @@ impl<C: Catalog> Env<'_, C> {
                 let mut rel = GenRelation::empty(Schema::new(2, 0));
                 for a in atoms {
                     rel.push(
-                        GenTuple::with_atoms(vec![Lrp::all(), Lrp::all()], &[a], vec![])
+                        GenTuple::builder()
+                            .lrps(vec![Lrp::all(), Lrp::all()])
+                            .atoms([a])
+                            .build()
                             .map_err(QueryError::Core)?,
                     )
                     .map_err(QueryError::Core)?;
@@ -436,8 +485,7 @@ impl<C: Catalog> Env<'_, C> {
                 tvars: vec![],
                 dvars: vec![],
             }),
-            (DataTerm::Var(x), DataTerm::Const(v))
-            | (DataTerm::Const(v), DataTerm::Var(x)) => {
+            (DataTerm::Var(x), DataTerm::Const(v)) | (DataTerm::Const(v), DataTerm::Var(x)) => {
                 let tuples: Vec<Vec<Value>> = if eq {
                     vec![vec![v.clone()]]
                 } else {
@@ -474,7 +522,9 @@ impl<C: Catalog> Env<'_, C> {
     /// `¬φ` = free space over φ's variables minus φ.
     fn negate(&self, ev: Ev) -> Result<Ev> {
         let full = self.full_for(ev.tvars.len(), ev.dvars.len())?;
-        let rel = full.difference(&ev.rel).map_err(QueryError::Core)?;
+        let rel = full
+            .difference_in(&ev.rel, self.ctx)
+            .map_err(QueryError::Core)?;
         Ok(Ev {
             rel,
             tvars: ev.tvars,
@@ -498,7 +548,7 @@ impl<C: Catalog> Env<'_, C> {
         }
         let joined = a
             .rel
-            .join_on(&b.rel, &tpairs, &dpairs)
+            .join_on_in(&b.rel, &tpairs, &dpairs, self.ctx)
             .map_err(QueryError::Core)?;
         // Keep a's columns plus b's non-shared columns.
         let mut tkeep: Vec<usize> = (0..a.tvars.len()).collect();
@@ -517,7 +567,9 @@ impl<C: Catalog> Env<'_, C> {
                 dvars.push(var.clone());
             }
         }
-        let rel = joined.project(&tkeep, &dkeep).map_err(QueryError::Core)?;
+        let rel = joined
+            .project_in(&tkeep, &dkeep, self.ctx)
+            .map_err(QueryError::Core)?;
         Ok(Ev { rel, tvars, dvars })
     }
 
@@ -537,7 +589,7 @@ impl<C: Catalog> Env<'_, C> {
         }
         let pa = self.pad(a, &tvars, &dvars)?;
         let pb = self.pad(b, &tvars, &dvars)?;
-        let rel = pa.union(&pb).map_err(QueryError::Core)?;
+        let rel = pa.union_in(&pb, self.ctx).map_err(QueryError::Core)?;
         Ok(Ev { rel, tvars, dvars })
     }
 
@@ -550,9 +602,9 @@ impl<C: Catalog> Env<'_, C> {
         for v in tt {
             if !tvars.contains(v) {
                 rel = rel
-                    .cross_product(
-                        &GenRelation::full_temporal(Schema::new(1, 0))
-                            .map_err(QueryError::Core)?,
+                    .cross_product_in(
+                        &GenRelation::full_temporal(Schema::new(1, 0)).map_err(QueryError::Core)?,
+                        self.ctx,
                     )
                     .map_err(QueryError::Core)?;
                 tvars.push(v.clone());
@@ -561,7 +613,7 @@ impl<C: Catalog> Env<'_, C> {
         for v in dd {
             if !dvars.contains(v) {
                 rel = rel
-                    .cross_product(&self.adom_relation())
+                    .cross_product_in(&self.adom_relation(), self.ctx)
                     .map_err(QueryError::Core)?;
                 dvars.push(v.clone());
             }
@@ -574,7 +626,8 @@ impl<C: Catalog> Env<'_, C> {
             .iter()
             .map(|v| dvars.iter().position(|w| w == v).expect("padded"))
             .collect();
-        rel.project(&tperm, &dperm).map_err(QueryError::Core)
+        rel.project_in(&tperm, &dperm, self.ctx)
+            .map_err(QueryError::Core)
     }
 
     /// `∃var` = drop the variable's column (no-op if the variable does not
@@ -590,7 +643,10 @@ impl<C: Catalog> Env<'_, C> {
         if let Some(i) = ev.tvars.iter().position(|v| v == var) {
             let tkeep: Vec<usize> = (0..ev.tvars.len()).filter(|&j| j != i).collect();
             let dkeep: Vec<usize> = (0..ev.dvars.len()).collect();
-            let rel = ev.rel.project(&tkeep, &dkeep).map_err(QueryError::Core)?;
+            let rel = ev
+                .rel
+                .project_in(&tkeep, &dkeep, self.ctx)
+                .map_err(QueryError::Core)?;
             let tvars = tkeep.iter().map(|&j| ev.tvars[j].clone()).collect();
             return Ok(Ev {
                 rel,
@@ -601,7 +657,10 @@ impl<C: Catalog> Env<'_, C> {
         if let Some(i) = ev.dvars.iter().position(|v| v == var) {
             let tkeep: Vec<usize> = (0..ev.tvars.len()).collect();
             let dkeep: Vec<usize> = (0..ev.dvars.len()).filter(|&j| j != i).collect();
-            let rel = ev.rel.project(&tkeep, &dkeep).map_err(QueryError::Core)?;
+            let rel = ev
+                .rel
+                .project_in(&tkeep, &dkeep, self.ctx)
+                .map_err(QueryError::Core)?;
             let dvars = dkeep.iter().map(|&j| ev.dvars[j].clone()).collect();
             return Ok(Ev {
                 rel,
@@ -642,18 +701,18 @@ mod tests {
             GenRelation::new(
                 Schema::new(2, 1),
                 vec![
-                    GenTuple::with_atoms(
-                        vec![lrp(0, 2), lrp(0, 2)],
-                        &[Atom::diff_eq(1, 0, 2)],
-                        vec![Value::str("fast")],
-                    )
-                    .unwrap(),
-                    GenTuple::with_atoms(
-                        vec![lrp(0, 10), lrp(5, 10)],
-                        &[Atom::diff_eq(1, 0, 5)],
-                        vec![Value::str("slow")],
-                    )
-                    .unwrap(),
+                    GenTuple::builder()
+                        .lrps(vec![lrp(0, 2), lrp(0, 2)])
+                        .atoms([Atom::diff_eq(1, 0, 2)])
+                        .data(vec![Value::str("fast")])
+                        .build()
+                        .unwrap(),
+                    GenTuple::builder()
+                        .lrps(vec![lrp(0, 10), lrp(5, 10)])
+                        .atoms([Atom::diff_eq(1, 0, 5)])
+                        .data(vec![Value::str("slow")])
+                        .build()
+                        .unwrap(),
                 ],
             )
             .unwrap(),
@@ -703,8 +762,12 @@ mod tests {
         assert!(ask(r#"exists x. exists t1. exists t2. Blink(t1, t2; x)"#));
         assert!(!ask(r#"exists t1. exists t2. Blink(t1, t2; "absent")"#));
         // slow blinks last exactly 5.
-        assert!(ask(r#"forall t1. forall t2. Blink(t1, t2; "slow") implies t2 = t1 + 5"#));
-        assert!(!ask(r#"forall t1. forall t2. Blink(t1, t2; "slow") implies t2 = t1 + 2"#));
+        assert!(ask(
+            r#"forall t1. forall t2. Blink(t1, t2; "slow") implies t2 = t1 + 5"#
+        ));
+        assert!(!ask(
+            r#"forall t1. forall t2. Blink(t1, t2; "slow") implies t2 = t1 + 2"#
+        ));
         // There is a kind of blink active at time 0..2: fast.
         assert!(ask("exists x. Blink(0, 2; x)"));
         assert!(!ask("exists x. Blink(1, 3; x)"));
@@ -763,7 +826,9 @@ mod tests {
 
     #[test]
     fn temporal_comparisons_between_vars() {
-        assert!(ask("exists t1. exists t2. Even(t1) and Even(t2) and t1 < t2"));
+        assert!(ask(
+            "exists t1. exists t2. Even(t1) and Even(t2) and t1 < t2"
+        ));
         assert!(ask("forall t1. forall t2. t1 <= t2 or t2 <= t1"));
         assert!(ask("forall t. t < t + 1"));
         assert!(!ask("exists t. t < t"));

@@ -63,7 +63,8 @@ mod sortcheck;
 pub use ast::{CmpOp, DataTerm, Formula, Sort, TemporalTerm};
 pub use catalog::{Catalog, MemoryCatalog};
 pub use error::QueryError;
-pub use eval::{evaluate, evaluate_bool, QueryResult};
+pub use eval::{evaluate, evaluate_bool, evaluate_bool_with, evaluate_with, QueryResult};
+pub use itd_core::{ExecContext, OpKind, OpSnapshot, StatsSnapshot};
 pub use parser::parse;
 pub use sortcheck::check_sorts;
 

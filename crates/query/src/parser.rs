@@ -148,12 +148,11 @@ impl Parser {
         match self.peek() {
             TokenKind::KwNot => {
                 self.bump();
-                let inner =
-                    if matches!(self.peek(), TokenKind::KwExists | TokenKind::KwForall) {
-                        self.quantified()?
-                    } else {
-                        self.unary()?
-                    };
+                let inner = if matches!(self.peek(), TokenKind::KwExists | TokenKind::KwForall) {
+                    self.quantified()?
+                } else {
+                    self.unary()?
+                };
                 Ok(Formula::not(inner))
             }
             TokenKind::KwTrue => {
@@ -212,20 +211,20 @@ impl Parser {
             }
             TokenKind::Int(v) => {
                 let shift = self.optional_shift()?;
-                let value = v.checked_add(shift).ok_or_else(|| {
-                    self.err("integer constant overflow")
-                })?;
+                let value = v
+                    .checked_add(shift)
+                    .ok_or_else(|| self.err("integer constant overflow"))?;
                 Ok(Side::Temporal(TemporalTerm::Const(value)))
             }
             TokenKind::Minus => match self.bump() {
                 TokenKind::Int(v) => {
-                    let neg = v.checked_neg().ok_or_else(|| {
-                        self.err("integer constant overflow")
-                    })?;
+                    let neg = v
+                        .checked_neg()
+                        .ok_or_else(|| self.err("integer constant overflow"))?;
                     let shift = self.optional_shift()?;
-                    let value = neg.checked_add(shift).ok_or_else(|| {
-                        self.err("integer constant overflow")
-                    })?;
+                    let value = neg
+                        .checked_add(shift)
+                        .ok_or_else(|| self.err("integer constant overflow"))?;
                     Ok(Side::Temporal(TemporalTerm::Const(value)))
                 }
                 _ => {
@@ -250,9 +249,9 @@ impl Parser {
         self.bump();
         let start = self.pos;
         match self.bump() {
-            TokenKind::Int(v) => v.checked_mul(sign).ok_or_else(|| {
-                self.err("shift overflow")
-            }),
+            TokenKind::Int(v) => v
+                .checked_mul(sign)
+                .ok_or_else(|| self.err("shift overflow")),
             _ => {
                 self.pos = start;
                 Err(self.err("expected integer after `+`/`-`"))
@@ -282,9 +281,7 @@ impl Parser {
             match s {
                 Side::Str(s) => Ok(DataTerm::Const(Value::Str(s))),
                 Side::Temporal(TemporalTerm::Const(c)) => Ok(DataTerm::Const(Value::Int(c))),
-                Side::Temporal(TemporalTerm::Var { name, shift: 0 }) => {
-                    Ok(DataTerm::Var(name))
-                }
+                Side::Temporal(TemporalTerm::Var { name, shift: 0 }) => Ok(DataTerm::Var(name)),
                 Side::Temporal(TemporalTerm::Var { .. }) => {
                     Err(p.err("successor applied to a data-sorted term"))
                 }
@@ -369,7 +366,10 @@ mod tests {
         assert!(text.starts_with("exists x."), "{text}");
         assert!(text.contains("Perform(t1, t2; x, \"task2\")"), "{text}");
         assert!(text.contains("t1 + 5 <= t2"), "{text}");
-        assert!(text.contains("implies not (Perform(t3, t4; y, z))"), "{text}");
+        assert!(
+            text.contains("implies not (Perform(t3, t4; y, z))"),
+            "{text}"
+        );
     }
 
     #[test]

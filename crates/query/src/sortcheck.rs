@@ -117,9 +117,7 @@ fn infer(
             infer(catalog, a, sorts)?;
             infer(catalog, b, sorts)
         }
-        Formula::Exists { body, .. } | Formula::Forall { body, .. } => {
-            infer(catalog, body, sorts)
-        }
+        Formula::Exists { body, .. } | Formula::Forall { body, .. } => infer(catalog, body, sorts),
     }
 }
 
@@ -137,8 +135,8 @@ fn rewrite(formula: &Formula, sorts: &HashMap<String, Sort>) -> Result<Formula> 
                 TemporalTerm::Var { name, .. } => sorts.get(name.as_str()).copied(),
                 TemporalTerm::Const(_) => None,
             };
-            let any_data = side_sort(left) == Some(Sort::Data)
-                || side_sort(right) == Some(Sort::Data);
+            let any_data =
+                side_sort(left) == Some(Sort::Data) || side_sort(right) == Some(Sort::Data);
             if let (Some(eq), true) = (eq, any_data) {
                 // Both sides must convert to data terms.
                 let conv = |t: &TemporalTerm| -> Result<DataTerm> {

@@ -180,12 +180,8 @@ impl Tl {
                 data: vec![],
             },
             Tl::Not(f) => Formula::not(f.compile_inner(t, counter)),
-            Tl::And(a, b) => {
-                Formula::and(a.compile_inner(t, counter), b.compile_inner(t, counter))
-            }
-            Tl::Or(a, b) => {
-                Formula::or(a.compile_inner(t, counter), b.compile_inner(t, counter))
-            }
+            Tl::And(a, b) => Formula::and(a.compile_inner(t, counter), b.compile_inner(t, counter)),
+            Tl::Or(a, b) => Formula::or(a.compile_inner(t, counter), b.compile_inner(t, counter)),
             Tl::Implies(a, b) => {
                 Formula::implies(a.compile_inner(t, counter), b.compile_inner(t, counter))
             }
@@ -196,11 +192,7 @@ impl Tl {
                 Formula::exists(
                     u.clone(),
                     Formula::and(
-                        cmp(
-                            var(&u),
-                            CmpOp::Eq,
-                            TemporalTerm::var_plus(t, delta),
-                        ),
+                        cmp(var(&u), CmpOp::Eq, TemporalTerm::var_plus(t, delta)),
                         f.compile_inner(&u, counter),
                     ),
                 )
@@ -211,10 +203,7 @@ impl Tl {
                 let order = if future { CmpOp::Le } else { CmpOp::Ge };
                 Formula::exists(
                     u.clone(),
-                    Formula::and(
-                        cmp(var(t), order, var(&u)),
-                        f.compile_inner(&u, counter),
-                    ),
+                    Formula::and(cmp(var(t), order, var(&u)), f.compile_inner(&u, counter)),
                 )
             }
             Tl::Always(f) | Tl::Historically(f) => {
@@ -223,10 +212,7 @@ impl Tl {
                 let order = if future { CmpOp::Le } else { CmpOp::Ge };
                 Formula::forall(
                     u.clone(),
-                    Formula::implies(
-                        cmp(var(t), order, var(&u)),
-                        f.compile_inner(&u, counter),
-                    ),
+                    Formula::implies(cmp(var(t), order, var(&u)), f.compile_inner(&u, counter)),
                 )
             }
             Tl::EventuallyWithin(d, f) => {
@@ -353,18 +339,8 @@ mod tests {
         assert!(holds_at(&cat, &Tl::prop("green"), 0).unwrap());
         assert!(holds_at(&cat, &Tl::prop("green"), 3_000_000).unwrap());
         assert!(!holds_at(&cat, &Tl::prop("green"), 1).unwrap());
-        assert!(holds_at(
-            &cat,
-            &Tl::or(Tl::prop("green"), Tl::prop("yellow")),
-            1
-        )
-        .unwrap());
-        assert!(!holds_at(
-            &cat,
-            &Tl::and(Tl::prop("green"), Tl::prop("yellow")),
-            1
-        )
-        .unwrap());
+        assert!(holds_at(&cat, &Tl::or(Tl::prop("green"), Tl::prop("yellow")), 1).unwrap());
+        assert!(!holds_at(&cat, &Tl::and(Tl::prop("green"), Tl::prop("yellow")), 1).unwrap());
     }
 
     #[test]
@@ -417,18 +393,8 @@ mod tests {
         assert!(!valid(&cat, &Tl::eventually_within(1, Tl::prop("green"))).unwrap());
         assert!(valid(&cat, &Tl::eventually_within(2, Tl::prop("green"))).unwrap());
         // G_{≤1} of (not yellow) at a red point: red then green — true.
-        assert!(holds_at(
-            &cat,
-            &Tl::always_within(1, Tl::not(Tl::prop("yellow"))),
-            2
-        )
-        .unwrap());
-        assert!(!holds_at(
-            &cat,
-            &Tl::always_within(2, Tl::not(Tl::prop("yellow"))),
-            2
-        )
-        .unwrap());
+        assert!(holds_at(&cat, &Tl::always_within(1, Tl::not(Tl::prop("yellow"))), 2).unwrap());
+        assert!(!holds_at(&cat, &Tl::always_within(2, Tl::not(Tl::prop("yellow"))), 2).unwrap());
     }
 
     #[test]
@@ -446,19 +412,9 @@ mod tests {
         // green and red needs one yellow step first... actually U requires
         // φ at every s in [t, t'): s = t itself is yellow, not green —
         // unless t' = t, but red(t) is false at yellow).
-        assert!(!holds_at(
-            &cat,
-            &Tl::until(Tl::prop("green"), Tl::prop("red")),
-            1
-        )
-        .unwrap());
+        assert!(!holds_at(&cat, &Tl::until(Tl::prop("green"), Tl::prop("red")), 1).unwrap());
         // ψ now satisfies U immediately regardless of φ.
-        assert!(holds_at(
-            &cat,
-            &Tl::until(Tl::prop("red"), Tl::prop("yellow")),
-            1
-        )
-        .unwrap());
+        assert!(holds_at(&cat, &Tl::until(Tl::prop("red"), Tl::prop("yellow")), 1).unwrap());
     }
 
     #[test]

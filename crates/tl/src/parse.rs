@@ -29,7 +29,11 @@ pub struct TlParseError {
 
 impl std::fmt::Display for TlParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "TL parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "TL parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -97,9 +101,7 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, TlParseError> {
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push((Tok::Ident(src[start..i].to_owned()), start));

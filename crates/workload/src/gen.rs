@@ -54,11 +54,9 @@ pub fn random_relation(spec: &RelationSpec, seed: u64) -> GenRelation {
     let schema = Schema::new(spec.temporal_arity, spec.data_arity);
     let mut rel = GenRelation::empty(schema);
     let alphabet = ["a", "b", "c", "d"];
-    while rel.len() < spec.tuples {
+    while rel.tuple_count() < spec.tuples {
         let lrps: Vec<Lrp> = (0..spec.temporal_arity)
-            .map(|_| {
-                Lrp::new(rng.gen_range(0..spec.period), spec.period).expect("period > 0")
-            })
+            .map(|_| Lrp::new(rng.gen_range(0..spec.period), spec.period).expect("period > 0"))
             .collect();
         let anchors: Vec<i64> = lrps.iter().map(Lrp::offset).collect();
 
@@ -92,7 +90,12 @@ pub fn random_relation(spec: &RelationSpec, seed: u64) -> GenRelation {
         let data: Vec<Value> = (0..spec.data_arity)
             .map(|_| Value::str(alphabet[rng.gen_range(0..alphabet.len())]))
             .collect();
-        let tuple = GenTuple::new(lrps, cons, data).expect("arities match");
+        let tuple = GenTuple::builder()
+            .lrps(lrps)
+            .constraints(cons)
+            .data(data)
+            .build()
+            .expect("arities match");
         rel.push(tuple).expect("schema matches");
     }
     rel
@@ -122,7 +125,7 @@ mod tests {
             ..RelationSpec::default()
         };
         let r = random_relation(&spec, 1);
-        assert_eq!(r.len(), 9);
+        assert_eq!(r.tuple_count(), 9);
         assert_eq!(r.schema(), Schema::new(3, 2));
         for t in r.tuples() {
             for l in t.lrps() {

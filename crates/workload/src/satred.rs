@@ -30,11 +30,9 @@ impl Cnf {
     /// If the assignment is shorter than `num_vars`.
     pub fn eval(&self, assignment: &[bool]) -> bool {
         assert!(assignment.len() >= self.num_vars);
-        self.clauses.iter().all(|clause| {
-            clause
-                .iter()
-                .any(|lit| assignment[lit.var] == lit.positive)
-        })
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|lit| assignment[lit.var] == lit.positive))
     }
 
     /// The Theorem 3.6 reduction: a purely temporal generalized relation
@@ -61,8 +59,11 @@ impl Cnf {
                 });
             }
             let lrps = vec![Lrp::all(); self.num_vars];
-            let tuple =
-                GenTuple::with_atoms(lrps, &atoms, vec![]).expect("small constants");
+            let tuple = GenTuple::builder()
+                .lrps(lrps)
+                .atoms(atoms.iter().copied())
+                .build()
+                .expect("small constants");
             rel.push(tuple).expect("schema matches");
         }
         rel

@@ -17,29 +17,32 @@ fn main() {
     // Maintenance windows [20n, 20n+6] and meetings [10n+3, 10n+5].
     let windows = GenRelation::new(
         Schema::new(2, 1),
-        vec![GenTuple::with_atoms(
-            vec![lrp(0, 20), lrp(6, 20)],
-            &[Atom::diff_eq(1, 0, 6)],
-            vec![Value::str("window")],
-        )
-        .unwrap()],
+        vec![GenTuple::builder()
+            .lrps(vec![lrp(0, 20), lrp(6, 20)])
+            .atoms([Atom::diff_eq(1, 0, 6)])
+            .data(vec![Value::str("window")])
+            .build()
+            .unwrap()],
     )
     .unwrap();
     let meetings = GenRelation::new(
         Schema::new(2, 1),
-        vec![GenTuple::with_atoms(
-            vec![lrp(3, 10), lrp(5, 10)],
-            &[Atom::diff_eq(1, 0, 2)],
-            vec![Value::str("meeting")],
-        )
-        .unwrap()],
+        vec![GenTuple::builder()
+            .lrps(vec![lrp(3, 10), lrp(5, 10)])
+            .atoms([Atom::diff_eq(1, 0, 2)])
+            .data(vec![Value::str("meeting")])
+            .build()
+            .unwrap()],
     )
     .unwrap();
 
     // Which meetings happen DURING a maintenance window? The join is
     // symbolic — it covers all infinitely many interval pairs at once.
     let clashes = allen_join(&meetings, &windows, AllenRel::During).unwrap();
-    println!("meetings during windows: {} generalized tuple(s)", clashes.len());
+    println!(
+        "meetings during windows: {} generalized tuple(s)",
+        clashes.tuple_count()
+    );
     // Meeting [3,5] sits inside window [0,6]; meeting [13,15] does not sit
     // inside any window ([0,6] ended, [20,26] not started).
     assert!(clashes.contains(
@@ -88,10 +91,7 @@ fn main() {
     cat.insert("red", phase(2));
 
     // G (green → X yellow): the light never skips yellow.
-    let never_skips = Tl::always(Tl::implies(
-        Tl::prop("green"),
-        Tl::next(Tl::prop("yellow")),
-    ));
+    let never_skips = Tl::always(Tl::implies(Tl::prop("green"), Tl::next(Tl::prop("yellow"))));
     assert!(valid(&cat, &never_skips).unwrap());
     println!("G(green → X yellow): valid over all of Z");
 

@@ -29,7 +29,7 @@ fn main() {
     let rel = leap.to_relation().expect("translation");
     println!(
         "leap-year predicate compiled to {} generalized tuple(s)",
-        rel.len()
+        rel.tuple_count()
     );
     for (year, expect) in [(2000, true), (1900, false), (2024, true), (2023, false)] {
         let got = rel.contains(&[year], &[]);
@@ -78,7 +78,7 @@ fn main() {
         .expect("restricted form exists");
     println!(
         "v1 ≡ v2 + 1 (mod 3) is {} unconstrained residue-pair tuple(s)",
-        core.len()
+        core.tuple_count()
     );
     assert!(core.contains(&[4, 3], &[]));
     assert!(!core.contains(&[5, 3], &[]));

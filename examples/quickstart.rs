@@ -66,7 +66,7 @@ fn main() {
     let starts = rel.project(&[0], &[]).expect("projection");
     println!(
         "start times form {} generalized tuple(s); contains t=27? {}",
-        starts.len(),
+        starts.tuple_count(),
         starts.contains(&[27], &[])
     );
     assert!(starts.contains(&[27], &[])); // 27 ≡ 3 (mod 12)

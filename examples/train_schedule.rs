@@ -44,7 +44,7 @@ fn main() {
     let t0702 = 7 * HOUR + 2;
     let t0820 = 8 * HOUR + 20;
     assert!(db
-        .ask(&format!(r#"train({t0702}, {t0820}; "slow")"#))
+        .ask(format!(r#"train({t0702}, {t0820}; "slow")"#))
         .expect("query"));
     println!("7:02 → 8:20 slow train exists: true");
 
@@ -54,7 +54,7 @@ fn main() {
     let t0746 = 7 * HOUR + 46;
     let t0750 = 7 * HOUR + 50;
     assert!(!db
-        .ask(&format!("exists k. train({t0746}, {t0750}; k)"))
+        .ask(format!("exists k. train({t0746}, {t0750}; k)"))
         .expect("query"));
     println!("bogus 7:46 → 7:50 train: correctly absent");
 

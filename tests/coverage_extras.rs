@@ -14,22 +14,20 @@ fn join_on_multiple_temporal_pairs() {
     // through a 4-column join.
     let r = GenRelation::new(
         Schema::new(2, 0),
-        vec![GenTuple::with_atoms(
-            vec![lrp(0, 2), lrp(1, 2)],
-            &[Atom::diff_le(0, 1, 5)],
-            vec![],
-        )
-        .unwrap()],
+        vec![GenTuple::builder()
+            .lrps(vec![lrp(0, 2), lrp(1, 2)])
+            .atoms([Atom::diff_le(0, 1, 5)])
+            .build()
+            .unwrap()],
     )
     .unwrap();
     let s = GenRelation::new(
         Schema::new(2, 0),
-        vec![GenTuple::with_atoms(
-            vec![lrp(0, 3), lrp(1, 3)],
-            &[Atom::ge(0, 0)],
-            vec![],
-        )
-        .unwrap()],
+        vec![GenTuple::builder()
+            .lrps(vec![lrp(0, 3), lrp(1, 3)])
+            .atoms([Atom::ge(0, 0)])
+            .build()
+            .unwrap()],
     )
     .unwrap();
     let j = r.join_on(&s, &[(0, 0), (1, 1)], &[]).unwrap();
@@ -46,7 +44,10 @@ fn join_on_mixed_temporal_and_data_pairs() {
     let mk = |k: i64, who: &str| {
         GenRelation::new(
             Schema::new(1, 1),
-            vec![GenTuple::unconstrained(vec![lrp(0, k)], vec![Value::str(who)])],
+            vec![GenTuple::unconstrained(
+                vec![lrp(0, k)],
+                vec![Value::str(who)],
+            )],
         )
         .unwrap()
     };
@@ -70,21 +71,21 @@ fn query_shifted_repeated_variable() {
         "p",
         GenRelation::new(
             Schema::new(2, 0),
-            vec![GenTuple::with_atoms(
-                vec![lrp(0, 2), lrp(0, 2)],
-                &[Atom::diff_eq(1, 0, 2)],
-                vec![],
-            )
-            .unwrap()],
+            vec![GenTuple::builder()
+                .lrps(vec![lrp(0, 2), lrp(0, 2)])
+                .atoms([Atom::diff_eq(1, 0, 2)])
+                .build()
+                .unwrap()],
         )
         .unwrap(),
     );
     // p(t, t + 2): holds for every even t.
     assert!(evaluate_bool(&cat, &parse("exists t. p(t, t + 2)").unwrap()).unwrap());
-    assert!(
-        evaluate_bool(&cat, &parse("forall t. p(t, t + 2) or p(t + 1, t + 3)").unwrap())
-            .unwrap()
-    );
+    assert!(evaluate_bool(
+        &cat,
+        &parse("forall t. p(t, t + 2) or p(t + 1, t + 3)").unwrap()
+    )
+    .unwrap());
     // p(t + 2, t) (reversed shift): never.
     assert!(!evaluate_bool(&cat, &parse("exists t. p(t + 2, t)").unwrap()).unwrap());
     // p(t, t): never (length-2 gap is mandatory).
@@ -100,15 +101,22 @@ fn tl_satisfiable_entry_point() {
         "burst",
         GenRelation::new(
             Schema::new(1, 0),
-            vec![GenTuple::with_atoms(vec![lrp(0, 5)], &[Atom::ge(0, 10)], vec![]).unwrap()],
+            vec![GenTuple::builder()
+                .lrps(vec![lrp(0, 5)])
+                .atoms([Atom::ge(0, 10)])
+                .build()
+                .unwrap()],
         )
         .unwrap(),
     );
     assert!(satisfiable(&cat, &Tl::prop("burst")).unwrap());
     assert!(satisfiable(&cat, &Tl::historically(Tl::not(Tl::prop("burst")))).unwrap());
     // Unsatisfiable: burst ∧ ¬burst.
-    assert!(!satisfiable(&cat, &Tl::and(Tl::prop("burst"), Tl::not(Tl::prop("burst"))))
-        .unwrap());
+    assert!(!satisfiable(
+        &cat,
+        &Tl::and(Tl::prop("burst"), Tl::not(Tl::prop("burst")))
+    )
+    .unwrap());
     // F ¬burst is valid (non-multiples of 5 exist after any point).
     assert!(itd_tl::valid(&cat, &Tl::eventually(Tl::not(Tl::prop("burst")))).unwrap());
 }
@@ -118,12 +126,11 @@ fn allen_select_agrees_with_holds_for_all_relations() {
     use itd_interval::{allen_select, ALL_RELATIONS};
     let windows = GenRelation::new(
         Schema::new(2, 0),
-        vec![GenTuple::with_atoms(
-            vec![lrp(0, 7), lrp(3, 7)],
-            &[Atom::diff_eq(1, 0, 3)],
-            vec![],
-        )
-        .unwrap()],
+        vec![GenTuple::builder()
+            .lrps(vec![lrp(0, 7), lrp(3, 7)])
+            .atoms([Atom::diff_eq(1, 0, 3)])
+            .build()
+            .unwrap()],
     )
     .unwrap();
     let (b1, b2) = (10, 12);
@@ -155,14 +162,17 @@ fn serde_value_and_schema_roundtrip() {
 #[test]
 fn serde_relation_with_unsat_constraints() {
     // The unsat flag must survive serialization (it is semantic state).
-    let t = GenTuple::with_atoms(vec![lrp(0, 2)], &[Atom::le(0, 0), Atom::ge(0, 2)], vec![])
+    let t = GenTuple::builder()
+        .lrps(vec![lrp(0, 2)])
+        .atoms([Atom::le(0, 0), Atom::ge(0, 2)])
+        .build()
         .unwrap();
     assert!(t.is_trivially_empty());
     let rel = GenRelation::new(Schema::new(1, 0), vec![t]).unwrap();
     let json = serde_json::to_string(&rel).unwrap();
     let back: GenRelation = serde_json::from_str(&json).unwrap();
     assert!(back.tuples()[0].is_trivially_empty());
-    assert!(back.is_empty().unwrap());
+    assert!(back.denotes_empty().unwrap());
 }
 
 #[test]
@@ -208,6 +218,6 @@ fn coalesce_after_union_of_refinements() {
     )
     .unwrap();
     let evens = odds.complement_temporal().unwrap().coalesce().unwrap();
-    assert_eq!(evens.len(), 1);
+    assert_eq!(evens.tuple_count(), 1);
     assert_eq!(evens.tuples()[0].lrps()[0], lrp(0, 2));
 }

@@ -32,8 +32,7 @@ fn single_tuple_difference_matches_sets() {
         let a = random_relation(&spec(2, p1 as i64, 0.5), seed);
         let b = random_relation(&spec(2, p2 as i64, 0.5), seed + 1234);
         let d = a.difference(&b).unwrap();
-        let expect: std::collections::BTreeSet<_> =
-            mat(&a).difference(&mat(&b)).cloned().collect();
+        let expect: std::collections::BTreeSet<_> = mat(&a).difference(&mat(&b)).cloned().collect();
         assert_eq!(mat(&d), expect, "seed {seed} (p1={p1}, p2={p2})");
     }
 }
@@ -46,20 +45,18 @@ fn constrained_subtrahend_exercises_both_parts() {
     use itd_core::{Atom, GenTuple, Lrp, Schema};
     let lrp = |c, k| Lrp::new(c, k).unwrap();
     // t1: all even pairs with X1 ≤ X2.
-    let t1 = GenTuple::with_atoms(
-        vec![lrp(0, 2), lrp(0, 2)],
-        &[Atom::diff_le(0, 1, 0)],
-        vec![],
-    )
-    .unwrap();
+    let t1 = GenTuple::builder()
+        .lrps(vec![lrp(0, 2), lrp(0, 2)])
+        .atoms([Atom::diff_le(0, 1, 0)])
+        .build()
+        .unwrap();
     // t2: the sub-grid multiples of 4 on X1 (free-extension part) AND only
     // where X2 ≥ 4 (constraint part).
-    let t2 = GenTuple::with_atoms(
-        vec![lrp(0, 4), lrp(0, 2)],
-        &[Atom::ge(1, 4)],
-        vec![],
-    )
-    .unwrap();
+    let t2 = GenTuple::builder()
+        .lrps(vec![lrp(0, 4), lrp(0, 2)])
+        .atoms([Atom::ge(1, 4)])
+        .build()
+        .unwrap();
     let a = GenRelation::new(Schema::new(2, 0), vec![t1]).unwrap();
     let b = GenRelation::new(Schema::new(2, 0), vec![t2]).unwrap();
     let d = a.difference(&b).unwrap();
@@ -95,8 +92,7 @@ fn multi_tuple_fold() {
             seed + 50,
         );
         let d = a.difference(&b).unwrap();
-        let expect: std::collections::BTreeSet<_> =
-            mat(&a).difference(&mat(&b)).cloned().collect();
+        let expect: std::collections::BTreeSet<_> = mat(&a).difference(&mat(&b)).cloned().collect();
         assert_eq!(mat(&d), expect, "seed {seed}");
         // A − B − B = A − B.
         let d2 = d.difference(&b).unwrap();
@@ -111,7 +107,10 @@ fn point_subtraction_chains() {
     use itd_core::{GenTuple, Lrp, Schema};
     let evens = GenRelation::new(
         Schema::new(1, 0),
-        vec![GenTuple::unconstrained(vec![Lrp::new(0, 2).unwrap()], vec![])],
+        vec![GenTuple::unconstrained(
+            vec![Lrp::new(0, 2).unwrap()],
+            vec![],
+        )],
     )
     .unwrap();
     let mut holes = GenRelation::empty(Schema::new(1, 0));
@@ -135,9 +134,8 @@ fn point_subtraction_chains() {
 #[test]
 fn data_attributes_partition_difference() {
     use itd_core::{GenTuple, Lrp, Schema};
-    let mk = |who: &str| {
-        GenTuple::unconstrained(vec![Lrp::new(0, 2).unwrap()], vec![Value::str(who)])
-    };
+    let mk =
+        |who: &str| GenTuple::unconstrained(vec![Lrp::new(0, 2).unwrap()], vec![Value::str(who)]);
     let a = GenRelation::new(Schema::new(1, 1), vec![mk("x"), mk("y")]).unwrap();
     let b = GenRelation::new(Schema::new(1, 1), vec![mk("x")]).unwrap();
     let d = a.difference(&b).unwrap();

@@ -44,7 +44,7 @@ fn reduction_relation_shape_matches_paper() {
     };
     let r = cnf.to_relation();
     assert_eq!(r.schema().temporal(), 4);
-    assert_eq!(r.len(), 2);
+    assert_eq!(r.tuple_count(), 2);
     // A point is in r iff it falsifies some clause.
     // (x0<0 ∧ x1≥0 ∧ x2<0) falsifies clause 1.
     assert!(r.contains(&[-1, 0, -1, 5], &[]));
@@ -72,7 +72,7 @@ fn pigeonhole_style_unsat() {
     assert!(brute_force_sat(&cnf).is_none());
     // The complement is empty: r covers all of Z³.
     let complement = cnf.to_relation().complement_temporal().unwrap();
-    assert!(complement.is_empty().unwrap());
+    assert!(complement.denotes_empty().unwrap());
     assert!(solve_via_complement(&cnf).unwrap().is_none());
 }
 

@@ -20,7 +20,10 @@ fn example_2_1_lrp_membership() {
 /// Example 2.2: both generalized tuples and their denotations.
 #[test]
 fn example_2_2_tuple_denotations() {
-    let t1 = GenTuple::with_atoms(vec![Lrp::point(1), lrp(1, 2)], &[Atom::ge(1, 0)], vec![])
+    let t1 = GenTuple::builder()
+        .lrps(vec![Lrp::point(1), lrp(1, 2)])
+        .atoms([Atom::ge(1, 0)])
+        .build()
         .unwrap();
     let rel = GenRelation::new(Schema::new(2, 0), vec![t1]).unwrap();
     let m = rel.materialize(-3, 7);
@@ -31,12 +34,11 @@ fn example_2_2_tuple_denotations() {
         "first tuple of Example 2.2"
     );
 
-    let t2 = GenTuple::with_atoms(
-        vec![lrp(3, 2), lrp(5, 2)],
-        &[Atom::diff_eq(0, 1, -2)],
-        vec![],
-    )
-    .unwrap();
+    let t2 = GenTuple::builder()
+        .lrps(vec![lrp(3, 2), lrp(5, 2)])
+        .atoms([Atom::diff_eq(0, 1, -2)])
+        .build()
+        .unwrap();
     let rel = GenRelation::new(Schema::new(2, 0), vec![t2]).unwrap();
     for (a, b) in [(3, 5), (5, 7), (7, 9), (1, 3), (-3, -1)] {
         assert!(rel.contains(&[a, b], &[]), "({a},{b})");
@@ -91,7 +93,7 @@ fn table_1_robot_relation() {
     assert!(rel.contains(&[0, 2], &r1));
     assert!(rel.contains(&[2, 4], &r1));
     assert!(!rel.contains(&[-2, 0], &r1)); // X1 ≥ −1 cuts it
-    // Row 2: [6+10n, 7+10n] with X1 ≥ 10 → starts at 16.
+                                           // Row 2: [6+10n, 7+10n] with X1 ≥ 10 → starts at 16.
     assert!(rel.contains(&[16, 17], &r2a));
     assert!(!rel.contains(&[6, 7], &r2a));
     // Row 3: unbounded in both directions.
@@ -104,26 +106,24 @@ fn table_1_robot_relation() {
 fn example_3_1_intersection() {
     let a = GenRelation::new(
         Schema::new(2, 0),
-        vec![GenTuple::with_atoms(
-            vec![lrp(1, 2), lrp(-4, 3)],
-            &[Atom::diff_le(0, 1, 0), Atom::ge(0, 3)],
-            vec![],
-        )
-        .unwrap()],
+        vec![GenTuple::builder()
+            .lrps(vec![lrp(1, 2), lrp(-4, 3)])
+            .atoms([Atom::diff_le(0, 1, 0), Atom::ge(0, 3)])
+            .build()
+            .unwrap()],
     )
     .unwrap();
     let b = GenRelation::new(
         Schema::new(2, 0),
-        vec![GenTuple::with_atoms(
-            vec![lrp(0, 5), lrp(2, 5)],
-            &[Atom::diff_eq(0, 1, -2)],
-            vec![],
-        )
-        .unwrap()],
+        vec![GenTuple::builder()
+            .lrps(vec![lrp(0, 5), lrp(2, 5)])
+            .atoms([Atom::diff_eq(0, 1, -2)])
+            .build()
+            .unwrap()],
     )
     .unwrap();
     let i = a.intersect(&b).unwrap();
-    assert_eq!(i.len(), 1);
+    assert_eq!(i.tuple_count(), 1);
     let t = &i.tuples()[0];
     assert_eq!(t.lrps()[0], lrp(5, 10));
     assert_eq!(t.lrps()[1], lrp(2, 15));
@@ -133,7 +133,7 @@ fn example_3_1_intersection() {
     assert!(i.contains(&[15, 17], &[]));
     assert!(i.contains(&[45, 47], &[]));
     assert!(!i.contains(&[5, 7], &[])); // 7 ∉ 15n+2
-    // Window cross-check against the two inputs.
+                                        // Window cross-check against the two inputs.
     for x in -5..60 {
         for y in -5..60 {
             assert_eq!(
@@ -148,21 +148,20 @@ fn example_3_1_intersection() {
 /// Example 3.2 / Figures 2–3: normalization and the exact projection.
 #[test]
 fn example_3_2_normalization_and_projection() {
-    let t = GenTuple::with_atoms(
-        vec![lrp(3, 4), lrp(1, 8)],
-        &[
+    let t = GenTuple::builder()
+        .lrps(vec![lrp(3, 4), lrp(1, 8)])
+        .atoms([
             Atom::diff_ge(0, 1, 0).unwrap(),
             Atom::diff_le(0, 1, 5),
             Atom::ge(1, 2),
-        ],
-        vec![],
-    )
-    .unwrap();
+        ])
+        .build()
+        .unwrap();
     let rel = GenRelation::new(Schema::new(2, 0), vec![t]).unwrap();
 
     // Normalized: the surviving tuple is [8n+3, 8n+1] X1 = X2+2 ∧ X2 ≥ 9.
     let norm = rel.normalize().unwrap();
-    assert_eq!(norm.len(), 1);
+    assert_eq!(norm.tuple_count(), 1);
     assert!(norm.tuples()[0].is_normal_form().unwrap());
 
     // Projection on X1: the paper's answer is 8n+3 with X1 ≥ 11.
@@ -176,7 +175,8 @@ fn example_3_2_normalization_and_projection() {
 fn example_2_4_train_schedule() {
     const HOUR: i64 = 60;
     let mut db = Database::new();
-    db.create_table("train", &["dep", "arr"], &["kind"]).unwrap();
+    db.create_table("train", &["dep", "arr"], &["kind"])
+        .unwrap();
     let t = db.table_mut("train").unwrap();
     t.insert(
         TupleSpec::new()

@@ -20,12 +20,18 @@ fn database_json_roundtrip_semantics() {
             },
             seed,
         );
-        db.table_mut("r").unwrap().set_relation(rel.clone()).unwrap();
+        db.table_mut("r")
+            .unwrap()
+            .set_relation(rel.clone())
+            .unwrap();
 
         let json = db.to_json().unwrap();
         let back = Database::from_json(&json).unwrap();
         let rel2 = back.table("r").unwrap().relation().clone();
-        assert_eq!(rel, rel2, "structural equality after roundtrip, seed {seed}");
+        assert_eq!(
+            rel, rel2,
+            "structural equality after roundtrip, seed {seed}"
+        );
         assert_eq!(
             rel.materialize(-20, 20),
             rel2.materialize(-20, 20),
@@ -37,7 +43,8 @@ fn database_json_roundtrip_semantics() {
 #[test]
 fn file_roundtrip() {
     let mut db = Database::new();
-    db.create_table("sched", &["dep", "arr"], &["kind"]).unwrap();
+    db.create_table("sched", &["dep", "arr"], &["kind"])
+        .unwrap();
     db.table_mut("sched")
         .unwrap()
         .insert(

@@ -120,7 +120,9 @@ fn binary_nested_negations() {
 fn compilation_is_homomorphic() {
     let a = UnaryFormula::atom(UnaryAtom::ModEq { k1: 1, k2: 4, c: 1 });
     let b = UnaryFormula::atom(UnaryAtom::Gt { k: 2, c: 5 });
-    let compiled_conj = UnaryFormula::and(a.clone(), b.clone()).to_relation().unwrap();
+    let compiled_conj = UnaryFormula::and(a.clone(), b.clone())
+        .to_relation()
+        .unwrap();
     let conj_compiled = a
         .to_relation()
         .unwrap()

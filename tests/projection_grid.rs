@@ -9,16 +9,15 @@ fn lrp(c: i64, k: i64) -> Lrp {
 
 /// The paper's Figure 2 tuple.
 fn figure_2_tuple() -> GenTuple {
-    GenTuple::with_atoms(
-        vec![lrp(3, 4), lrp(1, 8)],
-        &[
+    GenTuple::builder()
+        .lrps(vec![lrp(3, 4), lrp(1, 8)])
+        .atoms([
             Atom::diff_ge(0, 1, 0).unwrap(),
             Atom::diff_le(0, 1, 5),
             Atom::ge(1, 2),
-        ],
-        vec![],
-    )
-    .unwrap()
+        ])
+        .build()
+        .unwrap()
 }
 
 /// The *naive* projection the paper warns against: eliminate X2 with
@@ -85,10 +84,7 @@ fn figure_3_grid_alignment() {
     // bound and the equality chain).
     assert_eq!(t.constraints().lower(1), Some(9));
     // And X1 is pinned to X2 + 2 exactly.
-    assert_eq!(
-        t.constraints().diff_bound(0, 1),
-        itd_core::Bound::Finite(2)
-    );
+    assert_eq!(t.constraints().diff_bound(0, 1), itd_core::Bound::Finite(2));
 }
 
 #[test]
@@ -99,12 +95,11 @@ fn projection_of_multi_tuple_relations() {
         Schema::new(2, 0),
         vec![
             figure_2_tuple(),
-            GenTuple::with_atoms(
-                vec![lrp(0, 6), lrp(0, 2)],
-                &[Atom::diff_eq(0, 1, -2), Atom::le(0, 30)],
-                vec![],
-            )
-            .unwrap(),
+            GenTuple::builder()
+                .lrps(vec![lrp(0, 6), lrp(0, 2)])
+                .atoms([Atom::diff_eq(0, 1, -2), Atom::le(0, 30)])
+                .build()
+                .unwrap(),
         ],
     )
     .unwrap();
@@ -119,17 +114,16 @@ fn projection_of_multi_tuple_relations() {
 fn projecting_out_everything_is_emptiness() {
     let rel = GenRelation::new(Schema::new(2, 0), vec![figure_2_tuple()]).unwrap();
     let zero = rel.project(&[], &[]).unwrap();
-    assert!(!zero.is_empty().unwrap());
+    assert!(!zero.denotes_empty().unwrap());
     // An unsatisfiable-on-grid tuple projects to the empty 0-ary relation.
     let ghost = GenRelation::new(
         Schema::new(2, 0),
-        vec![GenTuple::with_atoms(
-            vec![lrp(0, 2), lrp(0, 2)],
-            &[Atom::diff_eq(0, 1, 3)],
-            vec![],
-        )
-        .unwrap()],
+        vec![GenTuple::builder()
+            .lrps(vec![lrp(0, 2), lrp(0, 2)])
+            .atoms([Atom::diff_eq(0, 1, 3)])
+            .build()
+            .unwrap()],
     )
     .unwrap();
-    assert!(ghost.project(&[], &[]).unwrap().is_empty().unwrap());
+    assert!(ghost.project(&[], &[]).unwrap().denotes_empty().unwrap());
 }

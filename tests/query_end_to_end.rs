@@ -174,9 +174,7 @@ fn sort_errors_surface() {
     let db = robot_db(false);
     assert!(db.ask("nosuchtable(1, 2; x, y)").is_err());
     assert!(db.ask(r#"perform(1; "robot1")"#).is_err()); // arity
-    assert!(db
-        .ask(r#"exists t. perform(t, t; t, "task1")"#)
-        .is_err()); // t at both sorts
+    assert!(db.ask(r#"exists t. perform(t, t; t, "task1")"#).is_err()); // t at both sorts
 }
 
 #[test]

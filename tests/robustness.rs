@@ -140,7 +140,10 @@ fn deep_query_nesting_does_not_stack_overflow() {
         "even",
         GenRelation::new(
             Schema::new(1, 0),
-            vec![GenTuple::unconstrained(vec![Lrp::new(0, 2).unwrap()], vec![])],
+            vec![GenTuple::unconstrained(
+                vec![Lrp::new(0, 2).unwrap()],
+                vec![],
+            )],
         )
         .unwrap(),
     );
@@ -153,7 +156,10 @@ fn deep_query_nesting_does_not_stack_overflow() {
 fn materialize_handles_inverted_and_huge_windows_gracefully() {
     let r = GenRelation::new(
         Schema::new(1, 0),
-        vec![GenTuple::unconstrained(vec![Lrp::new(0, 2).unwrap()], vec![])],
+        vec![GenTuple::unconstrained(
+            vec![Lrp::new(0, 2).unwrap()],
+            vec![],
+        )],
     )
     .unwrap();
     assert!(r.materialize(10, -10).is_empty());

@@ -31,18 +31,20 @@ fn bases() -> Vec<GenRelation> {
     vec![
         GenRelation::new(
             schema,
-            vec![GenTuple::with_atoms(
-                vec![lrp(0, 2), lrp(1, 2)],
-                &[Atom::diff_le(0, 1, 3)],
-                vec![],
-            )
-            .unwrap()],
+            vec![GenTuple::builder()
+                .lrps(vec![lrp(0, 2), lrp(1, 2)])
+                .atoms([Atom::diff_le(0, 1, 3)])
+                .build()
+                .unwrap()],
         )
         .unwrap(),
         GenRelation::new(
             schema,
             vec![
-                GenTuple::with_atoms(vec![lrp(1, 3), lrp(0, 3)], &[Atom::ge(0, -4)], vec![])
+                GenTuple::builder()
+                    .lrps(vec![lrp(1, 3), lrp(0, 3)])
+                    .atoms([Atom::ge(0, -4)])
+                    .build()
                     .unwrap(),
                 GenTuple::unconstrained(vec![lrp(2, 3), lrp(2, 3)], vec![]).clone(),
             ],
@@ -50,12 +52,11 @@ fn bases() -> Vec<GenRelation> {
         .unwrap(),
         GenRelation::new(
             schema,
-            vec![GenTuple::with_atoms(
-                vec![lrp(0, 1), lrp(0, 2)],
-                &[Atom::diff_eq(0, 1, -1), Atom::le(0, 6)],
-                vec![],
-            )
-            .unwrap()],
+            vec![GenTuple::builder()
+                .lrps(vec![lrp(0, 1), lrp(0, 2)])
+                .atoms([Atom::diff_eq(0, 1, -1), Atom::le(0, 6)])
+                .build()
+                .unwrap()],
         )
         .unwrap(),
     ]
@@ -92,9 +93,7 @@ fn eval(e: &Expr, bases: &[GenRelation]) -> itd_core::Result<GenRelation> {
         Expr::Intersect(a, b) => eval(a, bases)?.intersect(&eval(b, bases)?)?,
         Expr::Difference(a, b) => eval(a, bases)?.difference(&eval(b, bases)?)?,
         Expr::SelectGe(col, c, a) => eval(a, bases)?.select_temporal(Atom::ge(*col, *c))?,
-        Expr::SelectDiffLe(c, a) => {
-            eval(a, bases)?.select_temporal(Atom::diff_le(0, 1, *c))?
-        }
+        Expr::SelectDiffLe(c, a) => eval(a, bases)?.select_temporal(Atom::diff_le(0, 1, *c))?,
         Expr::Swap(a) => eval(a, bases)?.project(&[1, 0], &[])?,
         Expr::Shift(col, d, a) => eval(a, bases)?.shift_temporal(*col, *d)?,
         Expr::Complement(a) => eval(a, bases)?.complement_temporal_with_limit(1 << 16)?,
@@ -105,19 +104,23 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     let leaf = (0usize..3).prop_map(Expr::Base);
     leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Union(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Expr::Intersect(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Expr::Difference(Box::new(a), Box::new(b))),
-            (0usize..2, -5i64..5, inner.clone())
-                .prop_map(|(col, c, a)| Expr::SelectGe(col, c, Box::new(a))),
-            (-4i64..4, inner.clone())
-                .prop_map(|(c, a)| Expr::SelectDiffLe(c, Box::new(a))),
+            (0usize..2, -5i64..5, inner.clone()).prop_map(|(col, c, a)| Expr::SelectGe(
+                col,
+                c,
+                Box::new(a)
+            )),
+            (-4i64..4, inner.clone()).prop_map(|(c, a)| Expr::SelectDiffLe(c, Box::new(a))),
             inner.clone().prop_map(|a| Expr::Swap(Box::new(a))),
-            (0usize..2, -3i64..3, inner.clone())
-                .prop_map(|(col, d, a)| Expr::Shift(col, d, Box::new(a))),
+            (0usize..2, -3i64..3, inner.clone()).prop_map(|(col, d, a)| Expr::Shift(
+                col,
+                d,
+                Box::new(a)
+            )),
             inner.prop_map(|a| Expr::Complement(Box::new(a))),
         ]
     })

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build sandbox cannot reach crates.io, so the workspace patches
+//! `criterion` to this crate. It keeps the macro/builder API the benches
+//! use (`criterion_group!`, `criterion_main!`, [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], [`black_box`]) and
+//! implements it as a small wall-clock harness: each benchmark runs a
+//! short warm-up, then a fixed sample of timed iterations, and prints
+//! `group/function/param  median  mean` to stdout. No statistics beyond
+//! that, no HTML reports, no baselines.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation; recorded and echoed, not used in analysis.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` for a warm-up pass plus `sample_count` timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark over `input`.
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_size.min(self.criterion.max_samples),
+        };
+        routine(&mut bencher, input);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark with no input parameter.
+    pub fn bench_function<R>(&mut self, name: impl Into<String>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_size.min(self.criterion.max_samples),
+        };
+        routine(&mut bencher);
+        self.report(&BenchmarkId::new(name, ""), &bencher.samples);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, samples: &[Duration]) {
+        let mut sorted = samples.to_vec();
+        sorted.sort();
+        let median = sorted
+            .get(sorted.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        let total: Duration = sorted.iter().sum();
+        let mean = total
+            .checked_div(sorted.len().max(1) as u32)
+            .unwrap_or(Duration::ZERO);
+        let label = if id.parameter.is_empty() {
+            format!("{}/{}", self.name, id.function)
+        } else {
+            format!("{}/{}/{}", self.name, id.function, id.parameter)
+        };
+        let extra = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  ({n} elems/iter)"),
+            Some(Throughput::Bytes(n)) => format!("  ({n} bytes/iter)"),
+            None => String::new(),
+        };
+        println!(
+            "{label:<60} median {median:>12?}  mean {mean:>12?}  ({} samples){extra}",
+            sorted.len()
+        );
+    }
+
+    /// Ends the group (printing is incremental, so this is cosmetic).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { max_samples: 20 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Final-summary hook; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

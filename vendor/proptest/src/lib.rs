@@ -1,0 +1,383 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build sandbox cannot reach crates.io, so the workspace patches
+//! `proptest` to this crate. It keeps the property-testing *interface* the
+//! workspace uses — [`Strategy`], `proptest!`, `prop_assert*`,
+//! [`collection::vec`], [`array`], [`prop_oneof!`] — while replacing the
+//! engine with a deterministic generate-only runner (no shrinking, no
+//! persistence). Failures print the generated input so a failing case can
+//! be turned into a unit test by hand.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Deterministic random source handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn for_seed(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw from an inclusive integer range.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.0.gen_range(0..n)
+    }
+
+    /// Uniform i64 in `[lo, hi]`.
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        self.0.gen_range(lo..=hi)
+    }
+
+    pub(crate) fn std_rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A case was discarded (filter miss / `prop_assume!` failure).
+#[derive(Debug, Clone)]
+pub struct Rejection(pub String);
+
+/// Strategies over collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::{Rejection, TestRng};
+
+    /// Length specification: a fixed size or a range of sizes.
+    pub trait SizeRange {
+        /// Inclusive (lo, hi) length bounds.
+        fn len_bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for usize {
+        fn len_bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn len_bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn len_bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `element` and a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.len_bounds();
+        VecStrategy { element, lo, hi }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+            let len = self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::strategy::Strategy;
+    use super::{Rejection, TestRng};
+
+    macro_rules! uniform {
+        ($name:ident, $n:expr) => {
+            /// Strategy for `[T; N]` with every element drawn from `element`.
+            pub fn $name<S: Strategy>(element: S) -> Uniform<S, $n> {
+                Uniform { element }
+            }
+        };
+    }
+
+    uniform!(uniform2, 2);
+    uniform!(uniform3, 3);
+    uniform!(uniform4, 4);
+    uniform!(uniform5, 5);
+
+    /// See [`uniform2`] and friends.
+    #[derive(Debug, Clone)]
+    pub struct Uniform<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for Uniform<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+            let mut out = Vec::with_capacity(N);
+            for _ in 0..N {
+                out.push(self.element.generate(rng)?);
+            }
+            out.try_into().map_err(|_| unreachable!("exact capacity"))
+        }
+    }
+}
+
+/// Everything a test module usually imports.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Weighted-less choice between strategies of one value type.
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds from pre-boxed options.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+}
+
+impl<T: std::fmt::Debug + 'static> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Picks one of the argument strategies uniformly at random. All arms must
+/// produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Fails the current test case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion for test cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}` at {}:{}",
+            l, r, file!(), line!()
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("`{:?}` != `{:?}`: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion for test cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{:?}` != `{:?}` at {}:{}",
+            l,
+            r,
+            file!(),
+            line!()
+        );
+    }};
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let strategy = ($($strat,)+);
+            runner
+                .run(&strategy, |($($arg,)+)| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })
+                .unwrap();
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// String strategy support: a `&str` is interpreted as a (tiny subset of a)
+/// regular expression — `[class]{lo,hi}` or `\PC{lo,hi}` — generating
+/// matching strings.
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    fn bail(pattern: &str) -> ! {
+        panic!("unsupported string strategy pattern: {pattern:?}")
+    }
+    let mut chars = pattern.chars().peekable();
+    let mut alphabet: Vec<char> = Vec::new();
+    match chars.peek() {
+        Some('[') => {
+            chars.next();
+            let mut prev: Option<char> = None;
+            loop {
+                let c = match chars.next() {
+                    Some(']') => break,
+                    Some('\\') => chars.next().unwrap_or_else(|| bail(pattern)),
+                    Some(c) => c,
+                    None => bail(pattern),
+                };
+                if c == '-' && prev.is_some() && chars.peek() != Some(&']') {
+                    // Range `a-z`: pop the start, push the whole span.
+                    let start = prev.take().unwrap_or_else(|| bail(pattern));
+                    let end = chars.next().unwrap_or_else(|| bail(pattern));
+                    alphabet.pop();
+                    for x in start as u32..=end as u32 {
+                        alphabet.extend(char::from_u32(x));
+                    }
+                } else {
+                    alphabet.push(c);
+                    prev = Some(c);
+                }
+            }
+        }
+        Some('\\') => {
+            chars.next();
+            // `\PC` (not-a-control-character): printable ASCII.
+            if chars.next() != Some('P') || chars.next() != Some('C') {
+                bail(pattern);
+            }
+            alphabet.extend((0x20u8..0x7F).map(char::from));
+        }
+        _ => bail(pattern),
+    }
+    // Quantifier `{lo,hi}`; absent means exactly one repetition.
+    let rest: String = chars.collect();
+    if rest.is_empty() {
+        return (alphabet, 1, 1);
+    }
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| bail(pattern));
+    let (lo, hi) = match inner.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok(), h.trim().parse().ok()),
+        None => (inner.trim().parse().ok(), inner.trim().parse().ok()),
+    };
+    match (lo, hi) {
+        (Some(lo), Some(hi)) if lo <= hi && !alphabet.is_empty() => (alphabet, lo, hi),
+        _ => bail(pattern),
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<String, Rejection> {
+        let (alphabet, lo, hi) = parse_pattern(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        Ok((0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect())
+    }
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rejected: {}", self.0)
+    }
+}
+
+// Re-exported so `BoxedStrategy` can be built from the macro namespace.
+pub(crate) type DynStrategy<T> = Arc<dyn strategy::StrategyObj<T>>;

@@ -1,0 +1,148 @@
+//! The deterministic test runner.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Runner configuration (subset of upstream's many knobs).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Rejection budget across the whole run before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Default config with a different case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Outcome of a single test case body.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed; the whole test fails.
+    Fail(String),
+    /// The case was discarded (`prop_assume!`); another is generated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing outcome.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded outcome.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Whole-run failure returned by [`TestRunner::run`]; `Debug` output (what
+/// `unwrap()` prints) carries the failing input and message.
+#[derive(Clone)]
+pub struct TestError {
+    message: String,
+}
+
+impl fmt::Debug for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Drives a strategy through a test closure for the configured number of
+/// cases. Deterministic: the same binary always replays the same inputs.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl Default for TestRunner {
+    fn default() -> TestRunner {
+        TestRunner::new(ProptestConfig::default())
+    }
+}
+
+impl TestRunner {
+    /// Creates a runner with a fixed seed (upstream's `PROPTEST_RNG_SEED`
+    /// machinery is out of scope for the offline stand-in).
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner {
+            config,
+            rng: TestRng::for_seed(0x1D5E_ED00),
+        }
+    }
+
+    /// Runs `test` over `config.cases` generated inputs. The first `Fail`
+    /// stops the run; `Reject` outcomes draw a replacement case.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            if rejected > self.config.max_global_rejects {
+                return Err(TestError {
+                    message: format!("gave up after {rejected} rejected cases ({passed} passed)"),
+                });
+            }
+            let value = match strategy.generate(&mut self.rng) {
+                Ok(v) => v,
+                Err(_) => {
+                    rejected += 1;
+                    continue;
+                }
+            };
+            let shown = format!("{value:?}");
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => rejected += 1,
+                Err(TestCaseError::Fail(msg)) => {
+                    return Err(TestError {
+                        message: format!(
+                            "{msg}; minimal failing input not computed \
+                             (no shrinking), raw input: {shown}"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}

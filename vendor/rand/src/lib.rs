@@ -1,0 +1,246 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build sandbox has no network access to crates.io, so the workspace
+//! patches `rand` to this crate (see `[patch.crates-io]` in the root
+//! manifest). It implements the subset of the 0.8 API the workspace uses —
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen_range`],
+//! [`Rng::gen_bool`] — on top of a deterministic xoshiro256** core.
+//!
+//! Streams differ from upstream `rand`'s ChaCha-based `StdRng`, which is
+//! explicitly permitted: upstream documents `StdRng` streams as
+//! non-portable across versions, and every consumer in this workspace only
+//! relies on seeded self-consistency.
+
+/// Sampling ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Inclusive lower and inclusive upper sampling bounds.
+    fn bounds(&self) -> (T, T);
+    /// Is the range empty?
+    fn is_empty_range(&self) -> bool;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                (self.start, self.end - 1)
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start >= self.end
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start() > self.end()
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Uniform sampling of a primitive integer from a raw `u64` draw.
+pub trait UniformInt: Copy {
+    /// Samples uniformly from `[lo, hi]` using draws from `next`.
+    fn sample_inclusive(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_inclusive(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return next() as $t;
+                }
+                let span = span + 1;
+                // Debiased multiply-shift (Lemire); the rejection zone is at
+                // most span/2^64 so the loop terminates almost immediately.
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let v = next();
+                    let (hi128, lo128) = {
+                        let m = (v as u128) * (span as u128);
+                        ((m >> 64) as u64, m as u64)
+                    };
+                    if lo128 <= zone {
+                        return ((lo as $wide) as $t).wrapping_add(hi128 as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64,
+    usize => u64, isize => i64
+);
+
+/// Core random-source trait (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// If the range is empty, like upstream `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty_range(), "cannot sample empty range");
+        let (lo, hi) = range.bounds();
+        let mut next = || self.next_u64();
+        T::sample_inclusive(lo, hi, &mut next)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        // 53-bit uniform in [0, 1).
+        let v = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        v < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds from a full seed array.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds from a `u64` by expanding it with splitmix64, matching the
+    /// construction upstream documents for this method.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // An all-zero state is a fixed point for xoshiro; nudge it.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: Vec<i64> = (0..32).map(|_| a.gen_range(0i64..1000)).collect();
+        let diff: Vec<i64> = (0..32).map(|_| c.gen_range(0i64..1000)).collect();
+        assert_ne!(same, diff);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(0usize..=3);
+            assert!(w <= 3);
+            let neg = rng.gen_range(-8i64..=0);
+            assert!((-8..=0).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_residues() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_middle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build sandbox cannot reach crates.io, so the workspace patches
+//! `serde` (and `serde_derive`, `serde_json`) to local stubs. Instead of
+//! upstream's visitor-based data model, values round-trip through a small
+//! JSON-shaped [`Content`] tree:
+//!
+//! - [`Serialize`] renders `self` to a [`Content`];
+//! - [`Deserialize`] rebuilds `Self` from a [`Content`].
+//!
+//! The derive macros in the sibling `serde_derive` stub generate impls of
+//! these traits using upstream's *externally tagged* enum representation,
+//! so the JSON produced by the sibling `serde_json` stub matches what real
+//! serde would emit for this workspace's types.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON-shaped value tree: the common currency between [`Serialize`],
+/// [`Deserialize`], and the `serde_json` stub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer in `i64` range.
+    Int(i64),
+    /// Integer above `i64::MAX`.
+    UInt(u64),
+    /// Non-integral number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Content>),
+    /// JSON object, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+/// Serialization: render to a [`Content`] tree.
+pub trait Serialize {
+    /// The [`Content`] representation of `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialization: rebuild from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `content`, or explains why it has the wrong shape.
+    fn from_content(content: &Content) -> Result<Self, de::DeError>;
+}
+
+/// Deserialization error and shape-checking helpers used by derive output.
+pub mod de {
+    use super::{Content, Deserialize};
+    use std::fmt;
+
+    /// Why a [`Content`] tree could not be turned into the target type.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct DeError(pub String);
+
+    impl DeError {
+        /// An error with a formatted message.
+        pub fn msg(m: impl Into<String>) -> DeError {
+            DeError(m.into())
+        }
+    }
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    /// Expects an object, returned as its entry list.
+    pub fn as_struct_map<'c>(
+        content: &'c Content,
+        ty: &str,
+    ) -> Result<&'c [(String, Content)], DeError> {
+        match content {
+            Content::Map(entries) => Ok(entries),
+            other => Err(DeError(format!("{ty}: expected object, got {other:?}"))),
+        }
+    }
+
+    /// Expects an array of exactly `len` elements.
+    pub fn as_seq<'c>(
+        content: &'c Content,
+        ty: &str,
+        len: usize,
+    ) -> Result<&'c [Content], DeError> {
+        match content {
+            Content::Seq(items) if items.len() == len => Ok(items),
+            Content::Seq(items) => Err(DeError(format!(
+                "{ty}: expected {len} elements, got {}",
+                items.len()
+            ))),
+            other => Err(DeError(format!("{ty}: expected array, got {other:?}"))),
+        }
+    }
+
+    /// Looks up a struct field by name and deserializes it.
+    pub fn field<T: Deserialize>(
+        entries: &[(String, Content)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, DeError> {
+        let (_, value) = entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .ok_or_else(|| DeError(format!("{ty}: missing field `{name}`")))?;
+        T::from_content(value)
+    }
+
+    /// Splits externally tagged enum content into `(variant, payload)`:
+    /// a bare string is a unit variant, a single-entry object carries a
+    /// payload.
+    pub fn variant<'c>(
+        content: &'c Content,
+        ty: &str,
+    ) -> Result<(&'c str, Option<&'c Content>), DeError> {
+        match content {
+            Content::Str(name) => Ok((name, None)),
+            Content::Map(entries) if entries.len() == 1 => Ok((&entries[0].0, Some(&entries[0].1))),
+            other => Err(DeError(format!(
+                "{ty}: expected variant string or single-key object, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Expects a unit variant (no payload).
+    pub fn unit_variant(payload: Option<&Content>, variant: &str) -> Result<(), DeError> {
+        match payload {
+            None | Some(Content::Null) => Ok(()),
+            Some(other) => Err(DeError(format!("{variant}: unexpected payload {other:?}"))),
+        }
+    }
+
+    /// Expects a payload-carrying variant.
+    pub fn payload<'c>(
+        payload: Option<&'c Content>,
+        variant: &str,
+    ) -> Result<&'c Content, DeError> {
+        payload.ok_or_else(|| DeError(format!("{variant}: missing payload")))
+    }
+}
+
+pub use de::DeError;
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                match i64::try_from(*self) {
+                    Ok(v) => Content::Int(v),
+                    // Only reachable from u64/usize above i64::MAX.
+                    Err(_) => Content::UInt(*self as u64),
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, de::DeError> {
+                let out = match content {
+                    Content::Int(v) => <$t>::try_from(*v).ok(),
+                    Content::UInt(v) => <$t>::try_from(*v).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    de::DeError(format!(
+                        "expected {} in range, got {content:?}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, de::DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(de::DeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, de::DeError> {
+        match content {
+            Content::Float(v) => Ok(*v),
+            Content::Int(v) => Ok(*v as f64),
+            Content::UInt(v) => Ok(*v as f64),
+            other => Err(de::DeError(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, de::DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(de::DeError(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, de::DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, de::DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(de::DeError(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, de::DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(de::DeError(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for Content {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}

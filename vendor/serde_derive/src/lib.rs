@@ -1,0 +1,361 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — non-generic structs and enums
+//! without `#[serde(...)]` attributes — by parsing the raw
+//! [`proc_macro::TokenStream`] directly (the sandbox has no `syn`/`quote`)
+//! and emitting impls of the stub `serde` crate's `Content`-based traits.
+//! Enums use upstream serde's externally tagged representation so the JSON
+//! output matches what real serde would produce.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skips `#[...]` attribute groups (doc comments arrive in this form).
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(&tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            other => panic!("serde_derive stub: malformed attribute near {other:?}"),
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` visibility markers.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(&tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stub: expected {what}, found {other:?}"),
+    }
+}
+
+/// Advances past tokens until a top-level `,` (angle-bracket depth aware,
+/// so commas inside `BTreeMap<String, Table>` don't split). Returns true
+/// if a comma was consumed.
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut angle: i64 = 0;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+    false
+}
+
+/// Parses `name: Type, ...` bodies of braced structs and struct variants.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        names.push(expect_ident(&tokens, &mut i, "field name"));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field, found {other:?}"),
+        }
+        skip_until_comma(&tokens, &mut i);
+    }
+    names
+}
+
+/// Counts the fields of a tuple struct / tuple variant body `(T1, T2, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields += 1;
+        skip_until_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i, "variant name");
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Swallow an optional `= discriminant` and the trailing comma.
+        skip_until_comma(&tokens, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kw = expect_ident(&tokens, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&tokens, &mut i, "type name");
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let shape = match (kw.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("struct", _) => Shape::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream()))
+        }
+        other => panic!("serde_derive stub: unsupported item `{kw}` ({other:?})"),
+    };
+    (name, shape)
+}
+
+/// `#[derive(Serialize)]`: emits an impl of the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f})),"
+                    )
+                })
+                .collect::<String>();
+            format!("::serde::Content::Map(vec![{entries}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_content(&self.{k}),"))
+                .collect::<String>();
+            format!("::serde::Content::Seq(vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| serialize_variant_arm(&name, v))
+                .collect::<String>();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl")
+}
+
+fn serialize_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{name}::{vname} => \
+             ::serde::Content::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{name}::{vname}(__f0) => ::serde::Content::Map(vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::Serialize::to_content(__f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binders = (0..*n).map(|k| format!("__f{k},")).collect::<String>();
+            let items = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_content(__f{k}),"))
+                .collect::<String>();
+            format!(
+                "{name}::{vname}({binders}) => ::serde::Content::Map(vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Content::Seq(vec![{items}]))]),"
+            )
+        }
+        VariantKind::Named(fields) => {
+            let binders = fields.iter().map(|f| format!("{f},")).collect::<String>();
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content({f})),"
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "{name}::{vname} {{ {binders} }} => ::serde::Content::Map(vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Content::Map(vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+/// `#[derive(Deserialize)]`: emits an impl of the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__m, \"{f}\", \"{name}\")?,"))
+                .collect::<String>();
+            format!(
+                "let __m = ::serde::de::as_struct_map(__content, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::from_content(__content)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?,"))
+                .collect::<String>();
+            format!(
+                "let __s = ::serde::de::as_seq(__content, \"{name}\", {n})?;\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| deserialize_variant_arm(&name, v))
+                .collect::<String>();
+            format!(
+                "let (__v, __p) = ::serde::de::variant(__content, \"{name}\")?;\n\
+                 match __v {{\n\
+                     {arms}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError(\
+                         format!(\"{name}: unknown variant `{{}}`\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl")
+}
+
+fn deserialize_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "\"{vname}\" => {{\
+                 ::serde::de::unit_variant(__p, \"{name}::{vname}\")?;\
+                 ::std::result::Result::Ok({name}::{vname})\
+             }}"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "\"{vname}\" => {{\
+                 let __c = ::serde::de::payload(__p, \"{name}::{vname}\")?;\
+                 ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_content(__c)?))\
+             }}"
+        ),
+        VariantKind::Tuple(n) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?,"))
+                .collect::<String>();
+            format!(
+                "\"{vname}\" => {{\
+                     let __c = ::serde::de::payload(__p, \"{name}::{vname}\")?;\
+                     let __s = ::serde::de::as_seq(__c, \"{name}::{vname}\", {n})?;\
+                     ::std::result::Result::Ok({name}::{vname}({items}))\
+                 }}"
+            )
+        }
+        VariantKind::Named(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__m, \"{f}\", \"{name}::{vname}\")?,"))
+                .collect::<String>();
+            format!(
+                "\"{vname}\" => {{\
+                     let __c = ::serde::de::payload(__p, \"{name}::{vname}\")?;\
+                     let __m = ::serde::de::as_struct_map(__c, \"{name}::{vname}\")?;\
+                     ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\
+                 }}"
+            )
+        }
+    }
+}

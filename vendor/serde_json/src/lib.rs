@@ -1,0 +1,385 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Prints and parses JSON via the stub `serde` crate's `Content` tree.
+//! Covers the API surface this workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], and [`Error`]. The parser is total
+//! (no panics on malformed input) and rejects trailing garbage; the
+//! printer escapes strings per RFC 8259.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching upstream.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a value of type `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let content = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    T::from_content(&content).map_err(|e| Error(e.to_string()))
+}
+
+fn write_content(out: &mut String, c: &Content, indent: Option<usize>, depth: usize) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::Int(v) => out.push_str(&v.to_string()),
+        Content::UInt(v) => out.push_str(&v.to_string()),
+        Content::Float(v) if v.is_finite() => out.push_str(&format!("{v:?}")),
+        // Upstream serializes non-finite floats as null.
+        Content::Float(_) => out.push_str("null"),
+        Content::Str(s) => write_string(out, s),
+        Content::Seq(items) => write_block(out, indent, depth, '[', ']', items.len(), |out, i| {
+            write_content(out, &items[i], indent, depth + 1);
+        }),
+        Content::Map(entries) => {
+            write_block(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                let (k, v) = &entries[i];
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, v, indent, depth + 1);
+            })
+        }
+    }
+}
+
+fn write_block(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Content> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        match self.peek() {
+            Some(b'n') if self.literal("null") => Ok(Content::Null),
+            Some(b't') if self.literal("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Content::Bool(false)),
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':', "expected `:`")?;
+                    self.skip_ws();
+                    let value = self.value(depth + 1)?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if integral {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::Int(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::UInt(v));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Content::Float(v)),
+            Err(_) => Err(self.err("invalid number")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect `\uXXXX` low half.
+                                if !(self.literal("\\u")) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(ch.ok_or_else(|| self.err("invalid \\u escape"))?);
+                            // hex4 leaves pos just past the digits; skip the
+                            // shared `self.pos += 1` below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // at char boundaries is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let ch = s.chars().next().expect("nonempty");
+                    if (ch as u32) < 0x20 {
+                        return Err(self.err("control character in string"));
+                    }
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|d| std::str::from_utf8(d).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v = u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_collections() {
+        let v = Content::Map(vec![
+            ("a".into(), Content::Int(-3)),
+            (
+                "b".into(),
+                Content::Seq(vec![Content::Bool(true), Content::Null]),
+            ),
+            ("c".into(), Content::Str("x \"y\"\nz".into())),
+        ]);
+        let mut s = String::new();
+        write_content(&mut s, &v, None, 0);
+        assert_eq!(s, r#"{"a":-3,"b":[true,null],"c":"x \"y\"\nz"}"#);
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        assert_eq!(p.value(0).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_escapes_and_rejects_garbage() {
+        let ok: String = from_str::<String>(r#""A😀""#).unwrap();
+        assert_eq!(ok, "A\u{1F600}");
+        assert!(from_str::<i64>("12 34").is_err());
+        assert!(from_str::<i64>("[").is_err());
+        assert!(from_str::<i64>("9999999999999999999999").is_err());
+        assert_eq!(from_str::<i64>(" -42 ").unwrap(), -42);
+    }
+
+    #[test]
+    fn pretty_printer_indents() {
+        let v = Content::Map(vec![("k".into(), Content::Seq(vec![Content::Int(1)]))]);
+        let mut s = String::new();
+        write_content(&mut s, &v, Some(2), 0);
+        assert_eq!(s, "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+}
