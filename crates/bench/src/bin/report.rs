@@ -531,6 +531,59 @@ fn executor_stats() {
     );
 }
 
+/// Tracing must be pay-for-what-you-use: with no sink attached the only
+/// cost per operator is one `Option` check, which has to disappear in the
+/// noise (asserted < 5% against a second untraced run of the same
+/// workload). The enabled-sink cost is reported for reference.
+fn trace_overhead() {
+    println!("\n## Trace overhead (span collection vs. disabled sink)\n");
+    use itd_core::ExecContext;
+    let a = random_relation(&spec(96, 2, 6), 11);
+    let b = random_relation(&spec(96, 2, 6), 22);
+    let workload = |ctx: &ExecContext| {
+        let i = a.intersect_in(&b, ctx).expect("intersect");
+        let d = a.difference_in(&b, ctx).expect("difference");
+        let n = i.normalize_in(ctx).expect("normalize");
+        let p = d.project_in(&[0], &[], ctx).expect("project");
+        (n, p)
+    };
+    let reps = 15;
+    let _warmup = workload(&ExecContext::serial());
+    let (baseline, serial_out) = time_median(reps, || workload(&ExecContext::serial()));
+    let (disabled, untraced_out) = time_median(reps, || workload(&ExecContext::serial()));
+    let (enabled, traced_out) = time_median(reps, || {
+        let ctx = ExecContext::serial().traced();
+        let out = workload(&ctx);
+        (out, ctx.take_trace().expect("tracing on"))
+    });
+    assert_eq!(untraced_out, serial_out, "tracing must not change results");
+    assert_eq!(traced_out.0, serial_out, "tracing must not change results");
+    let ratio = |d: std::time::Duration| d.as_secs_f64() / baseline.as_secs_f64() - 1.0;
+    println!("| sink | wall time | overhead vs baseline |");
+    println!("|---|---|---|");
+    println!("| none (baseline) | {} | — |", fmt_duration(baseline));
+    println!(
+        "| none (re-run) | {} | {:+.2}% |",
+        fmt_duration(disabled),
+        100.0 * ratio(disabled)
+    );
+    println!(
+        "| attached | {} | {:+.2}% |",
+        fmt_duration(enabled),
+        100.0 * ratio(enabled)
+    );
+    println!("\n{} spans recorded per traced run.", traced_out.1.len());
+    assert!(
+        ratio(disabled).abs() < 0.05,
+        "disabled-sink overhead must vanish into run-to-run noise (<5%), got {:+.2}%",
+        100.0 * ratio(disabled)
+    );
+    assert!(
+        !traced_out.1.is_empty(),
+        "the traced run must record its operator spans"
+    );
+}
+
 fn main() {
     println!("# Measured reproduction of the paper's complexity tables");
     println!(
@@ -548,5 +601,6 @@ fn main() {
     figures();
     ablations();
     executor_stats();
+    trace_overhead();
     println!("\ndone.");
 }

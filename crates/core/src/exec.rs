@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use crate::trace::{NodeSpan, SpanLabel, Trace, TraceSink};
 use crate::Result;
 
 /// The relation-level operators distinguished by [`OpStats`].
@@ -86,7 +87,7 @@ impl OpKind {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         OpKind::ALL
             .iter()
             .position(|k| *k == self)
@@ -230,7 +231,7 @@ impl OpSnapshot {
 /// hold after the context is gone.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    ops: [OpSnapshot; OpKind::ALL.len()],
+    pub(crate) ops: [OpSnapshot; OpKind::ALL.len()],
 }
 
 impl StatsSnapshot {
@@ -316,9 +317,33 @@ impl fmt::Display for StatsSnapshot {
 
 /// Times one operator invocation; counts the call on construction and the
 /// elapsed wall time on drop. Dereferences to the operator's counters.
+///
+/// When the context is traced, the timer also owns a [`Span`]: per-span
+/// counters are computed on drop as the *delta* of the shared counters
+/// between construction and drop (exact because same-kind operators never
+/// nest and worker threads join before the operator returns), and the
+/// elapsed wall time is measured once and written to both the shared
+/// counters and the span.
+///
+/// [`Span`]: crate::trace::Span
 pub(crate) struct OpTimer<'a> {
     counters: &'a OpCounters,
+    kind: OpKind,
+    span: Option<(&'a TraceSink, u64, OpSnapshot)>,
     start: Instant,
+}
+
+impl OpTimer<'_> {
+    /// Records a common period `k` into the shared counters and, when
+    /// traced, the timer's span. Shadows [`OpCounters::record_period`]
+    /// behind the `Deref` so period reports are never lost to the delta
+    /// trick (`fetch_max` deltas do not compose).
+    pub(crate) fn record_period(&self, k: i64) {
+        self.counters.record_period(k);
+        if let Some((sink, _, _)) = &self.span {
+            sink.record_period(self.kind, k);
+        }
+    }
 }
 
 impl Deref for OpTimer<'_> {
@@ -331,9 +356,21 @@ impl Deref for OpTimer<'_> {
 
 impl Drop for OpTimer<'_> {
     fn drop(&mut self) {
-        self.counters
-            .nanos
-            .fetch_add(self.start.elapsed().as_nanos() as u64, Relaxed);
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        self.counters.nanos.fetch_add(nanos, Relaxed);
+        if let Some((sink, id, before)) = self.span.take() {
+            let after = self.counters.snapshot();
+            sink.end(id, |span| {
+                span.tuples_in = after.tuples_in.saturating_sub(before.tuples_in);
+                span.tuples_out = after.tuples_out.saturating_sub(before.tuples_out);
+                span.pairs = after.pairs.saturating_sub(before.pairs);
+                span.empties_pruned = after.empties_pruned.saturating_sub(before.empties_pruned);
+                span.atoms_simplified = after
+                    .atoms_simplified
+                    .saturating_sub(before.atoms_simplified);
+                span.nanos = nanos;
+            });
+        }
     }
 }
 
@@ -363,6 +400,7 @@ impl Drop for OpTimer<'_> {
 pub struct ExecContext {
     threads: usize,
     stats: OpStats,
+    trace: Option<TraceSink>,
 }
 
 impl Default for ExecContext {
@@ -392,7 +430,54 @@ impl ExecContext {
         ExecContext {
             threads: threads.max(1),
             stats: OpStats::default(),
+            trace: None,
         }
+    }
+
+    /// Attaches a [`TraceSink`]: every operator invocation is recorded as
+    /// a [`Span`](crate::trace::Span) until the trace is drained with
+    /// [`take_trace`](ExecContext::take_trace).
+    ///
+    /// Span ids come from a context-local counter in begin order, so the
+    /// recorded tree is identical at any thread budget (see the
+    /// [`trace`](crate::trace) module docs).
+    ///
+    /// # Examples
+    /// ```
+    /// use itd_core::{ExecContext, GenRelation, GenTuple, Lrp, Schema};
+    /// let evens = GenRelation::builder(Schema::new(1, 0))
+    ///     .tuple(GenTuple::builder().lrp(Lrp::new(0, 2)?).build()?)
+    ///     .build()?;
+    /// let ctx = ExecContext::serial().traced();
+    /// let _ = evens.intersect_in(&evens, &ctx)?;
+    /// let trace = ctx.take_trace().expect("tracing is on");
+    /// assert_eq!(trace.len(), 1);
+    /// assert_eq!(trace.op_totals(), ctx.stats());
+    /// # Ok::<(), itd_core::CoreError>(())
+    /// ```
+    pub fn traced(mut self) -> ExecContext {
+        self.trace = Some(TraceSink::new());
+        self
+    }
+
+    /// Whether a trace sink is attached.
+    pub fn is_traced(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Drains the recorded spans, or `None` if the context is untraced.
+    /// The sink stays attached and continues recording (with fresh span
+    /// ids), so one traced context can serve many queries.
+    pub fn take_trace(&self) -> Option<Trace> {
+        self.trace.as_ref().map(TraceSink::take)
+    }
+
+    /// Opens a caller-labelled span (a query plan node, say) that closes
+    /// when the returned guard drops; operator spans begun in between
+    /// become its children. On an untraced context the guard is inert and
+    /// `label` is never called.
+    pub fn node_span(&self, label: impl FnOnce() -> String) -> NodeSpan<'_> {
+        NodeSpan::new(self.trace.as_ref(), label)
     }
 
     /// The thread budget.
@@ -414,11 +499,28 @@ impl ExecContext {
         self.stats.op(kind)
     }
 
+    /// Records a common period against `kind`'s shared counters and, when
+    /// traced, against the innermost open span of that kind. For call
+    /// sites that hold the context rather than an [`OpTimer`] (the
+    /// complement worker loop).
+    pub(crate) fn record_period(&self, kind: OpKind, k: i64) {
+        self.stats.op(kind).record_period(k);
+        if let Some(sink) = &self.trace {
+            sink.record_period(kind, k);
+        }
+    }
+
     pub(crate) fn timed(&self, kind: OpKind) -> OpTimer<'_> {
         let counters = self.stats.op(kind);
         counters.calls.fetch_add(1, Relaxed);
+        let span = self
+            .trace
+            .as_ref()
+            .map(|sink| (sink, sink.begin(SpanLabel::Op(kind)), counters.snapshot()));
         OpTimer {
             counters,
+            kind,
+            span,
             start: Instant::now(),
         }
     }

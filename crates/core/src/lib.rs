@@ -57,6 +57,7 @@ mod value;
 
 pub mod exec;
 pub mod ops;
+pub mod trace;
 
 pub use enumerate::ConcreteTuple;
 pub use error::CoreError;
@@ -64,6 +65,7 @@ pub use exec::{ExecContext, OpKind, OpSnapshot, StatsSnapshot};
 pub use normalize::grid_view;
 pub use relation::{GenRelation, GenRelationBuilder};
 pub use schema::Schema;
+pub use trace::{NodeSpan, Span, SpanLabel, Trace};
 pub use tuple::{GenTuple, GenTupleBuilder};
 pub use value::Value;
 

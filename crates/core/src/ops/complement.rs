@@ -88,7 +88,9 @@ pub fn complement_tuples_in(
         normal.extend(t.normalize()?);
     }
     let k = Lrp::common_period(normal.iter().flat_map(|t| t.lrps().iter()))?;
-    counters.record_period(k);
+    // Routed through the context so a traced run attributes the period to
+    // the enclosing complement span (fetch_max cannot be delta-attributed).
+    ctx.record_period(OpKind::Complement, k);
 
     let extensions = (k as u64).checked_pow(m as u32).unwrap_or(u64::MAX);
     if extensions > limit {

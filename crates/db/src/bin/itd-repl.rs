@@ -7,14 +7,19 @@
 //! itd> show train
 //! itd> ask exists a. train(62, a; "slow")
 //! itd> query train(d, a; k) and d >= 0 and a <= 200
+//! itd> \explain train(d, a; k) and not train(d, a; "slow")
+//! itd> \trace on
+//! itd> ask exists a. train(62, a; "slow")
+//! itd> \trace chrome /tmp/ask.trace.json
 //! itd> save /tmp/trains.json
 //! itd> quit
 //! ```
 //!
 //! Commands: `create`, `insert`, `show`, `tables`, `ask`, `query`,
-//! `save <path>`, `load <path>`, `help`, `quit`. The command layer is in
-//! [`itd_db::repl`] so it is unit-testable; this binary is a thin stdin
-//! loop.
+//! `\explain [analyze]`, `\trace [on|off|json|chrome <path>]`,
+//! `\metrics`, `\stats [reset|json]`, `save <path>`, `load <path>`,
+//! `help`, `quit`. The command layer is in [`itd_db::repl`] so it is
+//! unit-testable; this binary is a thin stdin loop.
 
 use std::io::{BufRead, Write};
 

@@ -131,6 +131,33 @@ impl Database {
         self.query_bool(src)
     }
 
+    /// Compiles a query to its algebra plan *without executing it*
+    /// (EXPLAIN). Parse and sort errors are reported exactly as
+    /// [`Database::query`] would report them, but no relation is touched.
+    ///
+    /// # Errors
+    /// Parse/sort errors ([`DbError::Query`]).
+    pub fn explain(&self, src: impl AsRef<str>) -> Result<itd_query::Plan> {
+        let f = itd_query::parse(src.as_ref())?;
+        itd_query::explain(self, &f).map_err(DbError::Query)
+    }
+
+    /// Parses and evaluates an open query with tracing (EXPLAIN ANALYZE):
+    /// returns the answer, the compiled plan, and the recorded span tree.
+    /// The context should be traced ([`ExecContext::traced`]); untraced
+    /// contexts yield an empty trace.
+    ///
+    /// # Errors
+    /// See [`Database::query`].
+    pub fn query_traced_with(
+        &self,
+        src: impl AsRef<str>,
+        ctx: &ExecContext,
+    ) -> Result<itd_query::Traced> {
+        let f = itd_query::parse(src.as_ref())?;
+        itd_query::evaluate_traced_with(self, &f, ctx).map_err(DbError::Query)
+    }
+
     /// Materializes an open query as a new table: the answer relation
     /// becomes the table's contents and the query's free variables its
     /// attribute names.

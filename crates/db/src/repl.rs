@@ -1,7 +1,7 @@
 //! The command layer of the `itd-repl` binary, exposed as a library so it
 //! can be unit-tested without a terminal.
 
-use itd_core::{ExecContext, StatsSnapshot, Value};
+use itd_core::{ExecContext, StatsSnapshot, Trace, Value};
 
 use crate::table::TupleSpec;
 use crate::{Database, DbError, Result};
@@ -11,6 +11,8 @@ use crate::{Database, DbError, Result};
 pub struct ReplSession {
     db: Database,
     stats: StatsSnapshot,
+    tracing: bool,
+    last_trace: Option<Trace>,
 }
 
 impl ReplSession {
@@ -31,12 +33,42 @@ impl ReplSession {
         &self.stats
     }
 
+    /// Whether `\trace on` is in effect.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// The span tree recorded by the most recent query-evaluating command
+    /// while tracing was on (or by `\explain analyze`).
+    pub fn last_trace(&self) -> Option<&Trace> {
+        self.last_trace.as_ref()
+    }
+
+    /// A fresh per-command context, traced when `\trace on` is in effect.
+    fn fresh_ctx(&self) -> ExecContext {
+        if self.tracing {
+            ExecContext::new().traced()
+        } else {
+            ExecContext::new()
+        }
+    }
+
+    /// Folds a finished command context into the session: counters into
+    /// the running totals, and the recorded span tree (if tracing) into
+    /// `last_trace`.
+    fn absorb(&mut self, ctx: &ExecContext) {
+        self.stats.merge(&ctx.stats());
+        if let Some(trace) = ctx.take_trace() {
+            self.last_trace = Some(trace);
+        }
+    }
+
     /// Runs a query-evaluating closure under a fresh [`ExecContext`] and
     /// folds its counters into the session totals.
     fn tracked<T>(&mut self, run: impl FnOnce(&Database, &ExecContext) -> Result<T>) -> Result<T> {
-        let ctx = ExecContext::new();
+        let ctx = self.fresh_ctx();
         let out = run(&self.db, &ctx);
-        self.stats.merge(&ctx.stats());
+        self.absorb(&ctx);
         out
     }
 
@@ -81,7 +113,7 @@ impl ReplSession {
                     .ok_or_else(|| DbError::IncompleteTuple {
                         detail: "expected `view name = <query>`".into(),
                     })?;
-                let ctx = ExecContext::new();
+                let ctx = self.fresh_ctx();
                 let out = {
                     let table = self
                         .db
@@ -92,18 +124,21 @@ impl ReplSession {
                         table.len()
                     )
                 };
-                self.stats.merge(&ctx.stats());
+                self.absorb(&ctx);
                 Ok(Some(out))
             }
             "query" => self.query(rest).map(Some),
-            "\\stats" | "stats" => {
-                if rest == "reset" {
+            "\\explain" | "explain" => self.explain(rest).map(Some),
+            "\\trace" | "trace" => self.trace(rest).map(Some),
+            "\\metrics" | "metrics" => Ok(Some(self.stats.to_prometheus())),
+            "\\stats" | "stats" => match rest {
+                "reset" => {
                     self.stats = StatsSnapshot::default();
                     Ok(Some("statistics reset".to_owned()))
-                } else {
-                    Ok(Some(format!("{}", self.stats)))
                 }
-            }
+                "json" => Ok(Some(self.stats.to_json())),
+                _ => Ok(Some(format!("{}", self.stats))),
+            },
             "save" => {
                 self.db.save(rest)?;
                 Ok(Some(format!("saved to {rest}")))
@@ -204,6 +239,73 @@ impl ReplSession {
         out.push_str(&format!("{}", result.relation));
         Ok(out)
     }
+
+    /// `\explain <formula>` — prints the compiled algebra plan without
+    /// executing it; `\explain analyze <formula>` additionally runs the
+    /// query with tracing and prints the recorded span tree.
+    fn explain(&mut self, rest: &str) -> Result<String> {
+        if let Some(src) = rest.strip_prefix("analyze ") {
+            let ctx = ExecContext::new().traced();
+            let traced = self.db.query_traced_with(src.trim(), &ctx)?;
+            self.stats.merge(&ctx.stats());
+            let out = format!(
+                "{}\nanswer: {} generalized tuple(s)\n\n{}",
+                traced.plan.render(),
+                traced.result.relation.tuple_count(),
+                traced.trace.render_tree(),
+            );
+            self.last_trace = Some(traced.trace);
+            return Ok(out);
+        }
+        Ok(self.db.explain(rest)?.render())
+    }
+
+    /// `\trace [on|off|json|chrome <path>]` — toggles span recording for
+    /// query commands, shows the last recorded tree, or exports it.
+    fn trace(&mut self, rest: &str) -> Result<String> {
+        let no_trace = || DbError::IncompleteTuple {
+            detail: "no trace recorded yet (`\\trace on`, then run a query)".into(),
+        };
+        let words: Vec<&str> = rest.split_whitespace().collect();
+        match words.as_slice() {
+            [] => {
+                let mut out = format!("tracing is {}", if self.tracing { "on" } else { "off" });
+                match &self.last_trace {
+                    Some(trace) => {
+                        out.push_str(&format!("; last trace ({} span(s)):\n", trace.len()));
+                        out.push_str(&trace.render_tree());
+                    }
+                    None => out.push_str("; no trace recorded yet"),
+                }
+                Ok(out)
+            }
+            ["on"] => {
+                self.tracing = true;
+                Ok("tracing on — query commands now record span trees (`\\trace` shows the last one)".to_owned())
+            }
+            ["off"] => {
+                self.tracing = false;
+                Ok("tracing off".to_owned())
+            }
+            ["json"] => Ok(self
+                .last_trace
+                .as_ref()
+                .ok_or_else(no_trace)?
+                .to_json_lines()),
+            ["chrome", path] => {
+                let trace = self.last_trace.as_ref().ok_or_else(no_trace)?;
+                std::fs::write(path, trace.to_chrome_trace())
+                    .map_err(|e| DbError::Serde(e.to_string()))?;
+                Ok(format!(
+                    "wrote {} span(s) to {path} (load in Perfetto or chrome://tracing)",
+                    trace.len()
+                ))
+            }
+            other => Err(DbError::IncompleteTuple {
+                detail: format!("unrecognized `\\trace` arguments {other:?} (try `help`)"),
+            }),
+        }
+    }
 }
 
 const HELP: &str = "\
@@ -218,8 +320,15 @@ commands:
   ask <formula>                  yes/no query (first-order syntax)
   view name = <formula>          materialize an open query as a table
   query <formula>                open query; prints the answer relation
-  \\stats [reset]                 per-operator execution counters of every
-                                 query so far (or reset them)
+  \\explain <formula>             print the compiled algebra plan (no execution)
+  \\explain analyze <formula>     execute with tracing; plan plus span tree
+  \\trace [on|off]                record span trees for query commands;
+                                 bare \\trace shows the last recorded tree
+  \\trace json                    export the last trace as JSON lines
+  \\trace chrome <path>           export it in Chrome trace-event format
+  \\metrics                       Prometheus text rendering of the counters
+  \\stats [reset|json]            per-operator execution counters of every
+                                 query so far (reset them, or dump as JSON)
   save <path> / load <path>      JSON persistence
   quit";
 
@@ -310,6 +419,89 @@ mod tests {
         assert_eq!(run(&mut s, "stats"), report);
         run(&mut s, "\\stats reset");
         assert!(run(&mut s, "\\stats").contains("no algebra operations"));
+    }
+
+    #[test]
+    fn explain_prints_plan_without_executing() {
+        let mut s = ReplSession::new();
+        run(&mut s, "create ev(t)");
+        run(&mut s, "insert ev lrp t 0 2");
+        let plan = run(&mut s, "\\explain ev(t) and not ev(t + 1)");
+        assert!(plan.contains("join on t"), "{plan}");
+        assert!(plan.contains("difference from Z^1"), "{plan}");
+        // Nothing ran: the session counters are untouched.
+        assert!(s.stats().is_zero());
+        // Both spellings; errors surface like `query` errors would.
+        assert_eq!(run(&mut s, "explain ev(t)"), run(&mut s, "\\explain ev(t)"));
+        assert!(s.execute("\\explain nosuch(t)").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_runs_and_shows_spans() {
+        let mut s = ReplSession::new();
+        run(&mut s, "create ev(t)");
+        run(&mut s, "insert ev lrp t 0 2");
+        let out = run(&mut s, "\\explain analyze ev(t) and ev(t + 2)");
+        assert!(out.contains("and ⟨t⟩"), "{out}");
+        assert!(out.contains("answer: "), "{out}");
+        assert!(out.contains("join: in="), "{out}");
+        // The run is folded into \stats and the trace is kept.
+        assert!(s.stats().total_calls() > 0);
+        assert!(s.last_trace().is_some());
+    }
+
+    #[test]
+    fn trace_toggle_and_exports() {
+        let mut s = ReplSession::new();
+        run(&mut s, "create ev(t)");
+        run(&mut s, "insert ev lrp t 0 2");
+        // Nothing recorded yet: exports fail, status says so.
+        assert!(run(&mut s, "\\trace").contains("no trace recorded"));
+        assert!(s.execute("\\trace json").is_err());
+        assert!(s.execute("\\trace bogus args").is_err());
+        run(&mut s, "\\trace on");
+        assert!(s.tracing());
+        assert_eq!(run(&mut s, "ask ev(4)"), "true");
+        let shown = run(&mut s, "\\trace");
+        assert!(shown.contains("tracing is on"), "{shown}");
+        assert!(shown.contains("ev(4)"), "{shown}");
+        let json = run(&mut s, "\\trace json");
+        assert!(json.lines().count() > 1, "{json}");
+        assert!(json.lines().all(|l| l.starts_with('{')), "{json}");
+        let path = std::env::temp_dir().join("itd_repl_trace_test.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        let msg = run(&mut s, &format!("\\trace chrome {path_str}"));
+        assert!(msg.contains("Perfetto"), "{msg}");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.trim_start().starts_with('['), "{written}");
+        assert!(written.contains("\"ph\":\"X\""), "{written}");
+        std::fs::remove_file(&path).ok();
+        run(&mut s, "\\trace off");
+        assert!(!s.tracing());
+    }
+
+    #[test]
+    fn metrics_and_stats_json() {
+        let mut s = ReplSession::new();
+        run(&mut s, "create ev(t)");
+        run(&mut s, "insert ev lrp t 0 2");
+        run(&mut s, "ask ev(4)");
+        let metrics = run(&mut s, "\\metrics");
+        assert!(
+            metrics.contains("# TYPE itd_op_calls_total counter"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("itd_op_calls_total{op=\"select\"}"),
+            "{metrics}"
+        );
+        let json = run(&mut s, "\\stats json");
+        assert!(
+            json.starts_with('{') && json.contains("\"total_calls\":"),
+            "{json}"
+        );
+        // `metrics` spelling without the backslash also works.
+        assert_eq!(run(&mut s, "metrics"), metrics);
     }
 
     #[test]

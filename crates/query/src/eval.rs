@@ -4,12 +4,13 @@
 use std::collections::BTreeSet;
 
 use itd_core::{
-    Atom, CoreError, ExecContext, GenRelation, GenTuple, Lrp, Schema, StatsSnapshot, Value,
+    Atom, CoreError, ExecContext, GenRelation, GenTuple, Lrp, Schema, StatsSnapshot, Trace, Value,
 };
 
 use crate::ast::{CmpOp, DataTerm, Formula, TemporalTerm};
 use crate::catalog::Catalog;
 use crate::error::QueryError;
+use crate::plan::{node_label, Plan};
 use crate::sortcheck::check_sorts;
 use crate::Result;
 
@@ -63,19 +64,74 @@ pub fn evaluate_with(
     ctx: &ExecContext,
 ) -> Result<QueryResult> {
     let (f, _sorts) = check_sorts(catalog, formula)?;
+    evaluate_checked(catalog, &f, ctx)
+}
+
+/// Evaluates an already sort-checked formula.
+fn evaluate_checked(catalog: &impl Catalog, f: &Formula, ctx: &ExecContext) -> Result<QueryResult> {
     let mut adom: BTreeSet<Value> = catalog.active_domain();
-    collect_constants(&f, &mut adom);
+    collect_constants(f, &mut adom);
     let env = Env {
         catalog,
         adom: adom.into_iter().collect(),
         ctx,
     };
-    let ev = env.eval(&f)?;
+    let ev = env.eval(f)?;
     Ok(QueryResult {
         relation: ev.rel,
         temporal_vars: ev.tvars,
         data_vars: ev.dvars,
         stats: ctx.stats(),
+    })
+}
+
+/// A query evaluated with tracing on: the answer, the compiled plan, and
+/// the recorded span tree (EXPLAIN ANALYZE).
+///
+/// Plan nodes and the trace's *node* spans carry identical labels in
+/// identical tree order, so the two line up node for node; each node
+/// span's children include the operator spans that node issued.
+#[derive(Debug, Clone)]
+pub struct Traced {
+    /// The answer relation plus aggregate statistics.
+    pub result: QueryResult,
+    /// The algebra plan the formula compiled to (what
+    /// [`explain`](crate::explain) would print).
+    pub plan: Plan,
+    /// The recorded span tree; deterministic across thread budgets up to
+    /// timing (see [`Trace::without_timing`]).
+    pub trace: Trace,
+}
+
+/// Evaluates a formula with tracing: EXPLAIN ANALYZE in one call, on a
+/// fresh machine-sized [`ExecContext`].
+///
+/// # Errors
+/// See [`evaluate`].
+pub fn evaluate_traced(catalog: &impl Catalog, formula: &Formula) -> Result<Traced> {
+    evaluate_traced_with(catalog, formula, &ExecContext::new().traced())
+}
+
+/// [`evaluate_traced`] under an explicit execution context. The context
+/// should be traced ([`ExecContext::traced`]); if it is not, the returned
+/// [`Traced::trace`] is empty. Any spans already buffered in the context
+/// are drained into (and only into) this query's trace.
+///
+/// # Errors
+/// See [`evaluate`].
+pub fn evaluate_traced_with(
+    catalog: &impl Catalog,
+    formula: &Formula,
+    ctx: &ExecContext,
+) -> Result<Traced> {
+    let (f, _sorts) = check_sorts(catalog, formula)?;
+    let plan = Plan::of(&f);
+    let result = evaluate_checked(catalog, &f, ctx)?;
+    let trace = ctx.take_trace().unwrap_or_default();
+    Ok(Traced {
+        result,
+        plan,
+        trace,
     })
 }
 
@@ -180,7 +236,18 @@ impl<C: Catalog> Env<'_, C> {
         Ok(rel)
     }
 
+    /// Evaluates `f`, recording a plan-node span when the context is
+    /// traced. The span label matches the corresponding
+    /// [`Plan`](crate::Plan) node's (both come from `node_label`), so
+    /// EXPLAIN and EXPLAIN ANALYZE trees line up.
     fn eval(&self, f: &Formula) -> Result<Ev> {
+        let span = self.ctx.node_span(|| node_label(f, false));
+        let ev = self.eval_arm(f)?;
+        span.set_tuples_out(ev.rel.tuple_count() as u64);
+        Ok(ev)
+    }
+
+    fn eval_arm(&self, f: &Formula) -> Result<Ev> {
         match f {
             Formula::True => Ok(Ev {
                 rel: Self::unit(true),
@@ -233,6 +300,13 @@ impl<C: Catalog> Env<'_, C> {
     /// comparison operators); only negated *predicate* atoms and negated
     /// existentials pay for a set difference against the free space.
     fn eval_neg(&self, f: &Formula) -> Result<Ev> {
+        let span = self.ctx.node_span(|| node_label(f, true));
+        let ev = self.eval_neg_arm(f)?;
+        span.set_tuples_out(ev.rel.tuple_count() as u64);
+        Ok(ev)
+    }
+
+    fn eval_neg_arm(&self, f: &Formula) -> Result<Ev> {
         match f {
             Formula::True => self.eval(&Formula::False),
             Formula::False => self.eval(&Formula::True),

@@ -58,14 +58,19 @@ mod error;
 mod eval;
 mod lexer;
 mod parser;
+mod plan;
 mod sortcheck;
 
 pub use ast::{CmpOp, DataTerm, Formula, Sort, TemporalTerm};
 pub use catalog::{Catalog, MemoryCatalog};
 pub use error::QueryError;
-pub use eval::{evaluate, evaluate_bool, evaluate_bool_with, evaluate_with, QueryResult};
-pub use itd_core::{ExecContext, OpKind, OpSnapshot, StatsSnapshot};
+pub use eval::{
+    evaluate, evaluate_bool, evaluate_bool_with, evaluate_traced, evaluate_traced_with,
+    evaluate_with, QueryResult, Traced,
+};
+pub use itd_core::{ExecContext, OpKind, OpSnapshot, Span, SpanLabel, StatsSnapshot, Trace};
 pub use parser::parse;
+pub use plan::{explain, Plan, PlanNode};
 pub use sortcheck::check_sorts;
 
 /// Result alias for query operations.

@@ -1,0 +1,635 @@
+//! EXPLAIN: compiling a formula to a rendered algebra plan *without*
+//! executing it.
+//!
+//! [`explain`] mirrors the evaluator's translation (§4.2–4.3) structurally
+//! — the same negation pushdown, the same conjoin/disjoin/project
+//! lowering — but records *descriptions* of the algebra steps instead of
+//! running them. Each [`PlanNode`] corresponds to one `eval`/`eval_neg`
+//! call the evaluator would make, and carries the same label a traced
+//! evaluation ([`evaluate_traced`](crate::evaluate_traced)) gives the
+//! matching span, so EXPLAIN output and EXPLAIN ANALYZE trees line up
+//! node for node.
+
+use std::fmt;
+
+use crate::ast::{CmpOp, DataTerm, Formula, TemporalTerm};
+use crate::catalog::Catalog;
+use crate::sortcheck::check_sorts;
+use crate::Result;
+
+/// A compiled (but unexecuted) algebra plan for a formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    root: PlanNode,
+}
+
+/// One plan node: the algebra lowering of one subformula occurrence
+/// (under an even or odd number of enclosing negations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanNode {
+    /// Node label; identical to the corresponding traced span's label.
+    pub label: String,
+    /// Human-readable algebra steps this node performs on its children's
+    /// outputs, in execution order.
+    pub steps: Vec<String>,
+    /// Temporal columns of the node's output, in order.
+    pub temporal_vars: Vec<String>,
+    /// Data columns of the node's output, in order.
+    pub data_vars: Vec<String>,
+    /// Sub-plans evaluated first, in evaluation order.
+    pub children: Vec<PlanNode>,
+}
+
+/// Compiles a formula to its algebra plan without executing anything.
+///
+/// Performs the same sort/arity checking as
+/// [`evaluate`](crate::evaluate), so unknown predicates and arity
+/// mismatches fail here too — but no relation is ever touched.
+///
+/// # Errors
+/// Sort/arity errors; see [`QueryError`](crate::QueryError).
+///
+/// # Examples
+/// ```
+/// use itd_query::{explain, parse, MemoryCatalog};
+/// use itd_core::{GenRelation, Schema};
+/// let mut cat = MemoryCatalog::new();
+/// cat.insert("P", GenRelation::empty(Schema::new(1, 0)));
+/// let plan = explain(&cat, &parse("P(t) and not P(t + 1)")?)?;
+/// let text = plan.render();
+/// assert!(text.contains("join"));
+/// assert!(text.contains("difference"));
+/// # Ok::<(), itd_query::QueryError>(())
+/// ```
+pub fn explain(catalog: &impl Catalog, formula: &Formula) -> Result<Plan> {
+    let (f, _sorts) = check_sorts(catalog, formula)?;
+    Ok(Plan::of(&f))
+}
+
+impl Plan {
+    /// Compiles an already sort-checked formula.
+    pub(crate) fn of(f: &Formula) -> Plan {
+        Plan {
+            root: compile(f, false),
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &PlanNode {
+        &self.root
+    }
+
+    /// Renders the plan as an indented tree, one node per line:
+    /// `label ⟨output columns⟩ — algebra steps`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_node(&mut out, &self.root, "", true, true);
+        out
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn render_node(out: &mut String, node: &PlanNode, prefix: &str, last: bool, root: bool) {
+    let (branch, next_prefix) = if root {
+        ("", String::new())
+    } else if last {
+        ("└─ ", format!("{prefix}   "))
+    } else {
+        ("├─ ", format!("{prefix}│  "))
+    };
+    out.push_str(prefix);
+    out.push_str(branch);
+    out.push_str(&node.label);
+    out.push_str(&format!(
+        " ⟨{}⟩",
+        columns(&node.temporal_vars, &node.data_vars)
+    ));
+    if !node.steps.is_empty() {
+        out.push_str(" — ");
+        out.push_str(&node.steps.join("; "));
+    }
+    out.push('\n');
+    for (i, child) in node.children.iter().enumerate() {
+        render_node(
+            out,
+            child,
+            &next_prefix,
+            i + 1 == node.children.len(),
+            false,
+        );
+    }
+}
+
+/// Label for the plan node / traced span of subformula `f` evaluated
+/// under negation (`negated`). Kept in sync with the evaluator: the
+/// traced `eval`/`eval_neg` wrappers call this with the same arguments.
+pub(crate) fn node_label(f: &Formula, negated: bool) -> String {
+    let base = match f {
+        Formula::True => "true".to_string(),
+        Formula::False => "false".to_string(),
+        // Leaves display as themselves (`Even(t + 2)`, `t1 < t2`, …).
+        Formula::Pred { .. } | Formula::TempCmp { .. } | Formula::DataCmp { .. } => f.to_string(),
+        Formula::Not(_) => "not".to_string(),
+        Formula::And(_, _) => "and".to_string(),
+        Formula::Or(_, _) => "or".to_string(),
+        Formula::Implies(_, _) => "implies".to_string(),
+        Formula::Exists { var, .. } => format!("exists {var}"),
+        Formula::Forall { var, .. } => format!("forall {var}"),
+    };
+    if negated {
+        format!("not {base}")
+    } else {
+        base
+    }
+}
+
+fn columns(tvars: &[String], dvars: &[String]) -> String {
+    let t = tvars.join(", ");
+    if dvars.is_empty() {
+        t
+    } else {
+        format!("{t}; {}", dvars.join(", "))
+    }
+}
+
+fn project_step(tvars: &[String], dvars: &[String]) -> String {
+    format!("project ⟨{}⟩", columns(tvars, dvars))
+}
+
+/// The algebra cost of a pushed-down negation: set difference against the
+/// free space `Z^t × adom^d`.
+fn negate_step(tvars: usize, dvars: usize) -> String {
+    if dvars > 0 {
+        format!("difference from Z^{tvars} × adom^{dvars}")
+    } else {
+        format!("difference from Z^{tvars}")
+    }
+}
+
+fn leaf(label: String, steps: Vec<String>, tvars: Vec<String>, dvars: Vec<String>) -> PlanNode {
+    PlanNode {
+        label,
+        steps,
+        temporal_vars: tvars,
+        data_vars: dvars,
+        children: vec![],
+    }
+}
+
+/// Mirrors `Env::eval` (`negated = false`) and `Env::eval_neg`
+/// (`negated = true`): each arm produces the node the evaluator's
+/// corresponding arm would trace, with the same children in the same
+/// order.
+fn compile(f: &Formula, negated: bool) -> PlanNode {
+    let label = node_label(f, negated);
+    match f {
+        // ¬true and ¬false re-enter eval on the opposite literal, so the
+        // plan shows that literal as a child — exactly like the trace.
+        Formula::True if negated => wrap(label, compile(&Formula::False, false), vec![]),
+        Formula::False if negated => wrap(label, compile(&Formula::True, false), vec![]),
+        Formula::True => leaf(label, vec!["unit(true)".into()], vec![], vec![]),
+        Formula::False => leaf(label, vec!["unit(false)".into()], vec![], vec![]),
+        Formula::Pred {
+            name,
+            temporal,
+            data,
+        } => {
+            let positive = compile_pred(name, temporal, data);
+            if negated {
+                // eval_neg(Pred) evaluates the predicate positively, then
+                // differences it from the free space.
+                let steps = vec![negate_step(
+                    positive.temporal_vars.len(),
+                    positive.data_vars.len(),
+                )];
+                wrap(label, positive, steps)
+            } else {
+                positive
+            }
+        }
+        Formula::TempCmp { left, op, right } => {
+            let op = if negated { flip(*op) } else { *op };
+            compile_temp_cmp(label, left, op, right)
+        }
+        Formula::DataCmp { left, eq, right } => {
+            let eq = if negated { !eq } else { *eq };
+            compile_data_cmp(label, left, eq, right)
+        }
+        Formula::Not(inner) => wrap(label, compile(inner, !negated), vec![]),
+        Formula::And(a, b) if !negated => conjoin(label, compile(a, false), compile(b, false)),
+        Formula::And(a, b) => disjoin(label, compile(a, true), compile(b, true)),
+        Formula::Or(a, b) if !negated => disjoin(label, compile(a, false), compile(b, false)),
+        Formula::Or(a, b) => conjoin(label, compile(a, true), compile(b, true)),
+        // a → b ≡ ¬a ∨ b;  ¬(a → b) ≡ a ∧ ¬b.
+        Formula::Implies(a, b) if !negated => disjoin(label, compile(a, true), compile(b, false)),
+        Formula::Implies(a, b) => conjoin(label, compile(a, false), compile(b, true)),
+        Formula::Exists { var, body } if !negated => {
+            project_out(label, compile(body, false), var, false)
+        }
+        // ¬∃v.φ — project, then one unavoidable complement.
+        Formula::Exists { var, body } => project_out(label, compile(body, false), var, true),
+        // ∀v.φ ≡ ¬∃v.¬φ — negation pushed to the leaves.
+        Formula::Forall { var, body } if !negated => {
+            project_out(label, compile(body, true), var, true)
+        }
+        // ¬∀v.φ ≡ ∃v.¬φ.
+        Formula::Forall { var, body } => project_out(label, compile(body, true), var, false),
+    }
+}
+
+/// A node that passes its single child through `steps`.
+fn wrap(label: String, child: PlanNode, steps: Vec<String>) -> PlanNode {
+    PlanNode {
+        label,
+        steps,
+        temporal_vars: child.temporal_vars.clone(),
+        data_vars: child.data_vars.clone(),
+        children: vec![child],
+    }
+}
+
+fn compile_pred(name: &str, temporal: &[TemporalTerm], data: &[DataTerm]) -> PlanNode {
+    let mut steps = vec![format!("scan {name}")];
+    let mut tvars: Vec<String> = Vec::new();
+    let mut tkeep: Vec<usize> = Vec::new();
+    for (col, term) in temporal.iter().enumerate() {
+        match term {
+            TemporalTerm::Const(c) => steps.push(format!("select t{col} = {c}")),
+            TemporalTerm::Var { name: v, shift } => {
+                if *shift != 0 {
+                    steps.push(format!("shift t{col} by {}", -i128::from(*shift)));
+                }
+                if let Some(first) = tvars.iter().position(|x| x == v) {
+                    steps.push(format!("select t{} = t{col}", tkeep[first]));
+                } else {
+                    tvars.push(v.clone());
+                    tkeep.push(col);
+                }
+            }
+        }
+    }
+    let mut dvars: Vec<String> = Vec::new();
+    let mut dkeep: Vec<usize> = Vec::new();
+    for (col, term) in data.iter().enumerate() {
+        match term {
+            DataTerm::Const(_) => steps.push(format!("select d{col} = {term}")),
+            DataTerm::Var(v) => {
+                if let Some(first) = dvars.iter().position(|x| x == v) {
+                    steps.push(format!("select d{} = d{col}", dkeep[first]));
+                } else {
+                    dvars.push(v.clone());
+                    dkeep.push(col);
+                }
+            }
+        }
+    }
+    steps.push(project_step(&tvars, &dvars));
+    leaf(node_label_pred(name, temporal, data), steps, tvars, dvars)
+}
+
+/// The positive predicate node keeps the positive leaf label even when it
+/// appears as the child of a `not …` wrapper.
+fn node_label_pred(name: &str, temporal: &[TemporalTerm], data: &[DataTerm]) -> String {
+    node_label(
+        &Formula::Pred {
+            name: name.to_owned(),
+            temporal: temporal.to_vec(),
+            data: data.to_vec(),
+        },
+        false,
+    )
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+        CmpOp::Ge => CmpOp::Lt,
+        CmpOp::Gt => CmpOp::Le,
+    }
+}
+
+fn compile_temp_cmp(
+    label: String,
+    left: &TemporalTerm,
+    op: CmpOp,
+    right: &TemporalTerm,
+) -> PlanNode {
+    match (left, right) {
+        (TemporalTerm::Const(a), TemporalTerm::Const(b)) => leaf(
+            label,
+            vec![format!("unit({})", op.eval(*a, *b))],
+            vec![],
+            vec![],
+        ),
+        (TemporalTerm::Var { name, shift }, TemporalTerm::Const(c)) => {
+            let c = i128::from(*c) - i128::from(*shift);
+            leaf(
+                label,
+                vec![format!("constraint {name} {op} {c} over Z")],
+                vec![name.clone()],
+                vec![],
+            )
+        }
+        (TemporalTerm::Const(c), TemporalTerm::Var { name, shift }) => {
+            let mirrored = match op {
+                CmpOp::Le => CmpOp::Ge,
+                CmpOp::Lt => CmpOp::Gt,
+                CmpOp::Ge => CmpOp::Le,
+                CmpOp::Gt => CmpOp::Lt,
+                other => other,
+            };
+            let c = i128::from(*c) - i128::from(*shift);
+            leaf(
+                label,
+                vec![format!("constraint {name} {mirrored} {c} over Z")],
+                vec![name.clone()],
+                vec![],
+            )
+        }
+        (
+            TemporalTerm::Var {
+                name: n1,
+                shift: s1,
+            },
+            TemporalTerm::Var {
+                name: n2,
+                shift: s2,
+            },
+        ) => {
+            if n1 == n2 {
+                let truth = op.eval(*s1, *s2);
+                let step = if truth {
+                    format!("all of Z over {n1}")
+                } else {
+                    "empty relation".to_string()
+                };
+                return leaf(label, vec![step], vec![n1.clone()], vec![]);
+            }
+            let c = i128::from(*s2) - i128::from(*s1);
+            let rhs = match c {
+                0 => n2.clone(),
+                c if c > 0 => format!("{n2} + {c}"),
+                c => format!("{n2} - {}", -c),
+            };
+            leaf(
+                label,
+                vec![format!("constraint {n1} {op} {rhs} over Z^2")],
+                vec![n1.clone(), n2.clone()],
+                vec![],
+            )
+        }
+    }
+}
+
+fn compile_data_cmp(label: String, left: &DataTerm, eq: bool, right: &DataTerm) -> PlanNode {
+    match (left, right) {
+        (DataTerm::Const(a), DataTerm::Const(b)) => leaf(
+            label,
+            vec![format!("unit({})", (a == b) == eq)],
+            vec![],
+            vec![],
+        ),
+        (DataTerm::Var(x), DataTerm::Const(_)) | (DataTerm::Const(_), DataTerm::Var(x)) => {
+            let v = if matches!(left, DataTerm::Const(_)) {
+                left
+            } else {
+                right
+            };
+            let step = if eq {
+                format!("bind {x} = {v}")
+            } else {
+                format!("enumerate adom ∖ {{{v}}}")
+            };
+            leaf(label, vec![step], vec![], vec![x.clone()])
+        }
+        (DataTerm::Var(x), DataTerm::Var(y)) => {
+            if x == y {
+                let step = if eq {
+                    "enumerate adom".to_string()
+                } else {
+                    "empty relation".to_string()
+                };
+                return leaf(label, vec![step], vec![], vec![x.clone()]);
+            }
+            let step = format!(
+                "enumerate adom² where {x} {} {y}",
+                if eq { "=" } else { "!=" }
+            );
+            leaf(label, vec![step], vec![], vec![x.clone(), y.clone()])
+        }
+    }
+}
+
+/// Mirrors `Env::conjoin`: join on shared variables, then keep each
+/// variable once.
+fn conjoin(label: String, a: PlanNode, b: PlanNode) -> PlanNode {
+    let shared: Vec<String> = b
+        .temporal_vars
+        .iter()
+        .filter(|v| a.temporal_vars.contains(v))
+        .chain(b.data_vars.iter().filter(|v| a.data_vars.contains(v)))
+        .cloned()
+        .collect();
+    let mut steps = vec![if shared.is_empty() {
+        "join (no shared variables)".to_string()
+    } else {
+        format!("join on {}", shared.join(", "))
+    }];
+    let mut tvars = a.temporal_vars.clone();
+    for v in &b.temporal_vars {
+        if !tvars.contains(v) {
+            tvars.push(v.clone());
+        }
+    }
+    let mut dvars = a.data_vars.clone();
+    for v in &b.data_vars {
+        if !dvars.contains(v) {
+            dvars.push(v.clone());
+        }
+    }
+    steps.push(project_step(&tvars, &dvars));
+    PlanNode {
+        label,
+        steps,
+        temporal_vars: tvars,
+        data_vars: dvars,
+        children: vec![a, b],
+    }
+}
+
+/// Mirrors `Env::disjoin`: pad both sides to the merged variable set,
+/// then union.
+fn disjoin(label: String, a: PlanNode, b: PlanNode) -> PlanNode {
+    let mut tvars = a.temporal_vars.clone();
+    for v in &b.temporal_vars {
+        if !tvars.contains(v) {
+            tvars.push(v.clone());
+        }
+    }
+    let mut dvars = a.data_vars.clone();
+    for v in &b.data_vars {
+        if !dvars.contains(v) {
+            dvars.push(v.clone());
+        }
+    }
+    let mut steps = Vec::new();
+    for (side, node) in [("left", &a), ("right", &b)] {
+        let missing: Vec<String> = tvars
+            .iter()
+            .filter(|v| !node.temporal_vars.contains(v))
+            .chain(dvars.iter().filter(|v| !node.data_vars.contains(v)))
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            steps.push(format!("pad {side} with {}", missing.join(", ")));
+        }
+    }
+    steps.push("union".to_string());
+    PlanNode {
+        label,
+        steps,
+        temporal_vars: tvars,
+        data_vars: dvars,
+        children: vec![a, b],
+    }
+}
+
+/// Mirrors `Env::project_out` (+ optional negation for the quantifier
+/// arms that pay a complement).
+fn project_out(label: String, child: PlanNode, var: &str, negate: bool) -> PlanNode {
+    let mut tvars = child.temporal_vars.clone();
+    let mut dvars = child.data_vars.clone();
+    let mut steps = Vec::new();
+    if let Some(i) = tvars.iter().position(|v| v == var) {
+        tvars.remove(i);
+        steps.push(format!("project out {var}"));
+    } else if let Some(i) = dvars.iter().position(|v| v == var) {
+        dvars.remove(i);
+        steps.push(format!("project out {var}"));
+    } else {
+        steps.push(format!("no column for {var} (no-op)"));
+    }
+    if negate {
+        steps.push(negate_step(tvars.len(), dvars.len()));
+    }
+    PlanNode {
+        label,
+        steps,
+        temporal_vars: tvars,
+        data_vars: dvars,
+        children: vec![child],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::MemoryCatalog;
+    use crate::parser::parse;
+    use itd_core::{GenRelation, Schema};
+
+    fn cat() -> MemoryCatalog {
+        let mut cat = MemoryCatalog::new();
+        cat.insert("P", GenRelation::empty(Schema::new(1, 0)));
+        cat.insert("R", GenRelation::empty(Schema::new(2, 1)));
+        cat
+    }
+
+    fn plan(src: &str) -> Plan {
+        explain(&cat(), &parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn join_and_negation_render_without_executing() {
+        let p = plan("P(t) and not P(t + 1)");
+        let text = p.render();
+        assert!(text.contains("and ⟨t⟩"), "{text}");
+        assert!(text.contains("join on t"), "{text}");
+        assert!(text.contains("difference from Z^1"), "{text}");
+        assert!(text.contains("shift t0 by -1"), "{text}");
+        // Tree shape: and → [P(t), not → [not P(t+1) → [P(t+1)]]] — the
+        // syntactic `not` wrapper, then the pushed-down negated leaf.
+        assert_eq!(p.root().children.len(), 2);
+        let not = &p.root().children[1];
+        assert_eq!(not.label, "not");
+        assert_eq!(not.children[0].label, "not P(t + 1)");
+        assert_eq!(not.children[0].children[0].label, "P(t + 1)");
+    }
+
+    #[test]
+    fn forall_lowers_to_project_then_difference() {
+        let p = plan("forall t. P(t) implies P(t + 2)");
+        let root = p.root();
+        assert_eq!(root.label, "forall t");
+        assert_eq!(
+            root.steps,
+            vec![
+                "project out t".to_string(),
+                "difference from Z^0".to_string()
+            ]
+        );
+        // The body is compiled negated: ¬(a → b) ≡ a ∧ ¬b.
+        let body = &root.children[0];
+        assert_eq!(body.label, "not implies");
+        assert!(body.steps.iter().any(|s| s.contains("join")), "{body:?}");
+    }
+
+    #[test]
+    fn negated_comparisons_flip_for_free() {
+        let p = plan("not (t < 5)");
+        let cmp = &p.root().children[0];
+        assert_eq!(cmp.label, "not t < 5");
+        assert_eq!(cmp.steps, vec!["constraint t >= 5 over Z".to_string()]);
+        assert!(cmp.children.is_empty());
+    }
+
+    #[test]
+    fn disjunction_pads_to_merged_columns() {
+        let p = plan("P(t1) or P(t2)");
+        let root = p.root();
+        assert_eq!(root.temporal_vars, vec!["t1", "t2"]);
+        assert!(
+            root.steps.iter().any(|s| s == "pad left with t2"),
+            "{root:?}"
+        );
+        assert!(
+            root.steps.iter().any(|s| s == "pad right with t1"),
+            "{root:?}"
+        );
+        assert_eq!(root.steps.last().unwrap(), "union");
+    }
+
+    #[test]
+    fn data_arguments_and_quantifiers() {
+        let p = plan(r#"exists x. R(t, t; x) and x != "a""#);
+        let text = p.render();
+        assert!(text.contains("exists x ⟨t⟩ — project out x"), "{text}");
+        assert!(text.contains("select t0 = t1"), "{text}");
+        assert!(text.contains("enumerate adom"), "{text}");
+    }
+
+    #[test]
+    fn explain_checks_sorts_without_a_catalog_hit() {
+        let err = explain(&cat(), &parse("Missing(t)").unwrap()).unwrap_err();
+        assert!(matches!(err, crate::QueryError::UnknownPredicate(_)));
+    }
+
+    #[test]
+    fn labels_match_traced_spans() {
+        // node_label drives both the plan and the traced eval wrappers;
+        // spot-check the double-negation and literal arms.
+        let f = parse("not not true").unwrap();
+        let p = Plan::of(&f);
+        assert_eq!(p.root().label, "not");
+        assert_eq!(p.root().children[0].label, "not not");
+        assert_eq!(p.root().children[0].children[0].label, "true");
+    }
+}

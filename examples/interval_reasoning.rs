@@ -15,26 +15,28 @@ fn lrp(c: i64, k: i64) -> Lrp {
 fn main() {
     // ---- Allen relations over infinite interval relations ----
     // Maintenance windows [20n, 20n+6] and meetings [10n+3, 10n+5].
-    let windows = GenRelation::new(
-        Schema::new(2, 1),
-        vec![GenTuple::builder()
-            .lrps(vec![lrp(0, 20), lrp(6, 20)])
-            .atoms([Atom::diff_eq(1, 0, 6)])
-            .data(vec![Value::str("window")])
-            .build()
-            .unwrap()],
-    )
-    .unwrap();
-    let meetings = GenRelation::new(
-        Schema::new(2, 1),
-        vec![GenTuple::builder()
-            .lrps(vec![lrp(3, 10), lrp(5, 10)])
-            .atoms([Atom::diff_eq(1, 0, 2)])
-            .data(vec![Value::str("meeting")])
-            .build()
-            .unwrap()],
-    )
-    .unwrap();
+    let windows = GenRelation::builder(Schema::new(2, 1))
+        .tuple(
+            GenTuple::builder()
+                .lrps(vec![lrp(0, 20), lrp(6, 20)])
+                .atoms([Atom::diff_eq(1, 0, 6)])
+                .data(vec![Value::str("window")])
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let meetings = GenRelation::builder(Schema::new(2, 1))
+        .tuple(
+            GenTuple::builder()
+                .lrps(vec![lrp(3, 10), lrp(5, 10)])
+                .atoms([Atom::diff_eq(1, 0, 2)])
+                .data(vec![Value::str("meeting")])
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
 
     // Which meetings happen DURING a maintenance window? The join is
     // symbolic — it covers all infinitely many interval pairs at once.
@@ -80,11 +82,10 @@ fn main() {
     // ---- Temporal logic: the traffic light, verified over all of Z ----
     let mut cat = itd_query::MemoryCatalog::new();
     let phase = |offset| {
-        GenRelation::new(
-            Schema::new(1, 0),
-            vec![GenTuple::unconstrained(vec![lrp(offset, 3)], vec![])],
-        )
-        .unwrap()
+        GenRelation::builder(Schema::new(1, 0))
+            .tuple(GenTuple::unconstrained(vec![lrp(offset, 3)], vec![]))
+            .build()
+            .unwrap()
     };
     cat.insert("green", phase(0));
     cat.insert("yellow", phase(1));

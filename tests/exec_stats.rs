@@ -135,6 +135,43 @@ proptest! {
         }
     }
 
+    /// Span trees are deterministic: tracing any expression at 1, 2, or 8
+    /// threads records the same tree — same span ids, parents, labels,
+    /// and per-span counters — once timing is stripped. (Span ids come
+    /// from the context-local begin-order counter, not thread identity.)
+    #[test]
+    fn span_tree_identical_across_thread_counts(e in expr_strategy()) {
+        let bases = bases();
+        let traced = |threads: usize| -> Result<Option<itd_core::Trace>, TestCaseError> {
+            let ctx = ExecContext::with_threads(threads).traced();
+            match eval_in(&e, &bases, &ctx) {
+                Ok(_) => Ok(ctx.take_trace().map(|t| t.without_timing())),
+                Err(itd_core::CoreError::TooManyExtensions { .. }) => Ok(None),
+                Err(other) => Err(TestCaseError::fail(format!("{other}"))),
+            }
+        };
+        let one = traced(1)?;
+        prop_assert_eq!(traced(2)?, one.clone(), "2 threads changed the span tree of {:?}", &e);
+        prop_assert_eq!(traced(8)?, one, "8 threads changed the span tree of {:?}", &e);
+    }
+
+    /// No operator work escapes the span tree: summing the operator spans
+    /// of a trace reproduces the context's aggregate counters exactly —
+    /// wall time included, at any thread count.
+    #[test]
+    fn span_totals_match_aggregate_counters(e in expr_strategy(), threads in 1usize..5) {
+        let bases = bases();
+        let ctx = ExecContext::with_threads(threads).traced();
+        match eval_in(&e, &bases, &ctx) {
+            Ok(_) | Err(itd_core::CoreError::TooManyExtensions { .. }) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("{other}"))),
+        }
+        let stats = ctx.stats();
+        let trace = ctx.take_trace().expect("tracing is on");
+        prop_assert_eq!(trace.op_totals(), stats);
+        prop_assert_eq!(trace.spans().len() as u64, stats.total_calls());
+    }
+
     /// Counters are deterministic too (they tally work items, not
     /// scheduling): the same expression produces the same `pairs`,
     /// `tuples_in`/`out`, and `empties_pruned` at any thread count.
@@ -287,4 +324,59 @@ fn query_evaluation_reports_nonzero_stats() {
     let before = stats.total_calls();
     let _ = evaluate_with(&cat, &f, &ctx).unwrap();
     assert_eq!(ctx.stats().total_calls(), before * 2);
+}
+
+/// EXPLAIN ANALYZE acceptance: on a join+negation query, `explain`
+/// renders the plan without executing, `evaluate_traced` yields a span
+/// tree whose operator spans sum back to the aggregate counters, and the
+/// tree is bit-identical across thread counts (up to timing).
+#[test]
+fn traced_query_spans_sum_to_stats_and_are_thread_invariant() {
+    use itd_query::{evaluate_traced_with, explain, parse, MemoryCatalog};
+    let mut cat = MemoryCatalog::new();
+    cat.insert(
+        "even",
+        GenRelation::builder(Schema::new(1, 0))
+            .tuple(GenTuple::unconstrained(vec![lrp(0, 2)], vec![]))
+            .build()
+            .unwrap(),
+    );
+    let f = parse("even(t) and not even(t + 1)").unwrap();
+
+    // EXPLAIN compiles the join + difference without touching a relation.
+    let plan = explain(&cat, &f).unwrap();
+    let rendered = plan.render();
+    assert!(rendered.contains("join on t"), "{rendered}");
+    assert!(rendered.contains("difference from Z^1"), "{rendered}");
+
+    let run = |threads: usize| {
+        let ctx = ExecContext::with_threads(threads).traced();
+        let traced = evaluate_traced_with(&cat, &f, &ctx).unwrap();
+        (traced, ctx.stats())
+    };
+    let (baseline, stats1) = run(1);
+    assert!(baseline.result.relation.contains(&[0], &[]));
+    assert!(!baseline.result.relation.contains(&[1], &[]));
+
+    // Operator spans reproduce the aggregate counters exactly (node spans
+    // contribute nothing), and the plan root label matches the root span.
+    assert_eq!(baseline.trace.op_totals(), stats1);
+    assert_eq!(stats1, *baseline.result.stats());
+    let root = baseline.trace.roots().next().unwrap();
+    assert_eq!(root.label.name(), baseline.plan.root().label);
+    assert!(
+        baseline.trace.len() as u64 > stats1.total_calls(),
+        "node spans present"
+    );
+
+    for threads in [2usize, 8] {
+        let (traced, stats) = run(threads);
+        assert_eq!(
+            traced.trace.without_timing(),
+            baseline.trace.without_timing(),
+            "thread count {threads} changed the span tree"
+        );
+        assert_eq!(traced.trace.op_totals(), stats);
+        assert_eq!(traced.result.relation, baseline.result.relation);
+    }
 }
