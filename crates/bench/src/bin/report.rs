@@ -4,10 +4,16 @@
 //!
 //! Run with: `cargo run --release -p itd-bench --bin report`
 //!
+//! Flags:
+//! * `--smoke` — truncate every sweep to its first few points (CI-sized;
+//!   every assertion still runs, only the fitted exponents lose precision).
+//!
 //! Output: a markdown report on stdout (tee it into EXPERIMENTS.md's data
-//! section). Every row prints the paper's asymptotic claim next to the
-//! measured growth exponent.
+//! section) plus a machine-readable `BENCH_report.json` next to the
+//! working directory, holding per-section median timings and the
+//! candidate-pair/pruned counters of the residue index.
 
+use std::sync::OnceLock;
 use std::time::Duration;
 
 use itd_bench::{fit_loglog, fit_semilog, fmt_duration, time_median};
@@ -17,6 +23,149 @@ use itd_workload::{
 };
 
 const REPS: usize = 5;
+
+static SMOKE: OnceLock<bool> = OnceLock::new();
+
+fn smoke() -> bool {
+    *SMOKE.get().unwrap_or(&false)
+}
+
+/// Sweep points for the current mode: the full list, or its first three
+/// entries under `--smoke`.
+fn take<T: Copy>(xs: &[T]) -> Vec<T> {
+    let n = if smoke() { xs.len().min(3) } else { xs.len() };
+    xs[..n].to_vec()
+}
+
+/// Collects everything the markdown report prints into a JSON document.
+/// Hand-rolled like `itd_core::trace`'s exporters: the vendored serde stub
+/// covers the persistence formats, not arbitrary reflection.
+mod jsonout {
+    use std::sync::Mutex;
+
+    struct Row {
+        name: String,
+        claim: String,
+        exponent: f64,
+        points: Vec<(f64, f64)>,
+    }
+
+    struct Counter {
+        name: String,
+        values: Vec<(&'static str, u64)>,
+    }
+
+    struct Section {
+        name: String,
+        rows: Vec<Row>,
+        counters: Vec<Counter>,
+    }
+
+    static SECTIONS: Mutex<Vec<Section>> = Mutex::new(Vec::new());
+
+    pub fn begin_section(name: &str) {
+        SECTIONS.lock().expect("report collector").push(Section {
+            name: name.to_owned(),
+            rows: Vec::new(),
+            counters: Vec::new(),
+        });
+    }
+
+    pub fn row(name: &str, claim: &str, exponent: f64, points: &[(f64, f64)]) {
+        let mut s = SECTIONS.lock().expect("report collector");
+        let section = s.last_mut().expect("begin_section comes first");
+        section.rows.push(Row {
+            name: name.to_owned(),
+            claim: claim.to_owned(),
+            exponent,
+            points: points.to_vec(),
+        });
+    }
+
+    pub fn counters(name: &str, values: &[(&'static str, u64)]) {
+        let mut s = SECTIONS.lock().expect("report collector");
+        let section = s.last_mut().expect("begin_section comes first");
+        section.counters.push(Counter {
+            name: name.to_owned(),
+            values: values.to_vec(),
+        });
+    }
+
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Serializes the collected sections and writes them to `path`.
+    pub fn write(path: &str, build: &str, smoke: bool) -> std::io::Result<()> {
+        let s = SECTIONS.lock().expect("report collector");
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"build\": \"{}\",\n", escape(build)));
+        out.push_str(&format!("  \"smoke\": {smoke},\n"));
+        out.push_str("  \"sections\": [");
+        for (i, section) in s.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\n      \"name\": \"{}\",\n      \"rows\": [",
+                escape(&section.name)
+            ));
+            for (j, r) in section.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let pts: Vec<String> = r
+                    .points
+                    .iter()
+                    .map(|(x, secs)| format!("[{x}, {secs:e}]"))
+                    .collect();
+                out.push_str(&format!(
+                    "\n        {{\"name\": \"{}\", \"claim\": \"{}\", \"exponent\": {:.4}, \"median_seconds\": [{}]}}",
+                    escape(&r.name),
+                    escape(&r.claim),
+                    r.exponent,
+                    pts.join(", ")
+                ));
+            }
+            if !section.rows.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("],\n      \"counters\": [");
+            for (j, c) in section.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let kvs: Vec<String> = c
+                    .values
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\": {v}", escape(k)))
+                    .collect();
+                out.push_str(&format!(
+                    "\n        {{\"name\": \"{}\", {}}}",
+                    escape(&c.name),
+                    kvs.join(", ")
+                ));
+            }
+            if !section.counters.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        std::fs::write(path, out)
+    }
+}
 
 fn spec(n: usize, m: usize, k: i64) -> RelationSpec {
     RelationSpec {
@@ -71,13 +220,15 @@ fn print_row(name: &str, claim: &str, points: &[(f64, f64)], exponent: f64) {
         fmt_duration(Duration::from_secs_f64(last.1)),
         last.0
     );
+    jsonout::row(name, claim, exponent, points);
 }
 
 fn table2_fixed_schema() {
     println!("\n## Table 2 — fixed-schema complexity (m = 2, k = 6, sweep N)\n");
+    jsonout::begin_section("table2_fixed_schema");
     println!("| operation | paper bound | measured exponent (N) | slowest point |");
     println!("|---|---|---|---|");
-    let ns = [8usize, 16, 32, 64, 128, 256];
+    let ns = take(&[8usize, 16, 32, 64, 128, 256]);
     let pairs: Vec<(GenRelation, GenRelation)> = ns
         .iter()
         .map(|&n| {
@@ -140,7 +291,7 @@ fn table2_fixed_schema() {
     print_row("emptiness (empty input)", "O(N)", &pts, fit_loglog(&pts));
 
     // Negation, fixed schema: polynomial (here m = 1 to keep k^m fixed).
-    let ns_neg = [2usize, 4, 8, 16, 32];
+    let ns_neg = take(&[2usize, 4, 8, 16, 32]);
     let negs: Vec<GenRelation> = ns_neg
         .iter()
         .map(|&n| random_relation(&spec(n, 1, 4), 3))
@@ -168,9 +319,10 @@ fn table2_fixed_schema() {
 
 fn table2_general() {
     println!("\n## Table 2 — general complexity (N = 12, k = 4, sweep m)\n");
+    jsonout::begin_section("table2_general");
     println!("| operation | paper bound | measured exponent (m) | slowest point |");
     println!("|---|---|---|---|");
-    let ms = [1usize, 2, 3, 4, 5, 6];
+    let ms = take(&[1usize, 2, 3, 4, 5, 6]);
     let pairs: Vec<(GenRelation, GenRelation)> = ms
         .iter()
         .map(|&m| {
@@ -234,7 +386,7 @@ fn table2_general() {
     }
 
     // Negation under general complexity: exponential in m (k^m).
-    let ms_neg = [1usize, 2, 3, 4];
+    let ms_neg = take(&[1usize, 2, 3, 4]);
     let pts = sweep(&ms_neg, |m| {
         let a = random_relation(&spec(4, m, 3), 5);
         time_median(3, || a.complement_temporal().unwrap()).0
@@ -247,14 +399,16 @@ fn table2_general() {
         fmt_duration(Duration::from_secs_f64(last.1)),
         last.0
     );
+    jsonout::row("negation", "O(k^m + N^(c'm²)) EXPTIME", rate, &pts);
 }
 
 fn table3_np() {
     println!("\n## Table 3 — nonemptiness of complement is NP-complete (3-SAT family)\n");
+    jsonout::begin_section("table3_np");
     println!("| variables | clauses (ratio 4.3) | solve time | agrees with brute force |");
     println!("|---|---|---|---|");
     let mut pts = Vec::new();
-    for vars in [3usize, 4, 5, 6, 7, 8] {
+    for vars in take(&[3usize, 4, 5, 6, 7, 8]) {
         let clauses = ((vars as f64) * 4.3).round() as usize;
         // Median over a few instances to smooth instance-to-instance noise.
         let mut times = Vec::new();
@@ -278,14 +432,17 @@ fn table3_np() {
         );
         assert!(all_agree, "reduction must agree with the oracle");
     }
+    let rate = fit_semilog(&pts);
     println!(
         "\nmeasured growth: ×{:.1} per extra variable (super-polynomial family, as NP-hardness predicts)",
-        fit_semilog(&pts).exp()
+        rate.exp()
     );
+    jsonout::row("3sat_via_complement", "NP-complete", rate, &pts);
 }
 
 fn theorem_4_1() {
     println!("\n## Theorem 4.1 — query evaluation, data complexity (fixed query, sweep N)\n");
+    jsonout::begin_section("theorem_4_1");
     println!("| query | paper bound | measured exponent (N) | slowest point |");
     println!("|---|---|---|---|");
     use itd_core::{Atom, GenTuple, Lrp, Schema, Value};
@@ -317,7 +474,7 @@ fn theorem_4_1() {
         parse(r#"exists a. exists b. perform(a, b; "robot1") and a >= 100"#).expect("parses");
     let universal =
         parse(r#"forall a. forall b. perform(a, b; "robot2") implies b <= a + 3"#).expect("parses");
-    let ns = [4usize, 8, 16, 32, 64];
+    let ns = take(&[4usize, 8, 16, 32, 64]);
     let cats: Vec<_> = ns.iter().map(|&n| build(n)).collect();
     let pts = sweep(&ns, |n| {
         let cat = &cats[ns.iter().position(|&x| x == n).expect("in sweep")];
@@ -402,7 +559,7 @@ fn ablations() {
     println!("### Intersection: naive pairwise vs residue-bucketed (N = 128, m = 2)\n");
     println!("| k | naive | bucketed | speedup |");
     println!("|---|---|---|---|");
-    for k in [2i64, 4, 8, 16] {
+    for k in take(&[2i64, 4, 8, 16]) {
         let a = random_relation(&spec(128, 2, k), 1);
         let b = random_relation(&spec(128, 2, k), 2);
         let (naive, r1) = time_median(REPS, || a.intersect(&b).expect("intersect"));
@@ -428,7 +585,7 @@ fn ablations() {
     println!("|---|---|---|---|");
     {
         use itd_core::{ops, Atom as CAtom, GenTuple, Lrp};
-        for kc in [7i64, 11, 13, 17] {
+        for kc in take(&[7i64, 11, 13, 17]) {
             // Figure 2's coupled pair plus one unrelated coprime column:
             // full normalization fans out by lcm; partial does not.
             let t = GenTuple::builder()
@@ -474,7 +631,7 @@ fn ablations() {
     println!("| k | complement tuples | after coalesce | time |");
     println!("|---|---|---|---|");
     use itd_core::{Atom, GenTuple, Lrp, Schema};
-    for k in [4i64, 8, 16, 32] {
+    for k in take(&[4i64, 8, 16, 32]) {
         let r = GenRelation::new(
             Schema::new(1, 0),
             vec![GenTuple::builder()
@@ -498,6 +655,109 @@ fn ablations() {
             fmt_duration(d)
         );
     }
+}
+
+/// The acceptance gate for the residue index: on the Table 2 workloads
+/// (m = 2, k = 6 random relations), the indexed intersection and join
+/// must prune at least half of the N₁·N₂ candidate pairs *and* remain
+/// bit-identical to the naive pairwise order at 1, 2, and 8 threads.
+/// Every claim is asserted, not just printed.
+fn index_effectiveness() {
+    println!("\n## Residue index effectiveness (Table 2 workloads)\n");
+    jsonout::begin_section("index_effectiveness");
+    use itd_core::{ExecContext, OpKind, OpSnapshot};
+    let n = if smoke() { 64 } else { 128 };
+    let a = random_relation(&spec(n, 2, 6), 42);
+    let b = random_relation(&spec(n, 2, 6), 4242);
+
+    println!("| operation | candidate pairs | probed | pruned by index | pruned % | identical at 1/2/8 threads |");
+    println!("|---|---|---|---|---|---|");
+
+    let check = |name: &'static str,
+                 kind: OpKind,
+                 naive: GenRelation,
+                 indexed: &dyn Fn(&ExecContext) -> GenRelation| {
+        let mut snap: Option<OpSnapshot> = None;
+        for threads in [1usize, 2, 8] {
+            let ctx = ExecContext::with_threads(threads);
+            let out = indexed(&ctx);
+            assert_eq!(
+                out, naive,
+                "indexed {name} must be bit-identical to naive at {threads} threads"
+            );
+            let op = *ctx.stats().op(kind);
+            if let Some(prev) = snap {
+                assert_eq!(
+                    (prev.index_probes, prev.index_pruned, prev.pairs),
+                    (op.index_probes, op.index_pruned, op.pairs),
+                    "{name} counters must not depend on the thread count"
+                );
+            }
+            snap = Some(op);
+        }
+        let op = snap.expect("three runs");
+        assert_eq!(
+            op.index_probes + op.index_pruned,
+            op.pairs,
+            "{name}: probed + pruned must partition the candidate pairs"
+        );
+        assert!(
+            op.index_pruned * 2 >= op.pairs,
+            "{name}: the index must prune ≥ 50% of candidate pairs on the \
+             Table 2 workload (pruned {} of {})",
+            op.index_pruned,
+            op.pairs
+        );
+        println!(
+            "| {name} | {} | {} | {} | {:.1}% | true |",
+            op.pairs,
+            op.index_probes,
+            op.index_pruned,
+            100.0 * op.index_pruned as f64 / op.pairs as f64,
+        );
+        jsonout::counters(
+            name,
+            &[
+                ("candidate_pairs", op.pairs),
+                ("index_probes", op.index_probes),
+                ("index_pruned", op.index_pruned),
+                ("tuples_out", op.tuples_out),
+            ],
+        );
+    };
+
+    let naive = a
+        .intersect_unindexed_in(&b, &ExecContext::serial())
+        .expect("intersect");
+    check("intersection", OpKind::Intersect, naive, &|ctx| {
+        a.intersect_in(&b, ctx).expect("intersect")
+    });
+
+    let naive = a
+        .join_on_unindexed_in(&b, &[(0, 0)], &[], &ExecContext::serial())
+        .expect("join");
+    check("join", OpKind::Join, naive, &|ctx| {
+        a.join_on_in(&b, &[(0, 0)], &[], ctx).expect("join")
+    });
+
+    // The CRT memo behind Lrp::intersect, warmed by everything above.
+    itd_lrp::crt_cache_reset();
+    let _ = a.intersect(&b).expect("intersect");
+    let cache = itd_lrp::crt_cache_stats();
+    println!(
+        "\nCRT cache over one indexed intersection: {} hits, {} misses (capacity {}).",
+        cache.hits,
+        cache.misses,
+        itd_lrp::CRT_CACHE_CAP
+    );
+    assert!(
+        cache.hits > cache.misses,
+        "the uniform-period workload must hit the CRT cache more than it misses"
+    );
+    jsonout::counters(
+        "crt_cache",
+        &[("hits", cache.hits), ("misses", cache.misses)],
+    );
 }
 
 fn executor_stats() {
@@ -534,7 +794,8 @@ fn executor_stats() {
 /// Tracing must be pay-for-what-you-use: with no sink attached the only
 /// cost per operator is one `Option` check, which has to disappear in the
 /// noise (asserted < 5% against a second untraced run of the same
-/// workload). The enabled-sink cost is reported for reference.
+/// workload; skipped under `--smoke`, where CI machines are too noisy for
+/// a timing assertion). The enabled-sink cost is reported for reference.
 fn trace_overhead() {
     println!("\n## Trace overhead (span collection vs. disabled sink)\n");
     use itd_core::ExecContext;
@@ -547,7 +808,7 @@ fn trace_overhead() {
         let p = d.project_in(&[0], &[], ctx).expect("project");
         (n, p)
     };
-    let reps = 15;
+    let reps = if smoke() { 5 } else { 15 };
     let _warmup = workload(&ExecContext::serial());
     let (baseline, serial_out) = time_median(reps, || workload(&ExecContext::serial()));
     let (disabled, untraced_out) = time_median(reps, || workload(&ExecContext::serial()));
@@ -574,7 +835,7 @@ fn trace_overhead() {
     );
     println!("\n{} spans recorded per traced run.", traced_out.1.len());
     assert!(
-        ratio(disabled).abs() < 0.05,
+        smoke() || ratio(disabled).abs() < 0.05,
         "disabled-sink overhead must vanish into run-to-run noise (<5%), got {:+.2}%",
         100.0 * ratio(disabled)
     );
@@ -585,14 +846,17 @@ fn trace_overhead() {
 }
 
 fn main() {
+    let smoke_flag = std::env::args().any(|a| a == "--smoke");
+    SMOKE.set(smoke_flag).expect("set once");
     println!("# Measured reproduction of the paper's complexity tables");
+    let build = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
     println!(
-        "\n(build: {}, reps: {REPS}; exponents are least-squares log-log slopes)",
-        if cfg!(debug_assertions) {
-            "debug"
-        } else {
-            "release"
-        }
+        "\n(build: {build}, reps: {REPS}{}; exponents are least-squares log-log slopes)",
+        if smoke_flag { ", smoke sweep" } else { "" }
     );
     table2_fixed_schema();
     table2_general();
@@ -600,7 +864,12 @@ fn main() {
     theorem_4_1();
     figures();
     ablations();
+    index_effectiveness();
     executor_stats();
     trace_overhead();
+    match jsonout::write("BENCH_report.json", build, smoke_flag) {
+        Ok(()) => println!("\nmachine-readable copy: BENCH_report.json"),
+        Err(e) => println!("\ncould not write BENCH_report.json: {e}"),
+    }
     println!("\ndone.");
 }

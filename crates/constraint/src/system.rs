@@ -42,7 +42,7 @@ use crate::bound::Bound;
 /// grids, not all of `Z`) is handled by [`ConstraintSystem::to_grid`] /
 /// [`ConstraintSystem::from_grid`], the constraint-level counterpart of
 /// normalization steps 3–5 of Theorem 3.2.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConstraintSystem {
     /// Number of temporal attributes (the origin is not counted).

@@ -113,6 +113,8 @@ pub struct OpCounters {
     tuples_out: AtomicU64,
     pairs: AtomicU64,
     empties_pruned: AtomicU64,
+    index_probes: AtomicU64,
+    index_pruned: AtomicU64,
     atoms_simplified: AtomicU64,
     max_period: AtomicU64,
     nanos: AtomicU64,
@@ -135,6 +137,14 @@ impl OpCounters {
         self.empties_pruned.fetch_add(n, Relaxed);
     }
 
+    pub(crate) fn add_probes(&self, n: u64) {
+        self.index_probes.fetch_add(n, Relaxed);
+    }
+
+    pub(crate) fn add_index_pruned(&self, n: u64) {
+        self.index_pruned.fetch_add(n, Relaxed);
+    }
+
     pub(crate) fn add_atoms(&self, n: u64) {
         self.atoms_simplified.fetch_add(n, Relaxed);
     }
@@ -150,6 +160,8 @@ impl OpCounters {
             tuples_out: self.tuples_out.load(Relaxed),
             pairs: self.pairs.load(Relaxed),
             empties_pruned: self.empties_pruned.load(Relaxed),
+            index_probes: self.index_probes.load(Relaxed),
+            index_pruned: self.index_pruned.load(Relaxed),
             atoms_simplified: self.atoms_simplified.load(Relaxed),
             max_period: self.max_period.load(Relaxed),
             nanos: self.nanos.load(Relaxed),
@@ -162,6 +174,8 @@ impl OpCounters {
         self.tuples_out.store(0, Relaxed);
         self.pairs.store(0, Relaxed);
         self.empties_pruned.store(0, Relaxed);
+        self.index_probes.store(0, Relaxed);
+        self.index_pruned.store(0, Relaxed);
         self.atoms_simplified.store(0, Relaxed);
         self.max_period.store(0, Relaxed);
         self.nanos.store(0, Relaxed);
@@ -205,8 +219,16 @@ pub struct OpSnapshot {
     pub tuples_out: u64,
     /// Candidate tuple pairs / refinement combinations examined.
     pub pairs: u64,
-    /// Candidates dropped as empty or unsatisfiable.
+    /// Candidates dropped as empty or unsatisfiable (including pairs the
+    /// residue index proved empty without examining them).
     pub empties_pruned: u64,
+    /// Candidate pairs actually examined after residue-index filtering
+    /// (zero when the operator ran without an index).
+    pub index_probes: u64,
+    /// Candidate pairs skipped by the residue index (data-hash or residue
+    /// incompatibility); `index_probes + index_pruned == pairs` whenever an
+    /// index was consulted.
+    pub index_pruned: u64,
     /// Constraint atoms rewritten (added, conjoined, or grid-rounded).
     pub atoms_simplified: u64,
     /// Largest common period `k` encountered.
@@ -269,6 +291,8 @@ impl StatsSnapshot {
             mine.tuples_out += theirs.tuples_out;
             mine.pairs += theirs.pairs;
             mine.empties_pruned += theirs.empties_pruned;
+            mine.index_probes += theirs.index_probes;
+            mine.index_pruned += theirs.index_pruned;
             mine.atoms_simplified += theirs.atoms_simplified;
             mine.max_period = mine.max_period.max(theirs.max_period);
             mine.nanos += theirs.nanos;
@@ -283,8 +307,18 @@ impl fmt::Display for StatsSnapshot {
         }
         writeln!(
             f,
-            "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>7} {:>7} {:>12}",
-            "op", "calls", "in", "out", "pairs", "pruned", "atoms", "max_k", "time"
+            "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>9} {:>9} {:>7} {:>7} {:>12}",
+            "op",
+            "calls",
+            "in",
+            "out",
+            "pairs",
+            "pruned",
+            "probes",
+            "skipped",
+            "atoms",
+            "max_k",
+            "time"
         )?;
         for (kind, op) in self.iter() {
             if op.is_zero() {
@@ -292,13 +326,15 @@ impl fmt::Display for StatsSnapshot {
             }
             writeln!(
                 f,
-                "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>7} {:>7} {:>12}",
+                "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>9} {:>9} {:>7} {:>7} {:>12}",
                 kind.name(),
                 op.calls,
                 op.tuples_in,
                 op.tuples_out,
                 op.pairs,
                 op.empties_pruned,
+                op.index_probes,
+                op.index_pruned,
                 op.atoms_simplified,
                 op.max_period,
                 format!("{:.1?}", op.wall_time()),
@@ -306,7 +342,7 @@ impl fmt::Display for StatsSnapshot {
         }
         write!(
             f,
-            "{:<12} {:>6} {:>58} {:>12}",
+            "{:<12} {:>6} {:>78} {:>12}",
             "total",
             self.total_calls(),
             "",
@@ -365,6 +401,8 @@ impl Drop for OpTimer<'_> {
                 span.tuples_out = after.tuples_out.saturating_sub(before.tuples_out);
                 span.pairs = after.pairs.saturating_sub(before.pairs);
                 span.empties_pruned = after.empties_pruned.saturating_sub(before.empties_pruned);
+                span.index_probes = after.index_probes.saturating_sub(before.index_probes);
+                span.index_pruned = after.index_pruned.saturating_sub(before.index_pruned);
                 span.atoms_simplified = after
                     .atoms_simplified
                     .saturating_sub(before.atoms_simplified);

@@ -56,12 +56,14 @@ mod tuple;
 mod value;
 
 pub mod exec;
+pub mod index;
 pub mod ops;
 pub mod trace;
 
 pub use enumerate::ConcreteTuple;
 pub use error::CoreError;
 pub use exec::{ExecContext, OpKind, OpSnapshot, StatsSnapshot};
+pub use index::RelationIndex;
 pub use normalize::grid_view;
 pub use relation::{GenRelation, GenRelationBuilder};
 pub use schema::Schema;

@@ -21,10 +21,24 @@ use crate::relation::GenRelation;
 use crate::tuple::GenTuple;
 use crate::Result;
 
-/// Positive divisors of `k`, ascending.
+/// Positive divisors of `k`, ascending, by trial division up to `√k`
+/// (each small divisor `d` pairs with the large divisor `k/d`).
 fn divisors(k: i64) -> Vec<i64> {
     debug_assert!(k > 0);
-    (1..=k).filter(|d| k % d == 0).collect()
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1;
+    while d * d <= k {
+        if k % d == 0 {
+            small.push(d);
+            if d * d != k {
+                large.push(k / d);
+            }
+        }
+        d += 1;
+    }
+    small.extend(large.into_iter().rev());
+    small
 }
 
 /// One coalescing pass over one column; returns `true` if anything merged.
@@ -37,7 +51,7 @@ fn coalesce_column(tuples: &mut Vec<GenTuple>, col: usize) -> Result<bool> {
     );
     /// Offset, period and tuple index of one group member.
     type Member = (i64, i64, usize);
-    let mut groups: BTreeMap<String, (Key, Vec<Member>)> = BTreeMap::new();
+    let mut groups: BTreeMap<Key, Vec<Member>> = BTreeMap::new();
     for (idx, t) in tuples.iter().enumerate() {
         let l = t.lrps()[col];
         if l.is_point() {
@@ -46,19 +60,15 @@ fn coalesce_column(tuples: &mut Vec<GenTuple>, col: usize) -> Result<bool> {
         let mut rest = t.lrps().to_vec();
         rest.remove(col);
         let key: Key = (rest, t.constraints().clone(), t.data().to_vec());
-        // BTreeMap needs Ord; use the debug rendering of the key, which is
-        // injective for canonical components.
-        let key_str = format!("{key:?}");
         groups
-            .entry(key_str)
-            .or_insert_with(|| (key, Vec::new()))
-            .1
+            .entry(key)
+            .or_default()
             .push((l.offset(), l.period(), idx));
     }
 
     let mut to_remove: Vec<usize> = Vec::new();
     let mut to_add: Vec<GenTuple> = Vec::new();
-    for (_, (_, members)) in groups {
+    for (_, members) in groups {
         // Only merge among members with one common period.
         let mut by_period: BTreeMap<i64, Vec<(i64, usize)>> = BTreeMap::new();
         for (offset, period, idx) in members {
@@ -131,6 +141,19 @@ mod tests {
 
     fn lrp(c: i64, k: i64) -> Lrp {
         Lrp::new(c, k).unwrap()
+    }
+
+    #[test]
+    fn divisors_ascending_and_complete() {
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(36), vec![1, 2, 3, 4, 6, 9, 12, 18, 36]);
+        assert_eq!(divisors(97), vec![1, 97]); // prime
+        for k in 1..=200 {
+            let fast = divisors(k);
+            let naive: Vec<i64> = (1..=k).filter(|d| k % d == 0).collect();
+            assert_eq!(fast, naive, "k = {k}");
+        }
     }
 
     #[test]

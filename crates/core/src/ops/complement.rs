@@ -52,7 +52,9 @@ pub fn complement_tuples(
 /// context's threads (outputs concatenated in range order, so the result
 /// is identical at any thread count), and the context's
 /// [`OpKind::Complement`] counters record the period, the extensions
-/// enumerated, and the grid-empty disjuncts pruned.
+/// enumerated, the grid-empty disjuncts pruned, and — via the probe
+/// counters — how many extensions hit a stored residue group versus
+/// bypassed the negation machinery entirely.
 ///
 /// # Errors
 /// See [`complement_tuples`].
@@ -126,8 +128,14 @@ pub fn complement_tuples_in(
                 .map(|&r| Lrp::new(r, k).expect("k > 0"))
                 .collect();
             match groups.get(&residues) {
-                None => out.push(GenTuple::unconstrained(lrps, vec![])),
+                // The residue-vector grouping is itself an index: a missed
+                // extension skips the negation machinery entirely.
+                None => {
+                    counters.add_index_pruned(1);
+                    out.push(GenTuple::unconstrained(lrps, vec![]));
+                }
                 Some(systems) => {
+                    counters.add_probes(1);
                     for d in negate_disjunction(systems, m)? {
                         let t = GenTuple::from_parts(lrps.clone(), d, vec![])?;
                         // Prune grid-empty disjuncts (misaligned bounds).

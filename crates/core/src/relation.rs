@@ -216,19 +216,75 @@ impl GenRelation {
     /// bit-identical at any thread count) and the [`OpKind::Intersect`]
     /// counters are updated.
     ///
+    /// When the candidate pair count reaches
+    /// [`index::INDEX_MIN_PAIRS`](crate::index::INDEX_MIN_PAIRS), `other`
+    /// is bucketed by a [`RelationIndex`](crate::index::RelationIndex) and
+    /// each `t1` probes only residue-compatible buckets; skipped pairs are
+    /// provably empty, and probed candidates are visited in ascending
+    /// position order, so the output is bit-identical to the naive path
+    /// ([`GenRelation::intersect_unindexed_in`]). The `index_probes` /
+    /// `index_pruned` counters report the split.
+    ///
     /// # Errors
     /// [`CoreError::SchemaMismatch`]; arithmetic failures.
     pub fn intersect_in(&self, other: &GenRelation, ctx: &ExecContext) -> Result<GenRelation> {
+        self.intersect_impl(other, ctx, true)
+    }
+
+    /// [`GenRelation::intersect_in`] forced down the naive all-pairs path:
+    /// the reference implementation the indexed path must match bit for
+    /// bit (used by tests and the bench report's ablations).
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`]; arithmetic failures.
+    pub fn intersect_unindexed_in(
+        &self,
+        other: &GenRelation,
+        ctx: &ExecContext,
+    ) -> Result<GenRelation> {
+        self.intersect_impl(other, ctx, false)
+    }
+
+    fn intersect_impl(
+        &self,
+        other: &GenRelation,
+        ctx: &ExecContext,
+        allow_index: bool,
+    ) -> Result<GenRelation> {
         self.check_schema(other)?;
         let timer = ctx.timed(OpKind::Intersect);
         timer.add_in(self.tuples.len() + other.tuples.len());
         timer.add_pairs(self.tuples.len() as u64 * other.tuples.len() as u64);
+        let tcols: Vec<usize> = (0..self.schema.temporal()).collect();
+        let dcols: Vec<usize> = (0..self.schema.data()).collect();
+        let index = (allow_index
+            && self.tuples.len() * other.tuples.len() >= crate::index::INDEX_MIN_PAIRS)
+            .then(|| crate::index::RelationIndex::build(&other.tuples, &tcols, &dcols))
+            .filter(crate::index::RelationIndex::is_discriminating);
         let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t1| {
             let mut out = Vec::new();
-            for t2 in &other.tuples {
-                match ops::intersect_tuples(t1, t2)? {
-                    Some(t) => out.push(t),
-                    None => timer.add_pruned(1),
+            match &index {
+                Some(idx) => {
+                    let cands = idx.probe(t1, &tcols, &dcols);
+                    let skipped = (other.tuples.len() - cands.len()) as u64;
+                    timer.add_probes(cands.len() as u64);
+                    timer.add_index_pruned(skipped);
+                    // Index-skipped pairs are provably empty intersections.
+                    timer.add_pruned(skipped);
+                    for &j in &cands {
+                        match ops::intersect_tuples(t1, &other.tuples[j])? {
+                            Some(t) => out.push(t),
+                            None => timer.add_pruned(1),
+                        }
+                    }
+                }
+                None => {
+                    for t2 in &other.tuples {
+                        match ops::intersect_tuples(t1, t2)? {
+                            Some(t) => out.push(t),
+                            None => timer.add_pruned(1),
+                        }
+                    }
                 }
             }
             Ok(out)
@@ -367,21 +423,58 @@ impl GenRelation {
     /// concatenated in order) while the [`OpKind::Difference`] counters
     /// record pairs examined and empty tuples pruned.
     ///
+    /// Above the [`index::INDEX_MIN_PAIRS`](crate::index::INDEX_MIN_PAIRS)
+    /// pair threshold, `other` is residue-indexed and each fold subtracts
+    /// only the residue-compatible subtrahends: a skipped `t2` is
+    /// columnwise disjoint from `t1` (or differs in data), so every fold
+    /// member passes through `difference_tuples` unchanged — skipping it
+    /// is a no-op, and the output stays bit-identical to
+    /// [`GenRelation::difference_unindexed_in`].
+    ///
     /// # Errors
     /// [`CoreError::SchemaMismatch`]; arithmetic failures.
     pub fn difference_in(&self, other: &GenRelation, ctx: &ExecContext) -> Result<GenRelation> {
+        self.difference_impl(other, ctx, true)
+    }
+
+    /// [`GenRelation::difference_in`] forced down the naive
+    /// all-subtrahends path — the reference the indexed path must match
+    /// bit for bit.
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`]; arithmetic failures.
+    pub fn difference_unindexed_in(
+        &self,
+        other: &GenRelation,
+        ctx: &ExecContext,
+    ) -> Result<GenRelation> {
+        self.difference_impl(other, ctx, false)
+    }
+
+    fn difference_impl(
+        &self,
+        other: &GenRelation,
+        ctx: &ExecContext,
+        allow_index: bool,
+    ) -> Result<GenRelation> {
         self.check_schema(other)?;
         let timer = ctx.timed(OpKind::Difference);
         timer.add_in(self.tuples.len() + other.tuples.len());
+        let tcols: Vec<usize> = (0..self.schema.temporal()).collect();
+        let dcols: Vec<usize> = (0..self.schema.data()).collect();
+        let index = (allow_index
+            && self.tuples.len() * other.tuples.len() >= crate::index::INDEX_MIN_PAIRS)
+            .then(|| crate::index::RelationIndex::build(&other.tuples, &tcols, &dcols))
+            .filter(crate::index::RelationIndex::is_discriminating);
         let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t1| {
-            let mut acc = vec![t1.clone()];
-            for t2 in &other.tuples {
+            // One fold step: subtract `t2` from every member, then prune
+            // grid-empty results and deduplicate to bound the blow-up.
+            let step = |acc: Vec<GenTuple>, t2: &GenTuple| -> Result<Vec<GenTuple>> {
                 let mut next = Vec::new();
                 for t in &acc {
                     timer.add_pairs(1);
                     next.extend(ops::difference_tuples(t, t2)?);
                 }
-                // Prune and deduplicate to bound the blow-up.
                 let candidates = next.len();
                 let mut pruned: Vec<GenTuple> = Vec::with_capacity(next.len());
                 for t in next {
@@ -390,12 +483,43 @@ impl GenRelation {
                     }
                 }
                 timer.add_pruned((candidates - pruned.len()) as u64);
-                acc = pruned;
-                if acc.is_empty() {
-                    break;
+                Ok(pruned)
+            };
+            match &index {
+                Some(idx) => {
+                    let cands = idx.probe(t1, &tcols, &dcols);
+                    timer.add_probes(cands.len() as u64);
+                    timer.add_index_pruned((other.tuples.len() - cands.len()) as u64);
+                    // Every fold member keeps `t1`'s data and columnwise
+                    // subsets of `t1`'s lrps, so an index-skipped `t2`
+                    // (disjoint from `t1`) leaves the whole fold unchanged
+                    // — except that the naive path's first prune step also
+                    // drops a grid-empty `t1`. Replicate that upfront
+                    // (`other` is nonempty whenever the index is built).
+                    if t1.is_empty()? {
+                        timer.add_pruned(1);
+                        return Ok(vec![]);
+                    }
+                    let mut acc = vec![t1.clone()];
+                    for &j in &cands {
+                        acc = step(acc, &other.tuples[j])?;
+                        if acc.is_empty() {
+                            break;
+                        }
+                    }
+                    Ok(acc)
+                }
+                None => {
+                    let mut acc = vec![t1.clone()];
+                    for t2 in &other.tuples {
+                        acc = step(acc, t2)?;
+                        if acc.is_empty() {
+                            break;
+                        }
+                    }
+                    Ok(acc)
                 }
             }
-            Ok(acc)
         })?;
         timer.add_out(tuples.len());
         Ok(GenRelation {
@@ -577,6 +701,13 @@ impl GenRelation {
     /// [`GenRelation::join_on`] under an execution context: pairwise tuple
     /// joins fanned over the context's threads ([`OpKind::Join`]).
     ///
+    /// Above the [`index::INDEX_MIN_PAIRS`](crate::index::INDEX_MIN_PAIRS)
+    /// pair threshold, `other` is residue-indexed on the *right* columns
+    /// of the join pairs and each `t1` probes with its *left* columns:
+    /// a skipped pair fails the joined-column meet (or data equality), so
+    /// the output stays bit-identical to
+    /// [`GenRelation::join_on_unindexed_in`].
+    ///
     /// # Errors
     /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
     pub fn join_on_in(
@@ -585,6 +716,32 @@ impl GenRelation {
         temporal_pairs: &[(usize, usize)],
         data_pairs: &[(usize, usize)],
         ctx: &ExecContext,
+    ) -> Result<GenRelation> {
+        self.join_on_impl(other, temporal_pairs, data_pairs, ctx, true)
+    }
+
+    /// [`GenRelation::join_on_in`] forced down the naive all-pairs path —
+    /// the reference the indexed path must match bit for bit.
+    ///
+    /// # Errors
+    /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
+    pub fn join_on_unindexed_in(
+        &self,
+        other: &GenRelation,
+        temporal_pairs: &[(usize, usize)],
+        data_pairs: &[(usize, usize)],
+        ctx: &ExecContext,
+    ) -> Result<GenRelation> {
+        self.join_on_impl(other, temporal_pairs, data_pairs, ctx, false)
+    }
+
+    fn join_on_impl(
+        &self,
+        other: &GenRelation,
+        temporal_pairs: &[(usize, usize)],
+        data_pairs: &[(usize, usize)],
+        ctx: &ExecContext,
+        allow_index: bool,
     ) -> Result<GenRelation> {
         for &(i, j) in temporal_pairs {
             if i >= self.schema.temporal() || j >= other.schema.temporal() {
@@ -605,12 +762,40 @@ impl GenRelation {
         let timer = ctx.timed(OpKind::Join);
         timer.add_in(self.tuples.len() + other.tuples.len());
         timer.add_pairs(self.tuples.len() as u64 * other.tuples.len() as u64);
+        // Index `other` on the right columns of each join pair; probe with
+        // the matching left columns of `t1`.
+        let left_t: Vec<usize> = temporal_pairs.iter().map(|&(i, _)| i).collect();
+        let right_t: Vec<usize> = temporal_pairs.iter().map(|&(_, j)| j).collect();
+        let left_d: Vec<usize> = data_pairs.iter().map(|&(i, _)| i).collect();
+        let right_d: Vec<usize> = data_pairs.iter().map(|&(_, j)| j).collect();
+        let index = (allow_index
+            && self.tuples.len() * other.tuples.len() >= crate::index::INDEX_MIN_PAIRS)
+            .then(|| crate::index::RelationIndex::build(&other.tuples, &right_t, &right_d))
+            .filter(crate::index::RelationIndex::is_discriminating);
         let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t1| {
             let mut out = Vec::new();
-            for t2 in &other.tuples {
-                match ops::join_tuples(t1, t2, temporal_pairs, data_pairs)? {
-                    Some(t) => out.push(t),
-                    None => timer.add_pruned(1),
+            match &index {
+                Some(idx) => {
+                    let cands = idx.probe(t1, &left_t, &left_d);
+                    let skipped = (other.tuples.len() - cands.len()) as u64;
+                    timer.add_probes(cands.len() as u64);
+                    timer.add_index_pruned(skipped);
+                    // Skipped pairs fail a joined-column meet: empty joins.
+                    timer.add_pruned(skipped);
+                    for &j in &cands {
+                        match ops::join_tuples(t1, &other.tuples[j], temporal_pairs, data_pairs)? {
+                            Some(t) => out.push(t),
+                            None => timer.add_pruned(1),
+                        }
+                    }
+                }
+                None => {
+                    for t2 in &other.tuples {
+                        match ops::join_tuples(t1, t2, temporal_pairs, data_pairs)? {
+                            Some(t) => out.push(t),
+                            None => timer.add_pruned(1),
+                        }
+                    }
                 }
             }
             Ok(out)

@@ -80,6 +80,10 @@ pub struct Span {
     pub pairs: u64,
     /// Candidates dropped as empty or unsatisfiable.
     pub empties_pruned: u64,
+    /// Candidate pairs examined after residue-index filtering.
+    pub index_probes: u64,
+    /// Candidate pairs skipped outright by the residue index.
+    pub index_pruned: u64,
     /// Constraint atoms rewritten.
     pub atoms_simplified: u64,
     /// Largest common period `k` encountered inside the span.
@@ -142,6 +146,8 @@ impl TraceSink {
             tuples_out: 0,
             pairs: 0,
             empties_pruned: 0,
+            index_probes: 0,
+            index_pruned: 0,
             atoms_simplified: 0,
             max_period: 0,
             start_nanos,
@@ -297,6 +303,8 @@ impl Trace {
                 op.tuples_out += span.tuples_out;
                 op.pairs += span.pairs;
                 op.empties_pruned += span.empties_pruned;
+                op.index_probes += span.index_probes;
+                op.index_pruned += span.index_pruned;
                 op.atoms_simplified += span.atoms_simplified;
                 op.max_period = op.max_period.max(span.max_period);
                 op.nanos += span.nanos;
@@ -358,7 +366,8 @@ impl Trace {
             out.push_str(&format!(
                 ",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":1,\
                  \"args\":{{\"id\":{},\"parent\":{},\"tuples_in\":{},\"tuples_out\":{},\
-                 \"pairs\":{},\"empties_pruned\":{},\"atoms_simplified\":{},\"max_period\":{}}}}}",
+                 \"pairs\":{},\"empties_pruned\":{},\"index_probes\":{},\"index_pruned\":{},\
+                 \"atoms_simplified\":{},\"max_period\":{}}}}}",
                 if span.label.is_op() { "op" } else { "node" },
                 span.start_nanos as f64 / 1_000.0,
                 span.nanos as f64 / 1_000.0,
@@ -368,6 +377,8 @@ impl Trace {
                 span.tuples_out,
                 span.pairs,
                 span.empties_pruned,
+                span.index_probes,
+                span.index_pruned,
                 span.atoms_simplified,
                 span.max_period,
             ));
@@ -394,6 +405,12 @@ fn describe(span: &Span) -> String {
     if span.empties_pruned > 0 {
         line.push_str(&format!(" pruned={}", span.empties_pruned));
     }
+    if span.index_probes > 0 || span.index_pruned > 0 {
+        line.push_str(&format!(
+            " probes={} skipped={}",
+            span.index_probes, span.index_pruned
+        ));
+    }
     if span.atoms_simplified > 0 {
         line.push_str(&format!(" atoms={}", span.atoms_simplified));
     }
@@ -418,11 +435,14 @@ fn span_json(out: &mut String, span: &Span) {
     escape_json(span.label.name(), out);
     out.push_str(&format!(
         ",\"tuples_in\":{},\"tuples_out\":{},\"pairs\":{},\"empties_pruned\":{},\
-         \"atoms_simplified\":{},\"max_period\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+         \"index_probes\":{},\"index_pruned\":{},\"atoms_simplified\":{},\"max_period\":{},\
+         \"start_ns\":{},\"dur_ns\":{}}}",
         span.tuples_in,
         span.tuples_out,
         span.pairs,
         span.empties_pruned,
+        span.index_probes,
+        span.index_pruned,
         span.atoms_simplified,
         span.max_period,
         span.start_nanos,
@@ -463,7 +483,7 @@ impl StatsSnapshot {
     pub fn to_prometheus(&self) -> String {
         type Metric = (&'static str, &'static str, fn(&OpSnapshot) -> u64);
         let mut out = String::new();
-        let counters: [Metric; 6] = [
+        let counters: [Metric; 8] = [
             ("calls", "Algebra operator invocations.", |o| o.calls),
             ("tuples_in", "Generalized tuples consumed.", |o| o.tuples_in),
             ("tuples_out", "Generalized tuples produced.", |o| {
@@ -473,6 +493,16 @@ impl StatsSnapshot {
             ("empties_pruned", "Candidates dropped as empty.", |o| {
                 o.empties_pruned
             }),
+            (
+                "index_probes",
+                "Candidate pairs probed after index filtering.",
+                |o| o.index_probes,
+            ),
+            (
+                "index_pruned",
+                "Candidate pairs skipped by the residue index.",
+                |o| o.index_pruned,
+            ),
             ("atoms_simplified", "Constraint atoms rewritten.", |o| {
                 o.atoms_simplified
             }),
@@ -519,13 +549,16 @@ impl StatsSnapshot {
             }
             out.push_str(&format!(
                 "\"{}\":{{\"calls\":{},\"tuples_in\":{},\"tuples_out\":{},\"pairs\":{},\
-                 \"empties_pruned\":{},\"atoms_simplified\":{},\"max_period\":{},\"nanos\":{}}}",
+                 \"empties_pruned\":{},\"index_probes\":{},\"index_pruned\":{},\
+                 \"atoms_simplified\":{},\"max_period\":{},\"nanos\":{}}}",
                 kind.name(),
                 op.calls,
                 op.tuples_in,
                 op.tuples_out,
                 op.pairs,
                 op.empties_pruned,
+                op.index_probes,
+                op.index_pruned,
                 op.atoms_simplified,
                 op.max_period,
                 op.nanos,

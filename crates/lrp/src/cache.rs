@@ -1,0 +1,190 @@
+//! Bounded per-thread memo cache for the CRT core of [`Lrp::intersect`].
+//!
+//! Intersecting two infinite lrps (§3.2.1) spends its time in the extended
+//! Euclidean algorithm: `gcd(k1, k2)`, `lcm(k1, k2)` and the modular
+//! inverse `(k1/g)⁻¹ mod (k2/g)`. All three depend only on the *periods*
+//! `(k1, k2)` — not on the offsets — and normalization (Theorem 3.2) makes
+//! periods highly repetitive across the tuples of a relation. The cache
+//! memoizes the per-`(k1, k2)` data so repeated intersections reduce to two
+//! divisions and two multiplications.
+//!
+//! The cache is thread-local (the algebra fans work over scoped threads and
+//! a lock here would serialize the hot path), bounded by
+//! [`CRT_CACHE_CAP`], and evicted wholesale when full — entries are a few
+//! words each, and clearing keeps the code free of clock or randomness
+//! dependencies, so results and counters stay deterministic.
+//!
+//! Results are bit-identical to [`itd_numth::crt_pair`]: the fast path
+//! replays the same euclidean reductions with the memoized quantities,
+//! including the disjointness check *before* the lcm-overflow check.
+//!
+//! [`Lrp::intersect`]: crate::Lrp::intersect
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use itd_numth::{gcd, lcm, mod_euclid, mod_inverse, NumthError, Result};
+
+/// Maximum number of `(k1, k2)` entries kept per thread.
+pub const CRT_CACHE_CAP: usize = 1024;
+
+/// Memoized euclidean data for one ordered period pair `(m1, m2)`.
+#[derive(Debug, Clone, Copy)]
+struct CrtEntry {
+    /// `gcd(m1, m2)`.
+    g: i64,
+    /// `lcm(m1, m2)`, or `None` when it overflows `i64`.
+    l: Option<i64>,
+    /// `(m1/g)⁻¹ mod (m2/g)`; unused (0) when `m2/g == 1`.
+    inv: i64,
+    /// `m2 / g`.
+    m2g: i64,
+}
+
+/// Hit/miss tallies of the calling thread's cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrtCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that computed and inserted a fresh entry.
+    pub misses: u64,
+}
+
+thread_local! {
+    static CACHE: RefCell<HashMap<(i64, i64), CrtEntry>> = RefCell::new(HashMap::new());
+    static HITS: Cell<u64> = const { Cell::new(0) };
+    static MISSES: Cell<u64> = const { Cell::new(0) };
+}
+
+fn compute_entry(m1: i64, m2: i64) -> Result<CrtEntry> {
+    let g = gcd(m1, m2);
+    let m2g = m2 / g;
+    let inv = if m2g == 1 {
+        0
+    } else {
+        // gcd(m1/g, m2/g) = 1 by construction, so the inverse exists.
+        mod_inverse(mod_euclid(m1 / g, m2g)?, m2g)?
+    };
+    Ok(CrtEntry {
+        g,
+        l: lcm(m1, m2).ok(),
+        inv,
+        m2g,
+    })
+}
+
+fn lookup(m1: i64, m2: i64) -> Result<CrtEntry> {
+    CACHE.with(|c| {
+        if let Some(e) = c.borrow().get(&(m1, m2)) {
+            HITS.with(|h| h.set(h.get() + 1));
+            return Ok(*e);
+        }
+        let e = compute_entry(m1, m2)?;
+        MISSES.with(|m| m.set(m.get() + 1));
+        let mut map = c.borrow_mut();
+        if map.len() >= CRT_CACHE_CAP {
+            map.clear();
+        }
+        map.insert((m1, m2), e);
+        Ok(e)
+    })
+}
+
+/// Intersects the residue classes `r1 (mod m1)` and `r2 (mod m2)`
+/// (`m1, m2 > 0`, canonical residues) through the memo cache, returning
+/// `(offset, lcm)` of the meet or `None` when the classes are disjoint.
+///
+/// Exactly reproduces [`itd_numth::crt_pair`], error cases included.
+pub(crate) fn crt_cached(r1: i64, m1: i64, r2: i64, m2: i64) -> Result<Option<(i64, i64)>> {
+    debug_assert!(m1 > 0 && m2 > 0, "crt_cached takes infinite lrps");
+    let e = lookup(m1, m2)?;
+    // x ≡ r1 (mod m1) ∧ x ≡ r2 (mod m2) solvable iff g | (r2 - r1).
+    let diff = r2 as i128 - r1 as i128;
+    if diff.rem_euclid(e.g as i128) != 0 {
+        return Ok(None);
+    }
+    let l = e.l.ok_or(NumthError::Overflow)?;
+    // x = r1 + m1·t with m1·t ≡ (r2 - r1) (mod m2); after dividing by g,
+    // t ≡ (diff mod m2)/g · inv (mod m2/g).
+    let b = diff.rem_euclid(m2 as i128) as i64;
+    let t0 = if e.m2g == 1 {
+        0
+    } else {
+        ((b / e.g) as i128 * e.inv as i128).rem_euclid(e.m2g as i128) as i64
+    };
+    let x0 = (r1 as i128 + m1 as i128 * t0 as i128).rem_euclid(l as i128) as i64;
+    Ok(Some((x0, l)))
+}
+
+/// Hit/miss tallies of the calling thread's cache since the last
+/// [`crt_cache_reset`].
+pub fn crt_cache_stats() -> CrtCacheStats {
+    CrtCacheStats {
+        hits: HITS.with(Cell::get),
+        misses: MISSES.with(Cell::get),
+    }
+}
+
+/// Clears the calling thread's cache and zeroes its tallies (tests and
+/// benchmarks; results never depend on cache state).
+pub fn crt_cache_reset() {
+    CACHE.with(|c| c.borrow_mut().clear());
+    HITS.with(|h| h.set(0));
+    MISSES.with(|m| m.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itd_numth::{crt_pair, Congruence};
+
+    #[test]
+    fn cached_matches_crt_pair_exhaustively() {
+        crt_cache_reset();
+        for m1 in 1i64..=24 {
+            for m2 in 1i64..=24 {
+                for r1 in 0..m1 {
+                    for r2 in 0..m2 {
+                        let c1 = Congruence::new(r1, m1).unwrap();
+                        let c2 = Congruence::new(r2, m2).unwrap();
+                        let expect = crt_pair(c1, c2)
+                            .unwrap()
+                            .map(|c| (c.residue(), c.modulus()));
+                        let got = crt_cached(r1, m1, r2, m2).unwrap();
+                        assert_eq!(got, expect, "{r1} mod {m1} ∩ {r2} mod {m2}");
+                    }
+                }
+            }
+        }
+        let stats = crt_cache_stats();
+        // One miss per (m1, m2) pair, hits for every repeated offset pair.
+        assert_eq!(stats.misses, 24 * 24);
+        assert!(stats.hits > stats.misses, "{stats:?}");
+    }
+
+    #[test]
+    fn overflow_propagates_like_crt_pair() {
+        crt_cache_reset();
+        let big = i64::MAX / 2;
+        // Compatible residues but lcm overflows → same error as crt_pair.
+        let err = crt_cached(0, big, 0, big - 1).unwrap_err();
+        assert_eq!(err, NumthError::Overflow);
+        // Disjoint residues short-circuit before the lcm, like crt_pair.
+        let c1 = Congruence::new(0, 2).unwrap();
+        let c2 = Congruence::new(1, 4).unwrap();
+        assert_eq!(crt_pair(c1, c2).unwrap(), None);
+        assert_eq!(crt_cached(0, 2, 1, 4).unwrap(), None);
+    }
+
+    #[test]
+    fn cache_is_bounded() {
+        crt_cache_reset();
+        for m1 in 1..=(CRT_CACHE_CAP as i64 + 10) {
+            let _ = crt_cached(0, m1, 0, 7).unwrap();
+        }
+        let len = CACHE.with(|c| c.borrow().len());
+        assert!(len <= CRT_CACHE_CAP, "cache grew to {len}");
+        // Every lookup above was a distinct pair: all misses.
+        assert_eq!(crt_cache_stats().hits, 0);
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use itd_numth::{checked_abs, crt_pair, lcm, mod_euclid, Congruence, NumthError, Result};
+use itd_numth::{checked_abs, lcm, mod_euclid, Congruence, NumthError, Result};
 
 use crate::diff::LrpDiff;
 use crate::iter::{LrpAscending, LrpDescending};
@@ -134,11 +134,17 @@ impl Lrp {
             (0, _) => Ok(other.contains(self.offset).then_some(*self)),
             (_, 0) => Ok(self.contains(other.offset).then_some(*other)),
             _ => {
-                let c1 = self.as_congruence().expect("infinite");
-                let c2 = other.as_congruence().expect("infinite");
-                match crt_pair(c1, c2)? {
+                // Chinese remaindering through the per-thread period-pair
+                // memo cache (see [`crate::cache`]); bit-identical to
+                // `crt_pair` on the two congruence views.
+                match crate::cache::crt_cached(
+                    self.offset,
+                    self.period,
+                    other.offset,
+                    other.period,
+                )? {
                     None => Ok(None),
-                    Some(c) => Ok(Some(Lrp::new(c.residue(), c.modulus())?)),
+                    Some((offset, period)) => Ok(Some(Lrp::new(offset, period)?)),
                 }
             }
         }

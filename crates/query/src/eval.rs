@@ -35,6 +35,19 @@ impl QueryResult {
     pub fn stats(&self) -> &StatsSnapshot {
         &self.stats
     }
+
+    /// Aggregate residue-index effectiveness over the whole evaluation:
+    /// `(probed, skipped)` candidate pairs summed across all operators.
+    /// `skipped / (probed + skipped)` is the fraction of pairwise work the
+    /// index eliminated; both are 0 when no operator consulted an index
+    /// (small inputs stay on the naive path).
+    pub fn index_effectiveness(&self) -> (u64, u64) {
+        self.stats
+            .iter()
+            .fold((0, 0), |(probed, skipped), (_, op)| {
+                (probed + op.index_probes, skipped + op.index_pruned)
+            })
+    }
 }
 
 /// Evaluates a formula over a catalog, returning the answer relation with
@@ -941,6 +954,33 @@ mod tests {
             .materialize(0, 0)
             .iter()
             .all(|(_, d)| d.len() == 1));
+    }
+
+    #[test]
+    fn index_effectiveness_reports_pruning() {
+        // 8×8 = 64 candidate pairs puts the conjunction's join above the
+        // index threshold; periods are all 6 so residue buckets
+        // discriminate and most pairs are skipped without being examined.
+        let mut cat = MemoryCatalog::new();
+        let tuples: Vec<GenTuple> = (0..8)
+            .map(|i| {
+                GenTuple::builder()
+                    .lrps(vec![lrp(i % 6, 6)])
+                    .atoms([Atom::ge(0, i - 20)])
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        cat.insert("P", GenRelation::new(Schema::new(1, 0), tuples).unwrap());
+        let f = parse("exists t. P(t) and P(t)").unwrap();
+        let ctx = ExecContext::serial();
+        let r = evaluate_with(&cat, &f, &ctx).unwrap();
+        let (probed, skipped) = r.index_effectiveness();
+        assert_eq!(probed + skipped, 64, "join consulted the index once");
+        assert!(
+            skipped > probed,
+            "residue buckets should prune most pairs: probed={probed} skipped={skipped}"
+        );
     }
 
     #[test]
