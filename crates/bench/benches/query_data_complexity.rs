@@ -3,7 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use itd_core::{Atom, GenRelation, GenTuple, Lrp, Schema, Value};
-use itd_query::{evaluate_bool, parse, MemoryCatalog};
+use itd_query::{parse, run, Formula, MemoryCatalog, QueryOpts};
+
+fn truth(cat: &MemoryCatalog, f: &Formula) -> bool {
+    run(cat, f, QueryOpts::new()).unwrap().truth().unwrap()
+}
 
 /// Builds a `perform`-style catalog with `n` periodic interval tuples.
 fn catalog(n: usize) -> MemoryCatalog {
@@ -40,10 +44,10 @@ fn bench_fixed_queries(c: &mut Criterion) {
     for &n in &[4usize, 8, 16, 32, 64] {
         let cat = catalog(n);
         group.bench_with_input(BenchmarkId::new("existential", n), &n, |bch, _| {
-            bch.iter(|| evaluate_bool(&cat, &membership).unwrap())
+            bch.iter(|| truth(&cat, &membership))
         });
         group.bench_with_input(BenchmarkId::new("universal", n), &n, |bch, _| {
-            bch.iter(|| evaluate_bool(&cat, &universal).unwrap())
+            bch.iter(|| truth(&cat, &universal))
         });
     }
     group.finish();

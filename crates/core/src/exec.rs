@@ -277,6 +277,12 @@ impl StatsSnapshot {
         Duration::from_nanos(self.ops.iter().map(|o| o.nanos).sum())
     }
 
+    /// Total candidate pairs / refinement combinations examined across
+    /// all kinds — the optimizer's figure of merit.
+    pub fn total_pairs(&self) -> u64 {
+        self.ops.iter().map(|o| o.pairs).sum()
+    }
+
     /// Whether no operator was invoked at all.
     pub fn is_zero(&self) -> bool {
         self.total_calls() == 0
@@ -515,7 +521,14 @@ impl ExecContext {
     /// become its children. On an untraced context the guard is inert and
     /// `label` is never called.
     pub fn node_span(&self, label: impl FnOnce() -> String) -> NodeSpan<'_> {
-        NodeSpan::new(self.trace.as_ref(), label)
+        NodeSpan::new(self.trace.as_ref(), label, None)
+    }
+
+    /// Like [`node_span`](ExecContext::node_span), but stamps the span
+    /// with the stable id of the query-plan node it executes, so EXPLAIN
+    /// ANALYZE can join plan and trace by id instead of by label text.
+    pub fn plan_span(&self, plan_node: u64, label: impl FnOnce() -> String) -> NodeSpan<'_> {
+        NodeSpan::new(self.trace.as_ref(), label, Some(plan_node))
     }
 
     /// The thread budget.
@@ -551,10 +564,13 @@ impl ExecContext {
     pub(crate) fn timed(&self, kind: OpKind) -> OpTimer<'_> {
         let counters = self.stats.op(kind);
         counters.calls.fetch_add(1, Relaxed);
-        let span = self
-            .trace
-            .as_ref()
-            .map(|sink| (sink, sink.begin(SpanLabel::Op(kind)), counters.snapshot()));
+        let span = self.trace.as_ref().map(|sink| {
+            (
+                sink,
+                sink.begin(SpanLabel::Op(kind), None),
+                counters.snapshot(),
+            )
+        });
         OpTimer {
             counters,
             kind,

@@ -157,6 +157,13 @@ impl RelationIndex {
         !self.data_cols.is_empty() || self.moduli.iter().any(|&m| m > 1)
     }
 
+    /// The residue moduli, parallel to the temporal columns the index was
+    /// built on. A modulus of 1 means the column cannot discriminate; the
+    /// query planner reads these to estimate join selectivity.
+    pub fn moduli(&self) -> &[i64] {
+        &self.moduli
+    }
+
     /// Positions (ascending) of the indexed tuples not provably disjoint
     /// from `probe`. `probe_temporal` / `probe_data` name the probe-side
     /// columns parallel to the build-side columns (identical for

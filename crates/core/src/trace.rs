@@ -72,6 +72,11 @@ pub struct Span {
     pub depth: u32,
     /// Operator kind or node label.
     pub label: SpanLabel,
+    /// Stable id of the query-plan node this span executes, if the caller
+    /// supplied one (see
+    /// [`ExecContext::plan_span`](crate::ExecContext::plan_span)). Lets
+    /// EXPLAIN ANALYZE join plan and trace by id instead of by label text.
+    pub plan_node: Option<u64>,
     /// Generalized tuples consumed during this span (operator spans only).
     pub tuples_in: u64,
     /// Generalized tuples produced.
@@ -130,7 +135,7 @@ impl TraceSink {
     }
 
     /// Opens a span under the innermost open span; returns its id.
-    pub(crate) fn begin(&self, label: SpanLabel) -> u64 {
+    pub(crate) fn begin(&self, label: SpanLabel, plan_node: Option<u64>) -> u64 {
         let start_nanos = self.epoch.elapsed().as_nanos() as u64;
         let mut inner = self.inner.lock().expect("trace sink poisoned");
         let id = inner.spans.len() as u64;
@@ -142,6 +147,7 @@ impl TraceSink {
             parent,
             depth,
             label,
+            plan_node,
             tuples_in: 0,
             tuples_out: 0,
             pairs: 0,
@@ -214,9 +220,13 @@ pub struct NodeSpan<'a> {
 }
 
 impl<'a> NodeSpan<'a> {
-    pub(crate) fn new(sink: Option<&'a TraceSink>, label: impl FnOnce() -> String) -> NodeSpan<'a> {
+    pub(crate) fn new(
+        sink: Option<&'a TraceSink>,
+        label: impl FnOnce() -> String,
+        plan_node: Option<u64>,
+    ) -> NodeSpan<'a> {
         NodeSpan {
-            sink: sink.map(|s| (s, s.begin(SpanLabel::Node(label())))),
+            sink: sink.map(|s| (s, s.begin(SpanLabel::Node(label()), plan_node))),
             start: Instant::now(),
         }
     }
@@ -268,6 +278,54 @@ impl Trace {
     /// Direct children of span `id`, in begin order.
     pub fn children(&self, id: u64) -> impl Iterator<Item = &Span> {
         self.spans.iter().filter(move |s| s.parent == Some(id))
+    }
+
+    /// The first span recorded for plan node `id` (see
+    /// [`ExecContext::plan_span`](crate::ExecContext::plan_span)), if any.
+    pub fn span_for_plan_node(&self, id: u64) -> Option<&Span> {
+        self.spans.iter().find(|s| s.plan_node == Some(id))
+    }
+
+    /// Sums the operator counters attributed to plan node `id`: every
+    /// operator span whose *nearest* enclosing node span carries that plan
+    /// id. Work issued by a node's children is charged to the children,
+    /// not rolled up — this is the "actual" column of EXPLAIN ANALYZE.
+    pub fn op_totals_for_plan_node(&self, id: u64) -> StatsSnapshot {
+        let mut ops = [OpSnapshot::default(); OpKind::ALL.len()];
+        for span in &self.spans {
+            let SpanLabel::Op(kind) = span.label else {
+                continue;
+            };
+            // Climb to the nearest ancestor that is a node span.
+            let mut at = span.parent;
+            let owner = loop {
+                match at {
+                    Some(p) => {
+                        let parent = &self.spans[p as usize];
+                        if parent.label.is_op() {
+                            at = parent.parent;
+                        } else {
+                            break Some(parent);
+                        }
+                    }
+                    None => break None,
+                }
+            };
+            if owner.and_then(|s| s.plan_node) == Some(id) {
+                let op = &mut ops[kind.index()];
+                op.calls += 1;
+                op.tuples_in += span.tuples_in;
+                op.tuples_out += span.tuples_out;
+                op.pairs += span.pairs;
+                op.empties_pruned += span.empties_pruned;
+                op.index_probes += span.index_probes;
+                op.index_pruned += span.index_pruned;
+                op.atoms_simplified += span.atoms_simplified;
+                op.max_period = op.max_period.max(span.max_period);
+                op.nanos += span.nanos;
+            }
+        }
+        StatsSnapshot { ops }
     }
 
     /// A copy with `start_nanos`/`nanos` zeroed on every span — the
@@ -365,7 +423,8 @@ impl Trace {
             escape_json(span.label.name(), &mut out);
             out.push_str(&format!(
                 ",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":1,\
-                 \"args\":{{\"id\":{},\"parent\":{},\"tuples_in\":{},\"tuples_out\":{},\
+                 \"args\":{{\"id\":{},\"parent\":{},\"plan_node\":{},\"tuples_in\":{},\
+                 \"tuples_out\":{},\
                  \"pairs\":{},\"empties_pruned\":{},\"index_probes\":{},\"index_pruned\":{},\
                  \"atoms_simplified\":{},\"max_period\":{}}}}}",
                 if span.label.is_op() { "op" } else { "node" },
@@ -373,6 +432,7 @@ impl Trace {
                 span.nanos as f64 / 1_000.0,
                 span.id,
                 span.parent.map_or("null".into(), |p| p.to_string()),
+                span.plan_node.map_or("null".into(), |p| p.to_string()),
                 span.tuples_in,
                 span.tuples_out,
                 span.pairs,
@@ -428,9 +488,10 @@ fn span_json(out: &mut String, span: &Span) {
         None => out.push_str("null"),
     }
     out.push_str(&format!(
-        ",\"depth\":{},\"kind\":\"{}\",\"name\":",
+        ",\"depth\":{},\"kind\":\"{}\",\"plan_node\":{},\"name\":",
         span.depth,
         if span.label.is_op() { "op" } else { "node" },
+        span.plan_node.map_or("null".to_string(), |p| p.to_string()),
     ));
     escape_json(span.label.name(), out);
     out.push_str(&format!(
@@ -579,8 +640,8 @@ mod tests {
 
     fn sample() -> Trace {
         let sink = TraceSink::new();
-        let root = sink.begin(SpanLabel::Node("and \"x\"".into()));
-        let a = sink.begin(SpanLabel::Op(OpKind::Join));
+        let root = sink.begin(SpanLabel::Node("and \"x\"".into()), Some(7));
+        let a = sink.begin(SpanLabel::Op(OpKind::Join), None);
         sink.record_period(OpKind::Join, 6);
         sink.end(a, |s| {
             s.tuples_in = 4;
@@ -588,7 +649,7 @@ mod tests {
             s.pairs = 4;
             s.nanos = 1_500;
         });
-        let b = sink.begin(SpanLabel::Op(OpKind::Project));
+        let b = sink.begin(SpanLabel::Op(OpKind::Project), None);
         sink.end(b, |s| {
             s.tuples_in = 2;
             s.tuples_out = 2;
@@ -691,8 +752,8 @@ mod tests {
     #[test]
     fn record_period_targets_innermost_open_span_of_kind() {
         let sink = TraceSink::new();
-        let outer = sink.begin(SpanLabel::Op(OpKind::Normalize));
-        let inner = sink.begin(SpanLabel::Op(OpKind::Select));
+        let outer = sink.begin(SpanLabel::Op(OpKind::Normalize), None);
+        let inner = sink.begin(SpanLabel::Op(OpKind::Select), None);
         // Recorded against the open Normalize span even though Select is
         // innermost overall.
         sink.record_period(OpKind::Normalize, 12);

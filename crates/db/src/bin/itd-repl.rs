@@ -23,6 +23,7 @@
 
 use std::io::{BufRead, Write};
 
+use itd_db::render_error_chain;
 use itd_db::repl::ReplSession;
 
 fn main() {
@@ -45,7 +46,7 @@ fn main() {
         match session.execute(line.trim()) {
             Ok(Some(output)) => println!("{output}"),
             Ok(None) => break, // quit
-            Err(e) => eprintln!("error: {e}"),
+            Err(e) => eprintln!("error: {}", render_error_chain(&e)),
         }
     }
 }

@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use itd_core::{ExecContext, GenRelation, Value};
-use itd_query::{Catalog, Formula, QueryResult};
+use itd_query::{Catalog, Formula, QueryOpts, QueryOutput, QueryResult};
 use serde::{Deserialize, Serialize};
 
 use crate::error::DbError;
@@ -75,65 +75,120 @@ impl Database {
         self.tables.keys().map(String::as_str).collect()
     }
 
+    /// Parses and evaluates a query under [`QueryOpts`] — the single
+    /// entry point behind the old `query*`/`ask` family. The returned
+    /// [`QueryOutput`] carries the answer relation, the executed plan,
+    /// and (when requested) the recorded span tree.
+    ///
+    /// # Errors
+    /// Parse/sort/evaluation errors ([`DbError::Query`]).
+    ///
+    /// # Examples
+    /// ```
+    /// use itd_db::{Database, QueryOpts, TupleSpec};
+    /// let mut db = Database::new();
+    /// db.create_table("even", &["t"], &[]).unwrap();
+    /// db.table_mut("even").unwrap().insert(TupleSpec::new().lrp("t", 0, 2)).unwrap();
+    /// let out = db.run("even(4)", QueryOpts::new()).unwrap();
+    /// assert!(out.truth().unwrap());
+    /// ```
+    pub fn run(&self, src: impl AsRef<str>, opts: QueryOpts<'_>) -> Result<QueryOutput> {
+        let f = itd_query::parse(src.as_ref())?;
+        self.run_formula(&f, opts)
+    }
+
+    /// [`Database::run`] on a pre-built formula.
+    ///
+    /// # Errors
+    /// See [`Database::run`].
+    pub fn run_formula(&self, f: &Formula, opts: QueryOpts<'_>) -> Result<QueryOutput> {
+        itd_query::run(self, f, opts).map_err(DbError::Query)
+    }
+
     /// Parses and evaluates an open query; the result carries one column
     /// per free variable (and the evaluation's operator statistics,
     /// [`QueryResult::stats`]).
     ///
     /// # Errors
     /// Parse/sort/evaluation errors ([`DbError::Query`]).
+    #[deprecated(since = "0.2.0", note = "use `run` with `QueryOpts` instead")]
     pub fn query(&self, src: impl AsRef<str>) -> Result<QueryResult> {
-        let f = itd_query::parse(src.as_ref())?;
-        self.query_formula(&f)
+        self.run(src, QueryOpts::new().optimize(false))
+            .map(|o| o.result)
     }
 
     /// [`Database::query`] under an explicit execution context (thread
     /// budget and accumulated statistics).
     ///
     /// # Errors
-    /// See [`Database::query`].
+    /// See [`Database::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run` with `QueryOpts::new().ctx(ctx)` instead"
+    )]
     pub fn query_with(&self, src: impl AsRef<str>, ctx: &ExecContext) -> Result<QueryResult> {
-        let f = itd_query::parse(src.as_ref())?;
-        itd_query::evaluate_with(self, &f, ctx).map_err(DbError::Query)
+        self.run(src, QueryOpts::new().ctx(ctx).optimize(false))
+            .map(|o| o.result)
     }
 
     /// Evaluates a pre-built formula.
     ///
     /// # Errors
-    /// See [`Database::query`].
+    /// See [`Database::run`].
+    #[deprecated(since = "0.2.0", note = "use `run_formula` with `QueryOpts` instead")]
     pub fn query_formula(&self, f: &Formula) -> Result<QueryResult> {
-        itd_query::evaluate(self, f).map_err(DbError::Query)
+        self.run_formula(f, QueryOpts::new().optimize(false))
+            .map(|o| o.result)
     }
 
     /// Parses and evaluates a yes/no query (free variables are closed
     /// existentially).
     ///
     /// # Errors
-    /// See [`Database::query`].
+    /// See [`Database::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run` with `QueryOpts`, then `QueryOutput::truth`, instead"
+    )]
     pub fn query_bool(&self, src: impl AsRef<str>) -> Result<bool> {
-        let f = itd_query::parse(src.as_ref())?;
-        itd_query::evaluate_bool(self, &f).map_err(DbError::Query)
+        let ctx = ExecContext::new();
+        self.run(src, QueryOpts::new().ctx(&ctx).optimize(false))?
+            .truth_in(&ctx)
+            .map_err(DbError::Query)
     }
 
     /// [`Database::query_bool`] under an explicit execution context.
     ///
     /// # Errors
-    /// See [`Database::query`].
+    /// See [`Database::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run` with `QueryOpts::new().ctx(ctx)`, then `QueryOutput::truth_in`, instead"
+    )]
     pub fn query_bool_with(&self, src: impl AsRef<str>, ctx: &ExecContext) -> Result<bool> {
-        let f = itd_query::parse(src.as_ref())?;
-        itd_query::evaluate_bool_with(self, &f, ctx).map_err(DbError::Query)
+        self.run(src, QueryOpts::new().ctx(ctx).optimize(false))?
+            .truth_in(ctx)
+            .map_err(DbError::Query)
     }
 
-    /// Conversational name for [`Database::query_bool`].
+    /// Conversational name for the yes/no reading of a query.
     ///
     /// # Errors
-    /// See [`Database::query`].
+    /// See [`Database::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run` with `QueryOpts`, then `QueryOutput::truth`, instead"
+    )]
     pub fn ask(&self, src: impl AsRef<str>) -> Result<bool> {
-        self.query_bool(src)
+        let ctx = ExecContext::new();
+        self.run(src, QueryOpts::new().ctx(&ctx).optimize(false))?
+            .truth_in(&ctx)
+            .map_err(DbError::Query)
     }
 
     /// Compiles a query to its algebra plan *without executing it*
     /// (EXPLAIN). Parse and sort errors are reported exactly as
-    /// [`Database::query`] would report them, but no relation is touched.
+    /// [`Database::run`] would report them, but no relation is touched.
     ///
     /// # Errors
     /// Parse/sort errors ([`DbError::Query`]).
@@ -142,20 +197,39 @@ impl Database {
         itd_query::explain(self, &f).map_err(DbError::Query)
     }
 
+    /// Compiles and optimizes a query without executing it: the logical
+    /// plan next to its rewritten form, both cost-annotated, plus the
+    /// list of fired rewrite rules.
+    ///
+    /// # Errors
+    /// Parse/sort errors ([`DbError::Query`]).
+    pub fn explain_opt(&self, src: impl AsRef<str>) -> Result<itd_query::ExplainReport> {
+        let f = itd_query::parse(src.as_ref())?;
+        itd_query::explain_opt(self, &f).map_err(DbError::Query)
+    }
+
     /// Parses and evaluates an open query with tracing (EXPLAIN ANALYZE):
     /// returns the answer, the compiled plan, and the recorded span tree.
     /// The context should be traced ([`ExecContext::traced`]); untraced
     /// contexts yield an empty trace.
     ///
     /// # Errors
-    /// See [`Database::query`].
+    /// See [`Database::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run` with `QueryOpts::new().ctx(ctx).trace(true)` instead"
+    )]
     pub fn query_traced_with(
         &self,
         src: impl AsRef<str>,
         ctx: &ExecContext,
     ) -> Result<itd_query::Traced> {
-        let f = itd_query::parse(src.as_ref())?;
-        itd_query::evaluate_traced_with(self, &f, ctx).map_err(DbError::Query)
+        let out = self.run(src, QueryOpts::new().ctx(ctx).trace(true).optimize(false))?;
+        Ok(itd_query::Traced {
+            result: out.result,
+            plan: out.plan,
+            trace: out.trace.unwrap_or_default(),
+        })
     }
 
     /// Materializes an open query as a new table: the answer relation
@@ -169,7 +243,7 @@ impl Database {
     /// # Errors
     /// [`DbError::DuplicateTable`]; query errors.
     pub fn materialize_view(&mut self, name: &str, src: impl AsRef<str>) -> Result<&Table> {
-        self.materialize_view_with(name, src, &ExecContext::new())
+        self.materialize_view_opts(name, src, QueryOpts::new())
     }
 
     /// [`Database::materialize_view`] under an explicit execution context.
@@ -182,10 +256,23 @@ impl Database {
         src: impl AsRef<str>,
         ctx: &ExecContext,
     ) -> Result<&Table> {
+        self.materialize_view_opts(name, src, QueryOpts::new().ctx(ctx))
+    }
+
+    /// [`Database::materialize_view`] under explicit [`QueryOpts`].
+    ///
+    /// # Errors
+    /// See [`Database::materialize_view`].
+    pub fn materialize_view_opts(
+        &mut self,
+        name: &str,
+        src: impl AsRef<str>,
+        opts: QueryOpts<'_>,
+    ) -> Result<&Table> {
         if self.tables.contains_key(name) {
             return Err(DbError::DuplicateTable(name.to_owned()));
         }
-        let result = self.query_with(src, ctx)?;
+        let result = self.run(src, opts)?.result;
         let tnames: Vec<&str> = result.temporal_vars.iter().map(String::as_str).collect();
         let dnames: Vec<&str> = result.data_vars.iter().map(String::as_str).collect();
         let table = self.create_table(name, &tnames, &dnames)?;
@@ -198,7 +285,8 @@ impl Database {
     /// # Errors
     /// [`DbError::Serde`].
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self).map_err(|e| DbError::Serde(e.to_string()))
+        serde_json::to_string_pretty(self)
+            .map_err(|e| DbError::serde_caused_by("cannot encode database as JSON", e))
     }
 
     /// Restores a database from JSON.
@@ -206,7 +294,8 @@ impl Database {
     /// # Errors
     /// [`DbError::Serde`].
     pub fn from_json(json: &str) -> Result<Database> {
-        serde_json::from_str(json).map_err(|e| DbError::Serde(e.to_string()))
+        serde_json::from_str(json)
+            .map_err(|e| DbError::serde_caused_by("cannot decode database from JSON", e))
     }
 
     /// Saves to a file.
@@ -215,7 +304,9 @@ impl Database {
     /// [`DbError::Serde`] on I/O or encoding failure.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
         let json = self.to_json()?;
-        std::fs::write(path, json).map_err(|e| DbError::Serde(e.to_string()))
+        let path = path.as_ref();
+        std::fs::write(path, json)
+            .map_err(|e| DbError::serde_caused_by(format!("cannot write {}", path.display()), e))
     }
 
     /// Loads from a file.
@@ -223,7 +314,9 @@ impl Database {
     /// # Errors
     /// [`DbError::Serde`] on I/O or decoding failure.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Database> {
-        let json = std::fs::read_to_string(path).map_err(|e| DbError::Serde(e.to_string()))?;
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| DbError::serde_caused_by(format!("cannot read {}", path.display()), e))?;
         Database::from_json(&json)
     }
 }
@@ -248,6 +341,12 @@ impl Catalog for Database {
 mod tests {
     use super::*;
     use crate::table::TupleSpec;
+
+    fn ask(db: &Database, src: &str) -> Result<bool> {
+        db.run(src, QueryOpts::new())?
+            .truth()
+            .map_err(DbError::Query)
+    }
 
     fn sample() -> Database {
         let mut db = Database::new();
@@ -276,13 +375,16 @@ mod tests {
     #[test]
     fn ask_and_query() {
         let db = sample();
-        assert!(db.ask("even(4)").unwrap());
-        assert!(!db.ask("even(5)").unwrap());
-        let r = db.query("even(t) and t >= 10").unwrap();
+        assert!(ask(&db, "even(4)").unwrap());
+        assert!(!ask(&db, "even(5)").unwrap());
+        let r = db
+            .run("even(t) and t >= 10", QueryOpts::new())
+            .unwrap()
+            .result;
         assert_eq!(r.temporal_vars, vec!["t"]);
         assert!(r.relation.contains(&[10], &[]));
         assert!(!r.relation.contains(&[8], &[]));
-        assert!(matches!(db.ask("nosuch(3)"), Err(DbError::Query(_))));
+        assert!(matches!(ask(&db, "nosuch(3)"), Err(DbError::Query(_))));
     }
 
     #[test]
@@ -292,14 +394,14 @@ mod tests {
             .materialize_view("late_even", "even(t) and t >= 100")
             .unwrap();
         assert_eq!(view.temporal_names(), &["t".to_string()]);
-        assert!(db.ask("late_even(100)").unwrap());
-        assert!(!db.ask("late_even(98)").unwrap());
-        assert!(db.ask("late_even(1000000)").unwrap());
+        assert!(ask(&db, "late_even(100)").unwrap());
+        assert!(!ask(&db, "late_even(98)").unwrap());
+        assert!(ask(&db, "late_even(1000000)").unwrap());
         // Views can feed further views.
         db.materialize_view("very_late", "late_even(t) and t >= 200")
             .unwrap();
-        assert!(db.ask("very_late(200)").unwrap());
-        assert!(!db.ask("very_late(100)").unwrap());
+        assert!(ask(&db, "very_late(200)").unwrap());
+        assert!(!ask(&db, "very_late(100)").unwrap());
         // Name clashes rejected.
         assert!(matches!(
             db.materialize_view("even", "even(t)"),
@@ -315,8 +417,8 @@ mod tests {
         let db = sample();
         let json = db.to_json().unwrap();
         let back = Database::from_json(&json).unwrap();
-        assert!(back.ask("even(4)").unwrap());
-        assert!(!back.ask("even(5)").unwrap());
+        assert!(ask(&back, "even(4)").unwrap());
+        assert!(!ask(&back, "even(5)").unwrap());
         assert!(Database::from_json("not json").is_err());
     }
 

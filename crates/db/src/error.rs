@@ -31,7 +31,47 @@ pub enum DbError {
         detail: String,
     },
     /// Serialization/deserialization failure.
-    Serde(String),
+    Serde {
+        /// Human-readable description of what failed.
+        message: String,
+        /// The underlying I/O or codec error, when one exists — kept so
+        /// [`std::error::Error::source`] chains to the root cause.
+        source: Option<Box<dyn std::error::Error + Send + Sync + 'static>>,
+    },
+}
+
+impl DbError {
+    /// A serialization error with no distinct underlying cause.
+    pub fn serde(message: impl Into<String>) -> DbError {
+        DbError::Serde {
+            message: message.into(),
+            source: None,
+        }
+    }
+
+    /// A serialization error wrapping the error that caused it.
+    pub fn serde_caused_by(
+        message: impl Into<String>,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> DbError {
+        DbError::Serde {
+            message: message.into(),
+            source: Some(Box::new(source)),
+        }
+    }
+}
+
+/// Renders an error followed by its full `source()` chain, one
+/// `caused by:` line per link — what the REPL binary prints so the root
+/// cause of a wrapped failure is visible.
+pub fn render_error_chain(err: &dyn std::error::Error) -> String {
+    let mut out = format!("{err}");
+    let mut cur = err.source();
+    while let Some(cause) = cur {
+        out.push_str(&format!("\n  caused by: {cause}"));
+        cur = cause.source();
+    }
+    out
 }
 
 impl fmt::Display for DbError {
@@ -48,7 +88,7 @@ impl fmt::Display for DbError {
                 write!(f, "duplicate attribute name `{name}`")
             }
             DbError::IncompleteTuple { detail } => write!(f, "incomplete tuple: {detail}"),
-            DbError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            DbError::Serde { message, .. } => write!(f, "serialization error: {message}"),
         }
     }
 }
@@ -58,6 +98,9 @@ impl std::error::Error for DbError {
         match self {
             DbError::Core(e) => Some(e),
             DbError::Query(e) => Some(e),
+            DbError::Serde {
+                source: Some(e), ..
+            } => Some(e.as_ref()),
             _ => None,
         }
     }
@@ -98,9 +141,32 @@ mod tests {
         }
         .to_string()
         .contains("missing x"));
-        assert!(DbError::Serde("bad".into()).to_string().contains("bad"));
+        assert!(DbError::serde("bad").to_string().contains("bad"));
         assert!(DbError::DuplicateAttribute("z".into())
             .to_string()
             .contains("`z`"));
+    }
+
+    #[test]
+    fn serde_errors_chain_to_their_cause() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "no such file");
+        let err = DbError::serde_caused_by("cannot read /nope.json", io);
+        assert!(err.to_string().contains("cannot read /nope.json"));
+        let cause = err.source().expect("source preserved");
+        assert!(cause.to_string().contains("no such file"));
+        let chain = render_error_chain(&err);
+        assert!(chain.contains("caused by: no such file"), "{chain}");
+    }
+
+    #[test]
+    fn query_errors_chain_to_the_core_cause() {
+        // DbError::Query must expose QueryError's own source chain, so a
+        // REPL user sees the algebra-level root cause.
+        let q = QueryError::UnknownPredicate("nosuch".into());
+        let err = DbError::Query(q);
+        let chain = render_error_chain(&err);
+        assert!(chain.contains("caused by:"), "{chain}");
+        assert!(chain.contains("nosuch"), "{chain}");
     }
 }

@@ -8,9 +8,8 @@
 //!   builders ([`Table::col`], [`TupleSpec`]);
 //! * the full relational algebra, inherited from
 //!   [`itd_core::GenRelation`];
-//! * first-order querying ([`Database::query`] /
-//!   [`Database::ask`]) through `itd-query` — the database implements
-//!   [`itd_query::Catalog`];
+//! * first-order querying ([`Database::run`] with [`QueryOpts`]) through
+//!   `itd-query` — the database implements [`itd_query::Catalog`];
 //! * JSON persistence ([`Database::to_json`] / [`Database::from_json`]);
 //! * paper-style pretty printing ([`Table::render`]) that shows each
 //!   generalized tuple as a row of lrps plus its constraint column, like
@@ -19,7 +18,7 @@
 //! # Example
 //!
 //! ```
-//! use itd_db::{Database, TupleSpec};
+//! use itd_db::{Database, QueryOpts, TupleSpec};
 //!
 //! let mut db = Database::new();
 //! // The paper's Example 2.4: hourly trains Liège → Brussels.
@@ -36,7 +35,8 @@
 //!     .unwrap();
 //!
 //! // Is there a train departing at minute 62 (= 1:02)?
-//! assert!(db.ask(r#"exists a. train(62, a; "slow")"#).unwrap());
+//! let out = db.run(r#"exists a. train(62, a; "slow")"#, QueryOpts::new()).unwrap();
+//! assert!(out.truth().unwrap());
 //! ```
 
 mod database;
@@ -46,11 +46,11 @@ pub mod repl;
 mod table;
 
 pub use database::Database;
-pub use error::DbError;
+pub use error::{render_error_chain, DbError};
 pub use table::{Table, TupleSpec};
 
 pub use itd_core::{Atom, GenRelation, GenTuple, Lrp, Schema, Value};
-pub use itd_query::{Formula, QueryResult};
+pub use itd_query::{ExplainReport, Formula, QueryOpts, QueryOutput, QueryResult};
 
 /// Result alias for database operations.
 pub type Result<T> = std::result::Result<T, DbError>;

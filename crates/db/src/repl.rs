@@ -2,17 +2,31 @@
 //! can be unit-tested without a terminal.
 
 use itd_core::{ExecContext, StatsSnapshot, Trace, Value};
+use itd_query::QueryOpts;
 
 use crate::table::TupleSpec;
 use crate::{Database, DbError, Result};
 
 /// A stateful REPL session: a database plus command dispatch.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ReplSession {
     db: Database,
     stats: StatsSnapshot,
     tracing: bool,
+    optimize: bool,
     last_trace: Option<Trace>,
+}
+
+impl Default for ReplSession {
+    fn default() -> ReplSession {
+        ReplSession {
+            db: Database::default(),
+            stats: StatsSnapshot::default(),
+            tracing: false,
+            optimize: true,
+            last_trace: None,
+        }
+    }
 }
 
 impl ReplSession {
@@ -36,6 +50,12 @@ impl ReplSession {
     /// Whether `\trace on` is in effect.
     pub fn tracing(&self) -> bool {
         self.tracing
+    }
+
+    /// Whether the cost-guided plan optimizer is in effect (`\optimize
+    /// on`, the default).
+    pub fn optimizing(&self) -> bool {
+        self.optimize
     }
 
     /// The span tree recorded by the most recent query-evaluating command
@@ -104,7 +124,12 @@ impl ReplSession {
                 Ok(Some(self.db.table(name)?.timeline(lo, hi)))
             }
             "ask" => {
-                let truth = self.tracked(|db, ctx| db.query_bool_with(rest, ctx))?;
+                let optimize = self.optimize;
+                let truth = self.tracked(|db, ctx| {
+                    db.run(rest, QueryOpts::new().ctx(ctx).optimize(optimize))?
+                        .truth_in(ctx)
+                        .map_err(DbError::Query)
+                })?;
                 Ok(Some(format!("{truth}")))
             }
             "view" => {
@@ -115,9 +140,11 @@ impl ReplSession {
                     })?;
                 let ctx = self.fresh_ctx();
                 let out = {
-                    let table = self
-                        .db
-                        .materialize_view_with(name.trim(), src.trim(), &ctx)?;
+                    let table = self.db.materialize_view_opts(
+                        name.trim(),
+                        src.trim(),
+                        QueryOpts::new().ctx(&ctx).optimize(self.optimize),
+                    )?;
                     format!(
                         "view `{}` materialized with {} generalized tuple(s)",
                         table.name(),
@@ -129,6 +156,7 @@ impl ReplSession {
             }
             "query" => self.query(rest).map(Some),
             "\\explain" | "explain" => self.explain(rest).map(Some),
+            "\\optimize" | "optimize" => self.optimize_cmd(rest).map(Some),
             "\\trace" | "trace" => self.trace(rest).map(Some),
             "\\metrics" | "metrics" => Ok(Some(self.stats.to_prometheus())),
             "\\stats" | "stats" => match rest {
@@ -230,7 +258,11 @@ impl ReplSession {
 
     /// `query <formula>` — prints the symbolic answer relation.
     fn query(&mut self, src: &str) -> Result<String> {
-        let result = self.tracked(|db, ctx| db.query_with(src, ctx))?;
+        let optimize = self.optimize;
+        let result = self.tracked(|db, ctx| {
+            db.run(src, QueryOpts::new().ctx(ctx).optimize(optimize))
+                .map(|o| o.result)
+        })?;
         let mut out = String::new();
         out.push_str(&format!(
             "free variables: temporal {:?}, data {:?}\n",
@@ -240,24 +272,62 @@ impl ReplSession {
         Ok(out)
     }
 
-    /// `\explain <formula>` — prints the compiled algebra plan without
-    /// executing it; `\explain analyze <formula>` additionally runs the
-    /// query with tracing and prints the recorded span tree.
+    /// `\explain <formula>` — prints the compiled algebra plan (plus the
+    /// optimizer's rewrite of it, when `\optimize on`) without executing
+    /// anything; `\explain analyze <formula>` additionally runs the query
+    /// with tracing and lines each plan node's cost estimate up with the
+    /// rows/pairs its spans actually recorded.
     fn explain(&mut self, rest: &str) -> Result<String> {
         if let Some(src) = rest.strip_prefix("analyze ") {
             let ctx = ExecContext::new().traced();
-            let traced = self.db.query_traced_with(src.trim(), &ctx)?;
+            let out = self.db.run(
+                src.trim(),
+                QueryOpts::new()
+                    .ctx(&ctx)
+                    .trace(true)
+                    .optimize(self.optimize),
+            )?;
             self.stats.merge(&ctx.stats());
-            let out = format!(
-                "{}\nanswer: {} generalized tuple(s)\n\n{}",
-                traced.plan.render(),
-                traced.result.relation.tuple_count(),
-                traced.trace.render_tree(),
-            );
-            self.last_trace = Some(traced.trace);
-            return Ok(out);
+            let trace = out.trace.unwrap_or_default();
+            let mut text = out.plan.render_analyze(&trace);
+            if !out.plan.rewrites().is_empty() {
+                text.push_str(&format!("rewrites: {}\n", out.plan.rewrites().join(", ")));
+            }
+            text.push_str(&format!(
+                "\nanswer: {} generalized tuple(s)\n\n{}",
+                out.result.relation.tuple_count(),
+                trace.render_tree(),
+            ));
+            self.last_trace = Some(trace);
+            return Ok(text);
         }
-        Ok(self.db.explain(rest)?.render())
+        if self.optimize {
+            Ok(self.db.explain_opt(rest)?.render())
+        } else {
+            Ok(self.db.explain(rest)?.render())
+        }
+    }
+
+    /// `\optimize [on|off]` — toggles the cost-guided plan rewriter for
+    /// `ask`/`query`/`view`/`\explain`; bare `\optimize` shows the state.
+    fn optimize_cmd(&mut self, rest: &str) -> Result<String> {
+        match rest.trim() {
+            "" => Ok(format!(
+                "optimizer is {}",
+                if self.optimize { "on" } else { "off" }
+            )),
+            "on" => {
+                self.optimize = true;
+                Ok("optimizer on — queries run through the cost-guided plan rewriter".to_owned())
+            }
+            "off" => {
+                self.optimize = false;
+                Ok("optimizer off — queries execute the direct lowering of the formula".to_owned())
+            }
+            other => Err(DbError::IncompleteTuple {
+                detail: format!("unrecognized `\\optimize` argument `{other}` (try `help`)"),
+            }),
+        }
     }
 
     /// `\trace [on|off|json|chrome <path>]` — toggles span recording for
@@ -295,7 +365,7 @@ impl ReplSession {
             ["chrome", path] => {
                 let trace = self.last_trace.as_ref().ok_or_else(no_trace)?;
                 std::fs::write(path, trace.to_chrome_trace())
-                    .map_err(|e| DbError::Serde(e.to_string()))?;
+                    .map_err(|e| DbError::serde_caused_by(format!("cannot write {path}"), e))?;
                 Ok(format!(
                     "wrote {} span(s) to {path} (load in Perfetto or chrome://tracing)",
                     trace.len()
@@ -320,8 +390,12 @@ commands:
   ask <formula>                  yes/no query (first-order syntax)
   view name = <formula>          materialize an open query as a table
   query <formula>                open query; prints the answer relation
-  \\explain <formula>             print the compiled algebra plan (no execution)
-  \\explain analyze <formula>     execute with tracing; plan plus span tree
+  \\explain <formula>             print the compiled algebra plan (no execution);
+                                 with \\optimize on, also its rewritten form
+  \\explain analyze <formula>     execute with tracing; per-node estimated vs
+                                 actual rows/pairs, plus the span tree
+  \\optimize [on|off]             cost-guided plan rewriting for queries
+                                 (default on; bare \\optimize shows the state)
   \\trace [on|off]                record span trees for query commands;
                                  bare \\trace shows the last recorded tree
   \\trace json                    export the last trace as JSON lines

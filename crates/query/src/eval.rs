@@ -1,5 +1,12 @@
 //! Query evaluation by translation to the generalized relational algebra
 //! (§4.2–4.3).
+//!
+//! Evaluation is plan-driven: the formula is lowered to a [`Plan`] (a tree
+//! of [`PlanOp`](crate::PlanOp) nodes), optionally rewritten by the
+//! optimizer, and the plan tree is then interpreted by [`Env::exec`]. The
+//! unoptimized plan mirrors the formula node for node, so executing it
+//! performs exactly the algebra operations the direct recursive evaluator
+//! used to — same operators, same order, same traced spans.
 
 use std::collections::BTreeSet;
 
@@ -10,7 +17,7 @@ use itd_core::{
 use crate::ast::{CmpOp, DataTerm, Formula, TemporalTerm};
 use crate::catalog::Catalog;
 use crate::error::QueryError;
-use crate::plan::{node_label, Plan};
+use crate::plan::{Plan, PlanNode, PlanOp};
 use crate::sortcheck::check_sorts;
 use crate::Result;
 
@@ -31,7 +38,7 @@ pub struct QueryResult {
 impl QueryResult {
     /// Per-operator execution counters recorded while evaluating this
     /// query (plus whatever the supplied [`ExecContext`] had already
-    /// accumulated, when using [`evaluate_with`] with a shared context).
+    /// accumulated, when sharing a context across queries).
     pub fn stats(&self) -> &StatsSnapshot {
         &self.stats
     }
@@ -50,38 +57,173 @@ impl QueryResult {
     }
 }
 
-/// Evaluates a formula over a catalog, returning the answer relation with
-/// one column per free variable.
+/// Options for [`run`]: execution context, tracing, and optimization.
 ///
-/// Uses a fresh [`ExecContext`] sized to the machine
-/// ([`ExecContext::new`]); use [`evaluate_with`] to control threading or
-/// accumulate statistics across queries.
+/// The default runs on a fresh machine-sized context, without tracing,
+/// with the cost-guided optimizer **on**:
 ///
-/// # Errors
-/// Sort/arity errors and algebra failures; see [`QueryError`].
-pub fn evaluate(catalog: &impl Catalog, formula: &Formula) -> Result<QueryResult> {
-    evaluate_with(catalog, formula, &ExecContext::new())
+/// ```
+/// use itd_query::{run, parse, MemoryCatalog, QueryOpts};
+/// use itd_core::{ExecContext, GenRelation, Schema};
+/// let mut cat = MemoryCatalog::new();
+/// cat.insert("P", GenRelation::empty(Schema::new(1, 0)));
+/// let ctx = ExecContext::serial();
+/// let out = run(
+///     &cat,
+///     &parse("exists t. P(t)")?,
+///     QueryOpts::new().ctx(&ctx).optimize(false),
+/// )?;
+/// assert!(!out.truth_in(&ctx)?);
+/// # Ok::<(), itd_query::QueryError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOpts<'a> {
+    ctx: Option<&'a ExecContext>,
+    trace: bool,
+    optimize: bool,
 }
 
-/// Evaluates a formula under an explicit execution context: every algebra
-/// operation runs on the context's thread pool and tallies into its
-/// [`itd_core::OpKind`]-indexed counters. The returned
-/// [`QueryResult::stats`] is the context's snapshot taken after
-/// evaluation.
+impl Default for QueryOpts<'_> {
+    fn default() -> Self {
+        QueryOpts {
+            ctx: None,
+            trace: false,
+            optimize: true,
+        }
+    }
+}
+
+impl<'a> QueryOpts<'a> {
+    /// The defaults: fresh context, no tracing, optimizer on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluate under this execution context (thread budget, accumulated
+    /// counters) instead of a fresh one.
+    pub fn ctx(mut self, ctx: &'a ExecContext) -> Self {
+        self.ctx = Some(ctx);
+        self
+    }
+
+    /// Record a span tree (EXPLAIN ANALYZE). With a caller-supplied
+    /// context the context must be traced ([`ExecContext::traced`]) for
+    /// spans to be captured; a fresh context is created traced
+    /// automatically.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Run the cost-guided plan rewriter before executing (default
+    /// `true`). Off executes the direct lowering of the formula —
+    /// operator for operator what the pre-plan evaluator did.
+    pub fn optimize(mut self, on: bool) -> Self {
+        self.optimize = on;
+        self
+    }
+}
+
+/// Everything one query run produces: the answer, the plan that was
+/// executed, and (when requested) the recorded span tree.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The answer relation plus aggregate statistics.
+    pub result: QueryResult,
+    /// The plan that was executed — the direct lowering, or the rewritten
+    /// plan when [`QueryOpts::optimize`] was on (its
+    /// [`rewrites`](Plan::rewrites) then lists the fired rules).
+    pub plan: Plan,
+    /// The recorded span tree; `Some` exactly when [`QueryOpts::trace`]
+    /// was on and the context captured spans.
+    pub trace: Option<Trace>,
+}
+
+impl QueryOutput {
+    /// The yes/no reading of the answer (Theorem 4.1): project to the
+    /// nullary relation and test non-emptiness, closing any free
+    /// variables existentially. Runs the projection on `ctx` so its
+    /// counters land with the query's.
+    ///
+    /// # Errors
+    /// Algebra failures; see [`QueryError`].
+    pub fn truth_in(&self, ctx: &ExecContext) -> Result<bool> {
+        let closed = self
+            .result
+            .relation
+            .project_in(&[], &[], ctx)
+            .map_err(QueryError::Core)?;
+        Ok(!closed.denotes_empty().map_err(QueryError::Core)?)
+    }
+
+    /// [`QueryOutput::truth_in`] on a fresh context.
+    ///
+    /// # Errors
+    /// See [`QueryOutput::truth_in`].
+    pub fn truth(&self) -> Result<bool> {
+        self.truth_in(&ExecContext::new())
+    }
+}
+
+/// Evaluates a formula: the single entry point behind the old `evaluate*`
+/// family. Lowers to a [`Plan`], optionally optimizes it, and interprets
+/// the plan tree over the catalog.
 ///
 /// # Errors
 /// Sort/arity errors and algebra failures; see [`QueryError`].
-pub fn evaluate_with(
+///
+/// # Examples
+/// ```
+/// use itd_query::{run, parse, MemoryCatalog, QueryOpts};
+/// use itd_core::{GenRelation, GenTuple, Lrp, Schema};
+/// let mut cat = MemoryCatalog::new();
+/// let mut even = GenRelation::empty(Schema::new(1, 0));
+/// even.push(GenTuple::unconstrained(vec![Lrp::new(0, 2).unwrap()], vec![])).unwrap();
+/// cat.insert("Even", even);
+/// let out = run(&cat, &parse("exists t. Even(t)")?, QueryOpts::new())?;
+/// assert!(out.truth()?);
+/// # Ok::<(), itd_query::QueryError>(())
+/// ```
+pub fn run(catalog: &impl Catalog, formula: &Formula, opts: QueryOpts<'_>) -> Result<QueryOutput> {
+    let (f, _sorts) = check_sorts(catalog, formula)?;
+    let fresh;
+    let ctx = match opts.ctx {
+        Some(ctx) => ctx,
+        None => {
+            fresh = if opts.trace {
+                ExecContext::new().traced()
+            } else {
+                ExecContext::new()
+            };
+            &fresh
+        }
+    };
+    let mut plan = Plan::of(&f);
+    if opts.optimize {
+        plan = crate::opt::optimize(catalog, plan);
+    } else if opts.trace {
+        // The optimizer annotates its output; annotate the direct
+        // lowering too so EXPLAIN ANALYZE has an `est` column.
+        crate::opt::annotate(catalog, &mut plan);
+    }
+    let result = exec_plan(catalog, &f, &plan, ctx)?;
+    let trace = if opts.trace { ctx.take_trace() } else { None };
+    Ok(QueryOutput {
+        result,
+        plan,
+        trace,
+    })
+}
+
+/// Executes a plan over the catalog. The active domain comes from the
+/// catalog and the *formula* (not the plan), so optimized and unoptimized
+/// runs of the same query agree on it even when rewrites drop subtrees.
+fn exec_plan(
     catalog: &impl Catalog,
-    formula: &Formula,
+    f: &Formula,
+    plan: &Plan,
     ctx: &ExecContext,
 ) -> Result<QueryResult> {
-    let (f, _sorts) = check_sorts(catalog, formula)?;
-    evaluate_checked(catalog, &f, ctx)
-}
-
-/// Evaluates an already sort-checked formula.
-fn evaluate_checked(catalog: &impl Catalog, f: &Formula, ctx: &ExecContext) -> Result<QueryResult> {
     let mut adom: BTreeSet<Value> = catalog.active_domain();
     collect_constants(f, &mut adom);
     let env = Env {
@@ -89,7 +231,7 @@ fn evaluate_checked(catalog: &impl Catalog, f: &Formula, ctx: &ExecContext) -> R
         adom: adom.into_iter().collect(),
         ctx,
     };
-    let ev = env.eval(f)?;
+    let ev = env.exec(plan.root())?;
     Ok(QueryResult {
         relation: ev.rel,
         temporal_vars: ev.tvars,
@@ -98,12 +240,39 @@ fn evaluate_checked(catalog: &impl Catalog, f: &Formula, ctx: &ExecContext) -> R
     })
 }
 
+/// Evaluates a formula over a catalog, returning the answer relation with
+/// one column per free variable.
+///
+/// # Errors
+/// Sort/arity errors and algebra failures; see [`QueryError`].
+#[deprecated(since = "0.2.0", note = "use `run` with `QueryOpts` instead")]
+pub fn evaluate(catalog: &impl Catalog, formula: &Formula) -> Result<QueryResult> {
+    run(catalog, formula, QueryOpts::new().optimize(false)).map(|o| o.result)
+}
+
+/// Evaluates a formula under an explicit execution context.
+///
+/// # Errors
+/// Sort/arity errors and algebra failures; see [`QueryError`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run` with `QueryOpts::new().ctx(ctx)` instead"
+)]
+pub fn evaluate_with(
+    catalog: &impl Catalog,
+    formula: &Formula,
+    ctx: &ExecContext,
+) -> Result<QueryResult> {
+    run(catalog, formula, QueryOpts::new().ctx(ctx).optimize(false)).map(|o| o.result)
+}
+
 /// A query evaluated with tracing on: the answer, the compiled plan, and
 /// the recorded span tree (EXPLAIN ANALYZE).
 ///
-/// Plan nodes and the trace's *node* spans carry identical labels in
-/// identical tree order, so the two line up node for node; each node
-/// span's children include the operator spans that node issued.
+/// Plan nodes and the trace's *node* spans share stable node ids
+/// ([`PlanNode::id`](crate::PlanNode) /
+/// [`Span::plan_node`](itd_core::Span)), so the two join exactly;
+/// each node span's children include the operator spans that node issued.
 #[derive(Debug, Clone)]
 pub struct Traced {
     /// The answer relation plus aggregate statistics.
@@ -120,9 +289,22 @@ pub struct Traced {
 /// fresh machine-sized [`ExecContext`].
 ///
 /// # Errors
-/// See [`evaluate`].
+/// See [`run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run` with `QueryOpts::new().trace(true)` instead"
+)]
 pub fn evaluate_traced(catalog: &impl Catalog, formula: &Formula) -> Result<Traced> {
-    evaluate_traced_with(catalog, formula, &ExecContext::new().traced())
+    let out = run(
+        catalog,
+        formula,
+        QueryOpts::new().trace(true).optimize(false),
+    )?;
+    Ok(Traced {
+        result: out.result,
+        plan: out.plan,
+        trace: out.trace.unwrap_or_default(),
+    })
 }
 
 /// [`evaluate_traced`] under an explicit execution context. The context
@@ -131,20 +313,25 @@ pub fn evaluate_traced(catalog: &impl Catalog, formula: &Formula) -> Result<Trac
 /// are drained into (and only into) this query's trace.
 ///
 /// # Errors
-/// See [`evaluate`].
+/// See [`run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run` with `QueryOpts::new().ctx(ctx).trace(true)` instead"
+)]
 pub fn evaluate_traced_with(
     catalog: &impl Catalog,
     formula: &Formula,
     ctx: &ExecContext,
 ) -> Result<Traced> {
-    let (f, _sorts) = check_sorts(catalog, formula)?;
-    let plan = Plan::of(&f);
-    let result = evaluate_checked(catalog, &f, ctx)?;
-    let trace = ctx.take_trace().unwrap_or_default();
+    let out = run(
+        catalog,
+        formula,
+        QueryOpts::new().ctx(ctx).trace(true).optimize(false),
+    )?;
     Ok(Traced {
-        result,
-        plan,
-        trace,
+        result: out.result,
+        plan: out.plan,
+        trace: out.trace.unwrap_or_default(),
     })
 }
 
@@ -152,26 +339,32 @@ pub fn evaluate_traced_with(
 /// closed existentially.
 ///
 /// # Errors
-/// See [`evaluate`].
+/// See [`run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run` with `QueryOpts`, then `QueryOutput::truth`, instead"
+)]
 pub fn evaluate_bool(catalog: &impl Catalog, formula: &Formula) -> Result<bool> {
-    evaluate_bool_with(catalog, formula, &ExecContext::new())
+    let ctx = ExecContext::new();
+    let out = run(catalog, formula, QueryOpts::new().ctx(&ctx).optimize(false))?;
+    out.truth_in(&ctx)
 }
 
 /// [`evaluate_bool`] under an explicit execution context.
 ///
 /// # Errors
-/// See [`evaluate`].
+/// See [`run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run` with `QueryOpts::new().ctx(ctx)`, then `QueryOutput::truth_in`, instead"
+)]
 pub fn evaluate_bool_with(
     catalog: &impl Catalog,
     formula: &Formula,
     ctx: &ExecContext,
 ) -> Result<bool> {
-    let r = evaluate_with(catalog, formula, ctx)?;
-    let closed = r
-        .relation
-        .project_in(&[], &[], ctx)
-        .map_err(QueryError::Core)?;
-    Ok(!closed.denotes_empty().map_err(QueryError::Core)?)
+    let out = run(catalog, formula, QueryOpts::new().ctx(ctx).optimize(false))?;
+    out.truth_in(ctx)
 }
 
 /// Adds data constants appearing in the formula to the active domain.
@@ -203,7 +396,7 @@ fn collect_constants(f: &Formula, adom: &mut BTreeSet<Value>) {
     }
 }
 
-/// An evaluated subformula: relation plus column naming.
+/// An evaluated subplan: relation plus column naming.
 struct Ev {
     rel: GenRelation,
     tvars: Vec<String>,
@@ -249,120 +442,65 @@ impl<C: Catalog> Env<'_, C> {
         Ok(rel)
     }
 
-    /// Evaluates `f`, recording a plan-node span when the context is
-    /// traced. The span label matches the corresponding
-    /// [`Plan`](crate::Plan) node's (both come from `node_label`), so
-    /// EXPLAIN and EXPLAIN ANALYZE trees line up.
-    fn eval(&self, f: &Formula) -> Result<Ev> {
-        let span = self.ctx.node_span(|| node_label(f, false));
-        let ev = self.eval_arm(f)?;
+    /// Interprets one plan node, recording a node span carrying the
+    /// node's stable id when the context is traced — the id is what
+    /// EXPLAIN ANALYZE joins plan and trace on.
+    fn exec(&self, n: &PlanNode) -> Result<Ev> {
+        let span = self.ctx.plan_span(n.id, || n.label.clone());
+        let ev = self.exec_arm(n)?;
         span.set_tuples_out(ev.rel.tuple_count() as u64);
         Ok(ev)
     }
 
-    fn eval_arm(&self, f: &Formula) -> Result<Ev> {
-        match f {
-            Formula::True => Ok(Ev {
-                rel: Self::unit(true),
+    fn exec_arm(&self, n: &PlanNode) -> Result<Ev> {
+        match &n.op {
+            PlanOp::Unit(truth) => Ok(Ev {
+                rel: Self::unit(*truth),
                 tvars: vec![],
                 dvars: vec![],
             }),
-            Formula::False => Ok(Ev {
-                rel: Self::unit(false),
-                tvars: vec![],
-                dvars: vec![],
-            }),
-            Formula::Pred {
+            PlanOp::Scan {
                 name,
                 temporal,
                 data,
             } => self.eval_pred(name, temporal, data),
-            Formula::TempCmp { left, op, right } => self.eval_temp_cmp(left, *op, right),
-            Formula::DataCmp { left, eq, right } => self.eval_data_cmp(left, *eq, right),
-            Formula::Not(inner) => self.eval_neg(inner),
-            Formula::And(a, b) => {
-                let (a, b) = (self.eval(a)?, self.eval(b)?);
+            PlanOp::TempCmp { left, op, right } => self.eval_temp_cmp(left, *op, right),
+            PlanOp::DataCmp { left, eq, right } => self.eval_data_cmp(left, *eq, right),
+            PlanOp::Conjoin => {
+                let (a, b) = (self.exec(&n.children[0])?, self.exec(&n.children[1])?);
                 self.conjoin(a, b)
             }
-            Formula::Or(a, b) => {
-                let (a, b) = (self.eval(a)?, self.eval(b)?);
+            PlanOp::Disjoin => {
+                let (a, b) = (self.exec(&n.children[0])?, self.exec(&n.children[1])?);
                 self.disjoin(a, b)
             }
-            Formula::Implies(a, b) => {
-                // a → b ≡ ¬a ∨ b, with ¬a pushed inward.
-                let (na, b) = (self.eval_neg(a)?, self.eval(b)?);
-                self.disjoin(na, b)
+            PlanOp::ProjectOut { var, negate } => {
+                let ev = self.exec(&n.children[0])?;
+                let proj = self.project_out(ev, var)?;
+                if *negate {
+                    self.negate(proj)
+                } else {
+                    Ok(proj)
+                }
             }
-            Formula::Exists { var, body } => {
-                let ev = self.eval(body)?;
-                self.project_out(ev, var)
-            }
-            Formula::Forall { var, body } => {
-                // ∀v.φ ≡ ¬∃v.¬φ; the inner ¬φ is pushed to the leaves so
-                // that only the single outermost complement pays for a
-                // set difference (negation pushdown).
-                let neg = self.eval_neg(body)?;
-                let proj = self.project_out(neg, var)?;
-                self.negate(proj)
-            }
-        }
-    }
-
-    /// Evaluates `¬f` with the negation pushed toward the leaves (negation
-    /// normal form). Interpreted atoms negate for free (mirrored
-    /// comparison operators); only negated *predicate* atoms and negated
-    /// existentials pay for a set difference against the free space.
-    fn eval_neg(&self, f: &Formula) -> Result<Ev> {
-        let span = self.ctx.node_span(|| node_label(f, true));
-        let ev = self.eval_neg_arm(f)?;
-        span.set_tuples_out(ev.rel.tuple_count() as u64);
-        Ok(ev)
-    }
-
-    fn eval_neg_arm(&self, f: &Formula) -> Result<Ev> {
-        match f {
-            Formula::True => self.eval(&Formula::False),
-            Formula::False => self.eval(&Formula::True),
-            Formula::Pred { .. } => {
-                let ev = self.eval(f)?;
+            PlanOp::Negate => {
+                let ev = self.exec(&n.children[0])?;
                 self.negate(ev)
             }
-            Formula::TempCmp { left, op, right } => {
-                let flipped = match op {
-                    CmpOp::Le => CmpOp::Gt,
-                    CmpOp::Lt => CmpOp::Ge,
-                    CmpOp::Eq => CmpOp::Ne,
-                    CmpOp::Ne => CmpOp::Eq,
-                    CmpOp::Ge => CmpOp::Lt,
-                    CmpOp::Gt => CmpOp::Le,
-                };
-                self.eval_temp_cmp(left, flipped, right)
-            }
-            Formula::DataCmp { left, eq, right } => self.eval_data_cmp(left, !eq, right),
-            Formula::Not(inner) => self.eval(inner),
-            Formula::And(a, b) => {
-                let (na, nb) = (self.eval_neg(a)?, self.eval_neg(b)?);
-                self.disjoin(na, nb)
-            }
-            Formula::Or(a, b) => {
-                let (na, nb) = (self.eval_neg(a)?, self.eval_neg(b)?);
-                self.conjoin(na, nb)
-            }
-            Formula::Implies(a, b) => {
-                // ¬(a → b) ≡ a ∧ ¬b
-                let (a, nb) = (self.eval(a)?, self.eval_neg(b)?);
-                self.conjoin(a, nb)
-            }
-            Formula::Exists { var, body } => {
-                // ¬∃v.φ — one unavoidable complement.
-                let ev = self.eval(body)?;
-                let proj = self.project_out(ev, var)?;
-                self.negate(proj)
-            }
-            Formula::Forall { var, body } => {
-                // ¬∀v.φ ≡ ∃v.¬φ
-                let neg = self.eval_neg(body)?;
-                self.project_out(neg, var)
+            PlanOp::Pass => self.exec(&n.children[0]),
+            PlanOp::Empty => Ok(Ev {
+                rel: GenRelation::empty(Schema::new(n.temporal_vars.len(), n.data_vars.len())),
+                tvars: n.temporal_vars.clone(),
+                dvars: n.data_vars.clone(),
+            }),
+            PlanOp::Arrange => {
+                let ev = self.exec(&n.children[0])?;
+                let rel = self.pad(ev, &n.temporal_vars, &n.data_vars)?;
+                Ok(Ev {
+                    rel,
+                    tvars: n.temporal_vars.clone(),
+                    dvars: n.data_vars.clone(),
+                })
             }
         }
     }
@@ -722,7 +860,7 @@ impl<C: Catalog> Env<'_, C> {
     /// data sort with an empty active domain, which correctly yields an
     /// empty padding anyway because `φ` cannot mention data either).
     ///
-    /// The subformula's own column lists are authoritative for where the
+    /// The subplan's own column lists are authoritative for where the
     /// variable lives — a variable may acquire its data sort only through
     /// atom reclassification, in which case the global sort map does not
     /// record it.
@@ -807,8 +945,30 @@ mod tests {
         cat
     }
 
+    /// Yes/no through the default (optimizing) pipeline.
     fn ask(src: &str) -> bool {
-        evaluate_bool(&catalog(), &parse(src).unwrap()).unwrap()
+        run(&catalog(), &parse(src).unwrap(), QueryOpts::new())
+            .unwrap()
+            .truth()
+            .unwrap()
+    }
+
+    /// Same query with the optimizer off; used to cross-check.
+    fn ask_unopt(src: &str) -> bool {
+        run(
+            &catalog(),
+            &parse(src).unwrap(),
+            QueryOpts::new().optimize(false),
+        )
+        .unwrap()
+        .truth()
+        .unwrap()
+    }
+
+    fn eval_open(src: &str) -> QueryResult {
+        run(&catalog(), &parse(src).unwrap(), QueryOpts::new())
+            .unwrap()
+            .result
     }
 
     #[test]
@@ -878,17 +1038,13 @@ mod tests {
 
     #[test]
     fn open_queries_return_columns() {
-        let r = evaluate(&catalog(), &parse("Even(t) and t >= 0").unwrap()).unwrap();
+        let r = eval_open("Even(t) and t >= 0");
         assert_eq!(r.temporal_vars, vec!["t"]);
         assert!(r.data_vars.is_empty());
         assert!(r.relation.contains(&[4], &[]));
         assert!(!r.relation.contains(&[5], &[]));
         assert!(!r.relation.contains(&[-2], &[]));
-        let r = evaluate(
-            &catalog(),
-            &parse(r#"exists t2. Blink(t1, t2; x)"#).unwrap(),
-        )
-        .unwrap();
+        let r = eval_open(r#"exists t2. Blink(t1, t2; x)"#);
         assert_eq!(r.temporal_vars, vec!["t1"]);
         assert_eq!(r.data_vars, vec!["x"]);
         assert!(r.relation.contains(&[10], &[Value::str("slow")]));
@@ -939,14 +1095,40 @@ mod tests {
     }
 
     #[test]
+    fn optimized_and_unoptimized_agree() {
+        for src in [
+            "exists t. Even(t) and t >= 1000000",
+            "forall t. Even(t) implies Even(t + 2)",
+            r#"forall t1. forall t2. Blink(t1, t2; "slow") implies t2 = t1 + 5"#,
+            "exists t. Even(t) and not Even(t)",
+            "exists t. (Even(t) or Even(t + 1)) and t = 3",
+        ] {
+            assert_eq!(ask(src), ask_unopt(src), "{src}");
+        }
+    }
+
+    #[test]
+    fn run_with_trace_reports_plan_and_spans() {
+        let cat = catalog();
+        let f = parse("exists t. Even(t) and Even(t + 2)").unwrap();
+        let out = run(&cat, &f, QueryOpts::new().trace(true)).unwrap();
+        let trace = out.trace.expect("trace requested");
+        assert!(!trace.is_empty());
+        // Every node of the executed plan has a span joined by id, and
+        // estimates were annotated for the ANALYZE rendering.
+        let root = out.plan.root();
+        assert!(trace.span_for_plan_node(root.id).is_some());
+        assert!(root.est.is_some());
+        let text = out.plan.render_analyze(&trace);
+        assert!(text.contains("[est "), "{text}");
+        assert!(text.contains("[actual rows="), "{text}");
+    }
+
+    #[test]
     fn rewritten_data_variable_projects_out() {
         // y gains its Data sort only through `x = y` reclassification; the
         // quantifier must still remove its column.
-        let r = evaluate(
-            &catalog(),
-            &parse(r#"exists y. exists t1. exists t2. Blink(t1, t2; x) and x = y"#).unwrap(),
-        )
-        .unwrap();
+        let r = eval_open(r#"exists y. exists t1. exists t2. Blink(t1, t2; x) and x = y"#);
         assert_eq!(r.data_vars, vec!["x"]);
         assert!(r.temporal_vars.is_empty());
         assert!(r
@@ -974,7 +1156,9 @@ mod tests {
         cat.insert("P", GenRelation::new(Schema::new(1, 0), tuples).unwrap());
         let f = parse("exists t. P(t) and P(t)").unwrap();
         let ctx = ExecContext::serial();
-        let r = evaluate_with(&cat, &f, &ctx).unwrap();
+        let r = run(&cat, &f, QueryOpts::new().ctx(&ctx).optimize(false))
+            .unwrap()
+            .result;
         let (probed, skipped) = r.index_effectiveness();
         assert_eq!(probed + skipped, 64, "join consulted the index once");
         assert!(
@@ -990,10 +1174,34 @@ mod tests {
         let mut cat = MemoryCatalog::new();
         cat.insert("Q", GenRelation::empty(Schema::new(0, 1)));
         let f = parse("exists x. not Q(; x)").unwrap();
-        assert!(!evaluate_bool(&cat, &f).unwrap());
+        assert!(!run(&cat, &f, QueryOpts::new()).unwrap().truth().unwrap());
         // A variable with no sort evidence defaults to temporal, where the
         // domain (Z) is never empty.
         let f = parse("exists x. x = x").unwrap();
-        assert!(evaluate_bool(&cat, &f).unwrap());
+        assert!(run(&cat, &f, QueryOpts::new()).unwrap().truth().unwrap());
+    }
+
+    /// The deprecated entry points still work and match `run` with the
+    /// optimizer off.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate() {
+        let cat = catalog();
+        let f = parse("exists t2. Blink(t1, t2; x)").unwrap();
+        let legacy = evaluate(&cat, &f).unwrap();
+        let new = run(&cat, &f, QueryOpts::new().optimize(false))
+            .unwrap()
+            .result;
+        assert_eq!(legacy.temporal_vars, new.temporal_vars);
+        assert_eq!(legacy.data_vars, new.data_vars);
+        assert_eq!(
+            legacy.relation.materialize(-40, 40),
+            new.relation.materialize(-40, 40)
+        );
+        assert!(evaluate_bool(&cat, &parse("Even(0)").unwrap()).unwrap());
+        let ctx = ExecContext::serial().traced();
+        let traced = evaluate_traced_with(&cat, &parse("Even(0)").unwrap(), &ctx).unwrap();
+        assert!(!traced.trace.is_empty());
+        assert_eq!(traced.plan.root().label, "Even(0)");
     }
 }

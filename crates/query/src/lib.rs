@@ -57,6 +57,7 @@ mod catalog;
 mod error;
 mod eval;
 mod lexer;
+mod opt;
 mod parser;
 mod plan;
 mod sortcheck;
@@ -64,13 +65,15 @@ mod sortcheck;
 pub use ast::{CmpOp, DataTerm, Formula, Sort, TemporalTerm};
 pub use catalog::{Catalog, MemoryCatalog};
 pub use error::QueryError;
+#[allow(deprecated)]
 pub use eval::{
     evaluate, evaluate_bool, evaluate_bool_with, evaluate_traced, evaluate_traced_with,
-    evaluate_with, QueryResult, Traced,
+    evaluate_with,
 };
+pub use eval::{run, QueryOpts, QueryOutput, QueryResult, Traced};
 pub use itd_core::{ExecContext, OpKind, OpSnapshot, Span, SpanLabel, StatsSnapshot, Trace};
 pub use parser::parse;
-pub use plan::{explain, Plan, PlanNode};
+pub use plan::{explain, explain_opt, CostEstimate, ExplainReport, Plan, PlanNode, PlanOp};
 pub use sortcheck::check_sorts;
 
 /// Result alias for query operations.

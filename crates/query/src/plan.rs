@@ -1,34 +1,123 @@
-//! EXPLAIN: compiling a formula to a rendered algebra plan *without*
-//! executing it.
+//! The executable logical plan IR.
 //!
-//! [`explain`] mirrors the evaluator's translation (§4.2–4.3) structurally
-//! — the same negation pushdown, the same conjoin/disjoin/project
-//! lowering — but records *descriptions* of the algebra steps instead of
-//! running them. Each [`PlanNode`] corresponds to one `eval`/`eval_neg`
-//! call the evaluator would make, and carries the same label a traced
-//! evaluation ([`evaluate_traced`](crate::evaluate_traced)) gives the
-//! matching span, so EXPLAIN output and EXPLAIN ANALYZE trees line up
-//! node for node.
+//! [`Plan`] is the algebra lowering of a formula (§4.2–4.3): each
+//! [`PlanNode`] carries a machine-readable [`PlanOp`] (what to execute)
+//! alongside the rendered `steps` (what EXPLAIN prints). The lowering
+//! mirrors the evaluator's translation — the same negation pushdown, the
+//! same conjoin/disjoin/project structure — and the evaluator now
+//! *interprets this tree*, so EXPLAIN shows exactly what runs. Each node
+//! has a stable `id` (pre-order at lowering; preserved by the optimizer
+//! for surviving nodes) that the executor stamps on the node's trace span
+//! via [`ExecContext::plan_span`](itd_core::ExecContext::plan_span), so
+//! EXPLAIN ANALYZE joins plan and trace by id instead of by label text.
+//!
+//! The optimizer ([`crate::opt`]) rewrites this IR before execution and
+//! annotates nodes with cost estimates and fired-rule names.
 
 use std::fmt;
+
+use itd_core::Trace;
 
 use crate::ast::{CmpOp, DataTerm, Formula, TemporalTerm};
 use crate::catalog::Catalog;
 use crate::sortcheck::check_sorts;
 use crate::Result;
 
-/// A compiled (but unexecuted) algebra plan for a formula.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A compiled algebra plan for a formula: an executable tree of
+/// [`PlanNode`]s plus the log of optimizer rewrites applied to it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
-    root: PlanNode,
+    pub(crate) root: PlanNode,
+    /// First id not yet used by any node (rewrites allocate from here).
+    pub(crate) next_id: u64,
+    /// Fired rewrite rules, in application order (`"rule @ node id"`).
+    pub(crate) rewrites: Vec<String>,
+}
+
+/// The algebra operation a [`PlanNode`] executes. Comparison operands are
+/// stored with any enclosing negation already applied (`not t < 5` lowers
+/// to a `>=` node), mirroring the evaluator's negation pushdown.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOp {
+    /// The 0-ary unit relation: `{()}` when true, `{}` when false.
+    Unit(bool),
+    /// Scan a base relation and apply the per-argument selections, shifts,
+    /// and the final projection that turn its columns into variables.
+    Scan {
+        /// Base relation name.
+        name: String,
+        /// Temporal argument terms, in column order.
+        temporal: Vec<TemporalTerm>,
+        /// Data argument terms, in column order.
+        data: Vec<DataTerm>,
+    },
+    /// A gap-order constraint leaf over one or two temporal variables.
+    TempCmp {
+        /// Left operand.
+        left: TemporalTerm,
+        /// Comparison (already flipped if the atom was under a negation).
+        op: CmpOp,
+        /// Right operand.
+        right: TemporalTerm,
+    },
+    /// An (in)equality leaf over data terms, enumerated from the active
+    /// domain.
+    DataCmp {
+        /// Left operand.
+        left: DataTerm,
+        /// True for `=`, false for `!=` (negation already applied).
+        eq: bool,
+        /// Right operand.
+        right: DataTerm,
+    },
+    /// Natural join of the two children on their shared variables.
+    Conjoin,
+    /// Pad both children to the merged variable set, then union.
+    Disjoin,
+    /// Drop one variable's column (`∃`); `negate` adds the complement a
+    /// pushed-down `¬∃` / `∀` pays.
+    ProjectOut {
+        /// Variable to project away.
+        var: String,
+        /// Complement the result afterwards (`∀` / `¬∃`).
+        negate: bool,
+    },
+    /// Complement the single child against the free space
+    /// `Z^t × adom^d` (a negated predicate leaf).
+    Negate,
+    /// Pass the single child through unchanged (a syntactic `not` wrapper
+    /// or a `¬true`/`¬false` re-entry; no algebra is performed).
+    Pass,
+    /// Optimizer-introduced: the empty relation over this node's columns.
+    Empty,
+    /// Optimizer-introduced: pad/permute the single child to this node's
+    /// columns (restores the original column order after a rewrite).
+    Arrange,
+}
+
+/// Optimizer cost annotations for one node; heuristic, unit-free numbers
+/// ordered the same way the real counters are.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated generalized tuples this node outputs.
+    pub rows: f64,
+    /// Estimated candidate pairs this node's own operators examine.
+    pub pairs: f64,
+    /// `pairs` summed over this node and all descendants.
+    pub total_pairs: f64,
 }
 
 /// One plan node: the algebra lowering of one subformula occurrence
 /// (under an even or odd number of enclosing negations).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanNode {
+    /// Stable node id: pre-order at lowering, preserved across optimizer
+    /// rewrites for surviving nodes, stamped on the node's trace span.
+    pub id: u64,
     /// Node label; identical to the corresponding traced span's label.
     pub label: String,
+    /// The operation the executor performs at this node.
+    pub op: PlanOp,
     /// Human-readable algebra steps this node performs on its children's
     /// outputs, in execution order.
     pub steps: Vec<String>,
@@ -38,13 +127,18 @@ pub struct PlanNode {
     pub data_vars: Vec<String>,
     /// Sub-plans evaluated first, in evaluation order.
     pub children: Vec<PlanNode>,
+    /// Cost estimate, once a catalog was consulted (EXPLAIN / optimizer).
+    pub est: Option<CostEstimate>,
+    /// Names of the rewrite rules that produced or reshaped this node.
+    pub rules: Vec<String>,
 }
 
-/// Compiles a formula to its algebra plan without executing anything.
+/// Compiles a formula to its algebra plan without executing anything,
+/// annotating each node with the optimizer's cost estimates (the catalog
+/// is consulted for cardinalities, never for tuples).
 ///
-/// Performs the same sort/arity checking as
-/// [`evaluate`](crate::evaluate), so unknown predicates and arity
-/// mismatches fail here too — but no relation is ever touched.
+/// Performs the same sort/arity checking as evaluation, so unknown
+/// predicates and arity mismatches fail here too.
 ///
 /// # Errors
 /// Sort/arity errors; see [`QueryError`](crate::QueryError).
@@ -63,14 +157,62 @@ pub struct PlanNode {
 /// ```
 pub fn explain(catalog: &impl Catalog, formula: &Formula) -> Result<Plan> {
     let (f, _sorts) = check_sorts(catalog, formula)?;
-    Ok(Plan::of(&f))
+    let mut plan = Plan::of(&f);
+    crate::opt::annotate(catalog, &mut plan);
+    Ok(plan)
+}
+
+/// Compiles and optimizes: the logical plan next to its rewritten form,
+/// both cost-annotated — what the REPL's `\explain` prints when
+/// optimization is on.
+///
+/// # Errors
+/// Sort/arity errors; see [`QueryError`](crate::QueryError).
+pub fn explain_opt(catalog: &impl Catalog, formula: &Formula) -> Result<ExplainReport> {
+    let (f, _sorts) = check_sorts(catalog, formula)?;
+    let mut logical = Plan::of(&f);
+    crate::opt::annotate(catalog, &mut logical);
+    let optimized = crate::opt::optimize(catalog, logical.clone());
+    Ok(ExplainReport { logical, optimized })
+}
+
+/// Pre- and post-rewrite plans for one query (see [`explain_opt`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainReport {
+    /// The direct lowering of the formula, cost-annotated.
+    pub logical: Plan,
+    /// The plan after the rewrite pipeline ran.
+    pub optimized: Plan,
+}
+
+impl ExplainReport {
+    /// Renders both trees plus the list of fired rewrites.
+    pub fn render(&self) -> String {
+        let mut out = String::from("logical plan:\n");
+        out.push_str(&self.logical.render());
+        out.push_str("optimized plan:\n");
+        out.push_str(&self.optimized.render());
+        if self.optimized.rewrites().is_empty() {
+            out.push_str("rewrites: none fired\n");
+        } else {
+            out.push_str(&format!(
+                "rewrites: {}\n",
+                self.optimized.rewrites().join(", ")
+            ));
+        }
+        out
+    }
 }
 
 impl Plan {
     /// Compiles an already sort-checked formula.
     pub(crate) fn of(f: &Formula) -> Plan {
+        let mut next_id = 0u64;
+        let root = compile(f, false, &mut next_id);
         Plan {
-            root: compile(f, false),
+            root,
+            next_id,
+            rewrites: Vec::new(),
         }
     }
 
@@ -79,11 +221,38 @@ impl Plan {
         &self.root
     }
 
+    /// The rewrite rules the optimizer fired on this plan, in application
+    /// order, as `"rule @ node id"` strings. Empty for unoptimized plans.
+    pub fn rewrites(&self) -> &[String] {
+        &self.rewrites
+    }
+
+    /// Looks a node up by its stable id.
+    pub fn node(&self, id: u64) -> Option<&PlanNode> {
+        fn find(n: &PlanNode, id: u64) -> Option<&PlanNode> {
+            if n.id == id {
+                return Some(n);
+            }
+            n.children.iter().find_map(|c| find(c, id))
+        }
+        find(&self.root, id)
+    }
+
     /// Renders the plan as an indented tree, one node per line:
-    /// `label ⟨output columns⟩ — algebra steps`.
+    /// `label ⟨output columns⟩ — algebra steps` plus any cost estimate
+    /// and fired-rule annotations.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        render_node(&mut out, &self.root, "", true, true);
+        render_node(&mut out, &self.root, "", true, true, None);
+        out
+    }
+
+    /// Renders the plan with each node's estimates lined up against the
+    /// counters its trace spans actually recorded (joined by plan-node
+    /// id, not by label). Nodes absent from the trace show `actual —`.
+    pub fn render_analyze(&self, trace: &Trace) -> String {
+        let mut out = String::new();
+        render_node(&mut out, &self.root, "", true, true, Some(trace));
         out
     }
 }
@@ -94,7 +263,14 @@ impl fmt::Display for Plan {
     }
 }
 
-fn render_node(out: &mut String, node: &PlanNode, prefix: &str, last: bool, root: bool) {
+fn render_node(
+    out: &mut String,
+    node: &PlanNode,
+    prefix: &str,
+    last: bool,
+    root: bool,
+    trace: Option<&Trace>,
+) {
     let (branch, next_prefix) = if root {
         ("", String::new())
     } else if last {
@@ -113,6 +289,30 @@ fn render_node(out: &mut String, node: &PlanNode, prefix: &str, last: bool, root
         out.push_str(" — ");
         out.push_str(&node.steps.join("; "));
     }
+    if let Some(est) = &node.est {
+        out.push_str(&format!(
+            " [est rows≈{} pairs≈{}]",
+            fmt_est(est.rows),
+            fmt_est(est.pairs)
+        ));
+    }
+    if let Some(trace) = trace {
+        match trace.span_for_plan_node(node.id) {
+            Some(span) => {
+                let ops = trace.op_totals_for_plan_node(node.id);
+                out.push_str(&format!(
+                    " [actual rows={} pairs={} in {:.1?}]",
+                    span.tuples_out,
+                    ops.total_pairs(),
+                    span.wall_time()
+                ));
+            }
+            None => out.push_str(" [actual —]"),
+        }
+    }
+    if !node.rules.is_empty() {
+        out.push_str(&format!(" [fired: {}]", node.rules.join(", ")));
+    }
     out.push('\n');
     for (i, child) in node.children.iter().enumerate() {
         render_node(
@@ -121,7 +321,18 @@ fn render_node(out: &mut String, node: &PlanNode, prefix: &str, last: bool, root
             &next_prefix,
             i + 1 == node.children.len(),
             false,
+            trace,
         );
+    }
+}
+
+/// Cost numbers are heuristics; print them as round integers (saturating
+/// at a readable cap) so goldens stay stable.
+fn fmt_est(x: f64) -> String {
+    if x >= 1e15 {
+        "huge".to_string()
+    } else {
+        format!("{}", x.round() as i64)
     }
 }
 
@@ -171,89 +382,153 @@ fn negate_step(tvars: usize, dvars: usize) -> String {
     }
 }
 
-fn leaf(label: String, steps: Vec<String>, tvars: Vec<String>, dvars: Vec<String>) -> PlanNode {
+fn leaf(
+    id: u64,
+    label: String,
+    op: PlanOp,
+    steps: Vec<String>,
+    tvars: Vec<String>,
+    dvars: Vec<String>,
+) -> PlanNode {
     PlanNode {
+        id,
         label,
+        op,
         steps,
         temporal_vars: tvars,
         data_vars: dvars,
         children: vec![],
+        est: None,
+        rules: vec![],
     }
+}
+
+fn take_id(ids: &mut u64) -> u64 {
+    let id = *ids;
+    *ids += 1;
+    id
 }
 
 /// Mirrors `Env::eval` (`negated = false`) and `Env::eval_neg`
 /// (`negated = true`): each arm produces the node the evaluator's
 /// corresponding arm would trace, with the same children in the same
-/// order.
-fn compile(f: &Formula, negated: bool) -> PlanNode {
+/// order. Ids are assigned in pre-order.
+fn compile(f: &Formula, negated: bool, ids: &mut u64) -> PlanNode {
+    let id = take_id(ids);
     let label = node_label(f, negated);
     match f {
         // ¬true and ¬false re-enter eval on the opposite literal, so the
         // plan shows that literal as a child — exactly like the trace.
-        Formula::True if negated => wrap(label, compile(&Formula::False, false), vec![]),
-        Formula::False if negated => wrap(label, compile(&Formula::True, false), vec![]),
-        Formula::True => leaf(label, vec!["unit(true)".into()], vec![], vec![]),
-        Formula::False => leaf(label, vec!["unit(false)".into()], vec![], vec![]),
+        Formula::True if negated => wrap(
+            id,
+            label,
+            PlanOp::Pass,
+            compile(&Formula::False, false, ids),
+            vec![],
+        ),
+        Formula::False if negated => wrap(
+            id,
+            label,
+            PlanOp::Pass,
+            compile(&Formula::True, false, ids),
+            vec![],
+        ),
+        Formula::True => leaf(
+            id,
+            label,
+            PlanOp::Unit(true),
+            vec!["unit(true)".into()],
+            vec![],
+            vec![],
+        ),
+        Formula::False => leaf(
+            id,
+            label,
+            PlanOp::Unit(false),
+            vec!["unit(false)".into()],
+            vec![],
+            vec![],
+        ),
         Formula::Pred {
             name,
             temporal,
             data,
         } => {
-            let positive = compile_pred(name, temporal, data);
             if negated {
                 // eval_neg(Pred) evaluates the predicate positively, then
                 // differences it from the free space.
+                let positive = compile_pred(take_id(ids), name, temporal, data);
                 let steps = vec![negate_step(
                     positive.temporal_vars.len(),
                     positive.data_vars.len(),
                 )];
-                wrap(label, positive, steps)
+                wrap(id, label, PlanOp::Negate, positive, steps)
             } else {
-                positive
+                compile_pred(id, name, temporal, data)
             }
         }
         Formula::TempCmp { left, op, right } => {
             let op = if negated { flip(*op) } else { *op };
-            compile_temp_cmp(label, left, op, right)
+            compile_temp_cmp(id, label, left, op, right)
         }
         Formula::DataCmp { left, eq, right } => {
             let eq = if negated { !eq } else { *eq };
-            compile_data_cmp(label, left, eq, right)
+            compile_data_cmp(id, label, left, eq, right)
         }
-        Formula::Not(inner) => wrap(label, compile(inner, !negated), vec![]),
-        Formula::And(a, b) if !negated => conjoin(label, compile(a, false), compile(b, false)),
-        Formula::And(a, b) => disjoin(label, compile(a, true), compile(b, true)),
-        Formula::Or(a, b) if !negated => disjoin(label, compile(a, false), compile(b, false)),
-        Formula::Or(a, b) => conjoin(label, compile(a, true), compile(b, true)),
+        Formula::Not(inner) => wrap(
+            id,
+            label,
+            PlanOp::Pass,
+            compile(inner, !negated, ids),
+            vec![],
+        ),
+        Formula::And(a, b) if !negated => {
+            conjoin(id, label, compile(a, false, ids), compile(b, false, ids))
+        }
+        Formula::And(a, b) => disjoin(id, label, compile(a, true, ids), compile(b, true, ids)),
+        Formula::Or(a, b) if !negated => {
+            disjoin(id, label, compile(a, false, ids), compile(b, false, ids))
+        }
+        Formula::Or(a, b) => conjoin(id, label, compile(a, true, ids), compile(b, true, ids)),
         // a → b ≡ ¬a ∨ b;  ¬(a → b) ≡ a ∧ ¬b.
-        Formula::Implies(a, b) if !negated => disjoin(label, compile(a, true), compile(b, false)),
-        Formula::Implies(a, b) => conjoin(label, compile(a, false), compile(b, true)),
+        Formula::Implies(a, b) if !negated => {
+            disjoin(id, label, compile(a, true, ids), compile(b, false, ids))
+        }
+        Formula::Implies(a, b) => conjoin(id, label, compile(a, false, ids), compile(b, true, ids)),
         Formula::Exists { var, body } if !negated => {
-            project_out(label, compile(body, false), var, false)
+            project_out(id, label, compile(body, false, ids), var, false)
         }
         // ¬∃v.φ — project, then one unavoidable complement.
-        Formula::Exists { var, body } => project_out(label, compile(body, false), var, true),
+        Formula::Exists { var, body } => {
+            project_out(id, label, compile(body, false, ids), var, true)
+        }
         // ∀v.φ ≡ ¬∃v.¬φ — negation pushed to the leaves.
         Formula::Forall { var, body } if !negated => {
-            project_out(label, compile(body, true), var, true)
+            project_out(id, label, compile(body, true, ids), var, true)
         }
         // ¬∀v.φ ≡ ∃v.¬φ.
-        Formula::Forall { var, body } => project_out(label, compile(body, true), var, false),
+        Formula::Forall { var, body } => {
+            project_out(id, label, compile(body, true, ids), var, false)
+        }
     }
 }
 
 /// A node that passes its single child through `steps`.
-fn wrap(label: String, child: PlanNode, steps: Vec<String>) -> PlanNode {
+fn wrap(id: u64, label: String, op: PlanOp, child: PlanNode, steps: Vec<String>) -> PlanNode {
     PlanNode {
+        id,
         label,
+        op,
         steps,
         temporal_vars: child.temporal_vars.clone(),
         data_vars: child.data_vars.clone(),
         children: vec![child],
+        est: None,
+        rules: vec![],
     }
 }
 
-fn compile_pred(name: &str, temporal: &[TemporalTerm], data: &[DataTerm]) -> PlanNode {
+fn compile_pred(id: u64, name: &str, temporal: &[TemporalTerm], data: &[DataTerm]) -> PlanNode {
     let mut steps = vec![format!("scan {name}")];
     let mut tvars: Vec<String> = Vec::new();
     let mut tkeep: Vec<usize> = Vec::new();
@@ -289,7 +564,18 @@ fn compile_pred(name: &str, temporal: &[TemporalTerm], data: &[DataTerm]) -> Pla
         }
     }
     steps.push(project_step(&tvars, &dvars));
-    leaf(node_label_pred(name, temporal, data), steps, tvars, dvars)
+    leaf(
+        id,
+        node_label_pred(name, temporal, data),
+        PlanOp::Scan {
+            name: name.to_owned(),
+            temporal: temporal.to_vec(),
+            data: data.to_vec(),
+        },
+        steps,
+        tvars,
+        dvars,
+    )
 }
 
 /// The positive predicate node keeps the positive leaf label even when it
@@ -317,14 +603,22 @@ fn flip(op: CmpOp) -> CmpOp {
 }
 
 fn compile_temp_cmp(
+    id: u64,
     label: String,
     left: &TemporalTerm,
     op: CmpOp,
     right: &TemporalTerm,
 ) -> PlanNode {
+    let plan_op = PlanOp::TempCmp {
+        left: left.clone(),
+        op,
+        right: right.clone(),
+    };
     match (left, right) {
         (TemporalTerm::Const(a), TemporalTerm::Const(b)) => leaf(
+            id,
             label,
+            plan_op,
             vec![format!("unit({})", op.eval(*a, *b))],
             vec![],
             vec![],
@@ -332,7 +626,9 @@ fn compile_temp_cmp(
         (TemporalTerm::Var { name, shift }, TemporalTerm::Const(c)) => {
             let c = i128::from(*c) - i128::from(*shift);
             leaf(
+                id,
                 label,
+                plan_op,
                 vec![format!("constraint {name} {op} {c} over Z")],
                 vec![name.clone()],
                 vec![],
@@ -348,7 +644,9 @@ fn compile_temp_cmp(
             };
             let c = i128::from(*c) - i128::from(*shift);
             leaf(
+                id,
                 label,
+                plan_op,
                 vec![format!("constraint {name} {mirrored} {c} over Z")],
                 vec![name.clone()],
                 vec![],
@@ -371,7 +669,7 @@ fn compile_temp_cmp(
                 } else {
                     "empty relation".to_string()
                 };
-                return leaf(label, vec![step], vec![n1.clone()], vec![]);
+                return leaf(id, label, plan_op, vec![step], vec![n1.clone()], vec![]);
             }
             let c = i128::from(*s2) - i128::from(*s1);
             let rhs = match c {
@@ -380,7 +678,9 @@ fn compile_temp_cmp(
                 c => format!("{n2} - {}", -c),
             };
             leaf(
+                id,
                 label,
+                plan_op,
                 vec![format!("constraint {n1} {op} {rhs} over Z^2")],
                 vec![n1.clone(), n2.clone()],
                 vec![],
@@ -389,10 +689,23 @@ fn compile_temp_cmp(
     }
 }
 
-fn compile_data_cmp(label: String, left: &DataTerm, eq: bool, right: &DataTerm) -> PlanNode {
+fn compile_data_cmp(
+    id: u64,
+    label: String,
+    left: &DataTerm,
+    eq: bool,
+    right: &DataTerm,
+) -> PlanNode {
+    let plan_op = PlanOp::DataCmp {
+        left: left.clone(),
+        eq,
+        right: right.clone(),
+    };
     match (left, right) {
         (DataTerm::Const(a), DataTerm::Const(b)) => leaf(
+            id,
             label,
+            plan_op,
             vec![format!("unit({})", (a == b) == eq)],
             vec![],
             vec![],
@@ -408,7 +721,7 @@ fn compile_data_cmp(label: String, left: &DataTerm, eq: bool, right: &DataTerm) 
             } else {
                 format!("enumerate adom ∖ {{{v}}}")
             };
-            leaf(label, vec![step], vec![], vec![x.clone()])
+            leaf(id, label, plan_op, vec![step], vec![], vec![x.clone()])
         }
         (DataTerm::Var(x), DataTerm::Var(y)) => {
             if x == y {
@@ -417,20 +730,46 @@ fn compile_data_cmp(label: String, left: &DataTerm, eq: bool, right: &DataTerm) 
                 } else {
                     "empty relation".to_string()
                 };
-                return leaf(label, vec![step], vec![], vec![x.clone()]);
+                return leaf(id, label, plan_op, vec![step], vec![], vec![x.clone()]);
             }
             let step = format!(
                 "enumerate adom² where {x} {} {y}",
                 if eq { "=" } else { "!=" }
             );
-            leaf(label, vec![step], vec![], vec![x.clone(), y.clone()])
+            leaf(
+                id,
+                label,
+                plan_op,
+                vec![step],
+                vec![],
+                vec![x.clone(), y.clone()],
+            )
         }
     }
 }
 
-/// Mirrors `Env::conjoin`: join on shared variables, then keep each
-/// variable once.
-fn conjoin(label: String, a: PlanNode, b: PlanNode) -> PlanNode {
+/// Merged output variables of a binary node: `a`'s columns, then `b`'s
+/// new ones — shared by conjoin and disjoin (and by the optimizer, which
+/// must recompute them when it reorders children).
+pub(crate) fn merged_vars(a: &PlanNode, b: &PlanNode) -> (Vec<String>, Vec<String>) {
+    let mut tvars = a.temporal_vars.clone();
+    for v in &b.temporal_vars {
+        if !tvars.contains(v) {
+            tvars.push(v.clone());
+        }
+    }
+    let mut dvars = a.data_vars.clone();
+    for v in &b.data_vars {
+        if !dvars.contains(v) {
+            dvars.push(v.clone());
+        }
+    }
+    (tvars, dvars)
+}
+
+/// Steps text for a conjoin over children `a`, `b` (the optimizer reuses
+/// this when it rebuilds a reordered join).
+pub(crate) fn conjoin_steps(a: &PlanNode, b: &PlanNode) -> Vec<String> {
     let shared: Vec<String> = b
         .temporal_vars
         .iter()
@@ -443,45 +782,34 @@ fn conjoin(label: String, a: PlanNode, b: PlanNode) -> PlanNode {
     } else {
         format!("join on {}", shared.join(", "))
     }];
-    let mut tvars = a.temporal_vars.clone();
-    for v in &b.temporal_vars {
-        if !tvars.contains(v) {
-            tvars.push(v.clone());
-        }
-    }
-    let mut dvars = a.data_vars.clone();
-    for v in &b.data_vars {
-        if !dvars.contains(v) {
-            dvars.push(v.clone());
-        }
-    }
+    let (tvars, dvars) = merged_vars(a, b);
     steps.push(project_step(&tvars, &dvars));
+    steps
+}
+
+/// Mirrors `Env::conjoin`: join on shared variables, then keep each
+/// variable once.
+pub(crate) fn conjoin(id: u64, label: String, a: PlanNode, b: PlanNode) -> PlanNode {
+    let steps = conjoin_steps(&a, &b);
+    let (tvars, dvars) = merged_vars(&a, &b);
     PlanNode {
+        id,
         label,
+        op: PlanOp::Conjoin,
         steps,
         temporal_vars: tvars,
         data_vars: dvars,
         children: vec![a, b],
+        est: None,
+        rules: vec![],
     }
 }
 
-/// Mirrors `Env::disjoin`: pad both sides to the merged variable set,
-/// then union.
-fn disjoin(label: String, a: PlanNode, b: PlanNode) -> PlanNode {
-    let mut tvars = a.temporal_vars.clone();
-    for v in &b.temporal_vars {
-        if !tvars.contains(v) {
-            tvars.push(v.clone());
-        }
-    }
-    let mut dvars = a.data_vars.clone();
-    for v in &b.data_vars {
-        if !dvars.contains(v) {
-            dvars.push(v.clone());
-        }
-    }
+/// Steps text for a disjoin over children `a`, `b`.
+pub(crate) fn disjoin_steps(a: &PlanNode, b: &PlanNode) -> Vec<String> {
+    let (tvars, dvars) = merged_vars(a, b);
     let mut steps = Vec::new();
-    for (side, node) in [("left", &a), ("right", &b)] {
+    for (side, node) in [("left", a), ("right", b)] {
         let missing: Vec<String> = tvars
             .iter()
             .filter(|v| !node.temporal_vars.contains(v))
@@ -493,18 +821,36 @@ fn disjoin(label: String, a: PlanNode, b: PlanNode) -> PlanNode {
         }
     }
     steps.push("union".to_string());
+    steps
+}
+
+/// Mirrors `Env::disjoin`: pad both sides to the merged variable set,
+/// then union.
+pub(crate) fn disjoin(id: u64, label: String, a: PlanNode, b: PlanNode) -> PlanNode {
+    let (tvars, dvars) = merged_vars(&a, &b);
+    let steps = disjoin_steps(&a, &b);
     PlanNode {
+        id,
         label,
+        op: PlanOp::Disjoin,
         steps,
         temporal_vars: tvars,
         data_vars: dvars,
         children: vec![a, b],
+        est: None,
+        rules: vec![],
     }
 }
 
 /// Mirrors `Env::project_out` (+ optional negation for the quantifier
 /// arms that pay a complement).
-fn project_out(label: String, child: PlanNode, var: &str, negate: bool) -> PlanNode {
+pub(crate) fn project_out(
+    id: u64,
+    label: String,
+    child: PlanNode,
+    var: &str,
+    negate: bool,
+) -> PlanNode {
     let mut tvars = child.temporal_vars.clone();
     let mut dvars = child.data_vars.clone();
     let mut steps = Vec::new();
@@ -521,11 +867,18 @@ fn project_out(label: String, child: PlanNode, var: &str, negate: bool) -> PlanN
         steps.push(negate_step(tvars.len(), dvars.len()));
     }
     PlanNode {
+        id,
         label,
+        op: PlanOp::ProjectOut {
+            var: var.to_owned(),
+            negate,
+        },
         steps,
         temporal_vars: tvars,
         data_vars: dvars,
         children: vec![child],
+        est: None,
+        rules: vec![],
     }
 }
 

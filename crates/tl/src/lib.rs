@@ -286,7 +286,7 @@ pub fn holds_at(catalog: &impl Catalog, f: &Tl, t: i64) -> Result<bool, QueryErr
             body,
         ),
     );
-    itd_query::evaluate_bool(catalog, &closed)
+    truth(catalog, &closed)
 }
 
 /// Is the formula true at *every* time point (validity over `Z`)?
@@ -295,7 +295,7 @@ pub fn holds_at(catalog: &impl Catalog, f: &Tl, t: i64) -> Result<bool, QueryErr
 /// See [`holds_at`].
 pub fn valid(catalog: &impl Catalog, f: &Tl) -> Result<bool, QueryError> {
     let closed = Formula::forall("t0", f.compile("t0"));
-    itd_query::evaluate_bool(catalog, &closed)
+    truth(catalog, &closed)
 }
 
 /// Is the formula true at *some* time point?
@@ -304,7 +304,14 @@ pub fn valid(catalog: &impl Catalog, f: &Tl) -> Result<bool, QueryError> {
 /// See [`holds_at`].
 pub fn satisfiable(catalog: &impl Catalog, f: &Tl) -> Result<bool, QueryError> {
     let closed = Formula::exists("t0", f.compile("t0"));
-    itd_query::evaluate_bool(catalog, &closed)
+    truth(catalog, &closed)
+}
+
+/// Evaluates a closed compiled formula through the unified query entry
+/// point (the optimizer stays on — TL compilation produces deep
+/// conjunction chains that benefit from the rewrites).
+fn truth(catalog: &impl Catalog, closed: &Formula) -> Result<bool, QueryError> {
+    itd_query::run(catalog, closed, itd_query::QueryOpts::new())?.truth()
 }
 
 #[cfg(test)]

@@ -10,7 +10,15 @@
 //!
 //! Run with: `cargo run --example factory_verification`
 
-use itd_db::{Database, TupleSpec};
+use itd_db::{Database, QueryOpts, TupleSpec};
+
+/// Closed-formula truth through the unified `run` entry point.
+fn ask(db: &Database, src: &str) -> bool {
+    db.run(src, QueryOpts::new())
+        .expect("query")
+        .truth()
+        .expect("truth")
+}
 
 fn main() {
     let mut db = Database::new();
@@ -58,7 +66,7 @@ fn main() {
                and a1 <= a2 and a2 < b1)
             implies false
     "#;
-    let safe = db.ask(mutual_exclusion).expect("query");
+    let safe = ask(&db, mutual_exclusion);
     println!("mutual exclusion holds over all time: {safe}");
     assert!(safe);
 
@@ -69,7 +77,7 @@ fn main() {
     let press_infinitely_often = r#"
         forall t. exists a. exists b. holds(a, b; "press") and t <= a
     "#;
-    let recurrent = db.ask(press_infinitely_often).expect("query");
+    let recurrent = ask(&db, press_infinitely_often);
     println!("press acquires the crane infinitely often: {recurrent}");
     assert!(recurrent);
 
@@ -79,7 +87,7 @@ fn main() {
         forall a. forall b. holds(a, b; "lathe") implies
             exists c. exists d. holds(c, d; "press") and b <= c and c <= b + 15
     "#;
-    let responsive = db.ask(bounded_response).expect("query");
+    let responsive = ask(&db, bounded_response);
     println!("press re-acquires within 15 after each lathe release: {responsive}");
     assert!(responsive);
 
@@ -95,17 +103,19 @@ fn main() {
                 .datum("who", "forklift"),
         )
         .expect("valid");
-    let still_safe = db.ask(mutual_exclusion).expect("query");
+    let still_safe = ask(&db, mutual_exclusion);
     println!("after adding the forklift reservation, safety: {still_safe}");
     assert!(!still_safe);
 
     // Diagnose: which pairs conflict? An open query returns the witnesses.
     let witnesses = db
-        .query(
+        .run(
             r#"holds(a1, b1; x) and holds(a2, b2; y) and x != y
                and a1 <= a2 and a2 < b1 and a1 >= 0 and b2 <= 30"#,
+            QueryOpts::new(),
         )
-        .expect("query");
+        .expect("query")
+        .result;
     let rows = witnesses.relation.materialize(0, 30);
     println!("conflicts within the first cycle:");
     for (times, data) in &rows {

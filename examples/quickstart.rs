@@ -3,7 +3,15 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use itd_db::{Database, TupleSpec};
+use itd_db::{Database, QueryOpts, TupleSpec};
+
+/// Closed-formula truth through the unified `run` entry point.
+fn ask(db: &Database, src: &str) -> bool {
+    db.run(src, QueryOpts::new())
+        .expect("query")
+        .truth()
+        .expect("truth")
+}
 
 fn main() {
     let mut db = Database::new();
@@ -38,18 +46,15 @@ fn main() {
     // Membership is exact over infinite time: hour 999_999_999?
     let far_future = 999_999_996 + 3; // ≡ 3 (mod 12)
     let q = format!(r#"exists e. backup({far_future}, e; "db-primary")"#);
-    println!(
-        "primary backup starts at {far_future}: {}",
-        db.ask(&q).expect("query")
-    );
-    assert!(db.ask(&q).expect("query"));
+    println!("primary backup starts at {far_future}: {}", ask(&db, &q));
+    assert!(ask(&db, &q));
 
     // First-order reasoning over all of Z: every primary backup finishes
     // two hours after it starts.
     let always_two_hours = r#"
         forall s. forall e. backup(s, e; "db-primary") implies e = s + 2
     "#;
-    assert!(db.ask(always_two_hours).expect("query"));
+    assert!(ask(&db, always_two_hours));
     println!("every primary backup lasts exactly 2h: true");
 
     // Do the two hosts ever back up at overlapping times?
@@ -58,7 +63,7 @@ fn main() {
             backup(s1, e1; "db-primary") and backup(s2, e2; "db-replica")
             and s1 <= s2 and s2 <= e1
     "#;
-    let overlapping = db.ask(overlap).expect("query");
+    let overlapping = ask(&db, overlap);
     println!("primary and replica backups ever overlap: {overlapping}");
 
     // Algebra directly on the relation: project to start times.
@@ -75,6 +80,6 @@ fn main() {
     // Persistence round trip.
     let json = db.to_json().expect("serialize");
     let restored = Database::from_json(&json).expect("deserialize");
-    assert!(restored.ask(&q).expect("query"));
+    assert!(ask(&restored, &q));
     println!("database JSON round trip: ok ({} bytes)", json.len());
 }

@@ -11,7 +11,15 @@
 //!
 //! Run with: `cargo run --example robot_factory`
 
-use itd_db::{Database, TupleSpec};
+use itd_db::{Database, QueryOpts, TupleSpec};
+
+/// Closed-formula truth through the unified `run` entry point.
+fn ask(db: &Database, src: &str) -> bool {
+    db.run(src, QueryOpts::new())
+        .expect("query")
+        .truth()
+        .expect("truth")
+}
 
 fn main() {
     let mut db = Database::new();
@@ -55,15 +63,9 @@ fn main() {
 
     // Sanity: robot2 performs task2 during [10, 13], [20, 23], … and also
     // at negative times (no lower bound on that row).
-    assert!(db
-        .ask(r#"perform(10, 13; "robot2", "task2")"#)
-        .expect("query"));
-    assert!(db
-        .ask(r#"perform(-10, -7; "robot2", "task2")"#)
-        .expect("query"));
-    assert!(!db
-        .ask(r#"perform(-10, -7; "robot2", "task1")"#)
-        .expect("query"));
+    assert!(ask(&db, r#"perform(10, 13; "robot2", "task2")"#));
+    assert!(ask(&db, r#"perform(-10, -7; "robot2", "task2")"#));
+    assert!(!ask(&db, r#"perform(-10, -7; "robot2", "task1")"#));
 
     // Example 4.1: is there a robot x and a robot y such that whenever x
     // performs task2 for an interval of length ≥ 5, y performs nothing
@@ -79,7 +81,7 @@ fn main() {
     "#;
     // Note: the paper's formula needs SOME witness interval for x; with a
     // vacuous antecedent the inner implication is true for any t1, t2.
-    let holds = db.ask(example_4_1).expect("query");
+    let holds = ask(&db, example_4_1);
     println!("Example 4.1 property: {holds}");
     assert!(holds);
 
@@ -93,14 +95,15 @@ fn main() {
             and perform(s1, s2; "robot2", "task2")
             and s1 <= t1 and t1 <= s2
     "#;
-    assert!(db.ask(busy_overlap).expect("query"));
+    assert!(ask(&db, busy_overlap));
     println!("robot1 sometimes starts while robot2 is on task2: true");
 
     // And a universal: robot2's task1 work never starts before time 10
     // (the X1 ≥ 10 constraint), over the entire infinite future.
-    assert!(db
-        .ask(r#"forall t1. forall t2. perform(t1, t2; "robot2", "task1") implies t1 >= 10"#)
-        .expect("query"));
+    assert!(ask(
+        &db,
+        r#"forall t1. forall t2. perform(t1, t2; "robot2", "task1") implies t1 >= 10"#
+    ));
     println!("robot2 never performs task1 before t = 10: true");
 
     // Algebra flavor: who is ever working at time point 22?

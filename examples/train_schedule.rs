@@ -7,9 +7,17 @@
 //!
 //! Run with: `cargo run --example train_schedule`
 
-use itd_db::{Database, TupleSpec};
+use itd_db::{Database, QueryOpts, TupleSpec};
 
 const HOUR: i64 = 60;
+
+/// Closed-formula truth through the unified `run` entry point.
+fn ask(db: &Database, src: &str) -> bool {
+    db.run(src, QueryOpts::new())
+        .expect("query")
+        .truth()
+        .expect("truth")
+}
 
 fn main() {
     let mut db = Database::new();
@@ -43,9 +51,7 @@ fn main() {
     // The 7:02 train arrives 8:20.
     let t0702 = 7 * HOUR + 2;
     let t0820 = 8 * HOUR + 20;
-    assert!(db
-        .ask(format!(r#"train({t0702}, {t0820}; "slow")"#))
-        .expect("query"));
+    assert!(ask(&db, &format!(r#"train({t0702}, {t0820}; "slow")"#)));
     println!("7:02 → 8:20 slow train exists: true");
 
     // The paper's broken inference — "a train leaving at h+1:46 arriving at
@@ -53,16 +59,15 @@ fn main() {
     // never 7:50.
     let t0746 = 7 * HOUR + 46;
     let t0750 = 7 * HOUR + 50;
-    assert!(!db
-        .ask(format!("exists k. train({t0746}, {t0750}; k)"))
-        .expect("query"));
+    assert!(!ask(&db, &format!("exists k. train({t0746}, {t0750}; k)")));
     println!("bogus 7:46 → 7:50 train: correctly absent");
 
     // Every slow train takes exactly 78 minutes — over the whole infinite
     // schedule.
-    assert!(db
-        .ask(r#"forall d. forall a. train(d, a; "slow") implies a = d + 78"#)
-        .expect("query"));
+    assert!(ask(
+        &db,
+        r#"forall d. forall a. train(d, a; "slow") implies a = d + 78"#
+    ));
     println!("every slow train takes 78 minutes: true");
 
     // Between 7:46 and 8:20 two trains are under way simultaneously.
@@ -72,7 +77,7 @@ fn main() {
             and d1 < d2 and d2 < a1 and k1 != k2
             and d1 = {t0702}"
     );
-    assert!(db.ask(&q).expect("query"));
+    assert!(ask(&db, &q));
     println!("overlapping slow+express service around 8:00: true");
 
     // ---- The paper's cautionary unary design ----
@@ -92,7 +97,7 @@ fn main() {
     // "some train leaves at 7:46 and arrives at 7:50" — wrongly true in the
     // unary design:
     let bogus = format!("leaving({t0746}) and arriving({t0750})");
-    assert!(db.ask(&bogus).expect("query"));
+    assert!(ask(&db, &bogus));
     println!("unary design wrongly admits the 7:46 → 7:50 pair: true (as the paper warns)");
 
     // ---- Algebra: the departures timetable ----

@@ -300,7 +300,7 @@ fn complement_counters_count_free_extensions() {
 /// `QueryResult::stats`, and a context reused across queries accumulates.
 #[test]
 fn query_evaluation_reports_nonzero_stats() {
-    use itd_query::{evaluate_with, parse, MemoryCatalog};
+    use itd_query::{parse, run, MemoryCatalog, QueryOpts};
     let mut cat = MemoryCatalog::new();
     cat.insert(
         "even",
@@ -311,7 +311,9 @@ fn query_evaluation_reports_nonzero_stats() {
     );
     let ctx = ExecContext::new();
     let f = parse("exists t. even(t) and even(t + 2) and even(0) and t >= 4").unwrap();
-    let r = evaluate_with(&cat, &f, &ctx).unwrap();
+    let r = run(&cat, &f, QueryOpts::new().ctx(&ctx).optimize(false))
+        .unwrap()
+        .result;
     let stats = r.stats();
     assert!(!stats.is_zero());
     assert!(stats.op(OpKind::Join).calls > 0, "conjunction joins");
@@ -322,7 +324,7 @@ fn query_evaluation_reports_nonzero_stats() {
 
     // Reusing the context accumulates across evaluations.
     let before = stats.total_calls();
-    let _ = evaluate_with(&cat, &f, &ctx).unwrap();
+    let _ = run(&cat, &f, QueryOpts::new().ctx(&ctx).optimize(false)).unwrap();
     assert_eq!(ctx.stats().total_calls(), before * 2);
 }
 
@@ -332,7 +334,7 @@ fn query_evaluation_reports_nonzero_stats() {
 /// tree is bit-identical across thread counts (up to timing).
 #[test]
 fn traced_query_spans_sum_to_stats_and_are_thread_invariant() {
-    use itd_query::{evaluate_traced_with, explain, parse, MemoryCatalog};
+    use itd_query::{explain, parse, run, MemoryCatalog, QueryOpts};
     let mut cat = MemoryCatalog::new();
     cat.insert(
         "even",
@@ -349,12 +351,22 @@ fn traced_query_spans_sum_to_stats_and_are_thread_invariant() {
     assert!(rendered.contains("join on t"), "{rendered}");
     assert!(rendered.contains("difference from Z^1"), "{rendered}");
 
-    let run = |threads: usize| {
+    let run_at = |threads: usize| {
         let ctx = ExecContext::with_threads(threads).traced();
-        let traced = evaluate_traced_with(&cat, &f, &ctx).unwrap();
+        let out = run(
+            &cat,
+            &f,
+            QueryOpts::new().ctx(&ctx).trace(true).optimize(false),
+        )
+        .unwrap();
+        let traced = itd_query::Traced {
+            result: out.result,
+            plan: out.plan,
+            trace: out.trace.expect("tracing requested"),
+        };
         (traced, ctx.stats())
     };
-    let (baseline, stats1) = run(1);
+    let (baseline, stats1) = run_at(1);
     assert!(baseline.result.relation.contains(&[0], &[]));
     assert!(!baseline.result.relation.contains(&[1], &[]));
 
@@ -370,7 +382,7 @@ fn traced_query_spans_sum_to_stats_and_are_thread_invariant() {
     );
 
     for threads in [2usize, 8] {
-        let (traced, stats) = run(threads);
+        let (traced, stats) = run_at(threads);
         assert_eq!(
             traced.trace.without_timing(),
             baseline.trace.without_timing(),

@@ -1,0 +1,201 @@
+//! The optimizer's soundness contract, property-tested: for random
+//! formulas over a periodic catalog, (1) each evaluation mode is
+//! bit-identical at 1, 2, and 8 threads — results AND counters — and
+//! (2) the optimized plan computes the same query as the unoptimized
+//! plan (same columns, same denotation, same emptiness verdict).
+
+use itd_core::{Atom, ExecContext, GenRelation, GenTuple, Lrp, Schema, Value};
+use itd_query::{run, CmpOp, Formula, MemoryCatalog, QueryOpts, TemporalTerm};
+use proptest::prelude::*;
+
+fn lrp(c: i64, k: i64) -> Lrp {
+    Lrp::new(c, k).unwrap()
+}
+
+/// Small-period relations so complements (∀, ¬) stay tractable at any
+/// nesting the strategy produces.
+fn catalog() -> MemoryCatalog {
+    let mut cat = MemoryCatalog::new();
+    cat.insert(
+        "p",
+        GenRelation::builder(Schema::new(1, 0))
+            .tuple(GenTuple::unconstrained(vec![lrp(0, 2)], vec![]))
+            .build()
+            .unwrap(),
+    );
+    cat.insert(
+        "q",
+        GenRelation::builder(Schema::new(1, 0))
+            .tuple(
+                GenTuple::builder()
+                    .lrps(vec![lrp(1, 3)])
+                    .atoms([Atom::ge(0, -6)])
+                    .build()
+                    .unwrap(),
+            )
+            .tuple(GenTuple::unconstrained(vec![lrp(2, 6)], vec![]))
+            .build()
+            .unwrap(),
+    );
+    cat.insert(
+        "r",
+        GenRelation::builder(Schema::new(1, 1))
+            .tuple(GenTuple::unconstrained(
+                vec![lrp(0, 4)],
+                vec![Value::str("a")],
+            ))
+            .tuple(GenTuple::unconstrained(
+                vec![lrp(3, 4)],
+                vec![Value::str("b")],
+            ))
+            .build()
+            .unwrap(),
+    );
+    cat.insert("never", GenRelation::empty(Schema::new(1, 0)));
+    cat
+}
+
+fn temporal_term() -> impl Strategy<Value = TemporalTerm> {
+    prop_oneof![
+        (-3i64..4).prop_map(TemporalTerm::Const),
+        (prop_oneof![Just("t"), Just("u")], -2i64..3)
+            .prop_map(|(v, s)| TemporalTerm::var_plus(v, s)),
+    ]
+}
+
+fn leaf() -> impl Strategy<Value = Formula> {
+    prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (
+            prop_oneof![Just("p"), Just("q"), Just("never")],
+            temporal_term()
+        )
+            .prop_map(|(name, term)| Formula::Pred {
+                name: name.to_string(),
+                temporal: vec![term],
+                data: vec![],
+            }),
+        (temporal_term(),).prop_map(|(term,)| Formula::Pred {
+            name: "r".to_string(),
+            temporal: vec![term],
+            data: vec![itd_query::DataTerm::var("x")],
+        }),
+        (
+            temporal_term(),
+            prop_oneof![
+                Just(CmpOp::Le),
+                Just(CmpOp::Lt),
+                Just(CmpOp::Ge),
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne)
+            ],
+            temporal_term()
+        )
+            .prop_map(|(left, op, right)| Formula::TempCmp { left, op, right }),
+    ]
+}
+
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    leaf().prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+            inner.clone().prop_map(Formula::not),
+            inner
+                .clone()
+                .prop_map(|b| Formula::exists("t", Formula::and(b, tether("t")))),
+            inner
+                .clone()
+                .prop_map(|b| Formula::forall("u", Formula::implies(tether("u"), b))),
+            inner.prop_map(|b| Formula::exists("x", b)),
+        ]
+    })
+}
+
+/// Keeps a quantified temporal variable inside a periodic relation so
+/// universal quantification stays a small-grid complement.
+fn tether(v: &str) -> Formula {
+    Formula::Pred {
+        name: "p".to_string(),
+        temporal: vec![TemporalTerm::var(v)],
+        data: vec![],
+    }
+}
+
+/// Per-operator `(kind, tuples_in, tuples_out, pairs)` counter rows.
+type CounterRows = Vec<(itd_core::OpKind, u64, u64, u64)>;
+
+/// Evaluates `f` in the given mode; errors from oversized intermediate
+/// relations (complement limits) discard the case.
+fn eval(
+    cat: &MemoryCatalog,
+    f: &Formula,
+    optimize: bool,
+    threads: usize,
+) -> Result<Option<(itd_query::QueryResult, CounterRows)>, TestCaseError> {
+    let ctx = ExecContext::with_threads(threads);
+    match run(cat, f, QueryOpts::new().ctx(&ctx).optimize(optimize)) {
+        Ok(out) => {
+            let counters = ctx
+                .stats()
+                .iter()
+                .map(|(kind, op)| (kind, op.tuples_in, op.tuples_out, op.pairs))
+                .collect();
+            Ok(Some((out.result, counters)))
+        }
+        Err(itd_query::QueryError::Core(itd_core::CoreError::TooManyExtensions { .. })) => Ok(None),
+        Err(itd_query::QueryError::SortConflict { .. }) => Ok(None),
+        Err(other) => Err(TestCaseError::fail(format!("{other}"))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both modes are deterministic in the thread count: same relation
+    /// (tuple-for-tuple) and same operator counters at 1, 2, 8 threads.
+    #[test]
+    fn each_mode_bit_identical_across_thread_counts(f in formula_strategy()) {
+        let cat = catalog();
+        for optimize in [false, true] {
+            let Some(base) = eval(&cat, &f, optimize, 1)? else { return Ok(()) };
+            for threads in [2usize, 8] {
+                let Some(got) = eval(&cat, &f, optimize, threads)? else { return Ok(()) };
+                prop_assert_eq!(
+                    &got.0.relation, &base.0.relation,
+                    "optimize={} at {} threads changed the result of {:?}",
+                    optimize, threads, f
+                );
+                prop_assert_eq!(
+                    &got.1, &base.1,
+                    "optimize={} at {} threads changed the counters of {:?}",
+                    optimize, threads, f
+                );
+            }
+        }
+    }
+
+    /// The rewrites are sound: the optimized plan answers exactly the
+    /// unoptimized query — same columns, same denotation on a window,
+    /// same emptiness verdict.
+    #[test]
+    fn optimized_equals_unoptimized(f in formula_strategy()) {
+        let cat = catalog();
+        let Some((unopt, _)) = eval(&cat, &f, false, 1)? else { return Ok(()) };
+        let Some((opt, _)) = eval(&cat, &f, true, 1)? else { return Ok(()) };
+        prop_assert_eq!(&opt.temporal_vars, &unopt.temporal_vars);
+        prop_assert_eq!(&opt.data_vars, &unopt.data_vars);
+        prop_assert_eq!(
+            opt.relation.denotes_empty().map_err(|e| TestCaseError::fail(format!("{e}")))?,
+            unopt.relation.denotes_empty().map_err(|e| TestCaseError::fail(format!("{e}")))?,
+            "emptiness diverged on {:?}", f
+        );
+        prop_assert_eq!(
+            opt.relation.materialize(-24, 24),
+            unopt.relation.materialize(-24, 24),
+            "denotation diverged on {:?}", f
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Golden EXPLAIN snapshots: the rendered pre/post-rewrite plan trees
+//! for representative queries are pinned byte-for-byte. A diff here
+//! means the lowering, the cost model's printed estimates, or a rewrite
+//! rule changed behavior — update the golden deliberately, in the same
+//! change that altered the optimizer.
+
+use itd_core::{GenRelation, GenTuple, Lrp, Schema, Value};
+use itd_query::{explain_opt, parse, MemoryCatalog};
+
+/// A fixed catalog (no randomness) so estimates — and therefore the
+/// rendered goldens — are stable.
+fn catalog() -> MemoryCatalog {
+    let mut cat = MemoryCatalog::new();
+    let unary = |residues: &[i64], k: i64| {
+        let mut rel = GenRelation::empty(Schema::new(1, 0));
+        for &r in residues {
+            rel.push(GenTuple::unconstrained(
+                vec![Lrp::new(r, k).unwrap()],
+                vec![],
+            ))
+            .unwrap();
+        }
+        rel
+    };
+    cat.insert("p", unary(&[0, 1, 2, 3, 4, 5, 0, 2, 4, 1, 3, 5], 6));
+    cat.insert("q", unary(&[0, 3, 1, 4, 2, 5, 0, 1, 2, 3, 4, 5], 6));
+    cat.insert("r", unary(&[0, 3], 6));
+    cat.insert("never", GenRelation::empty(Schema::new(1, 0)));
+    cat.insert(
+        "perform",
+        GenRelation::builder(Schema::new(1, 1))
+            .tuple(GenTuple::unconstrained(
+                vec![Lrp::new(0, 4).unwrap()],
+                vec![Value::str("robot1")],
+            ))
+            .tuple(GenTuple::unconstrained(
+                vec![Lrp::new(2, 4).unwrap()],
+                vec![Value::str("robot2")],
+            ))
+            .build()
+            .unwrap(),
+    );
+    cat
+}
+
+/// Compares against the golden, or rewrites it when `BLESS` is set in
+/// the environment (`BLESS=1 cargo test -p itd-db --test plan_snapshots`,
+/// then rebuild — goldens are compiled in via `include_str!`).
+#[track_caller]
+fn check(src: &str, name: &str, golden: &str) {
+    let cat = catalog();
+    let report = explain_opt(&cat, &parse(src).unwrap()).unwrap();
+    let actual = report.render();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(format!("../../tests/goldens/{name}"), &actual).unwrap();
+        return;
+    }
+    assert_eq!(
+        actual, golden,
+        "\nEXPLAIN golden mismatch for `{src}`.\nActual output:\n\
+         ---8<---\n{actual}--->8---\n"
+    );
+}
+
+/// Greedy join reordering: the parse order pairs the two 12-row
+/// relations first; the optimizer starts from the 2-row `r`.
+#[test]
+fn golden_join_reorder() {
+    check(
+        "p(t) and q(t) and r(t)",
+        "join_reorder.explain.txt",
+        include_str!("goldens/join_reorder.explain.txt"),
+    );
+}
+
+/// Empty short-circuits: the empty scan collapses the whole tree before
+/// any join runs.
+#[test]
+fn golden_empty_short_circuit() {
+    check(
+        "exists t. (p(t) and q(t)) and never(t)",
+        "empty_short_circuit.explain.txt",
+        include_str!("goldens/empty_short_circuit.explain.txt"),
+    );
+}
+
+/// Selection pushdown plus negation: the constraint sinks below the
+/// join; the negated predicate keeps its difference-from-`Z` wrapper.
+#[test]
+fn golden_pushdown_with_negation() {
+    check(
+        r#"exists t. (p(t) and perform(t; "robot1")) and t >= 4 and not q(t)"#,
+        "pushdown_negation.explain.txt",
+        include_str!("goldens/pushdown_negation.explain.txt"),
+    );
+}

@@ -3,7 +3,15 @@
 //! (Theorem 4.1: the same query over growing databases keeps working and
 //! answers consistently).
 
-use itd_db::{Database, TupleSpec};
+use itd_db::{Database, DbError, QueryOpts, TupleSpec};
+
+/// `db.run` + closed-formula truth, the post-`QueryOpts` idiom for what
+/// used to be `db.ask`.
+fn ask(db: &Database, src: &str) -> itd_db::Result<bool> {
+    db.run(src, QueryOpts::new())?
+        .truth()
+        .map_err(DbError::Query)
+}
 
 /// Builds the Table 1 database, optionally with a long task2 interval that
 /// flips Example 4.1's answer machinery into the non-vacuous case.
@@ -66,7 +74,7 @@ const EXAMPLE_4_1: &str = r#"
 fn example_4_1_vacuous_case() {
     // All task2 intervals have length 3 < 5: antecedent vacuous → true.
     let db = robot_db(false);
-    assert!(db.ask(EXAMPLE_4_1).unwrap());
+    assert!(ask(&db, EXAMPLE_4_1).unwrap());
 }
 
 #[test]
@@ -80,7 +88,7 @@ fn example_4_1_witnessed_case() {
     // x = robot3 the property fails; with x = robot2 the antecedent is
     // vacuous (all its task2 intervals are short) → property still true!
     let db = robot_db(true);
-    assert!(db.ask(EXAMPLE_4_1).unwrap());
+    assert!(ask(&db, EXAMPLE_4_1).unwrap());
 
     // Force x to robot3: now no y works — every robot performs something
     // inside [100, 107]. (Active-domain subtlety: y must be constrained to
@@ -99,7 +107,7 @@ fn example_4_1_witnessed_case() {
               (t1 <= t3 and t3 <= t4 and t4 <= t2)
               implies not perform(t3, t4; y, z)
     "#;
-    assert!(!db.ask(pinned).unwrap());
+    assert!(!ask(&db, pinned).unwrap());
     // Sanity for the vacuity explanation: with y unconstrained the formula
     // is true via a non-robot binding.
     let unconstrained_y = r#"
@@ -108,7 +116,7 @@ fn example_4_1_witnessed_case() {
                and t1 <= t3 and t3 <= t4 and t4 <= t2 and t1 + 5 <= t2)
             implies not perform(t3, t4; y, z)
     "#;
-    assert!(db.ask(unconstrained_y).unwrap());
+    assert!(ask(&db, unconstrained_y).unwrap());
 }
 
 #[test]
@@ -116,8 +124,12 @@ fn open_query_interval_containment() {
     let db = robot_db(false);
     // Which robots have an interval containing time 22?
     let r = db
-        .query("perform(a, b; who, task) and a <= 22 and 22 <= b")
-        .unwrap();
+        .run(
+            "perform(a, b; who, task) and a <= 22 and 22 <= b",
+            QueryOpts::new(),
+        )
+        .unwrap()
+        .result;
     assert_eq!(r.temporal_vars, vec!["a", "b"]);
     assert_eq!(r.data_vars, vec!["who", "task"]);
     let rows = r.relation.materialize(15, 25);
@@ -148,7 +160,7 @@ fn data_complexity_consistency() {
             )
             .unwrap();
         }
-        assert!(db.ask(q).unwrap(), "extra = {extra}");
+        assert!(ask(&db, q).unwrap(), "extra = {extra}");
     }
 }
 
@@ -156,31 +168,37 @@ fn data_complexity_consistency() {
 fn quantifier_alternation_over_infinite_domain() {
     let db = robot_db(false);
     // ∀t ∃a,b: robot2 task2 interval starting at or after t (recurrence).
-    assert!(db
-        .ask(r#"forall t. exists a. exists b. perform(a, b; "robot2", "task2") and t <= a"#)
-        .unwrap());
+    assert!(ask(
+        &db,
+        r#"forall t. exists a. exists b. perform(a, b; "robot2", "task2") and t <= a"#
+    )
+    .unwrap());
     // ∃t ∀a,b: a time after all robot1 activity — false (periodic forever).
-    assert!(!db
-        .ask(r#"exists t. forall a. forall b. perform(a, b; "robot1", "task1") implies b <= t"#)
-        .unwrap());
+    assert!(!ask(
+        &db,
+        r#"exists t. forall a. forall b. perform(a, b; "robot1", "task1") implies b <= t"#
+    )
+    .unwrap());
     // But robot2's task1 activity has a start: ∃t before all of it.
-    assert!(db
-        .ask(r#"exists t. forall a. forall b. perform(a, b; "robot2", "task1") implies t <= a"#)
-        .unwrap());
+    assert!(ask(
+        &db,
+        r#"exists t. forall a. forall b. perform(a, b; "robot2", "task1") implies t <= a"#
+    )
+    .unwrap());
 }
 
 #[test]
 fn sort_errors_surface() {
     let db = robot_db(false);
-    assert!(db.ask("nosuchtable(1, 2; x, y)").is_err());
-    assert!(db.ask(r#"perform(1; "robot1")"#).is_err()); // arity
-    assert!(db.ask(r#"exists t. perform(t, t; t, "task1")"#).is_err()); // t at both sorts
+    assert!(ask(&db, "nosuchtable(1, 2; x, y)").is_err());
+    assert!(ask(&db, r#"perform(1; "robot1")"#).is_err()); // arity
+    assert!(ask(&db, r#"exists t. perform(t, t; t, "task1")"#).is_err()); // t at both sorts
 }
 
 #[test]
 fn parse_error_offsets() {
     let db = robot_db(false);
-    let err = db.ask("perform(1, 2; ").unwrap_err();
+    let err = ask(&db, "perform(1, 2; ").unwrap_err();
     let text = err.to_string();
     assert!(text.contains("parse error"), "{text}");
 }

@@ -149,7 +149,10 @@ fn deep_query_nesting_does_not_stack_overflow() {
     );
     let f = itd_query::parse(&src).unwrap();
     // even(0) under an even number of negations: true.
-    assert!(itd_query::evaluate_bool(&cat, &f).unwrap());
+    assert!(itd_query::run(&cat, &f, itd_query::QueryOpts::new())
+        .unwrap()
+        .truth()
+        .unwrap());
 }
 
 #[test]
