@@ -50,7 +50,7 @@ fn bench_coalesce(c: &mut Criterion) {
         .unwrap();
         let comp = r.complement_temporal().unwrap();
         group.bench_with_input(BenchmarkId::new("coalesce", k), &comp, |bch, comp| {
-            bch.iter(|| comp.coalesce().unwrap())
+            bch.iter(|| comp.compact().unwrap())
         });
     }
     group.finish();

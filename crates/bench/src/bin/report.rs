@@ -16,7 +16,7 @@
 use std::sync::OnceLock;
 use std::time::Duration;
 
-use itd_bench::{fit_loglog, fit_semilog, fmt_duration, time_median};
+use itd_bench::{fit_loglog, fit_semilog, fmt_duration, time_median, time_once};
 use itd_core::GenRelation;
 use itd_workload::{
     brute_force_sat, random_3cnf, random_relation, solve_via_complement, RelationSpec,
@@ -47,6 +47,7 @@ mod jsonout {
         name: String,
         claim: String,
         exponent: f64,
+        fit: &'static str,
         points: Vec<(f64, f64)>,
     }
 
@@ -78,6 +79,14 @@ mod jsonout {
             name: name.to_owned(),
             claim: claim.to_owned(),
             exponent,
+            // Smoke sweeps are truncated to a few points, so the fitted
+            // slope carries no information; tag it so downstream tooling
+            // never compares it against the paper's bound.
+            fit: if super::smoke() {
+                "unreliable"
+            } else {
+                "reliable"
+            },
             points: points.to_vec(),
         });
     }
@@ -131,10 +140,11 @@ mod jsonout {
                     .map(|(x, secs)| format!("[{x}, {secs:e}]"))
                     .collect();
                 out.push_str(&format!(
-                    "\n        {{\"name\": \"{}\", \"claim\": \"{}\", \"exponent\": {:.4}, \"median_seconds\": [{}]}}",
+                    "\n        {{\"name\": \"{}\", \"claim\": \"{}\", \"exponent\": {:.4}, \"fit\": \"{}\", \"median_seconds\": [{}]}}",
                     escape(&r.name),
                     escape(&r.claim),
                     r.exponent,
+                    r.fit,
                     pts.join(", ")
                 ));
             }
@@ -213,6 +223,21 @@ where
 }
 
 fn print_row(name: &str, claim: &str, points: &[(f64, f64)], exponent: f64) {
+    print_row_fit(name, claim, points, exponent, None);
+}
+
+/// [`print_row`] with an acceptance range for the fitted exponent. The
+/// range is only asserted on full sweeps: smoke runs truncate every sweep
+/// to a few points, which leaves the least-squares slope at the mercy of
+/// constant factors and CI noise, so their rows are tagged
+/// `"fit": "unreliable"` in the JSON instead of being gated.
+fn print_row_fit(
+    name: &str,
+    claim: &str,
+    points: &[(f64, f64)],
+    exponent: f64,
+    fit: Option<(f64, f64)>,
+) {
     let last = points.last().expect("nonempty sweep");
     println!(
         "| {name} | {claim} | {:.2} | {} at x={} |",
@@ -220,12 +245,38 @@ fn print_row(name: &str, claim: &str, points: &[(f64, f64)], exponent: f64) {
         fmt_duration(Duration::from_secs_f64(last.1)),
         last.0
     );
+    if let Some((lo, hi)) = fit {
+        assert!(
+            smoke() || (lo..=hi).contains(&exponent),
+            "{name}: fitted exponent {exponent:.2} escapes the accepted \
+             range [{lo}, {hi}] for the claim {claim} on a full sweep"
+        );
+    }
     jsonout::row(name, claim, exponent, points);
+}
+
+/// Snapshots one operator's execution counters into the current JSON
+/// section: the markdown tables show timings, the JSON keeps the work
+/// counters (tuples, candidate pairs, index effectiveness) next to them.
+fn snap_counters(name: &str, kind: itd_core::OpKind, ctx: &itd_core::ExecContext) {
+    let op = *ctx.stats().op(kind);
+    jsonout::counters(
+        name,
+        &[
+            ("calls", op.calls),
+            ("tuples_in", op.tuples_in),
+            ("tuples_out", op.tuples_out),
+            ("pairs", op.pairs),
+            ("index_probes", op.index_probes),
+            ("index_pruned", op.index_pruned),
+        ],
+    );
 }
 
 fn table2_fixed_schema() {
     println!("\n## Table 2 — fixed-schema complexity (m = 2, k = 6, sweep N)\n");
     jsonout::begin_section("table2_fixed_schema");
+    use itd_core::{ExecContext, OpKind};
     println!("| operation | paper bound | measured exponent (N) | slowest point |");
     println!("|---|---|---|---|");
     let ns = take(&[8usize, 16, 32, 64, 128, 256]);
@@ -239,36 +290,82 @@ fn table2_fixed_schema() {
         })
         .collect();
     let rel = |n: usize| &pairs[ns.iter().position(|&x| x == n).expect("in sweep")];
+    // One counted run at the sweep's largest point per operation, so the
+    // JSON rows carry counters and not just timings.
+    let n_max = *ns.last().expect("nonempty sweep");
+    let snap = |name: &str, kind: OpKind, run: &dyn Fn(&ExecContext)| {
+        let ctx = ExecContext::serial();
+        run(&ctx);
+        snap_counters(name, kind, &ctx);
+    };
 
     let pts = sweep(&ns, |n| {
         let (a, b) = rel(n);
         time_median(REPS, || a.union(b).unwrap()).0
     });
-    print_row("union", "O(N)", &pts, fit_loglog(&pts));
+    print_row_fit("union", "O(N)", &pts, fit_loglog(&pts), Some((0.2, 1.7)));
+    snap("union", OpKind::Union, &|ctx| {
+        let (a, b) = rel(n_max);
+        a.union_in(b, ctx).expect("union");
+    });
 
     let pts = sweep(&ns, |n| {
         let (a, b) = rel(n);
         time_median(REPS, || a.cross_product(b).unwrap()).0
     });
-    print_row("cross-product", "O(N²)", &pts, fit_loglog(&pts));
+    print_row_fit(
+        "cross-product",
+        "O(N²)",
+        &pts,
+        fit_loglog(&pts),
+        Some((1.2, 2.8)),
+    );
+    snap("cross-product", OpKind::Product, &|ctx| {
+        let (a, b) = rel(n_max);
+        a.cross_product_in(b, ctx).expect("cross product");
+    });
 
     let pts = sweep(&ns, |n| {
         let (a, b) = rel(n);
         time_median(REPS, || a.intersect(b).unwrap()).0
     });
-    print_row("intersection", "O(N²)", &pts, fit_loglog(&pts));
+    print_row_fit(
+        "intersection",
+        "O(N²)",
+        &pts,
+        fit_loglog(&pts),
+        Some((1.0, 2.8)),
+    );
+    snap("intersection", OpKind::Intersect, &|ctx| {
+        let (a, b) = rel(n_max);
+        a.intersect_in(b, ctx).expect("intersect");
+    });
 
     let pts = sweep(&ns, |n| {
         let (a, b) = rel(n);
         time_median(REPS, || a.join_on(b, &[(0, 0)], &[]).unwrap()).0
     });
-    print_row("join", "O(N²)", &pts, fit_loglog(&pts));
+    print_row_fit("join", "O(N²)", &pts, fit_loglog(&pts), Some((1.0, 2.8)));
+    snap("join", OpKind::Join, &|ctx| {
+        let (a, b) = rel(n_max);
+        a.join_on_in(b, &[(0, 0)], &[], ctx).expect("join");
+    });
 
     let pts = sweep(&ns, |n| {
         let (a, _) = rel(n);
         time_median(REPS, || a.project(&[0], &[]).unwrap()).0
     });
-    print_row("projection", "O(N)", &pts, fit_loglog(&pts));
+    print_row_fit(
+        "projection",
+        "O(N)",
+        &pts,
+        fit_loglog(&pts),
+        Some((0.2, 1.7)),
+    );
+    snap("projection", OpKind::Project, &|ctx| {
+        let (a, _) = rel(n_max);
+        a.project_in(&[0], &[], ctx).expect("project");
+    });
 
     let pts = sweep(&ns, |n| {
         let (a, _) = rel(n);
@@ -288,7 +385,13 @@ fn table2_fixed_schema() {
         let a = &ghosts[ns.iter().position(|&x| x == n).expect("in sweep")];
         time_median(REPS, || a.denotes_empty().unwrap()).0
     });
-    print_row("emptiness (empty input)", "O(N)", &pts, fit_loglog(&pts));
+    print_row_fit(
+        "emptiness (empty input)",
+        "O(N)",
+        &pts,
+        fit_loglog(&pts),
+        Some((0.3, 1.8)),
+    );
 
     // Negation, fixed schema: polynomial (here m = 1 to keep k^m fixed).
     let ns_neg = take(&[2usize, 4, 8, 16, 32]);
@@ -301,6 +404,10 @@ fn table2_fixed_schema() {
         time_median(3, || a.complement_temporal().unwrap()).0
     });
     print_row("negation (m=1)", "O(N^c)", &pts, fit_loglog(&pts));
+    snap("negation (m=1)", OpKind::Complement, &|ctx| {
+        let a = &negs[ns_neg.len() - 1];
+        a.complement_temporal_in(ctx).expect("complement");
+    });
 
     let pts = sweep(&ns_neg, |n| {
         let a = &negs[ns_neg.iter().position(|&x| x == n).expect("in sweep")];
@@ -320,6 +427,7 @@ fn table2_fixed_schema() {
 fn table2_general() {
     println!("\n## Table 2 — general complexity (N = 12, k = 4, sweep m)\n");
     jsonout::begin_section("table2_general");
+    use itd_core::{ExecContext, OpKind};
     println!("| operation | paper bound | measured exponent (m) | slowest point |");
     println!("|---|---|---|---|");
     let ms = take(&[1usize, 2, 3, 4, 5, 6]);
@@ -334,55 +442,72 @@ fn table2_general() {
         .collect();
     let rel = |m: usize| &pairs[ms.iter().position(|&x| x == m).expect("in sweep")];
 
-    for (name, claim, f) in [
+    type OpRun = Box<dyn Fn(&GenRelation, &GenRelation, &ExecContext)>;
+    let m_max = *ms.last().expect("nonempty sweep");
+    for (name, claim, kind, f) in [
         (
             "union",
             "O(m²N)",
-            Box::new(|a: &GenRelation, b: &GenRelation| {
-                a.union(b).unwrap();
-            }) as Box<dyn Fn(&GenRelation, &GenRelation)>,
+            Some(OpKind::Union),
+            Box::new(|a: &GenRelation, b: &GenRelation, ctx: &ExecContext| {
+                a.union_in(b, ctx).unwrap();
+            }) as OpRun,
         ),
         (
             "intersection",
             "O(m²N²)",
-            Box::new(|a, b| {
-                a.intersect(b).unwrap();
+            Some(OpKind::Intersect),
+            Box::new(|a, b, ctx| {
+                a.intersect_in(b, ctx).unwrap();
             }),
         ),
         (
             "cross-product",
             "O(m²N²)",
-            Box::new(|a, b| {
-                a.cross_product(b).unwrap();
+            Some(OpKind::Product),
+            Box::new(|a, b, ctx| {
+                a.cross_product_in(b, ctx).unwrap();
             }),
         ),
         (
             "join",
             "O(m²N²)",
-            Box::new(|a, b| {
-                a.join_on(b, &[(0, 0)], &[]).unwrap();
+            Some(OpKind::Join),
+            Box::new(|a, b, ctx| {
+                a.join_on_in(b, &[(0, 0)], &[], ctx).unwrap();
             }),
         ),
         (
             "projection",
             "O(m²N)",
-            Box::new(|a, _b| {
-                a.project(&[0], &[]).unwrap();
+            Some(OpKind::Project),
+            Box::new(|a, _b, ctx| {
+                a.project_in(&[0], &[], ctx).unwrap();
             }),
         ),
         (
             "emptiness",
             "O(m³N)",
-            Box::new(|a, _b| {
+            None,
+            Box::new(|a, _b, _ctx| {
                 a.denotes_empty().unwrap();
             }),
         ),
     ] {
+        let sweep_ctx = ExecContext::serial();
         let pts = sweep(&ms, |m| {
             let (a, b) = rel(m);
-            time_median(REPS, || f(a, b)).0
+            time_median(REPS, || f(a, b, &sweep_ctx)).0
         });
         print_row(name, claim, &pts, fit_loglog(&pts));
+        if let Some(kind) = kind {
+            // One clean-context run at the largest arity for the JSON
+            // counters (the sweep context has accumulated every rep).
+            let ctx = ExecContext::serial();
+            let (a, b) = rel(m_max);
+            f(a, b, &ctx);
+            snap_counters(name, kind, &ctx);
+        }
     }
 
     // Negation under general complexity: exponential in m (k^m).
@@ -400,6 +525,10 @@ fn table2_general() {
         last.0
     );
     jsonout::row("negation", "O(k^m + N^(c'm²)) EXPTIME", rate, &pts);
+    let ctx = ExecContext::serial();
+    let a = random_relation(&spec(4, *ms_neg.last().expect("nonempty"), 3), 5);
+    a.complement_temporal_in(&ctx).expect("complement");
+    snap_counters("negation", OpKind::Complement, &ctx);
 }
 
 fn table3_np() {
@@ -629,9 +758,9 @@ fn ablations() {
         }
     }
 
-    // Coalescing (inverse of Lemma 3.1) on complement outputs.
-    println!("\n### Coalescing complement outputs (inverse of Lemma 3.1)\n");
-    println!("| k | complement tuples | after coalesce | time |");
+    // Compaction (inverse of Lemma 3.1) on complement outputs.
+    println!("\n### Compacting complement outputs (inverse of Lemma 3.1)\n");
+    println!("| k | complement tuples | after compaction | time |");
     println!("|---|---|---|---|");
     use itd_core::{Atom, GenTuple, Lrp, Schema};
     for k in take(&[4i64, 8, 16, 32]) {
@@ -645,11 +774,11 @@ fn ablations() {
         )
         .expect("schema");
         let comp = r.complement_temporal().expect("complement");
-        let (d, small) = time_median(REPS, || comp.coalesce().expect("coalesce"));
+        let (d, small) = time_median(REPS, || comp.compact().expect("compact"));
         assert_eq!(
             comp.materialize(-60, 60),
             small.materialize(-60, 60),
-            "coalescing must not change semantics"
+            "compaction must not change semantics"
         );
         println!(
             "| {k} | {} | {} | {} |",
@@ -817,7 +946,10 @@ fn optimizer_effectiveness() {
         let f = parse(src).expect("parses");
         let exec = |optimize: bool, threads: usize| {
             let ctx = ExecContext::with_threads(threads);
-            let out = run(&cat, &f, QueryOpts::new().ctx(&ctx).optimize(optimize)).expect("query");
+            // Compaction off on both sides: this section isolates the plan
+            // rewriter; compaction has its own asserted section below.
+            let opts = QueryOpts::new().ctx(&ctx).optimize(optimize).compact(false);
+            let out = run(&cat, &f, opts).expect("query");
             (out, ctx.stats().total_pairs())
         };
         // Bit-identity per mode across thread counts.
@@ -876,6 +1008,213 @@ fn optimizer_effectiveness() {
         );
     }
     println!("\nEstimates order plans, counters settle the claim: both counter sets are asserted, not just printed.");
+}
+
+/// The acceptance gate for adaptive compaction: on workloads whose
+/// intermediates are bloated by complement and union outputs, the
+/// compaction passes the cost model inserts must absorb at least 30% of
+/// the tuples that flow through them (subsumed + merged against seen),
+/// the per-call counter invariant `subsumed + merged + out == in` must
+/// hold exactly, the answers must be bit-identical to the uncompacted
+/// run, and each mode must not depend on the thread count. Where the
+/// cost model predicts nothing worth compacting, no pass may be inserted
+/// and the overhead of asking must vanish into run-to-run noise
+/// (asserted < 5% on full runs only; smoke CI machines are too noisy for
+/// a timing assertion).
+fn compaction_effectiveness() {
+    println!("\n## Compaction effectiveness (adaptive subsumption + coalescing)\n");
+    jsonout::begin_section("compaction_effectiveness");
+    use itd_core::{Atom, ExecContext, GenTuple, Lrp, OpKind, OpSnapshot, Schema};
+    use itd_query::{parse, run, MemoryCatalog, QueryOpts};
+
+    // `p`: n periodic tuples cycling over the six residues mod 6, half of
+    // them carrying a lower bound that a same-residue unbounded tuple
+    // subsumes — the shape a union of overlapping sources produces.
+    // `q`: one coarse tuple whose complement shatters into eleven residue
+    // classes mod 12 that coalesce back to five classes mod 6 plus one.
+    let n = if smoke() { 32 } else { 64 };
+    let mut p = GenRelation::empty(Schema::new(1, 0));
+    for i in 0..n {
+        let lrp = Lrp::new(i as i64 % 6, 6).expect("valid");
+        let t = if i % 2 == 0 {
+            GenTuple::unconstrained(vec![lrp], vec![])
+        } else {
+            GenTuple::builder()
+                .lrps(vec![lrp])
+                .atoms([Atom::ge(0, -(i as i64))])
+                .build()
+                .expect("valid")
+        };
+        p.push(t).expect("schema");
+    }
+    let q = GenRelation::new(
+        Schema::new(1, 0),
+        vec![GenTuple::unconstrained(
+            vec![Lrp::new(0, 12).expect("valid")],
+            vec![],
+        )],
+    )
+    .expect("schema");
+    let mut cat = MemoryCatalog::new();
+    cat.insert("p", p);
+    cat.insert("q", q);
+
+    println!("| workload | tuples seen | subsumed | merged | kept | reduction | pairs (off) | pairs (on) | identical at 1/2/8 threads |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+
+    let workloads = [
+        ("p(t) and not q(t)", "complement"),
+        ("(p(t) or p(t)) and q(t)", "union"),
+    ];
+    for (src, json_name) in workloads {
+        let f = parse(src).expect("parses");
+        let exec = |compact: bool, threads: usize| {
+            let ctx = ExecContext::with_threads(threads);
+            let out = run(&cat, &f, QueryOpts::new().ctx(&ctx).compact(compact)).expect("query");
+            let mut op = *ctx.stats().op(OpKind::Compact);
+            // Wall time is the one nondeterministic field; everything else
+            // must be bit-identical across runs and thread counts.
+            op.nanos = 0;
+            (out, op, ctx.stats().total_pairs())
+        };
+        // Bit-identity per mode across thread counts, counters included.
+        let (base_off, off_op, pairs_off) = exec(false, 1);
+        let (base_on, on_op, pairs_on) = exec(true, 1);
+        for threads in [2usize, 8] {
+            let (o, op, pr) = exec(false, threads);
+            assert_eq!(
+                o.result.relation, base_off.result.relation,
+                "uncompacted {src} must be bit-identical at {threads} threads"
+            );
+            assert_eq!(
+                (op, pr),
+                (off_op, pairs_off),
+                "uncompacted counters are deterministic"
+            );
+            let (o, op, pr) = exec(true, threads);
+            assert_eq!(
+                o.result.relation, base_on.result.relation,
+                "compacted {src} must be bit-identical at {threads} threads"
+            );
+            assert_eq!(
+                (op, pr),
+                (on_op, pairs_on),
+                "compacted counters are deterministic"
+            );
+        }
+        // Same answer with and without the passes.
+        assert_eq!(
+            base_off.result.relation.materialize(-60, 60),
+            base_on.result.relation.materialize(-60, 60),
+            "{src}: compaction must not change the answer"
+        );
+        assert_eq!(
+            off_op,
+            OpSnapshot::default(),
+            "{src}: compaction off must insert no pass"
+        );
+        assert!(
+            on_op.calls > 0,
+            "{src}: the cost model must insert a compaction pass"
+        );
+        assert_eq!(
+            on_op.tuples_subsumed + on_op.coalesce_merges + on_op.tuples_out,
+            on_op.tuples_in,
+            "{src}: every tuple entering compaction is subsumed, merged, or kept"
+        );
+        let absorbed = on_op.tuples_subsumed + on_op.coalesce_merges;
+        assert!(
+            10 * absorbed >= 3 * on_op.tuples_in,
+            "{src}: compaction must absorb ≥ 30% of intermediate tuples \
+             (absorbed {absorbed} of {})",
+            on_op.tuples_in
+        );
+        assert!(
+            pairs_on <= pairs_off,
+            "{src}: compacted inputs must not create candidate pairs ({pairs_on} vs {pairs_off})"
+        );
+        let reduction = 100.0 * absorbed as f64 / on_op.tuples_in as f64;
+        println!(
+            "| `{src}` | {} | {} | {} | {} | {reduction:.1}% | {pairs_off} | {pairs_on} | true |",
+            on_op.tuples_in, on_op.tuples_subsumed, on_op.coalesce_merges, on_op.tuples_out
+        );
+        jsonout::counters(
+            json_name,
+            &[
+                ("tuples_in", on_op.tuples_in),
+                ("tuples_subsumed", on_op.tuples_subsumed),
+                ("coalesce_merges", on_op.coalesce_merges),
+                ("tuples_out", on_op.tuples_out),
+                ("pairs_uncompacted", pairs_off),
+                ("pairs_compacted", pairs_on),
+            ],
+        );
+    }
+
+    // Where nothing clears the cost threshold, the pass must not exist —
+    // and asking must not slow the query down.
+    let mut tiny = MemoryCatalog::new();
+    let mut small = GenRelation::empty(Schema::new(1, 0));
+    for r in 0..6 {
+        small
+            .push(GenTuple::unconstrained(
+                vec![Lrp::new(r, 6).expect("valid")],
+                vec![],
+            ))
+            .expect("schema");
+    }
+    tiny.insert("s", small);
+    let f = parse("s(t) and s(t)").expect("parses");
+    let exec = |compact: bool| {
+        let ctx = ExecContext::serial();
+        let out = run(&tiny, &f, QueryOpts::new().ctx(&ctx).compact(compact)).expect("query");
+        (out, *ctx.stats().op(OpKind::Compact))
+    };
+    let (_, op) = exec(true);
+    assert_eq!(
+        op,
+        OpSnapshot::default(),
+        "six rows sit under the cost threshold: no pass may be inserted"
+    );
+    let reps = if smoke() { 5 } else { 15 };
+    let many = |compact: bool| {
+        // One evaluation is microseconds; batch it so the median is a
+        // real measurement.
+        for _ in 0..64 {
+            exec(compact);
+        }
+    };
+    many(true); // warmup
+                // Interleave the two modes and keep each one's minimum: scheduler
+                // noise only ever inflates a sample, so the minimum converges on the
+                // true cost, and alternating cancels slow drift (thermal, cache)
+                // that back-to-back medians would fold into one side.
+    let mut off = Duration::MAX;
+    let mut on = Duration::MAX;
+    for _ in 0..reps {
+        off = off.min(time_once(|| many(false)).0);
+        on = on.min(time_once(|| many(true)).0);
+    }
+    let overhead = on.as_secs_f64() / off.as_secs_f64().max(1e-9) - 1.0;
+    println!(
+        "\nno-op overhead (nothing to compact): {} uncompacted vs {} compact-enabled ({:+.2}%).",
+        fmt_duration(off),
+        fmt_duration(on),
+        100.0 * overhead
+    );
+    assert!(
+        smoke() || overhead < 0.05,
+        "asking for compaction where nothing fires must cost < 5%, got {:+.2}%",
+        100.0 * overhead
+    );
+    jsonout::counters(
+        "noop_overhead",
+        &[(
+            "overhead_percent_x100",
+            (overhead * 10_000.0).max(0.0) as u64,
+        )],
+    );
+    println!("\nEvery claim above is asserted: reduction ≥ 30%, exact counter budget, identical answers.");
 }
 
 fn executor_stats() {
@@ -984,6 +1323,7 @@ fn main() {
     ablations();
     index_effectiveness();
     optimizer_effectiveness();
+    compaction_effectiveness();
     executor_stats();
     trace_overhead();
     match jsonout::write("BENCH_report.json", build, smoke_flag) {

@@ -54,11 +54,14 @@ pub enum OpKind {
     Shift,
     /// Normalization (Theorem 3.2).
     Normalize,
+    /// Adaptive intermediate compaction (subsumption pruning plus
+    /// residue-class coalescing between plan nodes).
+    Compact,
 }
 
 impl OpKind {
     /// Every operator kind, in display order.
-    pub const ALL: [OpKind; 10] = [
+    pub const ALL: [OpKind; 11] = [
         OpKind::Union,
         OpKind::Intersect,
         OpKind::Difference,
@@ -69,6 +72,7 @@ impl OpKind {
         OpKind::Select,
         OpKind::Shift,
         OpKind::Normalize,
+        OpKind::Compact,
     ];
 
     /// Stable lower-case name (used by the REPL and bench reports).
@@ -84,6 +88,7 @@ impl OpKind {
             OpKind::Select => "select",
             OpKind::Shift => "shift",
             OpKind::Normalize => "normalize",
+            OpKind::Compact => "compact",
         }
     }
 
@@ -116,6 +121,9 @@ pub struct OpCounters {
     index_probes: AtomicU64,
     index_pruned: AtomicU64,
     atoms_simplified: AtomicU64,
+    tuples_subsumed: AtomicU64,
+    coalesce_merges: AtomicU64,
+    intern_hits: AtomicU64,
     max_period: AtomicU64,
     nanos: AtomicU64,
 }
@@ -149,6 +157,18 @@ impl OpCounters {
         self.atoms_simplified.fetch_add(n, Relaxed);
     }
 
+    pub(crate) fn add_subsumed(&self, n: u64) {
+        self.tuples_subsumed.fetch_add(n, Relaxed);
+    }
+
+    pub(crate) fn add_merges(&self, n: u64) {
+        self.coalesce_merges.fetch_add(n, Relaxed);
+    }
+
+    pub(crate) fn add_intern_hits(&self, n: u64) {
+        self.intern_hits.fetch_add(n, Relaxed);
+    }
+
     pub(crate) fn record_period(&self, k: i64) {
         self.max_period.fetch_max(k.max(0) as u64, Relaxed);
     }
@@ -163,6 +183,9 @@ impl OpCounters {
             index_probes: self.index_probes.load(Relaxed),
             index_pruned: self.index_pruned.load(Relaxed),
             atoms_simplified: self.atoms_simplified.load(Relaxed),
+            tuples_subsumed: self.tuples_subsumed.load(Relaxed),
+            coalesce_merges: self.coalesce_merges.load(Relaxed),
+            intern_hits: self.intern_hits.load(Relaxed),
             max_period: self.max_period.load(Relaxed),
             nanos: self.nanos.load(Relaxed),
         }
@@ -177,6 +200,9 @@ impl OpCounters {
         self.index_probes.store(0, Relaxed);
         self.index_pruned.store(0, Relaxed);
         self.atoms_simplified.store(0, Relaxed);
+        self.tuples_subsumed.store(0, Relaxed);
+        self.coalesce_merges.store(0, Relaxed);
+        self.intern_hits.store(0, Relaxed);
         self.max_period.store(0, Relaxed);
         self.nanos.store(0, Relaxed);
     }
@@ -231,6 +257,16 @@ pub struct OpSnapshot {
     pub index_pruned: u64,
     /// Constraint atoms rewritten (added, conjoined, or grid-rounded).
     pub atoms_simplified: u64,
+    /// Tuples dropped by compaction because another tuple's denotation
+    /// contains theirs; `tuples_subsumed + coalesce_merges + tuples_out ==
+    /// tuples_in` for every compact call.
+    pub tuples_subsumed: u64,
+    /// Tuples eliminated by coalescing complete residue-class groups into
+    /// one coarser tuple (a group of `s` tuples contributes `s − 1`).
+    pub coalesce_merges: u64,
+    /// Duplicate temporal parts absorbed by hash-consing (repeated
+    /// `(lrps, constraints)` pairs plus memoized pairwise outcomes).
+    pub intern_hits: u64,
     /// Largest common period `k` encountered.
     pub max_period: u64,
     /// Accumulated wall time, in nanoseconds.
@@ -300,6 +336,9 @@ impl StatsSnapshot {
             mine.index_probes += theirs.index_probes;
             mine.index_pruned += theirs.index_pruned;
             mine.atoms_simplified += theirs.atoms_simplified;
+            mine.tuples_subsumed += theirs.tuples_subsumed;
+            mine.coalesce_merges += theirs.coalesce_merges;
+            mine.intern_hits += theirs.intern_hits;
             mine.max_period = mine.max_period.max(theirs.max_period);
             mine.nanos += theirs.nanos;
         }
@@ -313,7 +352,7 @@ impl fmt::Display for StatsSnapshot {
         }
         writeln!(
             f,
-            "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>9} {:>9} {:>7} {:>7} {:>12}",
+            "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>9} {:>9} {:>7} {:>9} {:>7} {:>9} {:>7} {:>12}",
             "op",
             "calls",
             "in",
@@ -323,6 +362,9 @@ impl fmt::Display for StatsSnapshot {
             "probes",
             "skipped",
             "atoms",
+            "subsumed",
+            "merged",
+            "interned",
             "max_k",
             "time"
         )?;
@@ -332,7 +374,7 @@ impl fmt::Display for StatsSnapshot {
             }
             writeln!(
                 f,
-                "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>9} {:>9} {:>7} {:>7} {:>12}",
+                "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>9} {:>9} {:>7} {:>9} {:>7} {:>9} {:>7} {:>12}",
                 kind.name(),
                 op.calls,
                 op.tuples_in,
@@ -342,13 +384,16 @@ impl fmt::Display for StatsSnapshot {
                 op.index_probes,
                 op.index_pruned,
                 op.atoms_simplified,
+                op.tuples_subsumed,
+                op.coalesce_merges,
+                op.intern_hits,
                 op.max_period,
                 format!("{:.1?}", op.wall_time()),
             )?;
         }
         write!(
             f,
-            "{:<12} {:>6} {:>78} {:>12}",
+            "{:<12} {:>6} {:>106} {:>12}",
             "total",
             self.total_calls(),
             "",
@@ -412,6 +457,9 @@ impl Drop for OpTimer<'_> {
                 span.atoms_simplified = after
                     .atoms_simplified
                     .saturating_sub(before.atoms_simplified);
+                span.tuples_subsumed = after.tuples_subsumed.saturating_sub(before.tuples_subsumed);
+                span.coalesce_merges = after.coalesce_merges.saturating_sub(before.coalesce_merges);
+                span.intern_hits = after.intern_hits.saturating_sub(before.intern_hits);
                 span.nanos = nanos;
             });
         }
@@ -672,16 +720,29 @@ mod tests {
             t.add_out(2);
             t.add_pairs(4);
             t.add_pruned(2);
+            t.add_intern_hits(3);
             t.record_period(6);
+        }
+        {
+            let t = ctx.timed(OpKind::Compact);
+            t.add_in(8);
+            t.add_out(5);
+            t.add_subsumed(2);
+            t.add_merges(1);
         }
         let mut snap = ctx.stats();
         assert_eq!(snap.op(OpKind::Intersect).calls, 1);
         assert_eq!(snap.op(OpKind::Intersect).tuples_in, 4);
         assert_eq!(snap.op(OpKind::Intersect).max_period, 6);
+        assert_eq!(snap.op(OpKind::Intersect).intern_hits, 3);
+        assert_eq!(snap.op(OpKind::Compact).tuples_subsumed, 2);
+        assert_eq!(snap.op(OpKind::Compact).coalesce_merges, 1);
         assert!(!snap.is_zero());
         snap.merge(&ctx.stats());
         assert_eq!(snap.op(OpKind::Intersect).calls, 2);
         assert_eq!(snap.op(OpKind::Intersect).max_period, 6);
+        assert_eq!(snap.op(OpKind::Compact).tuples_subsumed, 4);
+        assert_eq!(snap.op(OpKind::Compact).intern_hits, 0);
         let text = snap.to_string();
         assert!(text.contains("intersect"), "{text}");
         assert!(text.contains("total"), "{text}");

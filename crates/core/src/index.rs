@@ -57,8 +57,9 @@ pub const INDEX_MIN_PAIRS: usize = 32;
 
 /// The largest divisor of `g` of the form `2^a·3^b·5^c·7^d·11^e·13^f` that
 /// fits under [`MAX_MODULUS`], chosen greedily smallest-prime-first (`1`
-/// when `g` has no small prime factors).
-fn smooth_cap(g: i64) -> i64 {
+/// when `g` has no small prime factors). Shared with the compaction
+/// pass's residue pre-filter ([`crate::compact`]).
+pub(crate) fn smooth_cap(g: i64) -> i64 {
     debug_assert!(g > 0);
     let mut m = 1i64;
     let mut rest = g;

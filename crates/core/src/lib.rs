@@ -46,8 +46,10 @@
 //! tests and benchmarks use it as an independent semantics oracle against
 //! which every symbolic operation is checked.
 
+mod compact;
 mod enumerate;
 mod error;
+mod intern;
 mod minimize;
 mod normalize;
 mod relation;

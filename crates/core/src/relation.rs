@@ -8,6 +8,7 @@ use itd_constraint::Atom;
 use crate::enumerate::{materialize_tuples, ConcreteTuple};
 use crate::error::CoreError;
 use crate::exec::{self, ExecContext, OpKind};
+use crate::intern::{Interner, TemporalId, INTERN_MIN_PAIRS};
 use crate::ops;
 use crate::schema::Schema;
 use crate::tuple::GenTuple;
@@ -261,8 +262,39 @@ impl GenRelation {
             && self.tuples.len() * other.tuples.len() >= crate::index::INDEX_MIN_PAIRS)
             .then(|| crate::index::RelationIndex::build(&other.tuples, &tcols, &dcols))
             .filter(crate::index::RelationIndex::is_discriminating);
+        // Hash-cons temporal parts so each distinct combination is derived
+        // once; outcomes are shared allocations, and the caller-recorded
+        // counters (pairs / pruned / probes) are untouched — see
+        // [`crate::intern`] for the determinism argument.
+        let interner =
+            (self.tuples.len() * other.tuples.len() >= INTERN_MIN_PAIRS).then(Interner::new);
+        let other_ids: Vec<TemporalId> = match &interner {
+            Some(int) => other
+                .tuples
+                .iter()
+                .map(|t| int.intern(t.lrps(), t.constraints()))
+                .collect(),
+            None => Vec::new(),
+        };
         let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t1| {
             let mut out = Vec::new();
+            let id1 = interner
+                .as_ref()
+                .map(|int| int.intern(t1.lrps(), t1.constraints()));
+            let visit = |j: usize, out: &mut Vec<GenTuple>| -> Result<()> {
+                let t2 = &other.tuples[j];
+                let res = match (&interner, id1) {
+                    (Some(int), Some(id1)) => {
+                        intersect_tuples_interned(t1, t2, int, id1, other_ids[j])?
+                    }
+                    _ => ops::intersect_tuples(t1, t2)?,
+                };
+                match res {
+                    Some(t) => out.push(t),
+                    None => timer.add_pruned(1),
+                }
+                Ok(())
+            };
             match &index {
                 Some(idx) => {
                     let cands = idx.probe(t1, &tcols, &dcols);
@@ -272,23 +304,20 @@ impl GenRelation {
                     // Index-skipped pairs are provably empty intersections.
                     timer.add_pruned(skipped);
                     for &j in &cands {
-                        match ops::intersect_tuples(t1, &other.tuples[j])? {
-                            Some(t) => out.push(t),
-                            None => timer.add_pruned(1),
-                        }
+                        visit(j, &mut out)?;
                     }
                 }
                 None => {
-                    for t2 in &other.tuples {
-                        match ops::intersect_tuples(t1, t2)? {
-                            Some(t) => out.push(t),
-                            None => timer.add_pruned(1),
-                        }
+                    for j in 0..other.tuples.len() {
+                        visit(j, &mut out)?;
                     }
                 }
             }
             Ok(out)
         })?;
+        if let Some(int) = &interner {
+            timer.add_intern_hits(int.hits());
+        }
         timer.add_out(tuples.len());
         Ok(GenRelation {
             schema: self.schema,
@@ -466,6 +495,12 @@ impl GenRelation {
             && self.tuples.len() * other.tuples.len() >= crate::index::INDEX_MIN_PAIRS)
             .then(|| crate::index::RelationIndex::build(&other.tuples, &tcols, &dcols))
             .filter(crate::index::RelationIndex::is_discriminating);
+        // The fold re-derives emptiness (a normalization) for the many
+        // intermediate tuples that share one temporal part; memoize the
+        // verdict per hash-consed part. Purely a cache: the pairs/pruned
+        // counters and the pruning flow are untouched.
+        let interner =
+            (self.tuples.len() * other.tuples.len() >= INTERN_MIN_PAIRS).then(Interner::new);
         let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t1| {
             // One fold step: subtract `t2` from every member, then prune
             // grid-empty results and deduplicate to bound the blow-up.
@@ -478,7 +513,7 @@ impl GenRelation {
                 let candidates = next.len();
                 let mut pruned: Vec<GenTuple> = Vec::with_capacity(next.len());
                 for t in next {
-                    if !t.is_empty()? && !pruned.contains(&t) {
+                    if !tuple_is_empty_interned(&t, interner.as_ref())? && !pruned.contains(&t) {
                         pruned.push(t);
                     }
                 }
@@ -496,7 +531,7 @@ impl GenRelation {
                     // — except that the naive path's first prune step also
                     // drops a grid-empty `t1`. Replicate that upfront
                     // (`other` is nonempty whenever the index is built).
-                    if t1.is_empty()? {
+                    if tuple_is_empty_interned(t1, interner.as_ref())? {
                         timer.add_pruned(1);
                         return Ok(vec![]);
                     }
@@ -521,6 +556,9 @@ impl GenRelation {
                 }
             }
         })?;
+        if let Some(int) = &interner {
+            timer.add_intern_hits(int.hits());
+        }
         timer.add_out(tuples.len());
         Ok(GenRelation {
             schema: self.schema,
@@ -772,8 +810,44 @@ impl GenRelation {
             && self.tuples.len() * other.tuples.len() >= crate::index::INDEX_MIN_PAIRS)
             .then(|| crate::index::RelationIndex::build(&other.tuples, &right_t, &right_d))
             .filter(crate::index::RelationIndex::is_discriminating);
+        // Hash-cons temporal parts: with the join columns fixed, the
+        // temporal outcome of a pair depends only on the two temporal
+        // parts, and the output data is always the concatenation.
+        let interner =
+            (self.tuples.len() * other.tuples.len() >= INTERN_MIN_PAIRS).then(Interner::new);
+        let other_ids: Vec<TemporalId> = match &interner {
+            Some(int) => other
+                .tuples
+                .iter()
+                .map(|t| int.intern(t.lrps(), t.constraints()))
+                .collect(),
+            None => Vec::new(),
+        };
         let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t1| {
             let mut out = Vec::new();
+            let id1 = interner
+                .as_ref()
+                .map(|int| int.intern(t1.lrps(), t1.constraints()));
+            let visit = |j: usize, out: &mut Vec<GenTuple>| -> Result<()> {
+                let t2 = &other.tuples[j];
+                let res = match (&interner, id1) {
+                    (Some(int), Some(id1)) => join_tuples_interned(
+                        t1,
+                        t2,
+                        temporal_pairs,
+                        data_pairs,
+                        int,
+                        id1,
+                        other_ids[j],
+                    )?,
+                    _ => ops::join_tuples(t1, t2, temporal_pairs, data_pairs)?,
+                };
+                match res {
+                    Some(t) => out.push(t),
+                    None => timer.add_pruned(1),
+                }
+                Ok(())
+            };
             match &index {
                 Some(idx) => {
                     let cands = idx.probe(t1, &left_t, &left_d);
@@ -783,23 +857,20 @@ impl GenRelation {
                     // Skipped pairs fail a joined-column meet: empty joins.
                     timer.add_pruned(skipped);
                     for &j in &cands {
-                        match ops::join_tuples(t1, &other.tuples[j], temporal_pairs, data_pairs)? {
-                            Some(t) => out.push(t),
-                            None => timer.add_pruned(1),
-                        }
+                        visit(j, &mut out)?;
                     }
                 }
                 None => {
-                    for t2 in &other.tuples {
-                        match ops::join_tuples(t1, t2, temporal_pairs, data_pairs)? {
-                            Some(t) => out.push(t),
-                            None => timer.add_pruned(1),
-                        }
+                    for j in 0..other.tuples.len() {
+                        visit(j, &mut out)?;
                     }
                 }
             }
             Ok(out)
         })?;
+        if let Some(int) = &interner {
+            timer.add_intern_hits(int.hits());
+        }
         timer.add_out(tuples.len());
         Ok(GenRelation {
             schema: self.schema.concat(&other.schema),
@@ -953,8 +1024,45 @@ impl GenRelation {
     ///
     /// # Errors
     /// Arithmetic failures while rebuilding lrps.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `compact` / `compact_in`, the counted compaction entry \
+                point (subsumption pruning plus coalescing)"
+    )]
     pub fn coalesce(&self) -> Result<GenRelation> {
         crate::minimize::coalesce(self)
+    }
+
+    /// Adaptive compaction: drops unsatisfiable and subsumed tuples, then
+    /// coalesces complete residue-class groups back into coarser tuples
+    /// (the `compact` module). The result denotes the same set with at
+    /// most as many tuples; the pass is near-linear thanks to a residue
+    /// pre-filter and is what the query executor runs between plan nodes.
+    ///
+    /// # Errors
+    /// Arithmetic failures while rebuilding lrps.
+    pub fn compact(&self) -> Result<GenRelation> {
+        self.compact_in(&ExecContext::serial())
+    }
+
+    /// [`GenRelation::compact`] under an execution context: the pass is
+    /// deliberately serial (it is near-linear, and a serial pass is
+    /// trivially bit-identical at any thread count); the
+    /// [`OpKind::Compact`] counters record tuples dropped as subsumed and
+    /// eliminated by coalescing, with
+    /// `tuples_subsumed + coalesce_merges + tuples_out == tuples_in`
+    /// per call.
+    ///
+    /// # Errors
+    /// Arithmetic failures while rebuilding lrps.
+    pub fn compact_in(&self, ctx: &ExecContext) -> Result<GenRelation> {
+        let timer = ctx.timed(OpKind::Compact);
+        timer.add_in(self.tuples.len());
+        let (out, report) = crate::compact::compact_relation(self)?;
+        timer.add_subsumed(report.subsumed);
+        timer.add_merges(report.merges);
+        timer.add_out(out.tuple_count());
+        Ok(out)
     }
 
     /// Removes semantically empty tuples and tuples subsumed by another
@@ -1089,7 +1197,7 @@ impl GenRelation {
 }
 
 /// Sound subsumption check: is `small ⊆ big` certain?
-fn tuple_subsumes(big: &GenTuple, small: &GenTuple) -> bool {
+pub(crate) fn tuple_subsumes(big: &GenTuple, small: &GenTuple) -> bool {
     small.data() == big.data()
         && small
             .lrps()
@@ -1097,6 +1205,100 @@ fn tuple_subsumes(big: &GenTuple, small: &GenTuple) -> bool {
             .zip(big.lrps())
             .all(|(s, b)| b.includes(s))
         && small.constraints().entails(big.constraints())
+}
+
+/// [`ops::intersect_tuples`] through the pair memo. The data-mismatch case
+/// is settled before consulting the memo, so the memoized outcome is a
+/// pure function of the two temporal parts; on a hit the shared parts are
+/// recombined with `t1`'s data (equal to `t2`'s here).
+fn intersect_tuples_interned(
+    t1: &GenTuple,
+    t2: &GenTuple,
+    int: &Interner,
+    id1: TemporalId,
+    id2: TemporalId,
+) -> Result<Option<GenTuple>> {
+    if t1.data() != t2.data() {
+        return Ok(None);
+    }
+    if let Some(cached) = int.cached_pair(id1, id2) {
+        return match cached {
+            Some(parts) => Ok(Some(GenTuple::from_parts(
+                parts.0.clone(),
+                parts.1.clone(),
+                t1.data().to_vec(),
+            )?)),
+            None => Ok(None),
+        };
+    }
+    let result = ops::intersect_tuples(t1, t2)?;
+    int.cache_pair(
+        id1,
+        id2,
+        result
+            .as_ref()
+            .map(|t| (t.lrps().to_vec(), t.constraints().clone())),
+    );
+    Ok(result)
+}
+
+/// [`ops::join_tuples`] through the pair memo. With the join columns fixed
+/// for the whole invocation, the temporal outcome depends only on the two
+/// temporal parts (the data-pair mismatch case is settled first, exactly
+/// as [`ops::join_tuples`] does), and the output data is always the
+/// concatenation of the inputs'.
+fn join_tuples_interned(
+    t1: &GenTuple,
+    t2: &GenTuple,
+    temporal_pairs: &[(usize, usize)],
+    data_pairs: &[(usize, usize)],
+    int: &Interner,
+    id1: TemporalId,
+    id2: TemporalId,
+) -> Result<Option<GenTuple>> {
+    for &(i, j) in data_pairs {
+        if t1.data()[i] != t2.data()[j] {
+            return Ok(None);
+        }
+    }
+    if let Some(cached) = int.cached_pair(id1, id2) {
+        return match cached {
+            Some(parts) => {
+                let mut data = t1.data().to_vec();
+                data.extend_from_slice(t2.data());
+                Ok(Some(GenTuple::from_parts(
+                    parts.0.clone(),
+                    parts.1.clone(),
+                    data,
+                )?))
+            }
+            None => Ok(None),
+        };
+    }
+    let result = ops::join_tuples(t1, t2, temporal_pairs, data_pairs)?;
+    int.cache_pair(
+        id1,
+        id2,
+        result
+            .as_ref()
+            .map(|t| (t.lrps().to_vec(), t.constraints().clone())),
+    );
+    Ok(result)
+}
+
+/// [`GenTuple::is_empty`] through the per-part emptiness memo (emptiness
+/// depends only on the temporal part; data columns are irrelevant).
+fn tuple_is_empty_interned(t: &GenTuple, int: Option<&Interner>) -> Result<bool> {
+    let Some(int) = int else {
+        return t.is_empty();
+    };
+    let id = int.intern(t.lrps(), t.constraints());
+    if let Some(empty) = int.cached_empty(id) {
+        return Ok(empty);
+    }
+    let empty = t.is_empty()?;
+    int.cache_empty(id, empty);
+    Ok(empty)
 }
 
 /// Incremental constructor for [`GenRelation`], obtained from

@@ -91,6 +91,12 @@ pub struct Span {
     pub index_pruned: u64,
     /// Constraint atoms rewritten.
     pub atoms_simplified: u64,
+    /// Tuples dropped by compaction as subsumed by another tuple.
+    pub tuples_subsumed: u64,
+    /// Tuples eliminated by coalescing residue-class groups.
+    pub coalesce_merges: u64,
+    /// Duplicate temporal parts absorbed by hash-consing.
+    pub intern_hits: u64,
     /// Largest common period `k` encountered inside the span.
     pub max_period: u64,
     /// Begin time, nanoseconds since the sink was created.
@@ -155,6 +161,9 @@ impl TraceSink {
             index_probes: 0,
             index_pruned: 0,
             atoms_simplified: 0,
+            tuples_subsumed: 0,
+            coalesce_merges: 0,
+            intern_hits: 0,
             max_period: 0,
             start_nanos,
             nanos: 0,
@@ -321,6 +330,9 @@ impl Trace {
                 op.index_probes += span.index_probes;
                 op.index_pruned += span.index_pruned;
                 op.atoms_simplified += span.atoms_simplified;
+                op.tuples_subsumed += span.tuples_subsumed;
+                op.coalesce_merges += span.coalesce_merges;
+                op.intern_hits += span.intern_hits;
                 op.max_period = op.max_period.max(span.max_period);
                 op.nanos += span.nanos;
             }
@@ -364,6 +376,9 @@ impl Trace {
                 op.index_probes += span.index_probes;
                 op.index_pruned += span.index_pruned;
                 op.atoms_simplified += span.atoms_simplified;
+                op.tuples_subsumed += span.tuples_subsumed;
+                op.coalesce_merges += span.coalesce_merges;
+                op.intern_hits += span.intern_hits;
                 op.max_period = op.max_period.max(span.max_period);
                 op.nanos += span.nanos;
             }
@@ -426,7 +441,8 @@ impl Trace {
                  \"args\":{{\"id\":{},\"parent\":{},\"plan_node\":{},\"tuples_in\":{},\
                  \"tuples_out\":{},\
                  \"pairs\":{},\"empties_pruned\":{},\"index_probes\":{},\"index_pruned\":{},\
-                 \"atoms_simplified\":{},\"max_period\":{}}}}}",
+                 \"atoms_simplified\":{},\"tuples_subsumed\":{},\"coalesce_merges\":{},\
+                 \"intern_hits\":{},\"max_period\":{}}}}}",
                 if span.label.is_op() { "op" } else { "node" },
                 span.start_nanos as f64 / 1_000.0,
                 span.nanos as f64 / 1_000.0,
@@ -440,6 +456,9 @@ impl Trace {
                 span.index_probes,
                 span.index_pruned,
                 span.atoms_simplified,
+                span.tuples_subsumed,
+                span.coalesce_merges,
+                span.intern_hits,
                 span.max_period,
             ));
         }
@@ -474,6 +493,15 @@ fn describe(span: &Span) -> String {
     if span.atoms_simplified > 0 {
         line.push_str(&format!(" atoms={}", span.atoms_simplified));
     }
+    if span.tuples_subsumed > 0 {
+        line.push_str(&format!(" subsumed={}", span.tuples_subsumed));
+    }
+    if span.coalesce_merges > 0 {
+        line.push_str(&format!(" merged={}", span.coalesce_merges));
+    }
+    if span.intern_hits > 0 {
+        line.push_str(&format!(" interned={}", span.intern_hits));
+    }
     if span.max_period > 0 {
         line.push_str(&format!(" k={}", span.max_period));
     }
@@ -496,7 +524,8 @@ fn span_json(out: &mut String, span: &Span) {
     escape_json(span.label.name(), out);
     out.push_str(&format!(
         ",\"tuples_in\":{},\"tuples_out\":{},\"pairs\":{},\"empties_pruned\":{},\
-         \"index_probes\":{},\"index_pruned\":{},\"atoms_simplified\":{},\"max_period\":{},\
+         \"index_probes\":{},\"index_pruned\":{},\"atoms_simplified\":{},\
+         \"tuples_subsumed\":{},\"coalesce_merges\":{},\"intern_hits\":{},\"max_period\":{},\
          \"start_ns\":{},\"dur_ns\":{}}}",
         span.tuples_in,
         span.tuples_out,
@@ -505,6 +534,9 @@ fn span_json(out: &mut String, span: &Span) {
         span.index_probes,
         span.index_pruned,
         span.atoms_simplified,
+        span.tuples_subsumed,
+        span.coalesce_merges,
+        span.intern_hits,
         span.max_period,
         span.start_nanos,
         span.nanos,
@@ -544,7 +576,7 @@ impl StatsSnapshot {
     pub fn to_prometheus(&self) -> String {
         type Metric = (&'static str, &'static str, fn(&OpSnapshot) -> u64);
         let mut out = String::new();
-        let counters: [Metric; 8] = [
+        let counters: [Metric; 11] = [
             ("calls", "Algebra operator invocations.", |o| o.calls),
             ("tuples_in", "Generalized tuples consumed.", |o| o.tuples_in),
             ("tuples_out", "Generalized tuples produced.", |o| {
@@ -567,6 +599,21 @@ impl StatsSnapshot {
             ("atoms_simplified", "Constraint atoms rewritten.", |o| {
                 o.atoms_simplified
             }),
+            (
+                "tuples_subsumed",
+                "Tuples dropped by compaction as subsumed.",
+                |o| o.tuples_subsumed,
+            ),
+            (
+                "coalesce_merges",
+                "Tuples eliminated by coalescing residue classes.",
+                |o| o.coalesce_merges,
+            ),
+            (
+                "intern_hits",
+                "Duplicate temporal parts absorbed by hash-consing.",
+                |o| o.intern_hits,
+            ),
         ];
         for (metric, help, get) in counters {
             out.push_str(&format!("# HELP itd_op_{metric}_total {help}\n"));
@@ -611,7 +658,8 @@ impl StatsSnapshot {
             out.push_str(&format!(
                 "\"{}\":{{\"calls\":{},\"tuples_in\":{},\"tuples_out\":{},\"pairs\":{},\
                  \"empties_pruned\":{},\"index_probes\":{},\"index_pruned\":{},\
-                 \"atoms_simplified\":{},\"max_period\":{},\"nanos\":{}}}",
+                 \"atoms_simplified\":{},\"tuples_subsumed\":{},\"coalesce_merges\":{},\
+                 \"intern_hits\":{},\"max_period\":{},\"nanos\":{}}}",
                 kind.name(),
                 op.calls,
                 op.tuples_in,
@@ -621,6 +669,9 @@ impl StatsSnapshot {
                 op.index_probes,
                 op.index_pruned,
                 op.atoms_simplified,
+                op.tuples_subsumed,
+                op.coalesce_merges,
+                op.intern_hits,
                 op.max_period,
                 op.nanos,
             ));
@@ -747,6 +798,51 @@ mod tests {
         for kind in OpKind::ALL {
             assert!(text.contains(&format!("\"{}\":", kind.name())), "{text}");
         }
+    }
+
+    #[test]
+    fn compaction_counters_render_and_export() {
+        let sink = TraceSink::new();
+        let a = sink.begin(SpanLabel::Op(OpKind::Compact), None);
+        sink.end(a, |s| {
+            s.tuples_in = 10;
+            s.tuples_out = 6;
+            s.tuples_subsumed = 3;
+            s.coalesce_merges = 1;
+            s.nanos = 700;
+        });
+        let b = sink.begin(SpanLabel::Op(OpKind::Intersect), None);
+        sink.end(b, |s| {
+            s.pairs = 9;
+            s.intern_hits = 5;
+            s.nanos = 300;
+        });
+        let t = sink.take();
+        let text = t.render_tree();
+        assert!(
+            text.contains("compact: in=10 out=6 subsumed=3 merged=1"),
+            "{text}"
+        );
+        assert!(text.contains("interned=5"), "{text}");
+        let totals = t.op_totals();
+        assert_eq!(totals.op(OpKind::Compact).tuples_subsumed, 3);
+        assert_eq!(totals.op(OpKind::Compact).coalesce_merges, 1);
+        assert_eq!(totals.op(OpKind::Intersect).intern_hits, 5);
+        let prom = totals.to_prometheus();
+        assert!(
+            prom.contains("itd_op_tuples_subsumed_total{op=\"compact\"} 3"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("itd_op_intern_hits_total{op=\"intersect\"} 5"),
+            "{prom}"
+        );
+        let json = totals.to_json();
+        assert!(json.contains("\"coalesce_merges\":1"), "{json}");
+        let jsonl = t.to_json_lines();
+        assert!(jsonl.contains("\"tuples_subsumed\":3"), "{jsonl}");
+        let chrome = t.to_chrome_trace();
+        assert!(chrome.contains("\"intern_hits\":5"), "{chrome}");
     }
 
     #[test]

@@ -113,7 +113,7 @@ impl Database {
     /// Parse/sort/evaluation errors ([`DbError::Query`]).
     #[deprecated(since = "0.2.0", note = "use `run` with `QueryOpts` instead")]
     pub fn query(&self, src: impl AsRef<str>) -> Result<QueryResult> {
-        self.run(src, QueryOpts::new().optimize(false))
+        self.run(src, QueryOpts::new().optimize(false).compact(false))
             .map(|o| o.result)
     }
 
@@ -127,8 +127,11 @@ impl Database {
         note = "use `run` with `QueryOpts::new().ctx(ctx)` instead"
     )]
     pub fn query_with(&self, src: impl AsRef<str>, ctx: &ExecContext) -> Result<QueryResult> {
-        self.run(src, QueryOpts::new().ctx(ctx).optimize(false))
-            .map(|o| o.result)
+        self.run(
+            src,
+            QueryOpts::new().ctx(ctx).optimize(false).compact(false),
+        )
+        .map(|o| o.result)
     }
 
     /// Evaluates a pre-built formula.
@@ -137,7 +140,7 @@ impl Database {
     /// See [`Database::run`].
     #[deprecated(since = "0.2.0", note = "use `run_formula` with `QueryOpts` instead")]
     pub fn query_formula(&self, f: &Formula) -> Result<QueryResult> {
-        self.run_formula(f, QueryOpts::new().optimize(false))
+        self.run_formula(f, QueryOpts::new().optimize(false).compact(false))
             .map(|o| o.result)
     }
 
@@ -152,9 +155,12 @@ impl Database {
     )]
     pub fn query_bool(&self, src: impl AsRef<str>) -> Result<bool> {
         let ctx = ExecContext::new();
-        self.run(src, QueryOpts::new().ctx(&ctx).optimize(false))?
-            .truth_in(&ctx)
-            .map_err(DbError::Query)
+        self.run(
+            src,
+            QueryOpts::new().ctx(&ctx).optimize(false).compact(false),
+        )?
+        .truth_in(&ctx)
+        .map_err(DbError::Query)
     }
 
     /// [`Database::query_bool`] under an explicit execution context.
@@ -166,9 +172,12 @@ impl Database {
         note = "use `run` with `QueryOpts::new().ctx(ctx)`, then `QueryOutput::truth_in`, instead"
     )]
     pub fn query_bool_with(&self, src: impl AsRef<str>, ctx: &ExecContext) -> Result<bool> {
-        self.run(src, QueryOpts::new().ctx(ctx).optimize(false))?
-            .truth_in(ctx)
-            .map_err(DbError::Query)
+        self.run(
+            src,
+            QueryOpts::new().ctx(ctx).optimize(false).compact(false),
+        )?
+        .truth_in(ctx)
+        .map_err(DbError::Query)
     }
 
     /// Conversational name for the yes/no reading of a query.
@@ -181,9 +190,12 @@ impl Database {
     )]
     pub fn ask(&self, src: impl AsRef<str>) -> Result<bool> {
         let ctx = ExecContext::new();
-        self.run(src, QueryOpts::new().ctx(&ctx).optimize(false))?
-            .truth_in(&ctx)
-            .map_err(DbError::Query)
+        self.run(
+            src,
+            QueryOpts::new().ctx(&ctx).optimize(false).compact(false),
+        )?
+        .truth_in(&ctx)
+        .map_err(DbError::Query)
     }
 
     /// Compiles a query to its algebra plan *without executing it*
@@ -208,6 +220,22 @@ impl Database {
         itd_query::explain_opt(self, &f).map_err(DbError::Query)
     }
 
+    /// [`Database::explain_opt`] with explicit control over whether the
+    /// adaptive compaction pass inserts [`itd_query::PlanOp::Compact`]
+    /// nodes, matching a [`QueryOpts::compact`] setting so the explained
+    /// plan is the one execution would run.
+    ///
+    /// # Errors
+    /// Parse/sort errors ([`DbError::Query`]).
+    pub fn explain_opt_with(
+        &self,
+        src: impl AsRef<str>,
+        compact: bool,
+    ) -> Result<itd_query::ExplainReport> {
+        let f = itd_query::parse(src.as_ref())?;
+        itd_query::explain_opt_with(self, &f, compact).map_err(DbError::Query)
+    }
+
     /// Parses and evaluates an open query with tracing (EXPLAIN ANALYZE):
     /// returns the answer, the compiled plan, and the recorded span tree.
     /// The context should be traced ([`ExecContext::traced`]); untraced
@@ -224,7 +252,14 @@ impl Database {
         src: impl AsRef<str>,
         ctx: &ExecContext,
     ) -> Result<itd_query::Traced> {
-        let out = self.run(src, QueryOpts::new().ctx(ctx).trace(true).optimize(false))?;
+        let out = self.run(
+            src,
+            QueryOpts::new()
+                .ctx(ctx)
+                .trace(true)
+                .optimize(false)
+                .compact(false),
+        )?;
         Ok(itd_query::Traced {
             result: out.result,
             plan: out.plan,

@@ -14,6 +14,7 @@ pub struct ReplSession {
     stats: StatsSnapshot,
     tracing: bool,
     optimize: bool,
+    compact: bool,
     last_trace: Option<Trace>,
 }
 
@@ -24,6 +25,7 @@ impl Default for ReplSession {
             stats: StatsSnapshot::default(),
             tracing: false,
             optimize: true,
+            compact: true,
             last_trace: None,
         }
     }
@@ -58,10 +60,24 @@ impl ReplSession {
         self.optimize
     }
 
+    /// Whether adaptive intermediate compaction is in effect (`\compact
+    /// on`, the default).
+    pub fn compacting(&self) -> bool {
+        self.compact
+    }
+
     /// The span tree recorded by the most recent query-evaluating command
     /// while tracing was on (or by `\explain analyze`).
     pub fn last_trace(&self) -> Option<&Trace> {
         self.last_trace.as_ref()
+    }
+
+    /// Query options reflecting the session toggles (`\optimize`,
+    /// `\compact`); callers chain `.ctx(...)` / `.trace(...)` on top.
+    fn opts(&self) -> QueryOpts<'static> {
+        QueryOpts::new()
+            .optimize(self.optimize)
+            .compact(self.compact)
     }
 
     /// A fresh per-command context, traced when `\trace on` is in effect.
@@ -124,9 +140,9 @@ impl ReplSession {
                 Ok(Some(self.db.table(name)?.timeline(lo, hi)))
             }
             "ask" => {
-                let optimize = self.optimize;
+                let opts = self.opts();
                 let truth = self.tracked(|db, ctx| {
-                    db.run(rest, QueryOpts::new().ctx(ctx).optimize(optimize))?
+                    db.run(rest, opts.ctx(ctx))?
                         .truth_in(ctx)
                         .map_err(DbError::Query)
                 })?;
@@ -143,7 +159,7 @@ impl ReplSession {
                     let table = self.db.materialize_view_opts(
                         name.trim(),
                         src.trim(),
-                        QueryOpts::new().ctx(&ctx).optimize(self.optimize),
+                        self.opts().ctx(&ctx),
                     )?;
                     format!(
                         "view `{}` materialized with {} generalized tuple(s)",
@@ -157,6 +173,7 @@ impl ReplSession {
             "query" => self.query(rest).map(Some),
             "\\explain" | "explain" => self.explain(rest).map(Some),
             "\\optimize" | "optimize" => self.optimize_cmd(rest).map(Some),
+            "\\compact" | "compact" => self.compact_cmd(rest).map(Some),
             "\\trace" | "trace" => self.trace(rest).map(Some),
             "\\metrics" | "metrics" => Ok(Some(self.stats.to_prometheus())),
             "\\stats" | "stats" => match rest {
@@ -258,11 +275,8 @@ impl ReplSession {
 
     /// `query <formula>` — prints the symbolic answer relation.
     fn query(&mut self, src: &str) -> Result<String> {
-        let optimize = self.optimize;
-        let result = self.tracked(|db, ctx| {
-            db.run(src, QueryOpts::new().ctx(ctx).optimize(optimize))
-                .map(|o| o.result)
-        })?;
+        let opts = self.opts();
+        let result = self.tracked(|db, ctx| db.run(src, opts.ctx(ctx)).map(|o| o.result))?;
         let mut out = String::new();
         out.push_str(&format!(
             "free variables: temporal {:?}, data {:?}\n",
@@ -280,13 +294,7 @@ impl ReplSession {
     fn explain(&mut self, rest: &str) -> Result<String> {
         if let Some(src) = rest.strip_prefix("analyze ") {
             let ctx = ExecContext::new().traced();
-            let out = self.db.run(
-                src.trim(),
-                QueryOpts::new()
-                    .ctx(&ctx)
-                    .trace(true)
-                    .optimize(self.optimize),
-            )?;
+            let out = self.db.run(src.trim(), self.opts().ctx(&ctx).trace(true))?;
             self.stats.merge(&ctx.stats());
             let trace = out.trace.unwrap_or_default();
             let mut text = out.plan.render_analyze(&trace);
@@ -302,7 +310,7 @@ impl ReplSession {
             return Ok(text);
         }
         if self.optimize {
-            Ok(self.db.explain_opt(rest)?.render())
+            Ok(self.db.explain_opt_with(rest, self.compact)?.render())
         } else {
             Ok(self.db.explain(rest)?.render())
         }
@@ -326,6 +334,33 @@ impl ReplSession {
             }
             other => Err(DbError::IncompleteTuple {
                 detail: format!("unrecognized `\\optimize` argument `{other}` (try `help`)"),
+            }),
+        }
+    }
+
+    /// `\compact [on|off]` — toggles adaptive intermediate compaction
+    /// (subsumption pruning + coalescing between plan nodes) for
+    /// `ask`/`query`/`view`/`\explain`; bare `\compact` shows the state.
+    fn compact_cmd(&mut self, rest: &str) -> Result<String> {
+        match rest.trim() {
+            "" => Ok(format!(
+                "compaction is {}",
+                if self.compact { "on" } else { "off" }
+            )),
+            "on" => {
+                self.compact = true;
+                Ok(
+                    "compaction on — intermediate relations are subsumption-pruned and \
+                    coalesced before quadratic consumers"
+                        .to_owned(),
+                )
+            }
+            "off" => {
+                self.compact = false;
+                Ok("compaction off — intermediate relations flow through unreduced".to_owned())
+            }
+            other => Err(DbError::IncompleteTuple {
+                detail: format!("unrecognized `\\compact` argument `{other}` (try `help`)"),
             }),
         }
     }
@@ -396,6 +431,8 @@ commands:
                                  actual rows/pairs, plus the span tree
   \\optimize [on|off]             cost-guided plan rewriting for queries
                                  (default on; bare \\optimize shows the state)
+  \\compact [on|off]              adaptive compaction of intermediate results
+                                 (default on; bare \\compact shows the state)
   \\trace [on|off]                record span trees for query commands;
                                  bare \\trace shows the last recorded tree
   \\trace json                    export the last trace as JSON lines
@@ -522,6 +559,34 @@ mod tests {
         // The run is folded into \stats and the trace is kept.
         assert!(s.stats().total_calls() > 0);
         assert!(s.last_trace().is_some());
+    }
+
+    #[test]
+    fn compact_toggle_shapes_explained_plan() {
+        let mut s = ReplSession::new();
+        assert!(s.compacting());
+        assert!(run(&mut s, "\\compact").contains("compaction is on"));
+        run(&mut s, "create ev(t)");
+        // Eight periodic tuples put the scan estimate over the compaction
+        // threshold, so the conjunction's inputs get compact nodes.
+        for i in 0..8 {
+            run(&mut s, &format!("insert ev lrp t {i} 8"));
+        }
+        let plan = run(&mut s, "\\explain ev(t) and ev(t)");
+        assert!(plan.contains("compact"), "{plan}");
+        let msg = run(&mut s, "\\compact off");
+        assert!(msg.contains("compaction off"), "{msg}");
+        assert!(!s.compacting());
+        let plan = run(&mut s, "\\explain ev(t) and ev(t)");
+        assert!(!plan.contains("compact"), "{plan}");
+        // Queries still answer identically with compaction off.
+        assert_eq!(run(&mut s, "ask ev(4) and ev(12)"), "true");
+        run(&mut s, "\\compact on");
+        assert_eq!(run(&mut s, "ask ev(4) and ev(12)"), "true");
+        // Both spellings work; bad arguments are recoverable errors.
+        assert!(run(&mut s, "compact").contains("compaction is on"));
+        assert!(s.execute("\\compact sideways").is_err());
+        assert_eq!(run(&mut s, "ask ev(4)"), "true");
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub struct QueryOpts<'a> {
     ctx: Option<&'a ExecContext>,
     trace: bool,
     optimize: bool,
+    compact: bool,
 }
 
 impl Default for QueryOpts<'_> {
@@ -89,12 +90,14 @@ impl Default for QueryOpts<'_> {
             ctx: None,
             trace: false,
             optimize: true,
+            compact: true,
         }
     }
 }
 
 impl<'a> QueryOpts<'a> {
-    /// The defaults: fresh context, no tracing, optimizer on.
+    /// The defaults: fresh context, no tracing, optimizer on, adaptive
+    /// compaction on.
     pub fn new() -> Self {
         Self::default()
     }
@@ -120,6 +123,20 @@ impl<'a> QueryOpts<'a> {
     /// operator for operator what the pre-plan evaluator did.
     pub fn optimize(mut self, on: bool) -> Self {
         self.optimize = on;
+        self
+    }
+
+    /// Insert adaptive compaction passes — subsumption pruning plus
+    /// residue coalescing — between plan nodes where the cost model
+    /// predicts a quadratic consumer will pay for them (default `true`).
+    /// Works with or without the optimizer; the inserted
+    /// [`PlanOp::Compact`](crate::PlanOp) nodes appear in the returned
+    /// plan, so EXPLAIN shows exactly the passes that ran. The answer
+    /// denotes the same set either way — compaction may leave it in a
+    /// coarser (smaller) representation — and each mode separately is
+    /// bit-identical, results and counters, at any thread count.
+    pub fn compact(mut self, on: bool) -> Self {
+        self.compact = on;
         self
     }
 }
@@ -200,11 +217,19 @@ pub fn run(catalog: &impl Catalog, formula: &Formula, opts: QueryOpts<'_>) -> Re
     };
     let mut plan = Plan::of(&f);
     if opts.optimize {
-        plan = crate::opt::optimize(catalog, plan);
-    } else if opts.trace {
-        // The optimizer annotates its output; annotate the direct
-        // lowering too so EXPLAIN ANALYZE has an `est` column.
-        crate::opt::annotate(catalog, &mut plan);
+        plan = crate::opt::optimize(catalog, plan, opts.compact);
+    } else {
+        if opts.compact {
+            // Compaction is independent of the rewriter: insert the
+            // passes into the direct lowering too, so the executed plan
+            // (which `QueryOutput::plan` returns) shows them.
+            crate::opt::insert_compaction(catalog, &mut plan);
+        }
+        if opts.trace {
+            // The optimizer annotates its output; annotate the direct
+            // lowering too so EXPLAIN ANALYZE has an `est` column.
+            crate::opt::annotate(catalog, &mut plan);
+        }
     }
     let result = exec_plan(catalog, &f, &plan, ctx)?;
     let trace = if opts.trace { ctx.take_trace() } else { None };
@@ -247,7 +272,12 @@ fn exec_plan(
 /// Sort/arity errors and algebra failures; see [`QueryError`].
 #[deprecated(since = "0.2.0", note = "use `run` with `QueryOpts` instead")]
 pub fn evaluate(catalog: &impl Catalog, formula: &Formula) -> Result<QueryResult> {
-    run(catalog, formula, QueryOpts::new().optimize(false)).map(|o| o.result)
+    run(
+        catalog,
+        formula,
+        QueryOpts::new().optimize(false).compact(false),
+    )
+    .map(|o| o.result)
 }
 
 /// Evaluates a formula under an explicit execution context.
@@ -263,7 +293,12 @@ pub fn evaluate_with(
     formula: &Formula,
     ctx: &ExecContext,
 ) -> Result<QueryResult> {
-    run(catalog, formula, QueryOpts::new().ctx(ctx).optimize(false)).map(|o| o.result)
+    run(
+        catalog,
+        formula,
+        QueryOpts::new().ctx(ctx).optimize(false).compact(false),
+    )
+    .map(|o| o.result)
 }
 
 /// A query evaluated with tracing on: the answer, the compiled plan, and
@@ -298,7 +333,7 @@ pub fn evaluate_traced(catalog: &impl Catalog, formula: &Formula) -> Result<Trac
     let out = run(
         catalog,
         formula,
-        QueryOpts::new().trace(true).optimize(false),
+        QueryOpts::new().trace(true).optimize(false).compact(false),
     )?;
     Ok(Traced {
         result: out.result,
@@ -326,7 +361,11 @@ pub fn evaluate_traced_with(
     let out = run(
         catalog,
         formula,
-        QueryOpts::new().ctx(ctx).trace(true).optimize(false),
+        QueryOpts::new()
+            .ctx(ctx)
+            .trace(true)
+            .optimize(false)
+            .compact(false),
     )?;
     Ok(Traced {
         result: out.result,
@@ -346,7 +385,11 @@ pub fn evaluate_traced_with(
 )]
 pub fn evaluate_bool(catalog: &impl Catalog, formula: &Formula) -> Result<bool> {
     let ctx = ExecContext::new();
-    let out = run(catalog, formula, QueryOpts::new().ctx(&ctx).optimize(false))?;
+    let out = run(
+        catalog,
+        formula,
+        QueryOpts::new().ctx(&ctx).optimize(false).compact(false),
+    )?;
     out.truth_in(&ctx)
 }
 
@@ -363,7 +406,11 @@ pub fn evaluate_bool_with(
     formula: &Formula,
     ctx: &ExecContext,
 ) -> Result<bool> {
-    let out = run(catalog, formula, QueryOpts::new().ctx(ctx).optimize(false))?;
+    let out = run(
+        catalog,
+        formula,
+        QueryOpts::new().ctx(ctx).optimize(false).compact(false),
+    )?;
     out.truth_in(ctx)
 }
 
@@ -500,6 +547,15 @@ impl<C: Catalog> Env<'_, C> {
                     rel,
                     tvars: n.temporal_vars.clone(),
                     dvars: n.data_vars.clone(),
+                })
+            }
+            PlanOp::Compact => {
+                let ev = self.exec(&n.children[0])?;
+                let rel = ev.rel.compact_in(self.ctx).map_err(QueryError::Core)?;
+                Ok(Ev {
+                    rel,
+                    tvars: ev.tvars,
+                    dvars: ev.dvars,
                 })
             }
         }
@@ -1156,9 +1212,15 @@ mod tests {
         cat.insert("P", GenRelation::new(Schema::new(1, 0), tuples).unwrap());
         let f = parse("exists t. P(t) and P(t)").unwrap();
         let ctx = ExecContext::serial();
-        let r = run(&cat, &f, QueryOpts::new().ctx(&ctx).optimize(false))
-            .unwrap()
-            .result;
+        let r = run(
+            &cat,
+            &f,
+            // Compaction off: it would subsume two of the eight tuples and
+            // change the pinned pair count below.
+            QueryOpts::new().ctx(&ctx).optimize(false).compact(false),
+        )
+        .unwrap()
+        .result;
         let (probed, skipped) = r.index_effectiveness();
         assert_eq!(probed + skipped, 64, "join consulted the index once");
         assert!(

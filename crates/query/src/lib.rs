@@ -73,7 +73,9 @@ pub use eval::{
 pub use eval::{run, QueryOpts, QueryOutput, QueryResult, Traced};
 pub use itd_core::{ExecContext, OpKind, OpSnapshot, Span, SpanLabel, StatsSnapshot, Trace};
 pub use parser::parse;
-pub use plan::{explain, explain_opt, CostEstimate, ExplainReport, Plan, PlanNode, PlanOp};
+pub use plan::{
+    explain, explain_opt, explain_opt_with, CostEstimate, ExplainReport, Plan, PlanNode, PlanOp,
+};
 pub use sortcheck::check_sorts;
 
 /// Result alias for query operations.

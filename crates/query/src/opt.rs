@@ -46,6 +46,11 @@ const MAX_PASSES: usize = 8;
 /// Relative improvement a join reorder must show to fire.
 const REORDER_MARGIN: f64 = 0.999;
 
+/// Minimum estimated rows a producer must feed a quadratic consumer
+/// before a compaction pass between them is predicted to pay for itself
+/// (below this the pass's own cost dominates the pair savings).
+const COMPACT_MIN_ROWS: f64 = 8.0;
+
 /// Per-relation statistics the cost model reads.
 #[derive(Debug, Clone)]
 struct RelStats {
@@ -314,6 +319,16 @@ fn node_est(node: &PlanNode, st: &CatalogStats) -> NodeEst {
             est.total = 0.0;
             est
         }
+        PlanOp::Compact => {
+            // One near-linear pass over the child's output; refined
+            // outputs (normalize/complement/difference) typically shrink
+            // well past this conservative factor.
+            let mut est = kids[0].clone();
+            est.pairs = est.rows;
+            est.total = 0.0;
+            est.rows *= 0.7;
+            est
+        }
     };
     est.total = est.pairs + kid_total;
     est
@@ -455,8 +470,9 @@ fn annotate_node(node: &mut PlanNode, st: &CatalogStats) {
 /// Runs the rewrite pipeline to fixpoint and returns the optimized,
 /// cost-annotated plan. Surviving nodes keep their ids; fired rules are
 /// recorded both on the rewritten nodes and in
-/// [`Plan::rewrites`](crate::Plan::rewrites).
-pub(crate) fn optimize(catalog: &impl Catalog, mut plan: Plan) -> Plan {
+/// [`Plan::rewrites`](crate::Plan::rewrites). When `compact` is on, the
+/// adaptive compaction insertion runs on the rewritten tree last.
+pub(crate) fn optimize(catalog: &impl Catalog, mut plan: Plan, compact: bool) -> Plan {
     let st = CatalogStats::gather(catalog, &plan);
     let mut cx = Rewriter {
         st,
@@ -473,9 +489,78 @@ pub(crate) fn optimize(catalog: &impl Catalog, mut plan: Plan) -> Plan {
     }
     plan.next_id = cx.next_id;
     plan.rewrites.extend(cx.fired.iter().cloned());
+    if compact {
+        insert_compaction(catalog, &mut plan);
+    }
     let st = CatalogStats::gather(catalog, &plan);
     annotate_node(&mut plan.root, &st);
     plan
+}
+
+/// Inserts [`PlanOp::Compact`] nodes between producers and the quadratic
+/// consumers the cost model predicts will pay for them: a compaction
+/// fires only where the child is estimated to feed at least
+/// [`COMPACT_MIN_ROWS`] tuples into a pairwise operator (join, or the
+/// difference a pushed-down negation executes). The insertion is purely
+/// additive — it never reorders or rewrites the surrounding tree — and
+/// deterministic, so EXPLAIN shows exactly the passes execution runs.
+pub(crate) fn insert_compaction(catalog: &impl Catalog, plan: &mut Plan) {
+    let st = CatalogStats::gather(catalog, plan);
+    let mut next_id = plan.next_id;
+    let mut fired = Vec::new();
+    insert_compaction_node(&mut plan.root, &st, &mut next_id, &mut fired);
+    plan.next_id = next_id;
+    plan.rewrites.extend(fired);
+}
+
+fn insert_compaction_node(
+    node: &mut PlanNode,
+    st: &CatalogStats,
+    next_id: &mut u64,
+    fired: &mut Vec<String>,
+) {
+    for child in &mut node.children {
+        insert_compaction_node(child, st, next_id, fired);
+    }
+    // Quadratic consumers: pairwise joins, and the differences a negation
+    // (standalone or paid by a ∀ / ¬∃ projection) executes against the
+    // free space.
+    let quadratic = matches!(
+        node.op,
+        PlanOp::Conjoin | PlanOp::Negate | PlanOp::ProjectOut { negate: true, .. }
+    );
+    if !quadratic {
+        return;
+    }
+    for child in &mut node.children {
+        if matches!(child.op, PlanOp::Compact) {
+            continue;
+        }
+        let est = node_est(child, st);
+        if est.rows < COMPACT_MIN_ROWS {
+            continue;
+        }
+        let id = *next_id;
+        *next_id += 1;
+        let inner = std::mem::replace(child, placeholder());
+        *child = mk_compact(id, inner);
+        fired.push(format!("compact @ node {id}"));
+    }
+}
+
+/// A [`PlanOp::Compact`] wrapper over `child`, keeping its columns.
+fn mk_compact(id: u64, child: PlanNode) -> PlanNode {
+    PlanNode {
+        id,
+        label: "compact".to_string(),
+        op: PlanOp::Compact,
+        steps: vec!["compact (subsume + coalesce)".to_string()],
+        temporal_vars: child.temporal_vars.clone(),
+        data_vars: child.data_vars.clone(),
+        children: vec![child],
+        est: None,
+        rules: vec!["compact".to_string()],
+    }
 }
 
 fn placeholder() -> PlanNode {

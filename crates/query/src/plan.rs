@@ -93,6 +93,12 @@ pub enum PlanOp {
     /// Optimizer-introduced: pad/permute the single child to this node's
     /// columns (restores the original column order after a rewrite).
     Arrange,
+    /// Adaptive intermediate compaction: subsumption-prune and coalesce
+    /// the single child's output before a quadratic consumer reads it
+    /// (inserted by the cost model where the predicted pair savings beat
+    /// the near-linear pass; see
+    /// [`GenRelation::compact_in`](itd_core::GenRelation::compact_in)).
+    Compact,
 }
 
 /// Optimizer cost annotations for one node; heuristic, unit-free numbers
@@ -169,10 +175,24 @@ pub fn explain(catalog: &impl Catalog, formula: &Formula) -> Result<Plan> {
 /// # Errors
 /// Sort/arity errors; see [`QueryError`](crate::QueryError).
 pub fn explain_opt(catalog: &impl Catalog, formula: &Formula) -> Result<ExplainReport> {
+    explain_opt_with(catalog, formula, true)
+}
+
+/// [`explain_opt`] with explicit control over compaction insertion —
+/// what the REPL renders when `\compact` is toggled off, so EXPLAIN keeps
+/// matching what execution would run.
+///
+/// # Errors
+/// Sort/arity errors; see [`QueryError`](crate::QueryError).
+pub fn explain_opt_with(
+    catalog: &impl Catalog,
+    formula: &Formula,
+    compact: bool,
+) -> Result<ExplainReport> {
     let (f, _sorts) = check_sorts(catalog, formula)?;
     let mut logical = Plan::of(&f);
     crate::opt::annotate(catalog, &mut logical);
-    let optimized = crate::opt::optimize(catalog, logical.clone());
+    let optimized = crate::opt::optimize(catalog, logical.clone(), compact);
     Ok(ExplainReport { logical, optimized })
 }
 

@@ -211,15 +211,15 @@ fn next_occurrence_on_interval_table() {
 }
 
 #[test]
-fn coalesce_after_union_of_refinements() {
-    // Algebra producing refined output, tidied by coalesce: complement of
+fn compact_after_union_of_refinements() {
+    // Algebra producing refined output, tidied by compaction: complement of
     // odd numbers = evens, recovered as one tuple.
     let odds = GenRelation::new(
         Schema::new(1, 0),
         vec![GenTuple::unconstrained(vec![lrp(1, 2)], vec![])],
     )
     .unwrap();
-    let evens = odds.complement_temporal().unwrap().coalesce().unwrap();
+    let evens = odds.complement_temporal().unwrap().compact().unwrap();
     assert_eq!(evens.tuple_count(), 1);
     assert_eq!(evens.tuples()[0].lrps()[0], lrp(0, 2));
 }

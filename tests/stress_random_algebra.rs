@@ -154,7 +154,7 @@ proptest! {
     /// Simplification passes never change semantics, on the same random
     /// expressions.
     #[test]
-    fn simplify_and_coalesce_preserve_random_expressions(
+    fn simplify_and_compact_preserve_random_expressions(
         e in expr_strategy(),
         points in proptest::collection::vec((-10i64..10, -10i64..10), 4),
     ) {
@@ -164,11 +164,11 @@ proptest! {
             Err(_) => return Ok(()),
         };
         let simplified = rel.simplify().map_err(|e| TestCaseError::fail(format!("{e}")))?;
-        let coalesced = rel.coalesce().map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let compacted = rel.compact().map_err(|e| TestCaseError::fail(format!("{e}")))?;
         for (x, y) in points {
             let expect = rel.contains(&[x, y], &[]);
             prop_assert_eq!(simplified.contains(&[x, y], &[]), expect);
-            prop_assert_eq!(coalesced.contains(&[x, y], &[]), expect);
+            prop_assert_eq!(compacted.contains(&[x, y], &[]), expect);
         }
     }
 }
