@@ -892,6 +892,126 @@ fn index_effectiveness() {
     );
 }
 
+/// The acceptance gate for the columnar interned store. Two claims are
+/// measured and asserted:
+///
+/// 1. `clone` is an O(1) `Arc` snapshot — the per-clone cost must stay
+///    flat while the relation grows by 64×.
+/// 2. The persistent residue index kept on the store pays off — a warm
+///    operator call (index served from the store's cache) must beat the
+///    cold baseline where every call sees a fresh store and rebuilds the
+///    index from scratch, which is what the row-oriented engine did on
+///    every operation.
+fn columnar_storage() {
+    println!("\n## Columnar storage (Arc snapshots, persistent residue indexes)\n");
+    jsonout::begin_section("columnar_storage");
+    use itd_core::{storage_stats, ExecContext};
+
+    // -- O(1) snapshots ---------------------------------------------------
+    let sizes = take(&[64, 512, 4096]);
+    let clones = if smoke() { 20_000 } else { 100_000 };
+    let pts = sweep(&sizes, |n| {
+        let rel = random_relation(&spec(n, 2, 6), n as u64);
+        assert_eq!(rel.clone(), rel, "a snapshot aliases the same rows");
+        let (d, ()) = time_median(REPS, || {
+            for _ in 0..clones {
+                std::hint::black_box(rel.clone());
+            }
+        });
+        d / clones as u32
+    });
+    println!("| operation | claim | fitted exponent | sample |");
+    println!("|---|---|---|---|");
+    print_row_fit(
+        "snapshot_clone",
+        "O(1) Arc snapshot",
+        &pts,
+        fit_loglog(&pts),
+        Some((-0.35, 0.35)),
+    );
+
+    // -- persistent index vs per-op rebuild -------------------------------
+    // A point-lookup miss: the probe's residue class (3 mod 6) appears
+    // nowhere in `big` (0 and 2 mod 6), so the index prunes every candidate
+    // and the warm call is a pure bucket lookup. The cold baseline sees a
+    // fresh store on every call and must first rebuild the O(N) index —
+    // exactly what the row-oriented engine paid per operation.
+    let n = if smoke() { 512 } else { 2048 };
+    let reps = if smoke() { 5 } else { 15 };
+    use itd_core::{GenTuple, Lrp, Schema};
+    let lrp = |c: i64| Lrp::new(c, 6).expect("valid lrp");
+    let mut big = GenRelation::empty(Schema::new(2, 0));
+    for i in 0..n as i64 {
+        let r = 2 * (i % 2);
+        big.push(GenTuple::unconstrained(vec![lrp(r), lrp(r)], vec![]))
+            .expect("schema");
+    }
+    let probe = GenRelation::new(
+        Schema::new(2, 0),
+        vec![GenTuple::unconstrained(vec![lrp(3), lrp(3)], vec![])],
+    )
+    .expect("schema");
+    let big_tuples: Vec<GenTuple> = big.rows().map(|r| r.to_tuple()).collect();
+    let ctx = ExecContext::serial();
+    let expected = probe.intersect_in(&big, &ctx).expect("intersect");
+    assert!(
+        expected.has_no_tuples(),
+        "the probe must miss every residue bucket"
+    );
+
+    // Warm: `big`'s store already carries the index, every call reuses it.
+    let before = storage_stats();
+    let (warm, warm_out) = time_median(reps, || probe.intersect_in(&big, &ctx).expect("intersect"));
+    let reuse_delta = storage_stats().index_reuses - before.index_reuses;
+    assert_eq!(warm_out, expected, "warm calls must not change the answer");
+    assert!(
+        reuse_delta >= reps as u64,
+        "every warm call must be served by the persistent index \
+         (reused {reuse_delta} of {reps})"
+    );
+
+    // Cold: a fresh store per call forces the old per-operation rebuild.
+    let mut fresh: Vec<GenRelation> = (0..reps)
+        .map(|_| GenRelation::new(big.schema(), big_tuples.clone()).expect("same rows"))
+        .collect();
+    let before = storage_stats();
+    let (cold, cold_out) = time_median(reps, || {
+        let rebuilt = fresh.pop().expect("one fresh store per rep");
+        probe.intersect_in(&rebuilt, &ctx).expect("intersect")
+    });
+    let build_delta = storage_stats().index_builds - before.index_builds;
+    assert_eq!(cold_out, expected, "cold calls must not change the answer");
+    assert!(
+        build_delta >= reps as u64,
+        "every cold call must rebuild its index from scratch \
+         (built {build_delta} in {reps} calls)"
+    );
+    assert!(
+        warm < cold,
+        "the persistent index must beat the per-op rebuild baseline \
+         (warm {} vs cold {})",
+        fmt_duration(warm),
+        fmt_duration(cold)
+    );
+    println!(
+        "\nPersistent index over {n}-tuple intersection: warm {} vs cold rebuild {} \
+         ({:.1}x), {reuse_delta} reuses / {build_delta} rebuilds.",
+        fmt_duration(warm),
+        fmt_duration(cold),
+        cold.as_secs_f64() / warm.as_secs_f64()
+    );
+    jsonout::counters(
+        "persistent_index",
+        &[
+            ("reps", reps as u64),
+            ("index_reuses", reuse_delta),
+            ("index_builds", build_delta),
+            ("warm_nanos", warm.as_nanos() as u64),
+            ("cold_nanos", cold.as_nanos() as u64),
+        ],
+    );
+}
+
 /// The acceptance gate for the cost-guided optimizer: on Table-2-style
 /// workloads where the parse order is not the cheapest order, the
 /// optimized plan must cut total candidate `pairs` by at least 20%
@@ -1322,6 +1442,7 @@ fn main() {
     figures();
     ablations();
     index_effectiveness();
+    columnar_storage();
     optimizer_effectiveness();
     compaction_effectiveness();
     executor_stats();

@@ -61,7 +61,7 @@ pub(crate) fn compact_relation(rel: &GenRelation) -> Result<(GenRelation, Compac
     if rel.tuple_count() <= 1 {
         return Ok((rel.clone(), report));
     }
-    let kept = subsume(rel.tuples(), &mut report.subsumed);
+    let kept = subsume(rel.rows_slice(), &mut report.subsumed);
     let pruned = GenRelation::new(rel.schema(), kept)?;
 
     let coalesced = crate::minimize::coalesce(&pruned)?;
@@ -72,7 +72,7 @@ pub(crate) fn compact_relation(rel: &GenRelation) -> Result<(GenRelation, Compac
         return Ok((pruned, report));
     }
 
-    let kept = subsume(coalesced.tuples(), &mut report.subsumed);
+    let kept = subsume(coalesced.rows_slice(), &mut report.subsumed);
     let out = GenRelation::new(rel.schema(), kept)?;
     Ok((out, report))
 }
@@ -190,7 +190,7 @@ mod tests {
         assert_eq!(c.materialize(-12, 12), r.materialize(-12, 12));
         // evens+odds coalesce to Z; the refinement and the unsat tuple go.
         assert_eq!(c.tuple_count(), 1);
-        assert_eq!(c.tuples()[0].lrps()[0], Lrp::all());
+        assert_eq!(c.rows_slice()[0].lrps()[0], Lrp::all());
     }
 
     #[test]
@@ -204,7 +204,7 @@ mod tests {
         ]);
         let (c, rep) = compact_relation(&r).unwrap();
         assert_eq!(c.tuple_count(), 1);
-        assert_eq!(c.tuples()[0].lrps()[0], lrp(1, 6));
+        assert_eq!(c.rows_slice()[0].lrps()[0], lrp(1, 6));
         assert_eq!(rep.merges, 1);
         assert_eq!(rep.subsumed, 1);
         assert_eq!(c.materialize(-40, 40), r.materialize(-40, 40));
@@ -219,7 +219,7 @@ mod tests {
         let (c, rep) = compact_relation(&r).unwrap();
         assert_eq!(c.tuple_count(), 2);
         assert_eq!(rep, CompactReport::default());
-        assert_eq!(c.tuples(), r.tuples());
+        assert_eq!(c.rows_slice(), r.rows_slice());
     }
 
     #[test]
@@ -259,7 +259,7 @@ mod tests {
         let (c, rep) = compact_relation(&r).unwrap();
         assert_eq!(c.tuple_count(), 1);
         assert_eq!(rep.subsumed, 1);
-        assert_eq!(c.tuples()[0].lrps()[0], lrp(0, 2));
+        assert_eq!(c.rows_slice()[0].lrps()[0], lrp(0, 2));
     }
 
     #[test]
@@ -294,7 +294,7 @@ mod tests {
         assert_eq!(rep, CompactReport::default());
         let one = rel(vec![GenTuple::unconstrained(vec![lrp(3, 5)], vec![])]);
         let (c, rep) = compact_relation(&one).unwrap();
-        assert_eq!(c.tuples(), one.tuples());
+        assert_eq!(c.rows_slice(), one.rows_slice());
         assert_eq!(rep, CompactReport::default());
     }
 }

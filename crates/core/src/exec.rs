@@ -475,10 +475,10 @@ impl Drop for OpTimer<'_> {
 /// ```
 /// use itd_core::{ExecContext, GenRelation, GenTuple, Lrp, OpKind, Schema};
 /// let evens = GenRelation::builder(Schema::new(1, 0))
-///     .tuple(GenTuple::builder().lrp(Lrp::new(0, 2)?).build()?)
+///     .push_row(GenTuple::builder().lrp(Lrp::new(0, 2)?).build()?)
 ///     .build()?;
 /// let fives = GenRelation::builder(Schema::new(1, 0))
-///     .tuple(GenTuple::builder().lrp(Lrp::new(0, 5)?).build()?)
+///     .push_row(GenTuple::builder().lrp(Lrp::new(0, 5)?).build()?)
 ///     .build()?;
 /// let ctx = ExecContext::with_threads(2);
 /// let tens = evens.intersect_in(&fives, &ctx)?;
@@ -538,7 +538,7 @@ impl ExecContext {
     /// ```
     /// use itd_core::{ExecContext, GenRelation, GenTuple, Lrp, Schema};
     /// let evens = GenRelation::builder(Schema::new(1, 0))
-    ///     .tuple(GenTuple::builder().lrp(Lrp::new(0, 2)?).build()?)
+    ///     .push_row(GenTuple::builder().lrp(Lrp::new(0, 2)?).build()?)
     ///     .build()?;
     /// let ctx = ExecContext::serial().traced();
     /// let _ = evens.intersect_in(&evens, &ctx)?;

@@ -83,10 +83,14 @@ fn hash_values<'a>(values: impl Iterator<Item = &'a Value>) -> u64 {
 
 /// A residue-signature + data-hash bucket index over one relation operand.
 ///
-/// Built per operator call (relations are plain values — `Eq`/serde — so
-/// the index is not stored inside them); [`INDEX_MIN_PAIRS`] gates the
-/// build so small inputs keep the naive path.
-#[derive(Debug)]
+/// Since the columnar storage refactor, relation stores keep these
+/// indexes **persistently** (one per column set, see `crate::store`):
+/// built at most once, reused by every operator call over the same
+/// operand, and maintained incrementally on append via
+/// `RelationIndex::try_insert`. [`INDEX_MIN_PAIRS`] still gates *use*,
+/// so small inputs keep the naive path and the counters stay identical to
+/// the per-call-build era.
+#[derive(Debug, Clone)]
 pub struct RelationIndex {
     /// Temporal columns of the indexed side participating in the key.
     temporal_cols: Vec<usize>,
@@ -95,6 +99,10 @@ pub struct RelationIndex {
     /// Per-`temporal_cols` modulus `mᵢ ≥ 1`; divides every nonzero period
     /// occurring in that column.
     moduli: Vec<i64>,
+    /// Per-`temporal_cols` exact gcd of the nonzero periods seen so far
+    /// (`0` while the column has held only points / no tuples). Tracked so
+    /// appends can prove the modulus unchanged — `moduli` alone is lossy.
+    gcds: Vec<i64>,
     /// `(data hash, per-column residues) → ascending tuple positions`.
     buckets: HashMap<(u64, Vec<i64>), Vec<usize>>,
     /// Number of indexed tuples.
@@ -109,18 +117,17 @@ impl RelationIndex {
     /// keys directly on `offset mod MAX_MODULUS` (a point's residue is
     /// binding modulo anything).
     pub fn build(tuples: &[GenTuple], temporal_cols: &[usize], data_cols: &[usize]) -> Self {
-        let moduli: Vec<i64> = temporal_cols
+        let gcds: Vec<i64> = temporal_cols
             .iter()
             .map(|&c| {
-                let g = tuples
+                tuples
                     .iter()
-                    .fold(0i64, |acc, t| gcd(acc, t.lrps()[c].period()));
-                if g == 0 {
-                    MAX_MODULUS
-                } else {
-                    smooth_cap(g)
-                }
+                    .fold(0i64, |acc, t| gcd(acc, t.lrps()[c].period()))
             })
+            .collect();
+        let moduli: Vec<i64> = gcds
+            .iter()
+            .map(|&g| if g == 0 { MAX_MODULUS } else { smooth_cap(g) })
             .collect();
         let mut buckets: HashMap<(u64, Vec<i64>), Vec<usize>> = HashMap::new();
         for (pos, t) in tuples.iter().enumerate() {
@@ -136,9 +143,46 @@ impl RelationIndex {
             temporal_cols: temporal_cols.to_vec(),
             data_cols: data_cols.to_vec(),
             moduli,
+            gcds,
             buckets,
             len: tuples.len(),
         }
+    }
+
+    /// Incrementally indexes one appended tuple at position `pos`
+    /// (`pos == len`). Returns `false` — leaving the index unusable, the
+    /// caller must drop it — when the new tuple's periods change some
+    /// column's modulus; in that case only a rebuild can produce an index
+    /// equivalent to a fresh [`RelationIndex::build`] over the extended
+    /// relation.
+    ///
+    /// When it returns `true`, the index is **exactly** the one `build`
+    /// would produce over the extended tuple slice: the moduli are
+    /// unchanged (so every existing residue is still correct), the new
+    /// position lands at the tail of its bucket (positions are appended in
+    /// ascending order), and the per-column gcd is refolded.
+    pub(crate) fn try_insert(&mut self, t: &GenTuple, pos: usize) -> bool {
+        debug_assert_eq!(pos, self.len);
+        let mut new_gcds = Vec::with_capacity(self.gcds.len());
+        for (i, &c) in self.temporal_cols.iter().enumerate() {
+            let g = gcd(self.gcds[i], t.lrps()[c].period());
+            let m = if g == 0 { MAX_MODULUS } else { smooth_cap(g) };
+            if m != self.moduli[i] {
+                return false;
+            }
+            new_gcds.push(g);
+        }
+        self.gcds = new_gcds;
+        let residues: Vec<i64> = self
+            .temporal_cols
+            .iter()
+            .zip(&self.moduli)
+            .map(|(&c, &m)| t.lrps()[c].offset().rem_euclid(m))
+            .collect();
+        let h = hash_values(self.data_cols.iter().map(|&c| &t.data()[c]));
+        self.buckets.entry((h, residues)).or_default().push(pos);
+        self.len += 1;
+        true
     }
 
     /// Number of indexed tuples.
@@ -370,6 +414,26 @@ mod tests {
         assert!(!idx.is_discriminating());
         let cands = idx.probe(&tup(vec![lrp(0, 5)]), &[0], &[]);
         assert_eq!(cands, vec![0, 1]);
+    }
+
+    #[test]
+    fn try_insert_matches_fresh_build() {
+        let mut tuples: Vec<GenTuple> = (0..6).map(|i| tup(vec![lrp(i, 12)])).collect();
+        let mut idx = RelationIndex::build(&tuples, &[0], &[]);
+        // Period 24 keeps gcd 12 → the modulus survives, and the extended
+        // index must equal a fresh build field for field.
+        for i in 6..10 {
+            let t = tup(vec![lrp(i, 24)]);
+            assert!(idx.try_insert(&t, tuples.len()));
+            tuples.push(t);
+            let fresh = RelationIndex::build(&tuples, &[0], &[]);
+            assert_eq!(idx.moduli, fresh.moduli);
+            assert_eq!(idx.gcds, fresh.gcds);
+            assert_eq!(idx.len, fresh.len);
+            assert_eq!(idx.buckets, fresh.buckets);
+        }
+        // Period 5 drops the gcd to 1 → modulus change → rejected.
+        assert!(!idx.try_insert(&tup(vec![lrp(0, 5)]), tuples.len()));
     }
 
     #[test]

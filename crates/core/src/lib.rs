@@ -45,6 +45,14 @@
 //! temporal values fall in a finite window. It is deliberately brute-force:
 //! tests and benchmarks use it as an independent semantics oracle against
 //! which every symbolic operation is checked.
+//!
+//! # Columnar storage
+//!
+//! Relations are `Arc`-backed snapshots over a columnar, globally interned
+//! store: cloning is `O(1)`, rows are read through the [`GenRelation::rows`]
+//! cursor or typed [`GenRelation::columns`] slices, and residue indexes
+//! persist on the store across operator calls. See [`storage_stats`] for
+//! the process-wide arena and index-reuse counters.
 
 mod compact;
 mod enumerate;
@@ -54,6 +62,7 @@ mod minimize;
 mod normalize;
 mod relation;
 mod schema;
+mod store;
 mod tuple;
 mod value;
 
@@ -67,8 +76,14 @@ pub use error::CoreError;
 pub use exec::{ExecContext, OpKind, OpSnapshot, StatsSnapshot};
 pub use index::RelationIndex;
 pub use normalize::grid_view;
-pub use relation::{GenRelation, GenRelationBuilder};
+#[allow(deprecated)]
+pub use relation::GenRelationBuilder;
+pub use relation::{GenRelation, RelationBuilder};
 pub use schema::Schema;
+pub use store::{
+    resolve_value, storage_stats, Columns, DataColumn, RowRef, Rows, StorageStats, TemporalColumn,
+    TemporalPartId, ValueId,
+};
 pub use trace::{NodeSpan, Span, SpanLabel, Trace};
 pub use tuple::{GenTuple, GenTupleBuilder};
 pub use value::Value;

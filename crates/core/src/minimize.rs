@@ -119,7 +119,7 @@ fn coalesce_column(tuples: &mut Vec<GenTuple>, col: usize) -> Result<bool> {
 /// all columns, to a fixpoint. Returns a semantically equal relation with
 /// at most as many tuples.
 pub(crate) fn coalesce(rel: &GenRelation) -> Result<GenRelation> {
-    let mut tuples = rel.tuples().to_vec();
+    let mut tuples = rel.rows_slice().to_vec();
     let cols = rel.schema().temporal();
     loop {
         let mut changed = false;
@@ -179,7 +179,7 @@ mod tests {
         let rel = GenRelation::new(Schema::new(1, 0), refined).unwrap();
         let coalesced = coalesce(&rel).unwrap();
         assert_eq!(coalesced.tuple_count(), 1);
-        assert_eq!(coalesced.tuples()[0], original);
+        assert_eq!(coalesced.rows_slice()[0], original);
     }
 
     #[test]
@@ -198,8 +198,8 @@ mod tests {
         let c = coalesce(&rel).unwrap();
         assert_eq!(c.tuple_count(), 2);
         assert_eq!(c.materialize(-30, 30), rel.materialize(-30, 30));
-        assert!(c.tuples().iter().any(|t| t.lrps()[0] == lrp(1, 6)));
-        assert!(c.tuples().iter().any(|t| t.lrps()[0] == lrp(4, 12)));
+        assert!(c.rows_slice().iter().any(|t| t.lrps()[0] == lrp(1, 6)));
+        assert!(c.rows_slice().iter().any(|t| t.lrps()[0] == lrp(4, 12)));
     }
 
     #[test]
@@ -238,7 +238,7 @@ mod tests {
         assert_eq!(rel.tuple_count(), 4);
         let c = coalesce(&rel).unwrap();
         assert_eq!(c.tuple_count(), 1);
-        assert_eq!(c.tuples()[0].lrps(), &[lrp(0, 2), lrp(1, 3)]);
+        assert_eq!(c.rows_slice()[0].lrps(), &[lrp(0, 2), lrp(1, 3)]);
     }
 
     #[test]
@@ -255,7 +255,7 @@ mod tests {
         .unwrap();
         let c = coalesce(&rel).unwrap();
         assert_eq!(c.tuple_count(), 1);
-        assert_eq!(c.tuples()[0].lrps()[0], Lrp::all());
+        assert_eq!(c.rows_slice()[0].lrps()[0], Lrp::all());
     }
 
     #[test]

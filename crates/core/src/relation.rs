@@ -2,15 +2,18 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use itd_constraint::Atom;
 
 use crate::enumerate::{materialize_tuples, ConcreteTuple};
 use crate::error::CoreError;
 use crate::exec::{self, ExecContext, OpKind};
+use crate::index::RelationIndex;
 use crate::intern::{Interner, TemporalId, INTERN_MIN_PAIRS};
 use crate::ops;
 use crate::schema::Schema;
+use crate::store::{Columns, RelStore, RowRef, Rows};
 use crate::tuple::GenTuple;
 use crate::value::Value;
 use crate::Result;
@@ -28,7 +31,7 @@ use crate::Result;
 ///     .atom(Atom::diff_eq(1, 0, 3))
 ///     .build()
 ///     .unwrap();
-/// let rel = GenRelation::builder(Schema::new(2, 0)).tuple(task).build().unwrap();
+/// let rel = GenRelation::builder(Schema::new(2, 0)).push_row(task).build().unwrap();
 /// assert!(rel.contains(&[1_000_000, 1_000_003], &[]));
 /// // The full algebra is closed: complement, intersect, project, …
 /// let busy_starts = rel.project(&[0], &[]).unwrap();
@@ -37,20 +40,45 @@ use crate::Result;
 /// let idle = busy_starts.complement_temporal().unwrap();
 /// assert!(idle.contains(&[51], &[]));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+///
+/// # Storage and snapshots
+///
+/// Relations are `Arc`-backed views of a columnar, interned
+/// columnar store: [`GenRelation::clone`] is `O(1)` and shares
+/// storage with the original (copy-on-write on
+/// [`GenRelation::push`]), residue indexes persist on the store across
+/// operator calls, and row access goes through the [`GenRelation::rows`] /
+/// [`GenRelation::columns`] view API.
+#[derive(Debug, Clone)]
 pub struct GenRelation {
     schema: Schema,
-    tuples: Vec<GenTuple>,
+    store: Arc<RelStore>,
 }
+
+impl PartialEq for GenRelation {
+    fn eq(&self, other: &GenRelation) -> bool {
+        if self.schema != other.schema {
+            return false;
+        }
+        if Arc::ptr_eq(&self.store, &other.store) {
+            return true;
+        }
+        // Interned ids are canonical: equal id sequences ⟺ equal rows
+        // (order-sensitive, like the old derived `Vec<GenTuple>` equality).
+        self.store.part_ids() == other.store.part_ids()
+            && self.store.data_columns() == other.store.data_columns()
+    }
+}
+
+impl Eq for GenRelation {}
 
 impl GenRelation {
     /// Starts building a relation of the given schema; see
-    /// [`GenRelationBuilder`].
-    pub fn builder(schema: Schema) -> GenRelationBuilder {
-        GenRelationBuilder {
+    /// [`RelationBuilder`].
+    pub fn builder(schema: Schema) -> RelationBuilder {
+        RelationBuilder {
             schema,
-            tuples: Vec::new(),
+            rows: Vec::new(),
         }
     }
 
@@ -58,11 +86,11 @@ impl GenRelation {
     pub fn empty(schema: Schema) -> GenRelation {
         GenRelation {
             schema,
-            tuples: Vec::new(),
+            store: Arc::new(RelStore::empty(schema)),
         }
     }
 
-    /// Builds a relation from tuples.
+    /// Builds a relation from rows.
     ///
     /// # Errors
     /// [`CoreError::SchemaMismatch`] if a tuple disagrees with `schema`.
@@ -75,7 +103,16 @@ impl GenRelation {
                 });
             }
         }
-        Ok(GenRelation { schema, tuples })
+        Ok(GenRelation::from_vec(schema, tuples))
+    }
+
+    /// Internal constructor for operator outputs: every tuple is already
+    /// known to match the schema.
+    pub(crate) fn from_vec(schema: Schema, tuples: Vec<GenTuple>) -> GenRelation {
+        GenRelation {
+            schema,
+            store: Arc::new(RelStore::from_tuples(schema, tuples)),
+        }
     }
 
     /// The full space `Z^temporal × (any data)` is not representable with
@@ -89,10 +126,10 @@ impl GenRelation {
             return Err(CoreError::ComplementHasData);
         }
         let lrps = vec![itd_lrp::Lrp::all(); schema.temporal()];
-        Ok(GenRelation {
+        Ok(GenRelation::from_vec(
             schema,
-            tuples: vec![GenTuple::unconstrained(lrps, vec![])],
-        })
+            vec![GenTuple::unconstrained(lrps, vec![])],
+        ))
     }
 
     /// The schema.
@@ -101,10 +138,53 @@ impl GenRelation {
         self.schema
     }
 
-    /// The generalized tuples.
+    /// The generalized tuples as a materialized row slice.
+    ///
+    /// Deprecated: rows are materialized (once per store) to satisfy this
+    /// borrow. Iterate [`GenRelation::rows`] or read
+    /// [`GenRelation::columns`] instead.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the `rows()` cursor / `row(i)` views or the typed `columns()` accessors"
+    )]
     #[must_use]
     pub fn tuples(&self) -> &[GenTuple] {
-        &self.tuples
+        self.rows_slice()
+    }
+
+    /// The materialized row view — internal equivalent of the deprecated
+    /// `tuples()`, shared by the row-oriented operator loops.
+    pub(crate) fn rows_slice(&self) -> &[GenTuple] {
+        self.store.rows_vec()
+    }
+
+    /// Cursor iteration over the rows as [`RowRef`] views.
+    pub fn rows(&self) -> Rows<'_> {
+        Rows::new(&self.store)
+    }
+
+    /// The row at `idx`, if in range.
+    #[must_use]
+    pub fn row(&self, idx: usize) -> Option<RowRef<'_>> {
+        (idx < self.store.len()).then(|| RowRef::new(&self.store, idx))
+    }
+
+    /// Typed access to the columnar storage (flat temporal offset/period
+    /// slices, interned data id slices).
+    pub fn columns(&self) -> Columns<'_> {
+        Columns::new(&self.store)
+    }
+
+    /// The persistent residue index of this relation over the given
+    /// column sets: built on first use, cached on the store, reused by
+    /// every later call (including the algebra's own indexed paths) and
+    /// maintained across [`GenRelation::push`] appends.
+    pub fn residue_index(
+        &self,
+        temporal_cols: &[usize],
+        data_cols: &[usize],
+    ) -> Arc<RelationIndex> {
+        self.store.index_for(temporal_cols, data_cols)
     }
 
     /// Number of generalized tuples (the paper's `N`).
@@ -115,7 +195,7 @@ impl GenRelation {
     /// infinitely many facts.
     #[must_use]
     pub fn tuple_count(&self) -> usize {
-        self.tuples.len()
+        self.store.len()
     }
 
     /// Deprecated name of [`GenRelation::tuple_count`].
@@ -131,10 +211,17 @@ impl GenRelation {
     /// exact test is [`GenRelation::denotes_empty`].
     #[must_use]
     pub fn has_no_tuples(&self) -> bool {
-        self.tuples.is_empty()
+        self.store.len() == 0
     }
 
-    /// Adds one tuple.
+    /// Adds one tuple — the unified append path.
+    ///
+    /// Appends in place when this relation is the sole owner of its store;
+    /// when snapshots share the store, the columns are copied first
+    /// (copy-on-write), so existing clones never observe the append.
+    /// Either way, cached residue indexes are extended incrementally when
+    /// the new row preserves their moduli and precisely invalidated when
+    /// it does not.
     ///
     /// # Errors
     /// [`CoreError::SchemaMismatch`] on schema disagreement.
@@ -145,14 +232,22 @@ impl GenRelation {
                 found: t.schema(),
             });
         }
-        self.tuples.push(t);
+        match Arc::get_mut(&mut self.store) {
+            Some(store) => store.push_row(t),
+            None => {
+                let mut store = self.store.cloned();
+                store.push_row(t);
+                self.store = Arc::new(store);
+            }
+        }
         Ok(())
     }
 
-    /// Membership of a concrete tuple.
+    /// Membership of a concrete tuple (columnar: data columns are compared
+    /// as interned ids before any temporal arithmetic runs).
     #[must_use]
     pub fn contains(&self, times: &[i64], data: &[Value]) -> bool {
-        self.tuples.iter().any(|t| t.contains(times, data))
+        self.rows().any(|r| r.contains(times, data))
     }
 
     /// Exact emptiness (Theorem 3.5): does the relation denote no tuple?
@@ -160,7 +255,7 @@ impl GenRelation {
     /// # Errors
     /// Arithmetic overflow during normalization.
     pub fn denotes_empty(&self) -> Result<bool> {
-        for t in &self.tuples {
+        for t in self.rows_slice() {
             if !t.is_empty()? {
                 return Ok(false);
             }
@@ -193,13 +288,13 @@ impl GenRelation {
     pub fn union_in(&self, other: &GenRelation, ctx: &ExecContext) -> Result<GenRelation> {
         self.check_schema(other)?;
         let timer = ctx.timed(OpKind::Union);
-        timer.add_in(self.tuples.len() + other.tuples.len());
-        let mut tuples = self.tuples.clone();
-        tuples.extend_from_slice(&other.tuples);
-        timer.add_out(tuples.len());
+        timer.add_in(self.store.len() + other.store.len());
+        // Columnar concatenation: id and Arc copies, no re-hashing.
+        let store = RelStore::concat(&self.store, &other.store);
+        timer.add_out(store.len());
         Ok(GenRelation {
             schema: self.schema,
-            tuples,
+            store: Arc::new(store),
         })
     }
 
@@ -254,35 +349,36 @@ impl GenRelation {
     ) -> Result<GenRelation> {
         self.check_schema(other)?;
         let timer = ctx.timed(OpKind::Intersect);
-        timer.add_in(self.tuples.len() + other.tuples.len());
-        timer.add_pairs(self.tuples.len() as u64 * other.tuples.len() as u64);
+        let lt = self.rows_slice();
+        let rt = other.rows_slice();
+        timer.add_in(lt.len() + rt.len());
+        timer.add_pairs(lt.len() as u64 * rt.len() as u64);
         let tcols: Vec<usize> = (0..self.schema.temporal()).collect();
         let dcols: Vec<usize> = (0..self.schema.data()).collect();
-        let index = (allow_index
-            && self.tuples.len() * other.tuples.len() >= crate::index::INDEX_MIN_PAIRS)
-            .then(|| crate::index::RelationIndex::build(&other.tuples, &tcols, &dcols))
-            .filter(crate::index::RelationIndex::is_discriminating);
+        // The pair-count gate and the discrimination check are unchanged;
+        // only the build is served from `other`'s persistent index cache.
+        let index = (allow_index && lt.len() * rt.len() >= crate::index::INDEX_MIN_PAIRS)
+            .then(|| other.residue_index(&tcols, &dcols))
+            .filter(|idx| idx.is_discriminating());
         // Hash-cons temporal parts so each distinct combination is derived
         // once; outcomes are shared allocations, and the caller-recorded
         // counters (pairs / pruned / probes) are untouched — see
         // [`crate::intern`] for the determinism argument.
-        let interner =
-            (self.tuples.len() * other.tuples.len() >= INTERN_MIN_PAIRS).then(Interner::new);
+        let interner = (lt.len() * rt.len() >= INTERN_MIN_PAIRS).then(Interner::new);
         let other_ids: Vec<TemporalId> = match &interner {
-            Some(int) => other
-                .tuples
+            Some(int) => rt
                 .iter()
                 .map(|t| int.intern(t.lrps(), t.constraints()))
                 .collect(),
             None => Vec::new(),
         };
-        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t1| {
+        let tuples = exec::run_chunked(ctx.threads(), lt, |t1| {
             let mut out = Vec::new();
             let id1 = interner
                 .as_ref()
                 .map(|int| int.intern(t1.lrps(), t1.constraints()));
             let visit = |j: usize, out: &mut Vec<GenTuple>| -> Result<()> {
-                let t2 = &other.tuples[j];
+                let t2 = &rt[j];
                 let res = match (&interner, id1) {
                     (Some(int), Some(id1)) => {
                         intersect_tuples_interned(t1, t2, int, id1, other_ids[j])?
@@ -298,7 +394,7 @@ impl GenRelation {
             match &index {
                 Some(idx) => {
                     let cands = idx.probe(t1, &tcols, &dcols);
-                    let skipped = (other.tuples.len() - cands.len()) as u64;
+                    let skipped = (rt.len() - cands.len()) as u64;
                     timer.add_probes(cands.len() as u64);
                     timer.add_index_pruned(skipped);
                     // Index-skipped pairs are provably empty intersections.
@@ -308,7 +404,7 @@ impl GenRelation {
                     }
                 }
                 None => {
-                    for j in 0..other.tuples.len() {
+                    for j in 0..rt.len() {
                         visit(j, &mut out)?;
                     }
                 }
@@ -319,10 +415,7 @@ impl GenRelation {
             timer.add_intern_hits(int.hits());
         }
         timer.add_out(tuples.len());
-        Ok(GenRelation {
-            schema: self.schema,
-            tuples,
-        })
+        Ok(GenRelation::from_vec(self.schema, tuples))
     }
 
     /// Intersection with residue bucketing — the Appendix A.3 observation
@@ -361,11 +454,13 @@ impl GenRelation {
         };
         debug_assert!(k > 0);
         let timer = ctx.timed(OpKind::Intersect);
-        timer.add_in(self.tuples.len() + other.tuples.len());
+        let lt = self.rows_slice();
+        let rt = other.rows_slice();
+        timer.add_in(lt.len() + rt.len());
         timer.record_period(k);
         let mut buckets: std::collections::HashMap<(Vec<i64>, &[Value]), Vec<&GenTuple>> =
             std::collections::HashMap::new();
-        for t in &self.tuples {
+        for t in lt {
             let key = (
                 t.lrps()
                     .iter()
@@ -376,7 +471,7 @@ impl GenRelation {
             buckets.entry(key).or_default().push(t);
         }
         let mut tuples = Vec::new();
-        for t2 in &other.tuples {
+        for t2 in rt {
             let key = (
                 t2.lrps()
                     .iter()
@@ -404,28 +499,28 @@ impl GenRelation {
             }
         }
         timer.add_out(tuples.len());
-        Ok(GenRelation {
-            schema: self.schema,
-            tuples,
-        })
+        Ok(GenRelation::from_vec(self.schema, tuples))
     }
 
     /// The single period shared by every lrp of every tuple, if any
     /// (`None` when mixed, when some attribute is a point, or when the
     /// relation has no temporal attributes to key on).
+    ///
+    /// Reads the flat period columns directly — no row materialization.
     pub fn uniform_period(&self) -> Option<i64> {
         if self.schema.temporal() == 0 {
             return None;
         }
+        let cols = self.columns();
         let mut period = None;
-        for t in &self.tuples {
-            for l in t.lrps() {
-                if l.is_point() {
-                    return None;
+        for c in 0..self.schema.temporal() {
+            for &p in cols.temporal(c).periods() {
+                if p == 0 {
+                    return None; // a point disqualifies
                 }
                 match period {
-                    None => period = Some(l.period()),
-                    Some(p) if p == l.period() => {}
+                    None => period = Some(p),
+                    Some(q) if q == p => {}
                     Some(_) => return None,
                 }
             }
@@ -488,20 +583,20 @@ impl GenRelation {
     ) -> Result<GenRelation> {
         self.check_schema(other)?;
         let timer = ctx.timed(OpKind::Difference);
-        timer.add_in(self.tuples.len() + other.tuples.len());
+        let lt = self.rows_slice();
+        let rt = other.rows_slice();
+        timer.add_in(lt.len() + rt.len());
         let tcols: Vec<usize> = (0..self.schema.temporal()).collect();
         let dcols: Vec<usize> = (0..self.schema.data()).collect();
-        let index = (allow_index
-            && self.tuples.len() * other.tuples.len() >= crate::index::INDEX_MIN_PAIRS)
-            .then(|| crate::index::RelationIndex::build(&other.tuples, &tcols, &dcols))
-            .filter(crate::index::RelationIndex::is_discriminating);
+        let index = (allow_index && lt.len() * rt.len() >= crate::index::INDEX_MIN_PAIRS)
+            .then(|| other.residue_index(&tcols, &dcols))
+            .filter(|idx| idx.is_discriminating());
         // The fold re-derives emptiness (a normalization) for the many
         // intermediate tuples that share one temporal part; memoize the
         // verdict per hash-consed part. Purely a cache: the pairs/pruned
         // counters and the pruning flow are untouched.
-        let interner =
-            (self.tuples.len() * other.tuples.len() >= INTERN_MIN_PAIRS).then(Interner::new);
-        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t1| {
+        let interner = (lt.len() * rt.len() >= INTERN_MIN_PAIRS).then(Interner::new);
+        let tuples = exec::run_chunked(ctx.threads(), lt, |t1| {
             // One fold step: subtract `t2` from every member, then prune
             // grid-empty results and deduplicate to bound the blow-up.
             let step = |acc: Vec<GenTuple>, t2: &GenTuple| -> Result<Vec<GenTuple>> {
@@ -524,7 +619,7 @@ impl GenRelation {
                 Some(idx) => {
                     let cands = idx.probe(t1, &tcols, &dcols);
                     timer.add_probes(cands.len() as u64);
-                    timer.add_index_pruned((other.tuples.len() - cands.len()) as u64);
+                    timer.add_index_pruned((rt.len() - cands.len()) as u64);
                     // Every fold member keeps `t1`'s data and columnwise
                     // subsets of `t1`'s lrps, so an index-skipped `t2`
                     // (disjoint from `t1`) leaves the whole fold unchanged
@@ -537,7 +632,7 @@ impl GenRelation {
                     }
                     let mut acc = vec![t1.clone()];
                     for &j in &cands {
-                        acc = step(acc, &other.tuples[j])?;
+                        acc = step(acc, &rt[j])?;
                         if acc.is_empty() {
                             break;
                         }
@@ -546,7 +641,7 @@ impl GenRelation {
                 }
                 None => {
                     let mut acc = vec![t1.clone()];
-                    for t2 in &other.tuples {
+                    for t2 in rt {
                         acc = step(acc, t2)?;
                         if acc.is_empty() {
                             break;
@@ -560,10 +655,7 @@ impl GenRelation {
             timer.add_intern_hits(int.hits());
         }
         timer.add_out(tuples.len());
-        Ok(GenRelation {
-            schema: self.schema,
-            tuples,
-        })
+        Ok(GenRelation::from_vec(self.schema, tuples))
     }
 
     /// Projection (§3.4) onto the listed temporal and data columns
@@ -605,15 +697,16 @@ impl GenRelation {
             }
         }
         let timer = ctx.timed(OpKind::Project);
-        timer.add_in(self.tuples.len());
-        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t| {
+        let lt = self.rows_slice();
+        timer.add_in(lt.len());
+        let tuples = exec::run_chunked(ctx.threads(), lt, |t| {
             ops::project_tuple(t, temporal_keep, data_keep)
         })?;
         timer.add_out(tuples.len());
-        Ok(GenRelation {
-            schema: Schema::new(temporal_keep.len(), data_keep.len()),
+        Ok(GenRelation::from_vec(
+            Schema::new(temporal_keep.len(), data_keep.len()),
             tuples,
-        })
+        ))
     }
 
     /// Temporal selection (§3.5): adds the constraint atom to every tuple.
@@ -638,8 +731,9 @@ impl GenRelation {
             });
         }
         let timer = ctx.timed(OpKind::Select);
-        timer.add_in(self.tuples.len());
-        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t| {
+        let lt = self.rows_slice();
+        timer.add_in(lt.len());
+        let tuples = exec::run_chunked(ctx.threads(), lt, |t| {
             let mut cons = t.constraints().clone();
             cons.add(atom)?;
             timer.add_atoms(1);
@@ -651,10 +745,7 @@ impl GenRelation {
             }
         })?;
         timer.add_out(tuples.len());
-        Ok(GenRelation {
-            schema: self.schema,
-            tuples,
-        })
+        Ok(GenRelation::from_vec(self.schema, tuples))
     }
 
     /// Data selection: keeps the tuples whose data vector satisfies the
@@ -672,18 +763,21 @@ impl GenRelation {
         ctx: &ExecContext,
     ) -> GenRelation {
         let timer = ctx.timed(OpKind::Select);
-        timer.add_in(self.tuples.len());
-        let tuples: Vec<GenTuple> = self
-            .tuples
+        let lt = self.rows_slice();
+        timer.add_in(lt.len());
+        let keep: Vec<usize> = lt
             .iter()
-            .filter(|t| pred(t.data()))
-            .cloned()
+            .enumerate()
+            .filter(|(_, t)| pred(t.data()))
+            .map(|(i, _)| i)
             .collect();
-        timer.add_pruned((self.tuples.len() - tuples.len()) as u64);
-        timer.add_out(tuples.len());
+        timer.add_pruned((lt.len() - keep.len()) as u64);
+        timer.add_out(keep.len());
+        // Positional column copy: the surviving rows keep their interned
+        // ids, nothing is re-hashed.
         GenRelation {
             schema: self.schema,
-            tuples,
+            store: Arc::new(self.store.select(&keep)),
         }
     }
 
@@ -703,20 +797,22 @@ impl GenRelation {
     /// Arithmetic failures.
     pub fn cross_product_in(&self, other: &GenRelation, ctx: &ExecContext) -> Result<GenRelation> {
         let timer = ctx.timed(OpKind::Product);
-        timer.add_in(self.tuples.len() + other.tuples.len());
-        timer.add_pairs(self.tuples.len() as u64 * other.tuples.len() as u64);
-        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t1| {
-            let mut out = Vec::with_capacity(other.tuples.len());
-            for t2 in &other.tuples {
+        let lt = self.rows_slice();
+        let rt = other.rows_slice();
+        timer.add_in(lt.len() + rt.len());
+        timer.add_pairs(lt.len() as u64 * rt.len() as u64);
+        let tuples = exec::run_chunked(ctx.threads(), lt, |t1| {
+            let mut out = Vec::with_capacity(rt.len());
+            for t2 in rt {
                 out.push(ops::cross_product_tuples(t1, t2)?);
             }
             Ok(out)
         })?;
         timer.add_out(tuples.len());
-        Ok(GenRelation {
-            schema: self.schema.concat(&other.schema),
+        Ok(GenRelation::from_vec(
+            self.schema.concat(&other.schema),
             tuples,
-        })
+        ))
     }
 
     /// Equi-join (§3.7) on the listed temporal / data attribute pairs.
@@ -798,38 +894,37 @@ impl GenRelation {
             }
         }
         let timer = ctx.timed(OpKind::Join);
-        timer.add_in(self.tuples.len() + other.tuples.len());
-        timer.add_pairs(self.tuples.len() as u64 * other.tuples.len() as u64);
+        let lt = self.rows_slice();
+        let rt = other.rows_slice();
+        timer.add_in(lt.len() + rt.len());
+        timer.add_pairs(lt.len() as u64 * rt.len() as u64);
         // Index `other` on the right columns of each join pair; probe with
         // the matching left columns of `t1`.
         let left_t: Vec<usize> = temporal_pairs.iter().map(|&(i, _)| i).collect();
         let right_t: Vec<usize> = temporal_pairs.iter().map(|&(_, j)| j).collect();
         let left_d: Vec<usize> = data_pairs.iter().map(|&(i, _)| i).collect();
         let right_d: Vec<usize> = data_pairs.iter().map(|&(_, j)| j).collect();
-        let index = (allow_index
-            && self.tuples.len() * other.tuples.len() >= crate::index::INDEX_MIN_PAIRS)
-            .then(|| crate::index::RelationIndex::build(&other.tuples, &right_t, &right_d))
-            .filter(crate::index::RelationIndex::is_discriminating);
+        let index = (allow_index && lt.len() * rt.len() >= crate::index::INDEX_MIN_PAIRS)
+            .then(|| other.residue_index(&right_t, &right_d))
+            .filter(|idx| idx.is_discriminating());
         // Hash-cons temporal parts: with the join columns fixed, the
         // temporal outcome of a pair depends only on the two temporal
         // parts, and the output data is always the concatenation.
-        let interner =
-            (self.tuples.len() * other.tuples.len() >= INTERN_MIN_PAIRS).then(Interner::new);
+        let interner = (lt.len() * rt.len() >= INTERN_MIN_PAIRS).then(Interner::new);
         let other_ids: Vec<TemporalId> = match &interner {
-            Some(int) => other
-                .tuples
+            Some(int) => rt
                 .iter()
                 .map(|t| int.intern(t.lrps(), t.constraints()))
                 .collect(),
             None => Vec::new(),
         };
-        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t1| {
+        let tuples = exec::run_chunked(ctx.threads(), lt, |t1| {
             let mut out = Vec::new();
             let id1 = interner
                 .as_ref()
                 .map(|int| int.intern(t1.lrps(), t1.constraints()));
             let visit = |j: usize, out: &mut Vec<GenTuple>| -> Result<()> {
-                let t2 = &other.tuples[j];
+                let t2 = &rt[j];
                 let res = match (&interner, id1) {
                     (Some(int), Some(id1)) => join_tuples_interned(
                         t1,
@@ -851,7 +946,7 @@ impl GenRelation {
             match &index {
                 Some(idx) => {
                     let cands = idx.probe(t1, &left_t, &left_d);
-                    let skipped = (other.tuples.len() - cands.len()) as u64;
+                    let skipped = (rt.len() - cands.len()) as u64;
                     timer.add_probes(cands.len() as u64);
                     timer.add_index_pruned(skipped);
                     // Skipped pairs fail a joined-column meet: empty joins.
@@ -861,7 +956,7 @@ impl GenRelation {
                     }
                 }
                 None => {
-                    for j in 0..other.tuples.len() {
+                    for j in 0..rt.len() {
                         visit(j, &mut out)?;
                     }
                 }
@@ -872,10 +967,10 @@ impl GenRelation {
             timer.add_intern_hits(int.hits());
         }
         timer.add_out(tuples.len());
-        Ok(GenRelation {
-            schema: self.schema.concat(&other.schema),
+        Ok(GenRelation::from_vec(
+            self.schema.concat(&other.schema),
             tuples,
-        })
+        ))
     }
 
     /// Complement within `Z^temporal` (Appendix A.6), purely temporal
@@ -921,13 +1016,11 @@ impl GenRelation {
             return Err(CoreError::ComplementHasData);
         }
         let timer = ctx.timed(OpKind::Complement);
-        timer.add_in(self.tuples.len());
-        let tuples = ops::complement_tuples_in(&self.tuples, self.schema.temporal(), limit, ctx)?;
+        let lt = self.rows_slice();
+        timer.add_in(lt.len());
+        let tuples = ops::complement_tuples_in(lt, self.schema.temporal(), limit, ctx)?;
         timer.add_out(tuples.len());
-        Ok(GenRelation {
-            schema: self.schema,
-            tuples,
-        })
+        Ok(GenRelation::from_vec(self.schema, tuples))
     }
 
     /// Translates one temporal column: the result denotes
@@ -959,18 +1052,16 @@ impl GenRelation {
             });
         }
         let timer = ctx.timed(OpKind::Shift);
-        timer.add_in(self.tuples.len());
-        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t| {
+        let lt = self.rows_slice();
+        timer.add_in(lt.len());
+        let tuples = exec::run_chunked(ctx.threads(), lt, |t| {
             let mut lrps = t.lrps().to_vec();
             lrps[col] = lrps[col].shift(delta)?;
             let cons = t.constraints().shift_var(col, delta)?;
             Ok(vec![GenTuple::from_parts(lrps, cons, t.data().to_vec())?])
         })?;
         timer.add_out(tuples.len());
-        Ok(GenRelation {
-            schema: self.schema,
-            tuples,
-        })
+        Ok(GenRelation::from_vec(self.schema, tuples))
     }
 
     /// Normalizes every tuple (Theorem 3.2); the result denotes the same
@@ -994,8 +1085,9 @@ impl GenRelation {
     /// Arithmetic failures; the per-tuple refinement limit.
     pub fn normalize_in(&self, ctx: &ExecContext) -> Result<GenRelation> {
         let timer = ctx.timed(OpKind::Normalize);
-        timer.add_in(self.tuples.len());
-        let tuples = exec::run_chunked(ctx.threads(), &self.tuples, |t| {
+        let lt = self.rows_slice();
+        timer.add_in(lt.len());
+        let tuples = exec::run_chunked(ctx.threads(), lt, |t| {
             let (out, report) = crate::normalize::normalize_with_limit_report(
                 t,
                 crate::normalize::DEFAULT_NORMALIZE_LIMIT,
@@ -1010,10 +1102,7 @@ impl GenRelation {
             Ok(out)
         })?;
         timer.add_out(tuples.len());
-        Ok(GenRelation {
-            schema: self.schema,
-            tuples,
-        })
+        Ok(GenRelation::from_vec(self.schema, tuples))
     }
 
     /// Coalesces complete groups of residue classes into coarser tuples
@@ -1057,7 +1146,7 @@ impl GenRelation {
     /// Arithmetic failures while rebuilding lrps.
     pub fn compact_in(&self, ctx: &ExecContext) -> Result<GenRelation> {
         let timer = ctx.timed(OpKind::Compact);
-        timer.add_in(self.tuples.len());
+        timer.add_in(self.store.len());
         let (out, report) = crate::compact::compact_relation(self)?;
         timer.add_subsumed(report.subsumed);
         timer.add_merges(report.merges);
@@ -1073,8 +1162,9 @@ impl GenRelation {
     /// # Errors
     /// Arithmetic failures during emptiness checks.
     pub fn simplify(&self) -> Result<GenRelation> {
-        let mut kept: Vec<GenTuple> = Vec::with_capacity(self.tuples.len());
-        for t in &self.tuples {
+        let lt = self.rows_slice();
+        let mut kept: Vec<GenTuple> = Vec::with_capacity(lt.len());
+        for t in lt {
             if !t.is_empty()? {
                 kept.push(t.clone());
             }
@@ -1093,10 +1183,7 @@ impl GenRelation {
                 out.push(t.clone());
             }
         }
-        Ok(GenRelation {
-            schema: self.schema,
-            tuples: out,
-        })
+        Ok(GenRelation::from_vec(self.schema, out))
     }
 
     /// The minimum value taken by temporal column `col` over the whole
@@ -1133,7 +1220,7 @@ impl GenRelation {
         // bounds.
         let projected = self.project(&[col], &[])?;
         let mut best: Option<i64> = None;
-        for t in projected.tuples() {
+        for t in projected.rows_slice() {
             if t.is_empty()? {
                 continue;
             }
@@ -1182,7 +1269,7 @@ impl GenRelation {
     /// Brute-force materialization of every concrete tuple whose temporal
     /// values all lie in `[lo, hi]` — the semantics oracle.
     pub fn materialize(&self, lo: i64, hi: i64) -> BTreeSet<ConcreteTuple> {
-        materialize_tuples(&self.tuples, lo, hi)
+        materialize_tuples(self.rows_slice(), lo, hi)
     }
 
     fn check_schema(&self, other: &GenRelation) -> Result<()> {
@@ -1302,18 +1389,20 @@ fn tuple_is_empty_interned(t: &GenTuple, int: Option<&Interner>) -> Result<bool>
 }
 
 /// Incremental constructor for [`GenRelation`], obtained from
-/// [`GenRelation::builder`].
+/// [`GenRelation::builder`] — the unified append path of the columnar
+/// storage API.
 ///
-/// Tuples are accumulated with [`tuple`](GenRelationBuilder::tuple) /
-/// [`tuples`](GenRelationBuilder::tuples); the schema check for every
-/// accumulated tuple happens once in [`build`](GenRelationBuilder::build).
+/// Rows are accumulated with [`push_row`](RelationBuilder::push_row) /
+/// [`push_rows`](RelationBuilder::push_rows); the schema check for every
+/// accumulated row happens once in [`build`](RelationBuilder::build),
+/// which interns all temporal parts and data values in one pass.
 ///
 /// ```
 /// use itd_core::{GenRelation, GenTuple, Schema};
 /// use itd_lrp::Lrp;
 ///
 /// let r = GenRelation::builder(Schema::new(1, 0))
-///     .tuple(
+///     .push_row(
 ///         GenTuple::builder()
 ///             .lrp(Lrp::new(0, 2).unwrap())
 ///             .build()
@@ -1324,32 +1413,190 @@ fn tuple_is_empty_interned(t: &GenTuple, int: Option<&Interner>) -> Result<bool>
 /// assert_eq!(r.tuple_count(), 1);
 /// ```
 #[derive(Debug, Clone)]
-pub struct GenRelationBuilder {
+pub struct RelationBuilder {
     pub(crate) schema: Schema,
-    pub(crate) tuples: Vec<GenTuple>,
+    pub(crate) rows: Vec<GenTuple>,
 }
 
-impl GenRelationBuilder {
-    /// Appends one tuple.
+impl RelationBuilder {
+    /// Appends one row.
     #[must_use]
-    pub fn tuple(mut self, t: GenTuple) -> Self {
-        self.tuples.push(t);
+    pub fn push_row(mut self, t: GenTuple) -> Self {
+        self.rows.push(t);
         self
+    }
+
+    /// Appends every row from an iterator.
+    #[must_use]
+    pub fn push_rows(mut self, ts: impl IntoIterator<Item = GenTuple>) -> Self {
+        self.rows.extend(ts);
+        self
+    }
+
+    /// Appends one tuple.
+    #[deprecated(since = "0.6.0", note = "use `push_row`")]
+    #[must_use]
+    pub fn tuple(self, t: GenTuple) -> Self {
+        self.push_row(t)
     }
 
     /// Appends every tuple from an iterator.
+    #[deprecated(since = "0.6.0", note = "use `push_rows`")]
     #[must_use]
-    pub fn tuples(mut self, ts: impl IntoIterator<Item = GenTuple>) -> Self {
-        self.tuples.extend(ts);
-        self
+    pub fn tuples(self, ts: impl IntoIterator<Item = GenTuple>) -> Self {
+        self.push_rows(ts)
     }
 
-    /// Finishes the relation, verifying that every tuple matches the schema.
+    /// Finishes the relation, verifying that every row matches the schema.
     ///
     /// # Errors
-    /// [`CoreError::SchemaMismatch`] if any tuple disagrees with the schema.
+    /// [`CoreError::SchemaMismatch`] if any row disagrees with the schema.
     pub fn build(self) -> Result<GenRelation> {
-        GenRelation::new(self.schema, self.tuples)
+        GenRelation::new(self.schema, self.rows)
+    }
+}
+
+/// Former name of [`RelationBuilder`].
+#[deprecated(since = "0.6.0", note = "renamed to `RelationBuilder`")]
+pub type GenRelationBuilder = RelationBuilder;
+
+/// Columnar serde for [`GenRelation`]: the distinct temporal parts and
+/// data values are written once as local id tables, rows as id arrays —
+/// mirroring the in-memory interned layout. Deserialization also accepts
+/// the legacy row-oriented `{schema, tuples}` format, so files written
+/// before the columnar storage stay readable.
+#[cfg(feature = "serde")]
+mod relation_serde {
+    use std::collections::HashMap;
+
+    use serde::{de, Content, Deserialize, Serialize};
+
+    use super::GenRelation;
+    use crate::schema::Schema;
+    use crate::store;
+    use crate::tuple::GenTuple;
+    use crate::value::Value;
+    use itd_constraint::ConstraintSystem;
+    use itd_lrp::Lrp;
+
+    /// One distinct temporal part in the file's local id table.
+    #[derive(Serialize, Deserialize)]
+    struct PartRepr {
+        lrps: Vec<Lrp>,
+        cons: ConstraintSystem,
+    }
+
+    /// The columnar file format: id tables written once, rows and data
+    /// columns as local-id arrays.
+    #[derive(Serialize, Deserialize)]
+    struct ColumnarRepr {
+        schema: Schema,
+        parts: Vec<PartRepr>,
+        values: Vec<Value>,
+        rows: Vec<u32>,
+        data: Vec<Vec<u32>>,
+    }
+
+    impl Serialize for GenRelation {
+        fn to_content(&self) -> Content {
+            // Local-id tables in first-seen order: global interned ids are
+            // canonical within the process but not across files, so the
+            // written ids are file-local and deterministic.
+            let mut part_local: HashMap<store::TemporalPartId, u32> = HashMap::new();
+            let mut parts: Vec<PartRepr> = Vec::new();
+            let mut rows = Vec::with_capacity(self.store.len());
+            for (row, &pid) in self.store.part_ids().iter().enumerate() {
+                let local = *part_local.entry(pid).or_insert_with(|| {
+                    let part = self.store.part(row);
+                    parts.push(PartRepr {
+                        lrps: part.lrps.clone(),
+                        cons: part.cons.clone(),
+                    });
+                    (parts.len() - 1) as u32
+                });
+                rows.push(local);
+            }
+            let mut value_local: HashMap<store::ValueId, u32> = HashMap::new();
+            let mut values: Vec<Value> = Vec::new();
+            let data = self
+                .store
+                .data_columns()
+                .iter()
+                .map(|col| {
+                    col.iter()
+                        .map(|&vid| {
+                            *value_local.entry(vid).or_insert_with(|| {
+                                values.push(store::resolve_value(vid));
+                                (values.len() - 1) as u32
+                            })
+                        })
+                        .collect()
+                })
+                .collect();
+            ColumnarRepr {
+                schema: self.schema,
+                parts,
+                values,
+                rows,
+                data,
+            }
+            .to_content()
+        }
+    }
+
+    impl Deserialize for GenRelation {
+        fn from_content(content: &Content) -> Result<GenRelation, de::DeError> {
+            let entries = de::as_struct_map(content, "GenRelation")?;
+            if entries.iter().any(|(k, _)| k == "tuples") {
+                // Legacy row-oriented format: `{schema, tuples}`.
+                let schema: Schema = de::field(entries, "schema", "GenRelation")?;
+                let tuples: Vec<GenTuple> = de::field(entries, "tuples", "GenRelation")?;
+                return GenRelation::new(schema, tuples)
+                    .map_err(|e| de::DeError::msg(e.to_string()));
+            }
+            let ColumnarRepr {
+                schema,
+                parts,
+                values,
+                rows,
+                data,
+            } = ColumnarRepr::from_content(content)?;
+            if data.len() != schema.data() {
+                return Err(de::DeError::msg(format!(
+                    "GenRelation: expected {} data columns, found {}",
+                    schema.data(),
+                    data.len()
+                )));
+            }
+            for col in &data {
+                if col.len() != rows.len() {
+                    return Err(de::DeError::msg(format!(
+                        "GenRelation: data column has {} rows, expected {}",
+                        col.len(),
+                        rows.len()
+                    )));
+                }
+            }
+            let mut tuples = Vec::with_capacity(rows.len());
+            for (row, &local) in rows.iter().enumerate() {
+                let part = parts.get(local as usize).ok_or_else(|| {
+                    de::DeError::msg(format!("GenRelation: part id {local} out of range"))
+                })?;
+                let mut row_data = Vec::with_capacity(data.len());
+                for col in &data {
+                    let vid = col[row];
+                    let v = values.get(vid as usize).ok_or_else(|| {
+                        de::DeError::msg(format!("GenRelation: value id {vid} out of range"))
+                    })?;
+                    row_data.push(v.clone());
+                }
+                tuples.push(
+                    GenTuple::from_parts(part.lrps.clone(), part.cons.clone(), row_data)
+                        .map_err(|e| de::DeError::msg(e.to_string()))?,
+                );
+            }
+            GenRelation::new(schema, tuples).map_err(|e| de::DeError::msg(e.to_string()))
+        }
     }
 }
 
@@ -1361,7 +1608,7 @@ impl fmt::Display for GenRelation {
             self.schema,
             self.tuple_count()
         )?;
-        for t in &self.tuples {
+        for t in self.rows_slice() {
             writeln!(f, "  {t}")?;
         }
         Ok(())
@@ -1576,7 +1823,7 @@ mod tests {
         ]);
         let s = r.simplify().unwrap();
         assert_eq!(s.tuple_count(), 1);
-        assert_eq!(s.tuples()[0].lrps()[0], lrp(0, 2));
+        assert_eq!(s.rows_slice()[0].lrps()[0], lrp(0, 2));
     }
 
     #[test]

@@ -1,0 +1,930 @@
+//! Columnar, interned relation storage.
+//!
+//! A [`GenRelation`](crate::GenRelation) no longer owns a `Vec<GenTuple>`
+//! of independent rows; it holds an [`Arc`] to a [`RelStore`], which keeps
+//! the relation column-major:
+//!
+//! * **temporal columns** as flat `(offset, period)` arrays (one pair of
+//!   `Vec<i64>` per temporal attribute) next to the per-row hash-consed
+//!   [`TemporalPart`] ids;
+//! * **data columns** as flat [`ValueId`] arrays — `NonZeroU32` ids into a
+//!   process-wide [`Value`] arena, so `Option<ValueId>` is pointer-free
+//!   and equal values compare as integers;
+//! * the PR 3 residue-bucket [`RelationIndex`] **persistently**, keyed by
+//!   the column sets it was built over: an index is built at most once per
+//!   relation/column-set, reused across operator calls, extended in place
+//!   on append when the moduli survive, and invalidated precisely (only
+//!   the appends that change a column's modulus drop it).
+//!
+//! Both arenas are global hash-consing interners in the style of
+//! `crate::intern` (mutex around a `Vec` arena plus reverse map). They
+//! are append-only and process-wide, which is exactly what makes
+//! `O(1)` snapshots safe: a cloned relation shares the store `Arc`, and
+//! ids never dangle or get reused. [`storage_stats`] surfaces the arena
+//! sizes, hit rates and index reuse counts (the REPL's `\storage`
+//! command); per arena the determinism invariant
+//! `hits == lookups − distinct` holds at every snapshot.
+//!
+//! Row-oriented access stays available through the [`Rows`] cursor /
+//! [`RowRef`] view API and a lazily materialized row cache (`OnceLock`),
+//! which the deprecated `tuples()` shim also reads — materialization
+//! happens at most once per store, not per call.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::num::NonZeroU32;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use itd_constraint::ConstraintSystem;
+use itd_lrp::Lrp;
+
+use crate::index::RelationIndex;
+use crate::schema::Schema;
+use crate::tuple::{GenTuple, TemporalPart};
+use crate::value::Value;
+
+/// Id of a data [`Value`] in the process-wide value arena.
+///
+/// Ids are dense, start at the arena's first insertion and are never
+/// reused, so two ids are equal **iff** the values they intern are equal —
+/// columns can be compared, hashed and deduplicated without touching the
+/// arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(NonZeroU32);
+
+impl ValueId {
+    fn from_index(index: usize) -> ValueId {
+        let raw = u32::try_from(index + 1).expect("value arena exceeds u32 ids");
+        ValueId(NonZeroU32::new(raw).expect("index + 1 is nonzero"))
+    }
+
+    fn index(self) -> usize {
+        self.0.get() as usize - 1
+    }
+
+    /// The raw nonzero id (stable within the process, for diagnostics).
+    pub fn get(self) -> u32 {
+        self.0.get()
+    }
+}
+
+/// Id of a hash-consed temporal part (lrp vector + constraint system) in
+/// the process-wide part arena. Same id ⟺ equal part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TemporalPartId(NonZeroU32);
+
+impl TemporalPartId {
+    fn from_index(index: usize) -> TemporalPartId {
+        let raw = u32::try_from(index + 1).expect("part arena exceeds u32 ids");
+        TemporalPartId(NonZeroU32::new(raw).expect("index + 1 is nonzero"))
+    }
+
+    fn index(self) -> usize {
+        self.0.get() as usize - 1
+    }
+
+    /// The raw nonzero id (stable within the process, for diagnostics).
+    pub fn get(self) -> u32 {
+        self.0.get()
+    }
+}
+
+/// One hash-consing arena: canonical entries plus the reverse map and the
+/// lookup/hit tally read by [`storage_stats`].
+struct ArenaInner<T> {
+    arena: Vec<T>,
+    ids: HashMap<T, u32>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl<T> ArenaInner<T> {
+    fn new() -> Self {
+        ArenaInner {
+            arena: Vec::new(),
+            ids: HashMap::new(),
+            lookups: 0,
+            hits: 0,
+        }
+    }
+}
+
+static VALUES: OnceLock<Mutex<ArenaInner<Value>>> = OnceLock::new();
+static PARTS: OnceLock<Mutex<ArenaInner<Arc<TemporalPart>>>> = OnceLock::new();
+static INDEX_BUILDS: AtomicU64 = AtomicU64::new(0);
+static INDEX_REUSES: AtomicU64 = AtomicU64::new(0);
+
+fn values() -> &'static Mutex<ArenaInner<Value>> {
+    VALUES.get_or_init(|| Mutex::new(ArenaInner::new()))
+}
+
+fn parts() -> &'static Mutex<ArenaInner<Arc<TemporalPart>>> {
+    PARTS.get_or_init(|| Mutex::new(ArenaInner::new()))
+}
+
+/// Interns one value, returning its canonical id.
+fn intern_value(inner: &mut ArenaInner<Value>, v: &Value) -> ValueId {
+    inner.lookups += 1;
+    if let Some(&raw) = inner.ids.get(v) {
+        inner.hits += 1;
+        return ValueId(NonZeroU32::new(raw).expect("stored ids are nonzero"));
+    }
+    let id = ValueId::from_index(inner.arena.len());
+    inner.arena.push(v.clone());
+    inner.ids.insert(v.clone(), id.get());
+    id
+}
+
+/// Interns one temporal part, returning its id and the canonical shared
+/// allocation (so callers can drop their copy and alias the arena's).
+fn intern_part(
+    inner: &mut ArenaInner<Arc<TemporalPart>>,
+    part: &Arc<TemporalPart>,
+) -> (TemporalPartId, Arc<TemporalPart>) {
+    inner.lookups += 1;
+    if let Some(&raw) = inner.ids.get(part) {
+        inner.hits += 1;
+        let id = TemporalPartId(NonZeroU32::new(raw).expect("stored ids are nonzero"));
+        return (id, Arc::clone(&inner.arena[id.index()]));
+    }
+    let id = TemporalPartId::from_index(inner.arena.len());
+    inner.arena.push(Arc::clone(part));
+    inner.ids.insert(Arc::clone(part), id.get());
+    (id, Arc::clone(part))
+}
+
+/// Resolves a [`ValueId`] back to its value (a clone of the arena entry).
+///
+/// # Panics
+/// If the id did not come from this process's arena.
+pub fn resolve_value(id: ValueId) -> Value {
+    let inner = values().lock().expect("value arena poisoned");
+    inner.arena[id.index()].clone()
+}
+
+/// Non-inserting probe: the id of `v` if it has ever been interned.
+pub(crate) fn lookup_value(v: &Value) -> Option<ValueId> {
+    let inner = values().lock().expect("value arena poisoned");
+    inner
+        .ids
+        .get(v)
+        .map(|&raw| ValueId(NonZeroU32::new(raw).expect("stored ids are nonzero")))
+}
+
+/// A consistent snapshot of the global storage counters.
+///
+/// Per arena, `lookups − hits == distinct` at any snapshot — misses and
+/// insertions happen under one lock, so the interner is deterministic in
+/// the same sense as `crate::intern`: totals depend only on the multiset
+/// of interned keys, never on thread scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Value-arena lookups (interning attempts) so far.
+    pub value_lookups: u64,
+    /// Value-arena lookups that found an existing entry.
+    pub value_hits: u64,
+    /// Distinct values interned.
+    pub value_distinct: u64,
+    /// Part-arena lookups (interning attempts) so far.
+    pub part_lookups: u64,
+    /// Part-arena lookups that found an existing entry.
+    pub part_hits: u64,
+    /// Distinct temporal parts interned.
+    pub part_distinct: u64,
+    /// Residue indexes built from scratch on some relation store.
+    pub index_builds: u64,
+    /// Operator calls served by an already-built persistent index.
+    pub index_reuses: u64,
+}
+
+/// Reads the global storage counters. Each arena is snapshotted under its
+/// own lock, so the per-arena invariant `lookups − hits == distinct`
+/// holds even while other threads keep interning.
+pub fn storage_stats() -> StorageStats {
+    let (value_lookups, value_hits, value_distinct) = {
+        let inner = values().lock().expect("value arena poisoned");
+        (inner.lookups, inner.hits, inner.arena.len() as u64)
+    };
+    let (part_lookups, part_hits, part_distinct) = {
+        let inner = parts().lock().expect("part arena poisoned");
+        (inner.lookups, inner.hits, inner.arena.len() as u64)
+    };
+    StorageStats {
+        value_lookups,
+        value_hits,
+        value_distinct,
+        part_lookups,
+        part_hits,
+        part_distinct,
+        index_builds: INDEX_BUILDS.load(Ordering::Relaxed),
+        index_reuses: INDEX_REUSES.load(Ordering::Relaxed),
+    }
+}
+
+impl fmt::Display for StorageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "value arena: {} distinct / {} lookups ({} hits)",
+            self.value_distinct, self.value_lookups, self.value_hits
+        )?;
+        writeln!(
+            f,
+            "part arena:  {} distinct / {} lookups ({} hits)",
+            self.part_distinct, self.part_lookups, self.part_hits
+        )?;
+        write!(
+            f,
+            "indexes:     {} built, {} reused",
+            self.index_builds, self.index_reuses
+        )
+    }
+}
+
+/// Cache key for a persistent index: the temporal and data column sets it
+/// was built over.
+type IndexKey = (Vec<usize>, Vec<usize>);
+
+/// The columnar backing store of one relation. Immutable once shared
+/// (relations append through `Arc::get_mut` or copy-on-write).
+pub(crate) struct RelStore {
+    schema: Schema,
+    /// Per-row id of the hash-consed temporal part.
+    part_ids: Vec<TemporalPartId>,
+    /// Per-row canonical part allocation (parallel to `part_ids`).
+    parts: Vec<Arc<TemporalPart>>,
+    /// Per temporal column: each row's lrp offset.
+    t_offsets: Vec<Vec<i64>>,
+    /// Per temporal column: each row's lrp period (`0` for points).
+    t_periods: Vec<Vec<i64>>,
+    /// Per data column: each row's interned value id.
+    data: Vec<Vec<ValueId>>,
+    /// Lazily materialized row view (what `rows_slice` / the deprecated
+    /// `tuples()` shim hand out).
+    rows: OnceLock<Vec<GenTuple>>,
+    /// Persistent residue indexes by column set.
+    indexes: Mutex<HashMap<IndexKey, Arc<RelationIndex>>>,
+}
+
+impl fmt::Debug for RelStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RelStore")
+            .field("schema", &self.schema)
+            .field("len", &self.part_ids.len())
+            .field("rows_cached", &self.rows.get().is_some())
+            .finish()
+    }
+}
+
+impl RelStore {
+    /// An empty store of the given schema (row cache pre-filled: there is
+    /// nothing to materialize).
+    pub(crate) fn empty(schema: Schema) -> RelStore {
+        RelStore::from_tuples(schema, Vec::new())
+    }
+
+    /// Builds a store from already-schema-checked tuples. The input rows
+    /// are canonicalized against the global arenas and kept as the row
+    /// cache, so constructing from tuples costs no extra materialization.
+    pub(crate) fn from_tuples(schema: Schema, mut tuples: Vec<GenTuple>) -> RelStore {
+        debug_assert!(tuples.iter().all(|t| t.schema() == schema));
+        let n = tuples.len();
+        let mut part_ids = Vec::with_capacity(n);
+        let mut canonical = Vec::with_capacity(n);
+        {
+            let mut inner = parts().lock().expect("part arena poisoned");
+            for t in &tuples {
+                let (id, part) = intern_part(&mut inner, t.part_arc());
+                part_ids.push(id);
+                canonical.push(part);
+            }
+        }
+        for (t, part) in tuples.iter_mut().zip(&canonical) {
+            t.canonicalize_part(Arc::clone(part));
+        }
+        let mut t_offsets = vec![Vec::with_capacity(n); schema.temporal()];
+        let mut t_periods = vec![Vec::with_capacity(n); schema.temporal()];
+        for t in &tuples {
+            for (c, l) in t.lrps().iter().enumerate() {
+                t_offsets[c].push(l.offset());
+                t_periods[c].push(l.period());
+            }
+        }
+        let mut data = vec![Vec::with_capacity(n); schema.data()];
+        if schema.data() > 0 {
+            let mut inner = values().lock().expect("value arena poisoned");
+            for t in &tuples {
+                for (c, v) in t.data().iter().enumerate() {
+                    data[c].push(intern_value(&mut inner, v));
+                }
+            }
+        }
+        let rows = OnceLock::new();
+        let _ = rows.set(tuples);
+        RelStore {
+            schema,
+            part_ids,
+            parts: canonical,
+            t_offsets,
+            t_periods,
+            data,
+            rows,
+            indexes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Concatenation of two stores of one schema (union): pure id and
+    /// `Arc` copies, no re-hashing. Indexes start empty; the row cache is
+    /// carried over only when both inputs had already materialized.
+    pub(crate) fn concat(a: &RelStore, b: &RelStore) -> RelStore {
+        debug_assert_eq!(a.schema, b.schema);
+        let cat = |x: &[TemporalPartId], y: &[TemporalPartId]| {
+            let mut v = Vec::with_capacity(x.len() + y.len());
+            v.extend_from_slice(x);
+            v.extend_from_slice(y);
+            v
+        };
+        let mut parts = Vec::with_capacity(a.parts.len() + b.parts.len());
+        parts.extend(a.parts.iter().cloned());
+        parts.extend(b.parts.iter().cloned());
+        let zip_cols = |x: &[Vec<i64>], y: &[Vec<i64>]| {
+            x.iter()
+                .zip(y)
+                .map(|(xa, xb)| {
+                    let mut col = Vec::with_capacity(xa.len() + xb.len());
+                    col.extend_from_slice(xa);
+                    col.extend_from_slice(xb);
+                    col
+                })
+                .collect()
+        };
+        let data = a
+            .data
+            .iter()
+            .zip(&b.data)
+            .map(|(xa, xb)| {
+                let mut col = Vec::with_capacity(xa.len() + xb.len());
+                col.extend_from_slice(xa);
+                col.extend_from_slice(xb);
+                col
+            })
+            .collect();
+        let rows = OnceLock::new();
+        if let (Some(ra), Some(rb)) = (a.rows.get(), b.rows.get()) {
+            let mut v = Vec::with_capacity(ra.len() + rb.len());
+            v.extend(ra.iter().cloned());
+            v.extend(rb.iter().cloned());
+            let _ = rows.set(v);
+        }
+        RelStore {
+            schema: a.schema,
+            part_ids: cat(&a.part_ids, &b.part_ids),
+            parts,
+            t_offsets: zip_cols(&a.t_offsets, &b.t_offsets),
+            t_periods: zip_cols(&a.t_periods, &b.t_periods),
+            data,
+            rows,
+            indexes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A positional row subset (data selection): columns are copied entry
+    /// by entry, nothing is re-interned.
+    pub(crate) fn select(&self, keep: &[usize]) -> RelStore {
+        let pick_ids = keep.iter().map(|&i| self.part_ids[i]).collect();
+        let parts = keep.iter().map(|&i| Arc::clone(&self.parts[i])).collect();
+        let pick_i64 = |cols: &[Vec<i64>]| {
+            cols.iter()
+                .map(|col| keep.iter().map(|&i| col[i]).collect())
+                .collect()
+        };
+        let data = self
+            .data
+            .iter()
+            .map(|col| keep.iter().map(|&i| col[i]).collect())
+            .collect();
+        let rows = OnceLock::new();
+        if let Some(all) = self.rows.get() {
+            let _ = rows.set(keep.iter().map(|&i| all[i].clone()).collect());
+        }
+        RelStore {
+            schema: self.schema,
+            part_ids: pick_ids,
+            parts,
+            t_offsets: pick_i64(&self.t_offsets),
+            t_periods: pick_i64(&self.t_periods),
+            data,
+            rows,
+            indexes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A deep copy used by copy-on-write append: columns are cloned, the
+    /// cached indexes are carried over as shared `Arc`s (the append will
+    /// clone-on-extend them).
+    pub(crate) fn cloned(&self) -> RelStore {
+        let rows = OnceLock::new();
+        if let Some(all) = self.rows.get() {
+            let _ = rows.set(all.clone());
+        }
+        let indexes = self.indexes.lock().expect("index cache poisoned").clone();
+        RelStore {
+            schema: self.schema,
+            part_ids: self.part_ids.clone(),
+            parts: self.parts.clone(),
+            t_offsets: self.t_offsets.clone(),
+            t_periods: self.t_periods.clone(),
+            data: self.data.clone(),
+            rows,
+            indexes: Mutex::new(indexes),
+        }
+    }
+
+    /// Appends one schema-checked row. Cached indexes are extended in
+    /// place when the new row preserves their moduli and dropped (precise
+    /// invalidation) when it does not; the row cache is extended only if
+    /// already materialized.
+    pub(crate) fn push_row(&mut self, mut t: GenTuple) {
+        debug_assert_eq!(t.schema(), self.schema);
+        let (id, part) = {
+            let mut inner = parts().lock().expect("part arena poisoned");
+            intern_part(&mut inner, t.part_arc())
+        };
+        t.canonicalize_part(Arc::clone(&part));
+        self.part_ids.push(id);
+        self.parts.push(part);
+        for (c, l) in t.lrps().iter().enumerate() {
+            self.t_offsets[c].push(l.offset());
+            self.t_periods[c].push(l.period());
+        }
+        if self.schema.data() > 0 {
+            let mut inner = values().lock().expect("value arena poisoned");
+            for (c, v) in t.data().iter().enumerate() {
+                self.data[c].push(intern_value(&mut inner, v));
+            }
+        }
+        let pos = self.part_ids.len() - 1;
+        let indexes = self.indexes.get_mut().expect("index cache poisoned");
+        indexes.retain(|_, idx| Arc::make_mut(idx).try_insert(&t, pos));
+        if let Some(rows) = self.rows.get_mut() {
+            rows.push(t);
+        }
+    }
+
+    pub(crate) fn schema(&self) -> Schema {
+        self.schema
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.part_ids.len()
+    }
+
+    pub(crate) fn part_ids(&self) -> &[TemporalPartId] {
+        &self.part_ids
+    }
+
+    pub(crate) fn part(&self, row: usize) -> &Arc<TemporalPart> {
+        &self.parts[row]
+    }
+
+    pub(crate) fn data_columns(&self) -> &[Vec<ValueId>] {
+        &self.data
+    }
+
+    pub(crate) fn t_offsets(&self, col: usize) -> &[i64] {
+        &self.t_offsets[col]
+    }
+
+    pub(crate) fn t_periods(&self, col: usize) -> &[i64] {
+        &self.t_periods[col]
+    }
+
+    /// The materialized row view; built at most once per store.
+    pub(crate) fn rows_vec(&self) -> &[GenTuple] {
+        self.rows.get_or_init(|| {
+            let resolved: Vec<Vec<Value>> = if self.schema.data() > 0 {
+                let inner = values().lock().expect("value arena poisoned");
+                (0..self.len())
+                    .map(|i| {
+                        self.data
+                            .iter()
+                            .map(|col| inner.arena[col[i].index()].clone())
+                            .collect()
+                    })
+                    .collect()
+            } else {
+                vec![Vec::new(); self.len()]
+            };
+            self.parts
+                .iter()
+                .zip(resolved)
+                .map(|(part, data)| GenTuple::from_part(Arc::clone(part), data))
+                .collect()
+        })
+    }
+
+    /// The persistent residue index over the given column sets: built on
+    /// first use, shared (and counted as a reuse) afterwards.
+    pub(crate) fn index_for(
+        &self,
+        temporal_cols: &[usize],
+        data_cols: &[usize],
+    ) -> Arc<RelationIndex> {
+        let key = (temporal_cols.to_vec(), data_cols.to_vec());
+        if let Some(idx) = self.indexes.lock().expect("index cache poisoned").get(&key) {
+            INDEX_REUSES.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(idx);
+        }
+        // Build outside the cache lock (materializing rows can be slow).
+        let rows = self.rows_vec();
+        let built = Arc::new(RelationIndex::build(rows, temporal_cols, data_cols));
+        let mut cache = self.indexes.lock().expect("index cache poisoned");
+        if let Some(idx) = cache.get(&key) {
+            INDEX_REUSES.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(idx);
+        }
+        INDEX_BUILDS.fetch_add(1, Ordering::Relaxed);
+        cache.insert(key, Arc::clone(&built));
+        built
+    }
+}
+
+/// A cursor over the rows of a relation; yields [`RowRef`] views.
+///
+/// Obtained from [`GenRelation::rows`](crate::GenRelation::rows).
+#[derive(Clone)]
+pub struct Rows<'a> {
+    store: &'a RelStore,
+    front: usize,
+    back: usize,
+}
+
+impl<'a> Rows<'a> {
+    pub(crate) fn new(store: &'a RelStore) -> Rows<'a> {
+        Rows {
+            store,
+            front: 0,
+            back: store.len(),
+        }
+    }
+}
+
+impl fmt::Debug for Rows<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rows")
+            .field("remaining", &(self.back - self.front))
+            .finish()
+    }
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = RowRef<'a>;
+
+    fn next(&mut self) -> Option<RowRef<'a>> {
+        if self.front >= self.back {
+            return None;
+        }
+        let row = RowRef {
+            store: self.store,
+            idx: self.front,
+        };
+        self.front += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.front;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
+impl<'a> DoubleEndedIterator for Rows<'a> {
+    fn next_back(&mut self) -> Option<RowRef<'a>> {
+        if self.front >= self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(RowRef {
+            store: self.store,
+            idx: self.back,
+        })
+    }
+}
+
+/// A zero-copy view of one row of a relation.
+///
+/// Temporal access ([`RowRef::lrps`], [`RowRef::constraints`]) borrows the
+/// hash-consed part directly; data access by id ([`RowRef::value_id`]) is
+/// columnar, while [`RowRef::data`] materializes the store's row cache on
+/// first use and borrows from it.
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    store: &'a RelStore,
+    idx: usize,
+}
+
+impl fmt::Debug for RowRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RowRef").field("idx", &self.idx).finish()
+    }
+}
+
+impl<'a> RowRef<'a> {
+    pub(crate) fn new(store: &'a RelStore, idx: usize) -> RowRef<'a> {
+        RowRef { store, idx }
+    }
+
+    /// The row's position in the relation.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// The row's schema.
+    pub fn schema(&self) -> Schema {
+        self.store.schema()
+    }
+
+    /// Temporal attribute values (borrowed from the hash-consed part).
+    pub fn lrps(&self) -> &'a [Lrp] {
+        &self.store.part(self.idx).lrps
+    }
+
+    /// The constraint system (borrowed from the hash-consed part).
+    pub fn constraints(&self) -> &'a ConstraintSystem {
+        &self.store.part(self.idx).cons
+    }
+
+    /// The id of the row's temporal part in the global arena.
+    pub fn part_id(&self) -> TemporalPartId {
+        self.store.part_ids()[self.idx]
+    }
+
+    /// The interned id of the value in data column `col`.
+    ///
+    /// # Panics
+    /// If `col` is out of range.
+    pub fn value_id(&self, col: usize) -> ValueId {
+        self.store.data_columns()[col][self.idx]
+    }
+
+    /// The value in data column `col`, resolved from the arena.
+    ///
+    /// # Panics
+    /// If `col` is out of range.
+    pub fn datum(&self, col: usize) -> Value {
+        resolve_value(self.value_id(col))
+    }
+
+    /// All data values of the row (borrowed from the lazily materialized
+    /// row cache).
+    pub fn data(&self) -> &'a [Value] {
+        self.store.rows_vec()[self.idx].data()
+    }
+
+    /// The row as an owned [`GenTuple`] (shares the temporal part).
+    pub fn to_tuple(&self) -> GenTuple {
+        self.store.rows_vec()[self.idx].clone()
+    }
+
+    /// Does this row denote the concrete tuple `(times, data)`?
+    ///
+    /// Columnar: data equality is settled on interned ids (a value never
+    /// interned anywhere cannot match), so only matching rows touch the
+    /// temporal arithmetic.
+    ///
+    /// # Panics
+    /// If `times.len()` differs from the temporal arity.
+    pub fn contains(&self, times: &[i64], data: &[Value]) -> bool {
+        assert_eq!(
+            times.len(),
+            self.store.schema().temporal(),
+            "temporal arity mismatch"
+        );
+        if data.len() != self.store.schema().data() {
+            return false;
+        }
+        for (col, v) in data.iter().enumerate() {
+            match lookup_value(v) {
+                Some(id) if id == self.value_id(col) => {}
+                _ => return false,
+            }
+        }
+        self.lrps().iter().zip(times).all(|(l, &x)| l.contains(x))
+            && self.constraints().satisfied_by(times)
+    }
+}
+
+/// Typed columnar access to a relation's storage.
+///
+/// Obtained from [`GenRelation::columns`](crate::GenRelation::columns).
+#[derive(Clone, Copy)]
+pub struct Columns<'a> {
+    store: &'a RelStore,
+}
+
+impl fmt::Debug for Columns<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Columns")
+            .field("schema", &self.store.schema())
+            .field("rows", &self.store.len())
+            .finish()
+    }
+}
+
+impl<'a> Columns<'a> {
+    pub(crate) fn new(store: &'a RelStore) -> Columns<'a> {
+        Columns { store }
+    }
+
+    /// Number of rows in every column.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.store.len() == 0
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> Schema {
+        self.store.schema()
+    }
+
+    /// Temporal column `col` as flat offset/period slices.
+    ///
+    /// # Panics
+    /// If `col` is out of range.
+    pub fn temporal(&self, col: usize) -> TemporalColumn<'a> {
+        TemporalColumn {
+            offsets: self.store.t_offsets(col),
+            periods: self.store.t_periods(col),
+        }
+    }
+
+    /// Data column `col` as a flat slice of interned ids.
+    ///
+    /// # Panics
+    /// If `col` is out of range.
+    pub fn data(&self, col: usize) -> DataColumn<'a> {
+        DataColumn {
+            ids: &self.store.data_columns()[col],
+        }
+    }
+
+    /// Per-row temporal part ids.
+    pub fn part_ids(&self) -> &'a [TemporalPartId] {
+        self.store.part_ids()
+    }
+}
+
+/// One temporal column: each row's lrp as a flat `(offset, period)` pair,
+/// period `0` marking a point.
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalColumn<'a> {
+    offsets: &'a [i64],
+    periods: &'a [i64],
+}
+
+impl<'a> TemporalColumn<'a> {
+    /// Each row's lrp offset.
+    pub fn offsets(&self) -> &'a [i64] {
+        self.offsets
+    }
+
+    /// Each row's lrp period (`0` for points).
+    pub fn periods(&self) -> &'a [i64] {
+        self.periods
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+}
+
+/// One data column: each row's value as an interned [`ValueId`].
+#[derive(Debug, Clone, Copy)]
+pub struct DataColumn<'a> {
+    ids: &'a [ValueId],
+}
+
+impl<'a> DataColumn<'a> {
+    /// Each row's interned value id.
+    pub fn ids(&self) -> &'a [ValueId] {
+        self.ids
+    }
+
+    /// The id at `row`.
+    ///
+    /// # Panics
+    /// If `row` is out of range.
+    pub fn id(&self, row: usize) -> ValueId {
+        self.ids[row]
+    }
+
+    /// The value at `row`, resolved from the arena.
+    ///
+    /// # Panics
+    /// If `row` is out of range.
+    pub fn resolve(&self, row: usize) -> Value {
+        resolve_value(self.ids[row])
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itd_lrp::Lrp;
+
+    fn lrp(c: i64, k: i64) -> Lrp {
+        Lrp::new(c, k).unwrap()
+    }
+
+    #[test]
+    fn interned_ids_are_canonical() {
+        let a = GenTuple::unconstrained(vec![lrp(0, 2)], vec![Value::str("store-test-a")]);
+        let b = GenTuple::unconstrained(vec![lrp(0, 2)], vec![Value::str("store-test-a")]);
+        let s1 = RelStore::from_tuples(Schema::new(1, 1), vec![a]);
+        let s2 = RelStore::from_tuples(Schema::new(1, 1), vec![b]);
+        assert_eq!(s1.part_ids(), s2.part_ids());
+        assert_eq!(s1.data_columns(), s2.data_columns());
+        // Canonicalization: both stores alias one part allocation.
+        assert!(Arc::ptr_eq(s1.part(0), s2.part(0)));
+        assert_eq!(
+            resolve_value(s1.data_columns()[0][0]),
+            Value::str("store-test-a")
+        );
+    }
+
+    #[test]
+    fn stats_invariant_holds() {
+        // Intern through a store, then check the global invariant; other
+        // tests may intern concurrently, but the snapshot is taken under
+        // the arena locks, so the equality is exact at that instant.
+        let t = GenTuple::unconstrained(vec![lrp(1, 3)], vec![Value::Int(41_417)]);
+        let _s = RelStore::from_tuples(Schema::new(1, 1), vec![t.clone(), t]);
+        let stats = storage_stats();
+        assert_eq!(stats.value_lookups - stats.value_hits, stats.value_distinct);
+        assert_eq!(stats.part_lookups - stats.part_hits, stats.part_distinct);
+    }
+
+    #[test]
+    fn lookup_value_never_inserts() {
+        let missing = Value::str("store-test-never-interned-sentinel");
+        let before = storage_stats().value_distinct;
+        assert_eq!(lookup_value(&missing), None);
+        assert_eq!(storage_stats().value_distinct, before);
+    }
+
+    #[test]
+    fn push_row_keeps_columns_in_sync() {
+        let mut s = RelStore::empty(Schema::new(2, 1));
+        for i in 0..5 {
+            s.push_row(GenTuple::unconstrained(
+                vec![lrp(i, 6), Lrp::point(i)],
+                vec![Value::Int(i)],
+            ));
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.t_offsets(0), &[0, 1, 2, 3, 4]);
+        assert_eq!(s.t_periods(0), &[6, 6, 6, 6, 6]);
+        assert_eq!(s.t_periods(1), &[0, 0, 0, 0, 0]);
+        let rows = s.rows_vec();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[3].data(), &[Value::Int(3)]);
+    }
+
+    #[test]
+    fn index_is_built_once_and_reused() {
+        let tuples: Vec<GenTuple> = (0..16)
+            .map(|i| GenTuple::unconstrained(vec![lrp(i % 4, 4)], vec![]))
+            .collect();
+        let s = RelStore::from_tuples(Schema::new(1, 0), tuples);
+        let before = storage_stats();
+        let i1 = s.index_for(&[0], &[]);
+        let i2 = s.index_for(&[0], &[]);
+        assert!(Arc::ptr_eq(&i1, &i2));
+        let after = storage_stats();
+        assert_eq!(after.index_builds - before.index_builds, 1);
+        assert!(after.index_reuses > before.index_reuses);
+    }
+}

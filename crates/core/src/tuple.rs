@@ -1,6 +1,7 @@
 //! Generalized tuples (Definition 2.2).
 
 use std::fmt;
+use std::sync::Arc;
 
 use itd_constraint::{Atom, ConstraintSystem};
 use itd_lrp::Lrp;
@@ -9,6 +10,19 @@ use crate::error::CoreError;
 use crate::schema::Schema;
 use crate::value::Value;
 use crate::Result;
+
+/// The temporal part of a generalized tuple — its lrp vector plus its
+/// constraint system — shared behind an [`Arc`].
+///
+/// Cloning a tuple (and, transitively, snapshotting a relation) bumps a
+/// reference count instead of copying the temporal payload, and the global
+/// store (`crate::store`) hash-conses these parts so equal parts share
+/// one allocation across relations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct TemporalPart {
+    pub(crate) lrps: Vec<Lrp>,
+    pub(crate) cons: ConstraintSystem,
+}
 
 /// A generalized tuple: lrp values for the temporal attributes, concrete
 /// values for the data attributes, and a conjunction of restricted
@@ -33,10 +47,8 @@ use crate::Result;
 /// assert!(!t.contains(&[1, -1], &[]));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GenTuple {
-    lrps: Vec<Lrp>,
-    cons: ConstraintSystem,
+    part: Arc<TemporalPart>,
     data: Vec<Value>,
 }
 
@@ -77,13 +89,38 @@ impl GenTuple {
                 found: Schema::new(cons.arity(), data.len()),
             });
         }
-        Ok(GenTuple { lrps, cons, data })
+        Ok(GenTuple {
+            part: Arc::new(TemporalPart { lrps, cons }),
+            data,
+        })
+    }
+
+    /// Builds a tuple around an existing (typically hash-consed) temporal
+    /// part. The caller guarantees arity consistency.
+    pub(crate) fn from_part(part: Arc<TemporalPart>, data: Vec<Value>) -> GenTuple {
+        debug_assert_eq!(part.cons.arity(), part.lrps.len());
+        GenTuple { part, data }
+    }
+
+    /// The shared temporal part (store-internal accessor).
+    pub(crate) fn part_arc(&self) -> &Arc<TemporalPart> {
+        &self.part
+    }
+
+    /// Swaps the temporal part for a canonical (hash-consed) allocation
+    /// holding the same value.
+    pub(crate) fn canonicalize_part(&mut self, part: Arc<TemporalPart>) {
+        debug_assert_eq!(*self.part, *part);
+        self.part = part;
     }
 
     /// A tuple with unconstrained temporal attributes.
     pub fn unconstrained(lrps: Vec<Lrp>, data: Vec<Value>) -> GenTuple {
         let cons = ConstraintSystem::unconstrained(lrps.len());
-        GenTuple { lrps, cons, data }
+        GenTuple {
+            part: Arc::new(TemporalPart { lrps, cons }),
+            data,
+        }
     }
 
     /// Convenience constructor from atoms.
@@ -93,22 +130,22 @@ impl GenTuple {
     #[deprecated(since = "0.2.0", note = "use `GenTuple::builder()` with `.atom(..)`")]
     pub fn with_atoms(lrps: Vec<Lrp>, atoms: &[Atom], data: Vec<Value>) -> Result<GenTuple> {
         let cons = ConstraintSystem::from_atoms(lrps.len(), atoms)?;
-        Ok(GenTuple { lrps, cons, data })
+        GenTuple::from_parts(lrps, cons, data)
     }
 
     /// The schema of this tuple.
     pub fn schema(&self) -> Schema {
-        Schema::new(self.lrps.len(), self.data.len())
+        Schema::new(self.part.lrps.len(), self.data.len())
     }
 
     /// Temporal attribute values.
     pub fn lrps(&self) -> &[Lrp] {
-        &self.lrps
+        &self.part.lrps
     }
 
     /// The constraint system (always in closed canonical form).
     pub fn constraints(&self) -> &ConstraintSystem {
-        &self.cons
+        &self.part.cons
     }
 
     /// Data attribute values.
@@ -119,7 +156,7 @@ impl GenTuple {
     /// The *free extension* `t*` (Definition 3.1): this tuple without its
     /// constraints.
     pub fn free_extension(&self) -> GenTuple {
-        GenTuple::unconstrained(self.lrps.clone(), self.data.clone())
+        GenTuple::unconstrained(self.part.lrps.clone(), self.data.clone())
     }
 
     /// Does the tuple denote the concrete tuple `(times, data)`?
@@ -127,11 +164,16 @@ impl GenTuple {
     /// # Panics
     /// If `times.len()` differs from the temporal arity.
     pub fn contains(&self, times: &[i64], data: &[Value]) -> bool {
-        assert_eq!(times.len(), self.lrps.len(), "temporal arity mismatch");
+        assert_eq!(times.len(), self.part.lrps.len(), "temporal arity mismatch");
         if data != self.data.as_slice() {
             return false;
         }
-        self.lrps.iter().zip(times).all(|(l, &x)| l.contains(x)) && self.cons.satisfied_by(times)
+        self.part
+            .lrps
+            .iter()
+            .zip(times)
+            .all(|(l, &x)| l.contains(x))
+            && self.part.cons.satisfied_by(times)
     }
 
     /// Purely temporal membership (requires data arity 0 on the tuple only
@@ -146,7 +188,7 @@ impl GenTuple {
     /// still have no solution *on the lrp grid* (the Figure 2 phenomenon);
     /// use [`GenTuple::is_empty`] for the exact test.
     pub fn is_trivially_empty(&self) -> bool {
-        !self.cons.is_satisfiable()
+        !self.part.cons.is_satisfiable()
     }
 
     /// Exact emptiness over the grid: normalizes and checks the grid
@@ -160,17 +202,22 @@ impl GenTuple {
 
     /// Replaces the constraint system (used by selection).
     pub(crate) fn with_constraints(&self, cons: ConstraintSystem) -> GenTuple {
-        debug_assert_eq!(cons.arity(), self.lrps.len());
+        debug_assert_eq!(cons.arity(), self.part.lrps.len());
         GenTuple {
-            lrps: self.lrps.clone(),
-            cons,
+            part: Arc::new(TemporalPart {
+                lrps: self.part.lrps.clone(),
+                cons,
+            }),
             data: self.data.clone(),
         }
     }
 
     /// Internal accessor for sibling modules.
     pub(crate) fn into_parts(self) -> (Vec<Lrp>, ConstraintSystem, Vec<Value>) {
-        (self.lrps, self.cons, self.data)
+        match Arc::try_unwrap(self.part) {
+            Ok(part) => (part.lrps, part.cons, self.data),
+            Err(part) => (part.lrps.clone(), part.cons.clone(), self.data),
+        }
     }
 
     /// Is the tuple in normal form (Definition 3.2)?
@@ -315,7 +362,7 @@ impl GenTupleBuilder {
 impl fmt::Display for GenTuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("[")?;
-        for (i, l) in self.lrps.iter().enumerate() {
+        for (i, l) in self.part.lrps.iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
             }
@@ -325,10 +372,46 @@ impl fmt::Display for GenTuple {
             write!(f, "; {d}")?;
         }
         f.write_str("]")?;
-        if !self.cons.is_unconstrained() {
-            write!(f, " where {}", self.cons)?;
+        if !self.part.cons.is_unconstrained() {
+            write!(f, " where {}", self.part.cons)?;
         }
         Ok(())
+    }
+}
+
+/// Serde keeps the pre-columnar on-disk shape `{lrps, cons, data}` so
+/// files written before the `Arc`-shared representation stay readable,
+/// and validates arity on the way in (the old derive accepted
+/// inconsistent tuples silently).
+#[cfg(feature = "serde")]
+mod tuple_serde {
+    use super::GenTuple;
+    use serde::{de, Content, Deserialize, Serialize};
+
+    impl Serialize for GenTuple {
+        fn to_content(&self) -> Content {
+            Content::Map(vec![
+                (
+                    "lrps".to_string(),
+                    Content::Seq(self.lrps().iter().map(Serialize::to_content).collect()),
+                ),
+                ("cons".to_string(), self.constraints().to_content()),
+                (
+                    "data".to_string(),
+                    Content::Seq(self.data().iter().map(Serialize::to_content).collect()),
+                ),
+            ])
+        }
+    }
+
+    impl Deserialize for GenTuple {
+        fn from_content(content: &Content) -> Result<Self, de::DeError> {
+            let entries = de::as_struct_map(content, "GenTuple")?;
+            let lrps = de::field(entries, "lrps", "GenTuple")?;
+            let cons = de::field(entries, "cons", "GenTuple")?;
+            let data = de::field(entries, "data", "GenTuple")?;
+            GenTuple::from_parts(lrps, cons, data).map_err(|e| de::DeError::msg(e.to_string()))
+        }
     }
 }
 

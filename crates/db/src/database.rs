@@ -364,8 +364,12 @@ impl Catalog for Database {
     fn active_domain(&self) -> BTreeSet<Value> {
         let mut out = BTreeSet::new();
         for table in self.tables.values() {
-            for t in table.relation().tuples() {
-                out.extend(t.data().iter().cloned());
+            let rel = table.relation();
+            let cols = rel.columns();
+            for c in 0..rel.schema().data() {
+                // Dedup at the interned-id level before resolving values.
+                let distinct: BTreeSet<_> = cols.data(c).ids().iter().copied().collect();
+                out.extend(distinct.into_iter().map(itd_core::resolve_value));
             }
         }
         out

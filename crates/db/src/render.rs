@@ -17,13 +17,14 @@ impl Table {
         headers.push("constraints".to_owned());
 
         let mut rows: Vec<Vec<String>> = Vec::new();
-        for t in self.relation().tuples() {
+        let rel = self.relation();
+        for t in rel.rows() {
             let mut row: Vec<String> = Vec::with_capacity(headers.len());
             for l in t.lrps() {
                 row.push(l.to_string());
             }
-            for d in t.data() {
-                row.push(d.to_string());
+            for c in 0..rel.schema().data() {
+                row.push(t.datum(c).to_string());
             }
             row.push(if t.constraints().is_unconstrained() {
                 String::new()

@@ -176,6 +176,7 @@ impl ReplSession {
             "\\compact" | "compact" => self.compact_cmd(rest).map(Some),
             "\\trace" | "trace" => self.trace(rest).map(Some),
             "\\metrics" | "metrics" => Ok(Some(self.stats.to_prometheus())),
+            "\\storage" | "storage" => Ok(Some(itd_core::storage_stats().to_string())),
             "\\stats" | "stats" => match rest {
                 "reset" => {
                     self.stats = StatsSnapshot::default();
@@ -438,6 +439,9 @@ commands:
   \\trace json                    export the last trace as JSON lines
   \\trace chrome <path>           export it in Chrome trace-event format
   \\metrics                       Prometheus text rendering of the counters
+  \\storage                       global columnar-store statistics (value and
+                                 temporal-part interner arenas, residue-index
+                                 builds vs cache reuses)
   \\stats [reset|json]            per-operator execution counters of every
                                  query so far (reset them, or dump as JSON)
   save <path> / load <path>      JSON persistence
@@ -505,6 +509,18 @@ mod tests {
         run(&mut s, "create ok(t)");
         run(&mut s, "insert ok lrp t 0 2");
         assert_eq!(run(&mut s, "ask ok(4)"), "true");
+    }
+
+    #[test]
+    fn storage_command_reports_arena_stats() {
+        let mut s = ReplSession::new();
+        run(&mut s, "create ev(t; n)");
+        run(&mut s, "insert ev lrp t 0 2, datum n 42");
+        let out = run(&mut s, "\\storage");
+        assert!(out.contains("value arena:"), "{out}");
+        assert!(out.contains("part arena:"), "{out}");
+        assert!(out.contains("indexes:"), "{out}");
+        assert!(run(&mut s, "help").contains("\\storage"));
     }
 
     #[test]

@@ -256,7 +256,8 @@ impl UnaryFormula {
     /// See [`UnaryFormula::satisfiable`].
     pub fn witness(&self) -> Result<Option<i64>> {
         let rel = self.to_relation()?;
-        for t in rel.tuples() {
+        for row in rel.rows() {
+            let t = row.to_tuple();
             if t.is_empty()? {
                 continue;
             }

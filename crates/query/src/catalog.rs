@@ -45,8 +45,11 @@ impl Catalog for MemoryCatalog {
     fn active_domain(&self) -> BTreeSet<Value> {
         let mut out = BTreeSet::new();
         for rel in self.relations.values() {
-            for t in rel.tuples() {
-                out.extend(t.data().iter().cloned());
+            let cols = rel.columns();
+            for c in 0..rel.schema().data() {
+                // Dedup at the interned-id level before resolving values.
+                let distinct: BTreeSet<_> = cols.data(c).ids().iter().copied().collect();
+                out.extend(distinct.into_iter().map(itd_core::resolve_value));
             }
         }
         out

@@ -33,7 +33,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use itd_core::index::MAX_MODULUS;
-use itd_core::RelationIndex;
 
 use crate::ast::{DataTerm, TemporalTerm};
 use crate::catalog::Catalog;
@@ -81,12 +80,17 @@ impl CatalogStats {
             let t = rel.schema().temporal();
             let d = rel.schema().data();
             let tcols: Vec<usize> = (0..t).collect();
-            let index = RelationIndex::build(rel.tuples(), &tcols, &[]);
+            // The persistent store index: built once per relation and
+            // column set, shared with the executor's own indexed paths.
+            let index = rel.residue_index(&tcols, &[]);
             let distinct = (0..d)
                 .map(|c| {
-                    rel.tuples()
+                    // Interned ids are canonical, so distinct ids ⟺
+                    // distinct values — no value materialization needed.
+                    rel.columns()
+                        .data(c)
+                        .ids()
                         .iter()
-                        .map(|tup| &tup.data()[c])
                         .collect::<BTreeSet<_>>()
                         .len()
                 })

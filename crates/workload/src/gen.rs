@@ -127,7 +127,7 @@ mod tests {
         let r = random_relation(&spec, 1);
         assert_eq!(r.tuple_count(), 9);
         assert_eq!(r.schema(), Schema::new(3, 2));
-        for t in r.tuples() {
+        for t in r.rows() {
             for l in t.lrps() {
                 assert_eq!(l.period(), 4);
             }
@@ -145,7 +145,8 @@ mod tests {
             ..RelationSpec::default()
         };
         let r = random_relation(&spec, 99);
-        for t in r.tuples() {
+        for row in r.rows() {
+            let t = row.to_tuple();
             assert!(t.is_normal_form().unwrap(), "{t}");
             assert!(!t.is_empty().unwrap(), "{t}");
         }
@@ -159,7 +160,7 @@ mod tests {
             ..RelationSpec::default()
         };
         let r = random_relation(&spec, 5);
-        for t in r.tuples() {
+        for t in r.rows() {
             assert!(t.constraints().is_unconstrained());
         }
     }

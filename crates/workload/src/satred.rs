@@ -103,7 +103,8 @@ pub fn brute_force_sat(cnf: &Cnf) -> Option<Vec<bool>> {
 pub fn solve_via_complement(cnf: &Cnf) -> itd_core::Result<Option<Vec<bool>>> {
     let r = cnf.to_relation();
     let complement = r.complement_temporal()?;
-    for tuple in complement.tuples() {
+    for row in complement.rows() {
+        let tuple = row.to_tuple();
         if tuple.is_empty()? {
             continue;
         }

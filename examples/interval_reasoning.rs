@@ -16,7 +16,7 @@ fn main() {
     // ---- Allen relations over infinite interval relations ----
     // Maintenance windows [20n, 20n+6] and meetings [10n+3, 10n+5].
     let windows = GenRelation::builder(Schema::new(2, 1))
-        .tuple(
+        .push_row(
             GenTuple::builder()
                 .lrps(vec![lrp(0, 20), lrp(6, 20)])
                 .atoms([Atom::diff_eq(1, 0, 6)])
@@ -27,7 +27,7 @@ fn main() {
         .build()
         .unwrap();
     let meetings = GenRelation::builder(Schema::new(2, 1))
-        .tuple(
+        .push_row(
             GenTuple::builder()
                 .lrps(vec![lrp(3, 10), lrp(5, 10)])
                 .atoms([Atom::diff_eq(1, 0, 2)])
@@ -83,7 +83,7 @@ fn main() {
     let mut cat = itd_query::MemoryCatalog::new();
     let phase = |offset| {
         GenRelation::builder(Schema::new(1, 0))
-            .tuple(GenTuple::unconstrained(vec![lrp(offset, 3)], vec![]))
+            .push_row(GenTuple::unconstrained(vec![lrp(offset, 3)], vec![]))
             .build()
             .unwrap()
     };

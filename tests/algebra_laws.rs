@@ -231,7 +231,8 @@ fn normalize_preserves_semantics_with_mixed_periods() {
         .unwrap();
     let r = GenRelation::new(Schema::new(2, 0), vec![t1, t2]).unwrap();
     let n = r.normalize().unwrap();
-    for t in n.tuples() {
+    for row in n.rows() {
+        let t = row.to_tuple();
         assert!(t.is_normal_form().unwrap(), "{t}");
     }
     assert_eq!(mat(&n), mat(&r));

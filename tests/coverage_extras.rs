@@ -173,7 +173,7 @@ fn serde_relation_with_unsat_constraints() {
     let rel = GenRelation::new(Schema::new(1, 0), vec![t]).unwrap();
     let json = serde_json::to_string(&rel).unwrap();
     let back: GenRelation = serde_json::from_str(&json).unwrap();
-    assert!(back.tuples()[0].is_trivially_empty());
+    assert!(back.row(0).unwrap().to_tuple().is_trivially_empty());
     assert!(back.denotes_empty().unwrap());
 }
 
@@ -221,5 +221,5 @@ fn compact_after_union_of_refinements() {
     .unwrap();
     let evens = odds.complement_temporal().unwrap().compact().unwrap();
     assert_eq!(evens.tuple_count(), 1);
-    assert_eq!(evens.tuples()[0].lrps()[0], lrp(0, 2));
+    assert_eq!(evens.row(0).unwrap().lrps()[0], lrp(0, 2));
 }

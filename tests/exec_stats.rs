@@ -15,7 +15,7 @@ fn bases() -> Vec<GenRelation> {
     let schema = Schema::new(2, 0);
     vec![
         GenRelation::builder(schema)
-            .tuple(
+            .push_row(
                 GenTuple::builder()
                     .lrps(vec![lrp(0, 2), lrp(1, 2)])
                     .atoms([Atom::diff_le(0, 1, 3)])
@@ -25,18 +25,18 @@ fn bases() -> Vec<GenRelation> {
             .build()
             .unwrap(),
         GenRelation::builder(schema)
-            .tuple(
+            .push_row(
                 GenTuple::builder()
                     .lrps(vec![lrp(1, 3), lrp(0, 3)])
                     .atoms([Atom::ge(0, -4)])
                     .build()
                     .unwrap(),
             )
-            .tuple(GenTuple::unconstrained(vec![lrp(2, 3), lrp(2, 3)], vec![]))
+            .push_row(GenTuple::unconstrained(vec![lrp(2, 3), lrp(2, 3)], vec![]))
             .build()
             .unwrap(),
         GenRelation::builder(schema)
-            .tuple(
+            .push_row(
                 GenTuple::builder()
                     .lrps(vec![lrp(0, 1), lrp(0, 2)])
                     .atoms([Atom::diff_eq(0, 1, -1), Atom::le(0, 6)])
@@ -204,7 +204,7 @@ proptest! {
 #[test]
 fn normalize_counters_match_paper_example_3_2() {
     let rel = GenRelation::builder(Schema::new(2, 0))
-        .tuple(
+        .push_row(
             GenTuple::builder()
                 .lrps(vec![lrp(3, 4), lrp(1, 8)])
                 .atoms([
@@ -235,7 +235,7 @@ fn normalize_counters_match_paper_example_3_2() {
 #[test]
 fn normalize_counters_match_counting_formula() {
     let rel = GenRelation::builder(Schema::new(2, 0))
-        .tuple(GenTuple::unconstrained(vec![lrp(0, 2), lrp(1, 3)], vec![]))
+        .push_row(GenTuple::unconstrained(vec![lrp(0, 2), lrp(1, 3)], vec![]))
         .build()
         .unwrap();
     let ctx = ExecContext::serial();
@@ -274,7 +274,7 @@ fn intersect_counters_count_pairs() {
 #[test]
 fn complement_counters_count_free_extensions() {
     let rel = GenRelation::builder(Schema::new(2, 0))
-        .tuple(
+        .push_row(
             GenTuple::builder()
                 .lrps(vec![lrp(0, 3), lrp(1, 3)])
                 .atom(Atom::ge(0, 0))
@@ -305,7 +305,7 @@ fn query_evaluation_reports_nonzero_stats() {
     cat.insert(
         "even",
         GenRelation::builder(Schema::new(1, 0))
-            .tuple(GenTuple::unconstrained(vec![lrp(0, 2)], vec![]))
+            .push_row(GenTuple::unconstrained(vec![lrp(0, 2)], vec![]))
             .build()
             .unwrap(),
     );
@@ -339,7 +339,7 @@ fn traced_query_spans_sum_to_stats_and_are_thread_invariant() {
     cat.insert(
         "even",
         GenRelation::builder(Schema::new(1, 0))
-            .tuple(GenTuple::unconstrained(vec![lrp(0, 2)], vec![]))
+            .push_row(GenTuple::unconstrained(vec![lrp(0, 2)], vec![]))
             .build()
             .unwrap(),
     );

@@ -132,7 +132,7 @@ fn intersect_counters_partition_pairs_exactly() {
     let sched = |offsets: &[i64]| {
         let mut b = GenRelation::builder(Schema::new(1, 0));
         for &c in offsets {
-            b = b.tuple(GenTuple::unconstrained(vec![lrp(c, 60)], vec![]));
+            b = b.push_row(GenTuple::unconstrained(vec![lrp(c, 60)], vec![]));
         }
         b.build().unwrap()
     };
@@ -176,8 +176,8 @@ fn intersect_counters_partition_pairs_exactly() {
 #[test]
 fn small_inputs_skip_the_index() {
     let r1 = GenRelation::builder(Schema::new(1, 0))
-        .tuple(GenTuple::unconstrained(vec![lrp(0, 6)], vec![]))
-        .tuple(GenTuple::unconstrained(vec![lrp(3, 6)], vec![]))
+        .push_row(GenTuple::unconstrained(vec![lrp(0, 6)], vec![]))
+        .push_row(GenTuple::unconstrained(vec![lrp(3, 6)], vec![]))
         .build()
         .unwrap();
     let ctx = ExecContext::serial();

@@ -19,32 +19,32 @@ fn catalog() -> MemoryCatalog {
     cat.insert(
         "p",
         GenRelation::builder(Schema::new(1, 0))
-            .tuple(GenTuple::unconstrained(vec![lrp(0, 2)], vec![]))
+            .push_row(GenTuple::unconstrained(vec![lrp(0, 2)], vec![]))
             .build()
             .unwrap(),
     );
     cat.insert(
         "q",
         GenRelation::builder(Schema::new(1, 0))
-            .tuple(
+            .push_row(
                 GenTuple::builder()
                     .lrps(vec![lrp(1, 3)])
                     .atoms([Atom::ge(0, -6)])
                     .build()
                     .unwrap(),
             )
-            .tuple(GenTuple::unconstrained(vec![lrp(2, 6)], vec![]))
+            .push_row(GenTuple::unconstrained(vec![lrp(2, 6)], vec![]))
             .build()
             .unwrap(),
     );
     cat.insert(
         "r",
         GenRelation::builder(Schema::new(1, 1))
-            .tuple(GenTuple::unconstrained(
+            .push_row(GenTuple::unconstrained(
                 vec![lrp(0, 4)],
                 vec![Value::str("a")],
             ))
-            .tuple(GenTuple::unconstrained(
+            .push_row(GenTuple::unconstrained(
                 vec![lrp(3, 4)],
                 vec![Value::str("b")],
             ))

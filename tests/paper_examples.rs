@@ -132,7 +132,7 @@ fn example_3_1_intersection() {
     .unwrap();
     let i = a.intersect(&b).unwrap();
     assert_eq!(i.tuple_count(), 1);
-    let t = &i.tuples()[0];
+    let t = i.row(0).unwrap();
     assert_eq!(t.lrps()[0], lrp(5, 10));
     assert_eq!(t.lrps()[1], lrp(2, 15));
     // Semantics: x1 ∈ 10n+5, x2 ∈ 15n+2, x1 = x2 − 2, x1 ≥ 3.
@@ -170,7 +170,7 @@ fn example_3_2_normalization_and_projection() {
     // Normalized: the surviving tuple is [8n+3, 8n+1] X1 = X2+2 ∧ X2 ≥ 9.
     let norm = rel.normalize().unwrap();
     assert_eq!(norm.tuple_count(), 1);
-    assert!(norm.tuples()[0].is_normal_form().unwrap());
+    assert!(norm.row(0).unwrap().to_tuple().is_normal_form().unwrap());
 
     // Projection on X1: the paper's answer is 8n+3 with X1 ≥ 11.
     let p = rel.project(&[0], &[]).unwrap();

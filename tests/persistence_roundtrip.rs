@@ -72,6 +72,59 @@ fn file_roundtrip() {
 }
 
 #[test]
+fn legacy_row_oriented_files_stay_readable() {
+    // Files written before the columnar storage encoded relations as
+    // `{schema, tuples: [{lrps, cons, data}, ...]}`. The tuple encoding is
+    // unchanged, so a legacy relation body can be reassembled from
+    // serialized tuples and must decode to the same relation.
+    use itd_core::{GenRelation, GenTuple, Lrp, Schema, Value};
+    let t1 = GenTuple::builder()
+        .lrp(Lrp::new(0, 10).unwrap())
+        .datum(Value::from("a"))
+        .build()
+        .unwrap();
+    let t2 = GenTuple::builder()
+        .lrp(Lrp::new(3, 10).unwrap())
+        .datum(Value::from("a"))
+        .build()
+        .unwrap();
+    let expected = GenRelation::new(Schema::new(1, 1), vec![t1.clone(), t2.clone()]).unwrap();
+    let legacy = format!(
+        r#"{{"schema":{},"tuples":[{},{}]}}"#,
+        serde_json::to_string(&Schema::new(1, 1)).unwrap(),
+        serde_json::to_string(&t1).unwrap(),
+        serde_json::to_string(&t2).unwrap(),
+    );
+    let back: GenRelation = serde_json::from_str(&legacy).unwrap();
+    assert_eq!(back, expected, "legacy row-oriented format must decode");
+}
+
+#[test]
+fn columnar_format_writes_id_tables_once() {
+    // The new format stores the distinct temporal parts and data values
+    // once and refers to them by local id: two rows sharing a part and a
+    // value must serialize with single-entry tables.
+    use itd_core::{GenRelation, GenTuple, Lrp, Schema, Value};
+    let part = |offset| {
+        GenTuple::builder()
+            .lrp(Lrp::new(offset, 7).unwrap())
+            .datum(Value::from("shared"))
+            .build()
+            .unwrap()
+    };
+    let rel = GenRelation::new(Schema::new(1, 1), vec![part(1), part(1), part(1)]).unwrap();
+    let json = serde_json::to_string(&rel).unwrap();
+    for key in ["\"parts\"", "\"values\"", "\"rows\"", "\"data\""] {
+        assert!(json.contains(key), "columnar field {key} missing: {json}");
+    }
+    // One distinct part, one distinct value, three rows.
+    assert_eq!(json.matches("shared").count(), 1, "value written once");
+    assert_eq!(json.matches("\"cons\"").count(), 1, "part written once");
+    let back: GenRelation = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, rel);
+}
+
+#[test]
 fn malformed_input_rejected() {
     assert!(Database::from_json("{").is_err());
     assert!(Database::from_json(r#"{"tables": 3}"#).is_err());

@@ -29,11 +29,11 @@ fn catalog() -> MemoryCatalog {
     cat.insert(
         "perform",
         GenRelation::builder(Schema::new(1, 1))
-            .tuple(GenTuple::unconstrained(
+            .push_row(GenTuple::unconstrained(
                 vec![Lrp::new(0, 4).unwrap()],
                 vec![Value::str("robot1")],
             ))
-            .tuple(GenTuple::unconstrained(
+            .push_row(GenTuple::unconstrained(
                 vec![Lrp::new(2, 4).unwrap()],
                 vec![Value::str("robot2")],
             ))
