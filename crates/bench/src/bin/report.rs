@@ -1422,6 +1422,164 @@ fn trace_overhead() {
     );
 }
 
+/// Cross-query aggregation: one shared registry observes a mixed workload
+/// many times over. Its totals must equal the sum of the per-query
+/// snapshots exactly, its latency percentiles must come out monotone, and
+/// attaching a registry to a query that has nothing interesting to report
+/// must cost nothing measurable (< 5%, asserted off-smoke).
+fn metrics_registry() {
+    println!("\n## Metrics registry (cross-query aggregation)\n");
+    jsonout::begin_section("metrics_registry");
+    use itd_core::{Atom, ExecContext, GenTuple, Lrp, MetricsRegistry, Schema, StatsSnapshot};
+    use itd_query::{parse, run, MemoryCatalog, QueryOpts};
+
+    // The compaction section's relation family: periodic `p` with mixed
+    // bounds, coarse `q` whose complement shatters and recoalesces.
+    let n = if smoke() { 32 } else { 64 };
+    let mut p = GenRelation::empty(Schema::new(1, 0));
+    for i in 0..n {
+        let lrp = Lrp::new(i as i64 % 6, 6).expect("valid");
+        let t = if i % 2 == 0 {
+            GenTuple::unconstrained(vec![lrp], vec![])
+        } else {
+            GenTuple::builder()
+                .lrps(vec![lrp])
+                .atoms([Atom::ge(0, -(i as i64))])
+                .build()
+                .expect("valid")
+        };
+        p.push(t).expect("schema");
+    }
+    let q = GenRelation::new(
+        Schema::new(1, 0),
+        vec![GenTuple::unconstrained(
+            vec![Lrp::new(0, 12).expect("valid")],
+            vec![],
+        )],
+    )
+    .expect("schema");
+    let mut cat = MemoryCatalog::new();
+    cat.insert("p", p);
+    cat.insert("q", q);
+
+    let queries = [
+        "p(t) and q(t)",
+        "p(t) and not q(t)",
+        "(p(t) or q(t)) and p(t)",
+        "p(t) and t >= 0",
+        "exists t. p(t) and q(t)",
+    ];
+    let rounds = if smoke() { 4 } else { 16 };
+    let reg = MetricsRegistry::new();
+    let mut merged = StatsSnapshot::default();
+    for _ in 0..rounds {
+        for src in queries {
+            let f = parse(src).expect("parses");
+            let ctx = ExecContext::serial();
+            run(&cat, &f, QueryOpts::new().ctx(&ctx).metrics(&reg)).expect("query");
+            merged.merge(&ctx.stats());
+        }
+    }
+    let snap = reg.snapshot();
+    assert_eq!(snap.queries, (rounds * queries.len()) as u64);
+    assert_eq!(
+        snap.totals, merged,
+        "registry totals must be the exact sum of per-query snapshots"
+    );
+    let h = &snap.query_wall;
+    let (p50, p90, p99) = (h.percentile(0.50), h.percentile(0.90), h.percentile(0.99));
+    assert!(p50 <= p90 && p90 <= p99, "percentiles must be monotone");
+    let slowest = snap
+        .slow_by_time
+        .first()
+        .map(|e| e.query.clone())
+        .unwrap_or_default();
+    println!("| queries observed | p50 | p90 | p99 | slowest query |");
+    println!("|---|---|---|---|---|");
+    println!(
+        "| {} | {} | {} | {} | `{slowest}` |",
+        snap.queries,
+        fmt_duration(Duration::from_nanos(p50)),
+        fmt_duration(Duration::from_nanos(p90)),
+        fmt_duration(Duration::from_nanos(p99)),
+    );
+    jsonout::counters(
+        "latency_percentiles",
+        &[
+            ("p50_ns", p50),
+            ("p90_ns", p90),
+            ("p99_ns", p99),
+            ("queries", snap.queries),
+        ],
+    );
+    let prom = snap.to_prometheus();
+    match std::fs::write("BENCH_metrics.prom", &prom) {
+        Ok(()) => println!(
+            "\nPrometheus rendering: BENCH_metrics.prom ({} lines).",
+            prom.lines().count()
+        ),
+        Err(e) => println!("\ncould not write BENCH_metrics.prom: {e}"),
+    }
+
+    // Observation overhead on a tiny query, attached vs. detached,
+    // interleaved minimums (see the compaction section for the rationale).
+    let mut tiny = MemoryCatalog::new();
+    let mut small = GenRelation::empty(Schema::new(1, 0));
+    for r in 0..6 {
+        small
+            .push(GenTuple::unconstrained(
+                vec![Lrp::new(r, 6).expect("valid")],
+                vec![],
+            ))
+            .expect("schema");
+    }
+    tiny.insert("s", small);
+    let f = parse("s(t) and s(t)").expect("parses");
+    let overhead_reg = MetricsRegistry::new();
+    let exec = |metrics: bool| {
+        let ctx = ExecContext::serial();
+        let opts = QueryOpts::new().ctx(&ctx);
+        let opts = if metrics {
+            opts.metrics(&overhead_reg)
+        } else {
+            opts
+        };
+        run(&tiny, &f, opts).expect("query");
+    };
+    let many = |metrics: bool| {
+        for _ in 0..64 {
+            exec(metrics);
+        }
+    };
+    many(true); // warmup (also fills the slow-log so steady state is measured)
+    let reps = if smoke() { 5 } else { 15 };
+    let mut off = Duration::MAX;
+    let mut on = Duration::MAX;
+    for _ in 0..reps {
+        off = off.min(time_once(|| many(false)).0);
+        on = on.min(time_once(|| many(true)).0);
+    }
+    let overhead = on.as_secs_f64() / off.as_secs_f64().max(1e-9) - 1.0;
+    println!(
+        "\nregistry overhead (tiny query): {} detached vs {} attached ({:+.2}%).",
+        fmt_duration(off),
+        fmt_duration(on),
+        100.0 * overhead
+    );
+    assert!(
+        smoke() || overhead < 0.05,
+        "observing a query must cost < 5%, got {:+.2}%",
+        100.0 * overhead
+    );
+    jsonout::counters(
+        "registry_overhead",
+        &[(
+            "overhead_percent_x100",
+            (overhead * 10_000.0).max(0.0) as u64,
+        )],
+    );
+}
+
 fn main() {
     let smoke_flag = std::env::args().any(|a| a == "--smoke");
     SMOKE.set(smoke_flag).expect("set once");
@@ -1447,6 +1605,7 @@ fn main() {
     compaction_effectiveness();
     executor_stats();
     trace_overhead();
+    metrics_registry();
     match jsonout::write("BENCH_report.json", build, smoke_flag) {
         Ok(()) => println!("\nmachine-readable copy: BENCH_report.json"),
         Err(e) => println!("\ncould not write BENCH_report.json: {e}"),

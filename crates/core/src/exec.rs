@@ -343,6 +343,39 @@ impl StatsSnapshot {
             mine.nanos += theirs.nanos;
         }
     }
+
+    /// The counters this snapshot added on top of `before` (saturating,
+    /// field by field) — what one evaluation contributed to a shared
+    /// context. `max_period` keeps `self`'s value: maxima do not
+    /// difference.
+    pub fn delta_since(&self, before: &StatsSnapshot) -> StatsSnapshot {
+        let mut out = self.clone();
+        for (mine, prior) in out.ops.iter_mut().zip(&before.ops) {
+            mine.calls = mine.calls.saturating_sub(prior.calls);
+            mine.tuples_in = mine.tuples_in.saturating_sub(prior.tuples_in);
+            mine.tuples_out = mine.tuples_out.saturating_sub(prior.tuples_out);
+            mine.pairs = mine.pairs.saturating_sub(prior.pairs);
+            mine.empties_pruned = mine.empties_pruned.saturating_sub(prior.empties_pruned);
+            mine.index_probes = mine.index_probes.saturating_sub(prior.index_probes);
+            mine.index_pruned = mine.index_pruned.saturating_sub(prior.index_pruned);
+            mine.atoms_simplified = mine.atoms_simplified.saturating_sub(prior.atoms_simplified);
+            mine.tuples_subsumed = mine.tuples_subsumed.saturating_sub(prior.tuples_subsumed);
+            mine.coalesce_merges = mine.coalesce_merges.saturating_sub(prior.coalesce_merges);
+            mine.intern_hits = mine.intern_hits.saturating_sub(prior.intern_hits);
+            mine.nanos = mine.nanos.saturating_sub(prior.nanos);
+        }
+        out
+    }
+
+    /// A copy with every wall-time field zeroed — the only counters that
+    /// vary run to run — for replay-determinism comparisons.
+    pub fn without_timing(&self) -> StatsSnapshot {
+        let mut out = self.clone();
+        for op in out.ops.iter_mut() {
+            op.nanos = 0;
+        }
+        out
+    }
 }
 
 impl fmt::Display for StatsSnapshot {

@@ -68,6 +68,7 @@ mod value;
 
 pub mod exec;
 pub mod index;
+pub mod metrics;
 pub mod ops;
 pub mod trace;
 
@@ -75,14 +76,18 @@ pub use enumerate::ConcreteTuple;
 pub use error::CoreError;
 pub use exec::{ExecContext, OpKind, OpSnapshot, StatsSnapshot};
 pub use index::RelationIndex;
+pub use metrics::{
+    Histogram, HistogramSnapshot, MetricsRegistry, QueryObservation, QueryResourceReport,
+    RegistrySnapshot, ResourceCollector, SlowQueryEntry,
+};
 pub use normalize::grid_view;
 #[allow(deprecated)]
 pub use relation::GenRelationBuilder;
 pub use relation::{GenRelation, RelationBuilder};
 pub use schema::Schema;
 pub use store::{
-    resolve_value, storage_stats, Columns, DataColumn, RowRef, Rows, StorageStats, TemporalColumn,
-    TemporalPartId, ValueId,
+    resolve_value, storage_stats, storage_stats_reset, Columns, DataColumn, RowRef, Rows,
+    StorageStats, TemporalColumn, TemporalPartId, ValueId,
 };
 pub use trace::{NodeSpan, Span, SpanLabel, Trace};
 pub use tuple::{GenTuple, GenTupleBuilder};

@@ -97,6 +97,9 @@ struct ArenaInner<T> {
     ids: HashMap<T, u32>,
     lookups: u64,
     hits: u64,
+    /// Estimated bytes of distinct interned payload (see
+    /// [`StorageStats::value_bytes`] / [`StorageStats::part_bytes`]).
+    bytes: u64,
 }
 
 impl<T> ArenaInner<T> {
@@ -106,6 +109,7 @@ impl<T> ArenaInner<T> {
             ids: HashMap::new(),
             lookups: 0,
             hits: 0,
+            bytes: 0,
         }
     }
 }
@@ -123,6 +127,25 @@ fn parts() -> &'static Mutex<ArenaInner<Arc<TemporalPart>>> {
     PARTS.get_or_init(|| Mutex::new(ArenaInner::new()))
 }
 
+/// Estimated payload bytes of one interned value: the inline enum plus
+/// any owned string bytes.
+fn value_payload_bytes(v: &Value) -> u64 {
+    let owned = match v {
+        Value::Str(s) => s.len(),
+        _ => 0,
+    };
+    (std::mem::size_of::<Value>() + owned) as u64
+}
+
+/// Estimated payload bytes of one interned temporal part: the struct, its
+/// lrp vector, and the `(arity + 1)²` difference-bound matrix.
+fn part_payload_bytes(part: &TemporalPart) -> u64 {
+    let dim = part.cons.arity() + 1;
+    (std::mem::size_of::<TemporalPart>()
+        + part.lrps.len() * std::mem::size_of::<Lrp>()
+        + dim * dim * std::mem::size_of::<itd_constraint::Bound>()) as u64
+}
+
 /// Interns one value, returning its canonical id.
 fn intern_value(inner: &mut ArenaInner<Value>, v: &Value) -> ValueId {
     inner.lookups += 1;
@@ -131,6 +154,7 @@ fn intern_value(inner: &mut ArenaInner<Value>, v: &Value) -> ValueId {
         return ValueId(NonZeroU32::new(raw).expect("stored ids are nonzero"));
     }
     let id = ValueId::from_index(inner.arena.len());
+    inner.bytes += value_payload_bytes(v);
     inner.arena.push(v.clone());
     inner.ids.insert(v.clone(), id.get());
     id
@@ -149,6 +173,7 @@ fn intern_part(
         return (id, Arc::clone(&inner.arena[id.index()]));
     }
     let id = TemporalPartId::from_index(inner.arena.len());
+    inner.bytes += part_payload_bytes(part);
     inner.arena.push(Arc::clone(part));
     inner.ids.insert(Arc::clone(part), id.get());
     (id, Arc::clone(part))
@@ -178,7 +203,7 @@ pub(crate) fn lookup_value(v: &Value) -> Option<ValueId> {
 /// insertions happen under one lock, so the interner is deterministic in
 /// the same sense as `crate::intern`: totals depend only on the multiset
 /// of interned keys, never on thread scheduling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StorageStats {
     /// Value-arena lookups (interning attempts) so far.
     pub value_lookups: u64,
@@ -186,53 +211,122 @@ pub struct StorageStats {
     pub value_hits: u64,
     /// Distinct values interned.
     pub value_distinct: u64,
+    /// Estimated bytes of distinct value payload (inline enum + owned
+    /// string bytes).
+    pub value_bytes: u64,
     /// Part-arena lookups (interning attempts) so far.
     pub part_lookups: u64,
     /// Part-arena lookups that found an existing entry.
     pub part_hits: u64,
     /// Distinct temporal parts interned.
     pub part_distinct: u64,
+    /// Estimated bytes of distinct part payload (struct + lrp vector +
+    /// difference-bound matrix).
+    pub part_bytes: u64,
     /// Residue indexes built from scratch on some relation store.
     pub index_builds: u64,
     /// Operator calls served by an already-built persistent index.
     pub index_reuses: u64,
 }
 
-/// Reads the global storage counters. Each arena is snapshotted under its
-/// own lock, so the per-arena invariant `lookups − hits == distinct`
-/// holds even while other threads keep interning.
-pub fn storage_stats() -> StorageStats {
-    let (value_lookups, value_hits, value_distinct) = {
+impl StorageStats {
+    /// `self − before`, field by field (saturating). The per-arena
+    /// invariant `lookups − hits == distinct` survives subtraction of an
+    /// earlier snapshot because every counter is monotone.
+    fn delta_since(&self, before: &StorageStats) -> StorageStats {
+        StorageStats {
+            value_lookups: self.value_lookups.saturating_sub(before.value_lookups),
+            value_hits: self.value_hits.saturating_sub(before.value_hits),
+            value_distinct: self.value_distinct.saturating_sub(before.value_distinct),
+            value_bytes: self.value_bytes.saturating_sub(before.value_bytes),
+            part_lookups: self.part_lookups.saturating_sub(before.part_lookups),
+            part_hits: self.part_hits.saturating_sub(before.part_hits),
+            part_distinct: self.part_distinct.saturating_sub(before.part_distinct),
+            part_bytes: self.part_bytes.saturating_sub(before.part_bytes),
+            index_builds: self.index_builds.saturating_sub(before.index_builds),
+            index_reuses: self.index_reuses.saturating_sub(before.index_reuses),
+        }
+    }
+}
+
+/// Baseline subtracted from every [`storage_stats`] read; set by
+/// [`storage_stats_reset`]. `None` (the default) means raw process
+/// totals.
+static STATS_BASELINE: Mutex<Option<StorageStats>> = Mutex::new(None);
+
+/// Reads the raw process-lifetime counters, ignoring any baseline.
+fn raw_storage_stats() -> StorageStats {
+    let (value_lookups, value_hits, value_distinct, value_bytes) = {
         let inner = values().lock().expect("value arena poisoned");
-        (inner.lookups, inner.hits, inner.arena.len() as u64)
+        (
+            inner.lookups,
+            inner.hits,
+            inner.arena.len() as u64,
+            inner.bytes,
+        )
     };
-    let (part_lookups, part_hits, part_distinct) = {
+    let (part_lookups, part_hits, part_distinct, part_bytes) = {
         let inner = parts().lock().expect("part arena poisoned");
-        (inner.lookups, inner.hits, inner.arena.len() as u64)
+        (
+            inner.lookups,
+            inner.hits,
+            inner.arena.len() as u64,
+            inner.bytes,
+        )
     };
     StorageStats {
         value_lookups,
         value_hits,
         value_distinct,
+        value_bytes,
         part_lookups,
         part_hits,
         part_distinct,
+        part_bytes,
         index_builds: INDEX_BUILDS.load(Ordering::Relaxed),
         index_reuses: INDEX_REUSES.load(Ordering::Relaxed),
     }
+}
+
+/// Reads the global storage counters. Each arena is snapshotted under its
+/// own lock, so the per-arena invariant `lookups − hits == distinct`
+/// holds even while other threads keep interning.
+///
+/// After [`storage_stats_reset`], the counters are *deltas* since the
+/// reset (the arenas themselves are untouched — only the zero point
+/// moves).
+pub fn storage_stats() -> StorageStats {
+    let raw = raw_storage_stats();
+    match *STATS_BASELINE.lock().expect("stats baseline poisoned") {
+        Some(base) => raw.delta_since(&base),
+        None => raw,
+    }
+}
+
+/// Re-zeros [`storage_stats`] at the current counter values, so tests and
+/// bench sections can measure per-window deltas instead of
+/// process-lifetime totals.
+///
+/// The interning arenas themselves are deliberately **not** cleared —
+/// outstanding [`ValueId`]s/[`TemporalPartId`]s must never dangle — so
+/// this is measurement-only. Intended for tests and benchmarks; resetting
+/// while concurrent queries run simply moves their deltas' zero point.
+pub fn storage_stats_reset() {
+    let raw = raw_storage_stats();
+    *STATS_BASELINE.lock().expect("stats baseline poisoned") = Some(raw);
 }
 
 impl fmt::Display for StorageStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "value arena: {} distinct / {} lookups ({} hits)",
-            self.value_distinct, self.value_lookups, self.value_hits
+            "value arena: {} distinct / {} lookups ({} hits, ~{} bytes)",
+            self.value_distinct, self.value_lookups, self.value_hits, self.value_bytes
         )?;
         writeln!(
             f,
-            "part arena:  {} distinct / {} lookups ({} hits)",
-            self.part_distinct, self.part_lookups, self.part_hits
+            "part arena:  {} distinct / {} lookups ({} hits, ~{} bytes)",
+            self.part_distinct, self.part_lookups, self.part_hits, self.part_bytes
         )?;
         write!(
             f,

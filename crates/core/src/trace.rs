@@ -386,6 +386,55 @@ impl Trace {
         StatsSnapshot { ops }
     }
 
+    /// Folds the span tree into flamegraph *collapsed stack* lines — one
+    /// `frame;frame;frame self_nanos` line per distinct root-to-span
+    /// path with nonzero self time, merged and sorted lexicographically
+    /// (the format `inferno` / `flamegraph.pl` consume).
+    ///
+    /// Self time is a span's wall time minus its direct children's, so
+    /// the lines sum back to the roots' total wall time. Frame names are
+    /// the span labels with `;` (the stack separator) and newlines
+    /// replaced; spaces are legal because the sample value follows the
+    /// *last* space.
+    pub fn to_folded(&self) -> String {
+        fn frame(span: &Span) -> String {
+            span.label
+                .name()
+                .chars()
+                .map(|c| match c {
+                    ';' => ':',
+                    '\n' | '\r' => ' ',
+                    c => c,
+                })
+                .collect()
+        }
+        let mut stacks: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for span in &self.spans {
+            let children: u64 = self.children(span.id).map(|c| c.nanos).sum();
+            let self_nanos = span.nanos.saturating_sub(children);
+            if self_nanos == 0 {
+                continue;
+            }
+            let mut frames = vec![frame(span)];
+            let mut at = span.parent;
+            while let Some(p) = at {
+                let parent = &self.spans[p as usize];
+                frames.push(frame(parent));
+                at = parent.parent;
+            }
+            frames.reverse();
+            *stacks.entry(frames.join(";")).or_insert(0) += self_nanos;
+        }
+        let mut out = String::new();
+        for (stack, nanos) in stacks {
+            out.push_str(&stack);
+            out.push(' ');
+            out.push_str(&nanos.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
     /// Renders the span tree as indented text (the `\trace` REPL view and
     /// the EXPLAIN ANALYZE annotation).
     pub fn render_tree(&self) -> String {
@@ -544,7 +593,7 @@ fn span_json(out: &mut String, span: &Span) {
 }
 
 /// Writes `s` as a JSON string literal (quotes included).
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -1,8 +1,9 @@
 //! The database: a catalog of named tables.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use itd_core::{ExecContext, GenRelation, Value};
+use itd_core::{ExecContext, GenRelation, MetricsRegistry, Value};
 use itd_query::{Catalog, Formula, QueryOpts, QueryOutput, QueryResult};
 use serde::{Deserialize, Serialize};
 
@@ -12,9 +13,37 @@ use crate::Result;
 
 /// A temporal database: named tables of generalized relations, queryable
 /// with the two-sorted first-order language.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Every database owns a cross-query [`MetricsRegistry`]
+/// ([`Database::metrics`]): [`Database::run`] reports each query to it
+/// unless the caller attached a different registry via
+/// [`QueryOpts::metrics`]. Clones share the registry (it is measurement
+/// state, not data), and persistence ignores it — a loaded database
+/// starts with a fresh one.
+#[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+// Hand-written (de)serialization: byte-compatible with what
+// `#[derive(Serialize, Deserialize)]` produced before the registry field
+// existed — the registry is runtime measurement state and is never
+// persisted.
+impl Serialize for Database {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![("tables".to_owned(), self.tables.to_content())])
+    }
+}
+
+impl Deserialize for Database {
+    fn from_content(c: &serde::Content) -> std::result::Result<Self, serde::de::DeError> {
+        let entries = serde::de::as_struct_map(c, "Database")?;
+        Ok(Database {
+            tables: serde::de::field(entries, "tables", "Database")?,
+            metrics: Arc::default(),
+        })
+    }
 }
 
 impl Database {
@@ -75,6 +104,15 @@ impl Database {
         self.tables.keys().map(String::as_str).collect()
     }
 
+    /// The database's cross-query metrics registry. Every query run
+    /// through [`Database::run`]/[`Database::run_formula`] lands here
+    /// (unless the caller attached another registry); snapshot it for
+    /// latency percentiles, cumulative counters, resource gauges, and the
+    /// slow-query log.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Parses and evaluates a query under [`QueryOpts`] — the single
     /// entry point behind the old `query*`/`ask` family. The returned
     /// [`QueryOutput`] carries the answer relation, the executed plan,
@@ -102,7 +140,7 @@ impl Database {
     /// # Errors
     /// See [`Database::run`].
     pub fn run_formula(&self, f: &Formula, opts: QueryOpts<'_>) -> Result<QueryOutput> {
-        itd_query::run(self, f, opts).map_err(DbError::Query)
+        itd_query::run(self, f, opts.metrics_default(&self.metrics)).map_err(DbError::Query)
     }
 
     /// Parses and evaluates an open query; the result carries one column

@@ -175,7 +175,20 @@ impl ReplSession {
             "\\optimize" | "optimize" => self.optimize_cmd(rest).map(Some),
             "\\compact" | "compact" => self.compact_cmd(rest).map(Some),
             "\\trace" | "trace" => self.trace(rest).map(Some),
-            "\\metrics" | "metrics" => Ok(Some(self.stats.to_prometheus())),
+            "\\flame" | "flame" => self.flame(rest).map(Some),
+            "\\metrics" | "metrics" => Ok(Some(self.db.metrics().snapshot().to_prometheus())),
+            "\\top" | "top" => Ok(Some(self.db.metrics().snapshot().render_top())),
+            "\\slowlog" | "slowlog" => {
+                let snap = self.db.metrics().snapshot();
+                match rest {
+                    "json" => Ok(Some(snap.slow_json_lines())),
+                    "" => Ok(Some(snap.render_slowlog())),
+                    other => Err(DbError::IncompleteTuple {
+                        detail: format!("unrecognized `\\slowlog` argument `{other}` (try `help`)"),
+                    }),
+                }
+            }
+            "\\histo" | "histo" => Ok(Some(self.db.metrics().snapshot().render_histograms())),
             "\\storage" | "storage" => Ok(Some(itd_core::storage_stats().to_string())),
             "\\stats" | "stats" => match rest {
                 "reset" => {
@@ -412,6 +425,31 @@ impl ReplSession {
             }),
         }
     }
+
+    /// `\flame <path>` — folds the last recorded trace into flamegraph
+    /// collapsed-stack lines and writes them to `path` (feed the file to
+    /// `inferno-flamegraph` or `flamegraph.pl`).
+    fn flame(&mut self, rest: &str) -> Result<String> {
+        let path = rest.trim();
+        if path.is_empty() {
+            return Err(DbError::IncompleteTuple {
+                detail: "expected `\\flame <path>`".into(),
+            });
+        }
+        let trace = self
+            .last_trace
+            .as_ref()
+            .ok_or_else(|| DbError::IncompleteTuple {
+                detail: "no trace recorded yet (`\\trace on`, then run a query)".into(),
+            })?;
+        let folded = trace.to_folded();
+        let lines = folded.lines().count();
+        std::fs::write(path, folded)
+            .map_err(|e| DbError::serde_caused_by(format!("cannot write {path}"), e))?;
+        Ok(format!(
+            "wrote {lines} collapsed stack(s) to {path} (render with inferno-flamegraph or flamegraph.pl)"
+        ))
+    }
 }
 
 const HELP: &str = "\
@@ -438,7 +476,15 @@ commands:
                                  bare \\trace shows the last recorded tree
   \\trace json                    export the last trace as JSON lines
   \\trace chrome <path>           export it in Chrome trace-event format
-  \\metrics                       Prometheus text rendering of the counters
+  \\flame <path>                  export the last trace as flamegraph
+                                 collapsed stacks (inferno / flamegraph.pl)
+  \\metrics                       Prometheus text rendering of the database's
+                                 cross-query metrics registry
+  \\top                           registry summary: latency/pairs/rows
+                                 percentiles and per-op wall-time table
+  \\slowlog [json]                worst queries by wall time and by pairs
+                                 (bounded log; `json` exports JSON lines)
+  \\histo                         ASCII latency/pairs/rows histograms
   \\storage                       global columnar-store statistics (value and
                                  temporal-part interner arenas, residue-index
                                  builds vs cache reuses)
@@ -657,6 +703,59 @@ mod tests {
         );
         // `metrics` spelling without the backslash also works.
         assert_eq!(run(&mut s, "metrics"), metrics);
+        // Registry-level families appear too (the rendering subsumes the
+        // per-query exporter).
+        assert!(
+            metrics.contains("# TYPE itd_queries_total counter"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("# TYPE itd_query_wall_seconds histogram"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn registry_commands_and_flame() {
+        let mut s = ReplSession::new();
+        run(&mut s, "create ev(t)");
+        run(&mut s, "insert ev lrp t 0 2");
+        run(&mut s, "ask ev(4)");
+        run(&mut s, "query ev(t) and t >= 0");
+        let top = run(&mut s, "\\top");
+        assert!(top.contains("queries observed"), "{top}");
+        assert!(top.contains("wall time"), "{top}");
+        let slow = run(&mut s, "\\slowlog");
+        assert!(slow.contains("worst by wall time"), "{slow}");
+        assert!(slow.contains("worst by pairs"), "{slow}");
+        assert!(slow.contains("ev"), "{slow}");
+        let json = run(&mut s, "\\slowlog json");
+        assert!(json.lines().all(|l| l.starts_with("{\"rank\":")), "{json}");
+        let histo = run(&mut s, "\\histo");
+        assert!(histo.contains("query wall time"), "{histo}");
+        assert!(s.execute("\\slowlog nope").is_err());
+
+        // `\flame` needs a recorded trace first.
+        assert!(s.execute("\\flame out.folded").is_err());
+        assert!(s.execute("\\flame").is_err());
+        run(&mut s, "\\trace on");
+        run(&mut s, "ask ev(4)");
+        let dir = std::env::temp_dir().join("itd_repl_flame_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.folded");
+        let msg = run(&mut s, &format!("\\flame {}", path.display()));
+        assert!(msg.contains("collapsed stack"), "{msg}");
+        let folded = std::fs::read_to_string(&path).unwrap();
+        assert!(!folded.is_empty(), "folded output must not be empty");
+        for line in folded.lines() {
+            // Collapsed-stack convention: `frame;frame;... value` with the
+            // sample value after the last space.
+            let (stack, value) = line.rsplit_once(' ').expect("frame and value");
+            assert!(!stack.is_empty(), "{line}");
+            assert!(!stack.contains('\n'));
+            value.parse::<u64>().expect("numeric sample value");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

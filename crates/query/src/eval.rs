@@ -8,10 +8,13 @@
 //! performs exactly the algebra operations the direct recursive evaluator
 //! used to — same operators, same order, same traced spans.
 
+use std::cell::Cell;
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 use itd_core::{
-    Atom, CoreError, ExecContext, GenRelation, GenTuple, Lrp, Schema, StatsSnapshot, Trace, Value,
+    Atom, CoreError, ExecContext, GenRelation, GenTuple, Lrp, MetricsRegistry, QueryObservation,
+    QueryResourceReport, ResourceCollector, Schema, StatsSnapshot, Trace, Value,
 };
 
 use crate::ast::{CmpOp, DataTerm, Formula, TemporalTerm};
@@ -79,6 +82,7 @@ impl QueryResult {
 #[derive(Debug, Clone, Copy)]
 pub struct QueryOpts<'a> {
     ctx: Option<&'a ExecContext>,
+    metrics: Option<&'a MetricsRegistry>,
     trace: bool,
     optimize: bool,
     compact: bool,
@@ -88,6 +92,7 @@ impl Default for QueryOpts<'_> {
     fn default() -> Self {
         QueryOpts {
             ctx: None,
+            metrics: None,
             trace: false,
             optimize: true,
             compact: true,
@@ -106,6 +111,24 @@ impl<'a> QueryOpts<'a> {
     /// counters) instead of a fresh one.
     pub fn ctx(mut self, ctx: &'a ExecContext) -> Self {
         self.ctx = Some(ctx);
+        self
+    }
+
+    /// Report this query to a cross-query [`MetricsRegistry`] when it
+    /// finishes: wall time, per-op counters (this query's delta only, even
+    /// on a shared context), and its [`QueryResourceReport`].
+    pub fn metrics(mut self, registry: &'a MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Attach `registry` only if no registry is attached yet — how
+    /// `Database::run` injects its own registry without overriding an
+    /// explicit caller choice.
+    pub fn metrics_default(mut self, registry: &'a MetricsRegistry) -> Self {
+        if self.metrics.is_none() {
+            self.metrics = Some(registry);
+        }
         self
     }
 
@@ -154,6 +177,10 @@ pub struct QueryOutput {
     /// The recorded span tree; `Some` exactly when [`QueryOpts::trace`]
     /// was on and the context captured spans.
     pub trace: Option<Trace>,
+    /// Resource accounting for this evaluation: peak live intermediate
+    /// rows, tuples allocated, and arena/cache deltas over the query's
+    /// execution window.
+    pub resources: QueryResourceReport,
 }
 
 impl QueryOutput {
@@ -231,12 +258,30 @@ pub fn run(catalog: &impl Catalog, formula: &Formula, opts: QueryOpts<'_>) -> Re
             crate::opt::annotate(catalog, &mut plan);
         }
     }
-    let result = exec_plan(catalog, &f, &plan, ctx)?;
+    let before = ctx.stats();
+    let collector = ResourceCollector::start();
+    let started = Instant::now();
+    let (result, peak_rows) = exec_plan(catalog, &f, &plan, ctx)?;
+    let wall_nanos = started.elapsed().as_nanos() as u64;
+    let delta = ctx.stats().delta_since(&before);
+    let resources = collector.finish(peak_rows, &delta);
+    if let Some(registry) = opts.metrics {
+        // Rendering is deferred: the registry calls back only if this
+        // query actually enters the slow-query log.
+        let render = || (f.to_string(), plan.render());
+        registry.observe_query(QueryObservation {
+            render: &render,
+            wall_nanos,
+            stats: &delta,
+            resources: &resources,
+        });
+    }
     let trace = if opts.trace { ctx.take_trace() } else { None };
     Ok(QueryOutput {
         result,
         plan,
         trace,
+        resources,
     })
 }
 
@@ -248,21 +293,24 @@ fn exec_plan(
     f: &Formula,
     plan: &Plan,
     ctx: &ExecContext,
-) -> Result<QueryResult> {
+) -> Result<(QueryResult, u64)> {
     let mut adom: BTreeSet<Value> = catalog.active_domain();
     collect_constants(f, &mut adom);
     let env = Env {
         catalog,
         adom: adom.into_iter().collect(),
         ctx,
+        live_rows: Cell::new(0),
+        peak_rows: Cell::new(0),
     };
     let ev = env.exec(plan.root())?;
-    Ok(QueryResult {
+    let result = QueryResult {
         relation: ev.rel,
         temporal_vars: ev.tvars,
         data_vars: ev.dvars,
         stats: ctx.stats(),
-    })
+    };
+    Ok((result, env.peak_rows.get()))
 }
 
 /// Evaluates a formula over a catalog, returning the answer relation with
@@ -454,6 +502,12 @@ struct Env<'a, C: Catalog> {
     catalog: &'a C,
     adom: Vec<Value>,
     ctx: &'a ExecContext,
+    /// Rows of plan-node outputs currently alive (the driver walks the
+    /// plan single-threaded, so plain `Cell`s suffice).
+    live_rows: Cell<u64>,
+    /// High-water mark of `live_rows`; tuple counts are bit-identical at
+    /// any thread count, so this is deterministic too.
+    peak_rows: Cell<u64>,
 }
 
 impl<C: Catalog> Env<'_, C> {
@@ -494,8 +548,17 @@ impl<C: Catalog> Env<'_, C> {
     /// EXPLAIN ANALYZE joins plan and trace on.
     fn exec(&self, n: &PlanNode) -> Result<Ev> {
         let span = self.ctx.plan_span(n.id, || n.label.clone());
+        let before = self.live_rows.get();
         let ev = self.exec_arm(n)?;
-        span.set_tuples_out(ev.rel.tuple_count() as u64);
+        let out = ev.rel.tuple_count() as u64;
+        // While the operator ran, its children's outputs were still live
+        // (`live_rows` is now `before` + their row counts); this node's
+        // output coexists with them for a moment before they are dropped,
+        // so that sum is the node's contribution to the high-water mark.
+        let high = self.live_rows.get() + out;
+        self.peak_rows.set(self.peak_rows.get().max(high));
+        self.live_rows.set(before + out);
+        span.set_tuples_out(out);
         Ok(ev)
     }
 

@@ -71,7 +71,10 @@ pub use eval::{
     evaluate_with,
 };
 pub use eval::{run, QueryOpts, QueryOutput, QueryResult, Traced};
-pub use itd_core::{ExecContext, OpKind, OpSnapshot, Span, SpanLabel, StatsSnapshot, Trace};
+pub use itd_core::{
+    ExecContext, MetricsRegistry, OpKind, OpSnapshot, QueryResourceReport, RegistrySnapshot,
+    SlowQueryEntry, Span, SpanLabel, StatsSnapshot, Trace,
+};
 pub use parser::parse;
 pub use plan::{
     explain, explain_opt, explain_opt_with, CostEstimate, ExplainReport, Plan, PlanNode, PlanOp,
