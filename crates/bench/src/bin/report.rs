@@ -873,8 +873,13 @@ fn index_effectiveness() {
     });
 
     // The CRT memo behind Lrp::intersect, warmed by everything above.
+    // Measured over the row path: the default kernel would answer this
+    // pair from the global outcome cache (the runs above populated it)
+    // without ever reaching `Lrp::intersect`.
     itd_lrp::crt_cache_reset();
-    let _ = a.intersect(&b).expect("intersect");
+    let _ = a
+        .intersect_rowpath_in(&b, &ExecContext::serial())
+        .expect("intersect");
     let cache = itd_lrp::crt_cache_stats();
     println!(
         "\nCRT cache over one indexed intersection: {} hits, {} misses (capacity {}).",
@@ -1008,6 +1013,163 @@ fn columnar_storage() {
             ("index_builds", build_delta),
             ("warm_nanos", warm.as_nanos() as u64),
             ("cold_nanos", cold.as_nanos() as u64),
+        ],
+    );
+}
+
+/// The acceptance gate for the columnar batch kernels and the caches
+/// layered on them. Three claims are measured and asserted:
+///
+/// 1. Bit-identity — on the Table 2 workloads (m = 2, k = 6 random
+///    relations), the batch kernels behind `intersect_in` /
+///    `difference_in` / `join_on_in` produce the same relation as the
+///    retained row-at-a-time twins at 1, 2, and 8 threads.
+/// 2. Speedup — with the global pairwise-outcome cache warm, the median
+///    kernel timing must beat the row path by ≥ 1.5× on at least one of
+///    the three operations (in practice the warm intersection, which
+///    skips every surviving conjoin).
+/// 3. Plan cache — a repeated `run()` of the same source text must be
+///    served from the prepared-plan cache (`plan_cached`, hit counters)
+///    and never change the answer.
+fn batch_kernels() {
+    println!("\n## Batch kernels & persistent caches (Table 2 workloads)\n");
+    jsonout::begin_section("batch_kernels");
+    use itd_core::{storage_stats, ExecContext};
+
+    let n = if smoke() { 64 } else { 192 };
+    let a = random_relation(&spec(n, 2, 6), 42);
+    let b = random_relation(&spec(n, 2, 6), 4242);
+
+    println!("| operation | row path | batch kernel (warm cache) | speedup | outcome-cache hits/rep | identical at 1/2/8 threads |");
+    println!("|---|---|---|---|---|---|");
+
+    type Runner<'x> = Box<dyn Fn(&ExecContext) -> GenRelation + 'x>;
+    let ops: Vec<(&'static str, bool, Runner<'_>, Runner<'_>)> = vec![
+        (
+            "intersection",
+            true,
+            Box::new(|ctx: &ExecContext| a.intersect_in(&b, ctx).expect("intersect")),
+            Box::new(|ctx: &ExecContext| a.intersect_rowpath_in(&b, ctx).expect("intersect")),
+        ),
+        (
+            "join",
+            true,
+            Box::new(|ctx| a.join_on_in(&b, &[(0, 0)], &[], ctx).expect("join")),
+            Box::new(|ctx| a.join_on_rowpath_in(&b, &[(0, 0)], &[], ctx).expect("join")),
+        ),
+        (
+            "difference",
+            false, // pair outcomes are not cacheable; the kernel's win is the batch filter
+            Box::new(|ctx| a.difference_in(&b, ctx).expect("difference")),
+            Box::new(|ctx| a.difference_rowpath_in(&b, ctx).expect("difference")),
+        ),
+    ];
+
+    let mut best: (&str, f64) = ("", 0.0);
+    for (name, cached, kernel, rowpath) in &ops {
+        // Bit-identity first; these runs double as cache warmup (row
+        // cache for the row path, outcome cache for the kernel).
+        let reference = rowpath(&ExecContext::serial());
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                kernel(&ExecContext::with_threads(threads)),
+                reference,
+                "{name} kernel must be bit-identical to the row path at {threads} threads"
+            );
+        }
+        let ctx = ExecContext::serial();
+        let (row, _) = time_median(REPS, || rowpath(&ctx));
+        let before = storage_stats();
+        let (krn, _) = time_median(REPS, || kernel(&ctx));
+        let hits = storage_stats().delta_since(&before).outcome_hits;
+        if *cached {
+            assert!(
+                hits > 0,
+                "{name}: the warm kernel must be served by the outcome cache"
+            );
+        }
+        let speedup = row.as_secs_f64() / krn.as_secs_f64().max(1e-9);
+        if speedup > best.1 {
+            best = (name, speedup);
+        }
+        println!(
+            "| {name} | {} | {} | ×{speedup:.1} | {} | true |",
+            fmt_duration(row),
+            fmt_duration(krn),
+            hits / REPS as u64,
+        );
+        jsonout::counters(
+            name,
+            &[
+                ("rowpath_nanos", row.as_nanos() as u64),
+                ("kernel_nanos", krn.as_nanos() as u64),
+                ("speedup_x1000", (speedup * 1000.0) as u64),
+                ("outcome_hits", hits),
+            ],
+        );
+    }
+    assert!(
+        best.1 >= 1.5,
+        "the batch kernels must beat the row path by ≥ 1.5× on at least \
+         one Table 2 operation (best: {} at ×{:.2})",
+        best.0,
+        best.1
+    );
+    println!(
+        "\nbest kernel speedup: ×{:.1} ({}); asserted ≥ 1.5×.",
+        best.1, best.0
+    );
+    jsonout::counters(
+        "kernel_speedup",
+        &[("best_speedup_x1000", (best.1 * 1000.0) as u64)],
+    );
+
+    // -- prepared-plan cache ----------------------------------------------
+    use itd_query::{run_src, MemoryCatalog, QueryOpts};
+    let mut cat = MemoryCatalog::new();
+    cat.insert(
+        "p",
+        random_relation(&spec(if smoke() { 32 } else { 64 }, 2, 6), 7),
+    );
+    let src = "exists x. exists y. p(x, y) and x <= y + 4";
+    itd_query::plan_cache_clear();
+    let before = itd_query::plan_cache_stats();
+    let (cold_d, cold) = time_once(|| run_src(&cat, src, QueryOpts::new()).expect("query"));
+    let (warm_d, warm) = time_median(REPS, || {
+        run_src(&cat, src, QueryOpts::new()).expect("query")
+    });
+    let stats = itd_query::plan_cache_stats();
+    assert!(!cold.plan_cached, "the first run must prepare the plan");
+    assert!(warm.plan_cached, "repeated runs must hit the plan cache");
+    assert_eq!(
+        cold.result.relation, warm.result.relation,
+        "the cached plan must not change the answer"
+    );
+    let hits = stats.hits - before.hits;
+    assert!(
+        hits >= REPS as u64,
+        "every warm run must be a plan-cache hit ({hits} of {REPS})"
+    );
+    assert_eq!(
+        stats.insertions - before.insertions,
+        1,
+        "one preparation must serve every repetition"
+    );
+    let plan_speedup = cold_d.as_secs_f64() / warm_d.as_secs_f64().max(1e-9);
+    println!(
+        "\nplan cache: cold run {} vs warm run {} (×{plan_speedup:.1}), \
+         {hits} hits / 1 insertion; skip verified by counters.",
+        fmt_duration(cold_d),
+        fmt_duration(warm_d),
+    );
+    jsonout::counters(
+        "plan_cache",
+        &[
+            ("cold_nanos", cold_d.as_nanos() as u64),
+            ("warm_nanos", warm_d.as_nanos() as u64),
+            ("speedup_x1000", (plan_speedup * 1000.0) as u64),
+            ("hits", hits),
+            ("insertions", stats.insertions - before.insertions),
         ],
     );
 }
@@ -1601,6 +1763,7 @@ fn main() {
     ablations();
     index_effectiveness();
     columnar_storage();
+    batch_kernels();
     optimizer_effectiveness();
     compaction_effectiveness();
     executor_stats();

@@ -670,6 +670,20 @@ impl ExecContext {
 /// failure the reported error is the one a serial run would hit first
 /// (first failing item of the first failing chunk; earlier chunks hold
 /// earlier items, and within its chunk a worker stops at its first error).
+/// [`run_chunked`] over the row indices `0..n`: chunk boundaries depend
+/// only on the length and thread count, so a columnar caller that never
+/// materializes rows splits work (and concatenates outputs) exactly like
+/// a row-slice caller of the same length — the bit-identity argument
+/// carries over unchanged.
+pub(crate) fn run_chunked_range<U, F>(threads: usize, n: usize, f: F) -> Result<Vec<U>>
+where
+    U: Send,
+    F: Fn(usize) -> Result<Vec<U>> + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    run_chunked(threads, &indices, |&i| f(i))
+}
+
 pub(crate) fn run_chunked<T, U, F>(threads: usize, items: &[T], f: F) -> Result<Vec<U>>
 where
     T: Sync,

@@ -15,19 +15,21 @@
 //! * generalized tuples with unequal data columns never intersect, join,
 //!   or interact under difference at all.
 //!
-//! A [`RelationIndex`] buckets the tuples of one operand by (a) a hash of
-//! the relevant data columns and (b) a per-temporal-column residue
-//! signature `offset mod mᵢ`, where `mᵢ` is a *small-prime-power smooth*
-//! divisor (capped at [`MAX_MODULUS`]) of the gcd of the column's nonzero
-//! periods. Since `mᵢ` divides every indexed period, every indexed tuple
-//! has a well-defined residue — there is no wildcard bucket — and a probe
-//! tuple with period `k` is compatible exactly with the residues congruent
-//! to its own modulo `dᵢ = gcd(mᵢ, k)` (with `dᵢ = mᵢ` for probe points).
+//! A [`RelationIndex`] buckets the tuples of one operand by (a) the
+//! interned [`ValueId`]s of the relevant data columns and (b) a
+//! per-temporal-column residue signature `offset mod mᵢ`, where `mᵢ` is a
+//! *small-prime-power smooth* divisor (capped at [`MAX_MODULUS`]) of the
+//! gcd of the column's nonzero periods. Since `mᵢ` divides every indexed
+//! period, every indexed tuple has a well-defined residue — there is no
+//! wildcard bucket — and a probe tuple with period `k` is compatible
+//! exactly with the residues congruent to its own modulo
+//! `dᵢ = gcd(mᵢ, k)` (with `dᵢ = mᵢ` for probe points).
 //!
-//! Pruning on a hash of the data columns is sound for the same one-sided
-//! reason: equal data implies equal hashes, so differing hashes prove the
-//! pair dead; a hash collision merely lets a doomed pair through to the
-//! full tuple-level check.
+//! Pruning on interned data ids is **exact**, not merely sound: two ids
+//! are equal iff the values are (the arena hash-conses process-wide), so
+//! a data mismatch prunes with no collision leak-through. A probe value
+//! that was never interned anywhere cannot equal any stored value, so
+//! the probe returns no candidates for it.
 //!
 //! # Determinism
 //!
@@ -38,14 +40,12 @@
 //! [`run_chunked`](crate::exec), indexed results are bit-identical to the
 //! naive pairwise path at any thread count.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 
 use itd_numth::gcd;
 
+use crate::store::{intern_value_global, lookup_value, RelStore, ValueId};
 use crate::tuple::GenTuple;
-use crate::Value;
 
 /// Cap on a column's index modulus (and thus on the residue fan-out of a
 /// single column).
@@ -72,13 +72,16 @@ pub(crate) fn smooth_cap(g: i64) -> i64 {
     m
 }
 
-/// Hashes a sequence of data values (order-sensitive).
-fn hash_values<'a>(values: impl Iterator<Item = &'a Value>) -> u64 {
-    let mut h = DefaultHasher::new();
-    for v in values {
-        v.hash(&mut h);
-    }
-    h.finish()
+/// Interned ids of the build-side data key (inserting: stored values
+/// become part of the arena, which store-backed rows already are).
+fn intern_data_key<'a>(values: impl Iterator<Item = &'a crate::Value>) -> Vec<ValueId> {
+    values.map(intern_value_global).collect()
+}
+
+/// Interned ids of a probe-side data key; `None` as soon as one value
+/// was never interned (it then cannot equal any stored value).
+fn lookup_data_key<'a>(values: impl Iterator<Item = &'a crate::Value>) -> Option<Vec<ValueId>> {
+    values.map(lookup_value).collect()
 }
 
 /// A residue-signature + data-hash bucket index over one relation operand.
@@ -103,8 +106,8 @@ pub struct RelationIndex {
     /// (`0` while the column has held only points / no tuples). Tracked so
     /// appends can prove the modulus unchanged — `moduli` alone is lossy.
     gcds: Vec<i64>,
-    /// `(data hash, per-column residues) → ascending tuple positions`.
-    buckets: HashMap<(u64, Vec<i64>), Vec<usize>>,
+    /// `(data value ids, per-column residues) → ascending tuple positions`.
+    buckets: HashMap<(Vec<ValueId>, Vec<i64>), Vec<usize>>,
     /// Number of indexed tuples.
     len: usize,
 }
@@ -129,15 +132,15 @@ impl RelationIndex {
             .iter()
             .map(|&g| if g == 0 { MAX_MODULUS } else { smooth_cap(g) })
             .collect();
-        let mut buckets: HashMap<(u64, Vec<i64>), Vec<usize>> = HashMap::new();
+        let mut buckets: HashMap<(Vec<ValueId>, Vec<i64>), Vec<usize>> = HashMap::new();
         for (pos, t) in tuples.iter().enumerate() {
             let residues: Vec<i64> = temporal_cols
                 .iter()
                 .zip(&moduli)
                 .map(|(&c, &m)| t.lrps()[c].offset().rem_euclid(m))
                 .collect();
-            let h = hash_values(data_cols.iter().map(|&c| &t.data()[c]));
-            buckets.entry((h, residues)).or_default().push(pos);
+            let key = intern_data_key(data_cols.iter().map(|&c| &t.data()[c]));
+            buckets.entry((key, residues)).or_default().push(pos);
         }
         RelationIndex {
             temporal_cols: temporal_cols.to_vec(),
@@ -146,6 +149,50 @@ impl RelationIndex {
             gcds,
             buckets,
             len: tuples.len(),
+        }
+    }
+
+    /// Columnar twin of [`RelationIndex::build`]: indexes a store
+    /// straight from its flat `(offset, period)` and [`ValueId`] columns,
+    /// without materializing (or force-populating) the row cache. The
+    /// result is field-for-field identical to `build` over the store's
+    /// rows — offsets, periods and data ids are the same numbers either
+    /// way.
+    pub(crate) fn build_from_store(
+        store: &RelStore,
+        temporal_cols: &[usize],
+        data_cols: &[usize],
+    ) -> Self {
+        let n = store.len();
+        let gcds: Vec<i64> = temporal_cols
+            .iter()
+            .map(|&c| store.t_periods(c).iter().fold(0i64, |acc, &k| gcd(acc, k)))
+            .collect();
+        let moduli: Vec<i64> = gcds
+            .iter()
+            .map(|&g| if g == 0 { MAX_MODULUS } else { smooth_cap(g) })
+            .collect();
+        let mut buckets: HashMap<(Vec<ValueId>, Vec<i64>), Vec<usize>> = HashMap::new();
+        let data = store.data_columns();
+        // `pos` strides several parallel column arrays at once; an
+        // iterator over any single one of them would not be clearer.
+        #[allow(clippy::needless_range_loop)]
+        for pos in 0..n {
+            let residues: Vec<i64> = temporal_cols
+                .iter()
+                .zip(&moduli)
+                .map(|(&c, &m)| store.t_offsets(c)[pos].rem_euclid(m))
+                .collect();
+            let key: Vec<ValueId> = data_cols.iter().map(|&c| data[c][pos]).collect();
+            buckets.entry((key, residues)).or_default().push(pos);
+        }
+        RelationIndex {
+            temporal_cols: temporal_cols.to_vec(),
+            data_cols: data_cols.to_vec(),
+            moduli,
+            gcds,
+            buckets,
+            len: n,
         }
     }
 
@@ -179,8 +226,8 @@ impl RelationIndex {
             .zip(&self.moduli)
             .map(|(&c, &m)| t.lrps()[c].offset().rem_euclid(m))
             .collect();
-        let h = hash_values(self.data_cols.iter().map(|&c| &t.data()[c]));
-        self.buckets.entry((h, residues)).or_default().push(pos);
+        let key = intern_data_key(self.data_cols.iter().map(|&c| &t.data()[c]));
+        self.buckets.entry((key, residues)).or_default().push(pos);
         self.len += 1;
         true
     }
@@ -215,9 +262,9 @@ impl RelationIndex {
     /// intersection and difference; the left sides of the join's column
     /// pairs for join).
     ///
-    /// Soundness: a position is omitted only if its data hash differs
-    /// (data unequal) or some column residue violates the necessary
-    /// congruence `r1 ≡ r2 (mod gcd(mᵢ, k_probe))`.
+    /// Soundness: a position is omitted only if some data id differs
+    /// (data unequal — ids are exact) or some column residue violates the
+    /// necessary congruence `r1 ≡ r2 (mod gcd(mᵢ, k_probe))`.
     pub fn probe(
         &self,
         probe: &GenTuple,
@@ -226,22 +273,42 @@ impl RelationIndex {
     ) -> Vec<usize> {
         debug_assert_eq!(probe_temporal.len(), self.temporal_cols.len());
         debug_assert_eq!(probe_data.len(), self.data_cols.len());
-        let h = hash_values(probe_data.iter().map(|&c| &probe.data()[c]));
+        let Some(key) = lookup_data_key(probe_data.iter().map(|&c| &probe.data()[c])) else {
+            // Some probe value was never interned: it differs from every
+            // stored value, so no candidate can survive.
+            return Vec::new();
+        };
+        let lrps: Vec<(i64, i64)> = probe_temporal
+            .iter()
+            .map(|&c| {
+                let l = &probe.lrps()[c];
+                (l.offset(), l.period())
+            })
+            .collect();
+        self.probe_cols(&key, &lrps)
+    }
+
+    /// Columnar twin of [`RelationIndex::probe`]: the probe row is given
+    /// as per-column `(offset, period)` pairs (period `0` = point,
+    /// parallel to the build-side temporal columns) and already-interned
+    /// data ids (parallel to the build-side data columns).
+    pub(crate) fn probe_cols(&self, data_key: &[ValueId], lrps: &[(i64, i64)]) -> Vec<usize> {
+        debug_assert_eq!(lrps.len(), self.temporal_cols.len());
+        debug_assert_eq!(data_key.len(), self.data_cols.len());
         // Per column: the probe's binding modulus dᵢ and residue class.
         let mut d = Vec::with_capacity(self.moduli.len());
         let mut r = Vec::with_capacity(self.moduli.len());
         let mut combinations: u128 = 1;
-        for (&c, &m) in probe_temporal.iter().zip(&self.moduli) {
-            let l = &probe.lrps()[c];
-            let di = if l.is_point() { m } else { gcd(m, l.period()) };
+        for (&(offset, period), &m) in lrps.iter().zip(&self.moduli) {
+            let di = if period == 0 { m } else { gcd(m, period) };
             d.push(di);
-            r.push(l.offset().rem_euclid(di));
+            r.push(offset.rem_euclid(di));
             combinations *= (m / di) as u128;
         }
         let mut out = if combinations <= self.buckets.len() as u128 {
-            self.probe_enumerate(h, &r, &d)
+            self.probe_enumerate(data_key, &r, &d)
         } else {
-            self.probe_scan(h, &r, &d)
+            self.probe_scan(data_key, &r, &d)
         };
         out.sort_unstable();
         out
@@ -250,7 +317,7 @@ impl RelationIndex {
     /// Few compatible keys: enumerate them (mixed-radix counter over the
     /// per-column residue choices `rᵢ + t·dᵢ`, `t < mᵢ/dᵢ`) and look each
     /// one up.
-    fn probe_enumerate(&self, h: u64, r: &[i64], d: &[i64]) -> Vec<usize> {
+    fn probe_enumerate(&self, data_key: &[ValueId], r: &[i64], d: &[i64]) -> Vec<usize> {
         let cols = self.moduli.len();
         let mut out = Vec::new();
         let mut choice = vec![0i64; cols];
@@ -259,7 +326,7 @@ impl RelationIndex {
             for i in 0..cols {
                 key_res[i] = r[i] + choice[i] * d[i];
             }
-            if let Some(positions) = self.buckets.get(&(h, key_res.clone())) {
+            if let Some(positions) = self.buckets.get(&(data_key.to_vec(), key_res.clone())) {
                 out.extend_from_slice(positions);
             }
             let mut i = cols;
@@ -279,10 +346,10 @@ impl RelationIndex {
 
     /// More compatible keys than buckets: scan every bucket with a
     /// per-bucket compatibility check instead.
-    fn probe_scan(&self, h: u64, r: &[i64], d: &[i64]) -> Vec<usize> {
+    fn probe_scan(&self, data_key: &[ValueId], r: &[i64], d: &[i64]) -> Vec<usize> {
         let mut out = Vec::new();
-        for ((bh, res), positions) in &self.buckets {
-            if *bh == h
+        for ((bkey, res), positions) in &self.buckets {
+            if bkey == data_key
                 && res
                     .iter()
                     .zip(d)
@@ -300,6 +367,7 @@ impl RelationIndex {
 mod tests {
     use super::*;
     use crate::ops::intersect_tuples;
+    use crate::Value;
     use itd_constraint::Atom;
     use itd_lrp::Lrp;
 
@@ -360,7 +428,7 @@ mod tests {
     }
 
     #[test]
-    fn data_hash_separates_buckets() {
+    fn data_ids_separate_buckets() {
         let mk = |v: i64| {
             GenTuple::builder()
                 .lrps(vec![Lrp::all()])
@@ -434,6 +502,35 @@ mod tests {
         }
         // Period 5 drops the gcd to 1 → modulus change → rejected.
         assert!(!idx.try_insert(&tup(vec![lrp(0, 5)]), tuples.len()));
+    }
+
+    #[test]
+    fn columnar_build_matches_row_build() {
+        let tuples: Vec<GenTuple> = (0..12)
+            .map(|i| {
+                GenTuple::builder()
+                    .lrps(vec![lrp(i % 6, 6), Lrp::point(i)])
+                    .data(vec![Value::Int(i % 3)])
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let store = RelStore::from_tuples(crate::Schema::new(2, 1), tuples.clone());
+        let from_rows = RelationIndex::build(&tuples, &[0, 1], &[0]);
+        let from_cols = RelationIndex::build_from_store(&store, &[0, 1], &[0]);
+        assert_eq!(from_rows.moduli, from_cols.moduli);
+        assert_eq!(from_rows.gcds, from_cols.gcds);
+        assert_eq!(from_rows.len, from_cols.len);
+        assert_eq!(from_rows.buckets, from_cols.buckets);
+        // probe_cols with the store's own ids matches row-level probe.
+        for (pos, t) in tuples.iter().enumerate() {
+            let ids: Vec<ValueId> = vec![store.data_columns()[0][pos]];
+            let lrps: Vec<(i64, i64)> = t.lrps().iter().map(|l| (l.offset(), l.period())).collect();
+            assert_eq!(
+                from_cols.probe_cols(&ids, &lrps),
+                from_rows.probe(t, &[0, 1], &[0])
+            );
+        }
     }
 
     #[test]

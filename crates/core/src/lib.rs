@@ -58,6 +58,7 @@ mod compact;
 mod enumerate;
 mod error;
 mod intern;
+mod kernel;
 mod minimize;
 mod normalize;
 mod relation;
@@ -86,8 +87,9 @@ pub use relation::GenRelationBuilder;
 pub use relation::{GenRelation, RelationBuilder};
 pub use schema::Schema;
 pub use store::{
-    resolve_value, storage_stats, storage_stats_reset, Columns, DataColumn, RowRef, Rows,
-    StorageStats, TemporalColumn, TemporalPartId, ValueId,
+    outcome_cache_len, outcome_cache_set_cap, resolve_value, storage_stats, storage_stats_reset,
+    Columns, DataColumn, RowRef, Rows, StorageStats, TemporalColumn, TemporalPartId, ValueId,
+    OUTCOME_CACHE_CAP,
 };
 pub use trace::{NodeSpan, Span, SpanLabel, Trace};
 pub use tuple::{GenTuple, GenTupleBuilder};

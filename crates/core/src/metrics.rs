@@ -696,6 +696,21 @@ impl RegistrySnapshot {
                 self.storage.index_reuses,
             ),
             (
+                "itd_outcome_cache_hits_total",
+                "Pairwise-outcome cache lookups answered by a cached outcome.",
+                self.storage.outcome_hits,
+            ),
+            (
+                "itd_outcome_cache_misses_total",
+                "Pairwise-outcome cache lookups that fell through to derivation.",
+                self.storage.outcome_misses,
+            ),
+            (
+                "itd_outcome_cache_evictions_total",
+                "Pairwise-outcome cache entries dropped by the capacity bound.",
+                self.storage.outcome_evictions,
+            ),
+            (
                 "itd_crt_cache_hits_total",
                 "CRT-cache hits on the snapshotting thread.",
                 self.crt.hits,
@@ -1085,6 +1100,7 @@ mod tests {
             "itd_query_pairs",
             "itd_op_wall_p99_seconds",
             "itd_storage_value_lookups_total",
+            "itd_outcome_cache_hits_total",
         ] {
             assert!(typed.contains(expected), "missing family {expected}");
         }

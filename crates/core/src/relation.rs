@@ -306,29 +306,45 @@ impl GenRelation {
         self.intersect_in(other, &ExecContext::serial())
     }
 
-    /// [`GenRelation::intersect`] under an execution context: the pairwise
-    /// tuple intersections are fanned over the context's threads (chunked
-    /// over `self`'s tuples, outputs concatenated in order — the result is
-    /// bit-identical at any thread count) and the [`OpKind::Intersect`]
-    /// counters are updated.
-    ///
-    /// When the candidate pair count reaches
-    /// [`index::INDEX_MIN_PAIRS`](crate::index::INDEX_MIN_PAIRS), `other`
-    /// is bucketed by a [`RelationIndex`](crate::index::RelationIndex) and
-    /// each `t1` probes only residue-compatible buckets; skipped pairs are
-    /// provably empty, and probed candidates are visited in ascending
-    /// position order, so the output is bit-identical to the naive path
-    /// ([`GenRelation::intersect_unindexed_in`]). The `index_probes` /
-    /// `index_pruned` counters report the split.
+    /// [`GenRelation::intersect`] under an execution context, served by
+    /// the columnar batch kernel (`crate::kernel`): candidate pairs are
+    /// probed through the persistent residue index exactly like the row
+    /// path, then batch-filtered by gcd-congruence and data-id equality
+    /// straight off the flat columns — only survivors materialize rows
+    /// and derive, through the process-wide pairwise outcome cache. The
+    /// result, and every [`OpKind::Intersect`] counter except
+    /// `intern_hits` (reported via [`storage_stats`](crate::storage_stats)
+    /// instead), is bit-identical to
+    /// [`GenRelation::intersect_rowpath_in`] and
+    /// [`GenRelation::intersect_unindexed_in`] at any thread count.
     ///
     /// # Errors
     /// [`CoreError::SchemaMismatch`]; arithmetic failures.
     pub fn intersect_in(&self, other: &GenRelation, ctx: &ExecContext) -> Result<GenRelation> {
+        self.check_schema(other)?;
+        let timer = ctx.timed(OpKind::Intersect);
+        let tuples = crate::kernel::intersect(&self.store, &other.store, ctx, &timer)?;
+        timer.add_out(tuples.len());
+        Ok(GenRelation::from_vec(self.schema, tuples))
+    }
+
+    /// [`GenRelation::intersect_in`] on the retained row-at-a-time
+    /// indexed path (materialized `GenTuple` loops with the
+    /// per-invocation memo) — kept as the kernel's comparison twin for
+    /// tests and the bench report's kernel-vs-row-path section.
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`]; arithmetic failures.
+    pub fn intersect_rowpath_in(
+        &self,
+        other: &GenRelation,
+        ctx: &ExecContext,
+    ) -> Result<GenRelation> {
         self.intersect_impl(other, ctx, true)
     }
 
     /// [`GenRelation::intersect_in`] forced down the naive all-pairs path:
-    /// the reference implementation the indexed path must match bit for
+    /// the reference implementation the indexed paths must match bit for
     /// bit (used by tests and the bench report's ablations).
     ///
     /// # Errors
@@ -438,6 +454,10 @@ impl GenRelation {
     /// (instrumented as [`OpKind::Intersect`]; the bucketed candidate scan
     /// itself stays serial — it is already subquadratic).
     ///
+    /// The group-by key is read straight off the columnar storage — flat
+    /// offset slices and interned data ids (canonical: equal ids ⟺ equal
+    /// values) — so neither side materializes its row cache.
+    ///
     /// # Errors
     /// Same as [`GenRelation::intersect`].
     pub fn intersect_bucketed_in(
@@ -454,44 +474,38 @@ impl GenRelation {
         };
         debug_assert!(k > 0);
         let timer = ctx.timed(OpKind::Intersect);
-        let lt = self.rows_slice();
-        let rt = other.rows_slice();
-        timer.add_in(lt.len() + rt.len());
+        let (n, m) = (self.store.len(), other.store.len());
+        timer.add_in(n + m);
         timer.record_period(k);
-        let mut buckets: std::collections::HashMap<(Vec<i64>, &[Value]), Vec<&GenTuple>> =
+        let tcols = self.schema.temporal();
+        let row_key = |store: &RelStore, i: usize| -> (Vec<i64>, Vec<crate::store::ValueId>) {
+            (
+                (0..tcols).map(|c| store.t_offsets(c)[i]).collect(),
+                store.data_columns().iter().map(|col| col[i]).collect(),
+            )
+        };
+        let mut buckets: std::collections::HashMap<_, Vec<usize>> =
             std::collections::HashMap::new();
-        for t in lt {
-            let key = (
-                t.lrps()
-                    .iter()
-                    .map(itd_lrp::Lrp::offset)
-                    .collect::<Vec<_>>(),
-                t.data(),
-            );
-            buckets.entry(key).or_default().push(t);
+        for i in 0..n {
+            buckets.entry(row_key(&self.store, i)).or_default().push(i);
         }
         let mut tuples = Vec::new();
-        for t2 in rt {
-            let key = (
-                t2.lrps()
-                    .iter()
-                    .map(itd_lrp::Lrp::offset)
-                    .collect::<Vec<_>>(),
-                t2.data(),
-            );
-            let Some(candidates) = buckets.get(&key) else {
+        for j in 0..m {
+            let Some(candidates) = buckets.get(&row_key(&other.store, j)) else {
                 continue;
             };
-            for t1 in candidates {
+            let rpart = other.store.part(j);
+            let rdata = other.store.resolve_row_data(j);
+            for &i in candidates {
                 // Same period and offsets: the lrps coincide, so only the
                 // constraints need conjoining.
                 timer.add_pairs(1);
-                let cons = t1.constraints().conjoin(t2.constraints())?;
+                let cons = self.store.part(i).cons.conjoin(&rpart.cons)?;
                 if cons.is_satisfiable() {
                     tuples.push(GenTuple::from_parts(
-                        t2.lrps().to_vec(),
+                        rpart.lrps.clone(),
                         cons,
-                        t2.data().to_vec(),
+                        rdata.clone(),
                     )?);
                 } else {
                     timer.add_pruned(1);
@@ -541,28 +555,43 @@ impl GenRelation {
         self.difference_in(other, &ExecContext::serial())
     }
 
-    /// [`GenRelation::difference`] under an execution context: the
-    /// per-`t1` difference folds are independent, so they are fanned over
-    /// the context's threads (chunked over `self`'s tuples, outputs
-    /// concatenated in order) while the [`OpKind::Difference`] counters
-    /// record pairs examined and empty tuples pruned.
-    ///
-    /// Above the [`index::INDEX_MIN_PAIRS`](crate::index::INDEX_MIN_PAIRS)
-    /// pair threshold, `other` is residue-indexed and each fold subtracts
-    /// only the residue-compatible subtrahends: a skipped `t2` is
-    /// columnwise disjoint from `t1` (or differs in data), so every fold
-    /// member passes through `difference_tuples` unchanged — skipping it
-    /// is a no-op, and the output stays bit-identical to
-    /// [`GenRelation::difference_unindexed_in`].
+    /// [`GenRelation::difference`] under an execution context, served by
+    /// the columnar batch kernel (`crate::kernel`): per fold, the
+    /// subtrahends are probed through the persistent residue index and
+    /// batch-filtered over the flat columns (a rejected `t2` is columnwise
+    /// disjoint from `t1` or differs in data, so its step is a provable
+    /// no-op), with rows materialized only when a step actually runs. The
+    /// result, and every [`OpKind::Difference`] counter except
+    /// `intern_hits`, is bit-identical to
+    /// [`GenRelation::difference_rowpath_in`] and
+    /// [`GenRelation::difference_unindexed_in`] at any thread count.
     ///
     /// # Errors
     /// [`CoreError::SchemaMismatch`]; arithmetic failures.
     pub fn difference_in(&self, other: &GenRelation, ctx: &ExecContext) -> Result<GenRelation> {
+        self.check_schema(other)?;
+        let timer = ctx.timed(OpKind::Difference);
+        let tuples = crate::kernel::difference(&self.store, &other.store, ctx, &timer)?;
+        timer.add_out(tuples.len());
+        Ok(GenRelation::from_vec(self.schema, tuples))
+    }
+
+    /// [`GenRelation::difference_in`] on the retained row-at-a-time
+    /// indexed path — the kernel's comparison twin for tests and the
+    /// bench report.
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`]; arithmetic failures.
+    pub fn difference_rowpath_in(
+        &self,
+        other: &GenRelation,
+        ctx: &ExecContext,
+    ) -> Result<GenRelation> {
         self.difference_impl(other, ctx, true)
     }
 
     /// [`GenRelation::difference_in`] forced down the naive
-    /// all-subtrahends path — the reference the indexed path must match
+    /// all-subtrahends path — the reference the indexed paths must match
     /// bit for bit.
     ///
     /// # Errors
@@ -832,15 +861,15 @@ impl GenRelation {
         self.join_on_in(other, temporal_pairs, data_pairs, &ExecContext::serial())
     }
 
-    /// [`GenRelation::join_on`] under an execution context: pairwise tuple
-    /// joins fanned over the context's threads ([`OpKind::Join`]).
-    ///
-    /// Above the [`index::INDEX_MIN_PAIRS`](crate::index::INDEX_MIN_PAIRS)
-    /// pair threshold, `other` is residue-indexed on the *right* columns
-    /// of the join pairs and each `t1` probes with its *left* columns:
-    /// a skipped pair fails the joined-column meet (or data equality), so
-    /// the output stays bit-identical to
-    /// [`GenRelation::join_on_unindexed_in`].
+    /// [`GenRelation::join_on`] under an execution context, served by the
+    /// columnar batch kernel (`crate::kernel`): `other` is
+    /// residue-indexed on the *right* columns of the join pairs, each
+    /// left row probes with its *left* columns, and candidates are
+    /// batch-filtered by gcd-congruence / data-id equality on exactly the
+    /// paired columns before any row materializes. The result, and every
+    /// [`OpKind::Join`] counter except `intern_hits`, is bit-identical to
+    /// [`GenRelation::join_on_rowpath_in`] and
+    /// [`GenRelation::join_on_unindexed_in`] at any thread count.
     ///
     /// # Errors
     /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
@@ -851,11 +880,41 @@ impl GenRelation {
         data_pairs: &[(usize, usize)],
         ctx: &ExecContext,
     ) -> Result<GenRelation> {
+        self.check_join_pairs(other, temporal_pairs, data_pairs)?;
+        let timer = ctx.timed(OpKind::Join);
+        let tuples = crate::kernel::join_on(
+            &self.store,
+            &other.store,
+            temporal_pairs,
+            data_pairs,
+            ctx,
+            &timer,
+        )?;
+        timer.add_out(tuples.len());
+        Ok(GenRelation::from_vec(
+            self.schema.concat(&other.schema),
+            tuples,
+        ))
+    }
+
+    /// [`GenRelation::join_on_in`] on the retained row-at-a-time indexed
+    /// path — the kernel's comparison twin for tests and the bench
+    /// report.
+    ///
+    /// # Errors
+    /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
+    pub fn join_on_rowpath_in(
+        &self,
+        other: &GenRelation,
+        temporal_pairs: &[(usize, usize)],
+        data_pairs: &[(usize, usize)],
+        ctx: &ExecContext,
+    ) -> Result<GenRelation> {
         self.join_on_impl(other, temporal_pairs, data_pairs, ctx, true)
     }
 
     /// [`GenRelation::join_on_in`] forced down the naive all-pairs path —
-    /// the reference the indexed path must match bit for bit.
+    /// the reference the indexed paths must match bit for bit.
     ///
     /// # Errors
     /// [`CoreError::AttributeOutOfRange`]; arithmetic failures.
@@ -869,14 +928,14 @@ impl GenRelation {
         self.join_on_impl(other, temporal_pairs, data_pairs, ctx, false)
     }
 
-    fn join_on_impl(
+    /// Validates join pair indices against both schemas — shared by the
+    /// kernel and row-path entry points.
+    fn check_join_pairs(
         &self,
         other: &GenRelation,
         temporal_pairs: &[(usize, usize)],
         data_pairs: &[(usize, usize)],
-        ctx: &ExecContext,
-        allow_index: bool,
-    ) -> Result<GenRelation> {
+    ) -> Result<()> {
         for &(i, j) in temporal_pairs {
             if i >= self.schema.temporal() || j >= other.schema.temporal() {
                 return Err(CoreError::AttributeOutOfRange {
@@ -893,6 +952,18 @@ impl GenRelation {
                 });
             }
         }
+        Ok(())
+    }
+
+    fn join_on_impl(
+        &self,
+        other: &GenRelation,
+        temporal_pairs: &[(usize, usize)],
+        data_pairs: &[(usize, usize)],
+        ctx: &ExecContext,
+        allow_index: bool,
+    ) -> Result<GenRelation> {
+        self.check_join_pairs(other, temporal_pairs, data_pairs)?;
         let timer = ctx.timed(OpKind::Join);
         let lt = self.rows_slice();
         let rt = other.rows_slice();

@@ -118,6 +118,139 @@ static VALUES: OnceLock<Mutex<ArenaInner<Value>>> = OnceLock::new();
 static PARTS: OnceLock<Mutex<ArenaInner<Arc<TemporalPart>>>> = OnceLock::new();
 static INDEX_BUILDS: AtomicU64 = AtomicU64::new(0);
 static INDEX_REUSES: AtomicU64 = AtomicU64::new(0);
+static OUTCOME_HITS: AtomicU64 = AtomicU64::new(0);
+static OUTCOME_MISSES: AtomicU64 = AtomicU64::new(0);
+static OUTCOME_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Default entry bound of the global [pairwise outcome cache]
+/// (`outcome_cached_pair`): pair outcomes plus emptiness verdicts
+/// together never exceed the configured capacity.
+pub const OUTCOME_CACHE_CAP: usize = 1 << 16;
+
+/// The algebra operation a cached pairwise outcome belongs to.
+///
+/// `Intersect` meets columns positionally; `Join` carries the exact
+/// temporal column pairing, because the same two parts joined on
+/// different column pairs produce different (and differently shaped)
+/// results.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum PairOpKey {
+    Intersect,
+    Join(Box<[(usize, usize)]>),
+}
+
+/// The global pairwise-outcome cache: because temporal parts are
+/// hash-consed process-wide, `(id, id, op)` keys survive across operator
+/// calls *and* queries — a pair derived once is never derived again
+/// until evicted.
+struct OutcomeInner {
+    /// `(left part, right part, op) →` derived result part (`None` =
+    /// the pair is provably empty / prunable).
+    pairs: HashMap<(TemporalPartId, TemporalPartId, PairOpKey), Option<Arc<TemporalPart>>>,
+    /// Per-part grid-emptiness verdicts (difference fold pre-checks).
+    empties: HashMap<TemporalPartId, bool>,
+    /// Entry bound; reaching it triggers a full generational clear.
+    cap: usize,
+}
+
+static OUTCOMES: OnceLock<Mutex<OutcomeInner>> = OnceLock::new();
+
+fn outcomes() -> &'static Mutex<OutcomeInner> {
+    OUTCOMES.get_or_init(|| {
+        Mutex::new(OutcomeInner {
+            pairs: HashMap::new(),
+            empties: HashMap::new(),
+            cap: OUTCOME_CACHE_CAP,
+        })
+    })
+}
+
+/// Looks up a cached pairwise outcome. The outer `Option` is the cache
+/// verdict (`None` = miss); the inner one is the derivation's result
+/// (`None` = the pair derives to nothing).
+pub(crate) fn outcome_cached_pair(
+    left: TemporalPartId,
+    right: TemporalPartId,
+    op: &PairOpKey,
+) -> Option<Option<Arc<TemporalPart>>> {
+    let inner = outcomes().lock().expect("outcome cache poisoned");
+    match inner.pairs.get(&(left, right, op.clone())) {
+        Some(outcome) => {
+            OUTCOME_HITS.fetch_add(1, Ordering::Relaxed);
+            Some(outcome.clone())
+        }
+        None => {
+            OUTCOME_MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Records a derived pairwise outcome, evicting (full clear) at
+/// capacity. Both sides of a race insert the same pure-function result,
+/// so whichever write wins, later hits observe an identical value.
+pub(crate) fn outcome_cache_pair(
+    left: TemporalPartId,
+    right: TemporalPartId,
+    op: PairOpKey,
+    outcome: Option<Arc<TemporalPart>>,
+) {
+    let mut inner = outcomes().lock().expect("outcome cache poisoned");
+    evict_if_full(&mut inner);
+    inner.pairs.insert((left, right, op), outcome);
+}
+
+/// Cached grid-emptiness verdict for one interned part, if known.
+pub(crate) fn outcome_cached_empty(id: TemporalPartId) -> Option<bool> {
+    let inner = outcomes().lock().expect("outcome cache poisoned");
+    match inner.empties.get(&id) {
+        Some(&empty) => {
+            OUTCOME_HITS.fetch_add(1, Ordering::Relaxed);
+            Some(empty)
+        }
+        None => {
+            OUTCOME_MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Records a grid-emptiness verdict for one interned part.
+pub(crate) fn outcome_cache_empty(id: TemporalPartId, empty: bool) {
+    let mut inner = outcomes().lock().expect("outcome cache poisoned");
+    evict_if_full(&mut inner);
+    inner.empties.insert(id, empty);
+}
+
+/// Generational eviction: when the combined entry count reaches the
+/// cap, drop everything and count the casualties. A full clear (rather
+/// than LRU) keeps lookups lock-cheap and is deterministic in the
+/// number of evicted entries for a fixed insertion sequence.
+fn evict_if_full(inner: &mut OutcomeInner) {
+    if inner.pairs.len() + inner.empties.len() >= inner.cap {
+        let dropped = (inner.pairs.len() + inner.empties.len()) as u64;
+        OUTCOME_EVICTIONS.fetch_add(dropped, Ordering::Relaxed);
+        inner.pairs.clear();
+        inner.empties.clear();
+    }
+}
+
+/// Current entry count of the global outcome cache (pairs + emptiness
+/// verdicts).
+pub fn outcome_cache_len() -> usize {
+    let inner = outcomes().lock().expect("outcome cache poisoned");
+    inner.pairs.len() + inner.empties.len()
+}
+
+/// Rebounds the global outcome cache, returning the previous cap.
+/// Shrinking below the current size triggers eviction on the next
+/// insert, not immediately. Intended for tests and benchmarks; the
+/// cache is semantically transparent, so a racing query only loses
+/// hits, never correctness.
+pub fn outcome_cache_set_cap(cap: usize) -> usize {
+    let mut inner = outcomes().lock().expect("outcome cache poisoned");
+    std::mem::replace(&mut inner.cap, cap.max(1))
+}
 
 fn values() -> &'static Mutex<ArenaInner<Value>> {
     VALUES.get_or_init(|| Mutex::new(ArenaInner::new()))
@@ -188,6 +321,13 @@ pub fn resolve_value(id: ValueId) -> Value {
     inner.arena[id.index()].clone()
 }
 
+/// Interns `v` into the global value arena (used by index builds over
+/// raw tuple slices; store construction interns in bulk under one lock).
+pub(crate) fn intern_value_global(v: &Value) -> ValueId {
+    let mut inner = values().lock().expect("value arena poisoned");
+    intern_value(&mut inner, v)
+}
+
 /// Non-inserting probe: the id of `v` if it has ever been interned.
 pub(crate) fn lookup_value(v: &Value) -> Option<ValueId> {
     let inner = values().lock().expect("value arena poisoned");
@@ -227,13 +367,19 @@ pub struct StorageStats {
     pub index_builds: u64,
     /// Operator calls served by an already-built persistent index.
     pub index_reuses: u64,
+    /// Global pairwise-outcome cache lookups that found an entry.
+    pub outcome_hits: u64,
+    /// Global pairwise-outcome cache lookups that missed.
+    pub outcome_misses: u64,
+    /// Entries dropped by outcome-cache capacity eviction.
+    pub outcome_evictions: u64,
 }
 
 impl StorageStats {
     /// `self − before`, field by field (saturating). The per-arena
     /// invariant `lookups − hits == distinct` survives subtraction of an
     /// earlier snapshot because every counter is monotone.
-    fn delta_since(&self, before: &StorageStats) -> StorageStats {
+    pub fn delta_since(&self, before: &StorageStats) -> StorageStats {
         StorageStats {
             value_lookups: self.value_lookups.saturating_sub(before.value_lookups),
             value_hits: self.value_hits.saturating_sub(before.value_hits),
@@ -245,6 +391,11 @@ impl StorageStats {
             part_bytes: self.part_bytes.saturating_sub(before.part_bytes),
             index_builds: self.index_builds.saturating_sub(before.index_builds),
             index_reuses: self.index_reuses.saturating_sub(before.index_reuses),
+            outcome_hits: self.outcome_hits.saturating_sub(before.outcome_hits),
+            outcome_misses: self.outcome_misses.saturating_sub(before.outcome_misses),
+            outcome_evictions: self
+                .outcome_evictions
+                .saturating_sub(before.outcome_evictions),
         }
     }
 }
@@ -285,6 +436,9 @@ fn raw_storage_stats() -> StorageStats {
         part_bytes,
         index_builds: INDEX_BUILDS.load(Ordering::Relaxed),
         index_reuses: INDEX_REUSES.load(Ordering::Relaxed),
+        outcome_hits: OUTCOME_HITS.load(Ordering::Relaxed),
+        outcome_misses: OUTCOME_MISSES.load(Ordering::Relaxed),
+        outcome_evictions: OUTCOME_EVICTIONS.load(Ordering::Relaxed),
     }
 }
 
@@ -328,10 +482,15 @@ impl fmt::Display for StorageStats {
             "part arena:  {} distinct / {} lookups ({} hits, ~{} bytes)",
             self.part_distinct, self.part_lookups, self.part_hits, self.part_bytes
         )?;
-        write!(
+        writeln!(
             f,
             "indexes:     {} built, {} reused",
             self.index_builds, self.index_reuses
+        )?;
+        write!(
+            f,
+            "outcomes:    {} hits, {} misses, {} evicted",
+            self.outcome_hits, self.outcome_misses, self.outcome_evictions
         )
     }
 }
@@ -594,6 +753,23 @@ impl RelStore {
         &self.t_periods[col]
     }
 
+    /// Resolves one row's data values from the arena **without**
+    /// materializing the row cache (an already-materialized cache is
+    /// reused, never created).
+    pub(crate) fn resolve_row_data(&self, row: usize) -> Vec<Value> {
+        if self.schema.data() == 0 {
+            return Vec::new();
+        }
+        if let Some(rows) = self.rows.get() {
+            return rows[row].data().to_vec();
+        }
+        let inner = values().lock().expect("value arena poisoned");
+        self.data
+            .iter()
+            .map(|col| inner.arena[col[row].index()].clone())
+            .collect()
+    }
+
     /// The materialized row view; built at most once per store.
     pub(crate) fn rows_vec(&self) -> &[GenTuple] {
         self.rows.get_or_init(|| {
@@ -630,9 +806,14 @@ impl RelStore {
             INDEX_REUSES.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(idx);
         }
-        // Build outside the cache lock (materializing rows can be slow).
-        let rows = self.rows_vec();
-        let built = Arc::new(RelationIndex::build(rows, temporal_cols, data_cols));
+        // Build outside the cache lock, straight from the flat columns —
+        // indexing needs only offsets, periods and value ids, so it must
+        // not force-populate the row cache.
+        let built = Arc::new(RelationIndex::build_from_store(
+            self,
+            temporal_cols,
+            data_cols,
+        ));
         let mut cache = self.indexes.lock().expect("index cache poisoned");
         if let Some(idx) = cache.get(&key) {
             INDEX_REUSES.fetch_add(1, Ordering::Relaxed);
@@ -1005,6 +1186,47 @@ mod tests {
         let rows = s.rows_vec();
         assert_eq!(rows.len(), 5);
         assert_eq!(rows[3].data(), &[Value::Int(3)]);
+    }
+
+    #[test]
+    fn outcome_cache_evicts_at_cap() {
+        // Shrink the global cap for the duration of the test; the cache
+        // is semantically transparent, so concurrently running tests
+        // only lose hits while the cap is small.
+        let tuples: Vec<GenTuple> = (0..12)
+            .map(|i| GenTuple::unconstrained(vec![lrp(i, 17)], vec![]))
+            .collect();
+        let s = RelStore::from_tuples(Schema::new(1, 0), tuples);
+        let old_cap = outcome_cache_set_cap(4);
+        let before = raw_storage_stats().outcome_evictions;
+        for &id in s.part_ids() {
+            outcome_cache_empty(id, false);
+        }
+        let after = raw_storage_stats().outcome_evictions;
+        assert!(
+            after - before >= 8,
+            "12 inserts into a cap-4 cache must evict at least twice (got {})",
+            after - before
+        );
+        assert!(outcome_cache_len() <= 4);
+        outcome_cache_set_cap(old_cap);
+    }
+
+    #[test]
+    fn outcome_cache_round_trips_pair_outcomes() {
+        let t1 = GenTuple::unconstrained(vec![lrp(3, 9)], vec![]);
+        let t2 = GenTuple::unconstrained(vec![lrp(5, 9)], vec![]);
+        let s = RelStore::from_tuples(Schema::new(1, 0), vec![t1.clone(), t2]);
+        let (a, b) = (s.part_ids()[0], s.part_ids()[1]);
+        let hits0 = raw_storage_stats().outcome_hits;
+        outcome_cache_pair(a, b, PairOpKey::Intersect, Some(Arc::clone(s.part(0))));
+        let got = outcome_cached_pair(a, b, &PairOpKey::Intersect)
+            .expect("just-inserted outcome must hit");
+        assert_eq!(got.as_deref(), Some(&**s.part(0)));
+        assert!(raw_storage_stats().outcome_hits > hits0);
+        // A different op key is a distinct outcome.
+        let join_key = PairOpKey::Join(vec![(0, 0)].into_boxed_slice());
+        assert_eq!(outcome_cached_pair(a, b, &join_key), None);
     }
 
     #[test]

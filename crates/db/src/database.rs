@@ -20,10 +20,31 @@ use crate::Result;
 /// [`QueryOpts::metrics`]. Clones share the registry (it is measurement
 /// state, not data), and persistence ignores it — a loaded database
 /// starts with a fresh one.
-#[derive(Debug, Clone, Default)]
+///
+/// Databases carry a plan token ([`Catalog::plan_token`]), so repeated
+/// [`Database::run`] calls of the same source text are served by the
+/// process-wide prepared-plan cache — parse, sort-check and the
+/// optimizer are skipped on a warm hit. Every schema or content
+/// mutation (`create_table`, `drop_table`, `table_mut`,
+/// `materialize_view`) invalidates this database's cached plans and
+/// rotates the token; the token is runtime state and is never
+/// persisted.
+#[derive(Debug, Clone)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
     metrics: Arc<MetricsRegistry>,
+    /// Current prepared-plan-cache token; rotated on every mutation.
+    plan_token: u64,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database {
+            tables: BTreeMap::new(),
+            metrics: Arc::default(),
+            plan_token: itd_query::next_plan_token(),
+        }
+    }
 }
 
 // Hand-written (de)serialization: byte-compatible with what
@@ -42,6 +63,7 @@ impl Deserialize for Database {
         Ok(Database {
             tables: serde::de::field(entries, "tables", "Database")?,
             metrics: Arc::default(),
+            plan_token: itd_query::next_plan_token(),
         })
     }
 }
@@ -66,6 +88,7 @@ impl Database {
             return Err(DbError::DuplicateTable(name.to_owned()));
         }
         let table = Table::new(name, temporal, data)?;
+        self.bump_plan_token();
         Ok(self.tables.entry(name.to_owned()).or_insert(table))
     }
 
@@ -74,9 +97,12 @@ impl Database {
     /// # Errors
     /// [`DbError::UnknownTable`].
     pub fn drop_table(&mut self, name: &str) -> Result<Table> {
-        self.tables
+        let table = self
+            .tables
             .remove(name)
-            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))?;
+        self.bump_plan_token();
+        Ok(table)
     }
 
     /// Immutable access to a table.
@@ -94,9 +120,26 @@ impl Database {
     /// # Errors
     /// [`DbError::UnknownTable`].
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
-        self.tables
-            .get_mut(name)
-            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+        if !self.tables.contains_key(name) {
+            return Err(DbError::UnknownTable(name.to_owned()));
+        }
+        // Handing out `&mut Table` is a mutation from the plan cache's
+        // point of view: contents (statistics) may change before the
+        // borrow ends, so rotate the token conservatively up front.
+        self.bump_plan_token();
+        Ok(self.tables.get_mut(name).expect("checked above"))
+    }
+
+    /// The database's current plan token (see [`Catalog::plan_token`]).
+    pub fn plan_token(&self) -> u64 {
+        self.plan_token
+    }
+
+    /// Invalidates this database's prepared plans and issues a fresh
+    /// plan token — called by every mutating entry point.
+    fn bump_plan_token(&mut self) {
+        itd_query::plan_cache_invalidate(self.plan_token);
+        self.plan_token = itd_query::next_plan_token();
     }
 
     /// Table names, sorted.
@@ -131,8 +174,10 @@ impl Database {
     /// assert!(out.truth().unwrap());
     /// ```
     pub fn run(&self, src: impl AsRef<str>, opts: QueryOpts<'_>) -> Result<QueryOutput> {
-        let f = itd_query::parse(src.as_ref())?;
-        self.run_formula(&f, opts)
+        // Text-level entry: a warm prepared-plan cache answers on the raw
+        // source and skips the parser too (`QueryOutput::plan_cached`).
+        itd_query::run_src(self, src.as_ref(), opts.metrics_default(&self.metrics))
+            .map_err(DbError::Query)
     }
 
     /// [`Database::run`] on a pre-built formula.
@@ -397,6 +442,10 @@ impl Database {
 impl Catalog for Database {
     fn relation(&self, name: &str) -> Option<&GenRelation> {
         self.tables.get(name).map(Table::relation)
+    }
+
+    fn plan_token(&self) -> Option<u64> {
+        Some(self.plan_token)
     }
 
     fn active_domain(&self) -> BTreeSet<Value> {

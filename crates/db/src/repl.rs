@@ -190,6 +190,26 @@ impl ReplSession {
             }
             "\\histo" | "histo" => Ok(Some(self.db.metrics().snapshot().render_histograms())),
             "\\storage" | "storage" => Ok(Some(itd_core::storage_stats().to_string())),
+            "\\plancache" | "plancache" => {
+                let stats = itd_query::plan_cache_stats();
+                Ok(Some(format!(
+                    "plan cache: {} prepared plan(s) retained (cap {})\n\
+                     lookups:       {} ({} hits, {} misses)\n\
+                     insertions:    {}\n\
+                     evictions:     {}\n\
+                     invalidations: {}\n\
+                     db plan token: {}",
+                    itd_query::plan_cache_len(),
+                    itd_query::PLAN_CACHE_CAP,
+                    stats.lookups,
+                    stats.hits,
+                    stats.misses,
+                    stats.insertions,
+                    stats.evictions,
+                    stats.invalidations,
+                    self.db.plan_token(),
+                )))
+            }
             "\\stats" | "stats" => match rest {
                 "reset" => {
                     self.stats = StatsSnapshot::default();
@@ -487,7 +507,10 @@ commands:
   \\histo                         ASCII latency/pairs/rows histograms
   \\storage                       global columnar-store statistics (value and
                                  temporal-part interner arenas, residue-index
-                                 builds vs cache reuses)
+                                 builds vs cache reuses, pairwise-outcome cache)
+  \\plancache                     prepared-plan cache counters (hits skip
+                                 parse + sortcheck + optimize) and this
+                                 database's plan token
   \\stats [reset|json]            per-operator execution counters of every
                                  query so far (reset them, or dump as JSON)
   save <path> / load <path>      JSON persistence
@@ -520,6 +543,27 @@ mod tests {
         let q = run(&mut s, "query train(d, a; k) and d >= 0");
         assert!(q.contains("temporal [\"d\", \"a\"]"), "{q}");
         assert!(s.execute("quit").unwrap().is_none());
+    }
+
+    #[test]
+    fn plancache_view_reports_counters_and_rotates_token() {
+        let mut s = ReplSession::new();
+        run(&mut s, "create ev(t)");
+        run(&mut s, "insert ev lrp t 0 2");
+        let token = |out: &str| {
+            out.lines()
+                .find_map(|l| l.strip_prefix("db plan token: "))
+                .expect("token line")
+                .parse::<u64>()
+                .expect("token number")
+        };
+        let before = run(&mut s, "\\plancache");
+        assert!(before.contains("plan cache:"), "{before}");
+        assert!(before.contains("invalidations:"), "{before}");
+        // Mutating the schema rotates the database's plan token.
+        run(&mut s, "create other(t)");
+        let after = run(&mut s, "\\plancache");
+        assert_ne!(token(&before), token(&after));
     }
 
     #[test]

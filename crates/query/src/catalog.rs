@@ -12,12 +12,35 @@ pub trait Catalog {
     /// All data values occurring in the database — the *active domain* over
     /// which data-sorted quantifiers range.
     fn active_domain(&self) -> BTreeSet<Value>;
+
+    /// The catalog's current plan token: an opaque version stamp that
+    /// must change (to a never-before-issued value, see
+    /// [`next_plan_token`](crate::next_plan_token)) whenever the
+    /// catalog's schemas or contents may have changed. `Some` opts the
+    /// catalog into the process-wide prepared-plan cache; the default
+    /// `None` opts out (every [`run`](crate::run) prepares from
+    /// scratch), which is always safe.
+    fn plan_token(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A simple in-memory catalog.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MemoryCatalog {
     relations: BTreeMap<String, GenRelation>,
+    /// Current plan-cache token; rotated (and the old value invalidated)
+    /// on every mutation.
+    token: u64,
+}
+
+impl Default for MemoryCatalog {
+    fn default() -> MemoryCatalog {
+        MemoryCatalog {
+            relations: BTreeMap::new(),
+            token: crate::plancache::next_plan_token(),
+        }
+    }
 }
 
 impl MemoryCatalog {
@@ -26,8 +49,12 @@ impl MemoryCatalog {
         MemoryCatalog::default()
     }
 
-    /// Inserts (or replaces) a named relation.
+    /// Inserts (or replaces) a named relation. Invalidates this
+    /// catalog's prepared plans ([`crate::plan_cache_invalidate`]) and
+    /// rotates its plan token.
     pub fn insert(&mut self, name: impl Into<String>, rel: GenRelation) {
+        crate::plancache::plan_cache_invalidate(self.token);
+        self.token = crate::plancache::next_plan_token();
         self.relations.insert(name.into(), rel);
     }
 
@@ -40,6 +67,10 @@ impl MemoryCatalog {
 impl Catalog for MemoryCatalog {
     fn relation(&self, name: &str) -> Option<&GenRelation> {
         self.relations.get(name)
+    }
+
+    fn plan_token(&self) -> Option<u64> {
+        Some(self.token)
     }
 
     fn active_domain(&self) -> BTreeSet<Value> {

@@ -10,6 +10,7 @@
 
 use std::cell::Cell;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use itd_core::{
@@ -181,6 +182,10 @@ pub struct QueryOutput {
     /// rows, tuples allocated, and arena/cache deltas over the query's
     /// execution window.
     pub resources: QueryResourceReport,
+    /// `true` when this run was served by the prepared-plan cache —
+    /// parse (for [`run_src`]), sort-check, lowering and the optimizer
+    /// were all skipped and the cached plan executed directly.
+    pub plan_cached: bool,
 }
 
 impl QueryOutput {
@@ -229,19 +234,60 @@ impl QueryOutput {
 /// # Ok::<(), itd_query::QueryError>(())
 /// ```
 pub fn run(catalog: &impl Catalog, formula: &Formula, opts: QueryOpts<'_>) -> Result<QueryOutput> {
-    let (f, _sorts) = check_sorts(catalog, formula)?;
-    let fresh;
-    let ctx = match opts.ctx {
-        Some(ctx) => ctx,
-        None => {
-            fresh = if opts.trace {
-                ExecContext::new().traced()
-            } else {
-                ExecContext::new()
-            };
-            &fresh
+    run_keyed(catalog, &formula.to_string(), || Ok(formula.clone()), opts)
+}
+
+/// [`run`] from source text. With a plan-token catalog and a warm
+/// prepared-plan cache, the parser is skipped too: the raw source is the
+/// cache key, so a repeated `run_src` goes straight from text to plan
+/// execution.
+///
+/// # Errors
+/// Parse errors in addition to everything [`run`] reports.
+pub fn run_src(catalog: &impl Catalog, src: &str, opts: QueryOpts<'_>) -> Result<QueryOutput> {
+    run_keyed(catalog, src, || crate::parser::parse(src), opts)
+}
+
+/// The shared entry path: consult the prepared-plan cache under `text`
+/// (when the catalog carries a plan token), fall back to full
+/// preparation — `make_formula` (a parse or a clone), sort-check,
+/// lowering, optimizer — on a miss, then execute.
+fn run_keyed(
+    catalog: &impl Catalog,
+    text: &str,
+    make_formula: impl FnOnce() -> Result<Formula>,
+    opts: QueryOpts<'_>,
+) -> Result<QueryOutput> {
+    if let Some(token) = catalog.plan_token() {
+        if let Some(prepared) =
+            crate::plancache::lookup(token, text, opts.optimize, opts.compact, opts.trace)
+        {
+            return exec_prepared(catalog, &prepared, true, opts);
         }
-    };
+        let prepared = Arc::new(prepare(catalog, &make_formula()?, &opts)?);
+        crate::plancache::insert(
+            token,
+            text.to_owned(),
+            opts.optimize,
+            opts.compact,
+            opts.trace,
+            Arc::clone(&prepared),
+        );
+        return exec_prepared(catalog, &prepared, false, opts);
+    }
+    let prepared = prepare(catalog, &make_formula()?, &opts)?;
+    exec_prepared(catalog, &prepared, false, opts)
+}
+
+/// The pure preparation pipeline: sort-check, lower to a [`Plan`], and
+/// shape it under the given options (optimizer, compaction passes,
+/// cost annotations) — everything a warm plan-cache hit skips.
+fn prepare(
+    catalog: &impl Catalog,
+    formula: &Formula,
+    opts: &QueryOpts<'_>,
+) -> Result<crate::plancache::PreparedPlan> {
+    let (f, _sorts) = check_sorts(catalog, formula)?;
     let mut plan = Plan::of(&f);
     if opts.optimize {
         plan = crate::opt::optimize(catalog, plan, opts.compact);
@@ -258,10 +304,35 @@ pub fn run(catalog: &impl Catalog, formula: &Formula, opts: QueryOpts<'_>) -> Re
             crate::opt::annotate(catalog, &mut plan);
         }
     }
+    Ok(crate::plancache::PreparedPlan { formula: f, plan })
+}
+
+/// Executes a prepared plan: context setup, resource accounting, plan
+/// interpretation, metrics observation.
+fn exec_prepared(
+    catalog: &impl Catalog,
+    prepared: &crate::plancache::PreparedPlan,
+    plan_cached: bool,
+    opts: QueryOpts<'_>,
+) -> Result<QueryOutput> {
+    let f = &prepared.formula;
+    let plan = &prepared.plan;
+    let fresh;
+    let ctx = match opts.ctx {
+        Some(ctx) => ctx,
+        None => {
+            fresh = if opts.trace {
+                ExecContext::new().traced()
+            } else {
+                ExecContext::new()
+            };
+            &fresh
+        }
+    };
     let before = ctx.stats();
     let collector = ResourceCollector::start();
     let started = Instant::now();
-    let (result, peak_rows) = exec_plan(catalog, &f, &plan, ctx)?;
+    let (result, peak_rows) = exec_plan(catalog, f, plan, ctx)?;
     let wall_nanos = started.elapsed().as_nanos() as u64;
     let delta = ctx.stats().delta_since(&before);
     let resources = collector.finish(peak_rows, &delta);
@@ -279,9 +350,10 @@ pub fn run(catalog: &impl Catalog, formula: &Formula, opts: QueryOpts<'_>) -> Re
     let trace = if opts.trace { ctx.take_trace() } else { None };
     Ok(QueryOutput {
         result,
-        plan,
+        plan: plan.clone(),
         trace,
         resources,
+        plan_cached,
     })
 }
 

@@ -60,6 +60,7 @@ mod lexer;
 mod opt;
 mod parser;
 mod plan;
+mod plancache;
 mod sortcheck;
 
 pub use ast::{CmpOp, DataTerm, Formula, Sort, TemporalTerm};
@@ -70,7 +71,7 @@ pub use eval::{
     evaluate, evaluate_bool, evaluate_bool_with, evaluate_traced, evaluate_traced_with,
     evaluate_with,
 };
-pub use eval::{run, QueryOpts, QueryOutput, QueryResult, Traced};
+pub use eval::{run, run_src, QueryOpts, QueryOutput, QueryResult, Traced};
 pub use itd_core::{
     ExecContext, MetricsRegistry, OpKind, OpSnapshot, QueryResourceReport, RegistrySnapshot,
     SlowQueryEntry, Span, SpanLabel, StatsSnapshot, Trace,
@@ -78,6 +79,10 @@ pub use itd_core::{
 pub use parser::parse;
 pub use plan::{
     explain, explain_opt, explain_opt_with, CostEstimate, ExplainReport, Plan, PlanNode, PlanOp,
+};
+pub use plancache::{
+    next_plan_token, plan_cache_clear, plan_cache_invalidate, plan_cache_len, plan_cache_stats,
+    PlanCacheStats, PLAN_CACHE_CAP,
 };
 pub use sortcheck::check_sorts;
 
