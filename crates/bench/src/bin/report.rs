@@ -1742,6 +1742,126 @@ fn metrics_registry() {
     );
 }
 
+fn incremental_maintenance() {
+    println!("\n## Incremental maintenance (registered views)\n");
+    jsonout::begin_section("incremental_maintenance");
+    use itd_core::ExecContext;
+    use itd_db::{Database, QueryOpts, TupleSpec, Txn};
+
+    // Two periodic tables whose join is quadratic in the table size: `p`
+    // carries mixed lower bounds over the residues mod 6, `q` over the
+    // residues mod 4. A registered view maintains the join while a
+    // stream of single-row transactions (insert one row, retract the
+    // previous round's row) trickles into `p`.
+    let n = if smoke() { 128 } else { 192 };
+    let mut db = Database::new();
+    db.create_table("p", &["t"], &[]).expect("schema");
+    db.create_table("q", &["t"], &[]).expect("schema");
+    for i in 0..n as i64 {
+        let spec = TupleSpec::new().lrp("t", i % 6, 6).ge("t", -i);
+        db.table_mut("p").expect("table").insert(spec).expect("row");
+        let spec = TupleSpec::new().lrp("t", i % 4, 4).le("t", 10 * i);
+        db.table_mut("q").expect("table").insert(spec).expect("row");
+    }
+    let src = "p(t) and q(t)";
+    let id = db.register_view("joined", src).expect("registers");
+
+    let rounds = if smoke() { 8 } else { 16 };
+    let delta_of = |r: i64| TupleSpec::new().lrp("t", r % 6, 6).ge("t", -(1000 + r));
+    let mut incremental = Vec::with_capacity(rounds);
+    let mut scratch = Vec::with_capacity(rounds);
+    let mut expected_delta_rows = 0u64;
+    let ctx = ExecContext::serial();
+    for r in 0..rounds as i64 {
+        let mut txn = Txn::new().insert("p", delta_of(r));
+        expected_delta_rows += 1;
+        if r > 0 && r % 4 == 0 {
+            // An occasional retraction keeps the delete path honest
+            // without dominating the median round.
+            txn = txn.retract("p", delta_of(r - 1));
+            expected_delta_rows += 1;
+        }
+        let mut txn = Some(txn);
+        let (d, summary) = time_once(|| {
+            db.apply_with(txn.take().expect("runs once"), &ctx)
+                .expect("apply")
+        });
+        assert_eq!(summary.views_refreshed, 1);
+        assert_eq!(summary.views_recomputed, 0, "deltas must stay incremental");
+        incremental.push(d);
+        let (d, _) = time_once(|| db.run(src, QueryOpts::new()).expect("run"));
+        scratch.push(d);
+    }
+    let median = |xs: &[Duration]| {
+        let mut xs = xs.to_vec();
+        xs.sort();
+        xs[xs.len() / 2]
+    };
+    let (inc, full) = (median(&incremental), median(&scratch));
+    let speedup = full.as_secs_f64() / inc.as_secs_f64().max(1e-9);
+
+    let info = db
+        .views()
+        .into_iter()
+        .find(|v| v.id == id)
+        .expect("registered");
+    assert_eq!(info.refreshes, rounds as u64);
+    assert_eq!(info.full_refreshes, 0);
+    assert_eq!(info.delta_rows, expected_delta_rows);
+    let snap = db.metrics().snapshot();
+    assert_eq!(snap.view_refreshes, rounds as u64);
+    assert_eq!(snap.view_full_refreshes, 0);
+    assert_eq!(snap.view_delta_rows, expected_delta_rows);
+    assert_eq!(snap.views_registered, 1);
+
+    // The view still denotes exactly what a fresh run denotes.
+    let rerun = db.run(src, QueryOpts::new()).expect("run");
+    let view = db.view(id).expect("registered");
+    let diff_a = view
+        .relation
+        .difference(&rerun.result.relation)
+        .expect("schema");
+    let diff_b = rerun
+        .result
+        .relation
+        .difference(&view.relation)
+        .expect("schema");
+    assert!(
+        diff_a.denotes_empty().expect("decides") && diff_b.denotes_empty().expect("decides"),
+        "maintained view diverged from recomputation"
+    );
+
+    println!("| rows/table | rounds | incremental refresh | from-scratch run | speedup |");
+    println!("|---|---|---|---|---|");
+    println!(
+        "| {n} | {rounds} | {} | {} | {speedup:.1}x |",
+        fmt_duration(inc),
+        fmt_duration(full),
+    );
+    println!(
+        "\ncounters: {} refreshes ({} full), {} signed delta rows consumed.",
+        info.refreshes, info.full_refreshes, info.delta_rows
+    );
+    assert!(
+        speedup >= 5.0,
+        "incremental refresh must beat from-scratch recomputation 5x \
+         on a small-delta workload, got {speedup:.1}x"
+    );
+    jsonout::counters(
+        "small_delta",
+        &[
+            ("rows_per_table", n as u64),
+            ("rounds", rounds as u64),
+            ("incremental_nanos", inc.as_nanos() as u64),
+            ("full_nanos", full.as_nanos() as u64),
+            ("speedup_x1000", (speedup * 1000.0) as u64),
+            ("refreshes", info.refreshes),
+            ("full_refreshes", info.full_refreshes),
+            ("delta_rows", info.delta_rows),
+        ],
+    );
+}
+
 fn main() {
     let smoke_flag = std::env::args().any(|a| a == "--smoke");
     SMOKE.set(smoke_flag).expect("set once");
@@ -1769,6 +1889,7 @@ fn main() {
     executor_stats();
     trace_overhead();
     metrics_registry();
+    incremental_maintenance();
     match jsonout::write("BENCH_report.json", build, smoke_flag) {
         Ok(()) => println!("\nmachine-readable copy: BENCH_report.json"),
         Err(e) => println!("\ncould not write BENCH_report.json: {e}"),

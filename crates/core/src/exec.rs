@@ -57,11 +57,14 @@ pub enum OpKind {
     /// Adaptive intermediate compaction (subsumption pruning plus
     /// residue-class coalescing between plan nodes).
     Compact,
+    /// Incremental refresh of a registered materialized view (signed-delta
+    /// propagation through its cached plan outputs).
+    ViewRefresh,
 }
 
 impl OpKind {
     /// Every operator kind, in display order.
-    pub const ALL: [OpKind; 11] = [
+    pub const ALL: [OpKind; 12] = [
         OpKind::Union,
         OpKind::Intersect,
         OpKind::Difference,
@@ -73,6 +76,7 @@ impl OpKind {
         OpKind::Shift,
         OpKind::Normalize,
         OpKind::Compact,
+        OpKind::ViewRefresh,
     ];
 
     /// Stable lower-case name (used by the REPL and bench reports).
@@ -89,6 +93,7 @@ impl OpKind {
             OpKind::Shift => "shift",
             OpKind::Normalize => "normalize",
             OpKind::Compact => "compact",
+            OpKind::ViewRefresh => "view_refresh",
         }
     }
 
@@ -642,6 +647,16 @@ impl ExecContext {
         }
     }
 
+    /// Opens a [`OpKind::ViewRefresh`] timing scope: one registered-view
+    /// maintenance pass. The guard counts the call on construction and the
+    /// elapsed wall time on drop (into a span too, when traced); the caller
+    /// reports the delta rows consumed and the result rows produced.
+    pub fn view_refresh_scope(&self) -> ViewRefreshScope<'_> {
+        ViewRefreshScope {
+            timer: self.timed(OpKind::ViewRefresh),
+        }
+    }
+
     pub(crate) fn timed(&self, kind: OpKind) -> OpTimer<'_> {
         let counters = self.stats.op(kind);
         counters.calls.fetch_add(1, Relaxed);
@@ -658,6 +673,26 @@ impl ExecContext {
             span,
             start: Instant::now(),
         }
+    }
+}
+
+/// Public guard over one [`OpKind::ViewRefresh`] invocation, handed out by
+/// [`ExecContext::view_refresh_scope`] so crates outside the core can time
+/// view maintenance through the same counter/span machinery as the algebra
+/// operators without exposing the internal per-op timer.
+pub struct ViewRefreshScope<'a> {
+    timer: OpTimer<'a>,
+}
+
+impl ViewRefreshScope<'_> {
+    /// Counts signed delta rows consumed by this refresh.
+    pub fn add_delta_rows(&self, n: usize) {
+        self.timer.add_in(n);
+    }
+
+    /// Counts result rows the refreshed view now holds.
+    pub fn add_result_rows(&self, n: usize) {
+        self.timer.add_out(n);
     }
 }
 

@@ -30,7 +30,7 @@
 //! | 3.6      | cross product              | [`GenRelation::cross_product`]      |
 //! | 3.7      | join                       | [`GenRelation::join_on`]            |
 //! | A.6      | complement (temporal)      | [`GenRelation::complement_temporal`]|
-//! | Thm 3.5  | nonemptiness               | [`GenRelation::is_empty`]           |
+//! | Thm 3.5  | nonemptiness               | [`GenRelation::denotes_empty`]      |
 //!
 //! Projection, difference, emptiness and complement rely on **normal form**
 //! (Definition 3.2): all lrps of a tuple share one period `k` and all
@@ -75,6 +75,7 @@ pub mod trace;
 
 pub use enumerate::ConcreteTuple;
 pub use error::CoreError;
+pub use exec::ViewRefreshScope;
 pub use exec::{ExecContext, OpKind, OpSnapshot, StatsSnapshot};
 pub use index::RelationIndex;
 pub use metrics::{
@@ -82,6 +83,7 @@ pub use metrics::{
     RegistrySnapshot, ResourceCollector, SlowQueryEntry,
 };
 pub use normalize::grid_view;
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use relation::GenRelationBuilder;
 pub use relation::{GenRelation, RelationBuilder};

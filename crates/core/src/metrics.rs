@@ -439,6 +439,10 @@ pub struct MetricsRegistry {
     tuples_allocated: AtomicU64,
     peak_rows: AtomicU64,
     slow: Mutex<SlowLog>,
+    view_refreshes: AtomicU64,
+    view_full_refreshes: AtomicU64,
+    view_delta_rows: AtomicU64,
+    views_registered: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -484,6 +488,37 @@ impl MetricsRegistry {
         self.queries.load(Relaxed)
     }
 
+    /// Records one finished refresh of a registered view: whether it fell
+    /// back to a full recomputation, how many signed delta rows it
+    /// consumed, and the operator counters the maintenance pass ran up
+    /// (merged into the cross-query totals exactly like a query's).
+    pub fn observe_view_refresh(&self, full: bool, delta_rows: u64, stats: &StatsSnapshot) {
+        self.view_refreshes.fetch_add(1, Relaxed);
+        if full {
+            self.view_full_refreshes.fetch_add(1, Relaxed);
+        }
+        self.view_delta_rows.fetch_add(delta_rows, Relaxed);
+        for (kind, op) in stats.iter() {
+            if op.calls > 0 {
+                self.op_wall[kind.index()].record(op.nanos);
+            }
+        }
+        self.totals
+            .lock()
+            .expect("metrics totals poisoned")
+            .merge(stats);
+    }
+
+    /// Adjusts the registered-view gauge on register (`+1`) / deregister
+    /// (`-1`).
+    pub fn views_registered_add(&self, delta: i64) {
+        if delta >= 0 {
+            self.views_registered.fetch_add(delta as u64, Relaxed);
+        } else {
+            self.views_registered.fetch_sub((-delta) as u64, Relaxed);
+        }
+    }
+
     /// Freezes the registry (plus the current global storage and CRT
     /// gauges) into a plain-data snapshot.
     pub fn snapshot(&self) -> RegistrySnapshot {
@@ -504,6 +539,10 @@ impl MetricsRegistry {
             slow_by_pairs: slow.by_pairs.clone(),
             storage: storage_stats(),
             crt: itd_lrp::crt_cache_stats(),
+            view_refreshes: self.view_refreshes.load(Relaxed),
+            view_full_refreshes: self.view_full_refreshes.load(Relaxed),
+            view_delta_rows: self.view_delta_rows.load(Relaxed),
+            views_registered: self.views_registered.load(Relaxed),
         }
     }
 }
@@ -537,6 +576,14 @@ pub struct RegistrySnapshot {
     pub storage: StorageStats,
     /// Driver-thread CRT-cache gauges at snapshot time.
     pub crt: CrtCacheStats,
+    /// Registered-view refreshes observed (incremental and full).
+    pub view_refreshes: u64,
+    /// Refreshes that fell back to full recomputation.
+    pub view_full_refreshes: u64,
+    /// Signed delta rows consumed by view refreshes.
+    pub view_delta_rows: u64,
+    /// Views currently registered across databases sharing this registry.
+    pub views_registered: u64,
 }
 
 fn fmt_nanos(n: u64) -> String {
@@ -720,6 +767,21 @@ impl RegistrySnapshot {
                 "CRT-cache misses on the snapshotting thread.",
                 self.crt.misses,
             ),
+            (
+                "itd_view_refreshes_total",
+                "Registered-view refreshes observed (incremental and full).",
+                self.view_refreshes,
+            ),
+            (
+                "itd_view_full_refreshes_total",
+                "View refreshes that fell back to full recomputation.",
+                self.view_full_refreshes,
+            ),
+            (
+                "itd_view_delta_rows_total",
+                "Signed delta rows consumed by view refreshes.",
+                self.view_delta_rows,
+            ),
         ] {
             prom_scalar(&mut out, name, "counter", help, v);
         }
@@ -738,6 +800,11 @@ impl RegistrySnapshot {
                 "itd_storage_arena_bytes",
                 "Estimated bytes of interned arena payload.",
                 self.storage.value_bytes + self.storage.part_bytes,
+            ),
+            (
+                "itd_views_registered",
+                "Views currently registered.",
+                self.views_registered,
             ),
         ] {
             prom_scalar(&mut out, name, "gauge", help, v);

@@ -143,6 +143,7 @@ impl GenRelation {
     /// Deprecated: rows are materialized (once per store) to satisfy this
     /// borrow. Iterate [`GenRelation::rows`] or read
     /// [`GenRelation::columns`] instead.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         since = "0.6.0",
         note = "use the `rows()` cursor / `row(i)` views or the typed `columns()` accessors"
@@ -199,6 +200,7 @@ impl GenRelation {
     }
 
     /// Deprecated name of [`GenRelation::tuple_count`].
+    #[cfg(feature = "legacy-api")]
     #[deprecated(since = "0.2.0", note = "renamed to `tuple_count`")]
     #[allow(clippy::len_without_is_empty)] // emptiness is semantic (Thm 3.5), see has_no_tuples
     pub fn len(&self) -> usize {
@@ -243,6 +245,36 @@ impl GenRelation {
         Ok(())
     }
 
+    /// Removes every row structurally equal to `t` — the signed counterpart
+    /// of [`GenRelation::push`] used by delta mutation. Returns how many
+    /// rows were removed (0 when `t` is absent: retraction of a missing
+    /// row is a no-op, not an error).
+    ///
+    /// Equality is representational (same lrp vector, constraint system,
+    /// and data values), matching how deltas are produced: a retract names
+    /// the exact generalized tuple that was inserted, never a denotation.
+    /// Surviving rows keep their positional order and the store is rebuilt
+    /// as a positional subset, so clones sharing the old store never
+    /// observe the removal.
+    ///
+    /// # Errors
+    /// [`CoreError::SchemaMismatch`] on schema disagreement.
+    pub fn retract(&mut self, t: &GenTuple) -> Result<usize> {
+        if t.schema() != self.schema {
+            return Err(CoreError::SchemaMismatch {
+                expected: self.schema,
+                found: t.schema(),
+            });
+        }
+        let rows = self.rows_slice();
+        let keep: Vec<usize> = (0..rows.len()).filter(|&i| &rows[i] != t).collect();
+        let removed = rows.len() - keep.len();
+        if removed > 0 {
+            self.store = Arc::new(self.store.select(&keep));
+        }
+        Ok(removed)
+    }
+
     /// Membership of a concrete tuple (columnar: data columns are compared
     /// as interned ids before any temporal arithmetic runs).
     #[must_use]
@@ -267,6 +299,7 @@ impl GenRelation {
     ///
     /// # Errors
     /// See [`GenRelation::denotes_empty`].
+    #[cfg(feature = "legacy-api")]
     #[deprecated(since = "0.2.0", note = "renamed to `denotes_empty`")]
     pub fn is_empty(&self) -> Result<bool> {
         self.denotes_empty()
@@ -1184,6 +1217,7 @@ impl GenRelation {
     ///
     /// # Errors
     /// Arithmetic failures while rebuilding lrps.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         since = "0.2.0",
         note = "use `compact` / `compact_in`, the counted compaction entry \
@@ -1505,6 +1539,7 @@ impl RelationBuilder {
     }
 
     /// Appends one tuple.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(since = "0.6.0", note = "use `push_row`")]
     #[must_use]
     pub fn tuple(self, t: GenTuple) -> Self {
@@ -1512,6 +1547,7 @@ impl RelationBuilder {
     }
 
     /// Appends every tuple from an iterator.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(since = "0.6.0", note = "use `push_rows`")]
     #[must_use]
     pub fn tuples(self, ts: impl IntoIterator<Item = GenTuple>) -> Self {
@@ -1528,6 +1564,7 @@ impl RelationBuilder {
 }
 
 /// Former name of [`RelationBuilder`].
+#[cfg(feature = "legacy-api")]
 #[deprecated(since = "0.6.0", note = "renamed to `RelationBuilder`")]
 pub type GenRelationBuilder = RelationBuilder;
 

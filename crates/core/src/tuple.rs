@@ -63,6 +63,7 @@ impl GenTuple {
     /// # Errors
     /// [`CoreError::SchemaMismatch`] if the constraint system's arity does
     /// not equal the number of lrps.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         since = "0.2.0",
         note = "use `GenTuple::builder()` with `.constraints(..)`"
@@ -127,6 +128,7 @@ impl GenTuple {
     ///
     /// # Errors
     /// Propagates constraint-closure arithmetic failures.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(since = "0.2.0", note = "use `GenTuple::builder()` with `.atom(..)`")]
     pub fn with_atoms(lrps: Vec<Lrp>, atoms: &[Atom], data: Vec<Value>) -> Result<GenTuple> {
         let cons = ConstraintSystem::from_atoms(lrps.len(), atoms)?;
@@ -424,6 +426,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "legacy-api")]
     #[allow(deprecated)]
     fn deprecated_constructors_agree_with_builder() {
         // The 0.1 positional constructors remain as shims; they must build

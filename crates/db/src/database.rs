@@ -3,12 +3,15 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use itd_core::{ExecContext, GenRelation, MetricsRegistry, Value};
-use itd_query::{Catalog, Formula, QueryOpts, QueryOutput, QueryResult};
+use itd_core::{ExecContext, GenRelation, GenTuple, MetricsRegistry, Value};
+#[cfg(feature = "legacy-api")]
+use itd_query::QueryResult;
+use itd_query::{Catalog, Formula, MaintainedView, QueryOpts, QueryOutput, RelationDelta};
 use serde::{Deserialize, Serialize};
 
 use crate::error::DbError;
 use crate::table::Table;
+use crate::txn::{RowSpec, Txn, TxnSummary};
 use crate::Result;
 
 /// A temporal database: named tables of generalized relations, queryable
@@ -35,6 +38,14 @@ pub struct Database {
     metrics: Arc<MetricsRegistry>,
     /// Current prepared-plan-cache token; rotated on every mutation.
     plan_token: u64,
+    /// Registered incrementally maintained views, in registration order.
+    views: Vec<RegisteredView>,
+    /// Next [`ViewId`] to hand out (per database, never reused).
+    next_view_id: u64,
+    /// Set when a mutation happened outside [`Database::apply`] (no
+    /// signed deltas available): the next `apply` recomputes every
+    /// registered view instead of propagating deltas.
+    views_stale: bool,
 }
 
 impl Default for Database {
@@ -43,8 +54,72 @@ impl Default for Database {
             tables: BTreeMap::new(),
             metrics: Arc::default(),
             plan_token: itd_query::next_plan_token(),
+            views: Vec::new(),
+            next_view_id: 1,
+            views_stale: false,
         }
     }
+}
+
+/// Handle to a registered view; returned by [`Database::register_view`]
+/// and never reused within one database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewId(u64);
+
+/// An immutable snapshot of a registered view's answer, cheap to hand
+/// out (`Arc`, and the relation itself is an `Arc`-backed snapshot).
+/// Rebuilt by every refresh; a handle obtained earlier keeps observing
+/// the state it was taken at.
+#[derive(Debug, Clone)]
+pub struct ViewSnapshot {
+    /// The view's registered name.
+    pub name: String,
+    /// The maintained answer relation.
+    pub relation: GenRelation,
+    /// Names of the answer's temporal columns.
+    pub temporal_vars: Vec<String>,
+    /// Names of the answer's data columns.
+    pub data_vars: Vec<String>,
+}
+
+impl ViewSnapshot {
+    fn of(name: &str, view: &MaintainedView) -> ViewSnapshot {
+        ViewSnapshot {
+            name: name.to_owned(),
+            relation: view.relation().clone(),
+            temporal_vars: view.temporal_vars().to_vec(),
+            data_vars: view.data_vars().to_vec(),
+        }
+    }
+}
+
+/// Counters and identity of one registered view, for listings
+/// ([`Database::views`], the REPL's `\views`).
+#[derive(Debug, Clone)]
+pub struct ViewInfo {
+    /// The view's handle.
+    pub id: ViewId,
+    /// The view's registered name.
+    pub name: String,
+    /// The maintained query's source rendering.
+    pub query: String,
+    /// Generalized tuples in the current answer representation.
+    pub tuples: usize,
+    /// Refreshes applied since registration.
+    pub refreshes: u64,
+    /// Of those, full recomputations (adom change or stale catalog).
+    pub full_refreshes: u64,
+    /// Cumulative signed delta rows propagated into this view.
+    pub delta_rows: u64,
+}
+
+#[derive(Debug, Clone)]
+struct RegisteredView {
+    id: ViewId,
+    name: String,
+    view: MaintainedView,
+    snapshot: Arc<ViewSnapshot>,
+    refreshes: u64,
 }
 
 // Hand-written (de)serialization: byte-compatible with what
@@ -64,6 +139,10 @@ impl Deserialize for Database {
             tables: serde::de::field(entries, "tables", "Database")?,
             metrics: Arc::default(),
             plan_token: itd_query::next_plan_token(),
+            // Registered views are runtime subscriptions, never persisted.
+            views: Vec::new(),
+            next_view_id: 1,
+            views_stale: false,
         })
     }
 }
@@ -89,6 +168,7 @@ impl Database {
         }
         let table = Table::new(name, temporal, data)?;
         self.bump_plan_token();
+        self.views_stale = !self.views.is_empty();
         Ok(self.tables.entry(name.to_owned()).or_insert(table))
     }
 
@@ -102,6 +182,7 @@ impl Database {
             .remove(name)
             .ok_or_else(|| DbError::UnknownTable(name.to_owned()))?;
         self.bump_plan_token();
+        self.views_stale = !self.views.is_empty();
         Ok(table)
     }
 
@@ -125,8 +206,12 @@ impl Database {
         }
         // Handing out `&mut Table` is a mutation from the plan cache's
         // point of view: contents (statistics) may change before the
-        // borrow ends, so rotate the token conservatively up front.
+        // borrow ends, so rotate the token conservatively up front. It is
+        // also a mutation the view-maintenance delta path cannot see, so
+        // registered views go stale until the next `apply` recomputes
+        // them.
         self.bump_plan_token();
+        self.views_stale = !self.views.is_empty();
         Ok(self.tables.get_mut(name).expect("checked above"))
     }
 
@@ -188,12 +273,283 @@ impl Database {
         itd_query::run(self, f, opts.metrics_default(&self.metrics)).map_err(DbError::Query)
     }
 
+    /// Applies a batch of signed mutations atomically — the write path
+    /// registered views are maintained under.
+    ///
+    /// The whole batch is validated first (unknown tables, incomplete
+    /// specs, schema mismatches fail before anything changes), then all
+    /// retractions are applied, then all insertions, the plan token is
+    /// rotated once, and every registered view is brought up to date by
+    /// propagating the batch's per-table signed deltas through its plan
+    /// (see [`MaintainedView::refresh`]). Each view refresh is reported
+    /// to [`Database::metrics`].
+    ///
+    /// # Errors
+    /// [`DbError::UnknownTable`], [`DbError::IncompleteTuple`],
+    /// [`DbError::Core`] on schema mismatch — all before mutating; view
+    /// refresh failures ([`DbError::Query`]) after (the mutation itself
+    /// stays applied, and the affected views recompute on the next
+    /// `apply`).
+    ///
+    /// # Examples
+    /// ```
+    /// use itd_db::{Database, Txn, TupleSpec};
+    /// let mut db = Database::new();
+    /// db.create_table("even", &["t"], &[]).unwrap();
+    /// let v = db.register_view("wit", "even(t) and t >= 0").unwrap();
+    /// db.apply(Txn::new().insert("even", TupleSpec::new().lrp("t", 0, 2)))
+    ///     .unwrap();
+    /// assert!(db.view(v).unwrap().relation.contains(&[4], &[]));
+    /// ```
+    pub fn apply(&mut self, txn: Txn) -> Result<TxnSummary> {
+        self.apply_with(txn, &ExecContext::new())
+    }
+
+    /// [`Database::apply`] under an explicit execution context (thread
+    /// budget; view-maintenance operator counters land in `ctx`'s stats).
+    ///
+    /// # Errors
+    /// See [`Database::apply`].
+    pub fn apply_with(&mut self, txn: Txn, ctx: &ExecContext) -> Result<TxnSummary> {
+        // Validate everything up front so a failing batch changes nothing.
+        let mut resolved: Vec<(String, bool, GenTuple)> = Vec::with_capacity(txn.ops.len());
+        for op in txn.ops {
+            let table = self.table(&op.table)?;
+            let tuple = match op.row {
+                RowSpec::Spec(spec) => spec.build(table)?,
+                RowSpec::Tuple(t) => {
+                    if t.schema() != table.relation().schema() {
+                        return Err(DbError::Core(itd_core::CoreError::SchemaMismatch {
+                            expected: table.relation().schema(),
+                            found: t.schema(),
+                        }));
+                    }
+                    t
+                }
+            };
+            resolved.push((op.table, op.retract, tuple));
+        }
+
+        let mut summary = TxnSummary::default();
+        if resolved.is_empty() && (self.views.is_empty() || !self.views_stale) {
+            return Ok(summary);
+        }
+
+        // Apply: all retractions, then all insertions, collecting the
+        // *actual* signed deltas — rows really removed and rows really
+        // appended — per table.
+        let mut removed: BTreeMap<String, Vec<GenTuple>> = BTreeMap::new();
+        let mut added: BTreeMap<String, Vec<GenTuple>> = BTreeMap::new();
+        for (name, retract, tuple) in &resolved {
+            if *retract {
+                let table = self.tables.get_mut(name).expect("validated above");
+                let n = table.retract_tuple(tuple)?;
+                if n > 0 {
+                    summary.retracted += n;
+                    removed.entry(name.clone()).or_default().push(tuple.clone());
+                }
+            }
+        }
+        for (name, retract, tuple) in resolved {
+            if !retract {
+                let table = self.tables.get_mut(&name).expect("validated above");
+                table.insert_tuple(tuple.clone())?;
+                summary.inserted += 1;
+                added.entry(name).or_default().push(tuple);
+            }
+        }
+        if summary.inserted > 0 || summary.retracted > 0 {
+            self.bump_plan_token();
+        }
+
+        // Bring every registered view up to date.
+        if !self.views.is_empty() {
+            let mut deltas: Vec<RelationDelta> = Vec::new();
+            let mut names: BTreeSet<&String> = removed.keys().collect();
+            names.extend(added.keys());
+            for name in names {
+                let schema = self.tables[name.as_str()].relation().schema();
+                deltas.push(RelationDelta {
+                    name: name.clone(),
+                    inserted: GenRelation::new(
+                        schema,
+                        added.get(name).cloned().unwrap_or_default(),
+                    )
+                    .map_err(DbError::Core)?,
+                    retracted: GenRelation::new(
+                        schema,
+                        removed.get(name).cloned().unwrap_or_default(),
+                    )
+                    .map_err(DbError::Core)?,
+                });
+            }
+            self.refresh_views(&deltas, ctx, &mut summary)?;
+        } else {
+            self.views_stale = false;
+        }
+        Ok(summary)
+    }
+
+    /// Refreshes every registered view: incrementally from `deltas`, or
+    /// by full recomputation when the catalog mutated outside the delta
+    /// path. Reports each refresh to the metrics registry.
+    fn refresh_views(
+        &mut self,
+        deltas: &[RelationDelta],
+        ctx: &ExecContext,
+        summary: &mut TxnSummary,
+    ) -> Result<()> {
+        // Move the views aside so `self` can serve as the catalog.
+        let mut views = std::mem::take(&mut self.views);
+        let stale = std::mem::take(&mut self.views_stale);
+        let delta_rows: u64 = deltas.iter().map(RelationDelta::rows).sum();
+        let mut failed = None;
+        for rv in &mut views {
+            let before = ctx.stats();
+            let outcome = if stale {
+                rv.view
+                    .recompute(&*self, ctx)
+                    .map(|()| itd_query::RefreshOutcome {
+                        full: true,
+                        delta_rows,
+                    })
+            } else {
+                rv.view.refresh(&*self, deltas, ctx)
+            };
+            match outcome {
+                Ok(outcome) => {
+                    let stats = ctx.stats().delta_since(&before);
+                    self.metrics
+                        .observe_view_refresh(outcome.full, outcome.delta_rows, &stats);
+                    rv.refreshes += 1;
+                    rv.snapshot = Arc::new(ViewSnapshot::of(&rv.name, &rv.view));
+                    summary.views_refreshed += 1;
+                    if outcome.full {
+                        summary.views_recomputed += 1;
+                    }
+                }
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        self.views = views;
+        if let Some(e) = failed {
+            // Some views may not have been refreshed: recompute all on
+            // the next `apply` rather than trusting half-updated caches.
+            self.views_stale = true;
+            return Err(DbError::Query(e));
+        }
+        Ok(())
+    }
+
+    /// Registers an incrementally maintained view: the query is prepared
+    /// and evaluated once, and every subsequent [`Database::apply`]
+    /// keeps it up to date by delta propagation. The name is a handle
+    /// for listings and [`Database::view_named`]; it does **not** enter
+    /// the table namespace (use [`Database::materialize_view`] for a
+    /// queryable one-shot snapshot).
+    ///
+    /// Views are runtime subscriptions: they are not persisted by
+    /// [`Database::save`] and clones of the database carry independent
+    /// copies.
+    ///
+    /// # Errors
+    /// [`DbError::DuplicateView`]; parse/sort/evaluation errors
+    /// ([`DbError::Query`]).
+    pub fn register_view(&mut self, name: &str, src: impl AsRef<str>) -> Result<ViewId> {
+        self.register_view_opts(name, src, QueryOpts::new())
+    }
+
+    /// [`Database::register_view`] under explicit [`QueryOpts`]
+    /// (execution context, optimizer and compaction knobs — the plan
+    /// shaped here is the one deltas propagate through for the view's
+    /// lifetime).
+    ///
+    /// # Errors
+    /// See [`Database::register_view`].
+    pub fn register_view_opts(
+        &mut self,
+        name: &str,
+        src: impl AsRef<str>,
+        opts: QueryOpts<'_>,
+    ) -> Result<ViewId> {
+        if self.views.iter().any(|v| v.name == name) {
+            return Err(DbError::DuplicateView(name.to_owned()));
+        }
+        let f = itd_query::parse(src.as_ref())?;
+        let view = MaintainedView::new(self, &f, opts).map_err(DbError::Query)?;
+        let id = ViewId(self.next_view_id);
+        self.next_view_id += 1;
+        let snapshot = Arc::new(ViewSnapshot::of(name, &view));
+        self.views.push(RegisteredView {
+            id,
+            name: name.to_owned(),
+            view,
+            snapshot,
+            refreshes: 0,
+        });
+        self.metrics.views_registered_add(1);
+        Ok(id)
+    }
+
+    /// The current snapshot of a registered view, or `None` for an
+    /// unknown (e.g. deregistered) handle. The snapshot reflects the
+    /// last [`Database::apply`]; mutations made outside `apply` are
+    /// visible only after the next one.
+    pub fn view(&self, id: ViewId) -> Option<Arc<ViewSnapshot>> {
+        self.views
+            .iter()
+            .find(|v| v.id == id)
+            .map(|v| Arc::clone(&v.snapshot))
+    }
+
+    /// [`Database::view`] by registered name.
+    pub fn view_named(&self, name: &str) -> Option<Arc<ViewSnapshot>> {
+        self.views
+            .iter()
+            .find(|v| v.name == name)
+            .map(|v| Arc::clone(&v.snapshot))
+    }
+
+    /// Identity and counters of every registered view, in registration
+    /// order.
+    pub fn views(&self) -> Vec<ViewInfo> {
+        self.views
+            .iter()
+            .map(|rv| ViewInfo {
+                id: rv.id,
+                name: rv.name.clone(),
+                query: rv.view.formula().to_string(),
+                tuples: rv.view.relation().tuple_count(),
+                refreshes: rv.refreshes,
+                full_refreshes: rv.view.full_refreshes(),
+                delta_rows: rv.view.delta_rows(),
+            })
+            .collect()
+    }
+
+    /// Removes a registered view, dropping its maintained state.
+    /// Returns `false` for an unknown handle.
+    pub fn deregister_view(&mut self, id: ViewId) -> bool {
+        let before = self.views.len();
+        self.views.retain(|v| v.id != id);
+        if self.views.len() < before {
+            self.metrics.views_registered_add(-1);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Parses and evaluates an open query; the result carries one column
     /// per free variable (and the evaluation's operator statistics,
     /// [`QueryResult::stats`]).
     ///
     /// # Errors
     /// Parse/sort/evaluation errors ([`DbError::Query`]).
+    #[cfg(feature = "legacy-api")]
     #[deprecated(since = "0.2.0", note = "use `run` with `QueryOpts` instead")]
     pub fn query(&self, src: impl AsRef<str>) -> Result<QueryResult> {
         self.run(src, QueryOpts::new().optimize(false).compact(false))
@@ -205,6 +561,7 @@ impl Database {
     ///
     /// # Errors
     /// See [`Database::run`].
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         since = "0.2.0",
         note = "use `run` with `QueryOpts::new().ctx(ctx)` instead"
@@ -221,6 +578,7 @@ impl Database {
     ///
     /// # Errors
     /// See [`Database::run`].
+    #[cfg(feature = "legacy-api")]
     #[deprecated(since = "0.2.0", note = "use `run_formula` with `QueryOpts` instead")]
     pub fn query_formula(&self, f: &Formula) -> Result<QueryResult> {
         self.run_formula(f, QueryOpts::new().optimize(false).compact(false))
@@ -232,6 +590,7 @@ impl Database {
     ///
     /// # Errors
     /// See [`Database::run`].
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         since = "0.2.0",
         note = "use `run` with `QueryOpts`, then `QueryOutput::truth`, instead"
@@ -250,6 +609,7 @@ impl Database {
     ///
     /// # Errors
     /// See [`Database::run`].
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         since = "0.2.0",
         note = "use `run` with `QueryOpts::new().ctx(ctx)`, then `QueryOutput::truth_in`, instead"
@@ -267,6 +627,7 @@ impl Database {
     ///
     /// # Errors
     /// See [`Database::run`].
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         since = "0.2.0",
         note = "use `run` with `QueryOpts`, then `QueryOutput::truth`, instead"
@@ -326,6 +687,7 @@ impl Database {
     ///
     /// # Errors
     /// See [`Database::run`].
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         since = "0.2.0",
         note = "use `run` with `QueryOpts::new().ctx(ctx).trace(true)` instead"

@@ -25,6 +25,10 @@ pub enum DbError {
     },
     /// Duplicate attribute name in a schema definition.
     DuplicateAttribute(String),
+    /// A registered view name was not found.
+    UnknownView(String),
+    /// A registered view with this name already exists.
+    DuplicateView(String),
     /// A tuple specification does not cover the schema exactly.
     IncompleteTuple {
         /// What is missing or extra.
@@ -86,6 +90,10 @@ impl fmt::Display for DbError {
             }
             DbError::DuplicateAttribute(name) => {
                 write!(f, "duplicate attribute name `{name}`")
+            }
+            DbError::UnknownView(name) => write!(f, "unknown view `{name}`"),
+            DbError::DuplicateView(name) => {
+                write!(f, "view `{name}` is already registered")
             }
             DbError::IncompleteTuple { detail } => write!(f, "incomplete tuple: {detail}"),
             DbError::Serde { message, .. } => write!(f, "serialization error: {message}"),

@@ -44,13 +44,18 @@ mod error;
 mod render;
 pub mod repl;
 mod table;
+mod txn;
 
-pub use database::Database;
+pub use database::{Database, ViewId, ViewInfo, ViewSnapshot};
 pub use error::{render_error_chain, DbError};
 pub use table::{Table, TupleSpec};
+pub use txn::{Txn, TxnSummary};
 
 pub use itd_core::{Atom, GenRelation, GenTuple, Lrp, Schema, Value};
-pub use itd_query::{ExplainReport, Formula, QueryOpts, QueryOutput, QueryResult};
+pub use itd_query::{
+    ExplainReport, Formula, MaintainedView, QueryOpts, QueryOutput, QueryResult, RefreshOutcome,
+    RelationDelta,
+};
 
 /// Result alias for database operations.
 pub type Result<T> = std::result::Result<T, DbError>;

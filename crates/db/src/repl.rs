@@ -5,6 +5,7 @@ use itd_core::{ExecContext, StatsSnapshot, Trace, Value};
 use itd_query::QueryOpts;
 
 use crate::table::TupleSpec;
+use crate::txn::Txn;
 use crate::{Database, DbError, Result};
 
 /// A stateful REPL session: a database plus command dispatch.
@@ -128,7 +129,8 @@ impl ReplSession {
             "help" => Ok(Some(HELP.to_owned())),
             "tables" => Ok(Some(self.db.table_names().join("\n"))),
             "create" => self.create(rest).map(Some),
-            "insert" => self.insert(rest).map(Some),
+            "insert" => self.mutate(rest, false).map(Some),
+            "retract" => self.mutate(rest, true).map(Some),
             "show" => Ok(Some(self.db.table(rest)?.render())),
             "timeline" => {
                 let mut parts = rest.split_whitespace();
@@ -198,6 +200,7 @@ impl ReplSession {
                      insertions:    {}\n\
                      evictions:     {}\n\
                      invalidations: {}\n\
+                     bypasses:      {} (runs without a plan token)\n\
                      db plan token: {}",
                     itd_query::plan_cache_len(),
                     itd_query::PLAN_CACHE_CAP,
@@ -207,9 +210,13 @@ impl ReplSession {
                     stats.insertions,
                     stats.evictions,
                     stats.invalidations,
+                    stats.bypasses,
                     self.db.plan_token(),
                 )))
             }
+            "\\views" | "views" => Ok(Some(self.views())),
+            "\\subscribe" | "subscribe" => self.subscribe(rest).map(Some),
+            "\\unsubscribe" | "unsubscribe" => self.unsubscribe(rest).map(Some),
             "\\stats" | "stats" => match rest {
                 "reset" => {
                     self.stats = StatsSnapshot::default();
@@ -270,15 +277,47 @@ impl ReplSession {
         ))
     }
 
-    /// `insert table clause, clause, ...` where each clause is one of
-    /// `lrp attr offset period`, `at attr value`, `le attr c`, `ge attr c`,
-    /// `eq attr c`, `diffle a b c`, `eq a b c` (difference equality), or
-    /// `datum attr value`.
-    fn insert(&mut self, rest: &str) -> Result<String> {
+    /// `insert table clause, clause, ...` / `retract table clause, ...`
+    /// where each clause is one of `lrp attr offset period`,
+    /// `at attr value`, `le attr c`, `ge attr c`, `eq attr c`,
+    /// `diffle a b c`, `eq a b c` (difference equality), or
+    /// `datum attr value`. Both go through [`Database::apply`], so
+    /// registered views (`\subscribe`) are refreshed incrementally.
+    fn mutate(&mut self, rest: &str, retract: bool) -> Result<String> {
+        let verb = if retract { "retract" } else { "insert" };
+        let (table_name, clauses) =
+            rest.split_once(char::is_whitespace)
+                .ok_or_else(|| DbError::IncompleteTuple {
+                    detail: format!("expected `{verb} table clauses...`"),
+                })?;
+        let spec = Self::parse_spec(clauses)?;
+        let txn = if retract {
+            Txn::new().retract(table_name, spec)
+        } else {
+            Txn::new().insert(table_name, spec)
+        };
+        let ctx = self.fresh_ctx();
+        let summary = self.db.apply_with(txn, &ctx);
+        self.absorb(&ctx);
+        let summary = summary?;
+        let mut out = if retract {
+            format!("retracted {} row(s) from `{table_name}`", summary.retracted)
+        } else {
+            format!("inserted into `{table_name}`")
+        };
+        if summary.views_refreshed > 0 {
+            out.push_str(&format!(
+                " ({} view(s) refreshed, {} recomputed)",
+                summary.views_refreshed, summary.views_recomputed
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Parses the comma-separated clause list shared by `insert` and
+    /// `retract` into a [`TupleSpec`].
+    fn parse_spec(clauses: &str) -> Result<TupleSpec> {
         let bad = |detail: String| DbError::IncompleteTuple { detail };
-        let (table_name, clauses) = rest
-            .split_once(char::is_whitespace)
-            .ok_or_else(|| bad("expected `insert table clauses...`".into()))?;
         let mut spec = TupleSpec::new();
         for clause in clauses.split(',') {
             let words: Vec<&str> = clause.split_whitespace().collect();
@@ -303,8 +342,62 @@ impl ReplSession {
                 }
             };
         }
-        self.db.table_mut(table_name)?.insert(spec)?;
-        Ok(format!("inserted into `{table_name}`"))
+        Ok(spec)
+    }
+
+    /// `\views` — lists registered (incrementally maintained) views with
+    /// their maintenance counters.
+    fn views(&self) -> String {
+        let infos = self.db.views();
+        if infos.is_empty() {
+            return "no views registered (`\\subscribe name = <query>`)".to_owned();
+        }
+        let mut out = String::from("registered views:");
+        for v in infos {
+            out.push_str(&format!(
+                "\n  {}: {} generalized tuple(s), {} refresh(es) ({} full), {} delta row(s)\n      {}",
+                v.name, v.tuples, v.refreshes, v.full_refreshes, v.delta_rows, v.query
+            ));
+        }
+        out
+    }
+
+    /// `\subscribe name = <query>` — registers an incrementally
+    /// maintained view; `insert`/`retract` keep it up to date.
+    fn subscribe(&mut self, rest: &str) -> Result<String> {
+        let (name, src) = rest
+            .split_once('=')
+            .ok_or_else(|| DbError::IncompleteTuple {
+                detail: "expected `\\subscribe name = <query>`".into(),
+            })?;
+        let ctx = self.fresh_ctx();
+        let out = self
+            .db
+            .register_view_opts(name.trim(), src.trim(), self.opts().ctx(&ctx))
+            .map(|_| {
+                let snap = self.db.view_named(name.trim()).expect("just registered");
+                format!(
+                    "subscribed `{}` with {} generalized tuple(s); `insert`/`retract` maintain it",
+                    snap.name,
+                    snap.relation.tuple_count()
+                )
+            });
+        self.absorb(&ctx);
+        out
+    }
+
+    /// `\unsubscribe name` — deregisters a view.
+    fn unsubscribe(&mut self, rest: &str) -> Result<String> {
+        let name = rest.trim();
+        let id = self
+            .db
+            .views()
+            .into_iter()
+            .find(|v| v.name == name)
+            .ok_or_else(|| DbError::UnknownView(name.to_owned()))?
+            .id;
+        self.db.deregister_view(id);
+        Ok(format!("unsubscribed `{name}`"))
     }
 
     /// `query <formula>` — prints the symbolic answer relation.
@@ -478,12 +571,18 @@ commands:
   insert table clause, ...       clauses: lrp attr off period | at attr v |
                                  le/ge/eq attr c | diffle a b c | eq a b c |
                                  datum attr value
+  retract table clause, ...      remove every row structurally equal to the
+                                 described tuple (same clauses as insert)
   show table                     render a table paper-style
   timeline table [lo hi]         ASCII occupancy timeline of a window
   tables                         list tables
   ask <formula>                  yes/no query (first-order syntax)
   view name = <formula>          materialize an open query as a table
   query <formula>                open query; prints the answer relation
+  \\subscribe name = <formula>    register an incrementally maintained view;
+                                 insert/retract keep it up to date
+  \\unsubscribe name              deregister a maintained view
+  \\views                         list maintained views with refresh counters
   \\explain <formula>             print the compiled algebra plan (no execution);
                                  with \\optimize on, also its rewritten form
   \\explain analyze <formula>     execute with tracing; per-node estimated vs
@@ -576,6 +675,51 @@ mod tests {
         assert_eq!(run(&mut s, "ask pos(4)"), "true");
         assert_eq!(run(&mut s, "ask pos(-4)"), "false");
         assert!(s.execute("view broken").is_err());
+    }
+
+    #[test]
+    fn subscriptions_follow_inserts_and_retracts() {
+        let mut s = ReplSession::new();
+        run(&mut s, "create ev(t)");
+        run(&mut s, "insert ev lrp t 0 2");
+        assert_eq!(
+            run(&mut s, "\\views"),
+            "no views registered (`\\subscribe name = <query>`)"
+        );
+        let sub = run(&mut s, "\\subscribe pos = ev(t) and t >= 0");
+        assert!(sub.contains("subscribed `pos`"), "{sub}");
+        let tuples = |s: &ReplSession| {
+            s.database()
+                .view_named("pos")
+                .expect("registered")
+                .relation
+                .tuple_count()
+        };
+        assert_eq!(tuples(&s), 1);
+        // Mutations route through the delta path and refresh the view.
+        let ins = run(&mut s, "insert ev lrp t 1 2");
+        assert!(ins.contains("1 view(s) refreshed"), "{ins}");
+        assert_eq!(tuples(&s), 2);
+        let ret = run(&mut s, "retract ev lrp t 1 2");
+        assert!(ret.contains("retracted 1 row(s) from `ev`"), "{ret}");
+        assert!(ret.contains("1 view(s) refreshed"), "{ret}");
+        assert_eq!(tuples(&s), 1);
+        let listing = run(&mut s, "\\views");
+        assert!(listing.contains("pos:"), "{listing}");
+        assert!(listing.contains("refresh(es)"), "{listing}");
+        run(&mut s, "\\unsubscribe pos");
+        assert!(s.execute("\\unsubscribe pos").is_err());
+        assert!(s.execute("\\subscribe broken").is_err());
+    }
+
+    #[test]
+    fn plancache_reports_bypasses() {
+        let mut s = ReplSession::new();
+        run(&mut s, "create ev(t)");
+        run(&mut s, "insert ev lrp t 0 2");
+        run(&mut s, "ask ev(4)");
+        let out = run(&mut s, "\\plancache");
+        assert!(out.contains("bypasses:"), "{out}");
     }
 
     #[test]

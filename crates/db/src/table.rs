@@ -119,6 +119,16 @@ impl Table {
         self.relation.push(tuple).map_err(DbError::Core)
     }
 
+    /// Removes every row structurally equal to `tuple`, returning how
+    /// many were removed (0 when none matched — not an error). The
+    /// *denoted* points may of course survive in other rows.
+    ///
+    /// # Errors
+    /// [`DbError::Core`] on schema mismatch.
+    pub fn retract_tuple(&mut self, tuple: &GenTuple) -> Result<usize> {
+        self.relation.retract(tuple).map_err(DbError::Core)
+    }
+
     /// Number of generalized tuples.
     pub fn len(&self) -> usize {
         self.relation.tuple_count()
@@ -208,7 +218,7 @@ impl TupleSpec {
         self
     }
 
-    fn build(self, table: &Table) -> Result<GenTuple> {
+    pub(crate) fn build(self, table: &Table) -> Result<GenTuple> {
         // Temporal values, one per column.
         let mut lrps: Vec<Option<Lrp>> = vec![None; table.temporal_names().len()];
         for (name, l) in &self.lrps {

@@ -82,11 +82,11 @@ impl QueryResult {
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct QueryOpts<'a> {
-    ctx: Option<&'a ExecContext>,
-    metrics: Option<&'a MetricsRegistry>,
-    trace: bool,
-    optimize: bool,
-    compact: bool,
+    pub(crate) ctx: Option<&'a ExecContext>,
+    pub(crate) metrics: Option<&'a MetricsRegistry>,
+    pub(crate) trace: bool,
+    pub(crate) optimize: bool,
+    pub(crate) compact: bool,
 }
 
 impl Default for QueryOpts<'_> {
@@ -275,6 +275,10 @@ fn run_keyed(
         );
         return exec_prepared(catalog, &prepared, false, opts);
     }
+    // `plan_token() == None` opts out of the prepared-plan cache entirely;
+    // count the bypass so the silent opt-out is observable in
+    // `plan_cache_stats()`.
+    crate::plancache::count_bypass();
     let prepared = prepare(catalog, &make_formula()?, &opts)?;
     exec_prepared(catalog, &prepared, false, opts)
 }
@@ -282,15 +286,42 @@ fn run_keyed(
 /// The pure preparation pipeline: sort-check, lower to a [`Plan`], and
 /// shape it under the given options (optimizer, compaction passes,
 /// cost annotations) — everything a warm plan-cache hit skips.
-fn prepare(
+pub(crate) fn prepare(
     catalog: &impl Catalog,
     formula: &Formula,
     opts: &QueryOpts<'_>,
 ) -> Result<crate::plancache::PreparedPlan> {
+    prepare_inner(catalog, formula, opts, false)
+}
+
+/// [`prepare`] for plans that must stay valid as the catalog's
+/// *contents* change (registered views pin their plan for life): the
+/// optimizer runs in dynamic mode, never folding a currently-empty
+/// scan to [`crate::PlanOp::Empty`]. The prepared-plan cache needs no
+/// such mode — its entries are invalidated by token rotation on every
+/// mutation.
+pub(crate) fn prepare_dynamic(
+    catalog: &impl Catalog,
+    formula: &Formula,
+    opts: &QueryOpts<'_>,
+) -> Result<crate::plancache::PreparedPlan> {
+    prepare_inner(catalog, formula, opts, true)
+}
+
+fn prepare_inner(
+    catalog: &impl Catalog,
+    formula: &Formula,
+    opts: &QueryOpts<'_>,
+    dynamic: bool,
+) -> Result<crate::plancache::PreparedPlan> {
     let (f, _sorts) = check_sorts(catalog, formula)?;
     let mut plan = Plan::of(&f);
     if opts.optimize {
-        plan = crate::opt::optimize(catalog, plan, opts.compact);
+        plan = if dynamic {
+            crate::opt::optimize_dynamic(catalog, plan, opts.compact)
+        } else {
+            crate::opt::optimize(catalog, plan, opts.compact)
+        };
     } else {
         if opts.compact {
             // Compaction is independent of the rewriter: insert the
@@ -366,15 +397,7 @@ fn exec_plan(
     plan: &Plan,
     ctx: &ExecContext,
 ) -> Result<(QueryResult, u64)> {
-    let mut adom: BTreeSet<Value> = catalog.active_domain();
-    collect_constants(f, &mut adom);
-    let env = Env {
-        catalog,
-        adom: adom.into_iter().collect(),
-        ctx,
-        live_rows: Cell::new(0),
-        peak_rows: Cell::new(0),
-    };
+    let env = Env::new(catalog, adom_for(catalog, f), ctx, false);
     let ev = env.exec(plan.root())?;
     let result = QueryResult {
         relation: ev.rel,
@@ -390,6 +413,7 @@ fn exec_plan(
 ///
 /// # Errors
 /// Sort/arity errors and algebra failures; see [`QueryError`].
+#[cfg(feature = "legacy-api")]
 #[deprecated(since = "0.2.0", note = "use `run` with `QueryOpts` instead")]
 pub fn evaluate(catalog: &impl Catalog, formula: &Formula) -> Result<QueryResult> {
     run(
@@ -404,6 +428,7 @@ pub fn evaluate(catalog: &impl Catalog, formula: &Formula) -> Result<QueryResult
 ///
 /// # Errors
 /// Sort/arity errors and algebra failures; see [`QueryError`].
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.2.0",
     note = "use `run` with `QueryOpts::new().ctx(ctx)` instead"
@@ -428,6 +453,7 @@ pub fn evaluate_with(
 /// ([`PlanNode::id`](crate::PlanNode) /
 /// [`Span::plan_node`](itd_core::Span)), so the two join exactly;
 /// each node span's children include the operator spans that node issued.
+#[cfg(feature = "legacy-api")]
 #[derive(Debug, Clone)]
 pub struct Traced {
     /// The answer relation plus aggregate statistics.
@@ -445,6 +471,7 @@ pub struct Traced {
 ///
 /// # Errors
 /// See [`run`].
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.2.0",
     note = "use `run` with `QueryOpts::new().trace(true)` instead"
@@ -469,6 +496,7 @@ pub fn evaluate_traced(catalog: &impl Catalog, formula: &Formula) -> Result<Trac
 ///
 /// # Errors
 /// See [`run`].
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.2.0",
     note = "use `run` with `QueryOpts::new().ctx(ctx).trace(true)` instead"
@@ -499,6 +527,7 @@ pub fn evaluate_traced_with(
 ///
 /// # Errors
 /// See [`run`].
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.2.0",
     note = "use `run` with `QueryOpts`, then `QueryOutput::truth`, instead"
@@ -517,6 +546,7 @@ pub fn evaluate_bool(catalog: &impl Catalog, formula: &Formula) -> Result<bool> 
 ///
 /// # Errors
 /// See [`run`].
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.2.0",
     note = "use `run` with `QueryOpts::new().ctx(ctx)`, then `QueryOutput::truth_in`, instead"
@@ -532,6 +562,16 @@ pub fn evaluate_bool_with(
         QueryOpts::new().ctx(ctx).optimize(false).compact(false),
     )?;
     out.truth_in(ctx)
+}
+
+/// The active domain a formula evaluates under: every data value in the
+/// catalog plus every data constant in the formula, deduplicated and in
+/// `Value` order. Shared with view maintenance, which compares it across
+/// refreshes to decide whether cached adom-dependent subplans survive.
+pub(crate) fn adom_for(catalog: &impl Catalog, f: &Formula) -> Vec<Value> {
+    let mut adom: BTreeSet<Value> = catalog.active_domain();
+    collect_constants(f, &mut adom);
+    adom.into_iter().collect()
 }
 
 /// Adds data constants appearing in the formula to the active domain.
@@ -563,16 +603,19 @@ fn collect_constants(f: &Formula, adom: &mut BTreeSet<Value>) {
     }
 }
 
-/// An evaluated subplan: relation plus column naming.
-struct Ev {
-    rel: GenRelation,
-    tvars: Vec<String>,
-    dvars: Vec<String>,
+/// An evaluated subplan: relation plus column naming. Cloning is cheap —
+/// the relation is an `Arc` snapshot — which is what lets view maintenance
+/// cache every plan node's output.
+#[derive(Debug, Clone)]
+pub(crate) struct Ev {
+    pub(crate) rel: GenRelation,
+    pub(crate) tvars: Vec<String>,
+    pub(crate) dvars: Vec<String>,
 }
 
-struct Env<'a, C: Catalog> {
+pub(crate) struct Env<'a, C: Catalog> {
     catalog: &'a C,
-    adom: Vec<Value>,
+    pub(crate) adom: Vec<Value>,
     ctx: &'a ExecContext,
     /// Rows of plan-node outputs currently alive (the driver walks the
     /// plan single-threaded, so plain `Cell`s suffice).
@@ -580,6 +623,48 @@ struct Env<'a, C: Catalog> {
     /// High-water mark of `live_rows`; tuple counts are bit-identical at
     /// any thread count, so this is deterministic too.
     peak_rows: Cell<u64>,
+    /// When present, [`Env::exec`] deposits a clone of every plan node's
+    /// output keyed by node id — the per-node cache view maintenance
+    /// propagates deltas against.
+    record: Option<std::cell::RefCell<std::collections::HashMap<u64, Ev>>>,
+}
+
+impl<'a, C: Catalog> Env<'a, C> {
+    pub(crate) fn new(
+        catalog: &'a C,
+        adom: Vec<Value>,
+        ctx: &'a ExecContext,
+        recording: bool,
+    ) -> Env<'a, C> {
+        Env {
+            catalog,
+            adom,
+            ctx,
+            live_rows: Cell::new(0),
+            peak_rows: Cell::new(0),
+            record: recording.then(|| std::cell::RefCell::new(std::collections::HashMap::new())),
+        }
+    }
+
+    /// The execution context this environment runs operators under.
+    pub(crate) fn ctx(&self) -> &ExecContext {
+        self.ctx
+    }
+
+    /// The catalog relation under `name`, cloned (an `Arc` snapshot, so
+    /// this is cheap).
+    pub(crate) fn catalog_relation(&self, name: &str) -> Option<GenRelation> {
+        self.catalog.relation(name).cloned()
+    }
+
+    /// Drains the recorded per-node outputs (empty unless constructed with
+    /// `recording = true`).
+    pub(crate) fn take_record(&self) -> std::collections::HashMap<u64, Ev> {
+        self.record
+            .as_ref()
+            .map(|r| std::mem::take(&mut *r.borrow_mut()))
+            .unwrap_or_default()
+    }
 }
 
 impl<C: Catalog> Env<'_, C> {
@@ -594,7 +679,7 @@ impl<C: Catalog> Env<'_, C> {
     }
 
     /// The one-data-column relation enumerating the active domain.
-    fn adom_relation(&self) -> GenRelation {
+    pub(crate) fn adom_relation(&self) -> GenRelation {
         let mut rel = GenRelation::empty(Schema::new(0, 1));
         for v in &self.adom {
             rel.push(GenTuple::unconstrained(vec![], vec![v.clone()]))
@@ -604,7 +689,7 @@ impl<C: Catalog> Env<'_, C> {
     }
 
     /// The full space `Z^t × adom^d`.
-    fn full_for(&self, tvars: usize, dvars: usize) -> Result<GenRelation> {
+    pub(crate) fn full_for(&self, tvars: usize, dvars: usize) -> Result<GenRelation> {
         let mut rel =
             GenRelation::full_temporal(Schema::new(tvars, 0)).map_err(QueryError::Core)?;
         for _ in 0..dvars {
@@ -618,7 +703,7 @@ impl<C: Catalog> Env<'_, C> {
     /// Interprets one plan node, recording a node span carrying the
     /// node's stable id when the context is traced — the id is what
     /// EXPLAIN ANALYZE joins plan and trace on.
-    fn exec(&self, n: &PlanNode) -> Result<Ev> {
+    pub(crate) fn exec(&self, n: &PlanNode) -> Result<Ev> {
         let span = self.ctx.plan_span(n.id, || n.label.clone());
         let before = self.live_rows.get();
         let ev = self.exec_arm(n)?;
@@ -631,6 +716,9 @@ impl<C: Catalog> Env<'_, C> {
         self.peak_rows.set(self.peak_rows.get().max(high));
         self.live_rows.set(before + out);
         span.set_tuples_out(out);
+        if let Some(rec) = &self.record {
+            rec.borrow_mut().insert(n.id, ev.clone());
+        }
         Ok(ev)
     }
 
@@ -701,7 +789,21 @@ impl<C: Catalog> Env<'_, C> {
             .catalog
             .relation(name)
             .ok_or_else(|| QueryError::UnknownPredicate(name.to_owned()))?;
-        let mut rel = base.clone();
+        self.eval_pred_on(base.clone(), temporal, data)
+    }
+
+    /// The scan pipeline (selections for constants and repeated variables,
+    /// shifts for successor terms, final projection) applied to an explicit
+    /// base relation. The pipeline is per-row, so view maintenance runs it
+    /// over mini-relations holding just a delta's inserted or retracted
+    /// rows and gets exactly the delta of the scan's output.
+    pub(crate) fn eval_pred_on(
+        &self,
+        base: GenRelation,
+        temporal: &[TemporalTerm],
+        data: &[DataTerm],
+    ) -> Result<Ev> {
+        let mut rel = base;
 
         // Temporal arguments: column i currently holds the term value.
         let mut tvars: Vec<String> = Vec::new();
@@ -936,7 +1038,7 @@ impl<C: Catalog> Env<'_, C> {
     }
 
     /// `¬φ` = free space over φ's variables minus φ.
-    fn negate(&self, ev: Ev) -> Result<Ev> {
+    pub(crate) fn negate(&self, ev: Ev) -> Result<Ev> {
         let full = self.full_for(ev.tvars.len(), ev.dvars.len())?;
         let rel = full
             .difference_in(&ev.rel, self.ctx)
@@ -949,7 +1051,7 @@ impl<C: Catalog> Env<'_, C> {
     }
 
     /// `φ ∧ ψ` = join on shared variables, keeping each variable once.
-    fn conjoin(&self, a: Ev, b: Ev) -> Result<Ev> {
+    pub(crate) fn conjoin(&self, a: Ev, b: Ev) -> Result<Ev> {
         let mut tpairs = Vec::new();
         for (j, var) in b.tvars.iter().enumerate() {
             if let Some(i) = a.tvars.iter().position(|v| v == var) {
@@ -990,7 +1092,7 @@ impl<C: Catalog> Env<'_, C> {
     }
 
     /// `φ ∨ ψ` = union after padding both to the merged variable set.
-    fn disjoin(&self, a: Ev, b: Ev) -> Result<Ev> {
+    pub(crate) fn disjoin(&self, a: Ev, b: Ev) -> Result<Ev> {
         let mut tvars = a.tvars.clone();
         for v in &b.tvars {
             if !tvars.contains(v) {
@@ -1011,7 +1113,7 @@ impl<C: Catalog> Env<'_, C> {
 
     /// Extends `ev` with unconstrained columns for missing variables, then
     /// permutes columns to the target order.
-    fn pad(&self, ev: Ev, tt: &[String], dd: &[String]) -> Result<GenRelation> {
+    pub(crate) fn pad(&self, ev: Ev, tt: &[String], dd: &[String]) -> Result<GenRelation> {
         let mut rel = ev.rel;
         let mut tvars = ev.tvars;
         let mut dvars = ev.dvars;
@@ -1055,7 +1157,7 @@ impl<C: Catalog> Env<'_, C> {
     /// variable lives — a variable may acquire its data sort only through
     /// atom reclassification, in which case the global sort map does not
     /// record it.
-    fn project_out(&self, ev: Ev, var: &str) -> Result<Ev> {
+    pub(crate) fn project_out(&self, ev: Ev, var: &str) -> Result<Ev> {
         if let Some(i) = ev.tvars.iter().position(|v| v == var) {
             let tkeep: Vec<usize> = (0..ev.tvars.len()).filter(|&j| j != i).collect();
             let dkeep: Vec<usize> = (0..ev.dvars.len()).collect();
@@ -1381,6 +1483,7 @@ mod tests {
     /// The deprecated entry points still work and match `run` with the
     /// optimizer off.
     #[test]
+    #[cfg(feature = "legacy-api")]
     #[allow(deprecated)]
     fn deprecated_shims_delegate() {
         let cat = catalog();

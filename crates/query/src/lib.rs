@@ -62,16 +62,20 @@ mod parser;
 mod plan;
 mod plancache;
 mod sortcheck;
+mod views;
 
 pub use ast::{CmpOp, DataTerm, Formula, Sort, TemporalTerm};
 pub use catalog::{Catalog, MemoryCatalog};
 pub use error::QueryError;
+#[cfg(feature = "legacy-api")]
+pub use eval::Traced;
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use eval::{
     evaluate, evaluate_bool, evaluate_bool_with, evaluate_traced, evaluate_traced_with,
     evaluate_with,
 };
-pub use eval::{run, run_src, QueryOpts, QueryOutput, QueryResult, Traced};
+pub use eval::{run, run_src, QueryOpts, QueryOutput, QueryResult};
 pub use itd_core::{
     ExecContext, MetricsRegistry, OpKind, OpSnapshot, QueryResourceReport, RegistrySnapshot,
     SlowQueryEntry, Span, SpanLabel, StatsSnapshot, Trace,
@@ -85,6 +89,7 @@ pub use plancache::{
     PlanCacheStats, PLAN_CACHE_CAP,
 };
 pub use sortcheck::check_sorts;
+pub use views::{MaintainedView, RefreshOutcome, RelationDelta};
 
 /// Result alias for query operations.
 pub type Result<T> = std::result::Result<T, QueryError>;

@@ -476,12 +476,27 @@ fn annotate_node(node: &mut PlanNode, st: &CatalogStats) {
 /// recorded both on the rewritten nodes and in
 /// [`Plan::rewrites`](crate::Plan::rewrites). When `compact` is on, the
 /// adaptive compaction insertion runs on the rewritten tree last.
-pub(crate) fn optimize(catalog: &impl Catalog, mut plan: Plan, compact: bool) -> Plan {
+pub(crate) fn optimize(catalog: &impl Catalog, plan: Plan, compact: bool) -> Plan {
+    optimize_inner(catalog, plan, compact, false)
+}
+
+/// [`optimize`] for plans that outlive the current catalog contents
+/// (registered views pin their plan across mutations): rewrites that
+/// bake *data* into the structure — a scan of a currently-empty base
+/// relation folding to [`PlanOp::Empty`] — are disabled, so the plan
+/// stays valid for every future catalog state. Cost estimates still use
+/// the current statistics; they only steer, never change denotation.
+pub(crate) fn optimize_dynamic(catalog: &impl Catalog, plan: Plan, compact: bool) -> Plan {
+    optimize_inner(catalog, plan, compact, true)
+}
+
+fn optimize_inner(catalog: &impl Catalog, mut plan: Plan, compact: bool, dynamic: bool) -> Plan {
     let st = CatalogStats::gather(catalog, &plan);
     let mut cx = Rewriter {
         st,
         next_id: plan.next_id,
         fired: Vec::new(),
+        dynamic,
     };
     for _ in 0..MAX_PASSES {
         let before = cx.fired.len();
@@ -585,6 +600,10 @@ struct Rewriter {
     st: CatalogStats,
     next_id: u64,
     fired: Vec<String>,
+    /// Plan outlives the current catalog contents (see
+    /// [`optimize_dynamic`]): never fold a relation's *current*
+    /// emptiness into the tree.
+    dynamic: bool,
 }
 
 // The rules return `Result<PlanNode, PlanNode>` where `Err` is the
@@ -641,7 +660,9 @@ impl Rewriter {
     /// constraint leaf denotes the empty relation.
     fn empty_leaf(&mut self, node: PlanNode) -> RuleResult {
         let empty = match &node.op {
-            PlanOp::Scan { name, .. } => self.st.rels.get(name).is_some_and(|r| r.rows == 0),
+            PlanOp::Scan { name, .. } => {
+                !self.dynamic && self.st.rels.get(name).is_some_and(|r| r.rows == 0)
+            }
             PlanOp::TempCmp { left, op, right } => match (left, right) {
                 (TemporalTerm::Const(a), TemporalTerm::Const(b)) => !op.eval(*a, *b),
                 (

@@ -12,7 +12,7 @@ use crate::Result;
 ///
 /// Sort-ambiguous `=` / `!=` atoms between variables are parsed as temporal
 /// comparisons and reclassified by [`crate::check_sorts`]; run that pass (or
-/// [`crate::evaluate`], which runs it for you) before trusting atom kinds.
+/// [`crate::run`], which runs it for you) before trusting atom kinds.
 ///
 /// # Examples
 /// ```

@@ -77,6 +77,10 @@ pub struct PlanCacheStats {
     pub evictions: u64,
     /// Entries dropped by [`plan_cache_invalidate`].
     pub invalidations: u64,
+    /// Runs that skipped the cache entirely because the catalog returned
+    /// `plan_token() == None`. A nonzero count makes the silent opt-out
+    /// observable: such catalogs re-prepare every query.
+    pub bypasses: u64,
 }
 
 fn cache() -> &'static Mutex<Inner> {
@@ -147,6 +151,12 @@ pub(crate) fn insert(
     inner.map.insert(key.clone(), entry);
     inner.order.push_back(key);
     inner.stats.insertions += 1;
+}
+
+/// Counts one run that could not consult the cache because the catalog
+/// opted out of plan tokens.
+pub(crate) fn count_bypass() {
+    cache().lock().expect("plan cache poisoned").stats.bypasses += 1;
 }
 
 /// Drops every entry prepared under `token`, returning how many were

@@ -329,7 +329,7 @@ fn query_evaluation_reports_nonzero_stats() {
 }
 
 /// EXPLAIN ANALYZE acceptance: on a join+negation query, `explain`
-/// renders the plan without executing, `evaluate_traced` yields a span
+/// renders the plan without executing, `run` with tracing yields a span
 /// tree whose operator spans sum back to the aggregate counters, and the
 /// tree is bit-identical across thread counts (up to timing).
 #[test]
@@ -359,7 +359,12 @@ fn traced_query_spans_sum_to_stats_and_are_thread_invariant() {
             QueryOpts::new().ctx(&ctx).trace(true).optimize(false),
         )
         .unwrap();
-        let traced = itd_query::Traced {
+        struct Traced {
+            result: itd_query::QueryResult,
+            plan: itd_query::Plan,
+            trace: itd_core::Trace,
+        }
+        let traced = Traced {
             result: out.result,
             plan: out.plan,
             trace: out.trace.expect("tracing requested"),
