@@ -43,6 +43,10 @@ pub enum CoreError {
     /// (the data domain is unbounded). Use active-domain complement at the
     /// query layer instead.
     ComplementHasData,
+    /// Execution was cancelled cooperatively (deadline expired or the
+    /// caller's [`crate::CancelToken`] was triggered). The operation stopped
+    /// at a chunk boundary; no partial results were published.
+    Cancelled,
 }
 
 impl fmt::Display for CoreError {
@@ -69,6 +73,7 @@ impl fmt::Display for CoreError {
             CoreError::ComplementHasData => {
                 f.write_str("complement is only defined for purely temporal relations")
             }
+            CoreError::Cancelled => f.write_str("execution cancelled (deadline exceeded)"),
         }
     }
 }

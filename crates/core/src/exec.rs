@@ -24,7 +24,8 @@
 
 use std::fmt;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -504,6 +505,84 @@ impl Drop for OpTimer<'_> {
     }
 }
 
+/// Cooperative cancellation token, checked at chunk boundaries of the
+/// parallel executor.
+///
+/// A token is either triggered explicitly ([`CancelToken::cancel`]) or
+/// implicitly by an attached deadline. Deadline expiry is latched into the
+/// atomic flag on first observation, so repeated [`is_cancelled`] polls
+/// after expiry cost one relaxed load, not a clock read.
+///
+/// Cancellation is *cooperative*: work already in flight finishes its
+/// current item, the executor returns [`CoreError::Cancelled`], and no
+/// partial results are published (the algebra only hands back fully
+/// constructed relations).
+///
+/// # Examples
+/// ```
+/// use itd_core::CancelToken;
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+///
+/// [`is_cancelled`]: CancelToken::is_cancelled
+/// [`CoreError::Cancelled`]: crate::CoreError::Cancelled
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`cancel`](CancelToken::cancel) is
+    /// called.
+    pub fn new() -> Arc<CancelToken> {
+        Arc::new(CancelToken {
+            cancelled: AtomicBool::new(false),
+            deadline: None,
+        })
+    }
+
+    /// A token that additionally cancels once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Arc<CancelToken> {
+        Arc::new(CancelToken {
+            cancelled: AtomicBool::new(false),
+            deadline: Some(deadline),
+        })
+    }
+
+    /// A token that cancels `timeout` from now.
+    pub fn after(timeout: Duration) -> Arc<CancelToken> {
+        CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Triggers the token; all subsequent polls observe cancellation.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Relaxed);
+    }
+
+    /// Whether the token has been triggered or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.cancelled.load(Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                self.cancelled.store(true, Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
 /// Execution context: a thread budget plus live per-operator statistics.
 ///
 /// Contexts are cheap to create; the query evaluator makes one per
@@ -531,6 +610,7 @@ pub struct ExecContext {
     threads: usize,
     stats: OpStats,
     trace: Option<TraceSink>,
+    cancel: Option<Arc<CancelToken>>,
 }
 
 impl Default for ExecContext {
@@ -561,6 +641,45 @@ impl ExecContext {
             threads: threads.max(1),
             stats: OpStats::default(),
             trace: None,
+            cancel: None,
+        }
+    }
+
+    /// Attaches a [`CancelToken`]: the parallel executor polls it at chunk
+    /// boundaries (once per item) and aborts the evaluation with
+    /// [`CoreError::Cancelled`] when it trips. Used by the query service to
+    /// enforce per-request deadlines without poisoning caches — the abort
+    /// happens before any result is published.
+    ///
+    /// # Examples
+    /// ```
+    /// use itd_core::{CancelToken, ExecContext};
+    /// let token = CancelToken::new();
+    /// let ctx = ExecContext::serial().cancellable(token.clone());
+    /// assert!(ctx.check_cancelled().is_ok());
+    /// token.cancel();
+    /// assert!(ctx.check_cancelled().is_err());
+    /// ```
+    ///
+    /// [`CoreError::Cancelled`]: crate::CoreError::Cancelled
+    pub fn cancellable(mut self, token: Arc<CancelToken>) -> ExecContext {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&Arc<CancelToken>> {
+        self.cancel.as_ref()
+    }
+
+    /// Errs with [`CoreError::Cancelled`] if the attached token (if any)
+    /// has tripped. Cheap when no token is attached.
+    ///
+    /// [`CoreError::Cancelled`]: crate::CoreError::Cancelled
+    pub fn check_cancelled(&self) -> Result<()> {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => Err(crate::CoreError::Cancelled),
+            _ => Ok(()),
         }
     }
 
@@ -710,31 +829,40 @@ impl ViewRefreshScope<'_> {
 /// materializes rows splits work (and concatenates outputs) exactly like
 /// a row-slice caller of the same length — the bit-identity argument
 /// carries over unchanged.
-pub(crate) fn run_chunked_range<U, F>(threads: usize, n: usize, f: F) -> Result<Vec<U>>
+pub(crate) fn run_chunked_range<U, F>(ctx: &ExecContext, n: usize, f: F) -> Result<Vec<U>>
 where
     U: Send,
     F: Fn(usize) -> Result<Vec<U>> + Sync,
 {
     let indices: Vec<usize> = (0..n).collect();
-    run_chunked(threads, &indices, |&i| f(i))
+    run_chunked(ctx, &indices, |&i| f(i))
 }
 
-pub(crate) fn run_chunked<T, U, F>(threads: usize, items: &[T], f: F) -> Result<Vec<U>>
+pub(crate) fn run_chunked<T, U, F>(ctx: &ExecContext, items: &[T], f: F) -> Result<Vec<U>>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> Result<Vec<U>> + Sync,
 {
-    let workers = threads.min(items.len());
+    let cancel = ctx.cancel.as_deref();
+    let check = |token: Option<&CancelToken>| -> Result<()> {
+        match token {
+            Some(t) if t.is_cancelled() => Err(crate::CoreError::Cancelled),
+            _ => Ok(()),
+        }
+    };
+    let workers = ctx.threads.min(items.len());
     if workers <= 1 {
         let mut out = Vec::new();
         for item in items {
+            check(cancel)?;
             out.extend(f(item)?);
         }
         return Ok(out);
     }
     let chunk_len = items.len().div_ceil(workers);
     let f = &f;
+    let check = &check;
     let per_chunk: Vec<Result<Vec<U>>> = thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_len)
@@ -742,6 +870,7 @@ where
                 scope.spawn(move || {
                     let mut out = Vec::new();
                     for item in chunk {
+                        check(cancel)?;
                         out.extend(f(item)?);
                     }
                     Ok(out)
@@ -768,9 +897,10 @@ mod tests {
     fn chunked_matches_serial_order_at_any_thread_count() {
         let items: Vec<i64> = (0..103).collect();
         let f = |x: &i64| Ok(vec![*x * 2, *x * 2 + 1]);
-        let serial = run_chunked(1, &items, f).unwrap();
+        let serial = run_chunked(&ExecContext::serial(), &items, f).unwrap();
         for threads in [2, 3, 8, 200] {
-            assert_eq!(run_chunked(threads, &items, f).unwrap(), serial);
+            let ctx = ExecContext::with_threads(threads);
+            assert_eq!(run_chunked(&ctx, &items, f).unwrap(), serial);
         }
         assert_eq!(serial.len(), 206);
         assert!(serial.windows(2).all(|w| w[0] < w[1]));
@@ -787,9 +917,56 @@ mod tests {
             }
         };
         for threads in [1, 4, 64] {
-            let err = run_chunked(threads, &items, f).unwrap_err();
+            let ctx = ExecContext::with_threads(threads);
+            let err = run_chunked(&ctx, &items, f).unwrap_err();
             assert!(matches!(err, crate::CoreError::Numth(_)));
         }
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_at_any_thread_count() {
+        let items: Vec<i64> = (0..50).collect();
+        let f = |x: &i64| Ok(vec![*x]);
+        for threads in [1, 2, 8] {
+            let token = CancelToken::new();
+            token.cancel();
+            let ctx = ExecContext::with_threads(threads).cancellable(token);
+            let err = run_chunked(&ctx, &items, f).unwrap_err();
+            assert_eq!(err, crate::CoreError::Cancelled);
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_the_loop() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<i64> = (0..1000).collect();
+        let token = CancelToken::new();
+        let seen = AtomicUsize::new(0);
+        let trip = token.clone();
+        let f = move |x: &i64| {
+            seen.fetch_add(1, Relaxed);
+            if *x == 3 {
+                trip.cancel();
+            }
+            Ok(vec![*x])
+        };
+        let ctx = ExecContext::serial().cancellable(token);
+        let err = run_chunked(&ctx, &items, f).unwrap_err();
+        assert_eq!(err, crate::CoreError::Cancelled);
+    }
+
+    #[test]
+    fn deadline_token_latches_expiry() {
+        let token = CancelToken::after(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(token.is_cancelled());
+        assert!(token.is_cancelled(), "latched after first observation");
+        assert!(token.deadline().is_some());
+        let far = CancelToken::after(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        let ctx = ExecContext::serial();
+        assert!(ctx.cancel_token().is_none());
+        assert!(ctx.check_cancelled().is_ok());
     }
 
     #[test]

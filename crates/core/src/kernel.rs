@@ -181,7 +181,7 @@ pub(crate) fn intersect(
     let dpairs: Vec<(usize, usize)> = dcols.iter().map(|&c| (c, c)).collect();
     let index = gated_index(right, n * m, true, &tcols, &dcols);
     let use_cache = n * m >= INTERN_MIN_PAIRS;
-    exec::run_chunked_range(ctx.threads(), n, |i| {
+    exec::run_chunked_range(ctx, n, |i| {
         let mut out = Vec::new();
         // The left row is rebuilt at most once per outer row, and only
         // if some candidate survives the batch filter.
@@ -270,7 +270,7 @@ pub(crate) fn join_on(
     // Right-side data is shared by every outer row: resolve each right
     // row once up front (ids only; the row cache is never populated).
     let rdata: Vec<Vec<crate::Value>> = (0..m).map(|j| right.resolve_row_data(j)).collect();
-    exec::run_chunked_range(ctx.threads(), n, |i| {
+    exec::run_chunked_range(ctx, n, |i| {
         let mut out = Vec::new();
         let mut t1: Option<GenTuple> = None;
         let mut visit = |j: usize, out: &mut Vec<GenTuple>| -> Result<()> {
@@ -366,7 +366,7 @@ pub(crate) fn difference(
         int.cache_empty(id, empty);
         Ok(empty)
     };
-    exec::run_chunked_range(ctx.threads(), n, |i| {
+    exec::run_chunked_range(ctx, n, |i| {
         let t1 = row_tuple(left, i);
         // One fold step, identical to the row path: subtract `t2` from
         // every member, prune grid-empty results, deduplicate.

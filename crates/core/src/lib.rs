@@ -76,7 +76,7 @@ pub mod trace;
 pub use enumerate::ConcreteTuple;
 pub use error::CoreError;
 pub use exec::ViewRefreshScope;
-pub use exec::{ExecContext, OpKind, OpSnapshot, StatsSnapshot};
+pub use exec::{CancelToken, ExecContext, OpKind, OpSnapshot, StatsSnapshot};
 pub use index::RelationIndex;
 pub use metrics::{
     Histogram, HistogramSnapshot, MetricsRegistry, QueryObservation, QueryResourceReport,

@@ -443,6 +443,16 @@ pub struct MetricsRegistry {
     view_full_refreshes: AtomicU64,
     view_delta_rows: AtomicU64,
     views_registered: AtomicU64,
+    server_connections: AtomicU64,
+    server_requests: AtomicU64,
+    server_admitted: AtomicU64,
+    server_rejected_over_budget: AtomicU64,
+    server_rejected_queue_full: AtomicU64,
+    server_timeouts: AtomicU64,
+    server_batches: AtomicU64,
+    server_batch_queries: AtomicU64,
+    server_queue_depth: AtomicU64,
+    server_queue_depth_max: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -509,6 +519,54 @@ impl MetricsRegistry {
             .merge(stats);
     }
 
+    /// Counts one accepted query-service connection.
+    pub fn server_connection(&self) {
+        self.server_connections.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one query request submitted to the service (before
+    /// admission). The admission invariant `admitted + rejected_over_budget
+    /// + rejected_queue_full == requests` holds at every quiescent point.
+    pub fn server_request(&self) {
+        self.server_requests.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one request admitted past the cost budget.
+    pub fn server_admitted(&self) {
+        self.server_admitted.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one request rejected because its pre-execution total-pairs
+    /// estimate exceeded the admission budget.
+    pub fn server_rejected_over_budget(&self) {
+        self.server_rejected_over_budget.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one request rejected because the bounded admission queue was
+    /// full (backpressure).
+    pub fn server_rejected_queue_full(&self) {
+        self.server_rejected_queue_full.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one admitted request cancelled by its deadline.
+    pub fn server_timeout(&self) {
+        self.server_timeouts.fetch_add(1, Relaxed);
+    }
+
+    /// Records one dispatched batch of `queries` requests sharing a single
+    /// database snapshot.
+    pub fn observe_server_batch(&self, queries: u64) {
+        self.server_batches.fetch_add(1, Relaxed);
+        self.server_batch_queries.fetch_add(queries, Relaxed);
+    }
+
+    /// Publishes the current admission-queue depth (and raises the
+    /// high-water mark).
+    pub fn server_queue_depth_set(&self, depth: u64) {
+        self.server_queue_depth.store(depth, Relaxed);
+        self.server_queue_depth_max.fetch_max(depth, Relaxed);
+    }
+
     /// Adjusts the registered-view gauge on register (`+1`) / deregister
     /// (`-1`).
     pub fn views_registered_add(&self, delta: i64) {
@@ -543,6 +601,16 @@ impl MetricsRegistry {
             view_full_refreshes: self.view_full_refreshes.load(Relaxed),
             view_delta_rows: self.view_delta_rows.load(Relaxed),
             views_registered: self.views_registered.load(Relaxed),
+            server_connections: self.server_connections.load(Relaxed),
+            server_requests: self.server_requests.load(Relaxed),
+            server_admitted: self.server_admitted.load(Relaxed),
+            server_rejected_over_budget: self.server_rejected_over_budget.load(Relaxed),
+            server_rejected_queue_full: self.server_rejected_queue_full.load(Relaxed),
+            server_timeouts: self.server_timeouts.load(Relaxed),
+            server_batches: self.server_batches.load(Relaxed),
+            server_batch_queries: self.server_batch_queries.load(Relaxed),
+            server_queue_depth: self.server_queue_depth.load(Relaxed),
+            server_queue_depth_max: self.server_queue_depth_max.load(Relaxed),
         }
     }
 }
@@ -584,6 +652,26 @@ pub struct RegistrySnapshot {
     pub view_delta_rows: u64,
     /// Views currently registered across databases sharing this registry.
     pub views_registered: u64,
+    /// Query-service connections accepted.
+    pub server_connections: u64,
+    /// Query-service requests submitted (before admission).
+    pub server_requests: u64,
+    /// Requests admitted past the cost budget.
+    pub server_admitted: u64,
+    /// Requests rejected for exceeding the admission budget.
+    pub server_rejected_over_budget: u64,
+    /// Requests rejected because the bounded queue was full.
+    pub server_rejected_queue_full: u64,
+    /// Admitted requests cancelled by their deadline.
+    pub server_timeouts: u64,
+    /// Batches dispatched against a shared snapshot.
+    pub server_batches: u64,
+    /// Requests carried by those batches.
+    pub server_batch_queries: u64,
+    /// Admission-queue depth at snapshot time.
+    pub server_queue_depth: u64,
+    /// High-water mark of the admission-queue depth.
+    pub server_queue_depth_max: u64,
 }
 
 fn fmt_nanos(n: u64) -> String {
@@ -782,6 +870,46 @@ impl RegistrySnapshot {
                 "Signed delta rows consumed by view refreshes.",
                 self.view_delta_rows,
             ),
+            (
+                "itd_server_connections_total",
+                "Query-service connections accepted.",
+                self.server_connections,
+            ),
+            (
+                "itd_server_requests_total",
+                "Query-service requests submitted (before admission).",
+                self.server_requests,
+            ),
+            (
+                "itd_server_admitted_total",
+                "Requests admitted past the cost budget.",
+                self.server_admitted,
+            ),
+            (
+                "itd_server_rejected_over_budget_total",
+                "Requests rejected for exceeding the admission budget.",
+                self.server_rejected_over_budget,
+            ),
+            (
+                "itd_server_rejected_queue_full_total",
+                "Requests rejected because the bounded queue was full.",
+                self.server_rejected_queue_full,
+            ),
+            (
+                "itd_server_timeouts_total",
+                "Admitted requests cancelled by their deadline.",
+                self.server_timeouts,
+            ),
+            (
+                "itd_server_batches_total",
+                "Batches dispatched against a shared snapshot.",
+                self.server_batches,
+            ),
+            (
+                "itd_server_batch_queries_total",
+                "Requests carried by shared-snapshot batches.",
+                self.server_batch_queries,
+            ),
         ] {
             prom_scalar(&mut out, name, "counter", help, v);
         }
@@ -805,6 +933,16 @@ impl RegistrySnapshot {
                 "itd_views_registered",
                 "Views currently registered.",
                 self.views_registered,
+            ),
+            (
+                "itd_server_queue_depth",
+                "Admission-queue depth at snapshot time.",
+                self.server_queue_depth,
+            ),
+            (
+                "itd_server_queue_depth_max",
+                "High-water mark of the admission-queue depth.",
+                self.server_queue_depth_max,
             ),
         ] {
             prom_scalar(&mut out, name, "gauge", help, v);

@@ -421,7 +421,7 @@ impl GenRelation {
                 .collect(),
             None => Vec::new(),
         };
-        let tuples = exec::run_chunked(ctx.threads(), lt, |t1| {
+        let tuples = exec::run_chunked(ctx, lt, |t1| {
             let mut out = Vec::new();
             let id1 = interner
                 .as_ref()
@@ -658,7 +658,7 @@ impl GenRelation {
         // verdict per hash-consed part. Purely a cache: the pairs/pruned
         // counters and the pruning flow are untouched.
         let interner = (lt.len() * rt.len() >= INTERN_MIN_PAIRS).then(Interner::new);
-        let tuples = exec::run_chunked(ctx.threads(), lt, |t1| {
+        let tuples = exec::run_chunked(ctx, lt, |t1| {
             // One fold step: subtract `t2` from every member, then prune
             // grid-empty results and deduplicate to bound the blow-up.
             let step = |acc: Vec<GenTuple>, t2: &GenTuple| -> Result<Vec<GenTuple>> {
@@ -761,9 +761,8 @@ impl GenRelation {
         let timer = ctx.timed(OpKind::Project);
         let lt = self.rows_slice();
         timer.add_in(lt.len());
-        let tuples = exec::run_chunked(ctx.threads(), lt, |t| {
-            ops::project_tuple(t, temporal_keep, data_keep)
-        })?;
+        let tuples =
+            exec::run_chunked(ctx, lt, |t| ops::project_tuple(t, temporal_keep, data_keep))?;
         timer.add_out(tuples.len());
         Ok(GenRelation::from_vec(
             Schema::new(temporal_keep.len(), data_keep.len()),
@@ -795,7 +794,7 @@ impl GenRelation {
         let timer = ctx.timed(OpKind::Select);
         let lt = self.rows_slice();
         timer.add_in(lt.len());
-        let tuples = exec::run_chunked(ctx.threads(), lt, |t| {
+        let tuples = exec::run_chunked(ctx, lt, |t| {
             let mut cons = t.constraints().clone();
             cons.add(atom)?;
             timer.add_atoms(1);
@@ -863,7 +862,7 @@ impl GenRelation {
         let rt = other.rows_slice();
         timer.add_in(lt.len() + rt.len());
         timer.add_pairs(lt.len() as u64 * rt.len() as u64);
-        let tuples = exec::run_chunked(ctx.threads(), lt, |t1| {
+        let tuples = exec::run_chunked(ctx, lt, |t1| {
             let mut out = Vec::with_capacity(rt.len());
             for t2 in rt {
                 out.push(ops::cross_product_tuples(t1, t2)?);
@@ -1022,7 +1021,7 @@ impl GenRelation {
                 .collect(),
             None => Vec::new(),
         };
-        let tuples = exec::run_chunked(ctx.threads(), lt, |t1| {
+        let tuples = exec::run_chunked(ctx, lt, |t1| {
             let mut out = Vec::new();
             let id1 = interner
                 .as_ref()
@@ -1158,7 +1157,7 @@ impl GenRelation {
         let timer = ctx.timed(OpKind::Shift);
         let lt = self.rows_slice();
         timer.add_in(lt.len());
-        let tuples = exec::run_chunked(ctx.threads(), lt, |t| {
+        let tuples = exec::run_chunked(ctx, lt, |t| {
             let mut lrps = t.lrps().to_vec();
             lrps[col] = lrps[col].shift(delta)?;
             let cons = t.constraints().shift_var(col, delta)?;
@@ -1191,7 +1190,7 @@ impl GenRelation {
         let timer = ctx.timed(OpKind::Normalize);
         let lt = self.rows_slice();
         timer.add_in(lt.len());
-        let tuples = exec::run_chunked(ctx.threads(), lt, |t| {
+        let tuples = exec::run_chunked(ctx, lt, |t| {
             let (out, report) = crate::normalize::normalize_with_limit_report(
                 t,
                 crate::normalize::DEFAULT_NORMALIZE_LIMIT,

@@ -241,6 +241,13 @@ impl Database {
         &self.metrics
     }
 
+    /// An owning handle on the same registry, for components that outlive
+    /// any one borrow of the database (the query service's metrics
+    /// listener reads it from another thread).
+    pub fn metrics_handle(&self) -> std::sync::Arc<MetricsRegistry> {
+        std::sync::Arc::clone(&self.metrics)
+    }
+
     /// Parses and evaluates a query under [`QueryOpts`] — the single
     /// entry point behind the old `query*`/`ask` family. The returned
     /// [`QueryOutput`] carries the answer relation, the executed plan,
@@ -271,6 +278,51 @@ impl Database {
     /// See [`Database::run`].
     pub fn run_formula(&self, f: &Formula, opts: QueryOpts<'_>) -> Result<QueryOutput> {
         itd_query::run(self, f, opts.metrics_default(&self.metrics)).map_err(DbError::Query)
+    }
+
+    /// The cost model's pre-execution total-pairs estimate for `src` —
+    /// the admission-control number — without executing anything. Shares
+    /// [`Database::run`]'s prepared-plan cache, so the preparation an
+    /// estimate performs is reused verbatim by the run that follows the
+    /// admission decision.
+    ///
+    /// # Errors
+    /// Parse/sort errors ([`DbError::Query`]); estimation never touches
+    /// relation data.
+    ///
+    /// # Examples
+    /// ```
+    /// use itd_db::{Database, QueryOpts, TupleSpec};
+    /// let mut db = Database::new();
+    /// db.create_table("even", &["t"], &[]).unwrap();
+    /// db.table_mut("even").unwrap().insert(TupleSpec::new().lrp("t", 0, 2)).unwrap();
+    /// let est = db.estimate("even(t) and even(t + 1)", QueryOpts::new()).unwrap();
+    /// assert!(est.is_finite());
+    /// ```
+    pub fn estimate(&self, src: impl AsRef<str>, opts: QueryOpts<'_>) -> Result<f64> {
+        itd_query::estimate_src(self, src.as_ref(), opts.metrics_default(&self.metrics))
+            .map_err(DbError::Query)
+    }
+
+    /// Server-facing batched entry point: runs every query in `srcs`
+    /// against this *one* database state (the caller typically holds a
+    /// cheap [`Clone`] snapshot, so `apply` transactions on the base
+    /// interleave between batches, never within one). Catalog resolution
+    /// — plan token, metrics attachment — happens once; each query then
+    /// executes under its own [`QueryOpts`] produced by `opts_for(i)`,
+    /// which lets the service attach a per-request deadline token.
+    ///
+    /// Per-query failures are per-slot: one over-deadline or malformed
+    /// query does not disturb its batch-mates' results.
+    pub fn run_batch<'a>(
+        &self,
+        srcs: &[impl AsRef<str>],
+        mut opts_for: impl FnMut(usize) -> QueryOpts<'a>,
+    ) -> Vec<Result<QueryOutput>> {
+        srcs.iter()
+            .enumerate()
+            .map(|(i, src)| self.run(src.as_ref(), opts_for(i)))
+            .collect()
     }
 
     /// Applies a batch of signed mutations atomically — the write path

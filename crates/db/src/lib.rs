@@ -51,7 +51,7 @@ pub use error::{render_error_chain, DbError};
 pub use table::{Table, TupleSpec};
 pub use txn::{Txn, TxnSummary};
 
-pub use itd_core::{Atom, GenRelation, GenTuple, Lrp, Schema, Value};
+pub use itd_core::{Atom, CancelToken, GenRelation, GenTuple, Lrp, Schema, Value};
 pub use itd_query::{
     ExplainReport, Formula, MaintainedView, QueryOpts, QueryOutput, QueryResult, RefreshOutcome,
     RelationDelta,

@@ -186,6 +186,10 @@ pub struct QueryOutput {
     /// parse (for [`run_src`]), sort-check, lowering and the optimizer
     /// were all skipped and the cached plan executed directly.
     pub plan_cached: bool,
+    /// The cost model's whole-plan total-pairs estimate computed at
+    /// preparation time (see [`estimate_src`]) — what admission control
+    /// compared against its budget before this run.
+    pub est_total_pairs: f64,
 }
 
 impl QueryOutput {
@@ -258,13 +262,25 @@ fn run_keyed(
     make_formula: impl FnOnce() -> Result<Formula>,
     opts: QueryOpts<'_>,
 ) -> Result<QueryOutput> {
+    let (prepared, plan_cached) = prepare_keyed(catalog, text, make_formula, &opts)?;
+    exec_prepared(catalog, &prepared, plan_cached, opts)
+}
+
+/// Cache-aware preparation: returns the prepared plan for `text` and
+/// whether it came from the cache, inserting on a miss.
+fn prepare_keyed(
+    catalog: &impl Catalog,
+    text: &str,
+    make_formula: impl FnOnce() -> Result<Formula>,
+    opts: &QueryOpts<'_>,
+) -> Result<(Arc<crate::plancache::PreparedPlan>, bool)> {
     if let Some(token) = catalog.plan_token() {
         if let Some(prepared) =
             crate::plancache::lookup(token, text, opts.optimize, opts.compact, opts.trace)
         {
-            return exec_prepared(catalog, &prepared, true, opts);
+            return Ok((prepared, true));
         }
-        let prepared = Arc::new(prepare(catalog, &make_formula()?, &opts)?);
+        let prepared = Arc::new(prepare(catalog, &make_formula()?, opts)?);
         crate::plancache::insert(
             token,
             text.to_owned(),
@@ -273,14 +289,32 @@ fn run_keyed(
             opts.trace,
             Arc::clone(&prepared),
         );
-        return exec_prepared(catalog, &prepared, false, opts);
+        return Ok((prepared, false));
     }
     // `plan_token() == None` opts out of the prepared-plan cache entirely;
     // count the bypass so the silent opt-out is observable in
     // `plan_cache_stats()`.
     crate::plancache::count_bypass();
-    let prepared = prepare(catalog, &make_formula()?, &opts)?;
-    exec_prepared(catalog, &prepared, false, opts)
+    let prepared = Arc::new(prepare(catalog, &make_formula()?, opts)?);
+    Ok((prepared, false))
+}
+
+/// The cost model's whole-plan total-pairs estimate for `src` — the
+/// pre-execution admission-control number — without executing anything.
+///
+/// Shares [`run_src`]'s prepared-plan cache path: on a warm cache the
+/// estimate is one lookup, and the preparation an estimate performs is
+/// reused verbatim by the `run_src` that follows an admission decision.
+/// Estimates are computed against the catalog statistics current at
+/// preparation time; catalogs that rotate their plan token on mutation
+/// keep them fresh automatically.
+///
+/// # Errors
+/// Parse and sort/arity errors; see [`QueryError`]. Estimation never
+/// touches relation data, so algebra failures cannot occur here.
+pub fn estimate_src(catalog: &impl Catalog, src: &str, opts: QueryOpts<'_>) -> Result<f64> {
+    let (prepared, _) = prepare_keyed(catalog, src, || crate::parser::parse(src), &opts)?;
+    Ok(prepared.est_total_pairs)
 }
 
 /// The pure preparation pipeline: sort-check, lower to a [`Plan`], and
@@ -335,7 +369,12 @@ fn prepare_inner(
             crate::opt::annotate(catalog, &mut plan);
         }
     }
-    Ok(crate::plancache::PreparedPlan { formula: f, plan })
+    let est_total_pairs = crate::opt::total_pairs(catalog, &plan);
+    Ok(crate::plancache::PreparedPlan {
+        formula: f,
+        plan,
+        est_total_pairs,
+    })
 }
 
 /// Executes a prepared plan: context setup, resource accounting, plan
@@ -385,6 +424,7 @@ fn exec_prepared(
         trace,
         resources,
         plan_cached,
+        est_total_pairs: prepared.est_total_pairs,
     })
 }
 
@@ -397,6 +437,9 @@ fn exec_plan(
     plan: &Plan,
     ctx: &ExecContext,
 ) -> Result<(QueryResult, u64)> {
+    // An already-expired deadline aborts before any work, even for plans
+    // too small to reach a chunked loop.
+    ctx.check_cancelled().map_err(QueryError::Core)?;
     let env = Env::new(catalog, adom_for(catalog, f), ctx, false);
     let ev = env.exec(plan.root())?;
     let result = QueryResult {

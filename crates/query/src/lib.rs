@@ -69,16 +69,16 @@ pub use catalog::{Catalog, MemoryCatalog};
 pub use error::QueryError;
 #[cfg(feature = "legacy-api")]
 pub use eval::Traced;
+pub use eval::{estimate_src, run, run_src, QueryOpts, QueryOutput, QueryResult};
 #[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use eval::{
     evaluate, evaluate_bool, evaluate_bool_with, evaluate_traced, evaluate_traced_with,
     evaluate_with,
 };
-pub use eval::{run, run_src, QueryOpts, QueryOutput, QueryResult};
 pub use itd_core::{
-    ExecContext, MetricsRegistry, OpKind, OpSnapshot, QueryResourceReport, RegistrySnapshot,
-    SlowQueryEntry, Span, SpanLabel, StatsSnapshot, Trace,
+    CancelToken, ExecContext, MetricsRegistry, OpKind, OpSnapshot, QueryResourceReport,
+    RegistrySnapshot, SlowQueryEntry, Span, SpanLabel, StatsSnapshot, Trace,
 };
 pub use parser::parse;
 pub use plan::{

@@ -453,6 +453,15 @@ fn conjoin_est(a: &NodeEst, b: &NodeEst) -> NodeEst {
     }
 }
 
+/// The cost model's whole-plan total-pairs estimate (the root's `total`:
+/// candidate pairs summed over every node), computed against the current
+/// catalog statistics without mutating the plan. This is the number the
+/// query service checks against its admission budget before execution.
+pub(crate) fn total_pairs(catalog: &impl Catalog, plan: &Plan) -> f64 {
+    let st = CatalogStats::gather(catalog, plan);
+    node_est(&plan.root, &st).total
+}
+
 /// Writes cost estimates on every node of `plan` (the EXPLAIN columns).
 pub(crate) fn annotate(catalog: &impl Catalog, plan: &mut Plan) {
     let st = CatalogStats::gather(catalog, plan);

@@ -35,12 +35,15 @@ use crate::plan::Plan;
 /// evicted first.
 pub const PLAN_CACHE_CAP: usize = 256;
 
-/// One prepared query: the sort-checked formula and the plan that
-/// [`run`](crate::run) would execute for it under the keyed options.
+/// One prepared query: the sort-checked formula, the plan that
+/// [`run`](crate::run) would execute for it under the keyed options, and
+/// the cost model's whole-plan total-pairs estimate at preparation time
+/// (the admission-control input — statistics as of the keyed plan token).
 #[derive(Debug)]
 pub(crate) struct PreparedPlan {
     pub(crate) formula: Formula,
     pub(crate) plan: Plan,
+    pub(crate) est_total_pairs: f64,
 }
 
 /// Cache key: catalog version × query text × plan-shaping knobs.
@@ -198,7 +201,11 @@ mod tests {
     fn entry(src: &str) -> Arc<PreparedPlan> {
         let formula = parse(src).unwrap();
         let plan = Plan::of(&formula);
-        Arc::new(PreparedPlan { formula, plan })
+        Arc::new(PreparedPlan {
+            formula,
+            plan,
+            est_total_pairs: 0.0,
+        })
     }
 
     #[test]

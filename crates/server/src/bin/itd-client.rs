@@ -1,0 +1,99 @@
+//! Line-oriented client for the query service.
+//!
+//! ```text
+//! itd-client [--addr HOST:PORT] [--deadline-ms MS] [--truth] [QUERY ...]
+//! ```
+//!
+//! Queries given as arguments run in order; with none, lines are read
+//! from stdin (one query per line). Output mirrors the REPL's `query`
+//! command: the free-variable columns, then the rendered relation.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+
+use itd_db::render_error_chain;
+use itd_server::Client;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: itd-client [--addr HOST:PORT] [--deadline-ms MS] [--truth] [QUERY ...]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7171".to_owned();
+    let mut deadline_ms: Option<u64> = None;
+    let mut truth = false;
+    let mut queries: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => return usage(),
+            },
+            "--deadline-ms" => match args.next().map(|v| v.parse()) {
+                Some(Ok(ms)) => deadline_ms = Some(ms),
+                _ => return usage(),
+            },
+            "--truth" => truth = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => queries.push(other.to_owned()),
+            _ => return usage(),
+        }
+    }
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "error: cannot connect to {addr}: {}",
+                render_error_chain(&e)
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let run = |client: &mut Client, src: &str| -> bool {
+        match client.query_opts(src, deadline_ms, truth) {
+            Ok(res) => {
+                println!(
+                    "free variables: temporal {:?}, data {:?}",
+                    res.temporal_vars, res.data_vars
+                );
+                println!("{}", res.result);
+                if let Some(t) = res.truth {
+                    println!("truth: {t}");
+                }
+                true
+            }
+            Err(e) => {
+                eprintln!("error: {}", render_error_chain(&e));
+                false
+            }
+        }
+    };
+
+    let mut ok = true;
+    if queries.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            let Ok(line) = line else { break };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            ok &= run(&mut client, line);
+        }
+    } else {
+        for q in &queries {
+            ok &= run(&mut client, q);
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,87 @@
+//! Blocking client for the query service's wire protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::error::ServerError;
+use crate::wire::{self, Request, WireResult};
+
+/// A connected client. One request is in flight at a time ([`query`]
+/// blocks for the response); open more clients for concurrency.
+///
+/// [`query`]: Client::query
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running [`Server`](crate::Server).
+    ///
+    /// # Errors
+    /// [`ServerError::Io`] when the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServerError> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            reader,
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Runs one query with no deadline and no truth computation.
+    ///
+    /// # Errors
+    /// Transport failures, protocol violations, and every typed
+    /// service-side rejection ([`ServerError::OverBudget`],
+    /// [`ServerError::QueueFull`], [`ServerError::DeadlineExceeded`],
+    /// [`ServerError::Remote`] for engine errors).
+    pub fn query(&mut self, src: impl Into<String>) -> Result<WireResult, ServerError> {
+        self.query_opts(src, None, false)
+    }
+
+    /// Runs one query with an optional deadline (milliseconds) and an
+    /// optional yes/no computation of the answer.
+    ///
+    /// # Errors
+    /// See [`Client::query`].
+    pub fn query_opts(
+        &mut self,
+        src: impl Into<String>,
+        deadline_ms: Option<u64>,
+        truth: bool,
+    ) -> Result<WireResult, ServerError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request {
+            id,
+            query: src.into(),
+            deadline_ms,
+            truth,
+        };
+        let mut line = wire::render_request(&req);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut resp_line = String::new();
+        let n = self.reader.read_line(&mut resp_line)?;
+        if n == 0 {
+            return Err(ServerError::Protocol(
+                "connection closed mid-request".into(),
+            ));
+        }
+        let resp = wire::parse_response(resp_line.trim())?;
+        if resp.id != id {
+            return Err(ServerError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                resp.id
+            )));
+        }
+        match resp.payload {
+            Ok(result) => Ok(result),
+            Err(err) => Err(err.into_server_error()),
+        }
+    }
+}

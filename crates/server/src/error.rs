@@ -1,0 +1,119 @@
+//! Typed errors of the query service, with `source()` chains like
+//! `itd-db`'s.
+//!
+//! Wire-protocol error responses render the full root-cause chain via
+//! [`itd_db::render_error_chain`] — never `Debug` formatting — so a client
+//! sees `parse error at offset 3` under a `query failed` head instead of a
+//! struct dump. Each variant also carries a stable machine-readable
+//! [`kind`](ServerError::kind) tag for the wire.
+
+use std::fmt;
+use std::io;
+
+use itd_db::DbError;
+
+/// Everything the query service can fail with, end to end: transport,
+/// framing, admission, deadlines, and the engine itself.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure (bind, accept, read, write).
+    Io(io::Error),
+    /// A frame that could not be parsed as a request (or, client-side, a
+    /// response), with what was wrong.
+    Protocol(String),
+    /// Admission control rejected the query: the cost model's
+    /// pre-execution total-pairs estimate exceeded the configured budget.
+    OverBudget {
+        /// The whole-plan total-pairs estimate the optimizer produced.
+        est_pairs: f64,
+        /// The configured admission budget it exceeded.
+        budget: f64,
+    },
+    /// The bounded admission queue was full — backpressure, try again.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The per-request deadline expired; execution was cancelled
+    /// cooperatively at a chunk boundary.
+    DeadlineExceeded,
+    /// The engine failed to evaluate the query (parse, sort, algebra).
+    Query(DbError),
+    /// Client-side view of a server-reported failure that has no richer
+    /// local representation (`kind` is the server's tag).
+    Remote {
+        /// The server's machine-readable error tag.
+        kind: String,
+        /// The server's rendered error chain.
+        message: String,
+    },
+    /// The service is shutting down and no longer accepts work.
+    Shutdown,
+}
+
+impl ServerError {
+    /// Stable machine-readable tag carried in wire error responses.
+    pub fn kind(&self) -> &str {
+        match self {
+            ServerError::Io(_) => "io",
+            ServerError::Protocol(_) => "protocol",
+            ServerError::OverBudget { .. } => "over_budget",
+            ServerError::QueueFull { .. } => "queue_full",
+            ServerError::DeadlineExceeded => "deadline",
+            ServerError::Query(_) => "query",
+            ServerError::Remote { kind, .. } => kind,
+            ServerError::Shutdown => "shutdown",
+        }
+    }
+
+    /// The admission estimate attached to this error, if any.
+    pub fn est_pairs(&self) -> Option<f64> {
+        match self {
+            ServerError::OverBudget { est_pairs, .. } => Some(*est_pairs),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(_) => f.write_str("transport failure"),
+            ServerError::Protocol(what) => write!(f, "protocol error: {what}"),
+            ServerError::OverBudget { est_pairs, budget } => write!(
+                f,
+                "admission rejected: estimated {est_pairs:.0} candidate pairs \
+                 exceeds budget {budget:.0}"
+            ),
+            ServerError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity}); try again")
+            }
+            ServerError::DeadlineExceeded => f.write_str("deadline exceeded"),
+            ServerError::Query(_) => f.write_str("query failed"),
+            ServerError::Remote { message, .. } => f.write_str(message),
+            ServerError::Shutdown => f.write_str("service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<DbError> for ServerError {
+    fn from(e: DbError) -> Self {
+        ServerError::Query(e)
+    }
+}

@@ -1,0 +1,451 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, mirroring the engine's
+//! existing `\stats json` / slow-log JSON conventions. Requests:
+//!
+//! ```json
+//! {"id": 7, "query": "even(t)", "deadline_ms": 250, "truth": true}
+//! ```
+//!
+//! `id` is echoed on the response (responses to pipelined requests may
+//! arrive out of submission order); `deadline_ms` and `truth` are
+//! optional. Success responses carry the free-variable columns and the
+//! relation rendered exactly as [`Display`](std::fmt::Display) prints it —
+//! the REPL's `query` output — so a wire result is bit-comparable to a
+//! direct [`Database::run`](itd_db::Database::run):
+//!
+//! ```json
+//! {"id": 7, "ok": true, "cached": true, "est_pairs": 4.0,
+//!  "temporal_vars": ["t"], "data_vars": [], "result": "{ ⟨0+2n⟩ }",
+//!  "truth": true}
+//! ```
+//!
+//! Error responses carry the typed [`ServerError::kind`] tag plus the full
+//! root-cause chain rendered by [`itd_db::render_error_chain`]:
+//!
+//! ```json
+//! {"id": 7, "ok": false, "kind": "over_budget",
+//!  "error": "admission rejected: ...", "est_pairs": 9216.0, "budget": 64.0}
+//! ```
+
+use serde::{de::DeError, Content, Deserialize, Serialize};
+
+use crate::error::ServerError;
+
+/// [`Content`] wrapper so the vendored serde stub's total JSON parser and
+/// printer can carry dynamically shaped frames.
+struct Json(Content);
+
+impl Serialize for Json {
+    fn to_content(&self) -> Content {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(Json(content.clone()))
+    }
+}
+
+/// One parsed query request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// The query source text.
+    pub query: String,
+    /// Optional per-request deadline, in milliseconds from receipt.
+    pub deadline_ms: Option<u64>,
+    /// Whether to also compute the yes/no reading of the answer.
+    pub truth: bool,
+}
+
+/// One response frame: the echoed id plus a success or error payload.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request's correlation id (0 when the request was unparseable).
+    pub id: u64,
+    /// Success result or typed error.
+    pub payload: Result<WireResult, WireError>,
+}
+
+/// The success payload of a response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResult {
+    /// Whether the prepared-plan cache served this run.
+    pub cached: bool,
+    /// The pre-execution total-pairs estimate admission control checked.
+    pub est_pairs: f64,
+    /// Free temporal variables, in column order.
+    pub temporal_vars: Vec<String>,
+    /// Free data variables, in column order.
+    pub data_vars: Vec<String>,
+    /// The answer relation, rendered exactly as `Display` prints it.
+    pub result: String,
+    /// The yes/no reading, when the request asked for it.
+    pub truth: Option<bool>,
+}
+
+/// The error payload of a response: the typed tag, the rendered
+/// root-cause chain, and the admission numbers when relevant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Machine-readable tag ([`ServerError::kind`]).
+    pub kind: String,
+    /// Human-readable message: the full `source()` chain.
+    pub message: String,
+    /// The admission estimate, on `over_budget` errors.
+    pub est_pairs: Option<f64>,
+    /// The admission budget, on `over_budget` errors.
+    pub budget: Option<f64>,
+    /// The outstanding-request bound, on `queue_full` errors.
+    pub capacity: Option<u64>,
+}
+
+impl WireError {
+    /// Lifts the wire payload back into a typed [`ServerError`] on the
+    /// client side, reconstructing the admission variants exactly.
+    pub fn into_server_error(self) -> ServerError {
+        match self.kind.as_str() {
+            "over_budget" => ServerError::OverBudget {
+                est_pairs: self.est_pairs.unwrap_or(f64::NAN),
+                budget: self.budget.unwrap_or(f64::NAN),
+            },
+            "queue_full" => ServerError::QueueFull {
+                capacity: self.capacity.unwrap_or(0) as usize,
+            },
+            "deadline" => ServerError::DeadlineExceeded,
+            "shutdown" => ServerError::Shutdown,
+            _ => ServerError::Remote {
+                kind: self.kind,
+                message: self.message,
+            },
+        }
+    }
+}
+
+fn get<'c>(entries: &'c [(String, Content)], key: &str) -> Option<&'c Content> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_u64(c: &Content) -> Option<u64> {
+    match c {
+        Content::Int(v) if *v >= 0 => Some(*v as u64),
+        Content::UInt(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn as_f64(c: &Content) -> Option<f64> {
+    match c {
+        Content::Int(v) => Some(*v as f64),
+        Content::UInt(v) => Some(*v as f64),
+        Content::Float(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn as_str(c: &Content) -> Option<&str> {
+    match c {
+        Content::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn as_bool(c: &Content) -> Option<bool> {
+    match c {
+        Content::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn string_seq(c: &Content) -> Option<Vec<String>> {
+    match c {
+        Content::Seq(items) => items
+            .iter()
+            .map(|i| as_str(i).map(str::to_owned))
+            .collect::<Option<Vec<_>>>(),
+        _ => None,
+    }
+}
+
+/// Floats print as JSON numbers; keep integral estimates integral-looking
+/// is unnecessary — `Content::Float` round-trips through the stub printer.
+fn num(v: f64) -> Content {
+    Content::Float(v)
+}
+
+/// Parses one request line.
+///
+/// # Errors
+/// [`ServerError::Protocol`] on malformed JSON or a missing/ill-typed
+/// required field.
+pub fn parse_request(line: &str) -> Result<Request, ServerError> {
+    let Json(content) =
+        serde_json::from_str::<Json>(line).map_err(|e| ServerError::Protocol(e.to_string()))?;
+    let entries = match &content {
+        Content::Map(entries) => entries,
+        other => {
+            return Err(ServerError::Protocol(format!(
+                "request must be an object, got {other:?}"
+            )))
+        }
+    };
+    let id = get(entries, "id")
+        .and_then(as_u64)
+        .ok_or_else(|| ServerError::Protocol("missing numeric `id`".into()))?;
+    let query = get(entries, "query")
+        .and_then(as_str)
+        .ok_or_else(|| ServerError::Protocol("missing string `query`".into()))?
+        .to_owned();
+    let deadline_ms = match get(entries, "deadline_ms") {
+        None | Some(Content::Null) => None,
+        Some(c) => Some(as_u64(c).ok_or_else(|| {
+            ServerError::Protocol("`deadline_ms` must be a non-negative integer".into())
+        })?),
+    };
+    let truth = match get(entries, "truth") {
+        None | Some(Content::Null) => false,
+        Some(c) => {
+            as_bool(c).ok_or_else(|| ServerError::Protocol("`truth` must be a boolean".into()))?
+        }
+    };
+    Ok(Request {
+        id,
+        query,
+        deadline_ms,
+        truth,
+    })
+}
+
+/// Renders one request as a single JSON line (no trailing newline).
+pub fn render_request(req: &Request) -> String {
+    let mut entries = vec![
+        ("id".to_owned(), Content::UInt(req.id)),
+        ("query".to_owned(), Content::Str(req.query.clone())),
+    ];
+    if let Some(ms) = req.deadline_ms {
+        entries.push(("deadline_ms".to_owned(), Content::UInt(ms)));
+    }
+    if req.truth {
+        entries.push(("truth".to_owned(), Content::Bool(true)));
+    }
+    serde_json::to_string(&Json(Content::Map(entries))).expect("content serialization is total")
+}
+
+/// Renders one response as a single JSON line (no trailing newline).
+pub fn render_response(resp: &Response) -> String {
+    let mut entries = vec![("id".to_owned(), Content::UInt(resp.id))];
+    match &resp.payload {
+        Ok(res) => {
+            entries.push(("ok".to_owned(), Content::Bool(true)));
+            entries.push(("cached".to_owned(), Content::Bool(res.cached)));
+            entries.push(("est_pairs".to_owned(), num(res.est_pairs)));
+            entries.push((
+                "temporal_vars".to_owned(),
+                Content::Seq(
+                    res.temporal_vars
+                        .iter()
+                        .cloned()
+                        .map(Content::Str)
+                        .collect(),
+                ),
+            ));
+            entries.push((
+                "data_vars".to_owned(),
+                Content::Seq(res.data_vars.iter().cloned().map(Content::Str).collect()),
+            ));
+            entries.push(("result".to_owned(), Content::Str(res.result.clone())));
+            match res.truth {
+                Some(t) => entries.push(("truth".to_owned(), Content::Bool(t))),
+                None => entries.push(("truth".to_owned(), Content::Null)),
+            }
+        }
+        Err(err) => {
+            entries.push(("ok".to_owned(), Content::Bool(false)));
+            entries.push(("kind".to_owned(), Content::Str(err.kind.clone())));
+            entries.push(("error".to_owned(), Content::Str(err.message.clone())));
+            if let Some(est) = err.est_pairs {
+                entries.push(("est_pairs".to_owned(), num(est)));
+            }
+            if let Some(budget) = err.budget {
+                entries.push(("budget".to_owned(), num(budget)));
+            }
+            if let Some(capacity) = err.capacity {
+                entries.push(("capacity".to_owned(), Content::UInt(capacity)));
+            }
+        }
+    }
+    serde_json::to_string(&Json(Content::Map(entries))).expect("content serialization is total")
+}
+
+/// Parses one response line.
+///
+/// # Errors
+/// [`ServerError::Protocol`] on malformed JSON or an ill-shaped frame.
+pub fn parse_response(line: &str) -> Result<Response, ServerError> {
+    let Json(content) =
+        serde_json::from_str::<Json>(line).map_err(|e| ServerError::Protocol(e.to_string()))?;
+    let entries = match &content {
+        Content::Map(entries) => entries,
+        other => {
+            return Err(ServerError::Protocol(format!(
+                "response must be an object, got {other:?}"
+            )))
+        }
+    };
+    let id = get(entries, "id")
+        .and_then(as_u64)
+        .ok_or_else(|| ServerError::Protocol("missing numeric `id`".into()))?;
+    let ok = get(entries, "ok")
+        .and_then(as_bool)
+        .ok_or_else(|| ServerError::Protocol("missing boolean `ok`".into()))?;
+    if ok {
+        let missing = |what: &str| ServerError::Protocol(format!("missing `{what}`"));
+        Ok(Response {
+            id,
+            payload: Ok(WireResult {
+                cached: get(entries, "cached")
+                    .and_then(as_bool)
+                    .ok_or_else(|| missing("cached"))?,
+                est_pairs: get(entries, "est_pairs")
+                    .and_then(as_f64)
+                    .ok_or_else(|| missing("est_pairs"))?,
+                temporal_vars: get(entries, "temporal_vars")
+                    .and_then(string_seq)
+                    .ok_or_else(|| missing("temporal_vars"))?,
+                data_vars: get(entries, "data_vars")
+                    .and_then(string_seq)
+                    .ok_or_else(|| missing("data_vars"))?,
+                result: get(entries, "result")
+                    .and_then(as_str)
+                    .ok_or_else(|| missing("result"))?
+                    .to_owned(),
+                truth: get(entries, "truth").and_then(as_bool),
+            }),
+        })
+    } else {
+        Ok(Response {
+            id,
+            payload: Err(WireError {
+                kind: get(entries, "kind")
+                    .and_then(as_str)
+                    .unwrap_or("unknown")
+                    .to_owned(),
+                message: get(entries, "error")
+                    .and_then(as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+                est_pairs: get(entries, "est_pairs").and_then(as_f64),
+                budget: get(entries, "budget").and_then(as_f64),
+                capacity: get(entries, "capacity").and_then(as_u64),
+            }),
+        })
+    }
+}
+
+/// Builds the error payload for `err`: typed tag plus the rendered
+/// root-cause chain ([`itd_db::render_error_chain`]), with the admission
+/// numbers attached when the variant carries them.
+pub fn error_payload(err: &ServerError) -> WireError {
+    let (est_pairs, budget, capacity) = match err {
+        ServerError::OverBudget { est_pairs, budget } => (Some(*est_pairs), Some(*budget), None),
+        ServerError::QueueFull { capacity } => (None, None, Some(*capacity as u64)),
+        _ => (None, None, None),
+    };
+    WireError {
+        kind: err.kind().to_owned(),
+        message: itd_db::render_error_chain(err),
+        est_pairs,
+        budget,
+        capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request {
+            id: 7,
+            query: "even(t; x) and t >= \"0\"".into(),
+            deadline_ms: Some(250),
+            truth: true,
+        };
+        let parsed = parse_request(&render_request(&req)).unwrap();
+        assert_eq!(parsed.id, 7);
+        assert_eq!(parsed.query, req.query);
+        assert_eq!(parsed.deadline_ms, Some(250));
+        assert!(parsed.truth);
+
+        let bare = parse_request(r#"{"id": 1, "query": "p(t)"}"#).unwrap();
+        assert_eq!(bare.deadline_ms, None);
+        assert!(!bare.truth);
+
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"query": "p(t)"}"#).is_err());
+        assert!(parse_request(r#"{"id": 1}"#).is_err());
+        assert!(parse_request(r#"[1, 2]"#).is_err());
+    }
+
+    #[test]
+    fn response_roundtrip_ok_and_err() {
+        let ok = Response {
+            id: 3,
+            payload: Ok(WireResult {
+                cached: true,
+                est_pairs: 12.5,
+                temporal_vars: vec!["t".into()],
+                data_vars: vec!["x".into()],
+                result: "{ ⟨0+2n⟩ }".into(),
+                truth: Some(true),
+            }),
+        };
+        let parsed = parse_response(&render_response(&ok)).unwrap();
+        assert_eq!(parsed.id, 3);
+        assert_eq!(parsed.payload.unwrap(), ok.payload.unwrap());
+
+        let err = Response {
+            id: 4,
+            payload: Err(error_payload(&ServerError::OverBudget {
+                est_pairs: 9216.0,
+                budget: 64.0,
+            })),
+        };
+        let parsed = parse_response(&render_response(&err)).unwrap();
+        let wire_err = parsed.payload.unwrap_err();
+        assert_eq!(wire_err.kind, "over_budget");
+        assert_eq!(wire_err.est_pairs, Some(9216.0));
+        assert_eq!(wire_err.budget, Some(64.0));
+        assert!(wire_err.message.contains("9216"), "{}", wire_err.message);
+        match wire_err.into_server_error() {
+            ServerError::OverBudget { est_pairs, budget } => {
+                assert_eq!(est_pairs, 9216.0);
+                assert_eq!(budget, 64.0);
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_chain_is_rendered_not_debug() {
+        let db_err = itd_db::Database::new()
+            .run("p(", itd_db::QueryOpts::new())
+            .unwrap_err();
+        let payload = error_payload(&ServerError::Query(db_err));
+        assert_eq!(payload.kind, "query");
+        assert!(
+            payload.message.contains("caused by:"),
+            "root-cause chain missing: {}",
+            payload.message
+        );
+        assert!(
+            !payload.message.contains("Query("),
+            "Debug formatting leaked: {}",
+            payload.message
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Cost-based admission control and queue backpressure: over-budget
+//! queries are rejected *before* execution with the optimizer's estimate
+//! in the typed error, a saturated service rejects instead of buffering
+//! without bound, and the admission counters always reconcile —
+//! `admitted + rejected_over_budget + rejected_queue_full == requests`.
+
+use std::time::Duration;
+
+use itd_db::{Database, TupleSpec};
+use itd_server::{Client, Server, ServerConfig, ServerError};
+
+/// Two tables whose join estimate scales as `n * n` data pairs.
+fn join_db(n: i64) -> Database {
+    let mut db = Database::new();
+    db.create_table("adm_a", &["t"], &["x"]).unwrap();
+    db.create_table("adm_b", &["t"], &["y"]).unwrap();
+    db.create_table("adm_even", &["t"], &[]).unwrap();
+    for i in 0..n {
+        db.table_mut("adm_a")
+            .unwrap()
+            .insert(TupleSpec::new().lrp("t", i % 4, 4).datum("x", i))
+            .unwrap();
+        db.table_mut("adm_b")
+            .unwrap()
+            .insert(TupleSpec::new().lrp("t", i % 4, 4).datum("y", i))
+            .unwrap();
+    }
+    db.table_mut("adm_even")
+        .unwrap()
+        .insert(TupleSpec::new().lrp("t", 0, 2))
+        .unwrap();
+    db
+}
+
+const JOIN: &str = "adm_a(t; x) and adm_b(t; y)";
+
+#[test]
+fn over_budget_queries_are_rejected_with_the_estimate() {
+    let server = Server::start(
+        join_db(24),
+        ServerConfig {
+            budget_pairs: 10.0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Cheap scan: within budget, admitted, runs normally.
+    let cheap = client.query("adm_even(t)").unwrap();
+    assert!(cheap.est_pairs <= 10.0, "scan estimate {}", cheap.est_pairs);
+
+    // Quadratic join: rejected pre-execution, estimate travels back.
+    let err = client.query(JOIN).unwrap_err();
+    match err {
+        ServerError::OverBudget { est_pairs, budget } => {
+            assert_eq!(budget, 10.0);
+            assert!(est_pairs > budget, "estimate {est_pairs} over {budget}");
+        }
+        other => panic!("expected OverBudget, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("admission rejected"), "{msg}");
+    assert!(msg.contains("exceeds budget"), "{msg}");
+
+    let snap = server.registry().snapshot();
+    assert_eq!(snap.server_requests, 2);
+    assert_eq!(snap.server_admitted, 1);
+    assert_eq!(snap.server_rejected_over_budget, 1);
+    assert_eq!(snap.server_rejected_queue_full, 0);
+    server.shutdown();
+}
+
+#[test]
+fn infinite_budget_admits_everything() {
+    let server = Server::start(join_db(24), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let res = client.query(JOIN).unwrap();
+    assert!(res.est_pairs > 10.0, "the estimate still travels back");
+    let snap = server.registry().snapshot();
+    assert_eq!(snap.server_admitted, 1);
+    assert_eq!(snap.server_rejected_over_budget, 0);
+    server.shutdown();
+}
+
+#[test]
+fn zero_capacity_rejects_every_submission() {
+    let server = Server::start(
+        join_db(4),
+        ServerConfig {
+            queue_capacity: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for _ in 0..3 {
+        match client.query("adm_even(t)").unwrap_err() {
+            ServerError::QueueFull { capacity } => assert_eq!(capacity, 0),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+    }
+    let snap = server.registry().snapshot();
+    assert_eq!(snap.server_requests, 3);
+    assert_eq!(snap.server_rejected_queue_full, 3);
+    assert_eq!(snap.server_admitted, 0);
+    server.shutdown();
+}
+
+/// One attempt at observing live backpressure: a single worker chews on
+/// a heavy join while a second client submits past the outstanding
+/// bound. Timing-dependent (the heavy query could finish first on a
+/// fast machine), hence the retry loop in the test below.
+fn backpressure_attempt(n: i64) -> bool {
+    let server = Server::start(
+        join_db(n),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let slow = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query(JOIN)
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    let mut probe = Client::connect(addr).unwrap();
+    let mut saw_reject = false;
+    for _ in 0..20 {
+        match probe.query("adm_even(t)") {
+            Err(ServerError::QueueFull { capacity }) => {
+                assert_eq!(capacity, 1);
+                saw_reject = true;
+                break;
+            }
+            Ok(_) => std::thread::sleep(Duration::from_millis(2)),
+            Err(other) => panic!("unexpected error while probing: {other:?}"),
+        }
+    }
+    slow.join().unwrap().unwrap();
+
+    let snap = server.registry().snapshot();
+    assert_eq!(
+        snap.server_admitted + snap.server_rejected_over_budget + snap.server_rejected_queue_full,
+        snap.server_requests,
+        "admission accounting must reconcile even under backpressure"
+    );
+    server.shutdown();
+    saw_reject
+}
+
+#[test]
+fn saturated_pool_rejects_instead_of_buffering() {
+    // Escalate the join size until the worker is demonstrably busy long
+    // enough for the probe to bounce off the outstanding bound.
+    for n in [192, 384, 768] {
+        if backpressure_attempt(n) {
+            return;
+        }
+    }
+    panic!("never observed QueueFull with a saturated single-worker pool");
+}
+
+#[test]
+fn admission_counters_reconcile_under_concurrency() {
+    let server = Server::start(
+        join_db(24),
+        ServerConfig {
+            budget_pairs: 10.0,
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..10 {
+                    if (i + round) % 2 == 0 {
+                        client.query("adm_even(t)").unwrap();
+                    } else {
+                        let err = client.query(JOIN).unwrap_err();
+                        assert!(matches!(err, ServerError::OverBudget { .. }));
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let snap = server.registry().snapshot();
+    assert_eq!(snap.server_requests, 40);
+    assert_eq!(snap.server_admitted, 20);
+    assert_eq!(snap.server_rejected_over_budget, 20);
+    assert_eq!(snap.server_rejected_queue_full, 0);
+    server.shutdown();
+}

@@ -1,0 +1,213 @@
+//! Deadline-aware execution: expired deadlines surface as the typed
+//! timeout error, cancellation never poisons the plan cache, the outcome
+//! memos, or the metrics registry, the next identical query runs clean,
+//! and the service's timeout accounting is invariant in the worker-pool
+//! size.
+
+use std::time::{Duration, Instant};
+
+use itd_db::{CancelToken, Database, DbError, QueryOpts, TupleSpec};
+use itd_query::QueryError;
+use itd_server::{Client, Server, ServerConfig, ServerError};
+
+/// A join heavy enough that cancellation has something to interrupt.
+fn heavy_db(n: i64) -> Database {
+    let mut db = Database::new();
+    db.create_table("cx_a", &["t"], &["x"]).unwrap();
+    db.create_table("cx_b", &["t"], &["y"]).unwrap();
+    for i in 0..n {
+        db.table_mut("cx_a")
+            .unwrap()
+            .insert(TupleSpec::new().lrp("t", i % 4, 4).datum("x", i))
+            .unwrap();
+        db.table_mut("cx_b")
+            .unwrap()
+            .insert(TupleSpec::new().lrp("t", i % 4, 4).datum("y", i))
+            .unwrap();
+    }
+    db
+}
+
+const HEAVY: &str = "cx_a(t; x) and cx_b(t; y)";
+
+fn is_cancelled(err: &DbError) -> bool {
+    matches!(
+        err,
+        DbError::Query(QueryError::Core(itd_core::CoreError::Cancelled))
+    )
+}
+
+#[test]
+fn pre_cancelled_context_fails_identically_at_any_thread_count() {
+    let db = heavy_db(24);
+    for threads in [1usize, 2, 8] {
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = itd_core::ExecContext::with_threads(threads).cancellable(token);
+        let err = db.run(HEAVY, QueryOpts::new().ctx(&ctx)).unwrap_err();
+        assert!(is_cancelled(&err), "threads={threads}: {err:?}");
+        let stats = ctx.stats();
+        assert_eq!(
+            stats.total_pairs(),
+            0,
+            "threads={threads}: no operator work before the first check"
+        );
+    }
+}
+
+#[test]
+fn cancellation_poisons_no_cache_and_publishes_no_metrics() {
+    let db = heavy_db(24);
+    let clean = db.run(HEAVY, QueryOpts::new()).unwrap();
+    let expected = clean.result.relation.to_string();
+
+    let registry_before = db.metrics_handle().snapshot();
+    let plan_before = itd_query::plan_cache_stats();
+
+    // Expired-deadline run: fails with the typed error, publishes
+    // nothing to the registry (metrics observe completed queries only).
+    let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+    let ctx = itd_core::ExecContext::with_threads(1).cancellable(token);
+    let err = db.run(HEAVY, QueryOpts::new().ctx(&ctx)).unwrap_err();
+    assert!(is_cancelled(&err), "{err:?}");
+
+    let registry_after = db.metrics_handle().snapshot();
+    assert_eq!(
+        registry_after.queries, registry_before.queries,
+        "a cancelled query must not be observed as completed"
+    );
+    let plan_after = itd_query::plan_cache_stats();
+    assert_eq!(
+        plan_after.insertions, plan_before.insertions,
+        "the cancelled run reused the already-cached plan"
+    );
+
+    // The next identical query runs clean off the warm plan.
+    let rerun = db.run(HEAVY, QueryOpts::new()).unwrap();
+    assert!(rerun.plan_cached, "plan cache survived the cancellation");
+    assert_eq!(rerun.result.relation.to_string(), expected, "bit-identical");
+}
+
+#[test]
+fn mid_run_cancellation_is_interrupted_and_recoverable() {
+    // Escalate until the deadline demonstrably interrupts the join
+    // mid-run (a fixed size would be timing-fragile on fast machines).
+    for n in [64, 128, 256, 512] {
+        let db = heavy_db(n);
+        let expected = db
+            .run(HEAVY, QueryOpts::new())
+            .unwrap()
+            .result
+            .relation
+            .to_string();
+
+        let token = CancelToken::after(Duration::from_millis(2));
+        let ctx = itd_core::ExecContext::with_threads(1).cancellable(token);
+        match db.run(HEAVY, QueryOpts::new().ctx(&ctx)) {
+            Err(err) => {
+                assert!(is_cancelled(&err), "{err:?}");
+                // Partial work must not have corrupted anything: the
+                // identical query still produces the identical answer.
+                let rerun = db.run(HEAVY, QueryOpts::new()).unwrap();
+                assert!(rerun.plan_cached);
+                assert_eq!(rerun.result.relation.to_string(), expected);
+                return;
+            }
+            Ok(out) => {
+                // Finished inside 2ms: too small to interrupt. Verify
+                // correctness anyway, then escalate.
+                assert_eq!(out.result.relation.to_string(), expected);
+            }
+        }
+    }
+    panic!("even the largest join finished within the 2ms deadline");
+}
+
+#[test]
+fn expired_request_deadline_times_out_and_next_query_is_clean() {
+    let server = Server::start(heavy_db(24), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let err = client.query_opts(HEAVY, Some(0), false).unwrap_err();
+    assert!(matches!(err, ServerError::DeadlineExceeded), "{err:?}");
+    assert!(err.to_string().contains("deadline"), "{err}");
+
+    // Same query, no deadline: clean run off the cached plan, and the
+    // rendering matches a direct run on the server's snapshot.
+    let res = client.query(HEAVY).unwrap();
+    assert!(res.cached, "the timeout did not poison the plan cache");
+    let direct = server.snapshot().run(HEAVY, QueryOpts::new()).unwrap();
+    assert_eq!(res.result, direct.result.relation.to_string());
+
+    let snap = server.registry().snapshot();
+    assert_eq!(snap.server_timeouts, 1);
+    assert_eq!(snap.server_requests, 2);
+    assert_eq!(
+        snap.server_admitted, 2,
+        "deadline rejections happen after admission, not instead of it"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn default_deadline_applies_when_requests_carry_none() {
+    let server = Server::start(
+        heavy_db(24),
+        ServerConfig {
+            default_deadline: Some(Duration::ZERO),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let err = client.query(HEAVY).unwrap_err();
+    assert!(matches!(err, ServerError::DeadlineExceeded), "{err:?}");
+    // A generous per-request deadline overrides the server default.
+    let res = client.query_opts(HEAVY, Some(60_000), false).unwrap();
+    assert!(!res.result.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn timeout_accounting_is_worker_invariant() {
+    let mut snapshots = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let server = Server::start(
+            heavy_db(24),
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let mut renderings = Vec::new();
+        for round in 0..3 {
+            let err = client.query_opts(HEAVY, Some(0), false).unwrap_err();
+            assert!(matches!(err, ServerError::DeadlineExceeded), "{err:?}");
+            let res = client.query(HEAVY).unwrap();
+            renderings.push((round, res.result));
+        }
+        let snap = server.registry().snapshot();
+        snapshots.push((
+            workers,
+            snap.server_requests,
+            snap.server_admitted,
+            snap.server_timeouts,
+            snap.server_rejected_over_budget,
+            snap.server_rejected_queue_full,
+            renderings,
+        ));
+        server.shutdown();
+    }
+    let (_, requests, admitted, timeouts, over, full, renderings) = snapshots[0].clone();
+    assert_eq!((requests, admitted, timeouts, over, full), (6, 6, 3, 0, 0));
+    for (workers, r, a, t, o, f, rend) in &snapshots[1..] {
+        assert_eq!(
+            (r, a, t, o, f),
+            (&requests, &admitted, &timeouts, &over, &full),
+            "workers={workers}: counters must be pool-size invariant"
+        );
+        assert_eq!(rend, &renderings, "workers={workers}: identical answers");
+    }
+}
